@@ -1,0 +1,228 @@
+// Command ivqp-bench regenerates the paper's evaluation figures (5–9) and
+// the ablation studies as text tables.
+//
+// Usage:
+//
+//	ivqp-bench                 # run everything at paper scale
+//	ivqp-bench -fig 5          # one experiment: 5, 6, 7, 8, 9a, 9b,
+//	                           # search, mqo, aging, advisor
+//	ivqp-bench -quick          # scaled-down configs (CI-sized)
+//	ivqp-bench -seed 7         # change the experiment seed
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"ivdss/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, or all")
+	quick := flag.Bool("quick", false, "use scaled-down configurations")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
+	flag.Parse()
+
+	if err := run(*fig, *quick, *seed, *csvDir); err != nil {
+		fmt.Fprintln(os.Stderr, "ivqp-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(fig string, quick bool, seed int64, csvDir string) error {
+	want := func(name string) bool { return fig == "all" || strings.EqualFold(fig, name) }
+	ran := false
+	start := time.Now()
+
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+	}
+	emit := func(tables []bench.Table) {
+		for _, t := range tables {
+			fmt.Println(t.Render())
+			if csvDir != "" {
+				if err := writeCSV(csvDir, t); err != nil {
+					fmt.Fprintln(os.Stderr, "ivqp-bench: csv:", err)
+				}
+			}
+		}
+		ran = true
+	}
+
+	if want("5") {
+		cfg := bench.DefaultFig5Config()
+		if quick {
+			cfg = bench.QuickFig5Config()
+		}
+		cfg.Seed = seed
+		res, err := bench.RunFig5(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+	if want("6") {
+		cfg := bench.DefaultFig6Config()
+		cfg.Seed = seed
+		res, err := bench.RunFig6(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+	if want("7") {
+		cfg := bench.DefaultFig7Config()
+		cfg.Seed = seed
+		res, err := bench.RunFig7(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+	if want("8") {
+		cfg := bench.DefaultFig8Config()
+		if quick {
+			cfg = bench.QuickFig8Config()
+		}
+		cfg.Seed = seed
+		res, err := bench.RunFig8(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+	if want("9a") || want("9") {
+		cfg := bench.DefaultFig9Config()
+		if quick {
+			cfg = bench.QuickFig9Config()
+		}
+		cfg.Seed = seed
+		res, err := bench.RunFig9a(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+	if want("9b") || want("9") {
+		cfg := bench.DefaultFig9Config()
+		if quick {
+			cfg = bench.QuickFig9Config()
+		}
+		cfg.Seed = seed
+		res, err := bench.RunFig9b(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+	if want("search") {
+		cfg := bench.DefaultAblationSearchConfig()
+		if quick {
+			cfg.Scenarios = 50
+		}
+		cfg.Seed = seed
+		res, err := bench.RunAblationSearch(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+	if want("mqo") {
+		cfg := bench.DefaultAblationMQOConfig()
+		if quick {
+			cfg.WorkloadSize = 5
+		}
+		cfg.Seed = seed
+		res, err := bench.RunAblationMQO(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+	if want("tables") {
+		cfg := bench.DefaultTablesSweepConfig()
+		if quick {
+			cfg.TableCounts = []int{10, 100}
+			cfg.NQueries = 30
+		}
+		cfg.Seed = seed
+		res, err := bench.RunTablesSweep(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+	if want("advisor") {
+		cfg := bench.DefaultAdvisorConfig()
+		if quick {
+			cfg.NQueries = 30
+			cfg.RandomTrials = 3
+		}
+		cfg.Seed = seed
+		res, err := bench.RunAdvisor(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+	if want("aging") {
+		cfg := bench.DefaultAblationAgingConfig()
+		if quick {
+			cfg.NQueries = 30
+		}
+		cfg.Seed = seed
+		res, err := bench.RunAblationAging(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+
+	if !ran {
+		return fmt.Errorf("unknown experiment %q (want 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, or all)", fig)
+	}
+	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// writeCSV stores one result table as <slug>.csv in dir.
+func writeCSV(dir string, t bench.Table) error {
+	slug := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '-'
+		}
+	}, t.Title)
+	slug = strings.Trim(strings.Join(strings.FieldsFunc(slug, func(r rune) bool { return r == '-' }), "-"), "-")
+	if len(slug) > 60 {
+		slug = slug[:60]
+	}
+	f, err := os.Create(filepath.Join(dir, slug+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}

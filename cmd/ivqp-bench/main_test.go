@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ivdss/internal/bench"
+)
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run("nope", true, 1, ""); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRunAgingQuickWithCSV(t *testing.T) {
+	dir := t.TempDir()
+	if err := run("aging", true, 1, dir); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || filepath.Ext(entries[0].Name()) != ".csv" {
+		t.Errorf("csv dir = %v", entries)
+	}
+}
+
+func TestWriteCSVSlug(t *testing.T) {
+	dir := t.TempDir()
+	tbl := bench.Table{
+		Title:   "Figure 5: Information Value (Fq:Fs = 1:20)!!",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"1", "2"}},
+	}
+	if err := writeCSV(dir, tbl); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("entries = %v", entries)
+	}
+	name := entries[0].Name()
+	for _, r := range name {
+		if !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '.') {
+			t.Errorf("slug %q contains %q", name, r)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Command ivqp-dss runs the local federation/DSS server: it discovers the
+// tables served by each remote site, replicates a chosen subset locally on
+// synchronization cycles, and answers client SQL with information-value-
+// driven plans.
+//
+//	ivqp-dss -addr :7100 \
+//	    -remote 1=127.0.0.1:7101 -remote 2=127.0.0.1:7102 \
+//	    -replicate customer=30s,nation=2m,region=2m \
+//	    -lambda-cl 0.01 -lambda-sl 0.05 -timescale 10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"ivdss/internal/core"
+	"ivdss/internal/server"
+)
+
+// remoteFlags accumulates repeated -remote site=addr flags.
+type remoteFlags map[core.SiteID]string
+
+func (r remoteFlags) String() string { return fmt.Sprintf("%v", map[core.SiteID]string(r)) }
+
+func (r remoteFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want site=addr, got %q", v)
+	}
+	site, err := strconv.Atoi(parts[0])
+	if err != nil || site < 1 {
+		return fmt.Errorf("invalid site id %q", parts[0])
+	}
+	r[core.SiteID(site)] = parts[1]
+	return nil
+}
+
+func parseReplicate(spec string) (map[core.TableID]time.Duration, error) {
+	out := map[core.TableID]time.Duration{}
+	if spec == "" {
+		return out, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(item), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("want table=period, got %q", item)
+		}
+		period, err := time.ParseDuration(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("period for %s: %w", parts[0], err)
+		}
+		out[core.TableID(strings.ToLower(parts[0]))] = period
+	}
+	return out, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "listen address")
+	remotes := remoteFlags{}
+	flag.Var(remotes, "remote", "remote site as site=addr (repeatable)")
+	replicate := flag.String("replicate", "", "replication plan as table=period,... (e.g. customer=30s,nation=2m)")
+	lambdaCL := flag.Float64("lambda-cl", .01, "computational-latency discount rate per experiment minute")
+	lambdaSL := flag.Float64("lambda-sl", .01, "synchronization-latency discount rate per experiment minute")
+	timescale := flag.Float64("timescale", 1.0/60, "experiment minutes per wall second (1/60 = real time)")
+	calibration := flag.String("calibration", "", "JSON file to load learned plan costs from at startup and save to on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, remotes, *replicate, *lambdaCL, *lambdaSL, *timescale, *calibration); err != nil {
+		fmt.Fprintln(os.Stderr, "ivqp-dss:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, remotes remoteFlags, replicate string, lambdaCL, lambdaSL, timescale float64, calibration string) error {
+	plan, err := parseReplicate(replicate)
+	if err != nil {
+		return err
+	}
+	dss, err := server.NewDSSServer(server.DSSConfig{
+		Remotes:   remotes,
+		Replicate: plan,
+		Rates:     core.DiscountRates{CL: lambdaCL, SL: lambdaSL},
+		TimeScale: timescale,
+	})
+	if err != nil {
+		return err
+	}
+	if calibration != "" {
+		if f, err := os.Open(calibration); err == nil {
+			loadErr := dss.LoadCalibration(f)
+			f.Close()
+			if loadErr != nil {
+				return loadErr
+			}
+			fmt.Printf("ivqp-dss: loaded %d calibrated plan configurations\n", dss.CalibrationLen())
+		} else if !os.IsNotExist(err) {
+			return err
+		}
+	}
+	bound, err := dss.Listen(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ivqp-dss: federation server on %s (%d remote sites, %d replicas, λcl=%g λsl=%g)\n",
+		bound, len(remotes), len(plan), lambdaCL, lambdaSL)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("ivqp-dss: shutting down")
+	if calibration != "" {
+		f, err := os.Create(calibration)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := dss.SaveCalibration(f); err != nil {
+			return err
+		}
+		fmt.Printf("ivqp-dss: saved %d calibrated plan configurations\n", dss.CalibrationLen())
+	}
+	return dss.Close()
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseReplicate(t *testing.T) {
+	got, err := parseReplicate("customer=30s, nation=2m,region=1h")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got["customer"] != 30*time.Second || got["nation"] != 2*time.Minute {
+		t.Errorf("parsed = %v", got)
+	}
+	if _, err := parseReplicate("customer"); err == nil {
+		t.Error("missing period accepted")
+	}
+	if _, err := parseReplicate("customer=nope"); err == nil {
+		t.Error("bad duration accepted")
+	}
+	empty, err := parseReplicate("")
+	if err != nil || len(empty) != 0 {
+		t.Errorf("empty spec: %v %v", empty, err)
+	}
+}
+
+func TestRemoteFlags(t *testing.T) {
+	r := remoteFlags{}
+	if err := r.Set("1=127.0.0.1:7101"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Set("2=127.0.0.1:7102"); err != nil {
+		t.Fatal(err)
+	}
+	if len(r) != 2 || r[1] != "127.0.0.1:7101" {
+		t.Errorf("flags = %v", r)
+	}
+	for _, bad := range []string{"noequals", "x=addr", "0=addr", "-1=addr"} {
+		if err := r.Set(bad); err == nil {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+	if r.String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,114 @@
+// Command ivqp-workload replays a query workload against a live DSS server
+// and reports measured information-value statistics — the load-generator
+// side of a live deployment experiment.
+//
+//	# remotes seeded with TPC-H (see ivqp-remote), DSS on :7100
+//	ivqp-workload -addr 127.0.0.1:7100 -n 60 -mean 300ms \
+//	    -queries Q1,Q3,Q6,Q13,Q22 -value 1.0 -seed 1
+//
+// Arrivals follow an exponential process with the given mean gap; each
+// arrival runs a randomly chosen template. The summary reports the IV,
+// CL and SL distributions plus the plan mix the DSS chose.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ivdss/internal/netproto"
+	"ivdss/internal/stats"
+	"ivdss/internal/tpch"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "DSS server address")
+	n := flag.Int("n", 30, "number of queries to replay")
+	mean := flag.Duration("mean", 300*time.Millisecond, "mean interarrival gap")
+	queries := flag.String("queries", "Q1,Q6,Q13,Q22", "comma-separated TPC-H template IDs")
+	value := flag.Float64("value", 1, "business value per report")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	if err := run(*addr, *n, *mean, *queries, *value, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, "ivqp-workload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, n int, mean time.Duration, queryList string, value float64, seed int64) error {
+	if n <= 0 {
+		return fmt.Errorf("need a positive query count")
+	}
+	var templates []tpch.Query
+	for _, id := range strings.Split(queryList, ",") {
+		q, err := tpch.QueryByID(strings.TrimSpace(id))
+		if err != nil {
+			return err
+		}
+		templates = append(templates, q)
+	}
+	if len(templates) == 0 {
+		return fmt.Errorf("no query templates selected")
+	}
+
+	src := stats.NewSource(seed)
+	var ivs, cls, sls []float64
+	planMix := map[string]int{}
+	errs := 0
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if i > 0 && mean > 0 {
+			time.Sleep(time.Duration(src.Expo(float64(mean))))
+		}
+		tmpl := templates[src.Intn(len(templates))]
+		resp, err := netproto.Call(addr, &netproto.Request{
+			Kind:          netproto.KindExec,
+			SQL:           tmpl.SQL,
+			BusinessValue: value,
+		}, 2*time.Minute)
+		if err != nil {
+			errs++
+			fmt.Printf("%3d  %-4s ERROR: %v\n", i+1, tmpl.ID, err)
+			continue
+		}
+		meta := resp.Meta
+		ivs = append(ivs, meta.Value)
+		cls = append(cls, meta.CLMinutes)
+		sls = append(sls, meta.SLMinutes)
+		planMix[planShape(meta.PlanSignature)]++
+		fmt.Printf("%3d  %-4s rows=%-5d IV=%.4f CL=%.2f SL=%.2f  %s\n",
+			i+1, tmpl.ID, resp.Result.NumRows(), meta.Value, meta.CLMinutes, meta.SLMinutes, meta.PlanSignature)
+	}
+
+	fmt.Printf("\nreplayed %d queries in %v (%d errors)\n", n, time.Since(start).Round(time.Millisecond), errs)
+	if len(ivs) > 0 {
+		fmt.Printf("information value: mean %.4f  p50 %.4f  p95 %.4f\n",
+			stats.Mean(ivs), stats.Percentile(ivs, 50), stats.Percentile(ivs, 95))
+		fmt.Printf("CL minutes:        mean %.2f  p50 %.2f  p95 %.2f\n",
+			stats.Mean(cls), stats.Percentile(cls, 50), stats.Percentile(cls, 95))
+		fmt.Printf("SL minutes:        mean %.2f  p50 %.2f  p95 %.2f\n",
+			stats.Mean(sls), stats.Percentile(sls, 50), stats.Percentile(sls, 95))
+		fmt.Println("plan mix:")
+		for shape, count := range planMix {
+			fmt.Printf("  %-12s %d\n", shape, count)
+		}
+	}
+	return nil
+}
+
+// planShape classifies a plan signature as all-base, all-replica, or mixed.
+func planShape(sig string) string {
+	hasBase := strings.Contains(sig, "=base")
+	hasReplica := strings.Contains(sig, "=replica")
+	switch {
+	case hasBase && hasReplica:
+		return "mixed"
+	case hasReplica:
+		return "all-replica"
+	default:
+		return "all-base"
+	}
+}

@@ -1,0 +1,28 @@
+package main
+
+import "testing"
+
+func TestPlanShape(t *testing.T) {
+	tests := []struct {
+		sig  string
+		want string
+	}{
+		{"a=base b=base start=1.0", "all-base"},
+		{"a=replica@2.0 start=1.0", "all-replica"},
+		{"a=base b=replica@2.0 start=1.0", "mixed"},
+	}
+	for _, tt := range tests {
+		if got := planShape(tt.sig); got != tt.want {
+			t.Errorf("planShape(%q) = %q, want %q", tt.sig, got, tt.want)
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if err := run("127.0.0.1:1", 0, 0, "Q1", 1, 1); err == nil {
+		t.Error("zero count accepted")
+	}
+	if err := run("127.0.0.1:1", 1, 0, "Q99", 1, 1); err == nil {
+		t.Error("unknown template accepted")
+	}
+}

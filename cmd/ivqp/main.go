@@ -1,0 +1,170 @@
+// Command ivqp is the client: it submits SQL to a DSS server (or directly
+// to a remote site with -remote) and prints the result rows plus the
+// report's information-value accounting.
+//
+//	ivqp -addr 127.0.0.1:7100 -value 1.0 \
+//	    "SELECT c_mktsegment, count(*) AS n FROM customer GROUP BY c_mktsegment"
+//	ivqp -addr 127.0.0.1:7100 -status
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"ivdss/internal/netproto"
+	"ivdss/internal/relation"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7100", "DSS (or remote) server address")
+	value := flag.Float64("value", 1, "business value of the report")
+	status := flag.Bool("status", false, "print DSS replica status instead of running a query")
+	showMetrics := flag.Bool("metrics", false, "print DSS server metrics instead of running a query")
+	remote := flag.Bool("remote", false, "talk to a remote site server (bypasses IV planning)")
+	register := flag.Bool("register", false, "pre-register the query for fast routing instead of running it")
+	batch := flag.Bool("batch", false, "treat the argument as a ';'-separated workload and submit it for MQO scheduling")
+	flag.Parse()
+
+	if err := run(*addr, *value, *status, *showMetrics, *remote, *register, *batch, strings.Join(flag.Args(), " ")); err != nil {
+		fmt.Fprintln(os.Stderr, "ivqp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, value float64, status, showMetrics, remote, register, batch bool, sql string) error {
+	if batch {
+		return runBatch(addr, value, sql)
+	}
+	if register {
+		if strings.TrimSpace(sql) == "" {
+			return fmt.Errorf("no SQL given to register")
+		}
+		if _, err := netproto.Call(addr, &netproto.Request{
+			Kind: netproto.KindRegister, SQL: sql, BusinessValue: value,
+		}, 30*time.Second); err != nil {
+			return err
+		}
+		fmt.Println("registered: plans pre-calculated for routing")
+		return nil
+	}
+	if showMetrics {
+		resp, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindMetrics}, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		names := make([]string, 0, len(resp.Metrics))
+		for name := range resp.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%-28s %g\n", name, resp.Metrics[name])
+		}
+		return nil
+	}
+	if status {
+		resp, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindStatus}, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %-5s %-12s %s\n", "TABLE", "SITE", "LAST SYNC", "STALENESS (min)")
+		for _, r := range resp.Replicas {
+			fmt.Printf("%-16s %-5d %-12.2f %.2f\n", r.Table, r.Site, r.LastSyncMinutes, r.StalenessMinutes)
+		}
+		return nil
+	}
+	if strings.TrimSpace(sql) == "" {
+		return fmt.Errorf("no SQL given (pass it as the final argument)")
+	}
+	req := &netproto.Request{Kind: netproto.KindExec, SQL: sql, BusinessValue: value}
+	start := time.Now()
+	resp, err := netproto.Call(addr, req, 5*time.Minute)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	printTable(resp.Result)
+	if !remote && resp.Meta != nil {
+		fmt.Printf("\nplan: %s\n", resp.Meta.PlanSignature)
+		fmt.Printf("CL = %.2f min, SL = %.2f min, information value = %.4f (wall %v)\n",
+			resp.Meta.CLMinutes, resp.Meta.SLMinutes, resp.Meta.Value, elapsed.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func printTable(t *relation.Table) {
+	if t == nil {
+		return
+	}
+	widths := make([]int, t.Schema.Arity())
+	for i, c := range t.Schema.Cols {
+		widths[i] = len(c.Name)
+	}
+	rendered := make([][]string, len(t.Rows))
+	for ri, row := range t.Rows {
+		rendered[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			rendered[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	for i, c := range t.Schema.Cols {
+		if i > 0 {
+			fmt.Print("  ")
+		}
+		fmt.Printf("%-*s", widths[i], strings.ToUpper(c.Name))
+	}
+	fmt.Println()
+	for _, row := range rendered {
+		for i, cell := range row {
+			if i > 0 {
+				fmt.Print("  ")
+			}
+			fmt.Printf("%-*s", widths[i], cell)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("(%d rows)\n", t.NumRows())
+}
+
+// runBatch submits a ';'-separated workload for multi-query-optimized
+// execution and prints each member's result and IV accounting.
+func runBatch(addr string, value float64, sql string) error {
+	var queries []netproto.BatchQuery
+	for _, part := range strings.Split(sql, ";") {
+		if q := strings.TrimSpace(part); q != "" {
+			queries = append(queries, netproto.BatchQuery{SQL: q, BusinessValue: value})
+		}
+	}
+	if len(queries) == 0 {
+		return fmt.Errorf("no queries in batch (separate with ';')")
+	}
+	start := time.Now()
+	resp, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindBatch, Batch: queries}, 10*time.Minute)
+	if err != nil {
+		return err
+	}
+	var total float64
+	for i, item := range resp.Batch {
+		fmt.Printf("--- query %d ---\n", i+1)
+		if item.Err != "" {
+			fmt.Printf("ERROR: %s\n", item.Err)
+			continue
+		}
+		printTable(item.Result)
+		fmt.Printf("plan: %s\nCL = %.2f min, SL = %.2f min, IV = %.4f\n",
+			item.Meta.PlanSignature, item.Meta.CLMinutes, item.Meta.SLMinutes, item.Meta.Value)
+		total += item.Meta.Value
+	}
+	fmt.Printf("\nworkload: %d queries, total IV %.4f (wall %v)\n",
+		len(resp.Batch), total, time.Since(start).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,138 @@
+package ivdss_test
+
+import (
+	"fmt"
+	"log"
+
+	"ivdss"
+)
+
+// ExampleInformationValue reproduces the worked numbers from the paper's
+// Figure 4 walkthrough: a report generated from all four base tables has
+// CL = SL = 10, so its value is 0.9^10 × 0.9^10 of the business value.
+func ExampleInformationValue() {
+	rates := ivdss.DiscountRates{CL: 0.1, SL: 0.1}
+	iv := ivdss.InformationValue(1, ivdss.Latencies{CL: 10, SL: 10}, rates)
+	bound := ivdss.ToleratedCL(1, iv, rates)
+	fmt.Printf("IV = %.4f, tolerated CL = %.0f\n", iv, bound)
+	// Output:
+	// IV = 0.1216, tolerated CL = 20
+}
+
+// ExamplePlanner shows the planner choosing between a stale replica, the
+// remote base table, and a deliberately delayed execution.
+func ExamplePlanner() {
+	placement, err := ivdss.NewPlacement(map[ivdss.TableID]ivdss.SiteID{"inventory": 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mgr := ivdss.NewReplicationManager()
+	sched, err := ivdss.PeriodicSchedule(30, 10, 200) // syncs at 10, 40, 70, ...
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := mgr.Register("inventory", sched); err != nil {
+		log.Fatal(err)
+	}
+	catalog, err := ivdss.NewCatalog(placement, mgr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost := &ivdss.CountModel{LocalProcess: 2, PerBaseTable: 4, TransmitFlat: 1}
+	planner, err := ivdss.NewPlanner(cost, ivdss.PlannerConfig{
+		Rates:   ivdss.DiscountRates{CL: 0.01, SL: 0.10},
+		Horizon: 60,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := ivdss.Query{ID: "stock", Tables: []ivdss.TableID{"inventory"}, BusinessValue: 1, SubmitAt: 25}
+	snapshot, err := catalog.Snapshot(query.Tables, query.SubmitAt, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, _, err := planner.Best(query, snapshot, query.SubmitAt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(plan.Signature())
+	// Output:
+	// inventory=replica@40.0 start=40.0
+}
+
+// ExampleAging shows the anti-starvation boost growing superlinearly with
+// queue time.
+func ExampleAging() {
+	aging := ivdss.Aging{Coefficient: 0.01, Exponent: 2}
+	for _, wait := range []ivdss.Duration{0, 5, 10} {
+		fmt.Printf("wait %2.0f → boost %.2f\n", wait, aging.Boost(wait))
+	}
+	// Output:
+	// wait  0 → boost 0.00
+	// wait  5 → boost 0.25
+	// wait 10 → boost 1.00
+}
+
+// ExampleOptimizeOrder runs the genetic workload scheduler on a toy
+// fitness function that rewards reversed order.
+func ExampleOptimizeOrder() {
+	order, fitness, _, err := ivdss.OptimizeOrder(5, func(order []int) (float64, error) {
+		score := 0.0
+		for pos, g := range order {
+			if g == len(order)-1-pos {
+				score++
+			}
+		}
+		return score, nil
+	}, ivdss.GAConfig{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(order, fitness)
+	// Output:
+	// [4 3 2 1 0] 5
+}
+
+// ExampleRunSQL executes a query of the supported SQL subset against
+// in-memory tables.
+func ExampleRunSQL() {
+	orders := ivdss.RelTable{
+		Name: "orders",
+		Schema: ivdss.RelSchema{Cols: []ivdss.RelColumn{
+			{Name: "region", Type: 3}, // string
+			{Name: "total", Type: 2},  // float
+		}},
+	}
+	for _, r := range []struct {
+		region string
+		total  float64
+	}{{"east", 120}, {"west", 80}, {"east", 50}} {
+		orders.Rows = append(orders.Rows, ivdss.RelRow{
+			{T: 3, S: r.region}, {T: 2, F: r.total},
+		})
+	}
+	out, err := ivdss.RunSQL(
+		"SELECT region, sum(total) AS revenue FROM orders GROUP BY region ORDER BY revenue DESC",
+		catalogOf(map[string]*ivdss.RelTable{"orders": &orders}),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, row := range out.Rows {
+		fmt.Println(row[0].S, row[1].F)
+	}
+	// Output:
+	// east 170
+	// west 80
+}
+
+// catalogOf adapts a map to the SQL catalog interface.
+type catalogOf map[string]*ivdss.RelTable
+
+func (c catalogOf) Table(name string) (*ivdss.RelTable, error) {
+	if t, ok := c[name]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("unknown table %q", name)
+}

@@ -1,0 +1,3 @@
+module ivdss
+
+go 1.22

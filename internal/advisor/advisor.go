@@ -1,0 +1,251 @@
+// Package advisor implements the paper's stated future work: "a data
+// placement advisor to recommend table placement and replication
+// strategies to further improve an overall information value".
+//
+// Given a representative workload, a table placement, and the
+// synchronization cadence the replication manager can sustain, the advisor
+// greedily selects which tables to replicate at the DSS: at each step it
+// adds the replica yielding the largest increase in the workload's
+// expected information value, scored by planning every query against a
+// steady-state catalog model (replicas are, in expectation, one sync-mean
+// stale, and the next synchronization is one sync-mean away — both exact
+// for the memoryless exponential cycles the experiments use).
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"ivdss/internal/core"
+	"ivdss/internal/federation"
+	"ivdss/internal/stats"
+)
+
+// Config parameterizes the advisor.
+type Config struct {
+	// Cost estimates computational latency (same model the planner uses).
+	Cost core.CostModel
+	// Rates are the business's discount rates.
+	Rates core.DiscountRates
+	// SyncMean is the mean synchronization period a replica would get.
+	SyncMean core.Duration
+	// Horizon bounds delayed-execution exploration during scoring.
+	// Zero keeps the planner default (unbounded, bounded by the IV bound).
+	Horizon core.Duration
+	// FutureSyncs is how many upcoming synchronizations each sampled
+	// scenario exposes to the planner (default 3).
+	FutureSyncs int
+	// Samples is the number of staleness scenarios drawn per query
+	// (default 16).
+	Samples int
+	// Seed drives the scenario sampling.
+	Seed int64
+}
+
+func (c Config) validate() error {
+	if c.Cost == nil {
+		return fmt.Errorf("advisor: needs a cost model")
+	}
+	if err := c.Rates.Validate(); err != nil {
+		return err
+	}
+	if c.SyncMean <= 0 {
+		return fmt.Errorf("advisor: sync mean %v must be positive", c.SyncMean)
+	}
+	if c.FutureSyncs < 0 {
+		return fmt.Errorf("advisor: negative future sync count")
+	}
+	if c.Samples < 0 {
+		return fmt.Errorf("advisor: negative sample count")
+	}
+	return nil
+}
+
+// Step records one greedy selection.
+type Step struct {
+	Table core.TableID
+	// ExpectedIV is the workload's expected total information value after
+	// adding this replica.
+	ExpectedIV float64
+	// Gain is the improvement over the previous step.
+	Gain float64
+}
+
+// Recommendation is the advisor's output.
+type Recommendation struct {
+	// Replicas to create, in greedy selection order (most valuable first).
+	Replicas []core.TableID
+	// BaselineIV is the workload's expected IV with no replicas at all.
+	BaselineIV float64
+	// Steps traces the greedy selection.
+	Steps []Step
+}
+
+// FinalIV returns the expected workload IV with every recommended replica
+// in place.
+func (r Recommendation) FinalIV() float64 {
+	if len(r.Steps) == 0 {
+		return r.BaselineIV
+	}
+	return r.Steps[len(r.Steps)-1].ExpectedIV
+}
+
+// Advisor scores replication plans for a workload. Construct with New.
+type Advisor struct {
+	cfg     Config
+	planner *core.Planner
+}
+
+// New validates the config and returns an Advisor.
+func New(cfg Config) (*Advisor, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FutureSyncs == 0 {
+		cfg.FutureSyncs = 3
+	}
+	if cfg.Samples == 0 {
+		cfg.Samples = 16
+	}
+	planner, err := core.NewPlanner(cfg.Cost, core.PlannerConfig{
+		Rates:   cfg.Rates,
+		Horizon: cfg.Horizon,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Advisor{cfg: cfg, planner: planner}, nil
+}
+
+// tableScenario builds the planner's view of one replicated table in one
+// sampled scenario. The stream of exponential draws is a deterministic
+// function of (advisor seed, query index, table ID, sample index) only —
+// not of which other tables are replicated — so every candidate replica
+// set is scored against identical staleness realizations (common random
+// numbers).
+func (a *Advisor) tableScenario(id core.TableID, site core.SiteID, now core.Time, qIdx, sample int) core.TableState {
+	h := fnv1a(string(id))
+	src := stats.NewSource(a.cfg.Seed ^ int64(h) ^ (int64(qIdx) << 20) ^ (int64(sample) << 40))
+	age := src.Expo(a.cfg.SyncMean)
+	rs := &core.ReplicaState{LastSync: now - age}
+	// Memoryless cycles: the residual to the next sync is another
+	// exponential draw, independent of the age.
+	next := now + src.Expo(a.cfg.SyncMean)
+	for i := 0; i < a.cfg.FutureSyncs; i++ {
+		rs.NextSyncs = append(rs.NextSyncs, next)
+		next += src.Expo(a.cfg.SyncMean)
+	}
+	return core.TableState{ID: id, Site: site, Replica: rs}
+}
+
+// ExpectedWorkloadIV scores a replication plan: the mean over sampled
+// synchronization scenarios of the information value each query's best
+// plan achieves, summed over the workload (business value included via
+// the IV formula).
+func (a *Advisor) ExpectedWorkloadIV(queries []core.Query, placement *federation.Placement, replicas map[core.TableID]bool) (float64, error) {
+	if placement == nil {
+		return 0, fmt.Errorf("advisor: nil placement")
+	}
+	total := 0.0
+	for qIdx, q := range queries {
+		var qValue float64
+		for sample := 0; sample < a.cfg.Samples; sample++ {
+			states := make([]core.TableState, len(q.Tables))
+			for i, id := range q.Tables {
+				site, err := placement.SiteOf(id)
+				if err != nil {
+					return 0, fmt.Errorf("advisor: query %s: %w", q.ID, err)
+				}
+				if replicas[id] {
+					states[i] = a.tableScenario(id, site, q.SubmitAt, qIdx, sample)
+				} else {
+					states[i] = core.TableState{ID: id, Site: site}
+				}
+			}
+			plan, _, err := a.planner.Best(q, states, q.SubmitAt)
+			if err != nil {
+				return 0, fmt.Errorf("advisor: query %s: %w", q.ID, err)
+			}
+			qValue += plan.Value(a.cfg.Rates)
+		}
+		total += qValue / float64(a.cfg.Samples)
+	}
+	return total, nil
+}
+
+// fnv1a hashes a string (FNV-1a, 64-bit) for deterministic per-table seeds.
+func fnv1a(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// RecommendReplicas greedily selects up to `budget` tables to replicate.
+// Selection stops early when no candidate improves the expected workload
+// value. Candidates are the tables the workload actually touches.
+func (a *Advisor) RecommendReplicas(queries []core.Query, placement *federation.Placement, budget int) (Recommendation, error) {
+	var rec Recommendation
+	if budget < 0 {
+		return rec, fmt.Errorf("advisor: negative budget %d", budget)
+	}
+	if len(queries) == 0 {
+		return rec, fmt.Errorf("advisor: empty workload")
+	}
+	candidateSet := make(map[core.TableID]bool)
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			return rec, err
+		}
+		for _, id := range q.Tables {
+			candidateSet[id] = true
+		}
+	}
+	candidates := make([]core.TableID, 0, len(candidateSet))
+	for id := range candidateSet {
+		candidates = append(candidates, id)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+
+	chosen := make(map[core.TableID]bool)
+	base, err := a.ExpectedWorkloadIV(queries, placement, chosen)
+	if err != nil {
+		return rec, err
+	}
+	rec.BaselineIV = base
+
+	current := base
+	for len(rec.Replicas) < budget {
+		bestTable := core.TableID("")
+		bestIV := current
+		for _, id := range candidates {
+			if chosen[id] {
+				continue
+			}
+			chosen[id] = true
+			iv, err := a.ExpectedWorkloadIV(queries, placement, chosen)
+			delete(chosen, id)
+			if err != nil {
+				return rec, err
+			}
+			if iv > bestIV+1e-12 {
+				bestIV = iv
+				bestTable = id
+			}
+		}
+		if bestTable == "" {
+			break // no remaining candidate helps
+		}
+		chosen[bestTable] = true
+		rec.Replicas = append(rec.Replicas, bestTable)
+		rec.Steps = append(rec.Steps, Step{
+			Table:      bestTable,
+			ExpectedIV: bestIV,
+			Gain:       bestIV - current,
+		})
+		current = bestIV
+	}
+	return rec, nil
+}

@@ -1,0 +1,253 @@
+// Package bench contains the experiment drivers that regenerate every
+// figure of the paper's evaluation section (Figures 5–9) plus the ablation
+// studies called out in DESIGN.md. Each driver is deterministic in its
+// config's seed and returns structured results that cmd/ivqp-bench renders
+// as tables and the root bench_test.go wraps as testing.B benchmarks.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"ivdss/internal/core"
+	"ivdss/internal/federation"
+	"ivdss/internal/replication"
+	"ivdss/internal/scheduler"
+	"ivdss/internal/sim"
+	"ivdss/internal/stats"
+)
+
+// Method names the three approaches the paper compares.
+type Method int
+
+const (
+	// MethodIVQP is the proposed information-value-driven query processor.
+	MethodIVQP Method = iota + 1
+	// MethodFederation executes every query at the remote servers.
+	MethodFederation
+	// MethodWarehouse answers every query from local replicas.
+	MethodWarehouse
+)
+
+// Methods lists the comparison order used in the paper's figures.
+func Methods() []Method { return []Method{MethodIVQP, MethodFederation, MethodWarehouse} }
+
+// String names the method as the paper's legends do.
+func (m Method) String() string {
+	switch m {
+	case MethodIVQP:
+		return "IVQP"
+	case MethodFederation:
+		return "Federation"
+	case MethodWarehouse:
+		return "Data Warehouse"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Table is a rendered experiment result: one figure panel or table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render formats the table as aligned text.
+func (t Table) Render() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// Deployment is one configured system under test: a placement, a
+// replication plan, and the resulting catalog.
+type Deployment struct {
+	Catalog  *federation.Catalog
+	Tables   []core.TableID
+	Replicas []core.TableID
+}
+
+// DeployConfig builds a Deployment.
+type DeployConfig struct {
+	Tables []core.TableID
+	Sites  int
+	Skewed bool
+	// ReplicaCount selects how many tables are replicated locally:
+	// 0 = none (the Federation deployment), -1 = all (the Data Warehouse
+	// deployment), otherwise a random subset of that size (the hybrid).
+	ReplicaCount int
+	// SyncMean is the mean of each table's exponential synchronization
+	// cycle; required whenever replicas exist.
+	SyncMean core.Duration
+	// ScheduleHorizon bounds how far sync schedules are materialized.
+	ScheduleHorizon core.Time
+	// InitialSync prepends a completed synchronization at t=0 so replicas
+	// are usable from the start (the warehouse baseline needs this).
+	InitialSync bool
+	Seed        int64
+}
+
+// BuildDeployment materializes the deployment.
+func BuildDeployment(cfg DeployConfig) (*Deployment, error) {
+	if len(cfg.Tables) == 0 {
+		return nil, fmt.Errorf("bench: deployment needs tables")
+	}
+	if cfg.Sites < 1 {
+		return nil, fmt.Errorf("bench: deployment needs at least one site")
+	}
+	var placement *federation.Placement
+	var err error
+	if cfg.Skewed {
+		placement, err = federation.SkewedPlacement(cfg.Tables, cfg.Sites, cfg.Seed)
+	} else {
+		placement, err = federation.UniformPlacement(cfg.Tables, cfg.Sites, cfg.Seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var replicas []core.TableID
+	switch {
+	case cfg.ReplicaCount == 0:
+	case cfg.ReplicaCount == -1:
+		replicas = append(replicas, cfg.Tables...)
+	default:
+		replicas, err = federation.ChooseReplicas(cfg.Tables, cfg.ReplicaCount, cfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if len(replicas) > 0 && cfg.SyncMean <= 0 {
+		return nil, fmt.Errorf("bench: replicas configured without a sync mean")
+	}
+	horizon := cfg.ScheduleHorizon
+	if horizon <= 0 {
+		horizon = 1e5
+	}
+	mgr, err := newSyncManager(replicas, cfg.SyncMean, horizon, cfg.Seed, cfg.InitialSync)
+	if err != nil {
+		return nil, err
+	}
+	catalog, err := federation.NewCatalog(placement, mgr)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{Catalog: catalog, Tables: cfg.Tables, Replicas: replicas}, nil
+}
+
+// Strategy builds the dispatch strategy for a method over this deployment.
+func (d *Deployment) Strategy(m Method, cost core.CostModel, rates core.DiscountRates, horizon core.Duration) (scheduler.Strategy, error) {
+	switch m {
+	case MethodIVQP:
+		planner, err := core.NewPlanner(cost, core.PlannerConfig{Rates: rates, Horizon: horizon})
+		if err != nil {
+			return nil, err
+		}
+		return &scheduler.IVQPStrategy{Planner: planner, Catalog: d.Catalog, Horizon: horizon}, nil
+	case MethodFederation:
+		return &scheduler.FixedStrategy{Catalog: d.Catalog, Cost: cost, Kind: core.AccessBase}, nil
+	case MethodWarehouse:
+		return &scheduler.FixedStrategy{Catalog: d.Catalog, Cost: cost, Kind: core.AccessReplica, FallbackToBase: true}, nil
+	default:
+		return nil, fmt.Errorf("bench: unknown method %d", int(m))
+	}
+}
+
+// newSyncManager registers exponential synchronization schedules for the
+// given replicas, optionally seeding a completed sync at t=0.
+func newSyncManager(replicas []core.TableID, syncMean core.Duration, horizon core.Time, seed int64, initialSync bool) (*replication.Manager, error) {
+	mgr := replication.NewManager()
+	for i, id := range replicas {
+		sched, err := replication.Exponential(syncMean, seed+100+int64(i), horizon)
+		if err != nil {
+			return nil, err
+		}
+		times := sched.Times
+		if initialSync {
+			times = append([]core.Time{0}, times...)
+		}
+		if err := mgr.Register(id, replication.Schedule{Times: times}); err != nil {
+			return nil, err
+		}
+	}
+	return mgr, nil
+}
+
+// RunStream pushes a query stream through a dispatcher over the deployment
+// and returns the completed outcomes.
+func RunStream(dep *Deployment, strategy scheduler.Strategy, queries []core.Query, rates core.DiscountRates, slots int, aging core.Aging) ([]scheduler.Outcome, error) {
+	s := sim.New()
+	d, err := scheduler.NewDispatcher(s, strategy, rates, slots, aging)
+	if err != nil {
+		return nil, err
+	}
+	d.SubmitAll(queries)
+	s.Run()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	if d.Pending() != 0 {
+		return nil, fmt.Errorf("bench: %d queries never completed", d.Pending())
+	}
+	return d.Outcomes(), nil
+}
+
+// MeanValue averages the information value over outcomes.
+func MeanValue(outcomes []scheduler.Outcome) float64 {
+	vals := make([]float64, len(outcomes))
+	for i, o := range outcomes {
+		vals[i] = o.Value
+	}
+	return stats.Mean(vals)
+}
+
+// MeanLatencies averages CL and SL over outcomes.
+func MeanLatencies(outcomes []scheduler.Outcome) core.Latencies {
+	var lat core.Latencies
+	if len(outcomes) == 0 {
+		return lat
+	}
+	for _, o := range outcomes {
+		lat.CL += o.Latencies.CL
+		lat.SL += o.Latencies.SL
+	}
+	lat.CL /= float64(len(outcomes))
+	lat.SL /= float64(len(outcomes))
+	return lat
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }

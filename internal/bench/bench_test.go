@@ -1,0 +1,477 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"ivdss/internal/core"
+)
+
+func TestMethodString(t *testing.T) {
+	if MethodIVQP.String() != "IVQP" || MethodFederation.String() != "Federation" ||
+		MethodWarehouse.String() != "Data Warehouse" {
+		t.Error("unexpected method names")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{
+		Title:   "T",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"xxxx", "1"}},
+	}
+	out := tbl.Render()
+	if !strings.Contains(out, "T\n") || !strings.Contains(out, "long-column") || !strings.Contains(out, "xxxx") {
+		t.Errorf("render = %q", out)
+	}
+}
+
+func TestBuildDeploymentValidation(t *testing.T) {
+	if _, err := BuildDeployment(DeployConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := BuildDeployment(DeployConfig{Tables: []core.TableID{"a"}, Sites: 0}); err == nil {
+		t.Error("zero sites accepted")
+	}
+	if _, err := BuildDeployment(DeployConfig{Tables: []core.TableID{"a"}, Sites: 1, ReplicaCount: 1}); err == nil {
+		t.Error("replicas without sync mean accepted")
+	}
+	dep, err := BuildDeployment(DeployConfig{
+		Tables: []core.TableID{"a", "b", "c"}, Sites: 2, ReplicaCount: 2,
+		SyncMean: 5, ScheduleHorizon: 100, InitialSync: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dep.Replicas) != 2 {
+		t.Errorf("replicas = %v", dep.Replicas)
+	}
+	all, err := BuildDeployment(DeployConfig{
+		Tables: []core.TableID{"a", "b"}, Sites: 1, ReplicaCount: -1, SyncMean: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.Replicas) != 2 {
+		t.Errorf("ReplicaCount -1 gave %v", all.Replicas)
+	}
+}
+
+func TestDeploymentStrategyUnknownMethod(t *testing.T) {
+	dep, err := BuildDeployment(DeployConfig{Tables: []core.TableID{"a"}, Sites: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.Strategy(Method(99), nil, core.DiscountRates{}, 0); err == nil {
+		t.Error("unknown method accepted")
+	}
+}
+
+func TestTPCHWorld(t *testing.T) {
+	w, err := NewTPCHWorld(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Tables) != 12 {
+		t.Errorf("tables = %d, want 12 (8 − lineitem + 5 partitions)", len(w.Tables))
+	}
+	if len(w.QueryTables) != 22 {
+		t.Errorf("templates = %d", len(w.QueryTables))
+	}
+	// Q1 reads only lineitem → expands to exactly the 5 partitions.
+	if got := len(w.QueryTables["Q1"]); got != 5 {
+		t.Errorf("Q1 expanded tables = %d, want 5", got)
+	}
+	queries, weights, err := w.Stream(40, 10, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 40 {
+		t.Fatalf("stream = %d queries", len(queries))
+	}
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s: %v", q.ID, err)
+		}
+		if weights[q.ID] <= 0 {
+			t.Errorf("%s has no weight", q.ID)
+		}
+	}
+	if _, _, err := w.Stream(0, 10, 3); err == nil {
+		t.Error("zero-length stream accepted")
+	}
+	if _, err := w.QueryFor("nope", 0, 0); err == nil {
+		t.Error("unknown template accepted")
+	}
+}
+
+// TestFig5Shape asserts the paper's headline claims on the quick config:
+// IVQP is never below Federation or Data Warehouse, and the warehouse
+// improves as synchronization accelerates.
+func TestFig5Shape(t *testing.T) {
+	res, err := RunFig5(QuickFig5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) == 0 {
+		t.Fatal("no cells")
+	}
+	for _, c := range res.Cells {
+		if c.Method != MethodIVQP {
+			continue
+		}
+		for _, m := range []Method{MethodFederation, MethodWarehouse} {
+			v, ok := res.Get(c.Ratio, c.Lambda, m)
+			if !ok {
+				t.Fatalf("missing cell %s %s %s", c.Ratio, c.Lambda, m)
+			}
+			if c.MeanIV < v-1e-9 {
+				t.Errorf("%s %s: IVQP %.4f below %s %.4f", c.Ratio, c.Lambda, c.MeanIV, m, v)
+			}
+		}
+	}
+	slow, _ := res.Get("1:0.1", "λsl=λcl=.01", MethodWarehouse)
+	fast, _ := res.Get("1:20", "λsl=λcl=.01", MethodWarehouse)
+	if fast <= slow {
+		t.Errorf("warehouse did not improve with sync rate: %.4f at 1:0.1 vs %.4f at 1:20", slow, fast)
+	}
+}
+
+// TestFig6Shape: Federation never has smaller CL than the warehouse, and
+// IVQP sits between them (inclusive).
+func TestFig6Shape(t *testing.T) {
+	cfg := DefaultFig6Config()
+	cfg.NQueries = 6
+	res, err := RunFig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 6 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		fed, dw, ivqp := p.Values[MethodFederation], p.Values[MethodWarehouse], p.Values[MethodIVQP]
+		if fed < dw-1e-9 {
+			t.Errorf("%s: federation CL %.2f below warehouse %.2f", p.QueryID, fed, dw)
+		}
+		if ivqp < dw-1e-9 || ivqp > fed+1e-9 {
+			t.Errorf("%s: IVQP CL %.2f outside [%.2f, %.2f]", p.QueryID, ivqp, dw, fed)
+		}
+	}
+}
+
+// TestFig7Shape: IVQP's SL never exceeds the warehouse's, and warehouse SL
+// shrinks as sync accelerates.
+func TestFig7Shape(t *testing.T) {
+	cfg := DefaultFig7Config()
+	cfg.NQueries = 6
+	cfg.RatioFactors = []float64{1, 20}
+	res, err := RunFig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 2 {
+		t.Fatalf("panels = %d", len(res.Panels))
+	}
+	for _, panel := range res.Panels {
+		for _, p := range panel.Points {
+			if p.Values[MethodIVQP] > p.Values[MethodWarehouse]+1e-9 {
+				t.Errorf("%s %s: IVQP SL %.2f above warehouse %.2f",
+					panel.Ratio, p.QueryID, p.Values[MethodIVQP], p.Values[MethodWarehouse])
+			}
+		}
+	}
+	var slow, fast float64
+	for _, p := range res.Panels[0].Points {
+		slow += p.Values[MethodWarehouse]
+	}
+	for _, p := range res.Panels[1].Points {
+		fast += p.Values[MethodWarehouse]
+	}
+	if fast >= slow {
+		t.Errorf("warehouse SL did not shrink with sync rate: %.1f at 1:1 vs %.1f at 1:20", slow, fast)
+	}
+}
+
+// TestFig8Shape: IVQP dominates both baselines, and under uniform
+// placement IVQP's value decays as sites multiply while the skewed curve
+// moves less.
+func TestFig8Shape(t *testing.T) {
+	res, err := RunFig8(QuickFig8Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 2 {
+		t.Fatalf("series = %d", len(res.Series))
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			ivqp := p.Values[MethodIVQP]
+			if ivqp < p.Values[MethodFederation]-1e-9 || ivqp < p.Values[MethodWarehouse]-1e-9 {
+				t.Errorf("%s sites=%d: IVQP %.4f not dominant (%v)", s.Distribution, p.Sites, ivqp, p.Values)
+			}
+		}
+	}
+	uniFirst, _ := res.Get("uniform", 2, MethodIVQP)
+	uniLast, _ := res.Get("uniform", 22, MethodIVQP)
+	skewFirst, _ := res.Get("skewed", 2, MethodIVQP)
+	skewLast, _ := res.Get("skewed", 22, MethodIVQP)
+	if uniLast >= uniFirst {
+		t.Errorf("uniform IVQP did not decay with sites: %.4f → %.4f", uniFirst, uniLast)
+	}
+	if (skewFirst - skewLast) > (uniFirst - uniLast) {
+		t.Errorf("skewed decay %.4f exceeds uniform decay %.4f",
+			skewFirst-skewLast, uniFirst-uniLast)
+	}
+}
+
+// TestFig9Shape: MQO never loses to FIFO, and the gain at 50% overlap
+// exceeds the gain at 10%.
+func TestFig9Shape(t *testing.T) {
+	cfg := QuickFig9Config()
+	resA, err := RunFig9a(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resA.Overlap) != 2 {
+		t.Fatalf("overlap points = %d", len(resA.Overlap))
+	}
+	for _, p := range resA.Overlap {
+		if p.MQO < p.Without-1e-9 {
+			t.Errorf("overlap %.0f%%: MQO %.4f below FIFO %.4f", p.X, p.MQO, p.Without)
+		}
+	}
+	if gainPercent(resA.Overlap[1]) < gainPercent(resA.Overlap[0]) {
+		t.Errorf("gain did not grow with overlap: %.1f%% → %.1f%%",
+			gainPercent(resA.Overlap[0]), gainPercent(resA.Overlap[1]))
+	}
+
+	resB, err := RunFig9b(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range resB.Counts {
+		if p.MQO < p.Without-1e-9 {
+			t.Errorf("n=%.0f: MQO %.4f below FIFO %.4f", p.X, p.MQO, p.Without)
+		}
+	}
+}
+
+// TestAblationSearchShape: scatter-gather evaluates the fewest plans and
+// both timeline searches stay within a hair of the exhaustive optimum.
+func TestAblationSearchShape(t *testing.T) {
+	cfg := DefaultAblationSearchConfig()
+	cfg.Scenarios = 60
+	cfg.MaxTables = 5
+	res, err := RunAblationSearch(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	byMode := map[core.SearchMode]AblationSearchRow{}
+	for _, r := range res.Rows {
+		byMode[r.Mode] = r
+	}
+	if byMode[core.ScatterGather].MeanPlans >= byMode[core.Exhaustive].MeanPlans {
+		t.Errorf("scatter-gather evaluated %.1f plans, exhaustive %.1f",
+			byMode[core.ScatterGather].MeanPlans, byMode[core.Exhaustive].MeanPlans)
+	}
+	// Count-based cost: prefix pruning is exact, full timeline always is.
+	for _, mode := range []core.SearchMode{core.ScatterGather, core.ScatterGatherFull} {
+		if r := byMode[mode].MeanValueRatio; r < 1-1e-9 || r > 1+1e-9 {
+			t.Errorf("%v value ratio = %v, want 1", mode, r)
+		}
+	}
+}
+
+func TestAblationMQOShape(t *testing.T) {
+	cfg := DefaultAblationMQOConfig()
+	cfg.WorkloadSize = 5
+	res, err := RunAblationMQO(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, r := range res.Rows {
+		vals[r.Strategy] = r.TotalValue
+	}
+	if vals["GA"] < vals["FIFO"]-1e-9 {
+		t.Errorf("GA %.4f below FIFO %.4f", vals["GA"], vals["FIFO"])
+	}
+	if vals["GA"] > vals["brute force"]+1e-9 {
+		t.Errorf("GA %.4f above brute force optimum %.4f", vals["GA"], vals["brute force"])
+	}
+	if vals["random restarts"] > vals["brute force"]+1e-9 {
+		t.Errorf("random restarts exceeded brute force")
+	}
+	if _, err := RunAblationMQO(AblationMQOConfig{WorkloadSize: 20}); err == nil {
+		t.Error("oversized brute-force workload accepted")
+	}
+}
+
+func TestAblationAgingShape(t *testing.T) {
+	cfg := DefaultAblationAgingConfig()
+	cfg.NQueries = 40
+	res, err := RunAblationAging(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	var off, on AblationAgingRow
+	for _, r := range res.Rows {
+		if r.Policy == "aging" {
+			on = r
+		} else {
+			off = r
+		}
+	}
+	if on.MaxWait >= off.MaxWait {
+		t.Errorf("aging max wait %.1f not below no-aging %.1f", on.MaxWait, off.MaxWait)
+	}
+}
+
+func TestRenderAllResults(t *testing.T) {
+	// Smoke-test every Tables() renderer on tiny runs.
+	fig5, err := RunFig5(QuickFig5Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(fig5.Tables()); n != 2 {
+		t.Errorf("fig5 tables = %d", n)
+	}
+	cfg9 := QuickFig9Config()
+	r9a, err := RunFig9a(cfg9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r9b, err := RunFig9b(cfg9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r9a.Tables()) != 1 || len(r9b.Tables()) != 1 {
+		t.Error("fig9 tables missing")
+	}
+	sr, err := RunAblationSearch(AblationSearchConfig{Scenarios: 10, MaxTables: 3, SyncsPerTable: 2, Rates: core.DiscountRates{CL: .05, SL: .05}, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Tables()) != 1 {
+		t.Error("search ablation table missing")
+	}
+}
+
+// TestAdvisorShape: the advisor's plan must beat no replicas and the mean
+// random plan in the independent dispatcher simulation.
+func TestAdvisorShape(t *testing.T) {
+	cfg := DefaultAdvisorConfig()
+	cfg.NQueries = 40
+	cfg.RandomTrials = 4
+	res, err := RunAdvisor(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]float64{}
+	for _, row := range res.Rows {
+		vals[row.Plan] = row.MeanIV
+	}
+	if vals["advisor"] <= vals["no replicas"] {
+		t.Errorf("advisor %.4f not above no-replicas %.4f", vals["advisor"], vals["no replicas"])
+	}
+	if vals["advisor"] < res.RandomMean {
+		t.Errorf("advisor %.4f below mean random plan %.4f", vals["advisor"], res.RandomMean)
+	}
+	if len(res.Tables()) != 1 {
+		t.Error("advisor table missing")
+	}
+}
+
+func TestTablesSweepShape(t *testing.T) {
+	cfg := DefaultTablesSweepConfig()
+	cfg.TableCounts = []int{10, 100}
+	cfg.NQueries = 25
+	res, err := RunTablesSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		ivqp := p.Values[MethodIVQP]
+		if ivqp < p.Values[MethodFederation]-1e-9 || ivqp < p.Values[MethodWarehouse]-1e-9 {
+			t.Errorf("n=%d: IVQP %.4f not dominant (%v)", p.Tables, ivqp, p.Values)
+		}
+	}
+	if len(res.Tables()) != 1 {
+		t.Error("table missing")
+	}
+	bad := cfg
+	bad.TableCounts = []int{5}
+	if _, err := RunTablesSweep(bad); err == nil {
+		t.Error("schema smaller than query footprint accepted")
+	}
+}
+
+// TestFig5DominanceAcrossSeeds: the headline claim is not an artifact of
+// one random draw.
+func TestFig5DominanceAcrossSeeds(t *testing.T) {
+	for _, seed := range []int64{2, 3, 5} {
+		cfg := QuickFig5Config()
+		cfg.Seed = seed
+		res, err := RunFig5(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res.Cells {
+			if c.Method != MethodIVQP {
+				continue
+			}
+			for _, m := range []Method{MethodFederation, MethodWarehouse} {
+				v, _ := res.Get(c.Ratio, c.Lambda, m)
+				if c.MeanIV < v-1e-9 {
+					t.Errorf("seed %d %s %s: IVQP %.4f below %s %.4f", seed, c.Ratio, c.Lambda, c.MeanIV, m, v)
+				}
+			}
+		}
+	}
+}
+
+// TestExperimentsDeterministic: identical configs reproduce identical
+// results bit for bit — the property EXPERIMENTS.md's numbers rely on.
+func TestExperimentsDeterministic(t *testing.T) {
+	cfg := QuickFig5Config()
+	a, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunFig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell counts differ")
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs: %+v vs %+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+	cfg9 := QuickFig9Config()
+	ra, err := RunFig9a(cfg9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunFig9a(cfg9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ra.Overlap {
+		if ra.Overlap[i] != rb.Overlap[i] {
+			t.Fatalf("fig9a point %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"ivdss/internal/core"
+	"ivdss/internal/costmodel"
+	"ivdss/internal/stats"
+	"ivdss/internal/tpch"
+)
+
+// TPCHWorld is the Section 4.2 experiment universe: the TPC-H schema with
+// LineItem split five ways (12 tables), per-template table sets expanded
+// over the partitions, and calibrated per-template cost weights.
+type TPCHWorld struct {
+	Tables      []core.TableID
+	QueryTables map[string][]core.TableID
+	Weights     map[string]float64
+	Partitions  int
+}
+
+// NewTPCHWorld generates the data set (for weight calibration) and derives
+// the partitioned planning universe.
+func NewTPCHWorld(scale float64, seed int64) (*TPCHWorld, error) {
+	catalog, err := tpch.Generate(tpch.Config{Scale: scale, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	weights, err := tpch.Weights(catalog)
+	if err != nil {
+		return nil, err
+	}
+	const partitions = 5
+	w := &TPCHWorld{
+		QueryTables: make(map[string][]core.TableID, 22),
+		Weights:     weights,
+		Partitions:  partitions,
+	}
+	for _, name := range tpch.PartitionedTableNames(partitions) {
+		w.Tables = append(w.Tables, core.TableID(name))
+	}
+	for _, q := range tpch.Queries() {
+		tables, err := q.Tables()
+		if err != nil {
+			return nil, err
+		}
+		expanded := tpch.ExpandPartitions(tables, partitions)
+		ids := make([]core.TableID, len(expanded))
+		for i, t := range expanded {
+			ids[i] = core.TableID(t)
+		}
+		w.QueryTables[q.ID] = ids
+	}
+	return w, nil
+}
+
+// TemplateIDs returns the 22 template IDs in benchmark order.
+func (w *TPCHWorld) TemplateIDs() []string {
+	ids := make([]string, 0, len(w.QueryTables))
+	for id := range w.QueryTables {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if len(ids[i]) != len(ids[j]) {
+			return len(ids[i]) < len(ids[j])
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// QueryFor instantiates one template as a planner query.
+func (w *TPCHWorld) QueryFor(template string, instance int, at core.Time) (core.Query, error) {
+	tables, ok := w.QueryTables[template]
+	if !ok {
+		return core.Query{}, fmt.Errorf("bench: unknown TPC-H template %s", template)
+	}
+	return core.Query{
+		ID:            fmt.Sprintf("%s#%d", template, instance),
+		Tables:        tables,
+		BusinessValue: 1,
+		SubmitAt:      at,
+	}, nil
+}
+
+// Stream samples n arrivals from the 22 templates with exponential
+// interarrival gaps, returning the queries plus a weight map keyed by the
+// instantiated query IDs (for the cost model).
+func (w *TPCHWorld) Stream(n int, meanInterarrival core.Duration, seed int64) ([]core.Query, map[string]float64, error) {
+	if n <= 0 || meanInterarrival <= 0 {
+		return nil, nil, fmt.Errorf("bench: stream needs positive n and interarrival, got %d and %v", n, meanInterarrival)
+	}
+	src := stats.NewSource(seed)
+	templates := w.TemplateIDs()
+	queries := make([]core.Query, 0, n)
+	weights := make(map[string]float64, n)
+	at := core.Time(0)
+	for i := 0; i < n; i++ {
+		at += src.Expo(meanInterarrival)
+		tmpl := templates[src.Intn(len(templates))]
+		q, err := w.QueryFor(tmpl, i, at)
+		if err != nil {
+			return nil, nil, err
+		}
+		queries = append(queries, q)
+		weights[q.ID] = w.Weights[tmpl]
+	}
+	return queries, weights, nil
+}
+
+// CostModel builds the count-based cost model for this world with the
+// given per-query weights (use the Stream weights for streams, or
+// w.Weights for per-template isolated runs).
+func (w *TPCHWorld) CostModel(weights map[string]float64) core.CostModel {
+	return &costmodel.CountModel{
+		LocalProcess: 2,
+		PerBaseTable: 3,
+		TransmitFlat: 2,
+		QueryWeights: weights,
+	}
+}

@@ -1,0 +1,66 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Aging is the anti-starvation adjustment from Section 3.3 of the paper.
+//
+// The raw IV formula favours fresh arrivals: because exponential discounting
+// flattens out, the marginal penalty for delaying an already-old query is
+// smaller than for delaying a new one, so under load a value-maximizing
+// scheduler can starve long-queued queries. Aging counteracts this by
+// adding to the scheduler-visible value a term that grows superlinearly
+// with queue time — by design faster than the (1−λ)^t discounts can erode
+// value — so every query's effective priority eventually dominates.
+//
+// The boost only influences scheduling decisions; reported information
+// values remain the undoctored formula.
+type Aging struct {
+	// Coefficient scales the boost; zero disables aging.
+	Coefficient float64
+	// Exponent is the power applied to queue time. It must be > 1 so the
+	// boost is superlinear and eventually outgrows exponential decay. The
+	// zero value selects DefaultAgingExponent.
+	Exponent float64
+}
+
+// DefaultAgingExponent is used when Aging.Exponent is left zero.
+const DefaultAgingExponent = 1.5
+
+// Validate reports whether the policy is well formed.
+func (a Aging) Validate() error {
+	if a.Coefficient < 0 || math.IsNaN(a.Coefficient) {
+		return fmt.Errorf("core: aging coefficient %v must be non-negative", a.Coefficient)
+	}
+	if a.Exponent != 0 && a.Exponent <= 1 {
+		return fmt.Errorf("core: aging exponent %v must exceed 1 (or be 0 for the default)", a.Exponent)
+	}
+	return nil
+}
+
+// Enabled reports whether the policy changes anything.
+func (a Aging) Enabled() bool { return a.Coefficient > 0 }
+
+// Boost returns the additive priority boost for a query that has been
+// queued for `wait` time units. The boost is deliberately independent of
+// the query's business value: if it scaled with value, a cheap report
+// could still be passed over forever by a stream of valuable ones, which
+// is exactly the starvation the rule exists to prevent.
+func (a Aging) Boost(wait Duration) float64 {
+	if !a.Enabled() || wait <= 0 {
+		return 0
+	}
+	exp := a.Exponent
+	if exp == 0 {
+		exp = DefaultAgingExponent
+	}
+	return a.Coefficient * math.Pow(wait, exp)
+}
+
+// EffectiveValue is the scheduler-visible value: information value plus the
+// aging boost for the time the query has already waited.
+func (a Aging) EffectiveValue(iv float64, wait Duration) float64 {
+	return iv + a.Boost(wait)
+}

@@ -1,0 +1,140 @@
+// Package core implements the paper's primary contribution: the information
+// value (IV) model and information-value-driven query plan selection (IVQP).
+//
+// A decision-support report is assigned a business value; its information
+// value is that business value discounted by two latencies,
+//
+//	IV = BusinessValue × (1−λCL)^CL × (1−λSL)^SL
+//
+// where CL is the computational latency (queuing + processing + result
+// transmission) and SL is the synchronization latency (from the oldest
+// freshness timestamp among accessed tables to result receipt). The planner
+// in this package searches the plan space — per-table choice of remote base
+// table, current local replica, or a future replica reached by delaying
+// execution past a scheduled synchronization — for the plan with maximal IV.
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a point on the experiment clock, in minutes. The planner and the
+// discrete event simulator share one virtual clock; live deployments adapt
+// wall-clock time at the boundary with TimeOf.
+type Time = float64
+
+// Duration is a span of experiment time, in minutes.
+type Duration = float64
+
+// TimeOf converts a wall-clock instant to experiment time, measured in
+// minutes since the supplied epoch. It is the adapter used by the live
+// servers, which run on time.Time.
+func TimeOf(t, epoch time.Time) Time {
+	return t.Sub(epoch).Minutes()
+}
+
+// WallClockOf converts experiment time back to a wall-clock instant.
+func WallClockOf(t Time, epoch time.Time) time.Time {
+	return epoch.Add(time.Duration(t * float64(time.Minute)))
+}
+
+// TableID names a base table in the federation catalog.
+type TableID string
+
+// SiteID identifies a server. Site 0 is conventionally the local
+// federation/DSS server; remote sites are numbered from 1.
+type SiteID int
+
+// LocalSite is the DSS (federation) server itself.
+const LocalSite SiteID = 0
+
+// Query is a decision-support query as the planner sees it: the set of base
+// tables it touches, the business value of its report, and its submission
+// time. The relational text of the query lives elsewhere (internal/sqlmini);
+// the IV planner only needs this shape.
+type Query struct {
+	ID            string
+	Tables        []TableID
+	BusinessValue float64
+	SubmitAt      Time
+}
+
+// Validate reports whether the query is well formed.
+func (q Query) Validate() error {
+	if q.ID == "" {
+		return fmt.Errorf("core: query has empty ID")
+	}
+	if len(q.Tables) == 0 {
+		return fmt.Errorf("core: query %s touches no tables", q.ID)
+	}
+	seen := make(map[TableID]bool, len(q.Tables))
+	for _, t := range q.Tables {
+		if seen[t] {
+			return fmt.Errorf("core: query %s lists table %s twice", q.ID, t)
+		}
+		seen[t] = true
+	}
+	if q.BusinessValue < 0 || math.IsNaN(q.BusinessValue) || math.IsInf(q.BusinessValue, 0) {
+		return fmt.Errorf("core: query %s has invalid business value %v", q.ID, q.BusinessValue)
+	}
+	return nil
+}
+
+// DiscountRates carries the two per-minute discount rates from the IV
+// formula: λCL for computational latency and λSL for synchronization
+// latency. Both must lie in [0, 1).
+type DiscountRates struct {
+	CL float64 // λCL
+	SL float64 // λSL
+}
+
+// Validate reports whether both rates are usable discount factors.
+func (r DiscountRates) Validate() error {
+	for _, v := range []struct {
+		name string
+		rate float64
+	}{{"λCL", r.CL}, {"λSL", r.SL}} {
+		if v.rate < 0 || v.rate >= 1 || math.IsNaN(v.rate) {
+			return fmt.Errorf("core: discount rate %s = %v outside [0, 1)", v.name, v.rate)
+		}
+	}
+	return nil
+}
+
+// Latencies are the two observed (or estimated) latencies of one report.
+type Latencies struct {
+	CL Duration // computational latency: queuing + processing + transmission
+	SL Duration // synchronization latency: result time − oldest freshness
+}
+
+// InformationValue computes BusinessValue × (1−λCL)^CL × (1−λSL)^SL — the
+// paper's central formula. Negative latencies are clamped to zero: a report
+// cannot gain value from the future.
+func InformationValue(businessValue float64, lat Latencies, r DiscountRates) float64 {
+	cl := math.Max(lat.CL, 0)
+	sl := math.Max(lat.SL, 0)
+	return businessValue * math.Pow(1-r.CL, cl) * math.Pow(1-r.SL, sl)
+}
+
+// ToleratedCL returns the largest computational latency b such that a report
+// with zero synchronization latency still reaches at least the target value:
+// BusinessValue × (1−λCL)^b ≥ target. This is the bound that limits the
+// scatter-and-gather search (Section 3.1 of the paper): once a candidate
+// with value `target` is in hand, no plan finishing more than b after
+// submission can beat it. It returns +Inf when λCL is zero (no decay) and 0
+// when the target already equals or exceeds the full business value.
+func ToleratedCL(businessValue, target float64, r DiscountRates) Duration {
+	if target <= 0 {
+		return math.Inf(1)
+	}
+	if target >= businessValue {
+		return 0
+	}
+	if r.CL == 0 {
+		return math.Inf(1)
+	}
+	// (1-λCL)^b = target/bv  ⇒  b = ln(target/bv) / ln(1-λCL).
+	return math.Log(target/businessValue) / math.Log(1-r.CL)
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"testing"
+)
+
+// The tests in this file make the paper's illustrative figures (1–3)
+// executable: each encodes the scenario the figure draws and asserts the
+// trade-off the paper narrates.
+
+// TestFigure1PlanSelection encodes Figure 1: a query runnable at the
+// remote servers (plan 1: longer CL, SL equal to CL) or at the local
+// server on replicas (plan 2: short CL, long SL). "If the discount rate of
+// computational latency λCL is smaller than the discount rate of
+// synchronization latency λSL, plan 1 may achieve a better information
+// value than plan 2 [and vice versa]."
+func TestFigure1PlanSelection(t *testing.T) {
+	q := Query{ID: "Q1", Tables: []TableID{"T1", "T2"}, BusinessValue: 1, SubmitAt: 100}
+	// Replicas synchronized 20 minutes ago.
+	remote := Plan{
+		Query: q,
+		Access: []TableAccess{
+			{Table: "T1", Site: 1, Kind: AccessBase},
+			{Table: "T2", Site: 2, Kind: AccessBase},
+		},
+		Start: 100,
+		Cost:  CostEstimate{Process: 10, Transmit: 2},
+	}
+	local := Plan{
+		Query: q,
+		Access: []TableAccess{
+			{Table: "T1", Kind: AccessReplica, Freshness: 80},
+			{Table: "T2", Kind: AccessReplica, Freshness: 80},
+		},
+		Start: 100,
+		Cost:  CostEstimate{Process: 3},
+	}
+	// Sanity: the latency structure the figure draws.
+	if lr := remote.Latencies(); lr.CL != lr.SL {
+		t.Fatalf("remote plan should have SL == CL, got %+v", lr)
+	}
+	ll := local.Latencies()
+	if ll.CL >= remote.Latencies().CL {
+		t.Fatalf("local plan should be faster")
+	}
+	if ll.SL <= remote.Latencies().SL {
+		t.Fatalf("local plan should be staler")
+	}
+
+	clCheap := DiscountRates{CL: .01, SL: .10} // λCL < λSL → fresh remote wins
+	if remote.Value(clCheap) <= local.Value(clCheap) {
+		t.Errorf("λCL < λSL: remote %v should beat local %v",
+			remote.Value(clCheap), local.Value(clCheap))
+	}
+	slCheap := DiscountRates{CL: .10, SL: .01} // λCL > λSL → fast local wins
+	if local.Value(slCheap) <= remote.Value(slCheap) {
+		t.Errorf("λCL > λSL: local %v should beat remote %v",
+			local.Value(slCheap), remote.Value(slCheap))
+	}
+}
+
+// TestFigure2DelayedExecution encodes Figure 2: a query issued between two
+// synchronization cycles can either run immediately on the current replica
+// or delay until the next synchronization completes. "If the discount rate
+// of synchronization latency is greater than that of computational
+// latency, such delayed plan is probable to generate a greater information
+// value than executing the query immediately."
+func TestFigure2DelayedExecution(t *testing.T) {
+	q := Query{ID: "Q2", Tables: []TableID{"T1"}, BusinessValue: 1, SubmitAt: 50}
+	immediate := Plan{
+		Query:  q,
+		Access: []TableAccess{{Table: "T1", Kind: AccessReplica, Freshness: 30}},
+		Start:  50,
+		Cost:   CostEstimate{Process: 2},
+	}
+	delayed := Plan{
+		Query:  q,
+		Access: []TableAccess{{Table: "T1", Kind: AccessReplica, Freshness: 56}},
+		Start:  56,
+		Cost:   CostEstimate{Process: 2},
+	}
+	di, dd := immediate.Latencies(), delayed.Latencies()
+	if dd.CL <= di.CL {
+		t.Fatalf("delaying must add CL: %v vs %v", dd.CL, di.CL)
+	}
+	if dd.SL >= di.SL {
+		t.Fatalf("delaying must cut SL: %v vs %v", dd.SL, di.SL)
+	}
+	slHeavy := DiscountRates{CL: .01, SL: .10}
+	if delayed.Value(slHeavy) <= immediate.Value(slHeavy) {
+		t.Errorf("λSL > λCL: delayed %v should beat immediate %v",
+			delayed.Value(slHeavy), immediate.Value(slHeavy))
+	}
+	clHeavy := DiscountRates{CL: .10, SL: .01}
+	if immediate.Value(clHeavy) <= delayed.Value(clHeavy) {
+		t.Errorf("λCL > λSL: immediate %v should beat delayed %v",
+			immediate.Value(clHeavy), delayed.Value(clHeavy))
+	}
+}
+
+// TestFigure3PlanExploration encodes Figure 3: two tables T1 and T2 with
+// replicas R1 and R2 on different cycles. At submission (t1) four
+// immediate plans exist ({R1,R2}, {R1,T2}, {T1,R2}, {T1,T2}); waiting for
+// R1's next synchronization (t2) adds two more; the paper stops the
+// exploration there because "any plan based [on] replicas with time stamps
+// newer than [that] will generate an information value less than plans 1
+// to 8" — which is exactly what the search bound enforces.
+func TestFigure3PlanExploration(t *testing.T) {
+	// R1 synchronizes frequently, R2 slowly (as drawn).
+	states := []TableState{
+		{ID: "T1", Site: 1, Replica: &ReplicaState{LastSync: 90, NextSyncs: []Time{103, 106, 109}}},
+		{ID: "T2", Site: 2, Replica: &ReplicaState{LastSync: 70, NextSyncs: []Time{130}}},
+	}
+	q := Query{ID: "Q", Tables: []TableID{"T1", "T2"}, BusinessValue: 1, SubmitAt: 100}
+	cost := countCost{local: 2, perBase: 4}
+	rates := DiscountRates{CL: .05, SL: .05}
+
+	sg := mustPlanner(t, cost, PlannerConfig{Rates: rates, Mode: ScatterGatherFull})
+	best, stats, err := sg.Best(q, states, q.SubmitAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The timeline must not run past the bound: with λ=.05 the all-base
+	// seed (CL=SL=10) tolerates ~27 extra minutes, so t=130 (R2's next
+	// sync) is within reach but later R1-only refreshes add nothing and
+	// the search must stay finite and small.
+	if stats.PlansEvaluated > 40 {
+		t.Errorf("explored %d plans; the figure's pruning should keep this small", stats.PlansEvaluated)
+	}
+	ex := mustPlanner(t, cost, PlannerConfig{Rates: rates, Mode: Exhaustive})
+	ref, _, err := ex.Best(q, states, q.SubmitAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value(rates) < ref.Value(rates)-1e-9 {
+		t.Errorf("bounded exploration missed the optimum: %v vs %v", best.Value(rates), ref.Value(rates))
+	}
+}
+
+// TestFigure3InferiorCombinationsPruned: the paper notes that "{R1, R2'}
+// is inferior to {R1', R2'} regardless of how values of the discount rates
+// SL and CL are configured" — using an older version of a replica when a
+// newer one is available at the same instant can never help.
+func TestFigure3InferiorCombinationsPruned(t *testing.T) {
+	q := Query{ID: "Q", Tables: []TableID{"T1", "T2"}, BusinessValue: 1, SubmitAt: 100}
+	newer := Plan{
+		Query: q,
+		Access: []TableAccess{
+			{Table: "T1", Kind: AccessReplica, Freshness: 95},
+			{Table: "T2", Kind: AccessReplica, Freshness: 90},
+		},
+		Start: 100,
+		Cost:  CostEstimate{Process: 2},
+	}
+	older := newer
+	older.Access = []TableAccess{
+		{Table: "T1", Kind: AccessReplica, Freshness: 80}, // stale version
+		{Table: "T2", Kind: AccessReplica, Freshness: 90},
+	}
+	for _, rates := range []DiscountRates{
+		{CL: .01, SL: .01}, {CL: .2, SL: .01}, {CL: .01, SL: .2}, {CL: .1, SL: .1},
+	} {
+		if older.Value(rates) > newer.Value(rates)+1e-12 {
+			t.Errorf("rates %+v: older replica version beat newer", rates)
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// AccessKind says where a plan reads one table from.
+type AccessKind int
+
+const (
+	// AccessBase reads the authoritative base table at its remote site.
+	AccessBase AccessKind = iota + 1
+	// AccessReplica reads a synchronized replica at the local DSS server.
+	// A "future replica" is an AccessReplica whose Freshness lies after the
+	// query's submission time: the plan must delay its start until then.
+	AccessReplica
+)
+
+// String returns a short human-readable name for the access kind.
+func (k AccessKind) String() string {
+	switch k {
+	case AccessBase:
+		return "base"
+	case AccessReplica:
+		return "replica"
+	default:
+		return fmt.Sprintf("AccessKind(%d)", int(k))
+	}
+}
+
+// TableAccess is one table-level decision inside a plan.
+type TableAccess struct {
+	Table TableID
+	Site  SiteID     // site holding the base table
+	Kind  AccessKind // base vs (possibly future) replica
+	// Freshness is the synchronization-completion timestamp of the chosen
+	// replica version. It is meaningful only for AccessReplica; base-table
+	// freshness is the moment processing starts and is derived during plan
+	// evaluation.
+	Freshness Time
+}
+
+// CostEstimate decomposes a plan's computational latency the way the paper
+// defines it: queuing time, query processing time, and result transmission
+// time (the last is nonzero only when remote servers participate).
+type CostEstimate struct {
+	Queue    Duration
+	Process  Duration
+	Transmit Duration
+}
+
+// Total returns the summed computational latency of the estimate.
+func (c CostEstimate) Total() Duration { return c.Queue + c.Process + c.Transmit }
+
+// CostModel estimates the computational-latency components of executing a
+// query with a particular set of table accesses starting at a given time.
+// Implementations live in internal/costmodel; core defines the interface it
+// consumes. Estimates must be non-negative and deterministic for a fixed
+// (query, access, start) triple within one planning episode.
+type CostModel interface {
+	Estimate(q Query, access []TableAccess, start Time) CostEstimate
+}
+
+// ReplicaState describes the local replica of one table at planning time.
+type ReplicaState struct {
+	// LastSync is the completion time of the most recent synchronization.
+	LastSync Time
+	// NextSyncs lists future scheduled synchronization completion times in
+	// ascending order. An empty slice means no further syncs are known
+	// within the planning horizon.
+	NextSyncs []Time
+}
+
+// TableState is the catalog snapshot the planner receives for one table.
+type TableState struct {
+	ID      TableID
+	Site    SiteID        // site holding the base table
+	Replica *ReplicaState // nil when the table is not replicated locally
+}
+
+// Validate reports whether the snapshot is internally consistent.
+func (ts TableState) Validate() error {
+	if ts.ID == "" {
+		return fmt.Errorf("core: table state with empty ID")
+	}
+	if ts.Replica != nil {
+		prev := ts.Replica.LastSync
+		for _, n := range ts.Replica.NextSyncs {
+			if n <= prev {
+				return fmt.Errorf("core: table %s: next syncs not strictly ascending after last sync (%v after %v)", ts.ID, n, prev)
+			}
+			prev = n
+		}
+	}
+	return nil
+}
+
+// Plan is a fully specified way to evaluate one query: a per-table access
+// decision (aligned with Query.Tables) plus a start time and the cost
+// estimate the planner used.
+type Plan struct {
+	Query  Query
+	Access []TableAccess
+	Start  Time // when the plan is released for execution (≥ submit)
+	Cost   CostEstimate
+}
+
+// ExecStart returns when processing is expected to begin: release time plus
+// estimated queuing delay.
+func (p Plan) ExecStart() Time { return p.Start + p.Cost.Queue }
+
+// ResultAt returns when the report is expected to arrive.
+func (p Plan) ResultAt() Time { return p.ExecStart() + p.Cost.Process + p.Cost.Transmit }
+
+// Latencies derives the plan's expected computational and synchronization
+// latencies. CL runs from submission to result receipt — so a deliberately
+// delayed plan pays its waiting time as computational latency, exactly as in
+// Figure 2 of the paper. SL runs from the oldest freshness timestamp among
+// accessed tables to result receipt; a base table is fresh as of the moment
+// processing starts.
+func (p Plan) Latencies() Latencies {
+	exec := p.ExecStart()
+	result := p.ResultAt()
+	oldest := math.Inf(1)
+	for _, a := range p.Access {
+		fresh := a.Freshness
+		if a.Kind == AccessBase {
+			fresh = exec
+		}
+		oldest = math.Min(oldest, fresh)
+	}
+	if math.IsInf(oldest, 1) {
+		// No accesses: a degenerate plan; treat data as perfectly fresh.
+		oldest = result
+	}
+	return Latencies{
+		CL: math.Max(result-p.Query.SubmitAt, 0),
+		SL: math.Max(result-oldest, 0),
+	}
+}
+
+// Value returns the plan's expected information value under the given rates.
+func (p Plan) Value(r DiscountRates) float64 {
+	return InformationValue(p.Query.BusinessValue, p.Latencies(), r)
+}
+
+// BaseTables returns the IDs of tables the plan reads remotely, in plan
+// order.
+func (p Plan) BaseTables() []TableID {
+	var ids []TableID
+	for _, a := range p.Access {
+		if a.Kind == AccessBase {
+			ids = append(ids, a.Table)
+		}
+	}
+	return ids
+}
+
+// RemoteSites returns the distinct remote sites the plan touches, sorted.
+func (p Plan) RemoteSites() []SiteID {
+	set := make(map[SiteID]bool)
+	for _, a := range p.Access {
+		if a.Kind == AccessBase {
+			set[a.Site] = true
+		}
+	}
+	sites := make([]SiteID, 0, len(set))
+	for s := range set {
+		sites = append(sites, s)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	return sites
+}
+
+// Signature returns a compact description of the plan's shape, e.g.
+// "T1=base T2=replica@8.0 start=11.0". It is stable and intended for logs
+// and tests.
+func (p Plan) Signature() string {
+	var b strings.Builder
+	for i, a := range p.Access {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		switch a.Kind {
+		case AccessBase:
+			fmt.Fprintf(&b, "%s=base", a.Table)
+		case AccessReplica:
+			fmt.Fprintf(&b, "%s=replica@%.1f", a.Table, a.Freshness)
+		}
+	}
+	fmt.Fprintf(&b, " start=%.1f", p.Start)
+	return b.String()
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestInformationValueFactorizes: the IV formula is multiplicative in its
+// two discount terms.
+func TestInformationValueFactorizes(t *testing.T) {
+	f := func(clRaw, slRaw uint16, clRateRaw, slRateRaw uint8) bool {
+		cl := float64(clRaw) / 100
+		sl := float64(slRaw) / 100
+		rates := DiscountRates{
+			CL: float64(clRateRaw) / 300, // < 0.85
+			SL: float64(slRateRaw) / 300,
+		}
+		full := InformationValue(1, Latencies{CL: cl, SL: sl}, rates)
+		split := InformationValue(1, Latencies{CL: cl}, rates) * InformationValue(1, Latencies{SL: sl}, rates)
+		return math.Abs(full-split) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestInformationValueScalesWithBusinessValue: IV is linear in the
+// business value.
+func TestInformationValueScalesWithBusinessValue(t *testing.T) {
+	f := func(bvRaw uint16, cl, sl uint8) bool {
+		bv := float64(bvRaw) / 100
+		rates := DiscountRates{CL: .03, SL: .07}
+		lat := Latencies{CL: float64(cl), SL: float64(sl)}
+		one := InformationValue(1, lat, rates)
+		scaled := InformationValue(bv, lat, rates)
+		return math.Abs(scaled-bv*one) < 1e-9*math.Max(bv, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPlanLatenciesNonNegative: any structurally valid plan yields
+// non-negative latencies.
+func TestPlanLatenciesNonNegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 1000; trial++ {
+		submit := rng.Float64() * 100
+		start := submit + rng.Float64()*20
+		n := 1 + rng.Intn(4)
+		access := make([]TableAccess, n)
+		tables := make([]TableID, n)
+		for i := range access {
+			tables[i] = TableID(rune('a' + i))
+			if rng.Intn(2) == 0 {
+				access[i] = TableAccess{Table: tables[i], Site: 1, Kind: AccessBase}
+			} else {
+				access[i] = TableAccess{
+					Table: tables[i], Site: 1, Kind: AccessReplica,
+					Freshness: start - rng.Float64()*50,
+				}
+			}
+		}
+		plan := Plan{
+			Query:  Query{ID: "q", Tables: tables, BusinessValue: 1, SubmitAt: submit},
+			Access: access,
+			Start:  start,
+			Cost: CostEstimate{
+				Queue:    rng.Float64() * 3,
+				Process:  rng.Float64() * 10,
+				Transmit: rng.Float64() * 2,
+			},
+		}
+		lat := plan.Latencies()
+		if lat.CL < 0 || lat.SL < 0 {
+			t.Fatalf("trial %d: negative latencies %+v", trial, lat)
+		}
+		// CL always covers the deliberate wait plus the full cost.
+		wantCL := (start - submit) + plan.Cost.Total()
+		if math.Abs(lat.CL-wantCL) > 1e-9 {
+			t.Fatalf("trial %d: CL = %v, want %v", trial, lat.CL, wantCL)
+		}
+		// SL is at least processing + transmission (data can never be
+		// fresher than the moment processing starts).
+		if lat.SL < plan.Cost.Process+plan.Cost.Transmit-1e-9 {
+			t.Fatalf("trial %d: SL %v below process+transmit", trial, lat.SL)
+		}
+	}
+}
+
+// TestPlannerDominatesFixedPlans: the plan-space-inclusion property behind
+// the paper's headline claim — IVQP's best plan is never worse than the
+// Federation (all base) or prefer-replica shapes, on random scenarios.
+func TestPlannerDominatesFixedPlans(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	cost := countCost{local: 2, perBase: 3}
+	for trial := 0; trial < 400; trial++ {
+		q, states := randomScenario(rng)
+		rates := DiscountRates{CL: rng.Float64() * .2, SL: rng.Float64() * .2}
+		planner := mustPlanner(t, cost, PlannerConfig{Rates: rates})
+		best, _, err := planner.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bestVal := best.Value(rates)
+
+		fed, err := FixedPlan(q, states, q.SubmitAt, cost, func(TableState) AccessKind { return AccessBase })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bestVal < fed.Value(rates)-1e-9 {
+			t.Fatalf("trial %d: best %v below federation %v", trial, bestVal, fed.Value(rates))
+		}
+
+		prefer, err := FixedPlan(q, states, q.SubmitAt, cost, func(ts TableState) AccessKind {
+			if v, ok := replicaVersionAt(ts.Replica, q.SubmitAt); ok && v <= q.SubmitAt {
+				return AccessReplica
+			}
+			return AccessBase
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bestVal < prefer.Value(rates)-1e-9 {
+			t.Fatalf("trial %d: best %v below prefer-replica %v", trial, bestVal, prefer.Value(rates))
+		}
+	}
+}
+
+// TestPlannerDeterministic: identical inputs produce identical plans.
+func TestPlannerDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	cost := countCost{local: 2, perBase: 2}
+	for trial := 0; trial < 100; trial++ {
+		q, states := randomScenario(rng)
+		rates := DiscountRates{CL: .05, SL: .05}
+		planner := mustPlanner(t, cost, PlannerConfig{Rates: rates})
+		a, sa, err := planner.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, sb, err := planner.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Signature() != b.Signature() || sa.PlansEvaluated != sb.PlansEvaluated {
+			t.Fatalf("trial %d: non-deterministic planning", trial)
+		}
+	}
+}
+
+// TestPlannerLaterDecisionNeverGainsValue: replanning the same query at a
+// later decision time (with the same catalog) cannot yield a higher IV —
+// waiting is never free.
+func TestPlannerLaterDecisionNeverGainsValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	cost := countCost{local: 2, perBase: 2}
+	rates := DiscountRates{CL: .05, SL: .05}
+	for trial := 0; trial < 200; trial++ {
+		q, states := randomScenario(rng)
+		planner := mustPlanner(t, cost, PlannerConfig{Rates: rates})
+		now, _, err := planner.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		later, _, err := planner.Best(q, states, q.SubmitAt+5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if later.Value(rates) > now.Value(rates)+1e-9 {
+			t.Fatalf("trial %d: deciding later improved IV: %v vs %v (%s vs %s)",
+				trial, later.Value(rates), now.Value(rates), later.Signature(), now.Signature())
+		}
+	}
+}
+
+// TestToleratedCLMonotone: a higher target tolerates less latency.
+func TestToleratedCLMonotone(t *testing.T) {
+	rates := DiscountRates{CL: .07}
+	prev := math.Inf(1)
+	for target := .05; target < 1; target += .05 {
+		b := ToleratedCL(1, target, rates)
+		if b > prev {
+			t.Fatalf("tolerance increased at target %v", target)
+		}
+		prev = b
+	}
+}

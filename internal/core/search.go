@@ -1,0 +1,407 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SearchMode selects the plan-space exploration strategy.
+type SearchMode int
+
+const (
+	// ScatterGather is the paper's bounded search (Section 3.1, Figure 4):
+	// seed with the all-base-tables plan, derive a tolerated-latency bound,
+	// then walk future synchronization completions in order, enumerating at
+	// each time point only the prefix chain of replicas ordered by
+	// freshness. Under a cost model where remote cost depends on the number
+	// (not identity) of base tables this finds the optimum; otherwise it is
+	// a fast heuristic.
+	ScatterGather SearchMode = iota + 1
+	// ScatterGatherFull walks the same bounded timeline but enumerates all
+	// 2^m base/replica subsets at every time point, so it remains optimal
+	// under arbitrary cost models while still pruning by the latency bound.
+	ScatterGatherFull
+	// Exhaustive enumerates the cross product of every version of every
+	// table (base, current replica, each scheduled future replica) without
+	// the tolerated-latency bound. It exists as the correctness reference
+	// for tests and for the search ablation benchmark.
+	Exhaustive
+)
+
+// String names the mode for logs and benchmark output.
+func (m SearchMode) String() string {
+	switch m {
+	case ScatterGather:
+		return "scatter-gather"
+	case ScatterGatherFull:
+		return "scatter-gather-full"
+	case Exhaustive:
+		return "exhaustive"
+	default:
+		return fmt.Sprintf("SearchMode(%d)", int(m))
+	}
+}
+
+// PlannerConfig parameterizes plan search.
+type PlannerConfig struct {
+	Rates DiscountRates
+	Mode  SearchMode
+	// Horizon caps how far past the decision time the planner considers
+	// delaying execution, even when the tolerated-latency bound is looser.
+	// Zero means unbounded.
+	Horizon Duration
+	// MaxPlans aborts a search that would evaluate more than this many
+	// plans (guards Exhaustive mode). Zero means the default of 1<<20.
+	MaxPlans int
+}
+
+const defaultMaxPlans = 1 << 20
+
+// SearchStats instruments one planning episode.
+type SearchStats struct {
+	PlansEvaluated int
+	TimePoints     int      // decision instants visited on the timeline
+	PrunedEvents   int      // future sync events cut off by the bound
+	FinalBound     Duration // tolerated CL when the search ended
+}
+
+// Planner selects maximal-information-value plans. Construct with
+// NewPlanner; the zero value is not usable.
+type Planner struct {
+	cost CostModel
+	cfg  PlannerConfig
+}
+
+// NewPlanner validates the configuration and returns a Planner.
+func NewPlanner(cost CostModel, cfg PlannerConfig) (*Planner, error) {
+	if cost == nil {
+		return nil, fmt.Errorf("core: planner needs a cost model")
+	}
+	if err := cfg.Rates.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Mode {
+	case ScatterGather, ScatterGatherFull, Exhaustive:
+	case 0:
+		cfg.Mode = ScatterGather
+	default:
+		return nil, fmt.Errorf("core: unknown search mode %d", int(cfg.Mode))
+	}
+	if cfg.Horizon < 0 {
+		return nil, fmt.Errorf("core: negative horizon %v", cfg.Horizon)
+	}
+	if cfg.MaxPlans == 0 {
+		cfg.MaxPlans = defaultMaxPlans
+	}
+	return &Planner{cost: cost, cfg: cfg}, nil
+}
+
+// Rates returns the discount rates the planner optimizes under.
+func (p *Planner) Rates() DiscountRates { return p.cfg.Rates }
+
+// Mode returns the configured search mode.
+func (p *Planner) Mode() SearchMode { return p.cfg.Mode }
+
+// Best returns the plan maximizing expected information value for q, given
+// a catalog snapshot and the decision time `now` (usually q.SubmitAt; a
+// scheduler replanning a queued query passes a later instant). The snapshot
+// may contain states for tables the query does not touch; states for all
+// touched tables must be present.
+func (p *Planner) Best(q Query, snapshot []TableState, now Time) (Plan, SearchStats, error) {
+	var stats SearchStats
+	if err := q.Validate(); err != nil {
+		return Plan{}, stats, err
+	}
+	if now < q.SubmitAt {
+		return Plan{}, stats, fmt.Errorf("core: decision time %v precedes submission %v of %s", now, q.SubmitAt, q.ID)
+	}
+	states, err := statesFor(q, snapshot)
+	if err != nil {
+		return Plan{}, stats, err
+	}
+	switch p.cfg.Mode {
+	case Exhaustive:
+		return p.exhaustive(q, states, now, &stats)
+	default:
+		return p.scatterGather(q, states, now, p.cfg.Mode == ScatterGatherFull, &stats)
+	}
+}
+
+// statesFor projects the snapshot onto the query's tables, in query order.
+func statesFor(q Query, snapshot []TableState) ([]TableState, error) {
+	byID := make(map[TableID]TableState, len(snapshot))
+	for _, ts := range snapshot {
+		if err := ts.Validate(); err != nil {
+			return nil, err
+		}
+		byID[ts.ID] = ts
+	}
+	states := make([]TableState, len(q.Tables))
+	for i, id := range q.Tables {
+		ts, ok := byID[id]
+		if !ok {
+			return nil, fmt.Errorf("core: no catalog state for table %s needed by query %s", id, q.ID)
+		}
+		states[i] = ts
+	}
+	return states, nil
+}
+
+// replicaVersionAt returns the freshness timestamp of the newest replica
+// version synchronized at or before t, and whether one exists.
+func replicaVersionAt(rs *ReplicaState, t Time) (Time, bool) {
+	if rs == nil {
+		return 0, false
+	}
+	version := rs.LastSync
+	ok := rs.LastSync <= t
+	for _, n := range rs.NextSyncs {
+		if n > t {
+			break
+		}
+		version, ok = n, true
+	}
+	return version, ok
+}
+
+// horizonEnd returns the absolute latest decision instant to consider.
+func (p *Planner) horizonEnd(now Time) Time {
+	if p.cfg.Horizon == 0 {
+		return math.Inf(1)
+	}
+	return now + p.cfg.Horizon
+}
+
+// evaluate builds and scores a plan from a per-table access assignment.
+func (p *Planner) evaluate(q Query, access []TableAccess, start Time, stats *SearchStats) (Plan, float64) {
+	plan := Plan{Query: q, Access: access, Start: start}
+	plan.Cost = p.cost.Estimate(q, access, start)
+	stats.PlansEvaluated++
+	return plan, plan.Value(p.cfg.Rates)
+}
+
+// scatterGather implements the paper's bounded timeline search.
+func (p *Planner) scatterGather(q Query, states []TableState, now Time, full bool, stats *SearchStats) (Plan, SearchStats, error) {
+	// Scatter: the all-base-tables plan executed immediately seeds the
+	// current optimum and the tolerated-latency bound.
+	best, bestVal := p.evaluate(q, allBaseAccess(states), now, stats)
+	boundary := q.SubmitAt + ToleratedCL(q.BusinessValue, bestVal, p.cfg.Rates)
+
+	end := math.Min(p.horizonEnd(now), boundary)
+	events := syncEventsWithin(states, now, p.horizonEnd(now))
+
+	// Gather: enumerate combinations at the decision time and then at each
+	// future synchronization completion, shrinking the boundary as better
+	// plans appear. Delayed all-base plans are never enumerated after the
+	// first time point: delaying pure-base execution only adds CL.
+	times := append([]Time{now}, events...)
+	for i, t := range times {
+		if t > end {
+			stats.PrunedEvents += len(times) - i
+			break
+		}
+		stats.TimePoints++
+		improved := false
+		for _, access := range p.combinationsAt(states, t, full, i > 0) {
+			plan, val := p.evaluate(q, access, t, stats)
+			if val > bestVal {
+				best, bestVal = plan, val
+				improved = true
+			}
+		}
+		if improved {
+			boundary = q.SubmitAt + ToleratedCL(q.BusinessValue, bestVal, p.cfg.Rates)
+			end = math.Min(p.horizonEnd(now), boundary)
+		}
+	}
+	stats.FinalBound = boundary - q.SubmitAt
+	return best, *stats, nil
+}
+
+// combinationsAt enumerates candidate access assignments for a plan started
+// at time t. Tables without a usable replica always read their base table.
+// With full=false only the non-dominated prefix chain is produced: order
+// the usable replicas by freshness (oldest first) and, for k = 0..m, send
+// the k oldest to their base tables. Replacing any other replica with its
+// base raises CL without raising the minimum freshness, so those plans are
+// dominated whenever remote cost is identity-blind. With full=true all 2^m
+// subsets are produced. When skipAllBase is set the combination using no
+// replicas is suppressed (used for t beyond the first time point).
+func (p *Planner) combinationsAt(states []TableState, t Time, full, skipAllBase bool) [][]TableAccess {
+	type replicated struct {
+		idx       int
+		freshness Time
+	}
+	var reps []replicated
+	base := make([]TableAccess, len(states))
+	for i, ts := range states {
+		base[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessBase}
+		if v, ok := replicaVersionAt(ts.Replica, t); ok {
+			reps = append(reps, replicated{idx: i, freshness: v})
+		}
+	}
+	sort.SliceStable(reps, func(a, b int) bool { return reps[a].freshness < reps[b].freshness })
+
+	assignment := func(replicaSet []replicated) []TableAccess {
+		access := make([]TableAccess, len(base))
+		copy(access, base)
+		for _, r := range replicaSet {
+			access[r.idx] = TableAccess{
+				Table:     states[r.idx].ID,
+				Site:      states[r.idx].Site,
+				Kind:      AccessReplica,
+				Freshness: r.freshness,
+			}
+		}
+		return access
+	}
+
+	var out [][]TableAccess
+	if full {
+		m := len(reps)
+		for mask := 0; mask < 1<<m; mask++ {
+			if skipAllBase && mask == 0 {
+				continue
+			}
+			var subset []replicated
+			for j := 0; j < m; j++ {
+				if mask&(1<<j) != 0 {
+					subset = append(subset, reps[j])
+				}
+			}
+			out = append(out, assignment(subset))
+		}
+		return out
+	}
+	// Prefix chain: k oldest replicas demoted to base, the rest kept.
+	for k := 0; k <= len(reps); k++ {
+		if skipAllBase && k == len(reps) {
+			continue
+		}
+		out = append(out, assignment(reps[k:]))
+	}
+	return out
+}
+
+func allBaseAccess(states []TableState) []TableAccess {
+	access := make([]TableAccess, len(states))
+	for i, ts := range states {
+		access[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessBase}
+	}
+	return access
+}
+
+// exhaustive enumerates every combination of table versions. Each table
+// contributes: its base table, its current replica (if synchronized by
+// now), and one option per scheduled future synchronization within the
+// horizon. The plan start time is the latest freshness among chosen future
+// replicas (never earlier than now).
+func (p *Planner) exhaustive(q Query, states []TableState, now Time, stats *SearchStats) (Plan, SearchStats, error) {
+	end := p.horizonEnd(now)
+	options := make([][]TableAccess, len(states))
+	total := 1
+	for i, ts := range states {
+		opts := []TableAccess{{Table: ts.ID, Site: ts.Site, Kind: AccessBase}}
+		if v, ok := replicaVersionAt(ts.Replica, now); ok {
+			opts = append(opts, TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessReplica, Freshness: v})
+		}
+		if ts.Replica != nil {
+			for _, n := range ts.Replica.NextSyncs {
+				if n <= now || n > end {
+					continue
+				}
+				opts = append(opts, TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessReplica, Freshness: n})
+			}
+		}
+		options[i] = opts
+		total *= len(opts)
+		if total > p.cfg.MaxPlans {
+			return Plan{}, *stats, fmt.Errorf("core: exhaustive search for %s exceeds MaxPlans=%d", q.ID, p.cfg.MaxPlans)
+		}
+	}
+
+	var best Plan
+	bestVal := math.Inf(-1)
+	access := make([]TableAccess, len(states))
+	var rec func(i int, start Time)
+	rec = func(i int, start Time) {
+		if i == len(states) {
+			chosen := make([]TableAccess, len(access))
+			copy(chosen, access)
+			plan, val := p.evaluate(q, chosen, start, stats)
+			if val > bestVal {
+				best, bestVal = plan, val
+			}
+			return
+		}
+		for _, opt := range options[i] {
+			access[i] = opt
+			next := start
+			if opt.Kind == AccessReplica && opt.Freshness > next {
+				next = opt.Freshness
+			}
+			rec(i+1, next)
+		}
+	}
+	rec(0, now)
+	stats.TimePoints = 1
+	stats.FinalBound = math.Inf(1)
+	return best, *stats, nil
+}
+
+// syncEventsWithin collects the distinct future synchronization completion
+// times of all replicated tables in (after, until], ascending.
+func syncEventsWithin(states []TableState, after, until Time) []Time {
+	set := make(map[Time]bool)
+	for _, ts := range states {
+		if ts.Replica == nil {
+			continue
+		}
+		for _, n := range ts.Replica.NextSyncs {
+			if n > after && n <= until {
+				set[n] = true
+			}
+		}
+	}
+	events := make([]Time, 0, len(set))
+	for t := range set {
+		events = append(events, t)
+	}
+	sort.Float64s(events)
+	return events
+}
+
+// FixedPlan builds a plan that applies one access kind to every table,
+// started at now — the shape both baselines use: the Federation baseline
+// reads every base table, the Data Warehouse baseline reads every replica.
+// It returns an error if choose selects AccessReplica for a table that has
+// never synchronized a replica.
+func FixedPlan(q Query, snapshot []TableState, now Time, cost CostModel, choose func(TableState) AccessKind) (Plan, error) {
+	if err := q.Validate(); err != nil {
+		return Plan{}, err
+	}
+	states, err := statesFor(q, snapshot)
+	if err != nil {
+		return Plan{}, err
+	}
+	access := make([]TableAccess, len(states))
+	for i, ts := range states {
+		kind := choose(ts)
+		switch kind {
+		case AccessBase:
+			access[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessBase}
+		case AccessReplica:
+			v, ok := replicaVersionAt(ts.Replica, now)
+			if !ok {
+				return Plan{}, fmt.Errorf("core: table %s has no replica synchronized by %v", ts.ID, now)
+			}
+			access[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessReplica, Freshness: v}
+		default:
+			return Plan{}, fmt.Errorf("core: invalid access kind %d for table %s", int(kind), ts.ID)
+		}
+	}
+	plan := Plan{Query: q, Access: access, Start: now}
+	plan.Cost = cost.Estimate(q, access, now)
+	return plan, nil
+}

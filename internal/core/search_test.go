@@ -1,0 +1,466 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// countCost mirrors the paper's Figure 4 cost shape: `local` time units
+// when only replicas are read, plus `perBase` per remote base table. It is
+// identity-blind, the regime in which prefix pruning is exact.
+type countCost struct {
+	local, perBase Duration
+}
+
+func (c countCost) Estimate(_ Query, access []TableAccess, _ Time) CostEstimate {
+	bases := 0
+	for _, a := range access {
+		if a.Kind == AccessBase {
+			bases++
+		}
+	}
+	return CostEstimate{Process: c.local + c.perBase*Duration(bases)}
+}
+
+// weightedCost charges a distinct remote cost per table, which breaks
+// identity-blindness and makes prefix pruning heuristic.
+type weightedCost struct {
+	local   Duration
+	weights map[TableID]Duration
+}
+
+func (c weightedCost) Estimate(_ Query, access []TableAccess, _ Time) CostEstimate {
+	process := c.local
+	for _, a := range access {
+		if a.Kind == AccessBase {
+			process += c.weights[a.Table]
+		}
+	}
+	return CostEstimate{Process: process}
+}
+
+// figure4State builds the catalog of the paper's Figure 4 walkthrough:
+// four replicated tables; at submission time 11 the replicas were last
+// synchronized at 2 (R4), 4 (R1), 6 (R2) and 8 (R3), and R4 is the next to
+// synchronize again.
+func figure4State() []TableState {
+	return []TableState{
+		{ID: "T1", Site: 1, Replica: &ReplicaState{LastSync: 4, NextSyncs: []Time{20, 36}}},
+		{ID: "T2", Site: 2, Replica: &ReplicaState{LastSync: 6, NextSyncs: []Time{24, 42}}},
+		{ID: "T3", Site: 3, Replica: &ReplicaState{LastSync: 8, NextSyncs: []Time{28}}},
+		{ID: "T4", Site: 4, Replica: &ReplicaState{LastSync: 2, NextSyncs: []Time{12, 22, 32}}},
+	}
+}
+
+func figure4Query() Query {
+	return Query{
+		ID:            "Q",
+		Tables:        []TableID{"T1", "T2", "T3", "T4"},
+		BusinessValue: 1,
+		SubmitAt:      11,
+	}
+}
+
+func mustPlanner(t *testing.T, cost CostModel, cfg PlannerConfig) *Planner {
+	t.Helper()
+	p, err := NewPlanner(cost, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPlannerValidation(t *testing.T) {
+	cost := countCost{local: 2, perBase: 2}
+	if _, err := NewPlanner(nil, PlannerConfig{}); err == nil {
+		t.Error("nil cost model accepted")
+	}
+	if _, err := NewPlanner(cost, PlannerConfig{Rates: DiscountRates{CL: 2}}); err == nil {
+		t.Error("invalid rates accepted")
+	}
+	if _, err := NewPlanner(cost, PlannerConfig{Mode: SearchMode(42)}); err == nil {
+		t.Error("unknown mode accepted")
+	}
+	if _, err := NewPlanner(cost, PlannerConfig{Horizon: -1}); err == nil {
+		t.Error("negative horizon accepted")
+	}
+	p := mustPlanner(t, cost, PlannerConfig{})
+	if p.Mode() != ScatterGather {
+		t.Errorf("default mode = %v, want scatter-gather", p.Mode())
+	}
+}
+
+func TestBestRejectsBadInput(t *testing.T) {
+	p := mustPlanner(t, countCost{2, 2}, PlannerConfig{Rates: DiscountRates{CL: .1, SL: .1}})
+	states := figure4State()
+	if _, _, err := p.Best(Query{}, states, 0); err == nil {
+		t.Error("invalid query accepted")
+	}
+	q := figure4Query()
+	if _, _, err := p.Best(q, states, q.SubmitAt-1); err == nil {
+		t.Error("decision time before submission accepted")
+	}
+	if _, _, err := p.Best(q, states[:2], q.SubmitAt); err == nil {
+		t.Error("missing table state accepted")
+	}
+}
+
+// TestFigure4Walkthrough reproduces the scatter step of the paper's worked
+// example: the all-base seed plan has CL = SL = 10, information value
+// 0.9^10 × 0.9^10, and a tolerated computational latency of 20 (search
+// boundary 11 + 20 = 31).
+func TestFigure4Walkthrough(t *testing.T) {
+	rates := DiscountRates{CL: .1, SL: .1}
+	cost := countCost{local: 2, perBase: 2}
+	q := figure4Query()
+	states := figure4State()
+
+	seed, err := FixedPlan(q, states, q.SubmitAt, cost, func(TableState) AccessKind { return AccessBase })
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat := seed.Latencies()
+	if lat.CL != 10 || lat.SL != 10 {
+		t.Fatalf("seed latencies = %+v, want CL=SL=10", lat)
+	}
+	seedVal := seed.Value(rates)
+	if want := math.Pow(.9, 20); math.Abs(seedVal-want) > 1e-12 {
+		t.Fatalf("seed IV = %v, want %v", seedVal, want)
+	}
+	if b := ToleratedCL(1, seedVal, rates); math.Abs(b-20) > 1e-9 {
+		t.Fatalf("tolerated CL = %v, want 20", b)
+	}
+
+	p := mustPlanner(t, cost, PlannerConfig{Rates: rates})
+	best, stats, err := p.Best(q, states, q.SubmitAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Value(rates) < seedVal {
+		t.Errorf("search returned %v, worse than the seed %v", best.Value(rates), seedVal)
+	}
+	if stats.PlansEvaluated == 0 || stats.TimePoints == 0 {
+		t.Errorf("stats not populated: %+v", stats)
+	}
+	// The all-replica plan at t=11 has CL=2 and SL = 13−2 = 11:
+	// IV = 0.9^13 ≈ 0.254, beating the seed 0.9^20 ≈ 0.122. The boundary
+	// must therefore have shrunk below the initial 20.
+	if stats.FinalBound >= 20 {
+		t.Errorf("final bound %v did not shrink below 20", stats.FinalBound)
+	}
+}
+
+func TestScatterGatherMatchesExhaustiveOnFigure4(t *testing.T) {
+	rates := DiscountRates{CL: .1, SL: .1}
+	cost := countCost{local: 2, perBase: 2}
+	q := figure4Query()
+	states := figure4State()
+
+	var values []float64
+	var evaluated []int
+	for _, mode := range []SearchMode{ScatterGather, ScatterGatherFull, Exhaustive} {
+		p := mustPlanner(t, cost, PlannerConfig{Rates: rates, Mode: mode})
+		best, stats, err := p.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		values = append(values, best.Value(rates))
+		evaluated = append(evaluated, stats.PlansEvaluated)
+	}
+	for i := 1; i < len(values); i++ {
+		if math.Abs(values[i]-values[0]) > 1e-12 {
+			t.Errorf("mode %d found value %v, mode 0 found %v", i, values[i], values[0])
+		}
+	}
+	if evaluated[0] >= evaluated[2] {
+		t.Errorf("scatter-gather evaluated %d plans, not fewer than exhaustive %d", evaluated[0], evaluated[2])
+	}
+}
+
+func TestPlannerPrefersFreshDataWhenSLDominates(t *testing.T) {
+	// λSL >> λCL: stale replicas hurt much more than slow remote reads, so
+	// the planner should run at base tables (Figure 1, plan 1).
+	cost := countCost{local: 2, perBase: 2}
+	states := []TableState{
+		{ID: "T1", Site: 1, Replica: &ReplicaState{LastSync: 0}},
+		{ID: "T2", Site: 2, Replica: &ReplicaState{LastSync: 0}},
+	}
+	q := Query{ID: "q", Tables: []TableID{"T1", "T2"}, BusinessValue: 1, SubmitAt: 100}
+	p := mustPlanner(t, cost, PlannerConfig{Rates: DiscountRates{CL: .001, SL: .2}})
+	best, _, err := p.Best(q, states, q.SubmitAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(best.BaseTables()); got != 2 {
+		t.Errorf("plan uses %d base tables, want 2: %s", got, best.Signature())
+	}
+}
+
+func TestPlannerPrefersReplicasWhenCLDominates(t *testing.T) {
+	// λCL >> λSL: response time is everything (Figure 1, plan 2).
+	cost := countCost{local: 2, perBase: 20}
+	states := []TableState{
+		{ID: "T1", Site: 1, Replica: &ReplicaState{LastSync: 95}},
+		{ID: "T2", Site: 2, Replica: &ReplicaState{LastSync: 97}},
+	}
+	q := Query{ID: "q", Tables: []TableID{"T1", "T2"}, BusinessValue: 1, SubmitAt: 100}
+	p := mustPlanner(t, cost, PlannerConfig{Rates: DiscountRates{CL: .2, SL: .001}})
+	best, _, err := p.Best(q, states, q.SubmitAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(best.BaseTables()); got != 0 {
+		t.Errorf("plan uses %d base tables, want 0: %s", got, best.Signature())
+	}
+}
+
+func TestPlannerDelaysForImminentSync(t *testing.T) {
+	// Figure 2: a sync completes moments after submission; with λSL > λCL
+	// waiting for it beats running on a very stale replica or a slow base.
+	cost := countCost{local: 1, perBase: 50}
+	states := []TableState{
+		{ID: "T1", Site: 1, Replica: &ReplicaState{LastSync: 0, NextSyncs: []Time{101}}},
+	}
+	q := Query{ID: "q", Tables: []TableID{"T1"}, BusinessValue: 1, SubmitAt: 100}
+	p := mustPlanner(t, cost, PlannerConfig{Rates: DiscountRates{CL: .01, SL: .1}})
+	best, _, err := p.Best(q, states, q.SubmitAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Start != 101 {
+		t.Errorf("plan start = %v, want 101 (delayed to sync): %s", best.Start, best.Signature())
+	}
+	if len(best.BaseTables()) != 0 {
+		t.Errorf("plan should use the fresh replica: %s", best.Signature())
+	}
+}
+
+func TestPlannerIgnoresSyncsBeyondBound(t *testing.T) {
+	// A sync far in the future cannot beat the current optimum once the
+	// discount has eaten the business value; the search must prune it.
+	cost := countCost{local: 1, perBase: 2}
+	states := []TableState{
+		{ID: "T1", Site: 1, Replica: &ReplicaState{LastSync: 99, NextSyncs: []Time{10000}}},
+	}
+	q := Query{ID: "q", Tables: []TableID{"T1"}, BusinessValue: 1, SubmitAt: 100}
+	p := mustPlanner(t, cost, PlannerConfig{Rates: DiscountRates{CL: .05, SL: .05}})
+	best, stats, err := p.Best(q, states, q.SubmitAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.PrunedEvents != 1 {
+		t.Errorf("PrunedEvents = %d, want 1", stats.PrunedEvents)
+	}
+	if best.Start != 100 {
+		t.Errorf("plan start = %v, want immediate execution", best.Start)
+	}
+}
+
+func TestPlannerHorizonCapsDelays(t *testing.T) {
+	cost := countCost{local: 1, perBase: 100}
+	states := []TableState{
+		{ID: "T1", Site: 1, Replica: &ReplicaState{LastSync: 0, NextSyncs: []Time{150}}},
+	}
+	q := Query{ID: "q", Tables: []TableID{"T1"}, BusinessValue: 1, SubmitAt: 100}
+	// Without a horizon the planner would happily wait until 150 under a
+	// tiny λCL; a 10-minute horizon forbids it.
+	p := mustPlanner(t, cost, PlannerConfig{Rates: DiscountRates{CL: .0001, SL: .1}, Horizon: 10})
+	best, _, err := p.Best(q, states, q.SubmitAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Start > 110 {
+		t.Errorf("plan start %v violates 10-minute horizon", best.Start)
+	}
+}
+
+func TestExhaustiveMaxPlansGuard(t *testing.T) {
+	cost := countCost{local: 1, perBase: 1}
+	var states []TableState
+	var tables []TableID
+	for _, id := range []TableID{"a", "b", "c", "d", "e"} {
+		states = append(states, TableState{ID: id, Site: 1, Replica: &ReplicaState{LastSync: 0, NextSyncs: []Time{5, 6, 7}}})
+		tables = append(tables, id)
+	}
+	q := Query{ID: "q", Tables: tables, BusinessValue: 1, SubmitAt: 1}
+	p := mustPlanner(t, cost, PlannerConfig{Rates: DiscountRates{CL: .1, SL: .1}, Mode: Exhaustive, MaxPlans: 100})
+	if _, _, err := p.Best(q, states, q.SubmitAt); err == nil {
+		t.Error("exhaustive search over MaxPlans accepted")
+	}
+}
+
+func TestFixedPlanErrors(t *testing.T) {
+	cost := countCost{local: 1, perBase: 1}
+	states := []TableState{{ID: "a", Site: 1}} // no replica
+	q := Query{ID: "q", Tables: []TableID{"a"}, BusinessValue: 1}
+	if _, err := FixedPlan(q, states, 0, cost, func(TableState) AccessKind { return AccessReplica }); err == nil {
+		t.Error("replica plan without replica accepted")
+	}
+	if _, err := FixedPlan(q, states, 0, cost, func(TableState) AccessKind { return AccessKind(9) }); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if _, err := FixedPlan(Query{}, states, 0, cost, func(TableState) AccessKind { return AccessBase }); err == nil {
+		t.Error("invalid query accepted")
+	}
+}
+
+func TestReplicaVersionAt(t *testing.T) {
+	rs := &ReplicaState{LastSync: 5, NextSyncs: []Time{8, 12}}
+	tests := []struct {
+		t      Time
+		want   Time
+		wantOK bool
+	}{
+		{4, 0, false}, // before first sync
+		{5, 5, true},
+		{7, 5, true},
+		{8, 8, true},
+		{20, 12, true},
+	}
+	for _, tt := range tests {
+		got, ok := replicaVersionAt(rs, tt.t)
+		if ok != tt.wantOK || (ok && got != tt.want) {
+			t.Errorf("replicaVersionAt(%v) = (%v, %v), want (%v, %v)", tt.t, got, ok, tt.want, tt.wantOK)
+		}
+	}
+	if _, ok := replicaVersionAt(nil, 10); ok {
+		t.Error("nil replica reported a version")
+	}
+}
+
+// randomScenario builds a random planning problem for the equivalence
+// properties below.
+func randomScenario(rng *rand.Rand) (Query, []TableState) {
+	n := 1 + rng.Intn(4)
+	states := make([]TableState, n)
+	tables := make([]TableID, n)
+	now := 10 + rng.Float64()*20
+	for i := range states {
+		id := TableID(string(rune('A' + i)))
+		tables[i] = id
+		ts := TableState{ID: id, Site: SiteID(1 + rng.Intn(3))}
+		if rng.Float64() < .8 {
+			last := now - rng.Float64()*15
+			rs := &ReplicaState{LastSync: last}
+			next := last
+			for k := rng.Intn(3); k > 0; k-- {
+				next += .5 + rng.Float64()*10
+				if next > last {
+					rs.NextSyncs = append(rs.NextSyncs, next)
+				}
+			}
+			ts.Replica = rs
+		}
+		states[i] = ts
+	}
+	q := Query{ID: "q", Tables: tables, BusinessValue: .5 + rng.Float64(), SubmitAt: now}
+	return q, states
+}
+
+// TestScatterGatherOptimalUnderCountCost is the central search property:
+// under an identity-blind cost model, the paper's prefix-pruned
+// scatter-and-gather search finds the same optimal information value as the
+// exhaustive reference, on hundreds of random scenarios.
+func TestScatterGatherOptimalUnderCountCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rateChoices := []float64{0, .01, .05, .1, .3}
+	for trial := 0; trial < 500; trial++ {
+		q, states := randomScenario(rng)
+		rates := DiscountRates{
+			CL: rateChoices[rng.Intn(len(rateChoices))],
+			SL: rateChoices[rng.Intn(len(rateChoices))],
+		}
+		cost := countCost{local: rng.Float64() * 3, perBase: rng.Float64() * 5}
+		sg := mustPlanner(t, cost, PlannerConfig{Rates: rates, Mode: ScatterGather})
+		ex := mustPlanner(t, cost, PlannerConfig{Rates: rates, Mode: Exhaustive})
+		sgBest, _, err := sg.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exBest, _, err := ex.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sgVal, exVal := sgBest.Value(rates), exBest.Value(rates)
+		if math.Abs(sgVal-exVal) > 1e-9 {
+			t.Fatalf("trial %d: scatter-gather %v (%s) != exhaustive %v (%s); rates %+v",
+				trial, sgVal, sgBest.Signature(), exVal, exBest.Signature(), rates)
+		}
+	}
+}
+
+// TestScatterGatherFullOptimalUnderWeightedCost: with per-table costs the
+// prefix chain is only a heuristic, but the full-subset timeline search
+// must still match the exhaustive optimum.
+func TestScatterGatherFullOptimalUnderWeightedCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 300; trial++ {
+		q, states := randomScenario(rng)
+		rates := DiscountRates{CL: rng.Float64() * .3, SL: rng.Float64() * .3}
+		weights := make(map[TableID]Duration, len(states))
+		for _, ts := range states {
+			weights[ts.ID] = rng.Float64() * 8
+		}
+		cost := weightedCost{local: rng.Float64() * 3, weights: weights}
+		full := mustPlanner(t, cost, PlannerConfig{Rates: rates, Mode: ScatterGatherFull})
+		ex := mustPlanner(t, cost, PlannerConfig{Rates: rates, Mode: Exhaustive})
+		fullBest, _, err := full.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exBest, _, err := ex.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fullVal, exVal := fullBest.Value(rates), exBest.Value(rates)
+		if math.Abs(fullVal-exVal) > 1e-9 {
+			t.Fatalf("trial %d: full timeline %v (%s) != exhaustive %v (%s)",
+				trial, fullVal, fullBest.Signature(), exVal, exBest.Signature())
+		}
+	}
+}
+
+// TestPrefixHeuristicNeverBeatsOptimum: the heuristic can fall short under
+// weighted costs but must never report a value above the true optimum and
+// must always at least match the all-base seed.
+func TestPrefixHeuristicNeverBeatsOptimum(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 300; trial++ {
+		q, states := randomScenario(rng)
+		rates := DiscountRates{CL: rng.Float64() * .3, SL: rng.Float64() * .3}
+		weights := make(map[TableID]Duration, len(states))
+		for _, ts := range states {
+			weights[ts.ID] = rng.Float64() * 8
+		}
+		cost := weightedCost{local: rng.Float64() * 3, weights: weights}
+		sg := mustPlanner(t, cost, PlannerConfig{Rates: rates, Mode: ScatterGather})
+		ex := mustPlanner(t, cost, PlannerConfig{Rates: rates, Mode: Exhaustive})
+		sgBest, _, err := sg.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exBest, _, err := ex.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sgBest.Value(rates) > exBest.Value(rates)+1e-9 {
+			t.Fatalf("trial %d: heuristic exceeded the optimum", trial)
+		}
+		seed, err := FixedPlan(q, states, q.SubmitAt, cost, func(TableState) AccessKind { return AccessBase })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sgBest.Value(rates) < seed.Value(rates)-1e-9 {
+			t.Fatalf("trial %d: heuristic worse than its own seed", trial)
+		}
+	}
+}
+
+func TestSearchModeString(t *testing.T) {
+	if ScatterGather.String() != "scatter-gather" ||
+		ScatterGatherFull.String() != "scatter-gather-full" ||
+		Exhaustive.String() != "exhaustive" {
+		t.Error("unexpected mode names")
+	}
+}

@@ -1,0 +1,257 @@
+// Package costmodel provides implementations of core.CostModel — the
+// computational-latency estimators the IVQP planner consumes.
+//
+// Three estimators cover the paper's needs:
+//
+//   - CountModel: processing cost depends on how many base tables execute
+//     remotely, matching the worked example in Figure 4 of the paper
+//     (2 time units for an all-replica plan, +2 per remote base table),
+//     plus a per-site coordination overhead that reproduces the fan-out
+//     effect of Figure 8.
+//   - WeightedModel: per-table remote costs, for workloads where tables
+//     differ in size. Under this model the planner's prefix pruning is a
+//     heuristic rather than exact, which the search ablation exercises.
+//   - CalibratedModel: a lookup table of measured costs keyed by query and
+//     base-table subset, following the paper's observation that a query
+//     only needs to be compiled once per table-version configuration and
+//     that this can be done in advance.
+package costmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+
+	"ivdss/internal/core"
+)
+
+// QueueEstimator predicts the queuing delay a plan will incur if released
+// at start. Implementations typically inspect current resource load; the
+// zero default assumes idle servers.
+type QueueEstimator func(q core.Query, access []core.TableAccess, start core.Time) core.Duration
+
+// CountModel estimates cost from the number of remote base tables and the
+// number of distinct remote sites involved.
+type CountModel struct {
+	// LocalProcess is the processing time of an all-replica plan, before
+	// the per-query weight is applied.
+	LocalProcess core.Duration
+	// PerBaseTable is the processing time added per remote base table.
+	PerBaseTable core.Duration
+	// PerExtraSite is the coordination overhead added for each distinct
+	// remote site beyond the first. This is what makes wide fan-out
+	// expensive in the uniform-placement experiment (Figure 8b).
+	PerExtraSite core.Duration
+	// TransmitFlat is the result-transmission time paid once if any remote
+	// site participates, and TransmitPerBase adds per remote base table.
+	// The paper measures transmission "only for the queries running at
+	// remote servers".
+	TransmitFlat    core.Duration
+	TransmitPerBase core.Duration
+	// QueryWeights optionally scales processing per query ID (default 1),
+	// so a workload can mix cheap and expensive queries.
+	QueryWeights map[string]float64
+	// Queue optionally estimates queuing delay (default: zero).
+	Queue QueueEstimator
+}
+
+var _ core.CostModel = (*CountModel)(nil)
+
+// Figure4Model returns the exact cost shape of the paper's Figure 4 worked
+// example: computation time 2 with replicas only, and 4, 6, 8, 10 when 1-4
+// base tables participate.
+func Figure4Model() *CountModel {
+	return &CountModel{LocalProcess: 2, PerBaseTable: 2}
+}
+
+// Estimate implements core.CostModel.
+func (m *CountModel) Estimate(q core.Query, access []core.TableAccess, start core.Time) core.CostEstimate {
+	bases, sites := remoteFootprint(access)
+	w := 1.0
+	if m.QueryWeights != nil {
+		if qw, ok := m.QueryWeights[q.ID]; ok {
+			w = qw
+		}
+	}
+	est := core.CostEstimate{
+		Process: w * (m.LocalProcess + m.PerBaseTable*core.Duration(bases) + m.PerExtraSite*core.Duration(max(0, sites-1))),
+	}
+	if bases > 0 {
+		est.Transmit = m.TransmitFlat + m.TransmitPerBase*core.Duration(bases)
+	}
+	if m.Queue != nil {
+		est.Queue = m.Queue(q, access, start)
+	}
+	return est
+}
+
+// WeightedModel estimates cost from per-table remote weights, so that
+// reading a big base table remotely costs more than a small one.
+type WeightedModel struct {
+	// LocalProcess is the processing time of an all-replica plan.
+	LocalProcess core.Duration
+	// TableWeights maps each base table to the processing time added when
+	// it is read remotely; DefaultWeight covers unlisted tables.
+	TableWeights  map[core.TableID]core.Duration
+	DefaultWeight core.Duration
+	// PerExtraSite, TransmitFlat and Queue behave as in CountModel.
+	PerExtraSite core.Duration
+	TransmitFlat core.Duration
+	Queue        QueueEstimator
+}
+
+var _ core.CostModel = (*WeightedModel)(nil)
+
+// Estimate implements core.CostModel.
+func (m *WeightedModel) Estimate(q core.Query, access []core.TableAccess, start core.Time) core.CostEstimate {
+	bases, sites := remoteFootprint(access)
+	process := m.LocalProcess
+	for _, a := range access {
+		if a.Kind != core.AccessBase {
+			continue
+		}
+		if w, ok := m.TableWeights[a.Table]; ok {
+			process += w
+		} else {
+			process += m.DefaultWeight
+		}
+	}
+	process += m.PerExtraSite * core.Duration(max(0, sites-1))
+	est := core.CostEstimate{Process: process}
+	if bases > 0 {
+		est.Transmit = m.TransmitFlat
+	}
+	if m.Queue != nil {
+		est.Queue = m.Queue(q, access, start)
+	}
+	return est
+}
+
+// CalibratedModel serves measured costs recorded per (query, base-table
+// subset) configuration, falling back to another model for configurations
+// not yet calibrated. It is safe for concurrent use.
+type CalibratedModel struct {
+	mu       sync.RWMutex
+	entries  map[string]core.CostEstimate
+	fallback core.CostModel
+}
+
+var _ core.CostModel = (*CalibratedModel)(nil)
+
+// NewCalibratedModel returns an empty calibration cache backed by fallback,
+// which must be non-nil.
+func NewCalibratedModel(fallback core.CostModel) (*CalibratedModel, error) {
+	if fallback == nil {
+		return nil, fmt.Errorf("costmodel: calibrated model needs a fallback")
+	}
+	return &CalibratedModel{
+		entries:  make(map[string]core.CostEstimate),
+		fallback: fallback,
+	}, nil
+}
+
+// ConfigKey canonically names a (query, remote base tables) configuration.
+func ConfigKey(queryID string, baseTables []core.TableID) string {
+	names := make([]string, len(baseTables))
+	for i, t := range baseTables {
+		names[i] = string(t)
+	}
+	sort.Strings(names)
+	return queryID + "|" + strings.Join(names, ",")
+}
+
+// Record stores a measured cost for a configuration, overwriting any
+// previous measurement.
+func (m *CalibratedModel) Record(queryID string, baseTables []core.TableID, est core.CostEstimate) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[ConfigKey(queryID, baseTables)] = est
+}
+
+// Lookup returns the recorded cost for a configuration, if any.
+func (m *CalibratedModel) Lookup(queryID string, baseTables []core.TableID) (core.CostEstimate, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	est, ok := m.entries[ConfigKey(queryID, baseTables)]
+	return est, ok
+}
+
+// Len returns the number of calibrated configurations.
+func (m *CalibratedModel) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.entries)
+}
+
+// Estimate implements core.CostModel: calibration hit first, else fallback.
+func (m *CalibratedModel) Estimate(q core.Query, access []core.TableAccess, start core.Time) core.CostEstimate {
+	var bases []core.TableID
+	for _, a := range access {
+		if a.Kind == core.AccessBase {
+			bases = append(bases, a.Table)
+		}
+	}
+	if est, ok := m.Lookup(q.ID, bases); ok {
+		return est
+	}
+	return m.fallback.Estimate(q, access, start)
+}
+
+// remoteFootprint counts remote base tables and distinct remote sites.
+func remoteFootprint(access []core.TableAccess) (bases, sites int) {
+	seen := make(map[core.SiteID]bool)
+	for _, a := range access {
+		if a.Kind != core.AccessBase {
+			continue
+		}
+		bases++
+		if !seen[a.Site] {
+			seen[a.Site] = true
+			sites++
+		}
+	}
+	return bases, sites
+}
+
+// calibrationFile is the JSON shape calibration snapshots serialize to.
+type calibrationFile struct {
+	Entries map[string]core.CostEstimate `json:"entries"`
+}
+
+// WriteJSON snapshots the calibration cache so a restarted server keeps
+// its learned costs.
+func (m *CalibratedModel) WriteJSON(w io.Writer) error {
+	m.mu.RLock()
+	snapshot := make(map[string]core.CostEstimate, len(m.entries))
+	for k, v := range m.entries {
+		snapshot[k] = v
+	}
+	m.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(calibrationFile{Entries: snapshot}); err != nil {
+		return fmt.Errorf("costmodel: write calibration: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON merges a calibration snapshot into the cache (existing entries
+// with the same key are overwritten).
+func (m *CalibratedModel) ReadJSON(r io.Reader) error {
+	var file calibrationFile
+	if err := json.NewDecoder(r).Decode(&file); err != nil {
+		return fmt.Errorf("costmodel: read calibration: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for k, v := range file.Entries {
+		if v.Queue < 0 || v.Process < 0 || v.Transmit < 0 {
+			return fmt.Errorf("costmodel: calibration entry %q has negative components", k)
+		}
+		m.entries[k] = v
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package costmodel
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ivdss/internal/core"
+)
+
+func access(kinds ...core.AccessKind) []core.TableAccess {
+	out := make([]core.TableAccess, len(kinds))
+	for i, k := range kinds {
+		out[i] = core.TableAccess{
+			Table: core.TableID(rune('a' + i)),
+			Site:  core.SiteID(i + 1),
+			Kind:  k,
+		}
+	}
+	return out
+}
+
+func TestFigure4Model(t *testing.T) {
+	m := Figure4Model()
+	q := core.Query{ID: "q"}
+	tests := []struct {
+		name  string
+		acc   []core.TableAccess
+		total core.Duration
+	}{
+		{"all replicas", access(core.AccessReplica, core.AccessReplica, core.AccessReplica, core.AccessReplica), 2},
+		{"one base", access(core.AccessBase, core.AccessReplica, core.AccessReplica, core.AccessReplica), 4},
+		{"two bases", access(core.AccessBase, core.AccessBase, core.AccessReplica, core.AccessReplica), 6},
+		{"three bases", access(core.AccessBase, core.AccessBase, core.AccessBase, core.AccessReplica), 8},
+		{"four bases", access(core.AccessBase, core.AccessBase, core.AccessBase, core.AccessBase), 10},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := m.Estimate(q, tt.acc, 0).Total(); got != tt.total {
+				t.Errorf("total = %v, want %v", got, tt.total)
+			}
+		})
+	}
+}
+
+func TestCountModelSiteOverhead(t *testing.T) {
+	m := &CountModel{LocalProcess: 1, PerBaseTable: 2, PerExtraSite: 5}
+	q := core.Query{ID: "q"}
+	// Two base tables on two distinct sites: 1 + 2*2 + 5*(2-1) = 10.
+	acc := access(core.AccessBase, core.AccessBase)
+	if got := m.Estimate(q, acc, 0).Process; got != 10 {
+		t.Errorf("process = %v, want 10", got)
+	}
+	// Same two base tables collapsed onto one site: no extra-site charge.
+	acc[1].Site = acc[0].Site
+	if got := m.Estimate(q, acc, 0).Process; got != 5 {
+		t.Errorf("process = %v, want 5", got)
+	}
+}
+
+func TestCountModelTransmission(t *testing.T) {
+	m := &CountModel{LocalProcess: 1, PerBaseTable: 1, TransmitFlat: 3, TransmitPerBase: 2}
+	q := core.Query{ID: "q"}
+	if got := m.Estimate(q, access(core.AccessReplica), 0).Transmit; got != 0 {
+		t.Errorf("local plan transmit = %v, want 0", got)
+	}
+	if got := m.Estimate(q, access(core.AccessBase, core.AccessBase), 0).Transmit; got != 7 {
+		t.Errorf("remote plan transmit = %v, want 3+2*2", got)
+	}
+}
+
+func TestCountModelQueryWeights(t *testing.T) {
+	m := &CountModel{LocalProcess: 2, PerBaseTable: 2, QueryWeights: map[string]float64{"heavy": 3}}
+	heavy := core.Query{ID: "heavy"}
+	light := core.Query{ID: "light"}
+	acc := access(core.AccessBase)
+	if got := m.Estimate(heavy, acc, 0).Process; got != 12 {
+		t.Errorf("heavy process = %v, want 12", got)
+	}
+	if got := m.Estimate(light, acc, 0).Process; got != 4 {
+		t.Errorf("light process = %v, want 4", got)
+	}
+}
+
+func TestCountModelQueueEstimator(t *testing.T) {
+	m := &CountModel{LocalProcess: 1, Queue: func(_ core.Query, _ []core.TableAccess, start core.Time) core.Duration {
+		return start / 2
+	}}
+	if got := m.Estimate(core.Query{ID: "q"}, access(core.AccessReplica), 10).Queue; got != 5 {
+		t.Errorf("queue = %v, want 5", got)
+	}
+}
+
+func TestWeightedModel(t *testing.T) {
+	m := &WeightedModel{
+		LocalProcess:  1,
+		TableWeights:  map[core.TableID]core.Duration{"a": 10},
+		DefaultWeight: 3,
+		TransmitFlat:  2,
+	}
+	q := core.Query{ID: "q"}
+	acc := access(core.AccessBase, core.AccessBase) // tables "a" and "b"
+	est := m.Estimate(q, acc, 0)
+	if est.Process != 14 { // 1 + 10 + 3
+		t.Errorf("process = %v, want 14", est.Process)
+	}
+	if est.Transmit != 2 {
+		t.Errorf("transmit = %v, want 2", est.Transmit)
+	}
+	local := m.Estimate(q, access(core.AccessReplica, core.AccessReplica), 0)
+	if local.Process != 1 || local.Transmit != 0 {
+		t.Errorf("all-replica estimate = %+v", local)
+	}
+}
+
+func TestWeightedModelSiteOverhead(t *testing.T) {
+	m := &WeightedModel{LocalProcess: 1, DefaultWeight: 1, PerExtraSite: 4}
+	est := m.Estimate(core.Query{ID: "q"}, access(core.AccessBase, core.AccessBase, core.AccessBase), 0)
+	if est.Process != 1+3+4*2 {
+		t.Errorf("process = %v, want 12", est.Process)
+	}
+}
+
+func TestCalibratedModel(t *testing.T) {
+	fallback := &CountModel{LocalProcess: 1, PerBaseTable: 1}
+	m, err := NewCalibratedModel(fallback)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := core.Query{ID: "q7"}
+	acc := access(core.AccessBase, core.AccessReplica)
+
+	// Before calibration: fallback.
+	if got := m.Estimate(q, acc, 0).Process; got != 2 {
+		t.Errorf("fallback process = %v, want 2", got)
+	}
+
+	m.Record("q7", []core.TableID{"a"}, core.CostEstimate{Process: 9, Transmit: 1})
+	est := m.Estimate(q, acc, 0)
+	if est.Process != 9 || est.Transmit != 1 {
+		t.Errorf("calibrated estimate = %+v, want recorded value", est)
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+
+	// A different base-table subset of the same query still falls back.
+	other := access(core.AccessReplica, core.AccessBase) // base table is "b"
+	if got := m.Estimate(q, other, 0).Process; got != 2 {
+		t.Errorf("uncalibrated subset process = %v, want fallback 2", got)
+	}
+}
+
+func TestCalibratedModelKeyOrderInsensitive(t *testing.T) {
+	if ConfigKey("q", []core.TableID{"b", "a"}) != ConfigKey("q", []core.TableID{"a", "b"}) {
+		t.Error("ConfigKey depends on table order")
+	}
+}
+
+func TestNewCalibratedModelRequiresFallback(t *testing.T) {
+	if _, err := NewCalibratedModel(nil); err == nil {
+		t.Error("nil fallback accepted")
+	}
+}
+
+func TestCalibratedModelConcurrentAccess(t *testing.T) {
+	m, err := NewCalibratedModel(&CountModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			m.Record("q", []core.TableID{"a"}, core.CostEstimate{Process: core.Duration(i)})
+		}
+	}()
+	q := core.Query{ID: "q"}
+	acc := access(core.AccessBase)
+	for i := 0; i < 1000; i++ {
+		m.Estimate(q, acc, 0)
+	}
+	<-done
+}
+
+func TestCalibrationJSONRoundTrip(t *testing.T) {
+	m, err := NewCalibratedModel(&CountModel{LocalProcess: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Record("q1", []core.TableID{"a", "b"}, core.CostEstimate{Process: 3.5, Transmit: 1})
+	m.Record("q2", nil, core.CostEstimate{Process: .5})
+
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewCalibratedModel(&CountModel{LocalProcess: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.ReadJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Len() != 2 {
+		t.Fatalf("entries = %d", fresh.Len())
+	}
+	got, ok := fresh.Lookup("q1", []core.TableID{"b", "a"}) // order-insensitive
+	if !ok || got.Process != 3.5 || got.Transmit != 1 {
+		t.Errorf("lookup = %+v, %v", got, ok)
+	}
+}
+
+func TestCalibrationReadJSONRejectsBadInput(t *testing.T) {
+	m, _ := NewCalibratedModel(&CountModel{})
+	if err := m.ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := m.ReadJSON(strings.NewReader(`{"entries":{"k":{"Process":-1}}}`)); err == nil {
+		t.Error("negative cost accepted")
+	}
+}

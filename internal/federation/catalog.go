@@ -1,0 +1,58 @@
+package federation
+
+import (
+	"fmt"
+
+	"ivdss/internal/core"
+	"ivdss/internal/replication"
+)
+
+// Catalog combines table placement with replication state into the
+// snapshot the IVQP planner consumes.
+type Catalog struct {
+	placement *Placement
+	replicas  *replication.Manager
+}
+
+// NewCatalog wires a placement to a replication manager. Every table the
+// manager replicates must be placed.
+func NewCatalog(p *Placement, m *replication.Manager) (*Catalog, error) {
+	if p == nil || m == nil {
+		return nil, fmt.Errorf("federation: catalog needs placement and replication manager")
+	}
+	for _, id := range m.Tables() {
+		if _, err := p.SiteOf(id); err != nil {
+			return nil, fmt.Errorf("federation: replicated table %s is not placed", id)
+		}
+	}
+	return &Catalog{placement: p, replicas: m}, nil
+}
+
+// Placement exposes the underlying placement.
+func (c *Catalog) Placement() *Placement { return c.placement }
+
+// Replication exposes the underlying replication manager.
+func (c *Catalog) Replication() *replication.Manager { return c.replicas }
+
+// Snapshot returns the planner view of the given tables at time now,
+// including scheduled syncs within the horizon (0 = unbounded).
+func (c *Catalog) Snapshot(tables []core.TableID, now core.Time, horizon core.Duration) ([]core.TableState, error) {
+	out := make([]core.TableState, len(tables))
+	for i, id := range tables {
+		site, err := c.placement.SiteOf(id)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = core.TableState{
+			ID:      id,
+			Site:    site,
+			Replica: c.replicas.StateFor(id, now, horizon),
+		}
+	}
+	return out, nil
+}
+
+// SnapshotAll returns the planner view of every placed table.
+func (c *Catalog) SnapshotAll(now core.Time, horizon core.Duration) ([]core.TableState, error) {
+	return c.Snapshot(c.placement.Tables(), now, horizon)
+}

@@ -1,0 +1,210 @@
+// Package metrics is the DSS server's lightweight instrumentation:
+// counters, gauges, and fixed-bucket histograms behind a registry, safe
+// for concurrent use, exported as a flat name → value map over the wire
+// protocol's status/metrics requests.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter; negative deltas are ignored (counters are
+// monotone by definition).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can move both ways.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram accumulates observations into fixed buckets.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // ascending upper bounds; an implicit +Inf bucket follows
+	counts []int64   // len(bounds)+1
+	sum    float64
+	n      int64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket upper
+// bounds. It panics on unsorted bounds: histogram layouts are static
+// program configuration, not runtime input.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("metrics: histogram bounds not ascending at %d", i))
+		}
+	}
+	cp := append([]float64{}, bounds...)
+	return &Histogram{bounds: cp, counts: make([]int64, len(cp)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx]++
+	h.sum += v
+	h.n++
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []int64
+	Sum    float64
+	Count  int64
+}
+
+// Snapshot copies the histogram state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64{}, h.bounds...),
+		Counts: append([]int64{}, h.counts...),
+		Sum:    h.sum,
+		Count:  h.n,
+	}
+}
+
+// Mean returns the average observation, or 0 with no samples.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile approximates the q-th quantile (0 < q < 1) assuming samples sit
+// at their bucket's upper bound (+Inf bucket reports the largest bound).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Registry holds named instruments, created on first use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bounds
+// if needed (bounds are ignored for an existing histogram).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Flatten exports every instrument as name → value pairs: counters as-is,
+// gauges as-is, histograms as `<name>_count`, `<name>_sum`, `<name>_mean`,
+// `<name>_p50`, `<name>_p95`.
+func (r *Registry) Flatten() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64, len(r.counters)+len(r.gauges)+5*len(r.histograms))
+	for name, c := range r.counters {
+		out[name] = float64(c.Value())
+	}
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s := h.Snapshot()
+		out[name+"_count"] = float64(s.Count)
+		out[name+"_sum"] = s.Sum
+		out[name+"_mean"] = s.Mean()
+		out[name+"_p50"] = s.Quantile(.5)
+		out[name+"_p95"] = s.Quantile(.95)
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters are monotone
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Value() != 0 {
+		t.Errorf("zero gauge = %v", g.Value())
+	}
+	g.Set(-2.5)
+	if g.Value() != -2.5 {
+		t.Errorf("Value = %v", g.Value())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 5, 10})
+	for _, v := range []float64{0.5, 1, 3, 7, 100} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// ≤1: {0.5, 1}; ≤5: {3}; ≤10: {7}; +Inf: {100}.
+	want := []int64{2, 1, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("counts = %v, want %v", s.Counts, want)
+		}
+	}
+	if s.Count != 5 || s.Sum != 111.5 {
+		t.Errorf("count = %d, sum = %v", s.Count, s.Sum)
+	}
+	if got := s.Mean(); math.Abs(got-22.3) > 1e-12 {
+		t.Errorf("Mean = %v", got)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i%10) + .5) // values .5..9.5 uniformly
+	}
+	s := h.Snapshot()
+	if q := s.Quantile(.5); q < 4 || q > 6 {
+		t.Errorf("p50 = %v", q)
+	}
+	if q := s.Quantile(.95); q < 9 {
+		t.Errorf("p95 = %v", q)
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Errorf("p0 = %v, want first bucket bound", q)
+	}
+	empty := NewHistogram([]float64{1}).Snapshot()
+	if empty.Quantile(.5) != 0 || empty.Mean() != 0 {
+		t.Error("empty histogram quantile/mean not 0")
+	}
+}
+
+func TestHistogramPanicsOnBadBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted bounds accepted")
+		}
+	}()
+	NewHistogram([]float64{2, 1})
+}
+
+func TestRegistryCreateOnDemand(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Counter("a").Inc()
+	if r.Counter("a").Value() != 2 {
+		t.Error("counter identity not stable")
+	}
+	r.Gauge("g").Set(7)
+	r.Histogram("h", []float64{1, 10}).Observe(3)
+	r.Histogram("h", nil).Observe(30) // existing: bounds ignored
+
+	flat := r.Flatten()
+	if flat["a"] != 2 || flat["g"] != 7 {
+		t.Errorf("flat = %v", flat)
+	}
+	if flat["h_count"] != 2 || flat["h_sum"] != 33 {
+		t.Errorf("histogram flat = %v", flat)
+	}
+	if _, ok := flat["h_p95"]; !ok {
+		t.Error("p95 missing from flatten")
+	}
+}
+
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hits").Inc()
+				r.Gauge("depth").Set(float64(j))
+				r.Histogram("lat", []float64{1, 10, 100}).Observe(float64(j % 50))
+				if j%100 == 0 {
+					r.Flatten()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 8000 {
+		t.Errorf("hits = %d, want 8000", got)
+	}
+	if got := r.Histogram("lat", nil).Snapshot().Count; got != 8000 {
+		t.Errorf("observations = %d, want 8000", got)
+	}
+}
+
+// TestHistogramConservation: bucket counts always sum to the observation
+// count, for arbitrary inputs.
+func TestHistogramConservation(t *testing.T) {
+	f := func(values []float64) bool {
+		h := NewHistogram([]float64{-10, 0, 10})
+		for _, v := range values {
+			if math.IsNaN(v) {
+				continue
+			}
+			h.Observe(v)
+		}
+		s := h.Snapshot()
+		var total int64
+		for _, c := range s.Counts {
+			total += c
+		}
+		return total == s.Count
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,189 @@
+// Package netproto is the wire protocol between the DSS (federation)
+// server, the remote site servers, and clients: gob-encoded request /
+// response pairs over a TCP connection, one outstanding request per
+// connection at a time.
+package netproto
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"time"
+
+	"ivdss/internal/relation"
+)
+
+// RequestKind selects the operation.
+type RequestKind int
+
+const (
+	// KindPing checks liveness.
+	KindPing RequestKind = iota + 1
+	// KindTables lists the table names a remote site serves.
+	KindTables
+	// KindScan fetches a whole table from a remote site.
+	KindScan
+	// KindExec runs a SQL query: on a remote site against its own base
+	// tables, or on the DSS through information-value-driven planning.
+	KindExec
+	// KindInsert appends rows to a base table on a remote site (the
+	// stand-in for OLTP write traffic at the branches).
+	KindInsert
+	// KindStatus reports DSS catalog state: placements, replicas, and
+	// staleness.
+	KindStatus
+	// KindMetrics dumps the DSS server's instrumentation as a flat
+	// name → value map.
+	KindMetrics
+	// KindRegister pre-registers a query at the DSS so its plans are
+	// pre-calculated for routing (Section 3.1 of the paper).
+	KindRegister
+	// KindBatch submits a workload of queries together; the DSS orders it
+	// with the multi-query optimizer (Section 3.2) before executing.
+	KindBatch
+)
+
+// Request is the client-to-server message.
+type Request struct {
+	Kind  RequestKind
+	Table string         // KindScan, KindInsert
+	SQL   string         // KindExec
+	Rows  []relation.Row // KindInsert
+	// BusinessValue applies to KindExec on the DSS; zero means 1.
+	BusinessValue float64
+	// Batch carries the workload for KindBatch.
+	Batch []BatchQuery
+}
+
+// BatchQuery is one member of a KindBatch workload.
+type BatchQuery struct {
+	SQL           string
+	BusinessValue float64 // zero means 1
+}
+
+// ReportMeta carries the information-value accounting of a DSS report.
+type ReportMeta struct {
+	PlanSignature string
+	CLMinutes     float64
+	SLMinutes     float64
+	Value         float64
+}
+
+// ReplicaStatus describes one replica in a KindStatus response.
+type ReplicaStatus struct {
+	Table            string
+	Site             int
+	LastSyncMinutes  float64 // experiment-time of the last completed sync
+	StalenessMinutes float64
+}
+
+// BatchItem is one KindBatch member's outcome, aligned with the request's
+// Batch slice.
+type BatchItem struct {
+	Err    string
+	Result *relation.Table
+	Meta   *ReportMeta
+}
+
+// Response is the server-to-client message.
+type Response struct {
+	Err      string // empty on success
+	Tables   []string
+	Result   *relation.Table
+	Meta     *ReportMeta
+	Replicas []ReplicaStatus
+	Metrics  map[string]float64
+	Batch    []BatchItem
+}
+
+// ErrOrNil converts the wire error back to a Go error.
+func (r *Response) ErrOrNil() error {
+	if r.Err == "" {
+		return nil
+	}
+	return fmt.Errorf("netproto: remote error: %s", r.Err)
+}
+
+// Conn wraps a network connection with gob codecs.
+type Conn struct {
+	raw net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+}
+
+// NewConn wraps an established connection.
+func NewConn(raw net.Conn) *Conn {
+	return &Conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
+}
+
+// Dial connects to a server.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	raw, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("netproto: dial %s: %w", addr, err)
+	}
+	return NewConn(raw), nil
+}
+
+// Close closes the underlying connection.
+func (c *Conn) Close() error { return c.raw.Close() }
+
+// WriteRequest sends a request.
+func (c *Conn) WriteRequest(req *Request) error {
+	if err := c.enc.Encode(req); err != nil {
+		return fmt.Errorf("netproto: encode request: %w", err)
+	}
+	return nil
+}
+
+// ReadRequest receives a request (server side).
+func (c *Conn) ReadRequest() (*Request, error) {
+	var req Request
+	if err := c.dec.Decode(&req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// WriteResponse sends a response (server side).
+func (c *Conn) WriteResponse(resp *Response) error {
+	if err := c.enc.Encode(resp); err != nil {
+		return fmt.Errorf("netproto: encode response: %w", err)
+	}
+	return nil
+}
+
+// ReadResponse receives a response.
+func (c *Conn) ReadResponse() (*Response, error) {
+	var resp Response
+	if err := c.dec.Decode(&resp); err != nil {
+		return nil, fmt.Errorf("netproto: decode response: %w", err)
+	}
+	return &resp, nil
+}
+
+// RoundTrip sends one request and reads its response.
+func (c *Conn) RoundTrip(req *Request) (*Response, error) {
+	if err := c.WriteRequest(req); err != nil {
+		return nil, err
+	}
+	return c.ReadResponse()
+}
+
+// Call dials, round-trips one request, and closes — the convenience used
+// by short-lived clients and the sync puller.
+func Call(addr string, req *Request, timeout time.Duration) (*Response, error) {
+	conn, err := Dial(addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	resp, err := conn.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if err := resp.ErrOrNil(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

@@ -1,0 +1,161 @@
+package netproto
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"ivdss/internal/relation"
+)
+
+// pipePair returns two connected Conns over an in-memory pipe.
+func pipePair() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+
+	want := &Request{
+		Kind:          KindExec,
+		SQL:           "SELECT a FROM t",
+		BusinessValue: .75,
+		Table:         "t",
+		Rows: []relation.Row{
+			{relation.IntVal(1), relation.StrVal("x"), relation.FloatVal(2.5), relation.DateOf(2026, 7, 6)},
+		},
+	}
+	done := make(chan error, 1)
+	go func() { done <- client.WriteRequest(want) }()
+	got, err := server.ReadRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got.Kind != want.Kind || got.SQL != want.SQL || got.BusinessValue != want.BusinessValue {
+		t.Errorf("request = %+v", got)
+	}
+	if len(got.Rows) != 1 || !relation.Equal(got.Rows[0][3], want.Rows[0][3]) {
+		t.Errorf("rows = %v", got.Rows)
+	}
+}
+
+func TestResponseRoundTripWithTable(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+
+	result := relation.NewTable("r", relation.MustSchema(
+		relation.Column{Name: "n", Type: relation.Int},
+		relation.Column{Name: "s", Type: relation.Str},
+	))
+	result.MustInsert(relation.Row{relation.IntVal(7), relation.StrVal("seven")})
+	want := &Response{
+		Result: result,
+		Meta:   &ReportMeta{PlanSignature: "t=base", CLMinutes: 1.5, SLMinutes: 2.5, Value: .9},
+		Replicas: []ReplicaStatus{
+			{Table: "t", Site: 1, LastSyncMinutes: 10, StalenessMinutes: 2},
+		},
+	}
+	done := make(chan error, 1)
+	go func() { done <- server.WriteResponse(want) }()
+	got, err := client.ReadResponse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got.Result.NumRows() != 1 || got.Result.Rows[0][1].S != "seven" {
+		t.Errorf("result = %v", got.Result.Rows)
+	}
+	if got.Meta == nil || got.Meta.Value != .9 {
+		t.Errorf("meta = %+v", got.Meta)
+	}
+	if len(got.Replicas) != 1 || got.Replicas[0].StalenessMinutes != 2 {
+		t.Errorf("replicas = %+v", got.Replicas)
+	}
+	if err := got.ErrOrNil(); err != nil {
+		t.Errorf("ErrOrNil = %v", err)
+	}
+}
+
+func TestErrOrNil(t *testing.T) {
+	if err := (&Response{Err: "boom"}).ErrOrNil(); err == nil {
+		t.Error("error response reported nil")
+	}
+	if err := (&Response{}).ErrOrNil(); err != nil {
+		t.Errorf("clean response reported %v", err)
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1", 100*time.Millisecond); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+	if _, err := Call("127.0.0.1:1", &Request{Kind: KindPing}, 100*time.Millisecond); err == nil {
+		t.Error("call to closed port succeeded")
+	}
+}
+
+func TestCallSurfacesRemoteError(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		raw, err := l.Accept()
+		if err != nil {
+			return
+		}
+		conn := NewConn(raw)
+		defer conn.Close()
+		if _, err := conn.ReadRequest(); err != nil {
+			return
+		}
+		_ = conn.WriteResponse(&Response{Err: "nope"})
+	}()
+	_, err = Call(l.Addr().String(), &Request{Kind: KindPing}, time.Second)
+	if err == nil {
+		t.Fatal("remote error swallowed")
+	}
+}
+
+func TestMultipleSequentialRoundTrips(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	go func() {
+		for {
+			req, err := server.ReadRequest()
+			if err != nil {
+				return
+			}
+			_ = server.WriteResponse(&Response{Tables: []string{req.Table}})
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		resp, err := client.RoundTrip(&Request{Kind: KindTables, Table: "t"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(resp.Tables) != 1 || resp.Tables[0] != "t" {
+			t.Fatalf("round %d: %v", i, resp.Tables)
+		}
+	}
+}
+
+func TestReadResponseOnClosedConn(t *testing.T) {
+	client, server := pipePair()
+	server.Close()
+	if _, err := client.ReadResponse(); err == nil {
+		t.Error("read from closed peer succeeded")
+	}
+	client.Close()
+}

@@ -1,0 +1,121 @@
+package relation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV serializes the table: a header row of "name:type" cells, then
+// one row per tuple. Dates serialize as YYYY-MM-DD, floats with full
+// precision, so ReadCSV round-trips exactly.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, t.Schema.Arity())
+	for i, c := range t.Schema.Cols {
+		header[i] = c.Name + ":" + c.Type.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("relation: write header: %w", err)
+	}
+	record := make([]string, t.Schema.Arity())
+	for ri, row := range t.Rows {
+		for i, v := range row {
+			switch v.T {
+			case Float:
+				record[i] = strconv.FormatFloat(v.F, 'g', -1, 64)
+			default:
+				record[i] = v.String()
+			}
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("relation: write row %d: %w", ri, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table written by WriteCSV (or hand-authored in the same
+// format) and validates every cell against the header's declared types.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("relation: read header: %w", err)
+	}
+	cols := make([]Column, len(header))
+	for i, h := range header {
+		idx := strings.LastIndex(h, ":")
+		if idx <= 0 || idx == len(h)-1 {
+			return nil, fmt.Errorf("relation: header cell %q is not name:type", h)
+		}
+		colName, typeName := h[:idx], h[idx+1:]
+		var typ Type
+		switch typeName {
+		case "int":
+			typ = Int
+		case "float":
+			typ = Float
+		case "string":
+			typ = Str
+		case "date":
+			typ = Date
+		default:
+			return nil, fmt.Errorf("relation: unknown column type %q", typeName)
+		}
+		cols[i] = Column{Name: colName, Type: typ}
+	}
+	schema, err := NewSchema(cols...)
+	if err != nil {
+		return nil, err
+	}
+	out := NewTable(name, schema)
+	for line := 2; ; line++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("relation: line %d: %w", line, err)
+		}
+		if len(record) != len(cols) {
+			return nil, fmt.Errorf("relation: line %d has %d cells, want %d", line, len(record), len(cols))
+		}
+		row := make(Row, len(cols))
+		for i, cell := range record {
+			v, err := parseCell(cell, cols[i].Type)
+			if err != nil {
+				return nil, fmt.Errorf("relation: line %d column %s: %w", line, cols[i].Name, err)
+			}
+			row[i] = v
+		}
+		out.Rows = append(out.Rows, row)
+	}
+}
+
+func parseCell(cell string, typ Type) (Value, error) {
+	switch typ {
+	case Int:
+		n, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			return Value{}, err
+		}
+		return IntVal(n), nil
+	case Float:
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			return Value{}, err
+		}
+		return FloatVal(f), nil
+	case Str:
+		return StrVal(cell), nil
+	case Date:
+		return ParseDate(cell)
+	default:
+		return Value{}, fmt.Errorf("unknown type %d", int(typ))
+	}
+}

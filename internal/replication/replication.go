@@ -1,0 +1,253 @@
+// Package replication manages the local replicas of remote base tables:
+// per-table synchronization schedules, the completed/upcoming sync state
+// the planner consumes, and QoS staleness checks.
+//
+// The paper's setup has "a small set of frequently accessed base tables ...
+// replicated from the remote servers to the local server", each on its own
+// synchronization cycle, with a QoS-aware replication manager ensuring
+// updates propagate within a predefined window. Schedules here are
+// materialized in advance (periodic or drawn from an exponential stream,
+// as in the paper's simulator), which is exactly what lets the planner
+// reason about *future* replica versions.
+package replication
+
+import (
+	"fmt"
+	"sort"
+
+	"ivdss/internal/core"
+	"ivdss/internal/stats"
+)
+
+// Schedule is the ascending list of synchronization completion times for
+// one table over the experiment horizon.
+type Schedule struct {
+	Times []core.Time
+}
+
+// Validate reports whether the schedule is strictly ascending.
+func (s Schedule) Validate() error {
+	for i := 1; i < len(s.Times); i++ {
+		if s.Times[i] <= s.Times[i-1] {
+			return fmt.Errorf("replication: schedule not ascending at %d (%v after %v)", i, s.Times[i], s.Times[i-1])
+		}
+	}
+	return nil
+}
+
+// Periodic returns a fixed-period schedule: offset, offset+period, ...,
+// up to (and including times at) until.
+func Periodic(period core.Duration, offset, until core.Time) (Schedule, error) {
+	if period <= 0 {
+		return Schedule{}, fmt.Errorf("replication: period %v must be positive", period)
+	}
+	var times []core.Time
+	for t := offset; t <= until; t += period {
+		times = append(times, t)
+	}
+	return Schedule{Times: times}, nil
+}
+
+// Exponential returns a schedule whose inter-sync gaps are exponentially
+// distributed with the given mean — the paper's simulator setup. The
+// result is deterministic in the seed.
+func Exponential(mean core.Duration, seed int64, until core.Time) (Schedule, error) {
+	if mean <= 0 {
+		return Schedule{}, fmt.Errorf("replication: mean %v must be positive", mean)
+	}
+	stream := stats.NewExponentialStream(mean, seed)
+	var times []core.Time
+	t := core.Time(0)
+	for {
+		t += stream.Next()
+		if t > until {
+			return Schedule{Times: times}, nil
+		}
+		times = append(times, t)
+	}
+}
+
+// SyncEvent records one completed synchronization.
+type SyncEvent struct {
+	Table core.TableID
+	At    core.Time
+}
+
+// Manager tracks the synchronization state of every replicated table. It
+// is single-goroutine like the simulator that drives it; the live server
+// wraps it with its own lock.
+type Manager struct {
+	tables map[core.TableID]*tableSync
+	// onSync, when set, is invoked for each newly completed sync (in time
+	// order) so the owner can copy data into the replica store.
+	onSync func(SyncEvent)
+}
+
+type tableSync struct {
+	schedule []core.Time
+	applied  int // schedule[:applied] have completed
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager {
+	return &Manager{tables: make(map[core.TableID]*tableSync)}
+}
+
+// OnSync registers a callback invoked for each sync as Advance applies it.
+func (m *Manager) OnSync(fn func(SyncEvent)) { m.onSync = fn }
+
+// Register adds a replicated table with its schedule. Re-registering a
+// table is an error.
+func (m *Manager) Register(id core.TableID, s Schedule) error {
+	if id == "" {
+		return fmt.Errorf("replication: empty table ID")
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if _, ok := m.tables[id]; ok {
+		return fmt.Errorf("replication: table %s already registered", id)
+	}
+	times := make([]core.Time, len(s.Times))
+	copy(times, s.Times)
+	m.tables[id] = &tableSync{schedule: times}
+	return nil
+}
+
+// Replicated reports whether the table has a registered replica.
+func (m *Manager) Replicated(id core.TableID) bool {
+	_, ok := m.tables[id]
+	return ok
+}
+
+// Tables returns the registered table IDs, sorted.
+func (m *Manager) Tables() []core.TableID {
+	ids := make([]core.TableID, 0, len(m.tables))
+	for id := range m.tables {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Advance applies every scheduled sync with completion time <= now, in
+// global time order, invoking the OnSync callback for each, and returns
+// the newly applied events.
+func (m *Manager) Advance(now core.Time) []SyncEvent {
+	var events []SyncEvent
+	for id, ts := range m.tables {
+		for ts.applied < len(ts.schedule) && ts.schedule[ts.applied] <= now {
+			events = append(events, SyncEvent{Table: id, At: ts.schedule[ts.applied]})
+			ts.applied++
+		}
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].At != events[j].At {
+			return events[i].At < events[j].At
+		}
+		return events[i].Table < events[j].Table
+	})
+	if m.onSync != nil {
+		for _, ev := range events {
+			m.onSync(ev)
+		}
+	}
+	return events
+}
+
+// NextSyncAt returns the completion time of the earliest not-yet-applied
+// sync across all tables, or core.Time infinity substitute (ok=false) when
+// none remain.
+func (m *Manager) NextSyncAt() (core.Time, bool) {
+	best := core.Time(0)
+	found := false
+	for _, ts := range m.tables {
+		if ts.applied < len(ts.schedule) {
+			t := ts.schedule[ts.applied]
+			if !found || t < best {
+				best, found = t, true
+			}
+		}
+	}
+	return best, found
+}
+
+// StateFor returns the planner's view of one replicated table at time now:
+// the last completed sync and the scheduled syncs within the horizon
+// (horizon 0 means all remaining). It returns nil for unreplicated tables.
+//
+// The state is derived from the schedule rather than the applied counter,
+// so callers may ask about any `now` at or after the last Advance.
+func (m *Manager) StateFor(id core.TableID, now core.Time, horizon core.Duration) *core.ReplicaState {
+	ts, ok := m.tables[id]
+	if !ok {
+		return nil
+	}
+	end := now + horizon
+	if horizon == 0 {
+		end = core.Time(1<<62 - 1)
+	}
+	// First schedule entry strictly after now.
+	cut := sort.SearchFloat64s(ts.schedule, now)
+	for cut < len(ts.schedule) && ts.schedule[cut] <= now {
+		cut++
+	}
+	rs := &core.ReplicaState{LastSync: -1}
+	seenPast := cut > 0
+	if seenPast {
+		rs.LastSync = ts.schedule[cut-1]
+	}
+	for _, t := range ts.schedule[cut:] {
+		if t > end {
+			break
+		}
+		rs.NextSyncs = append(rs.NextSyncs, t)
+	}
+	return finishState(rs, seenPast, now)
+}
+
+// finishState encodes "never synchronized yet" so the planner's
+// replicaVersionAt sees no usable current version: LastSync is pushed past
+// now onto the first future sync (or left unusable when none exist).
+func finishState(rs *core.ReplicaState, seenPast bool, now core.Time) *core.ReplicaState {
+	if seenPast {
+		return rs
+	}
+	if len(rs.NextSyncs) == 0 {
+		// No sync ever: model as a replica that never becomes usable.
+		return &core.ReplicaState{LastSync: now + 1e18}
+	}
+	return &core.ReplicaState{LastSync: rs.NextSyncs[0], NextSyncs: rs.NextSyncs[1:]}
+}
+
+// Staleness returns now minus the last completed sync of the table, the
+// quantity a QoS window bounds. The second result is false when the table
+// is unreplicated or has never synchronized by `now`.
+func (m *Manager) Staleness(id core.TableID, now core.Time) (core.Duration, bool) {
+	ts, ok := m.tables[id]
+	if !ok {
+		return 0, false
+	}
+	cut := sort.SearchFloat64s(ts.schedule, now)
+	for cut < len(ts.schedule) && ts.schedule[cut] <= now {
+		cut++
+	}
+	if cut == 0 {
+		return 0, false
+	}
+	return now - ts.schedule[cut-1], true
+}
+
+// QoSViolations lists the replicated tables whose staleness at `now`
+// exceeds the window — the monitoring hook a QoS-aware replication manager
+// exposes.
+func (m *Manager) QoSViolations(now core.Time, window core.Duration) []core.TableID {
+	var out []core.TableID
+	for _, id := range m.Tables() {
+		s, ok := m.Staleness(id, now)
+		if ok && s > window {
+			out = append(out, id)
+		}
+	}
+	return out
+}

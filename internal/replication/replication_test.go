@@ -1,0 +1,229 @@
+package replication
+
+import (
+	"math"
+	"testing"
+
+	"ivdss/internal/core"
+)
+
+func TestPeriodic(t *testing.T) {
+	s, err := Periodic(10, 5, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []core.Time{5, 15, 25, 35}
+	if len(s.Times) != len(want) {
+		t.Fatalf("times = %v", s.Times)
+	}
+	for i := range want {
+		if s.Times[i] != want[i] {
+			t.Errorf("times = %v, want %v", s.Times, want)
+		}
+	}
+	if _, err := Periodic(0, 0, 10); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestExponentialScheduleProperties(t *testing.T) {
+	s, err := Exponential(5, 42, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Times) == 0 {
+		t.Fatal("empty schedule")
+	}
+	last := s.Times[len(s.Times)-1]
+	if last > 10000 {
+		t.Errorf("schedule overran horizon: %v", last)
+	}
+	// Mean gap should approximate the configured mean.
+	meanGap := last / float64(len(s.Times))
+	if math.Abs(meanGap-5) > 1 {
+		t.Errorf("mean gap = %v, want ≈5", meanGap)
+	}
+	// Determinism.
+	s2, _ := Exponential(5, 42, 10000)
+	if len(s2.Times) != len(s.Times) || s2.Times[0] != s.Times[0] {
+		t.Error("exponential schedule not deterministic")
+	}
+	if _, err := Exponential(-1, 1, 10); err == nil {
+		t.Error("negative mean accepted")
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	if err := (Schedule{Times: []core.Time{1, 1}}).Validate(); err == nil {
+		t.Error("non-ascending schedule accepted")
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	m := NewManager()
+	if err := m.Register("", Schedule{}); err == nil {
+		t.Error("empty ID accepted")
+	}
+	if err := m.Register("t", Schedule{Times: []core.Time{2, 1}}); err == nil {
+		t.Error("bad schedule accepted")
+	}
+	if err := m.Register("t", Schedule{Times: []core.Time{1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Register("t", Schedule{Times: []core.Time{1}}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if !m.Replicated("t") || m.Replicated("other") {
+		t.Error("Replicated wrong")
+	}
+}
+
+func TestAdvanceOrderAndCallback(t *testing.T) {
+	m := NewManager()
+	var seen []SyncEvent
+	m.OnSync(func(ev SyncEvent) { seen = append(seen, ev) })
+	mustRegister(t, m, "b", []core.Time{2, 8})
+	mustRegister(t, m, "a", []core.Time{2, 5})
+
+	events := m.Advance(6)
+	if len(events) != 3 {
+		t.Fatalf("events = %v", events)
+	}
+	// Time order; ties broken by table ID.
+	want := []SyncEvent{{"a", 2}, {"b", 2}, {"a", 5}}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("events = %v, want %v", events, want)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("callback saw %d events", len(seen))
+	}
+
+	// Second advance only applies the remainder.
+	events = m.Advance(10)
+	if len(events) != 1 || events[0] != (SyncEvent{"b", 8}) {
+		t.Errorf("second advance = %v", events)
+	}
+	if got := m.Advance(100); len(got) != 0 {
+		t.Errorf("third advance = %v", got)
+	}
+}
+
+func TestNextSyncAt(t *testing.T) {
+	m := NewManager()
+	if _, ok := m.NextSyncAt(); ok {
+		t.Error("empty manager reported a next sync")
+	}
+	mustRegister(t, m, "a", []core.Time{5, 9})
+	mustRegister(t, m, "b", []core.Time{7})
+	if at, ok := m.NextSyncAt(); !ok || at != 5 {
+		t.Errorf("next = %v, %v", at, ok)
+	}
+	m.Advance(6)
+	if at, ok := m.NextSyncAt(); !ok || at != 7 {
+		t.Errorf("next after advance = %v, %v", at, ok)
+	}
+	m.Advance(100)
+	if _, ok := m.NextSyncAt(); ok {
+		t.Error("exhausted manager reported a next sync")
+	}
+}
+
+func TestStateFor(t *testing.T) {
+	m := NewManager()
+	mustRegister(t, m, "a", []core.Time{5, 9, 14, 30})
+
+	rs := m.StateFor("a", 10, 10)
+	if rs.LastSync != 9 {
+		t.Errorf("LastSync = %v, want 9", rs.LastSync)
+	}
+	if len(rs.NextSyncs) != 1 || rs.NextSyncs[0] != 14 {
+		t.Errorf("NextSyncs = %v, want [14] (30 beyond horizon)", rs.NextSyncs)
+	}
+
+	// Unbounded horizon includes everything.
+	rs = m.StateFor("a", 10, 0)
+	if len(rs.NextSyncs) != 2 {
+		t.Errorf("NextSyncs = %v, want [14 30]", rs.NextSyncs)
+	}
+
+	if m.StateFor("missing", 10, 0) != nil {
+		t.Error("state for unreplicated table not nil")
+	}
+}
+
+func TestStateForNeverSynced(t *testing.T) {
+	m := NewManager()
+	mustRegister(t, m, "a", []core.Time{20, 40})
+	rs := m.StateFor("a", 10, 0)
+	// Encoded so the planner sees no usable version before t=20 and a
+	// first version exactly at 20.
+	ts := core.TableState{ID: "a", Site: 1, Replica: rs}
+	if err := ts.Validate(); err != nil {
+		t.Fatalf("encoded state invalid: %v", err)
+	}
+	if rs.LastSync != 20 {
+		t.Errorf("LastSync = %v, want 20 (first future sync)", rs.LastSync)
+	}
+	if len(rs.NextSyncs) != 1 || rs.NextSyncs[0] != 40 {
+		t.Errorf("NextSyncs = %v, want [40]", rs.NextSyncs)
+	}
+}
+
+func TestStateForNoSyncsAtAll(t *testing.T) {
+	m := NewManager()
+	mustRegister(t, m, "a", nil)
+	rs := m.StateFor("a", 10, 0)
+	if rs == nil {
+		t.Fatal("nil state for registered table")
+	}
+	if rs.LastSync <= 10 {
+		t.Errorf("LastSync = %v should be unusable (far future)", rs.LastSync)
+	}
+}
+
+func TestStaleness(t *testing.T) {
+	m := NewManager()
+	mustRegister(t, m, "a", []core.Time{5, 15})
+	if s, ok := m.Staleness("a", 12); !ok || s != 7 {
+		t.Errorf("staleness = %v, %v; want 7", s, ok)
+	}
+	if _, ok := m.Staleness("a", 3); ok {
+		t.Error("staleness before first sync should be unavailable")
+	}
+	if _, ok := m.Staleness("missing", 10); ok {
+		t.Error("staleness for unreplicated table should be unavailable")
+	}
+}
+
+func TestQoSViolations(t *testing.T) {
+	m := NewManager()
+	mustRegister(t, m, "fresh", []core.Time{95})
+	mustRegister(t, m, "stale", []core.Time{10})
+	got := m.QoSViolations(100, 30)
+	if len(got) != 1 || got[0] != "stale" {
+		t.Errorf("violations = %v", got)
+	}
+}
+
+func TestTablesSorted(t *testing.T) {
+	m := NewManager()
+	mustRegister(t, m, "c", nil)
+	mustRegister(t, m, "a", nil)
+	mustRegister(t, m, "b", nil)
+	ids := m.Tables()
+	if len(ids) != 3 || ids[0] != "a" || ids[2] != "c" {
+		t.Errorf("tables = %v", ids)
+	}
+}
+
+func mustRegister(t *testing.T, m *Manager, id core.TableID, times []core.Time) {
+	t.Helper()
+	if err := m.Register(id, Schedule{Times: times}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+package router
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ivdss/internal/core"
+	"ivdss/internal/costmodel"
+)
+
+func testConfig() Config {
+	return Config{
+		Cost:  &costmodel.CountModel{LocalProcess: 2, PerBaseTable: 3, TransmitFlat: 1},
+		Rates: core.DiscountRates{CL: .03, SL: .05},
+	}
+}
+
+func testQuery() (core.Query, []core.SiteID, []bool) {
+	q := core.Query{
+		ID:            "report",
+		Tables:        []core.TableID{"a", "b", "c"},
+		BusinessValue: 1,
+	}
+	return q, []core.SiteID{1, 2, 1}, []bool{true, true, false}
+}
+
+// snapshotWith builds a live snapshot where the replicated tables have the
+// given staleness values and a next sync after `residual`.
+func snapshotWith(now core.Time, stale map[core.TableID]core.Duration, residual core.Duration, window core.Duration) []core.TableState {
+	out := []core.TableState{
+		{ID: "a", Site: 1},
+		{ID: "b", Site: 2},
+		{ID: "c", Site: 1},
+	}
+	for i := range out {
+		s, ok := stale[out[i].ID]
+		if !ok {
+			continue
+		}
+		rs := &core.ReplicaState{LastSync: now - s}
+		next := now + residual
+		for k := 0; k < 3; k++ {
+			rs.NextSyncs = append(rs.NextSyncs, next)
+			next += window
+		}
+		out[i].Replica = rs
+	}
+	return out
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(testConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Rates: core.DiscountRates{}}); err == nil {
+		t.Error("nil cost accepted")
+	}
+	if _, err := New(Config{Cost: testConfig().Cost, Rates: core.DiscountRates{CL: 5}}); err == nil {
+		t.Error("bad rates accepted")
+	}
+	if _, err := New(Config{Cost: testConfig().Cost, Buckets: -1}); err == nil {
+		t.Error("negative buckets accepted")
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	r, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, sites, repl := testQuery()
+	if err := r.Register(q, sites[:1], repl, 10); err == nil {
+		t.Error("misaligned sites accepted")
+	}
+	if err := r.Register(q, sites, repl, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if err := r.Register(core.Query{}, sites, repl, 10); err == nil {
+		t.Error("invalid query accepted")
+	}
+	if err := r.Register(q, sites, repl, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(q, sites, repl, 10); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if !r.Registered("report") || r.Registered("ghost") {
+		t.Error("Registered() wrong")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRouteUnregistered(t *testing.T) {
+	r, _ := New(testConfig())
+	if _, ok := r.Route("ghost", nil, 0); ok {
+		t.Error("unregistered query routed")
+	}
+}
+
+func TestRouteMatchesPlannerOnUniformStaleness(t *testing.T) {
+	cfg := testConfig()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, sites, repl := testQuery()
+	const window = 20.0
+	if err := r.Register(q, sites, repl, window); err != nil {
+		t.Fatal(err)
+	}
+	planner, err := core.NewPlanner(cfg.Cost, core.PlannerConfig{Rates: cfg.Rates})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	now := core.Time(100)
+	for _, s := range []core.Duration{1, 5, 10, 15, 19} {
+		snap := snapshotWith(now, map[core.TableID]core.Duration{"a": s, "b": s}, window-s, window)
+		routed, ok := r.Route("report", snap, now)
+		if !ok {
+			t.Fatalf("staleness %v: route refused", s)
+		}
+		probe := q
+		probe.SubmitAt = now
+		best, _, err := planner.Best(probe, snap, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, bv := routed.Value(cfg.Rates), best.Value(cfg.Rates)
+		if rv > bv+1e-9 {
+			t.Fatalf("staleness %v: routed IV %v above optimum %v", s, rv, bv)
+		}
+		if rv < bv*0.98 {
+			t.Errorf("staleness %v: routed IV %v below 98%% of optimum %v (%s vs %s)",
+				s, rv, bv, routed.Signature(), best.Signature())
+		}
+	}
+}
+
+func TestRouteRefusals(t *testing.T) {
+	r, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, sites, repl := testQuery()
+	const window = 20.0
+	if err := r.Register(q, sites, repl, window); err != nil {
+		t.Fatal(err)
+	}
+	now := core.Time(100)
+
+	// QoS violated: staleness beyond the window.
+	snap := snapshotWith(now, map[core.TableID]core.Duration{"a": 30, "b": 5}, 5, window)
+	if _, ok := r.Route("report", snap, now); ok {
+		t.Error("QoS-violating snapshot routed")
+	}
+
+	// Missing replica for a replicated table.
+	snap = snapshotWith(now, map[core.TableID]core.Duration{"a": 5}, 5, window)
+	if _, ok := r.Route("report", snap, now); ok {
+		t.Error("snapshot missing replica routed")
+	}
+
+	// Missing table entirely.
+	if _, ok := r.Route("report", snap[:1], now); ok {
+		t.Error("truncated snapshot routed")
+	}
+}
+
+// TestRouteStatisticalQuality: over random in-window snapshots (staleness
+// not necessarily uniform across tables), the routed plan's information
+// value must stay within a few percent of the full planner's optimum on
+// average, and never exceed it.
+func TestRouteStatisticalQuality(t *testing.T) {
+	cfg := testConfig()
+	cfg.Buckets = 24
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, sites, repl := testQuery()
+	const window = 20.0
+	if err := r.Register(q, sites, repl, window); err != nil {
+		t.Fatal(err)
+	}
+	planner, err := core.NewPlanner(cfg.Cost, core.PlannerConfig{Rates: cfg.Rates})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	var ratioSum float64
+	const trials = 200
+	for trial := 0; trial < trials; trial++ {
+		now := core.Time(50 + rng.Float64()*100)
+		sa := rng.Float64() * window
+		sb := rng.Float64() * window
+		residual := rng.Float64() * window
+		snap := snapshotWith(now, map[core.TableID]core.Duration{"a": sa, "b": sb}, residual, window)
+		routed, ok := r.Route("report", snap, now)
+		if !ok {
+			t.Fatalf("trial %d: route refused", trial)
+		}
+		probe := q
+		probe.SubmitAt = now
+		best, _, err := planner.Best(probe, snap, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, bv := routed.Value(cfg.Rates), best.Value(cfg.Rates)
+		if rv > bv+1e-9 {
+			t.Fatalf("trial %d: routed IV above the optimum", trial)
+		}
+		if bv > 0 {
+			ratioSum += rv / bv
+		} else {
+			ratioSum++
+		}
+	}
+	if mean := ratioSum / trials; mean < .97 {
+		t.Errorf("mean routed/optimal IV = %v, want ≥ 0.97", mean)
+	}
+}
+
+func TestRouteIsDeterministic(t *testing.T) {
+	cfg := testConfig()
+	r, _ := New(cfg)
+	q, sites, repl := testQuery()
+	if err := r.Register(q, sites, repl, 20); err != nil {
+		t.Fatal(err)
+	}
+	now := core.Time(42)
+	snap := snapshotWith(now, map[core.TableID]core.Duration{"a": 7, "b": 3}, 4, 20)
+	a, ok1 := r.Route("report", snap, now)
+	b, ok2 := r.Route("report", snap, now)
+	if !ok1 || !ok2 || a.Signature() != b.Signature() {
+		t.Errorf("routing not deterministic: %q vs %q", a.Signature(), b.Signature())
+	}
+}
+
+func TestManyRegistrations(t *testing.T) {
+	r, _ := New(testConfig())
+	for i := 0; i < 25; i++ {
+		q := core.Query{
+			ID:            fmt.Sprintf("q%d", i),
+			Tables:        []core.TableID{"a", "b"},
+			BusinessValue: 1,
+		}
+		if err := r.Register(q, []core.SiteID{1, 2}, []bool{true, i%2 == 0}, 10+core.Duration(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.Len() != 25 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}

@@ -1,0 +1,160 @@
+package scheduler
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ivdss/internal/core"
+)
+
+// Workload is a group of queries whose candidate execution ranges overlap
+// and must therefore be ordered jointly (Section 3.2, step 1).
+type Workload struct {
+	Indices []int // indices into the original query slice, by submit time
+	Start   core.Time
+	End     core.Time
+}
+
+// PlanRanges derives each query's candidate execution range: from its
+// submission to submission plus the tolerated computational latency left
+// by its best solo plan (the search bound). An unbounded tolerance (λCL=0)
+// is capped by the evaluator's horizon, or by fallbackWidth when that is
+// also unbounded.
+func PlanRanges(queries []core.Query, ev *Evaluator, fallbackWidth core.Duration) ([]core.Duration, error) {
+	if fallbackWidth <= 0 {
+		return nil, fmt.Errorf("scheduler: fallback range width must be positive")
+	}
+	widths := make([]core.Duration, len(queries))
+	for i, q := range queries {
+		snap, err := ev.Catalog.Snapshot(q.Tables, q.SubmitAt, ev.Horizon)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: range for %s: %w", q.ID, err)
+		}
+		_, stats, err := ev.Planner.Best(q, snap, q.SubmitAt)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: range for %s: %w", q.ID, err)
+		}
+		w := stats.FinalBound
+		if math.IsInf(w, 1) || w <= 0 {
+			w = ev.Horizon
+		}
+		if w <= 0 || math.IsInf(w, 1) {
+			w = fallbackWidth
+		}
+		widths[i] = w
+	}
+	return widths, nil
+}
+
+// FormWorkloads groups queries whose ranges [SubmitAt, SubmitAt+width]
+// overlap, by merging intervals along the time axis. Workloads come back
+// ordered by start time, each with its members ordered by submission.
+func FormWorkloads(queries []core.Query, widths []core.Duration) ([]Workload, error) {
+	if len(widths) != len(queries) {
+		return nil, fmt.Errorf("scheduler: %d widths for %d queries", len(widths), len(queries))
+	}
+	idx := make([]int, len(queries))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return queries[idx[a]].SubmitAt < queries[idx[b]].SubmitAt
+	})
+	var out []Workload
+	for _, i := range idx {
+		q := queries[i]
+		end := q.SubmitAt + widths[i]
+		if len(out) > 0 && q.SubmitAt <= out[len(out)-1].End {
+			w := &out[len(out)-1]
+			w.Indices = append(w.Indices, i)
+			if end > w.End {
+				w.End = end
+			}
+			continue
+		}
+		out = append(out, Workload{Indices: []int{i}, Start: q.SubmitAt, End: end})
+	}
+	return out, nil
+}
+
+// ScheduleFIFO runs the whole query set in submission order — the paper's
+// "Without MQO" baseline.
+func ScheduleFIFO(queries []core.Query, ev *Evaluator) (SequenceResult, error) {
+	order := make([]int, len(queries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return queries[order[a]].SubmitAt < queries[order[b]].SubmitAt
+	})
+	return ev.RunSequence(queries, order, 0)
+}
+
+// MQOResult is the outcome of multi-query optimization over a query set.
+type MQOResult struct {
+	SequenceResult
+	Workloads   []Workload
+	Evaluations int // GA fitness evaluations across all workloads
+}
+
+// ScheduleMQO performs the paper's two-step multi-query optimization:
+// form workloads of range-overlapping queries, then order each workload
+// with the genetic algorithm, maximizing the workload's total information
+// value. Workloads execute in time order on the shared coordinator, so a
+// long workload delays the next one's start.
+func ScheduleMQO(queries []core.Query, ev *Evaluator, cfg GAConfig) (MQOResult, error) {
+	widths, err := PlanRanges(queries, ev, 1e6)
+	if err != nil {
+		return MQOResult{}, err
+	}
+	workloads, err := FormWorkloads(queries, widths)
+	if err != nil {
+		return MQOResult{}, err
+	}
+	res := MQOResult{Workloads: workloads}
+	res.Order = make([]int, 0, len(queries))
+	clock := core.Time(0)
+	for wi, w := range workloads {
+		members := make([]core.Query, len(w.Indices))
+		for j, qi := range w.Indices {
+			members[j] = queries[qi]
+		}
+		startAt := clock
+		var seq SequenceResult
+		if len(members) == 1 {
+			seq, err = ev.RunSequence(members, []int{0}, startAt)
+			if err != nil {
+				return MQOResult{}, err
+			}
+		} else {
+			wcfg := cfg
+			wcfg.Seed = cfg.Seed + int64(wi)
+			order, _, st, gerr := OptimizeOrder(len(members), func(order []int) (float64, error) {
+				r, rerr := ev.RunSequence(members, order, startAt)
+				if rerr != nil {
+					return 0, rerr
+				}
+				return r.TotalValue, nil
+			}, wcfg)
+			if gerr != nil {
+				return MQOResult{}, gerr
+			}
+			res.Evaluations += st.Evaluations
+			seq, err = ev.RunSequence(members, order, startAt)
+			if err != nil {
+				return MQOResult{}, err
+			}
+		}
+		for pos, local := range seq.Order {
+			res.Order = append(res.Order, w.Indices[local])
+			res.Outcomes = append(res.Outcomes, seq.Outcomes[pos])
+		}
+		res.TotalValue += seq.TotalValue
+		if seq.Makespan > res.Makespan {
+			res.Makespan = seq.Makespan
+		}
+		clock = math.Max(clock, seq.Makespan)
+	}
+	return res, nil
+}

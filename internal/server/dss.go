@@ -1,0 +1,702 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ivdss/internal/core"
+	"ivdss/internal/costmodel"
+	"ivdss/internal/federation"
+	"ivdss/internal/metrics"
+	"ivdss/internal/netproto"
+	"ivdss/internal/relation"
+	"ivdss/internal/replication"
+	"ivdss/internal/router"
+	"ivdss/internal/scheduler"
+	"ivdss/internal/sqlmini"
+)
+
+// DSSConfig wires a DSS server to its remote sites.
+type DSSConfig struct {
+	// Remotes maps each remote site to its TCP address.
+	Remotes map[core.SiteID]string
+	// Replicate lists the tables to replicate locally with their
+	// synchronization periods (wall-clock).
+	Replicate map[core.TableID]time.Duration
+	// Rates are the information-value discount rates (per experiment
+	// minute).
+	Rates core.DiscountRates
+	// TimeScale converts wall-clock seconds to experiment minutes. The
+	// default 1/60 makes an experiment minute a real minute; tests and
+	// demos speed it up (e.g. 10 makes every wall second worth ten
+	// experiment minutes).
+	TimeScale float64
+	// PlannerHorizon bounds how far ahead the planner may delay execution,
+	// in experiment minutes. Default 30.
+	PlannerHorizon core.Duration
+	// ScheduleHorizon bounds how much synchronization schedule is
+	// materialized, wall-clock. Default 24h.
+	ScheduleHorizon time.Duration
+	// MaxDelay caps how long the executor honours a delayed plan,
+	// wall-clock. Default 30s.
+	MaxDelay time.Duration
+	// DialTimeout bounds remote calls. Default 5s.
+	DialTimeout time.Duration
+}
+
+func (c DSSConfig) withDefaults() DSSConfig {
+	if c.TimeScale == 0 {
+		c.TimeScale = 1.0 / 60
+	}
+	if c.PlannerHorizon == 0 {
+		c.PlannerHorizon = 30
+	}
+	if c.ScheduleHorizon == 0 {
+		c.ScheduleHorizon = 24 * time.Hour
+	}
+	if c.MaxDelay == 0 {
+		c.MaxDelay = 30 * time.Second
+	}
+	if c.DialTimeout == 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// replicaSnapshot is one synchronized table copy plus its freshness.
+type replicaSnapshot struct {
+	table    *relation.Table
+	syncedAt core.Time
+}
+
+// DSSServer is the live federation/DSS server.
+type DSSServer struct {
+	cfg     DSSConfig
+	epoch   time.Time
+	catalog *federation.Catalog
+	planner *core.Planner
+	costs   *costmodel.CalibratedModel
+	stats   *metrics.Registry
+
+	routerMu sync.Mutex
+	router   *router.Router
+
+	mu       sync.RWMutex
+	replicas map[core.TableID]replicaSnapshot
+
+	listener  net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewDSSServer validates the config, discovers remote placements, builds
+// the catalog and planner, and pulls the initial replica snapshots. The
+// synchronization loop starts with Listen.
+func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Remotes) == 0 {
+		return nil, fmt.Errorf("server: DSS needs at least one remote site")
+	}
+	if err := cfg.Rates.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.TimeScale <= 0 {
+		return nil, fmt.Errorf("server: TimeScale must be positive")
+	}
+
+	// Discover which tables each remote serves.
+	siteOf := make(map[core.TableID]core.SiteID)
+	for site, addr := range cfg.Remotes {
+		if site < 1 {
+			return nil, fmt.Errorf("server: remote site IDs start at 1, got %d", site)
+		}
+		resp, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindTables}, cfg.DialTimeout)
+		if err != nil {
+			return nil, fmt.Errorf("server: discover site %d at %s: %w", site, addr, err)
+		}
+		for _, name := range resp.Tables {
+			id := core.TableID(strings.ToLower(name))
+			if prev, ok := siteOf[id]; ok {
+				return nil, fmt.Errorf("server: table %s served by both site %d and site %d", id, prev, site)
+			}
+			siteOf[id] = site
+		}
+	}
+	placement, err := federation.NewPlacement(siteOf)
+	if err != nil {
+		return nil, err
+	}
+
+	epoch := time.Now()
+	mgr := replication.NewManager()
+	horizonMinutes := cfg.ScheduleHorizon.Seconds() * cfg.TimeScale
+	for id, period := range cfg.Replicate {
+		if _, ok := siteOf[id]; !ok {
+			return nil, fmt.Errorf("server: replicated table %s not served by any remote", id)
+		}
+		periodMinutes := period.Seconds() * cfg.TimeScale
+		sched, err := replication.Periodic(periodMinutes, 0, horizonMinutes)
+		if err != nil {
+			return nil, fmt.Errorf("server: schedule for %s: %w", id, err)
+		}
+		if err := mgr.Register(id, sched); err != nil {
+			return nil, err
+		}
+	}
+	catalog, err := federation.NewCatalog(placement, mgr)
+	if err != nil {
+		return nil, err
+	}
+
+	costs, err := costmodel.NewCalibratedModel(&costmodel.CountModel{
+		LocalProcess: .02,
+		PerBaseTable: .05,
+		TransmitFlat: .02,
+	})
+	if err != nil {
+		return nil, err
+	}
+	planner, err := core.NewPlanner(costs, core.PlannerConfig{
+		Rates:   cfg.Rates,
+		Horizon: cfg.PlannerHorizon,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	fastRouter, err := router.New(router.Config{Cost: costs, Rates: cfg.Rates})
+	if err != nil {
+		return nil, err
+	}
+	s := &DSSServer{
+		cfg:      cfg,
+		epoch:    epoch,
+		catalog:  catalog,
+		planner:  planner,
+		costs:    costs,
+		stats:    metrics.NewRegistry(),
+		router:   fastRouter,
+		replicas: make(map[core.TableID]replicaSnapshot),
+		closed:   make(chan struct{}),
+	}
+	// Initial pull so replicas are usable immediately (the schedule's
+	// first tick at t=0 has, conceptually, just completed).
+	for id := range cfg.Replicate {
+		if err := s.pullReplica(id); err != nil {
+			return nil, fmt.Errorf("server: initial sync of %s: %w", id, err)
+		}
+	}
+	return s, nil
+}
+
+// LoadCalibration merges a previously saved calibration snapshot into the
+// cost model, so a restarted DSS keeps its learned plan costs.
+func (s *DSSServer) LoadCalibration(r io.Reader) error { return s.costs.ReadJSON(r) }
+
+// SaveCalibration writes the current calibration snapshot.
+func (s *DSSServer) SaveCalibration(w io.Writer) error { return s.costs.WriteJSON(w) }
+
+// CalibrationLen reports how many plan configurations have measured costs.
+func (s *DSSServer) CalibrationLen() int { return s.costs.Len() }
+
+// now returns the current experiment time.
+func (s *DSSServer) now() core.Time {
+	return time.Since(s.epoch).Seconds() * s.cfg.TimeScale
+}
+
+// wallDelay converts an experiment-minute delay to wall-clock.
+func (s *DSSServer) wallDelay(minutes core.Duration) time.Duration {
+	return time.Duration(minutes / s.cfg.TimeScale * float64(time.Second))
+}
+
+// pullReplica scans the base table from its site into the replica store.
+func (s *DSSServer) pullReplica(id core.TableID) error {
+	site, err := s.catalog.Placement().SiteOf(id)
+	if err != nil {
+		return err
+	}
+	addr := s.cfg.Remotes[site]
+	resp, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindScan, Table: string(id)}, s.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.replicas[id] = replicaSnapshot{table: resp.Result, syncedAt: s.now()}
+	s.mu.Unlock()
+	s.stats.Counter("replica_syncs_total").Inc()
+	return nil
+}
+
+// syncLoop walks the merged synchronization schedule in real time.
+func (s *DSSServer) syncLoop() {
+	defer s.wg.Done()
+	mgr := s.catalog.Replication()
+	for {
+		next, ok := mgr.NextSyncAt()
+		if !ok {
+			return // schedule exhausted (past ScheduleHorizon)
+		}
+		wait := s.wallDelay(next - s.now())
+		if wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-s.closed:
+				return
+			}
+		}
+		// Pulls take real time; when several syncs of one table come due
+		// together (the puller lagging its schedule), one pull serves them
+		// all — the data is equally fresh either way.
+		due := make(map[core.TableID]bool)
+		var order []core.TableID
+		for _, ev := range mgr.Advance(s.now()) {
+			if !due[ev.Table] {
+				due[ev.Table] = true
+				order = append(order, ev.Table)
+			}
+		}
+		for _, id := range order {
+			if err := s.pullReplica(id); err != nil {
+				log.Printf("server: sync %s: %v", id, err)
+			}
+		}
+		select {
+		case <-s.closed:
+			return
+		default:
+		}
+	}
+}
+
+// Listen binds the DSS to addr, starts the synchronization loop, and
+// serves clients in the background. It returns the bound address.
+func (s *DSSServer) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.listener = l
+	s.wg.Add(2)
+	go s.syncLoop()
+	go s.acceptLoop()
+	return l.Addr().String(), nil
+}
+
+func (s *DSSServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		raw, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			log.Printf("server: accept: %v", err)
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(netproto.NewConn(raw))
+		}()
+	}
+}
+
+func (s *DSSServer) handleConn(conn *netproto.Conn) {
+	defer conn.Close()
+	for {
+		req, err := conn.ReadRequest()
+		if err != nil {
+			return
+		}
+		var resp *netproto.Response
+		switch req.Kind {
+		case netproto.KindPing:
+			resp = &netproto.Response{}
+		case netproto.KindStatus:
+			resp = s.handleStatus()
+		case netproto.KindMetrics:
+			resp = &netproto.Response{Metrics: s.stats.Flatten()}
+		case netproto.KindRegister:
+			resp = s.handleRegister(req)
+		case netproto.KindBatch:
+			resp = s.handleBatch(req)
+		case netproto.KindExec:
+			resp = s.handleExec(req)
+		default:
+			resp = &netproto.Response{Err: fmt.Sprintf("DSS does not serve request kind %d", int(req.Kind))}
+		}
+		if err := conn.WriteResponse(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *DSSServer) handleStatus() *netproto.Response {
+	now := s.now()
+	mgr := s.catalog.Replication()
+	var out []netproto.ReplicaStatus
+	for _, id := range mgr.Tables() {
+		site, err := s.catalog.Placement().SiteOf(id)
+		if err != nil {
+			continue
+		}
+		st := netproto.ReplicaStatus{Table: string(id), Site: int(site)}
+		s.mu.RLock()
+		snap, ok := s.replicas[id]
+		s.mu.RUnlock()
+		if ok {
+			st.LastSyncMinutes = snap.syncedAt
+			st.StalenessMinutes = now - snap.syncedAt
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
+	return &netproto.Response{Replicas: out}
+}
+
+// handleRegister pre-computes routing for a query (Section 3.1): plans for
+// every staleness bucket within the replication QoS window are tabulated
+// once, and later executions of the same SQL resolve by table lookup.
+func (s *DSSServer) handleRegister(req *netproto.Request) *netproto.Response {
+	stmt, err := sqlmini.Parse(req.SQL)
+	if err != nil {
+		return &netproto.Response{Err: err.Error()}
+	}
+	bv := req.BusinessValue
+	if bv == 0 {
+		bv = 1
+	}
+	var tables []core.TableID
+	for _, name := range stmt.TableNames() {
+		tables = append(tables, core.TableID(strings.ToLower(name)))
+	}
+	q := core.Query{ID: queryID(req.SQL), Tables: tables, BusinessValue: bv}
+
+	repl := s.catalog.Replication()
+	sites := make([]core.SiteID, len(tables))
+	replicated := make([]bool, len(tables))
+	// QoS window: replicas refresh on fixed periods, so staleness is
+	// bounded by the largest period among the query's replicated tables.
+	window := core.Duration(0)
+	for i, id := range tables {
+		site, err := s.catalog.Placement().SiteOf(id)
+		if err != nil {
+			return &netproto.Response{Err: err.Error()}
+		}
+		sites[i] = site
+		if repl.Replicated(id) {
+			replicated[i] = true
+			if period, ok := s.cfg.Replicate[id]; ok {
+				if m := period.Seconds() * s.cfg.TimeScale; m > window {
+					window = m
+				}
+			}
+		}
+	}
+	if window == 0 {
+		// No replicated tables: routing is trivial (always all-base), but
+		// the router still needs a positive window to tabulate against.
+		window = 1
+	}
+	s.routerMu.Lock()
+	defer s.routerMu.Unlock()
+	if s.router.Registered(q.ID) {
+		return &netproto.Response{} // idempotent
+	}
+	if err := s.router.Register(q, sites, replicated, window); err != nil {
+		return &netproto.Response{Err: err.Error()}
+	}
+	s.stats.Counter("registered_queries_total").Inc()
+	return &netproto.Response{}
+}
+
+// queryID derives a stable identifier for ad hoc SQL so repeated texts
+// share calibration entries.
+func queryID(sql string) string {
+	sum := sha256.Sum256([]byte(strings.Join(strings.Fields(sql), " ")))
+	return "sql-" + hex.EncodeToString(sum[:6])
+}
+
+func (s *DSSServer) handleExec(req *netproto.Request) *netproto.Response {
+	resp := s.execWithMetrics(req)
+	if resp.Err != "" {
+		s.stats.Counter("query_errors_total").Inc()
+	}
+	return resp
+}
+
+// latencyBounds buckets CL/SL histograms in experiment minutes.
+var latencyBounds = []float64{.1, .5, 1, 2, 5, 10, 20, 40, 80, 160}
+
+// valueBounds buckets information-value histograms.
+var valueBounds = []float64{.1, .2, .3, .4, .5, .6, .7, .8, .9, 1}
+
+func (s *DSSServer) execWithMetrics(req *netproto.Request) *netproto.Response {
+	s.stats.Counter("queries_total").Inc()
+	stmt, err := sqlmini.Parse(req.SQL)
+	if err != nil {
+		return &netproto.Response{Err: err.Error()}
+	}
+	q, err := s.plannerQuery(stmt, req.SQL, req.BusinessValue, s.now())
+	if err != nil {
+		return &netproto.Response{Err: err.Error()}
+	}
+	result, meta, err := s.runOne(stmt, q, true)
+	if err != nil {
+		return &netproto.Response{Err: err.Error()}
+	}
+	return &netproto.Response{Result: result, Meta: meta}
+}
+
+// plannerQuery derives the planner's view of a parsed statement.
+func (s *DSSServer) plannerQuery(stmt *sqlmini.SelectStmt, sql string, bv float64, submit core.Time) (core.Query, error) {
+	var tables []core.TableID
+	for _, name := range stmt.TableNames() {
+		tables = append(tables, core.TableID(strings.ToLower(name)))
+	}
+	if bv == 0 {
+		bv = 1
+	}
+	q := core.Query{ID: queryID(sql), Tables: tables, BusinessValue: bv, SubmitAt: submit}
+	// Fail fast on unknown tables so batch members error individually.
+	for _, id := range tables {
+		if _, err := s.catalog.Placement().SiteOf(id); err != nil {
+			return core.Query{}, err
+		}
+	}
+	return q, nil
+}
+
+// runOne plans (router fast path optional), honours a bounded delay,
+// executes, and records calibration and metrics for one query. The CL
+// clock runs from q.SubmitAt, so batch members queued behind their
+// workload predecessors pay their waiting time.
+func (s *DSSServer) runOne(stmt *sqlmini.SelectStmt, q core.Query, tryRouter bool) (*relation.Table, *netproto.ReportMeta, error) {
+	now := s.now()
+	snapshot, err := s.catalog.Snapshot(q.Tables, now, s.cfg.PlannerHorizon)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Registered queries take the pre-calculated routing fast path; a
+	// refusal (QoS violated, shape changed) falls back to the full search.
+	var plan core.Plan
+	usedRouter := false
+	if tryRouter {
+		s.routerMu.Lock()
+		plan, usedRouter = s.router.Route(q.ID, snapshot, now)
+		s.routerMu.Unlock()
+	}
+	if usedRouter {
+		plan.Query = q // carry the true submission time for CL accounting
+		s.stats.Counter("routed_plans_total").Inc()
+	} else {
+		plan, _, err = s.planner.Best(q, snapshot, now)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Honour a delayed plan, bounded by MaxDelay.
+	if delay := s.wallDelay(plan.Start - s.now()); delay > 0 {
+		if delay > s.cfg.MaxDelay {
+			delay = s.cfg.MaxDelay
+		}
+		select {
+		case <-time.After(delay):
+		case <-s.closed:
+			return nil, nil, fmt.Errorf("server shutting down")
+		}
+	}
+
+	result, freshness, err := s.executePlan(stmt, plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	finish := s.now()
+
+	// Online calibration: record the measured processing cost for this
+	// (query, base-table subset) configuration.
+	s.costs.Record(q.ID, plan.BaseTables(), core.CostEstimate{Process: finish - plan.Start})
+
+	lat := core.Latencies{
+		CL: math.Max(finish-q.SubmitAt, 0),
+		SL: math.Max(finish-freshness, 0),
+	}
+	value := core.InformationValue(q.BusinessValue, lat, s.cfg.Rates)
+	s.stats.Histogram("report_cl_minutes", latencyBounds).Observe(lat.CL)
+	s.stats.Histogram("report_sl_minutes", latencyBounds).Observe(lat.SL)
+	s.stats.Histogram("report_value", valueBounds).Observe(value)
+	if len(plan.BaseTables()) == 0 {
+		s.stats.Counter("plans_all_replica_total").Inc()
+	} else if len(plan.BaseTables()) == len(plan.Access) {
+		s.stats.Counter("plans_all_base_total").Inc()
+	} else {
+		s.stats.Counter("plans_mixed_total").Inc()
+	}
+	if plan.Start > q.SubmitAt {
+		s.stats.Counter("plans_delayed_total").Inc()
+	}
+	return result, &netproto.ReportMeta{
+		PlanSignature: plan.Signature(),
+		CLMinutes:     lat.CL,
+		SLMinutes:     lat.SL,
+		Value:         value,
+	}, nil
+}
+
+// handleBatch implements the live multi-query optimizer (Section 3.2): the
+// workload is ordered by the genetic scheduler over the planner's estimates
+// and then executed in that order on the coordinator, each member replanned
+// live when its turn comes.
+func (s *DSSServer) handleBatch(req *netproto.Request) *netproto.Response {
+	if len(req.Batch) == 0 {
+		return &netproto.Response{Err: "empty batch"}
+	}
+	s.stats.Counter("batches_total").Inc()
+	submit := s.now()
+
+	items := make([]netproto.BatchItem, len(req.Batch))
+	stmts := make([]*sqlmini.SelectStmt, len(req.Batch))
+	queries := make([]core.Query, 0, len(req.Batch))
+	memberOf := make([]int, 0, len(req.Batch)) // scheduler index → request index
+	for i, bq := range req.Batch {
+		stmt, err := sqlmini.Parse(bq.SQL)
+		if err != nil {
+			items[i].Err = err.Error()
+			continue
+		}
+		q, err := s.plannerQuery(stmt, bq.SQL, bq.BusinessValue, submit)
+		if err != nil {
+			items[i].Err = err.Error()
+			continue
+		}
+		q.ID = fmt.Sprintf("%s#%d", q.ID, i) // GA needs distinct members
+		stmts[i] = stmt
+		queries = append(queries, q)
+		memberOf = append(memberOf, i)
+	}
+
+	order := make([]int, len(queries))
+	for i := range order {
+		order[i] = i
+	}
+	if len(queries) > 1 {
+		ev := &scheduler.Evaluator{Planner: s.planner, Catalog: s.catalog, Horizon: s.cfg.PlannerHorizon}
+		mqo, err := scheduler.ScheduleMQO(queries, ev, scheduler.GAConfig{Seed: 1})
+		if err == nil {
+			order = mqo.Order
+		} else {
+			log.Printf("server: batch MQO failed, running FIFO: %v", err)
+		}
+	}
+
+	for _, qi := range order {
+		reqIdx := memberOf[qi]
+		result, meta, err := s.runOne(stmts[reqIdx], queries[qi], false)
+		s.stats.Counter("queries_total").Inc()
+		if err != nil {
+			items[reqIdx].Err = err.Error()
+			s.stats.Counter("query_errors_total").Inc()
+			continue
+		}
+		items[reqIdx].Result = result
+		items[reqIdx].Meta = meta
+	}
+	return &netproto.Response{Batch: items}
+}
+
+// executePlan evaluates the statement with per-table data sources chosen
+// by the plan and returns the result plus the oldest freshness timestamp
+// actually used.
+func (s *DSSServer) executePlan(stmt *sqlmini.SelectStmt, plan core.Plan) (*relation.Table, core.Time, error) {
+	cat := make(sqlmini.MapCatalog, len(plan.Access))
+	oldest := math.Inf(1)
+	for _, a := range plan.Access {
+		switch a.Kind {
+		case core.AccessReplica:
+			s.mu.RLock()
+			snap, ok := s.replicas[a.Table]
+			s.mu.RUnlock()
+			if !ok {
+				return nil, 0, fmt.Errorf("server: no replica snapshot for %s", a.Table)
+			}
+			cat[string(a.Table)] = snap.table
+			oldest = math.Min(oldest, snap.syncedAt)
+		case core.AccessBase:
+			addr, ok := s.cfg.Remotes[a.Site]
+			if !ok {
+				return nil, 0, fmt.Errorf("server: no address for site %d", a.Site)
+			}
+			fetchedAt := s.now()
+			// Query decomposition: push the table's single-alias filter
+			// conjuncts to the remote site so only matching rows travel.
+			// The residual WHERE still runs locally, so a refused or
+			// failed pushdown only costs transfer, never correctness.
+			req := &netproto.Request{Kind: netproto.KindScan, Table: string(a.Table)}
+			if pushSQL, ok := sqlmini.PushdownFor(stmt, string(a.Table)); ok {
+				req = &netproto.Request{Kind: netproto.KindExec, SQL: pushSQL}
+				s.stats.Counter("pushdowns_total").Inc()
+			}
+			resp, err := netproto.Call(addr, req, s.cfg.DialTimeout)
+			if err != nil {
+				// Availability degradation: an unreachable site is survivable
+				// when a replica snapshot exists — serve the stale copy and
+				// let the SL accounting price the staleness honestly.
+				s.mu.RLock()
+				snap, ok := s.replicas[a.Table]
+				s.mu.RUnlock()
+				if !ok {
+					return nil, 0, fmt.Errorf("server: site %d unreachable for %s and no replica to degrade to: %w", a.Site, a.Table, err)
+				}
+				log.Printf("server: site %d unreachable for %s, degrading to replica (synced %.2f): %v", a.Site, a.Table, snap.syncedAt, err)
+				s.stats.Counter("degraded_reads_total").Inc()
+				cat[string(a.Table)] = snap.table
+				oldest = math.Min(oldest, snap.syncedAt)
+				continue
+			}
+			result := resp.Result
+			result.Name = string(a.Table)
+			cat[string(a.Table)] = result
+			oldest = math.Min(oldest, fetchedAt)
+		default:
+			return nil, 0, fmt.Errorf("server: invalid access kind %d", int(a.Kind))
+		}
+	}
+	out, err := sqlmini.Execute(stmt, cat)
+	if err != nil {
+		return nil, 0, err
+	}
+	if math.IsInf(oldest, 1) {
+		oldest = s.now()
+	}
+	return out, oldest, nil
+}
+
+// Close stops the listener and the synchronization loop. It is idempotent.
+func (s *DSSServer) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.listener != nil {
+			err = s.listener.Close()
+		}
+		s.wg.Wait()
+	})
+	return err
+}

@@ -1,0 +1,197 @@
+// Package server implements the live deployment: RemoteServer is a branch
+// database server holding base tables; DSSServer is the local federation
+// server that maintains replicas on synchronization cycles, plans queries
+// by information value, and answers clients over TCP.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"ivdss/internal/netproto"
+	"ivdss/internal/relation"
+	"ivdss/internal/sqlmini"
+)
+
+// RemoteServer serves base tables: scans for replication pulls, local SQL
+// execution (query pushdown), and row inserts that stand in for branch
+// OLTP traffic.
+type RemoteServer struct {
+	mu     sync.RWMutex
+	tables map[string]*relation.Table
+	// scanDelay simulates WAN latency on every scan and exec; loopback
+	// demos use it so remote reads genuinely cost more than replicas.
+	scanDelay time.Duration
+
+	listener  net.Listener
+	wg        sync.WaitGroup
+	closed    chan struct{}
+	closeOnce sync.Once
+}
+
+// NewRemoteServer returns a server with no tables.
+func NewRemoteServer() *RemoteServer {
+	return &RemoteServer{
+		tables: make(map[string]*relation.Table),
+		closed: make(chan struct{}),
+	}
+}
+
+// SetScanDelay makes every scan and query execution pause for d first,
+// simulating WAN distance. Call before Listen.
+func (s *RemoteServer) SetScanDelay(d time.Duration) { s.scanDelay = d }
+
+// AddTable installs a base table (before or after Serve).
+func (s *RemoteServer) AddTable(t *relation.Table) error {
+	name := strings.ToLower(t.Name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return fmt.Errorf("server: table %s already installed", name)
+	}
+	s.tables[name] = t
+	return nil
+}
+
+// Tables lists the installed table names, sorted.
+func (s *RemoteServer) Tables() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Listen binds the server to addr (use "127.0.0.1:0" for an ephemeral
+// port) and starts serving in the background. It returns the bound
+// address.
+func (s *RemoteServer) Listen(addr string) (string, error) {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.listener = l
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return l.Addr().String(), nil
+}
+
+func (s *RemoteServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		raw, err := s.listener.Accept()
+		if err != nil {
+			select {
+			case <-s.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			log.Printf("server: accept: %v", err)
+			continue
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handleConn(netproto.NewConn(raw))
+		}()
+	}
+}
+
+func (s *RemoteServer) handleConn(conn *netproto.Conn) {
+	defer conn.Close()
+	for {
+		req, err := conn.ReadRequest()
+		if err != nil {
+			return // EOF or broken pipe: the client is done
+		}
+		resp := s.handle(req)
+		if err := conn.WriteResponse(resp); err != nil {
+			return
+		}
+	}
+}
+
+func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
+	switch req.Kind {
+	case netproto.KindPing:
+		return &netproto.Response{}
+
+	case netproto.KindTables:
+		return &netproto.Response{Tables: s.Tables()}
+
+	case netproto.KindScan:
+		if s.scanDelay > 0 {
+			time.Sleep(s.scanDelay)
+		}
+		s.mu.RLock()
+		t, ok := s.tables[strings.ToLower(req.Table)]
+		var snapshot *relation.Table
+		if ok {
+			snapshot = t.Clone()
+		}
+		s.mu.RUnlock()
+		if !ok {
+			return &netproto.Response{Err: fmt.Sprintf("no table %q", req.Table)}
+		}
+		return &netproto.Response{Result: snapshot}
+
+	case netproto.KindExec:
+		if s.scanDelay > 0 {
+			time.Sleep(s.scanDelay)
+		}
+		s.mu.RLock()
+		cat := make(sqlmini.MapCatalog, len(s.tables))
+		for n, t := range s.tables {
+			cat[n] = t
+		}
+		out, err := sqlmini.Run(req.SQL, cat)
+		s.mu.RUnlock()
+		if err != nil {
+			return &netproto.Response{Err: err.Error()}
+		}
+		return &netproto.Response{Result: out}
+
+	case netproto.KindInsert:
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		t, ok := s.tables[strings.ToLower(req.Table)]
+		if !ok {
+			return &netproto.Response{Err: fmt.Sprintf("no table %q", req.Table)}
+		}
+		for i, row := range req.Rows {
+			if err := t.Insert(row); err != nil {
+				return &netproto.Response{Err: fmt.Sprintf("row %d: %v", i, err)}
+			}
+		}
+		return &netproto.Response{}
+
+	default:
+		return &netproto.Response{Err: fmt.Sprintf("unsupported request kind %d", int(req.Kind))}
+	}
+}
+
+// Close stops the listener and waits for in-flight connections. It is
+// idempotent.
+func (s *RemoteServer) Close() error {
+	var err error
+	s.closeOnce.Do(func() {
+		close(s.closed)
+		if s.listener != nil {
+			err = s.listener.Close()
+		}
+		s.wg.Wait()
+	})
+	return err
+}

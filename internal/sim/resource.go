@@ -1,0 +1,114 @@
+package sim
+
+// Resource models a station with a fixed number of identical servers and a
+// FIFO queue, e.g. a remote database server that can process `capacity`
+// queries at once. Jobs submitted while all servers are busy wait in
+// arrival order. This is the queueing substrate behind the paper's
+// "computational latency = queuing time + processing time + transmission
+// time" decomposition.
+type Resource struct {
+	sim      *Simulator
+	name     string
+	capacity int
+	busy     int
+	queue    []*job
+
+	// Instrumentation.
+	served        int
+	totalWait     Time
+	totalService  Time
+	maxQueueDepth int
+}
+
+type job struct {
+	arrived Time
+	service Time
+	done    func(wait Time)
+}
+
+// NewResource returns a FIFO resource with the given server capacity,
+// attached to s. Capacity must be positive.
+func NewResource(s *Simulator, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{sim: s, name: name, capacity: capacity}
+}
+
+// Name returns the resource's diagnostic name.
+func (r *Resource) Name() string { return r.name }
+
+// Submit enqueues a job needing `service` time units. When the job
+// completes, done is invoked with the time the job spent waiting in queue
+// (not counting service). Submit never blocks; all sequencing happens on
+// the simulator's event list.
+func (r *Resource) Submit(service Time, done func(wait Time)) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	j := &job{arrived: r.sim.Now(), service: service, done: done}
+	if r.busy < r.capacity {
+		r.start(j)
+		return
+	}
+	r.queue = append(r.queue, j)
+	if d := len(r.queue); d > r.maxQueueDepth {
+		r.maxQueueDepth = d
+	}
+}
+
+func (r *Resource) start(j *job) {
+	r.busy++
+	wait := r.sim.Now() - j.arrived
+	r.totalWait += wait
+	r.totalService += j.service
+	r.sim.Schedule(j.service, func() {
+		r.busy--
+		r.served++
+		if j.done != nil {
+			j.done(wait)
+		}
+		r.dispatch()
+	})
+}
+
+func (r *Resource) dispatch() {
+	for r.busy < r.capacity && len(r.queue) > 0 {
+		next := r.queue[0]
+		r.queue = r.queue[1:]
+		r.start(next)
+	}
+}
+
+// QueueLen returns the number of jobs currently waiting (excluding jobs in
+// service).
+func (r *Resource) QueueLen() int { return len(r.queue) }
+
+// Busy returns the number of servers currently occupied.
+func (r *Resource) Busy() int { return r.busy }
+
+// Stats reports cumulative instrumentation for the resource.
+func (r *Resource) Stats() ResourceStats {
+	return ResourceStats{
+		Served:        r.served,
+		TotalWait:     r.totalWait,
+		TotalService:  r.totalService,
+		MaxQueueDepth: r.maxQueueDepth,
+	}
+}
+
+// ResourceStats is a snapshot of a Resource's counters.
+type ResourceStats struct {
+	Served        int
+	TotalWait     Time
+	TotalService  Time
+	MaxQueueDepth int
+}
+
+// MeanWait returns the mean queueing delay over all served jobs.
+func (st ResourceStats) MeanWait() Time {
+	if st.Served == 0 {
+		return 0
+	}
+	return st.TotalWait / Time(st.Served)
+}

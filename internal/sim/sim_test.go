@@ -1,0 +1,358 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	s := New()
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want 3", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.Schedule(5, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("simultaneous events out of FIFO order: %v", order)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	s := New()
+	var times []Time
+	s.Schedule(1, func() {
+		times = append(times, s.Now())
+		s.Schedule(2, func() {
+			times = append(times, s.Now())
+		})
+	})
+	s.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v, want [1 3]", times)
+	}
+}
+
+func TestScheduleAtPastPanics(t *testing.T) {
+	s := New()
+	s.Schedule(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic scheduling in the past")
+		}
+	}()
+	s.ScheduleAt(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative delay")
+		}
+	}()
+	New().Schedule(-1, func() {})
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	ran := false
+	h := s.Schedule(1, func() { ran = true })
+	if !s.Cancel(h) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if s.Cancel(h) {
+		t.Error("second Cancel should return false")
+	}
+	s.Run()
+	if ran {
+		t.Error("cancelled event ran")
+	}
+}
+
+func TestCancelExecutedEvent(t *testing.T) {
+	s := New()
+	h := s.Schedule(1, func() {})
+	s.Run()
+	if s.Cancel(h) {
+		t.Error("Cancel after execution should return false")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	var ran []Time
+	for _, at := range []Time{1, 2, 3, 4, 5} {
+		at := at
+		s.ScheduleAt(at, func() { ran = append(ran, at) })
+	}
+	s.RunUntil(3)
+	if len(ran) != 3 {
+		t.Fatalf("ran %d events, want 3", len(ran))
+	}
+	if s.Now() != 3 {
+		t.Errorf("clock = %v, want 3", s.Now())
+	}
+	if s.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", s.Pending())
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	s := New()
+	s.RunUntil(42)
+	if s.Now() != 42 {
+		t.Errorf("clock = %v, want 42", s.Now())
+	}
+}
+
+func TestNextAt(t *testing.T) {
+	s := New()
+	if s.NextAt() != End {
+		t.Error("NextAt on empty list should be End")
+	}
+	s.Schedule(7, func() {})
+	if s.NextAt() != 7 {
+		t.Errorf("NextAt = %v, want 7", s.NextAt())
+	}
+}
+
+func TestEventTimesNonDecreasing(t *testing.T) {
+	f := func(delays []float64) bool {
+		s := New()
+		var seen []Time
+		for _, d := range delays {
+			if d < 0 {
+				d = -d
+			}
+			if d > 1e9 {
+				d = 1e9
+			}
+			s.Schedule(d, func() { seen = append(seen, s.Now()) })
+		}
+		s.Run()
+		return sort.Float64sAreSorted(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestResourceSingleServerQueueing(t *testing.T) {
+	s := New()
+	r := NewResource(s, "db", 1)
+	var waits []Time
+	// Three jobs of service time 10 arrive together: waits 0, 10, 20.
+	for i := 0; i < 3; i++ {
+		r.Submit(10, func(w Time) { waits = append(waits, w) })
+	}
+	s.Run()
+	want := []Time{0, 10, 20}
+	for i := range want {
+		if waits[i] != want[i] {
+			t.Fatalf("waits = %v, want %v", waits, want)
+		}
+	}
+	if s.Now() != 30 {
+		t.Errorf("clock = %v, want 30", s.Now())
+	}
+}
+
+func TestResourceParallelServers(t *testing.T) {
+	s := New()
+	r := NewResource(s, "db", 2)
+	var done int
+	for i := 0; i < 4; i++ {
+		r.Submit(10, func(Time) { done++ })
+	}
+	s.Run()
+	if done != 4 {
+		t.Fatalf("done = %d, want 4", done)
+	}
+	// With 2 servers, 4 jobs of 10 finish at t=20.
+	if s.Now() != 20 {
+		t.Errorf("clock = %v, want 20", s.Now())
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	s := New()
+	r := NewResource(s, "db", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		r.Submit(1, func(Time) { order = append(order, i) })
+	}
+	s.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("completion order %v not FIFO", order)
+		}
+	}
+}
+
+func TestResourceStats(t *testing.T) {
+	s := New()
+	r := NewResource(s, "db", 1)
+	for i := 0; i < 3; i++ {
+		r.Submit(10, nil)
+	}
+	s.Run()
+	st := r.Stats()
+	if st.Served != 3 {
+		t.Errorf("Served = %d, want 3", st.Served)
+	}
+	if st.TotalWait != 30 { // 0 + 10 + 20
+		t.Errorf("TotalWait = %v, want 30", st.TotalWait)
+	}
+	if got := st.MeanWait(); got != 10 {
+		t.Errorf("MeanWait = %v, want 10", got)
+	}
+	if st.MaxQueueDepth != 2 {
+		t.Errorf("MaxQueueDepth = %d, want 2", st.MaxQueueDepth)
+	}
+}
+
+func TestResourceStatsEmpty(t *testing.T) {
+	s := New()
+	r := NewResource(s, "db", 1)
+	if got := r.Stats().MeanWait(); got != 0 {
+		t.Errorf("MeanWait on empty = %v, want 0", got)
+	}
+}
+
+func TestResourceLateArrival(t *testing.T) {
+	s := New()
+	r := NewResource(s, "db", 1)
+	var wait Time = -1
+	s.Schedule(0, func() { r.Submit(10, nil) })
+	// Arrives at t=5, server busy until t=10, so waits 5.
+	s.Schedule(5, func() { r.Submit(3, func(w Time) { wait = w }) })
+	s.Run()
+	if wait != 5 {
+		t.Errorf("wait = %v, want 5", wait)
+	}
+	if s.Now() != 13 {
+		t.Errorf("clock = %v, want 13", s.Now())
+	}
+}
+
+func TestResourceInvalidCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewResource(New(), "x", 0)
+}
+
+func TestResourceNegativeServicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewResource(New(), "x", 1).Submit(-1, nil)
+}
+
+// TestResourceConservation checks a work-conservation invariant: with a
+// single server and jobs all submitted at t=0, the makespan equals the sum
+// of service times.
+func TestResourceConservation(t *testing.T) {
+	f := func(raw []uint8) bool {
+		s := New()
+		r := NewResource(s, "db", 1)
+		var total Time
+		for _, d := range raw {
+			svc := Time(d)
+			total += svc
+			r.Submit(svc, nil)
+		}
+		s.Run()
+		return s.Now() == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestHeapStress drives the event queue with random schedule/cancel
+// operations and checks execution matches a reference model.
+func TestHeapStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 50; trial++ {
+		s := New()
+		type planned struct {
+			at        Time
+			seq       int
+			cancelled bool
+		}
+		var model []*planned
+		var executed []int
+		var handles []Handle
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			at := Time(rng.Intn(50))
+			p := &planned{at: at, seq: i}
+			model = append(model, p)
+			idx := i
+			handles = append(handles, s.ScheduleAt(at, func() {
+				executed = append(executed, idx)
+			}))
+		}
+		// Cancel a random subset.
+		for i := range handles {
+			if rng.Intn(4) == 0 {
+				if s.Cancel(handles[i]) {
+					model[i].cancelled = true
+				}
+			}
+		}
+		s.Run()
+
+		// Reference: events sorted by (at, seq), cancelled ones removed.
+		var want []int
+		ordered := append([]*planned{}, model...)
+		sort.SliceStable(ordered, func(a, b int) bool {
+			if ordered[a].at != ordered[b].at {
+				return ordered[a].at < ordered[b].at
+			}
+			return ordered[a].seq < ordered[b].seq
+		})
+		for _, p := range ordered {
+			if !p.cancelled {
+				want = append(want, p.seq)
+			}
+		}
+		if len(executed) != len(want) {
+			t.Fatalf("trial %d: executed %d events, want %d", trial, len(executed), len(want))
+		}
+		for i := range want {
+			if executed[i] != want[i] {
+				t.Fatalf("trial %d: order mismatch at %d", trial, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"ivdss/internal/relation"
+)
+
+// env binds column references to positions in a working table whose columns
+// carry qualified names ("alias.col") or derived-expression names.
+type env struct {
+	schema relation.Schema
+}
+
+// resolve finds the column position for a reference. Qualified references
+// match "qualifier.name" exactly; unqualified references match either a
+// whole column name (derived columns) or a unique ".name" suffix.
+func (e env) resolve(ref *ColumnRef) (int, error) {
+	if ref.Qualifier != "" {
+		if i := e.schema.ColIndex(ref.Qualifier + "." + ref.Name); i >= 0 {
+			return i, nil
+		}
+		return -1, fmt.Errorf("sqlmini: unknown column %s", ref)
+	}
+	if i := e.schema.ColIndex(ref.Name); i >= 0 {
+		return i, nil
+	}
+	found := -1
+	suffix := "." + strings.ToLower(ref.Name)
+	for i, c := range e.schema.Cols {
+		if strings.HasSuffix(strings.ToLower(c.Name), suffix) {
+			if found >= 0 {
+				return -1, fmt.Errorf("sqlmini: ambiguous column %s (matches %s and %s)",
+					ref.Name, e.schema.Cols[found].Name, c.Name)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("sqlmini: unknown column %s", ref)
+	}
+	return found, nil
+}
+
+// lookupDerived finds a column whose name equals the rendered expression,
+// used to read back materialized aggregate and group-key columns.
+func (e env) lookupDerived(expr Expr) (int, bool) {
+	i := e.schema.ColIndex(expr.String())
+	return i, i >= 0
+}
+
+// eval computes an expression over one row. Boolean results are
+// represented as Int 1/0. Aggregates are invalid here: the executor
+// materializes them into columns before any per-row evaluation, so hitting
+// one means the query used an aggregate where none is allowed.
+func eval(e Expr, en env, row relation.Row) (relation.Value, error) {
+	// Derived columns (materialized aggregates, group keys) shadow
+	// structural evaluation.
+	if _, ok := e.(*ColumnRef); !ok {
+		if i, ok := en.lookupDerived(e); ok {
+			return row[i], nil
+		}
+	}
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val, nil
+	case *ColumnRef:
+		i, err := en.resolve(x)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return row[i], nil
+	case *BinaryExpr:
+		return evalBinary(x, en, row)
+	case *NotExpr:
+		b, err := evalBool(x.Inner, en, row)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return boolVal(!b), nil
+	case *BetweenExpr:
+		s, err := eval(x.Subject, en, row)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		lo, err := eval(x.Lo, en, row)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		hi, err := eval(x.Hi, en, row)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		cLo, err := compareCoerced(s, lo)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		cHi, err := compareCoerced(s, hi)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return boolVal(cLo >= 0 && cHi <= 0), nil
+	case *InExpr:
+		s, err := eval(x.Subject, en, row)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		for _, opt := range x.Options {
+			o, err := eval(opt, en, row)
+			if err != nil {
+				return relation.Value{}, err
+			}
+			c, err := compareCoerced(s, o)
+			if err != nil {
+				return relation.Value{}, err
+			}
+			if c == 0 {
+				return boolVal(true), nil
+			}
+		}
+		return boolVal(false), nil
+	case *LikeExpr:
+		s, err := eval(x.Subject, en, row)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		if s.T != relation.Str {
+			return relation.Value{}, fmt.Errorf("sqlmini: LIKE over non-string %s", s.T)
+		}
+		return boolVal(likeMatch(s.S, x.Pattern)), nil
+	case *AggExpr:
+		return relation.Value{}, fmt.Errorf("sqlmini: aggregate %s not allowed here", x)
+	default:
+		return relation.Value{}, fmt.Errorf("sqlmini: cannot evaluate %T", e)
+	}
+}
+
+func evalBinary(x *BinaryExpr, en env, row relation.Row) (relation.Value, error) {
+	switch x.Op {
+	case "AND":
+		l, err := evalBool(x.Left, en, row)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		if !l {
+			return boolVal(false), nil
+		}
+		r, err := evalBool(x.Right, en, row)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return boolVal(r), nil
+	case "OR":
+		l, err := evalBool(x.Left, en, row)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		if l {
+			return boolVal(true), nil
+		}
+		r, err := evalBool(x.Right, en, row)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		return boolVal(r), nil
+	}
+
+	l, err := eval(x.Left, en, row)
+	if err != nil {
+		return relation.Value{}, err
+	}
+	r, err := eval(x.Right, en, row)
+	if err != nil {
+		return relation.Value{}, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		c, err := compareCoerced(l, r)
+		if err != nil {
+			return relation.Value{}, err
+		}
+		switch x.Op {
+		case "=":
+			return boolVal(c == 0), nil
+		case "<>":
+			return boolVal(c != 0), nil
+		case "<":
+			return boolVal(c < 0), nil
+		case "<=":
+			return boolVal(c <= 0), nil
+		case ">":
+			return boolVal(c > 0), nil
+		default:
+			return boolVal(c >= 0), nil
+		}
+	case "+", "-", "*", "/":
+		return arith(x.Op, l, r)
+	default:
+		return relation.Value{}, fmt.Errorf("sqlmini: unknown operator %q", x.Op)
+	}
+}
+
+func evalBool(e Expr, en env, row relation.Row) (bool, error) {
+	v, err := eval(e, en, row)
+	if err != nil {
+		return false, err
+	}
+	switch v.T {
+	case relation.Int:
+		return v.I != 0, nil
+	case relation.Float:
+		return v.F != 0, nil
+	default:
+		return false, fmt.Errorf("sqlmini: non-boolean value %s in predicate", v)
+	}
+}
+
+func boolVal(b bool) relation.Value {
+	if b {
+		return relation.IntVal(1)
+	}
+	return relation.IntVal(0)
+}
+
+// compareCoerced compares values, additionally coercing a string literal to
+// a Date when compared against a Date column (so `ship_date <= '1998-09-02'`
+// works without the DATE keyword).
+func compareCoerced(a, b relation.Value) (int, error) {
+	if a.T == relation.Date && b.T == relation.Str {
+		parsed, err := relation.ParseDate(b.S)
+		if err != nil {
+			return 0, err
+		}
+		b = parsed
+	}
+	if a.T == relation.Str && b.T == relation.Date {
+		parsed, err := relation.ParseDate(a.S)
+		if err != nil {
+			return 0, err
+		}
+		a = parsed
+	}
+	return relation.Compare(a, b)
+}
+
+func arith(op string, l, r relation.Value) (relation.Value, error) {
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return relation.Value{}, fmt.Errorf("sqlmini: arithmetic %q over %s and %s", op, l.T, r.T)
+	}
+	bothInt := l.T == relation.Int && r.T == relation.Int
+	switch op {
+	case "+":
+		if bothInt {
+			return relation.IntVal(l.I + r.I), nil
+		}
+		return relation.FloatVal(lf + rf), nil
+	case "-":
+		if bothInt {
+			return relation.IntVal(l.I - r.I), nil
+		}
+		return relation.FloatVal(lf - rf), nil
+	case "*":
+		if bothInt {
+			return relation.IntVal(l.I * r.I), nil
+		}
+		return relation.FloatVal(lf * rf), nil
+	case "/":
+		if rf == 0 {
+			return relation.Value{}, fmt.Errorf("sqlmini: division by zero")
+		}
+		return relation.FloatVal(lf / rf), nil
+	default:
+		return relation.Value{}, fmt.Errorf("sqlmini: unknown arithmetic op %q", op)
+	}
+}
+
+// likeMatch implements SQL LIKE with % wildcards (no underscore support).
+func likeMatch(s, pattern string) bool {
+	parts := strings.Split(pattern, "%")
+	if len(parts) == 1 {
+		return s == pattern
+	}
+	if !strings.HasPrefix(s, parts[0]) {
+		return false
+	}
+	s = s[len(parts[0]):]
+	last := parts[len(parts)-1]
+	for _, mid := range parts[1 : len(parts)-1] {
+		if mid == "" {
+			continue
+		}
+		i := strings.Index(s, mid)
+		if i < 0 {
+			return false
+		}
+		s = s[i+len(mid):]
+	}
+	return strings.HasSuffix(s, last)
+}
+
+// inferType predicts an expression's output type so empty results still
+// carry a schema.
+func inferType(e Expr, en env) relation.Type {
+	if _, ok := e.(*ColumnRef); !ok {
+		if i, ok := en.lookupDerived(e); ok {
+			return en.schema.Cols[i].Type
+		}
+	}
+	switch x := e.(type) {
+	case *Literal:
+		return x.Val.T
+	case *ColumnRef:
+		if i, err := en.resolve(x); err == nil {
+			return en.schema.Cols[i].Type
+		}
+		return relation.Float
+	case *BinaryExpr:
+		switch x.Op {
+		case "+", "-", "*":
+			if inferType(x.Left, en) == relation.Int && inferType(x.Right, en) == relation.Int {
+				return relation.Int
+			}
+			return relation.Float
+		case "/":
+			return relation.Float
+		default:
+			return relation.Int // boolean
+		}
+	case *NotExpr, *BetweenExpr, *InExpr, *LikeExpr:
+		return relation.Int // boolean
+	case *AggExpr:
+		switch x.Fn {
+		case relation.Count, relation.CountDistinct:
+			return relation.Int
+		case relation.Min, relation.Max:
+			if x.Arg != nil {
+				return inferType(x.Arg, en)
+			}
+			return relation.Float
+		default:
+			return relation.Float
+		}
+	default:
+		return relation.Float
+	}
+}

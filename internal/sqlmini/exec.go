@@ -1,0 +1,578 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+
+	"ivdss/internal/relation"
+)
+
+// Catalog supplies the executor with tables by name. The federation layer
+// implements it to hand the executor either local replicas or base-table
+// data fetched from remote sites, depending on the chosen plan.
+type Catalog interface {
+	Table(name string) (*relation.Table, error)
+}
+
+// MapCatalog is a Catalog over an in-memory map, keyed case-insensitively.
+type MapCatalog map[string]*relation.Table
+
+// Table implements Catalog.
+func (m MapCatalog) Table(name string) (*relation.Table, error) {
+	if t, ok := m[name]; ok {
+		return t, nil
+	}
+	for k, t := range m {
+		if strings.EqualFold(k, name) {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("sqlmini: unknown table %q", name)
+}
+
+// maxCrossRows guards runaway cross products from disconnected FROM lists.
+const maxCrossRows = 1 << 22
+
+// Run parses and executes a query against the catalog.
+func Run(query string, cat Catalog) (*relation.Table, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(stmt, cat)
+}
+
+// Execute evaluates a parsed statement against the catalog and returns the
+// result as a table whose columns are the SELECT items.
+func Execute(stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
+	working, err := buildJoinTree(stmt, cat)
+	if err != nil {
+		return nil, err
+	}
+	en := env{schema: working.Schema}
+
+	if stmt.Where != nil {
+		working, err = filterTable(working, en, stmt.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	stmt, err = expandStars(stmt, working.Schema)
+	if err != nil {
+		return nil, err
+	}
+
+	if len(stmt.GroupBy) > 0 || containsAggregate(stmt) {
+		working, err = aggregate(stmt, working, en)
+		if err != nil {
+			return nil, err
+		}
+		en = env{schema: working.Schema}
+		if stmt.Having != nil {
+			working, err = filterTable(working, en, stmt.Having)
+			if err != nil {
+				return nil, err
+			}
+		}
+	} else if stmt.Having != nil {
+		return nil, fmt.Errorf("sqlmini: HAVING without aggregation")
+	}
+
+	return project(stmt, working, en)
+}
+
+// expandStars replaces `*` select items with explicit column references
+// over the working schema (qualified names become bare output columns).
+// The statement is copied, never mutated: callers may re-execute it.
+func expandStars(stmt *SelectStmt, schema relation.Schema) (*SelectStmt, error) {
+	hasStar := false
+	for _, it := range stmt.Items {
+		if it.Star {
+			hasStar = true
+			break
+		}
+	}
+	if !hasStar {
+		return stmt, nil
+	}
+	out := *stmt
+	out.Items = make([]SelectItem, 0, len(stmt.Items)+schema.Arity())
+	for _, it := range stmt.Items {
+		if !it.Star {
+			out.Items = append(out.Items, it)
+			continue
+		}
+		for _, col := range schema.Cols {
+			name := col.Name
+			alias := name
+			if dot := strings.LastIndex(name, "."); dot >= 0 {
+				alias = name[dot+1:]
+			}
+			out.Items = append(out.Items, SelectItem{
+				Expr:  &ColumnRef{Name: name},
+				Alias: alias,
+			})
+		}
+	}
+	return &out, nil
+}
+
+// buildJoinTree loads and joins all referenced tables. Explicit JOIN ... ON
+// clauses join in statement order; comma-listed FROM tables join greedily
+// along equijoin conjuncts found in WHERE, falling back to a (guarded)
+// cross product for disconnected tables.
+func buildJoinTree(stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("sqlmini: no FROM tables")
+	}
+	aliases := make(map[string]bool)
+	load := func(ref TableRef) (*relation.Table, error) {
+		alias := strings.ToLower(ref.EffectiveAlias())
+		if aliases[alias] {
+			return nil, fmt.Errorf("sqlmini: duplicate table alias %q", ref.EffectiveAlias())
+		}
+		aliases[alias] = true
+		t, err := cat.Table(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		return qualify(t, ref.EffectiveAlias()), nil
+	}
+
+	working, err := load(stmt.From[0])
+	if err != nil {
+		return nil, err
+	}
+
+	// Conjuncts of WHERE drive join ordering for comma-FROM tables.
+	conjuncts := splitConjuncts(stmt.Where)
+
+	pending := make([]*relation.Table, 0, len(stmt.From)-1)
+	for _, ref := range stmt.From[1:] {
+		t, err := load(ref)
+		if err != nil {
+			return nil, err
+		}
+		pending = append(pending, t)
+	}
+	for len(pending) > 0 {
+		joined := false
+		for i, t := range pending {
+			lk, rk := equijoinKeys(conjuncts, working.Schema, t.Schema)
+			if len(lk) == 0 {
+				continue
+			}
+			working, err = relation.HashJoin(working, t, lk, rk)
+			if err != nil {
+				return nil, err
+			}
+			pending = append(pending[:i], pending[i+1:]...)
+			joined = true
+			break
+		}
+		if !joined {
+			// No connecting predicate: cross product with the first
+			// pending table, guarded against blow-up.
+			t := pending[0]
+			pending = pending[1:]
+			if int64(working.NumRows())*int64(t.NumRows()) > maxCrossRows {
+				return nil, fmt.Errorf("sqlmini: cross product of %s (%d rows) and %s (%d rows) exceeds limit",
+					working.Name, working.NumRows(), t.Name, t.NumRows())
+			}
+			working, err = crossJoin(working, t)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	for _, jc := range stmt.Joins {
+		t, err := load(jc.Table)
+		if err != nil {
+			return nil, err
+		}
+		onConjuncts := splitConjuncts(jc.On)
+		lk, rk := equijoinKeys(onConjuncts, working.Schema, t.Schema)
+		if len(lk) == 0 {
+			return nil, fmt.Errorf("sqlmini: JOIN %s ON clause has no equijoin predicate", jc.Table.Name)
+		}
+		working, err = relation.HashJoin(working, t, lk, rk)
+		if err != nil {
+			return nil, err
+		}
+		// Non-equijoin residue of the ON clause filters the join output.
+		en := env{schema: working.Schema}
+		for _, c := range onConjuncts {
+			if isEquijoin(c) {
+				continue
+			}
+			working, err = filterTable(working, en, c)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return working, nil
+}
+
+// qualify renames columns to "alias.col" so joined schemas stay unambiguous.
+func qualify(t *relation.Table, alias string) *relation.Table {
+	cols := make([]relation.Column, len(t.Schema.Cols))
+	for i, c := range t.Schema.Cols {
+		cols[i] = relation.Column{Name: alias + "." + c.Name, Type: c.Type}
+	}
+	return &relation.Table{Name: alias, Schema: relation.Schema{Cols: cols}, Rows: t.Rows}
+}
+
+// splitConjuncts flattens nested ANDs into a list of predicates.
+func splitConjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.Left), splitConjuncts(b.Right)...)
+	}
+	return []Expr{e}
+}
+
+func isEquijoin(e Expr) bool {
+	b, ok := e.(*BinaryExpr)
+	if !ok || b.Op != "=" {
+		return false
+	}
+	_, lok := b.Left.(*ColumnRef)
+	_, rok := b.Right.(*ColumnRef)
+	return lok && rok
+}
+
+// equijoinKeys finds `left.col = right.col` conjuncts whose two sides
+// resolve in the two given schemas (in either order) and returns the paired
+// column positions.
+func equijoinKeys(conjuncts []Expr, left, right relation.Schema) (lk, rk []int) {
+	lEnv, rEnv := env{schema: left}, env{schema: right}
+	for _, c := range conjuncts {
+		b, ok := c.(*BinaryExpr)
+		if !ok || b.Op != "=" {
+			continue
+		}
+		lRef, lok := b.Left.(*ColumnRef)
+		rRef, rok := b.Right.(*ColumnRef)
+		if !lok || !rok {
+			continue
+		}
+		if li, err := lEnv.resolve(lRef); err == nil {
+			if ri, err := rEnv.resolve(rRef); err == nil {
+				lk = append(lk, li)
+				rk = append(rk, ri)
+				continue
+			}
+		}
+		if li, err := lEnv.resolve(rRef); err == nil {
+			if ri, err := rEnv.resolve(lRef); err == nil {
+				lk = append(lk, li)
+				rk = append(rk, ri)
+			}
+		}
+	}
+	return lk, rk
+}
+
+func crossJoin(l, r *relation.Table) (*relation.Table, error) {
+	cols := make([]relation.Column, 0, l.Schema.Arity()+r.Schema.Arity())
+	cols = append(cols, l.Schema.Cols...)
+	cols = append(cols, r.Schema.Cols...)
+	out := &relation.Table{Name: l.Name + "×" + r.Name, Schema: relation.Schema{Cols: cols}}
+	for _, lr := range l.Rows {
+		for _, rr := range r.Rows {
+			row := make(relation.Row, 0, len(cols))
+			row = append(row, lr...)
+			row = append(row, rr...)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+func filterTable(t *relation.Table, en env, pred Expr) (*relation.Table, error) {
+	var evalErr error
+	out := relation.Filter(t, func(r relation.Row) bool {
+		if evalErr != nil {
+			return false
+		}
+		ok, err := evalBool(pred, en, r)
+		if err != nil {
+			evalErr = err
+			return false
+		}
+		return ok
+	})
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return out, nil
+}
+
+// containsAggregate reports whether any SELECT or ORDER BY expression (or
+// HAVING) contains an aggregate call.
+func containsAggregate(stmt *SelectStmt) bool {
+	for _, it := range stmt.Items {
+		if hasAgg(it.Expr) {
+			return true
+		}
+	}
+	if stmt.Having != nil && hasAgg(stmt.Having) {
+		return true
+	}
+	for _, o := range stmt.OrderBy {
+		if hasAgg(o.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+func hasAgg(e Expr) bool {
+	switch x := e.(type) {
+	case *AggExpr:
+		return true
+	case *BinaryExpr:
+		return hasAgg(x.Left) || hasAgg(x.Right)
+	case *NotExpr:
+		return hasAgg(x.Inner)
+	case *BetweenExpr:
+		return hasAgg(x.Subject) || hasAgg(x.Lo) || hasAgg(x.Hi)
+	case *InExpr:
+		if hasAgg(x.Subject) {
+			return true
+		}
+		for _, o := range x.Options {
+			if hasAgg(o) {
+				return true
+			}
+		}
+		return false
+	case *LikeExpr:
+		return hasAgg(x.Subject)
+	default:
+		return false
+	}
+}
+
+// collectAggs gathers the distinct aggregate calls (by rendered text)
+// appearing anywhere in the statement's output clauses.
+func collectAggs(stmt *SelectStmt) []*AggExpr {
+	var out []*AggExpr
+	seen := make(map[string]bool)
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *AggExpr:
+			if !seen[x.String()] {
+				seen[x.String()] = true
+				out = append(out, x)
+			}
+		case *BinaryExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *NotExpr:
+			walk(x.Inner)
+		case *BetweenExpr:
+			walk(x.Subject)
+			walk(x.Lo)
+			walk(x.Hi)
+		case *InExpr:
+			walk(x.Subject)
+			for _, o := range x.Options {
+				walk(o)
+			}
+		case *LikeExpr:
+			walk(x.Subject)
+		}
+	}
+	for _, it := range stmt.Items {
+		walk(it.Expr)
+	}
+	if stmt.Having != nil {
+		walk(stmt.Having)
+	}
+	for _, o := range stmt.OrderBy {
+		walk(o.Expr)
+	}
+	return out
+}
+
+// aggregate materializes group keys and aggregate arguments as derived
+// columns, runs relation.Aggregate, and returns a table whose column names
+// are the rendered group-by and aggregate expressions — which is how later
+// phases (HAVING, SELECT, ORDER BY) refer back to them.
+func aggregate(stmt *SelectStmt, working *relation.Table, en env) (*relation.Table, error) {
+	aggs := collectAggs(stmt)
+
+	// Derived input table: group-key columns then aggregate-arg columns.
+	derivedCols := make([]relation.Column, 0, len(stmt.GroupBy)+len(aggs))
+	exprs := make([]Expr, 0, cap(derivedCols))
+	for _, g := range stmt.GroupBy {
+		derivedCols = append(derivedCols, relation.Column{Name: groupColName(g), Type: inferType(g, en)})
+		exprs = append(exprs, g)
+	}
+	for _, a := range aggs {
+		typ := relation.Float
+		if a.Star || a.Arg == nil {
+			typ = relation.Int
+		} else {
+			typ = inferType(a.Arg, en)
+		}
+		derivedCols = append(derivedCols, relation.Column{Name: "arg:" + a.String(), Type: typ})
+		if a.Star {
+			exprs = append(exprs, &Literal{Val: relation.IntVal(1)})
+		} else {
+			exprs = append(exprs, a.Arg)
+		}
+	}
+
+	derived := &relation.Table{Name: working.Name, Schema: relation.Schema{Cols: derivedCols}}
+	for _, row := range working.Rows {
+		nr := make(relation.Row, len(exprs))
+		for i, e := range exprs {
+			v, err := eval(e, en, row)
+			if err != nil {
+				return nil, err
+			}
+			nr[i] = v
+		}
+		derived.Rows = append(derived.Rows, nr)
+	}
+
+	groupIdx := make([]int, len(stmt.GroupBy))
+	for i := range stmt.GroupBy {
+		groupIdx[i] = i
+	}
+	specs := make([]relation.AggSpec, len(aggs))
+	for i, a := range aggs {
+		col := len(stmt.GroupBy) + i
+		if a.Star {
+			// COUNT(*) counts rows; point it at the constant column.
+			specs[i] = relation.AggSpec{Fn: relation.Count, Col: col, As: a.String()}
+			continue
+		}
+		specs[i] = relation.AggSpec{Fn: a.Fn, Col: col, As: a.String()}
+	}
+	return relation.Aggregate(derived, groupIdx, specs)
+}
+
+// groupColName names a group-key column: plain column references keep
+// their qualified name so unqualified references still resolve; computed
+// keys are named by their rendered expression.
+func groupColName(e Expr) string {
+	if ref, ok := e.(*ColumnRef); ok {
+		return ref.String()
+	}
+	return e.String()
+}
+
+// project evaluates the SELECT items (plus hidden ORDER BY keys), sorts,
+// limits, and strips the hidden columns.
+func project(stmt *SelectStmt, working *relation.Table, en env) (*relation.Table, error) {
+	outCols := make([]relation.Column, 0, len(stmt.Items)+len(stmt.OrderBy))
+	exprs := make([]Expr, 0, cap(outCols))
+	for i, it := range stmt.Items {
+		name := it.Alias
+		if name == "" {
+			if ref, ok := it.Expr.(*ColumnRef); ok {
+				name = ref.Name
+			} else {
+				name = it.Expr.String()
+			}
+		}
+		// Guard duplicate output names (permitted in SQL, not in Schema).
+		name = dedupeName(outCols, name, i)
+		outCols = append(outCols, relation.Column{Name: name, Type: inferType(it.Expr, en)})
+		exprs = append(exprs, it.Expr)
+	}
+
+	// Hidden sort keys: ORDER BY may reference an output alias or any
+	// expression over the working table.
+	outEnvCols := append([]relation.Column{}, outCols...)
+	sortKeys := make([]relation.SortKey, len(stmt.OrderBy))
+	for i, o := range stmt.OrderBy {
+		if ref, ok := o.Expr.(*ColumnRef); ok && ref.Qualifier == "" {
+			if idx := (relation.Schema{Cols: outCols}).ColIndex(ref.Name); idx >= 0 {
+				sortKeys[i] = relation.SortKey{Col: idx, Desc: o.Desc}
+				continue
+			}
+		}
+		outEnvCols = append(outEnvCols, relation.Column{
+			Name: fmt.Sprintf("sort:%d", i),
+			Type: inferType(o.Expr, en),
+		})
+		sortKeys[i] = relation.SortKey{Col: len(outEnvCols) - 1, Desc: o.Desc}
+		exprs = append(exprs, o.Expr)
+	}
+
+	result := &relation.Table{Name: "result", Schema: relation.Schema{Cols: outEnvCols}}
+	for _, row := range working.Rows {
+		nr := make(relation.Row, len(exprs))
+		for i, e := range exprs {
+			v, err := eval(e, en, row)
+			if err != nil {
+				return nil, err
+			}
+			nr[i] = v
+		}
+		result.Rows = append(result.Rows, nr)
+	}
+
+	if stmt.Distinct {
+		dedupeRows(result, len(outCols))
+	}
+	if len(sortKeys) > 0 {
+		if err := relation.Sort(result, sortKeys); err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Limit >= 0 {
+		if err := relation.Limit(result, stmt.Limit); err != nil {
+			return nil, err
+		}
+	}
+	if len(outEnvCols) > len(outCols) {
+		cols := make([]int, len(outCols))
+		for i := range cols {
+			cols[i] = i
+		}
+		return relation.Project(result, cols)
+	}
+	result.Schema = relation.Schema{Cols: outCols}
+	return result, nil
+}
+
+// dedupeRows removes duplicate rows, comparing only the first visible
+// columns (hidden sort keys must not make duplicates distinct). First
+// occurrence wins, preserving order.
+func dedupeRows(t *relation.Table, visible int) {
+	cols := make([]int, visible)
+	for i := range cols {
+		cols[i] = i
+	}
+	seen := make(map[string]bool, len(t.Rows))
+	kept := t.Rows[:0]
+	for _, row := range t.Rows {
+		key := relation.RowKey(row, cols)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		kept = append(kept, row)
+	}
+	t.Rows = kept
+}
+
+func dedupeName(existing []relation.Column, name string, i int) string {
+	for _, c := range existing {
+		if strings.EqualFold(c.Name, name) {
+			return fmt.Sprintf("%s_%d", name, i)
+		}
+	}
+	return name
+}

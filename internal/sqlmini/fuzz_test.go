@@ -1,0 +1,62 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+
+	"ivdss/internal/relation"
+)
+
+// FuzzParse checks the parser never panics and that accepted statements
+// re-execute deterministically against a tiny catalog.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"SELECT a FROM t",
+		"SELECT DISTINCT a, b AS x FROM t WHERE a > 1 AND b <> 'q' ORDER BY x DESC LIMIT 3",
+		"SELECT sum(a * (1 - b)) FROM t GROUP BY c HAVING count(*) > 2",
+		"SELECT count(DISTINCT a) FROM t, u WHERE t.a = u.a",
+		"SELECT a FROM t WHERE d BETWEEN DATE '1995-01-01' AND '1996-01-01'",
+		"SELECT a FROM t WHERE s LIKE '%x%' OR a IN (1, 2, 3)",
+		"SELECT -a / 2 + 1 FROM t JOIN u ON t.a = u.a",
+		"SELECT '" + strings.Repeat("x", 100) + "' FROM t",
+		"SELECT",
+		"SELECT a FROM",
+		"((((",
+		"SELECT a FROM t WHERE a = 'unterminated",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+
+	tbl := relation.NewTable("t", relation.MustSchema(
+		relation.Column{Name: "a", Type: relation.Int},
+		relation.Column{Name: "b", Type: relation.Float},
+		relation.Column{Name: "c", Type: relation.Int},
+		relation.Column{Name: "s", Type: relation.Str},
+		relation.Column{Name: "d", Type: relation.Date},
+	))
+	tbl.MustInsert(relation.Row{
+		relation.IntVal(1), relation.FloatVal(.5), relation.IntVal(2),
+		relation.StrVal("xy"), relation.DateOf(1995, 6, 1),
+	})
+	u := relation.NewTable("u", relation.MustSchema(relation.Column{Name: "a", Type: relation.Int}))
+	u.MustInsert(relation.Row{relation.IntVal(1)})
+	cat := MapCatalog{"t": tbl, "u": u}
+
+	f.Fuzz(func(t *testing.T, input string) {
+		stmt, err := Parse(input)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted statements must execute (or fail) without panicking,
+		// and deterministically.
+		r1, err1 := Execute(stmt, cat)
+		r2, err2 := Execute(stmt, cat)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("non-deterministic error for %q: %v vs %v", input, err1, err2)
+		}
+		if err1 == nil && r1.NumRows() != r2.NumRows() {
+			t.Fatalf("non-deterministic row count for %q", input)
+		}
+	})
+}

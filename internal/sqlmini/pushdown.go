@@ -1,0 +1,127 @@
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PushdownFor extracts the part of the statement's WHERE clause that can
+// execute at the remote site owning one table: the conjuncts whose every
+// column reference is qualified with that table's alias. It returns the
+// remote-executable SQL ("SELECT * FROM <table> WHERE <pred>") with the
+// qualifiers stripped, or ok=false when nothing can be pushed.
+//
+// Pushdown is skipped (ok=false) when the table appears under more than
+// one alias (e.g. `nation n1, nation n2`): a single fetched row set must
+// satisfy both roles, so per-alias filters would drop rows the other alias
+// needs. Re-applying pushed conjuncts locally is always safe — the DSS
+// executor runs the full WHERE regardless — so pushdown only ever reduces
+// transferred rows, never changes results.
+func PushdownFor(stmt *SelectStmt, table string) (sql string, ok bool) {
+	aliases := aliasesOf(stmt, table)
+	if len(aliases) != 1 {
+		return "", false
+	}
+	alias := aliases[0]
+
+	var pushed []Expr
+	for _, c := range splitConjuncts(stmt.Where) {
+		if allRefsQualifiedBy(c, alias) {
+			pushed = append(pushed, stripQualifier(c, alias))
+		}
+	}
+	if len(pushed) == 0 {
+		return "", false
+	}
+	parts := make([]string, len(pushed))
+	for i, e := range pushed {
+		parts[i] = e.String()
+	}
+	return fmt.Sprintf("SELECT * FROM %s WHERE %s", table, strings.Join(parts, " AND ")), true
+}
+
+// aliasesOf lists the distinct aliases under which the statement reads the
+// table.
+func aliasesOf(stmt *SelectStmt, table string) []string {
+	var out []string
+	add := func(ref TableRef) {
+		if strings.EqualFold(ref.Name, table) {
+			out = append(out, ref.EffectiveAlias())
+		}
+	}
+	for _, ref := range stmt.From {
+		add(ref)
+	}
+	for _, jc := range stmt.Joins {
+		add(jc.Table)
+	}
+	return out
+}
+
+// allRefsQualifiedBy reports whether every column reference in the
+// expression carries the given qualifier (case-insensitively). An
+// expression with no column references (a constant predicate) also
+// qualifies. Aggregates never push down.
+func allRefsQualifiedBy(e Expr, alias string) bool {
+	switch x := e.(type) {
+	case *Literal:
+		return true
+	case *ColumnRef:
+		return strings.EqualFold(x.Qualifier, alias)
+	case *BinaryExpr:
+		return allRefsQualifiedBy(x.Left, alias) && allRefsQualifiedBy(x.Right, alias)
+	case *NotExpr:
+		return allRefsQualifiedBy(x.Inner, alias)
+	case *BetweenExpr:
+		return allRefsQualifiedBy(x.Subject, alias) && allRefsQualifiedBy(x.Lo, alias) && allRefsQualifiedBy(x.Hi, alias)
+	case *InExpr:
+		if !allRefsQualifiedBy(x.Subject, alias) {
+			return false
+		}
+		for _, o := range x.Options {
+			if !allRefsQualifiedBy(o, alias) {
+				return false
+			}
+		}
+		return true
+	case *LikeExpr:
+		return allRefsQualifiedBy(x.Subject, alias)
+	default:
+		return false
+	}
+}
+
+// stripQualifier returns a copy of the expression with the alias qualifier
+// removed from every column reference, so it binds against the bare table
+// at the remote site.
+func stripQualifier(e Expr, alias string) Expr {
+	switch x := e.(type) {
+	case *Literal:
+		return x
+	case *ColumnRef:
+		if strings.EqualFold(x.Qualifier, alias) {
+			return &ColumnRef{Name: x.Name}
+		}
+		return x
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, Left: stripQualifier(x.Left, alias), Right: stripQualifier(x.Right, alias)}
+	case *NotExpr:
+		return &NotExpr{Inner: stripQualifier(x.Inner, alias)}
+	case *BetweenExpr:
+		return &BetweenExpr{
+			Subject: stripQualifier(x.Subject, alias),
+			Lo:      stripQualifier(x.Lo, alias),
+			Hi:      stripQualifier(x.Hi, alias),
+		}
+	case *InExpr:
+		opts := make([]Expr, len(x.Options))
+		for i, o := range x.Options {
+			opts[i] = stripQualifier(o, alias)
+		}
+		return &InExpr{Subject: stripQualifier(x.Subject, alias), Options: opts}
+	case *LikeExpr:
+		return &LikeExpr{Subject: stripQualifier(x.Subject, alias), Pattern: x.Pattern}
+	default:
+		return x
+	}
+}

@@ -1,0 +1,151 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPushdownForBasic(t *testing.T) {
+	stmt, err := Parse(`
+		SELECT c.c_name, o.o_total FROM customers c, orders o
+		WHERE c.c_id = o.o_cust AND c.c_nation = 'DE'
+		  AND o.o_total > 25 AND o.o_date >= DATE '2020-03-01'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, ok := PushdownFor(stmt, "orders")
+	if !ok {
+		t.Fatal("no pushdown for orders")
+	}
+	if !strings.HasPrefix(sql, "SELECT * FROM orders WHERE ") {
+		t.Errorf("sql = %q", sql)
+	}
+	if strings.Contains(sql, "o.") {
+		t.Errorf("qualifier not stripped: %q", sql)
+	}
+	if !strings.Contains(sql, "o_total > 25") || !strings.Contains(sql, "DATE '2020-03-01'") {
+		t.Errorf("predicates missing: %q", sql)
+	}
+	// The join conjunct (two qualifiers) must not be pushed.
+	if strings.Contains(sql, "o_cust") {
+		t.Errorf("join predicate pushed: %q", sql)
+	}
+
+	// Pushed SQL must run against the bare table.
+	out, err := Run(sql, testCatalog(t))
+	if err != nil {
+		t.Fatalf("pushed sql %q: %v", sql, err)
+	}
+	// Only order 103 ($80, 2020-04-10) passes both filters.
+	if out.NumRows() != 1 || out.Rows[0][0].I != 103 {
+		t.Errorf("pushed rows = %d: %v", out.NumRows(), out.Rows)
+	}
+}
+
+func TestPushdownEquivalence(t *testing.T) {
+	// Fetch-filtered + local residual WHERE == plain execution.
+	cat := testCatalog(t)
+	full := `SELECT c.c_name, sum(o.o_total) AS s FROM customers c, orders o
+	         WHERE c.c_id = o.o_cust AND o.o_total > 20 AND c.c_nation = 'DE'
+	         GROUP BY c.c_name ORDER BY c.c_name`
+	want := runQuery(t, cat, full)
+
+	stmt, err := Parse(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushedOrders, ok := PushdownFor(stmt, "orders")
+	if !ok {
+		t.Fatal("no orders pushdown")
+	}
+	filteredOrders, err := Run(pushedOrders, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filteredOrders.Name = "orders"
+	pushedCust, ok := PushdownFor(stmt, "customers")
+	if !ok {
+		t.Fatal("no customers pushdown")
+	}
+	filteredCust, err := Run(pushedCust, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filteredCust.Name = "customers"
+
+	got, err := Run(full, MapCatalog{"orders": filteredOrders, "customers": filteredCust})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("pushdown changed results: %d vs %d rows", got.NumRows(), want.NumRows())
+	}
+	for i := range want.Rows {
+		for j := range want.Rows[i] {
+			if want.Rows[i][j].String() != got.Rows[i][j].String() {
+				t.Fatalf("row %d differs: %v vs %v", i, got.Rows[i], want.Rows[i])
+			}
+		}
+	}
+}
+
+func TestPushdownSkipsMultiAliasTables(t *testing.T) {
+	cat := testCatalog(t)
+	dup := cat["orders"].Clone()
+	dup.Name = "orders2"
+	stmt, err := Parse(`SELECT a.o_id FROM orders a, orders b
+		WHERE a.o_id = b.o_id AND a.o_total > 10 AND b.o_total > 10`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = dup
+	if _, ok := PushdownFor(stmt, "orders"); ok {
+		t.Error("pushed down a multi-alias table")
+	}
+}
+
+func TestPushdownNothingPushable(t *testing.T) {
+	stmt, err := Parse("SELECT c.c_name FROM customers c, orders o WHERE c.c_id = o.o_cust")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := PushdownFor(stmt, "orders"); ok {
+		t.Error("join-only predicate pushed")
+	}
+	if _, ok := PushdownFor(stmt, "ghost"); ok {
+		t.Error("unknown table pushed")
+	}
+}
+
+func TestPushdownUnqualifiedRefsNotPushed(t *testing.T) {
+	// An unqualified column can belong to any table; it must not push.
+	stmt, err := Parse("SELECT c.c_name FROM customers c, orders o WHERE c.c_id = o.o_cust AND o_total > 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := PushdownFor(stmt, "orders"); ok {
+		t.Error("unqualified predicate pushed")
+	}
+}
+
+func TestPushdownComplexPredicates(t *testing.T) {
+	stmt, err := Parse(`SELECT o.o_id FROM orders o, customers c
+		WHERE o.o_cust = c.c_id
+		  AND (o.o_total BETWEEN 10 AND 60 OR o.o_total > 75)
+		  AND NOT o.o_id IN (101, 102)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sql, ok := PushdownFor(stmt, "orders")
+	if !ok {
+		t.Fatal("complex single-table predicates not pushed")
+	}
+	out, err := Run(sql, testCatalog(t))
+	if err != nil {
+		t.Fatalf("pushed sql %q: %v", sql, err)
+	}
+	// Orders: 100(50✓), 101(30 but excluded), 102(20 excluded), 103(80✓), 104(10✓).
+	if out.NumRows() != 3 {
+		t.Errorf("rows = %d: %v", out.NumRows(), out.Rows)
+	}
+}

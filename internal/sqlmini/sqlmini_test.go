@@ -1,0 +1,552 @@
+package sqlmini
+
+import (
+	"strings"
+	"testing"
+
+	"ivdss/internal/relation"
+)
+
+// testCatalog builds a toy order-processing schema.
+func testCatalog(t *testing.T) MapCatalog {
+	t.Helper()
+	customers := relation.NewTable("customers", relation.MustSchema(
+		relation.Column{Name: "c_id", Type: relation.Int},
+		relation.Column{Name: "c_name", Type: relation.Str},
+		relation.Column{Name: "c_nation", Type: relation.Str},
+	))
+	for _, r := range []relation.Row{
+		{relation.IntVal(1), relation.StrVal("alice"), relation.StrVal("DE")},
+		{relation.IntVal(2), relation.StrVal("bob"), relation.StrVal("FR")},
+		{relation.IntVal(3), relation.StrVal("carol"), relation.StrVal("DE")},
+	} {
+		customers.MustInsert(r)
+	}
+	orders := relation.NewTable("orders", relation.MustSchema(
+		relation.Column{Name: "o_id", Type: relation.Int},
+		relation.Column{Name: "o_cust", Type: relation.Int},
+		relation.Column{Name: "o_total", Type: relation.Float},
+		relation.Column{Name: "o_date", Type: relation.Date},
+	))
+	for _, r := range []relation.Row{
+		{relation.IntVal(100), relation.IntVal(1), relation.FloatVal(50), relation.DateOf(2020, 1, 10)},
+		{relation.IntVal(101), relation.IntVal(1), relation.FloatVal(30), relation.DateOf(2020, 2, 10)},
+		{relation.IntVal(102), relation.IntVal(2), relation.FloatVal(20), relation.DateOf(2020, 3, 10)},
+		{relation.IntVal(103), relation.IntVal(3), relation.FloatVal(80), relation.DateOf(2020, 4, 10)},
+		{relation.IntVal(104), relation.IntVal(3), relation.FloatVal(10), relation.DateOf(2020, 5, 10)},
+	} {
+		orders.MustInsert(r)
+	}
+	return MapCatalog{"customers": customers, "orders": orders}
+}
+
+func runQuery(t *testing.T, cat Catalog, q string) *relation.Table {
+	t.Helper()
+	out, err := Run(q, cat)
+	if err != nil {
+		t.Fatalf("query %q: %v", q, err)
+	}
+	return out
+}
+
+func TestSelectStar(t *testing.T) {
+	out := runQuery(t, testCatalog(t), "SELECT * FROM customers ORDER BY c_id")
+	if out.NumRows() != 3 || out.Schema.Arity() != 3 {
+		t.Fatalf("shape = %d rows × %d cols", out.NumRows(), out.Schema.Arity())
+	}
+	if out.Schema.Cols[0].Name != "c_id" || out.Rows[0][1].S != "alice" {
+		t.Errorf("first row = %v (%v)", out.Rows[0], out.Schema)
+	}
+}
+
+func TestSelectStarWithJoin(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT * FROM customers c, orders o WHERE c.c_id = o.o_cust AND o.o_id = 100")
+	if out.NumRows() != 1 || out.Schema.Arity() != 7 {
+		t.Fatalf("shape = %d × %d", out.NumRows(), out.Schema.Arity())
+	}
+}
+
+func TestSelectStarPlusExpr(t *testing.T) {
+	out := runQuery(t, testCatalog(t), "SELECT *, c_id * 10 AS big FROM customers WHERE c_id = 2")
+	if out.Schema.Arity() != 4 || out.Rows[0][3].I != 20 {
+		t.Fatalf("shape = %v rows %v", out.Schema, out.Rows)
+	}
+}
+
+func TestSelectStarWithFilterReexecutable(t *testing.T) {
+	// Star expansion must not mutate the parsed statement: running the
+	// same *SelectStmt twice must work (the DSS caches parsed queries).
+	stmt, err := Parse("SELECT * FROM customers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := testCatalog(t)
+	for i := 0; i < 2; i++ {
+		out, err := Execute(stmt, cat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Schema.Arity() != 3 {
+			t.Fatalf("run %d arity = %d", i, out.Schema.Arity())
+		}
+	}
+}
+
+func TestLiteralStringRendersSQL(t *testing.T) {
+	stmt, err := Parse("SELECT a FROM t WHERE s = 'it''s' AND d > DATE '1995-06-01'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rendered := stmt.Where.String()
+	if _, err := Parse("SELECT a FROM t WHERE " + rendered); err != nil {
+		t.Errorf("rendered predicate %q does not re-parse: %v", rendered, err)
+	}
+}
+
+func TestSimpleProjectionAndFilter(t *testing.T) {
+	out := runQuery(t, testCatalog(t), "SELECT c_name FROM customers WHERE c_nation = 'DE'")
+	if out.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", out.NumRows())
+	}
+	if out.Schema.Cols[0].Name != "c_name" {
+		t.Errorf("column = %q", out.Schema.Cols[0].Name)
+	}
+}
+
+func TestArithmeticInSelect(t *testing.T) {
+	out := runQuery(t, testCatalog(t), "SELECT o_total * 2 AS doubled FROM orders WHERE o_id = 100")
+	if out.Rows[0][0].F != 100 {
+		t.Errorf("doubled = %v, want 100", out.Rows[0][0])
+	}
+	if out.Schema.Cols[0].Name != "doubled" {
+		t.Errorf("alias = %q", out.Schema.Cols[0].Name)
+	}
+}
+
+func TestCommaJoinWithWherePredicate(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		`SELECT c.c_name, o.o_total FROM customers c, orders o
+		 WHERE c.c_id = o.o_cust AND o.o_total > 25`)
+	if out.NumRows() != 3 { // totals 50, 30, 80
+		t.Fatalf("rows = %d, want 3", out.NumRows())
+	}
+}
+
+func TestExplicitJoin(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		`SELECT c.c_name, o.o_id FROM customers c JOIN orders o ON c.c_id = o.o_cust ORDER BY o.o_id`)
+	if out.NumRows() != 5 {
+		t.Fatalf("rows = %d, want 5", out.NumRows())
+	}
+	if out.Rows[0][1].I != 100 {
+		t.Errorf("first o_id = %v", out.Rows[0][1])
+	}
+}
+
+func TestGroupByWithAggregates(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		`SELECT c.c_nation, sum(o.o_total) AS revenue, count(*) AS n
+		 FROM customers c, orders o
+		 WHERE c.c_id = o.o_cust
+		 GROUP BY c.c_nation
+		 ORDER BY revenue DESC`)
+	if out.NumRows() != 2 {
+		t.Fatalf("groups = %d, want 2", out.NumRows())
+	}
+	// DE: alice 50+30 + carol 80+10 = 170 (4 orders); FR: 20 (1 order).
+	if out.Rows[0][0].S != "DE" || out.Rows[0][1].F != 170 || out.Rows[0][2].I != 4 {
+		t.Errorf("first group = %v", out.Rows[0])
+	}
+	if out.Rows[1][0].S != "FR" || out.Rows[1][1].F != 20 {
+		t.Errorf("second group = %v", out.Rows[1])
+	}
+}
+
+func TestGlobalAggregate(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT sum(o_total) AS s, avg(o_total) AS a, min(o_total) AS lo, max(o_total) AS hi, count(*) AS n FROM orders")
+	r := out.Rows[0]
+	if r[0].F != 190 || r[1].F != 38 || r[2].F != 10 || r[3].F != 80 || r[4].I != 5 {
+		t.Errorf("aggregates = %v", r)
+	}
+}
+
+func TestAggregateExpressionInSelect(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT sum(o_total) / count(*) AS mean FROM orders")
+	if out.Rows[0][0].F != 38 {
+		t.Errorf("mean = %v, want 38", out.Rows[0][0])
+	}
+}
+
+func TestHaving(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		`SELECT o_cust, sum(o_total) AS s FROM orders GROUP BY o_cust HAVING sum(o_total) > 50 ORDER BY s DESC`)
+	if out.NumRows() != 2 { // cust 3: 90, cust 1: 80
+		t.Fatalf("rows = %d, want 2", out.NumRows())
+	}
+	if out.Rows[0][1].F != 90 || out.Rows[1][1].F != 80 {
+		t.Errorf("rows = %v", out.Rows)
+	}
+}
+
+func TestHavingWithoutAggregationFails(t *testing.T) {
+	if _, err := Run("SELECT c_id FROM customers HAVING c_id > 1", testCatalog(t)); err == nil {
+		t.Error("HAVING without aggregation accepted")
+	}
+}
+
+func TestOrderByMultipleKeysAndLimit(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT o_cust, o_total FROM orders ORDER BY o_cust ASC, o_total DESC LIMIT 3")
+	if out.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", out.NumRows())
+	}
+	if out.Rows[0][0].I != 1 || out.Rows[0][1].F != 50 {
+		t.Errorf("first row = %v", out.Rows[0])
+	}
+	if out.Rows[2][0].I != 2 {
+		t.Errorf("third row = %v", out.Rows[2])
+	}
+}
+
+func TestOrderByExpressionNotInSelect(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT o_id FROM orders ORDER BY o_total * -1")
+	if out.Rows[0][0].I != 103 { // largest total first under *-1 ascending
+		t.Errorf("first = %v", out.Rows[0][0])
+	}
+	if out.Schema.Arity() != 1 {
+		t.Errorf("hidden sort column leaked: %v", out.Schema)
+	}
+}
+
+func TestDateComparisonWithStringLiteral(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT o_id FROM orders WHERE o_date >= '2020-04-01'")
+	if out.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", out.NumRows())
+	}
+}
+
+func TestDateKeywordLiteral(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT o_id FROM orders WHERE o_date < DATE '2020-02-01'")
+	if out.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", out.NumRows())
+	}
+}
+
+func TestBetween(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT o_id FROM orders WHERE o_total BETWEEN 20 AND 50")
+	if out.NumRows() != 3 { // 50, 30, 20
+		t.Fatalf("rows = %d, want 3", out.NumRows())
+	}
+}
+
+func TestInList(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT c_name FROM customers WHERE c_nation IN ('FR', 'IT')")
+	if out.NumRows() != 1 || out.Rows[0][0].S != "bob" {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+}
+
+func TestLike(t *testing.T) {
+	tests := []struct {
+		pattern string
+		want    int
+	}{
+		{"a%", 1},    // alice
+		{"%ol%", 1},  // carol
+		{"%b", 1},    // bob
+		{"alice", 1}, // exact
+		{"%", 3},     // everything
+		{"z%", 0},    // nothing
+		{"%a%o%", 1}, // carol
+	}
+	for _, tt := range tests {
+		out := runQuery(t, testCatalog(t),
+			"SELECT c_name FROM customers WHERE c_name LIKE '"+tt.pattern+"'")
+		if out.NumRows() != tt.want {
+			t.Errorf("pattern %q: rows = %d, want %d", tt.pattern, out.NumRows(), tt.want)
+		}
+	}
+}
+
+func TestNotAndOr(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT c_id FROM customers WHERE NOT c_nation = 'DE' OR c_id = 1")
+	if out.NumRows() != 2 { // bob (not DE) and alice (id 1)
+		t.Fatalf("rows = %d, want 2", out.NumRows())
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	out := runQuery(t, testCatalog(t), "SELECT -o_total AS neg FROM orders WHERE o_id = 100")
+	if out.Rows[0][0].F != -50 {
+		t.Errorf("neg = %v", out.Rows[0][0])
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	if _, err := Run("SELECT o_total / 0 FROM orders", testCatalog(t)); err == nil {
+		t.Error("division by zero accepted")
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	cat := testCatalog(t)
+	dup := cat["orders"].Clone()
+	dup.Name = "orders2"
+	cat["orders2"] = dup
+	_, err := Run("SELECT o_total FROM orders a, orders2 b WHERE a.o_id = b.o_id", cat)
+	if err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("ambiguous reference not rejected: %v", err)
+	}
+}
+
+func TestUnknownTableAndColumn(t *testing.T) {
+	cat := testCatalog(t)
+	if _, err := Run("SELECT x FROM missing", cat); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := Run("SELECT missing_col FROM customers", cat); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+func TestDuplicateAlias(t *testing.T) {
+	if _, err := Run("SELECT c.c_id FROM customers c, orders c WHERE c.c_id = c.o_cust", testCatalog(t)); err == nil {
+		t.Error("duplicate alias accepted")
+	}
+}
+
+func TestCrossJoinGuard(t *testing.T) {
+	cat := MapCatalog{}
+	big := relation.NewTable("big", relation.MustSchema(relation.Column{Name: "v", Type: relation.Int}))
+	for i := 0; i < 3000; i++ {
+		big.MustInsert(relation.Row{relation.IntVal(int64(i))})
+	}
+	cat["big"] = big
+	other := big.Clone()
+	other.Name = "other"
+	cat["other"] = other
+	_, err := Run("SELECT a.v FROM big a, other b", cat)
+	if err == nil || !strings.Contains(err.Error(), "cross product") {
+		t.Errorf("unguarded cross product: %v", err)
+	}
+}
+
+func TestSmallCrossJoinAllowed(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT c.c_id, o.o_id FROM customers c, orders o WHERE c.c_id = 1 AND o.o_id = 100")
+	// Filter applies after the cross product: exactly one surviving pair.
+	if out.NumRows() != 1 {
+		t.Fatalf("rows = %d, want 1", out.NumRows())
+	}
+}
+
+func TestEmptyResultKeepsSchema(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT c_name, c_id + 1 AS next_id FROM customers WHERE c_id > 100")
+	if out.NumRows() != 0 {
+		t.Fatalf("rows = %d, want 0", out.NumRows())
+	}
+	if out.Schema.Cols[0].Type != relation.Str || out.Schema.Cols[1].Type != relation.Int {
+		t.Errorf("schema = %v", out.Schema)
+	}
+}
+
+func TestGroupByExpressionKey(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT o_cust * 10 AS bucket, count(*) AS n FROM orders GROUP BY o_cust * 10 ORDER BY bucket")
+	if out.NumRows() != 3 {
+		t.Fatalf("groups = %d, want 3", out.NumRows())
+	}
+	if out.Rows[0][0].I != 10 || out.Rows[0][1].I != 2 {
+		t.Errorf("first bucket = %v", out.Rows[0])
+	}
+}
+
+func TestTableNames(t *testing.T) {
+	stmt, err := Parse(`SELECT a.x FROM t1 a, t2 b JOIN t3 c ON a.x = c.x WHERE a.x = b.x`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := stmt.TableNames()
+	want := []string{"t1", "t2", "t3"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Errorf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT 1",                       // no FROM
+		"SELECT a FROM",                  // missing table
+		"SELECT a FROM t WHERE",          // missing predicate
+		"SELECT a FROM t GROUP a",        // GROUP without BY
+		"SELECT a FROM t LIMIT x",        // non-numeric limit
+		"SELECT a FROM t LIMIT -1",       // negative limit
+		"SELECT a FROM t WHERE a LIKE 5", // LIKE needs string
+		"SELECT a FROM t JOIN u",         // JOIN without ON
+		"SELECT sum(a FROM t",            // unbalanced paren
+		"SELECT 'unterminated FROM t",
+		"SELECT a FROM t; DROP TABLE t", // stray characters
+		"SELECT a FROM t WHERE a = DATE 'nope'",
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("parse accepted %q", q)
+		}
+	}
+}
+
+func TestParseRoundTripStrings(t *testing.T) {
+	stmt, err := Parse("SELECT a FROM t WHERE s = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, ok := stmt.Where.(*BinaryExpr).Right.(*Literal)
+	if !ok || lit.Val.S != "it's" {
+		t.Errorf("escaped quote parsed as %v", stmt.Where)
+	}
+}
+
+func TestCountStarVersusCountColumn(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT count(*) AS stars, count(o_id) AS ids FROM orders")
+	if out.Rows[0][0].I != 5 || out.Rows[0][1].I != 5 {
+		t.Errorf("counts = %v", out.Rows[0])
+	}
+}
+
+func TestDuplicateOutputNames(t *testing.T) {
+	out := runQuery(t, testCatalog(t), "SELECT o_id, o_id FROM orders LIMIT 1")
+	if out.Schema.Cols[0].Name == out.Schema.Cols[1].Name {
+		t.Errorf("duplicate output names not deduped: %v", out.Schema)
+	}
+}
+
+func TestSelectDistinct(t *testing.T) {
+	out := runQuery(t, testCatalog(t), "SELECT DISTINCT c_nation FROM customers ORDER BY c_nation")
+	if out.NumRows() != 2 {
+		t.Fatalf("rows = %d, want 2", out.NumRows())
+	}
+	if out.Rows[0][0].S != "DE" || out.Rows[1][0].S != "FR" {
+		t.Errorf("rows = %v", out.Rows)
+	}
+}
+
+func TestSelectDistinctMultiColumn(t *testing.T) {
+	out := runQuery(t, testCatalog(t), "SELECT DISTINCT o_cust, o_cust * 0 AS z FROM orders")
+	if out.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3 distinct customers", out.NumRows())
+	}
+}
+
+func TestSelectDistinctWithHiddenSortKey(t *testing.T) {
+	// ORDER BY over a non-projected expression must not break dedup.
+	out := runQuery(t, testCatalog(t), "SELECT DISTINCT o_cust FROM orders ORDER BY o_cust DESC")
+	if out.NumRows() != 3 {
+		t.Fatalf("rows = %d, want 3", out.NumRows())
+	}
+	if out.Rows[0][0].I != 3 {
+		t.Errorf("first = %v", out.Rows[0][0])
+	}
+	if out.Schema.Arity() != 1 {
+		t.Errorf("hidden column leaked: %v", out.Schema)
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT count(DISTINCT o_cust) AS custs, count(*) AS rows_n FROM orders")
+	if out.Rows[0][0].I != 3 || out.Rows[0][1].I != 5 {
+		t.Errorf("counts = %v", out.Rows[0])
+	}
+}
+
+func TestCountDistinctGrouped(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		`SELECT c.c_nation, count(DISTINCT o.o_cust) AS custs
+		 FROM customers c, orders o WHERE c.c_id = o.o_cust
+		 GROUP BY c.c_nation ORDER BY c.c_nation`)
+	// DE: customers 1 and 3; FR: customer 2.
+	if out.NumRows() != 2 || out.Rows[0][1].I != 2 || out.Rows[1][1].I != 1 {
+		t.Errorf("rows = %v", out.Rows)
+	}
+}
+
+func TestEvalErrorPaths(t *testing.T) {
+	cat := testCatalog(t)
+	bad := []string{
+		"SELECT c_name + 1 FROM customers",                           // arithmetic over string
+		"SELECT c_id FROM customers WHERE c_id LIKE 'x'",             // LIKE over int
+		"SELECT c_id FROM customers WHERE c_name BETWEEN 1 AND 2",    // type mismatch
+		"SELECT c_id FROM customers WHERE sum(c_id) > 1",             // aggregate in WHERE
+		"SELECT c_id FROM customers WHERE c_name",                    // non-boolean predicate
+		"SELECT c_id FROM customers ORDER BY c_name + 1",             // sort expr type error
+		"SELECT c_id FROM customers WHERE c_id = 'abc' AND c_id > 0", // string/int compare
+	}
+	for _, q := range bad {
+		if _, err := Run(q, cat); err == nil {
+			t.Errorf("query %q accepted", q)
+		}
+	}
+}
+
+func TestWhereDateCoercionBothDirections(t *testing.T) {
+	out := runQuery(t, testCatalog(t), "SELECT o_id FROM orders WHERE '2020-04-01' <= o_date")
+	if out.NumRows() != 2 {
+		t.Errorf("rows = %d, want 2", out.NumRows())
+	}
+}
+
+func TestJoinOnWithResidualPredicate(t *testing.T) {
+	// Non-equijoin residue of an ON clause filters after the hash join.
+	out := runQuery(t, testCatalog(t),
+		"SELECT o.o_id FROM customers c JOIN orders o ON c.c_id = o.o_cust AND o.o_total > 40 ORDER BY o.o_id")
+	if out.NumRows() != 2 { // totals 50 and 80
+		t.Errorf("rows = %d: %v", out.NumRows(), out.Rows)
+	}
+}
+
+func TestInnerJoinKeyword(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT count(*) AS n FROM customers c INNER JOIN orders o ON c.c_id = o.o_cust")
+	if out.Rows[0][0].I != 5 {
+		t.Errorf("n = %v", out.Rows[0][0])
+	}
+}
+
+func TestMinMaxOverDates(t *testing.T) {
+	out := runQuery(t, testCatalog(t),
+		"SELECT min(o_date) AS lo, max(o_date) AS hi FROM orders")
+	if out.Rows[0][0].String() != "2020-01-10" || out.Rows[0][1].String() != "2020-05-10" {
+		t.Errorf("range = %v", out.Rows[0])
+	}
+	if out.Schema.Cols[0].Type != relation.Date {
+		t.Errorf("min type = %v", out.Schema.Cols[0].Type)
+	}
+}
+
+func TestAvgEmptyGroupSafe(t *testing.T) {
+	// Global AVG over an empty input: engine has no NULLs; result row
+	// exists with zero values and no division-by-zero panic.
+	out := runQuery(t, testCatalog(t),
+		"SELECT count(*) AS n, sum(o_total) AS s FROM orders WHERE o_id > 10000")
+	if out.Rows[0][0].I != 0 || out.Rows[0][1].F != 0 {
+		t.Errorf("empty aggregates = %v", out.Rows[0])
+	}
+}

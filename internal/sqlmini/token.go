@@ -1,0 +1,162 @@
+// Package sqlmini implements the SQL subset the federation layer executes:
+//
+//	SELECT [DISTINCT] expr [AS alias], ...
+//	FROM table [alias], ...  |  ... JOIN table [alias] ON a = b ...
+//	WHERE predicates         (=, <>, <, <=, >, >=, AND, OR, NOT,
+//	                          BETWEEN, IN (...), LIKE with % wildcards)
+//	GROUP BY cols  HAVING pred  ORDER BY expr [DESC], ...  LIMIT n
+//
+// with arithmetic and the aggregates SUM/COUNT/AVG/MIN/MAX, compiled onto
+// internal/relation operators. This is the query language for the TPC-H
+// derived workload and the example applications; it intentionally has no
+// NULLs, subqueries, or outer joins — none are needed to reproduce the
+// paper's experiments.
+package sqlmini
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol  // punctuation and operators
+	tokKeyword // reserved word, normalized to upper case
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int // byte offset in input, for error messages
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"AND": true, "OR": true, "NOT": true, "AS": true, "JOIN": true, "INNER": true,
+	"ON": true, "BETWEEN": true, "IN": true, "LIKE": true, "DATE": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+	"DISTINCT": true,
+}
+
+type lexer struct {
+	input string
+	pos   int
+	toks  []token
+}
+
+// lex tokenizes the whole input up front; queries are short.
+func lex(input string) ([]token, error) {
+	l := &lexer{input: input}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && unicode.IsSpace(rune(l.input[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.input[l.pos]
+
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.input) && isIdentPart(l.input[l.pos]) {
+			l.pos++
+		}
+		text := l.input[start:l.pos]
+		upper := strings.ToUpper(text)
+		if keywords[upper] {
+			return token{kind: tokKeyword, text: upper, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: start}, nil
+
+	case c >= '0' && c <= '9':
+		sawDot := false
+		for l.pos < len(l.input) {
+			ch := l.input[l.pos]
+			if ch == '.' {
+				if sawDot {
+					break
+				}
+				// A trailing dot followed by a non-digit belongs elsewhere.
+				if l.pos+1 >= len(l.input) || l.input[l.pos+1] < '0' || l.input[l.pos+1] > '9' {
+					break
+				}
+				sawDot = true
+				l.pos++
+				continue
+			}
+			if ch < '0' || ch > '9' {
+				break
+			}
+			l.pos++
+		}
+		return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+
+	case c == '\'':
+		l.pos++
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.input) {
+				return token{}, fmt.Errorf("sqlmini: unterminated string at offset %d", start)
+			}
+			ch := l.input[l.pos]
+			if ch == '\'' {
+				// '' escapes a quote inside a string.
+				if l.pos+1 < len(l.input) && l.input[l.pos+1] == '\'' {
+					sb.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				return token{kind: tokString, text: sb.String(), pos: start}, nil
+			}
+			sb.WriteByte(ch)
+			l.pos++
+		}
+
+	default:
+		for _, sym := range []string{"<=", ">=", "<>", "!="} {
+			if strings.HasPrefix(l.input[l.pos:], sym) {
+				l.pos += len(sym)
+				text := sym
+				if sym == "!=" {
+					text = "<>"
+				}
+				return token{kind: tokSymbol, text: text, pos: start}, nil
+			}
+		}
+		switch c {
+		case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', '.':
+			l.pos++
+			return token{kind: tokSymbol, text: string(c), pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sqlmini: unexpected character %q at offset %d", c, l.pos)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentPart(c byte) bool {
+	return isIdentStart(c) || (c >= '0' && c <= '9')
+}

@@ -1,0 +1,181 @@
+// Package synth generates the synthetic schemas and query workloads of the
+// paper's Section 4 experiments: 10–300 tables, random queries touching
+// 1–10 tables each, exponential arrivals, and workloads with a controlled
+// query-overlap rate for the multi-query-optimization study (Figure 9a).
+package synth
+
+import (
+	"fmt"
+
+	"ivdss/internal/core"
+	"ivdss/internal/stats"
+)
+
+// Tables returns n synthetic table IDs, T001..Tn.
+func Tables(n int) []core.TableID {
+	ids := make([]core.TableID, n)
+	for i := range ids {
+		ids[i] = core.TableID(fmt.Sprintf("T%03d", i+1))
+	}
+	return ids
+}
+
+// QueryConfig parameterizes random query generation.
+type QueryConfig struct {
+	N                 int            // number of queries
+	Tables            []core.TableID // universe of tables
+	MaxTablesPerQuery int            // per-query table count is uniform in [1, Max]
+	MeanInterarrival  core.Duration  // exponential arrival gaps (0 = all at t=0)
+	BusinessValue     float64        // business value per query (default 1)
+	// PopularitySkew makes some tables hot: 0 picks tables uniformly; a
+	// value > 1 draws them from a Zipf distribution with that exponent
+	// over a seeded table ranking (placement advisors need hot tables to
+	// have anything to find).
+	PopularitySkew float64
+	Seed           int64
+}
+
+func (c QueryConfig) validate() error {
+	if c.N <= 0 {
+		return fmt.Errorf("synth: need a positive query count, got %d", c.N)
+	}
+	if len(c.Tables) == 0 {
+		return fmt.Errorf("synth: empty table universe")
+	}
+	if c.MaxTablesPerQuery <= 0 || c.MaxTablesPerQuery > len(c.Tables) {
+		return fmt.Errorf("synth: MaxTablesPerQuery %d outside [1, %d]", c.MaxTablesPerQuery, len(c.Tables))
+	}
+	if c.MeanInterarrival < 0 {
+		return fmt.Errorf("synth: negative mean interarrival %v", c.MeanInterarrival)
+	}
+	if c.PopularitySkew != 0 && c.PopularitySkew <= 1 {
+		return fmt.Errorf("synth: popularity skew %v must be 0 or > 1", c.PopularitySkew)
+	}
+	return nil
+}
+
+// Queries generates N random queries with exponential interarrival gaps.
+// Each query touches a uniform 1..MaxTablesPerQuery random subset of the
+// universe, following the paper ("the number of tables a query accesses is
+// randomly generated from [1, 10]; which tables the query may involve are
+// randomly selected").
+func Queries(cfg QueryConfig) ([]core.Query, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	src := stats.NewSource(cfg.Seed)
+	bv := cfg.BusinessValue
+	if bv == 0 {
+		bv = 1
+	}
+	// With popularity skew, table draws follow a Zipf over a seeded
+	// ranking of the universe, so a few tables dominate the workload.
+	var zipf *stats.Zipf
+	var ranking []int
+	if cfg.PopularitySkew > 1 {
+		zipf = stats.NewZipf(uint64(len(cfg.Tables)), cfg.PopularitySkew, cfg.Seed^0x21f)
+		ranking = src.Perm(len(cfg.Tables))
+	}
+	out := make([]core.Query, cfg.N)
+	at := core.Time(0)
+	for i := range out {
+		if cfg.MeanInterarrival > 0 {
+			at += src.Expo(cfg.MeanInterarrival)
+		}
+		k := 1 + src.Intn(cfg.MaxTablesPerQuery)
+		var picked []int
+		if zipf == nil {
+			picked = src.PickN(len(cfg.Tables), k)
+		} else {
+			picked = zipfPickN(zipf, ranking, src, k)
+		}
+		tables := make([]core.TableID, len(picked))
+		for j, idx := range picked {
+			tables[j] = cfg.Tables[idx]
+		}
+		out[i] = core.Query{
+			ID:            fmt.Sprintf("q%03d", i+1),
+			Tables:        tables,
+			BusinessValue: bv,
+			SubmitAt:      at,
+		}
+	}
+	return out, nil
+}
+
+// zipfPickN draws k distinct table indices Zipf-distributed over the
+// ranking, falling back to uniform fills if the skewed draws collide too
+// often.
+func zipfPickN(z *stats.Zipf, ranking []int, src *stats.Source, k int) []int {
+	seen := make(map[int]bool, k)
+	out := make([]int, 0, k)
+	for tries := 0; len(out) < k && tries < 20*k; tries++ {
+		idx := ranking[int(z.Next())]
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	for len(out) < k {
+		idx := src.Intn(len(ranking))
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// OverlapConfig generates a workload whose queries overlap in time at a
+// controlled average rate: with probability Rate a query arrives within
+// ClusterGap of the previous one (overlapping its execution range), and
+// otherwise after SpreadGap (long enough that ranges do not overlap).
+type OverlapConfig struct {
+	QueryConfig
+	Rate       float64       // target overlap fraction, in [0, 1]
+	ClusterGap core.Duration // gap inside a cluster (small)
+	SpreadGap  core.Duration // gap between clusters (large)
+}
+
+// OverlappingQueries generates the Figure 9a workload.
+func OverlappingQueries(cfg OverlapConfig) ([]core.Query, error) {
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		return nil, fmt.Errorf("synth: overlap rate %v outside [0, 1]", cfg.Rate)
+	}
+	if cfg.ClusterGap < 0 || cfg.SpreadGap <= cfg.ClusterGap {
+		return nil, fmt.Errorf("synth: need SpreadGap > ClusterGap >= 0, got %v and %v", cfg.SpreadGap, cfg.ClusterGap)
+	}
+	queries, err := Queries(cfg.QueryConfig)
+	if err != nil {
+		return nil, err
+	}
+	src := stats.NewSource(cfg.Seed ^ 0x5eed)
+	at := core.Time(0)
+	for i := range queries {
+		if i > 0 {
+			if src.Float64() < cfg.Rate {
+				at += cfg.ClusterGap
+			} else {
+				at += cfg.SpreadGap
+			}
+		}
+		queries[i].SubmitAt = at
+	}
+	return queries, nil
+}
+
+// MeasuredOverlapRate reports the fraction of queries (beyond the first)
+// that arrive within `window` of their predecessor — the empirical overlap
+// statistic reported alongside Figure 9a results.
+func MeasuredOverlapRate(queries []core.Query, window core.Duration) float64 {
+	if len(queries) < 2 {
+		return 0
+	}
+	n := 0
+	for i := 1; i < len(queries); i++ {
+		if queries[i].SubmitAt-queries[i-1].SubmitAt <= window {
+			n++
+		}
+	}
+	return float64(n) / float64(len(queries)-1)
+}

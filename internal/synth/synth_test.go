@@ -1,0 +1,173 @@
+package synth
+
+import (
+	"testing"
+
+	"ivdss/internal/core"
+)
+
+func TestTables(t *testing.T) {
+	ids := Tables(3)
+	if len(ids) != 3 || ids[0] != "T001" || ids[2] != "T003" {
+		t.Errorf("Tables = %v", ids)
+	}
+}
+
+func baseConfig() QueryConfig {
+	return QueryConfig{
+		N:                 120,
+		Tables:            Tables(100),
+		MaxTablesPerQuery: 10,
+		MeanInterarrival:  5,
+		Seed:              7,
+	}
+}
+
+func TestQueriesShape(t *testing.T) {
+	queries, err := Queries(baseConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(queries) != 120 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	prev := core.Time(-1)
+	for _, q := range queries {
+		if err := q.Validate(); err != nil {
+			t.Fatalf("%s invalid: %v", q.ID, err)
+		}
+		if len(q.Tables) < 1 || len(q.Tables) > 10 {
+			t.Errorf("%s touches %d tables", q.ID, len(q.Tables))
+		}
+		if q.SubmitAt < prev {
+			t.Errorf("%s arrives before its predecessor", q.ID)
+		}
+		prev = q.SubmitAt
+		if q.BusinessValue != 1 {
+			t.Errorf("%s business value = %v, want default 1", q.ID, q.BusinessValue)
+		}
+	}
+}
+
+func TestQueriesDeterministic(t *testing.T) {
+	a, _ := Queries(baseConfig())
+	b, _ := Queries(baseConfig())
+	for i := range a {
+		if a[i].SubmitAt != b[i].SubmitAt || len(a[i].Tables) != len(b[i].Tables) {
+			t.Fatalf("query %d differs across runs", i)
+		}
+	}
+}
+
+func TestQueriesValidation(t *testing.T) {
+	bad := []QueryConfig{
+		{N: 0, Tables: Tables(5), MaxTablesPerQuery: 2},
+		{N: 5, Tables: nil, MaxTablesPerQuery: 2},
+		{N: 5, Tables: Tables(5), MaxTablesPerQuery: 0},
+		{N: 5, Tables: Tables(5), MaxTablesPerQuery: 9},
+		{N: 5, Tables: Tables(5), MaxTablesPerQuery: 2, MeanInterarrival: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := Queries(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestQueriesZeroInterarrival(t *testing.T) {
+	cfg := baseConfig()
+	cfg.MeanInterarrival = 0
+	queries, err := Queries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		if q.SubmitAt != 0 {
+			t.Fatalf("%s arrives at %v, want 0", q.ID, q.SubmitAt)
+		}
+	}
+}
+
+func TestOverlappingQueriesRate(t *testing.T) {
+	for _, rate := range []float64{.1, .3, .5} {
+		cfg := OverlapConfig{
+			QueryConfig: baseConfig(),
+			Rate:        rate,
+			ClusterGap:  .5,
+			SpreadGap:   100,
+		}
+		queries, err := OverlappingQueries(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := MeasuredOverlapRate(queries, 1)
+		if got < rate-.12 || got > rate+.12 {
+			t.Errorf("rate %v: measured %v", rate, got)
+		}
+	}
+}
+
+func TestOverlappingQueriesValidation(t *testing.T) {
+	good := OverlapConfig{QueryConfig: baseConfig(), Rate: .5, ClusterGap: 1, SpreadGap: 10}
+	bad := []OverlapConfig{
+		{QueryConfig: baseConfig(), Rate: -1, ClusterGap: 1, SpreadGap: 10},
+		{QueryConfig: baseConfig(), Rate: 2, ClusterGap: 1, SpreadGap: 10},
+		{QueryConfig: baseConfig(), Rate: .5, ClusterGap: 10, SpreadGap: 10},
+		{QueryConfig: baseConfig(), Rate: .5, ClusterGap: -1, SpreadGap: 10},
+	}
+	if _, err := OverlappingQueries(good); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for i, cfg := range bad {
+		if _, err := OverlappingQueries(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+func TestMeasuredOverlapRateEdgeCases(t *testing.T) {
+	if MeasuredOverlapRate(nil, 1) != 0 {
+		t.Error("empty workload should measure 0")
+	}
+	qs := []core.Query{{SubmitAt: 0}, {SubmitAt: 0.5}, {SubmitAt: 10}}
+	if got := MeasuredOverlapRate(qs, 1); got != .5 {
+		t.Errorf("measured = %v, want 0.5", got)
+	}
+}
+
+func TestPopularitySkew(t *testing.T) {
+	cfg := baseConfig()
+	cfg.N = 400
+	cfg.PopularitySkew = 1.5
+	queries, err := Queries(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[core.TableID]int)
+	for _, q := range queries {
+		seen := make(map[core.TableID]bool)
+		for _, id := range q.Tables {
+			if seen[id] {
+				t.Fatalf("%s repeats table %s", q.ID, id)
+			}
+			seen[id] = true
+			counts[id]++
+		}
+	}
+	// The hottest table must be used far more than the median one.
+	var hot, total int
+	for _, c := range counts {
+		if c > hot {
+			hot = c
+		}
+		total += c
+	}
+	mean := total / len(counts)
+	if hot < 3*mean {
+		t.Errorf("skew too weak: hottest %d vs mean %d", hot, mean)
+	}
+	cfg.PopularitySkew = .5
+	if _, err := Queries(cfg); err == nil {
+		t.Error("skew in (0,1] accepted")
+	}
+}

@@ -1,0 +1,236 @@
+package tpch
+
+import (
+	"fmt"
+	"time"
+
+	"ivdss/internal/relation"
+	"ivdss/internal/stats"
+)
+
+// Config sizes the generated data set. Scale 1 produces roughly one
+// ten-thousandth of the official SF-1 volume (≈600 lineitem rows), which
+// keeps experiments laptop-fast while preserving the official cardinality
+// *ratios* between tables — the property the paper's latency shapes depend
+// on. Use larger scales for heavier runs.
+type Config struct {
+	Scale float64
+	Seed  int64
+}
+
+// Counts returns the per-table row counts at this scale.
+func (c Config) Counts() map[string]int {
+	scaled := func(n float64) int {
+		v := int(n * c.Scale)
+		if v < 1 {
+			v = 1
+		}
+		return v
+	}
+	return map[string]int{
+		Region:   5,
+		Nation:   25,
+		Supplier: scaled(10),
+		Customer: scaled(150),
+		Part:     scaled(200),
+		PartSupp: scaled(200) * 4,
+		Orders:   scaled(150) * 10,
+		// lineitem rows follow from orders (1–7 lines each).
+	}
+}
+
+var regionNames = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+
+// nationSpec pairs each of the 25 official nations with its region index.
+var nationSpec = []struct {
+	name   string
+	region int
+}{
+	{"ALGERIA", 0}, {"ARGENTINA", 1}, {"BRAZIL", 1}, {"CANADA", 1},
+	{"EGYPT", 4}, {"ETHIOPIA", 0}, {"FRANCE", 3}, {"GERMANY", 3},
+	{"INDIA", 2}, {"INDONESIA", 2}, {"IRAN", 4}, {"IRAQ", 4},
+	{"JAPAN", 2}, {"JORDAN", 4}, {"KENYA", 0}, {"MOROCCO", 0},
+	{"MOZAMBIQUE", 0}, {"PERU", 1}, {"CHINA", 2}, {"ROMANIA", 3},
+	{"SAUDI ARABIA", 4}, {"VIETNAM", 2}, {"RUSSIA", 3}, {"UNITED KINGDOM", 3},
+	{"UNITED STATES", 1},
+}
+
+var (
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipModes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	containers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP BAG"}
+	typeSylls1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSylls2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSylls3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+	partNouns  = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue", "blush", "brown", "burlywood", "chartreuse", "chiffon", "chocolate", "coral", "forest", "green"}
+)
+
+// dateRange covers the official order-date span 1992-01-01 .. 1998-08-02.
+var (
+	minOrderDate = dateDays(1992, time.January, 1)
+	maxOrderDate = dateDays(1998, time.August, 2)
+)
+
+func dateDays(y int, m time.Month, d int) int64 {
+	return time.Date(y, m, d, 0, 0, 0, 0, time.UTC).Unix() / 86400
+}
+
+// Generate builds the full eight-table catalog deterministically from the
+// config.
+func Generate(cfg Config) (map[string]*relation.Table, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("tpch: scale %v must be positive", cfg.Scale)
+	}
+	src := stats.NewSource(cfg.Seed)
+	counts := cfg.Counts()
+	schemas := Schemas()
+	catalog := make(map[string]*relation.Table, 8)
+	for _, name := range TableNames() {
+		catalog[name] = relation.NewTable(name, schemas[name])
+	}
+
+	region := catalog[Region]
+	for i, name := range regionNames {
+		region.MustInsert(relation.Row{relation.IntVal(int64(i)), relation.StrVal(name)})
+	}
+
+	nation := catalog[Nation]
+	for i, spec := range nationSpec {
+		nation.MustInsert(relation.Row{
+			relation.IntVal(int64(i)),
+			relation.StrVal(spec.name),
+			relation.IntVal(int64(spec.region)),
+		})
+	}
+
+	nSupp := counts[Supplier]
+	supplier := catalog[Supplier]
+	for i := 1; i <= nSupp; i++ {
+		supplier.MustInsert(relation.Row{
+			relation.IntVal(int64(i)),
+			relation.StrVal(fmt.Sprintf("Supplier#%09d", i)),
+			relation.IntVal(int64(src.Intn(len(nationSpec)))),
+			relation.FloatVal(-999 + src.Float64()*10998),
+			relation.StrVal(phone(src)),
+		})
+	}
+
+	nCust := counts[Customer]
+	customer := catalog[Customer]
+	for i := 1; i <= nCust; i++ {
+		customer.MustInsert(relation.Row{
+			relation.IntVal(int64(i)),
+			relation.StrVal(fmt.Sprintf("Customer#%09d", i)),
+			relation.IntVal(int64(src.Intn(len(nationSpec)))),
+			relation.FloatVal(-999 + src.Float64()*10998),
+			relation.StrVal(segments[src.Intn(len(segments))]),
+			relation.StrVal(phone(src)),
+		})
+	}
+
+	nPart := counts[Part]
+	part := catalog[Part]
+	retail := make([]float64, nPart+1)
+	for i := 1; i <= nPart; i++ {
+		price := 900 + float64(i%1000)/10 + 100*float64(i%10)
+		retail[i] = price
+		part.MustInsert(relation.Row{
+			relation.IntVal(int64(i)),
+			relation.StrVal(partNouns[src.Intn(len(partNouns))] + " " + partNouns[src.Intn(len(partNouns))]),
+			relation.StrVal(fmt.Sprintf("Manufacturer#%d", 1+src.Intn(5))),
+			relation.StrVal(fmt.Sprintf("Brand#%d%d", 1+src.Intn(5), 1+src.Intn(5))),
+			relation.StrVal(typeSylls1[src.Intn(len(typeSylls1))] + " " + typeSylls2[src.Intn(len(typeSylls2))] + " " + typeSylls3[src.Intn(len(typeSylls3))]),
+			relation.IntVal(int64(1 + src.Intn(50))),
+			relation.StrVal(containers[src.Intn(len(containers))]),
+			relation.FloatVal(price),
+		})
+	}
+
+	partsupp := catalog[PartSupp]
+	type psKey struct{ part, supp int }
+	psCost := make(map[psKey]float64)
+	for p := 1; p <= nPart; p++ {
+		for j := 0; j < 4; j++ {
+			s := 1 + (p+j*(nSupp/4+1))%nSupp
+			cost := 1 + src.Float64()*999
+			psCost[psKey{p, s}] = cost
+			partsupp.MustInsert(relation.Row{
+				relation.IntVal(int64(p)),
+				relation.IntVal(int64(s)),
+				relation.IntVal(int64(1 + src.Intn(9999))),
+				relation.FloatVal(cost),
+			})
+		}
+	}
+
+	orders := catalog[Orders]
+	lineitem := catalog[LineItem]
+	nOrders := counts[Orders]
+	orderKey := int64(0)
+	for i := 0; i < nOrders; i++ {
+		orderKey++
+		custkey := int64(1 + src.Intn(nCust))
+		odate := minOrderDate + int64(src.Intn(int(maxOrderDate-minOrderDate+1)))
+		lines := 1 + src.Intn(7)
+		var total float64
+		status := "O"
+		if src.Float64() < .5 {
+			status = "F"
+		}
+		for ln := 1; ln <= lines; ln++ {
+			partkey := 1 + src.Intn(nPart)
+			suppkey := 1 + (partkey+(ln%4)*(nSupp/4+1))%nSupp
+			qty := float64(1 + src.Intn(50))
+			price := qty * retail[partkey] / 10
+			disc := float64(src.Intn(11)) / 100
+			tax := float64(src.Intn(9)) / 100
+			ship := odate + int64(1+src.Intn(121))
+			commit := odate + int64(30+src.Intn(61))
+			receipt := ship + int64(1+src.Intn(30))
+			flag := "N"
+			if receipt <= dateDays(1995, time.June, 17) {
+				if src.Float64() < .5 {
+					flag = "R"
+				} else {
+					flag = "A"
+				}
+			}
+			lstatus := "O"
+			if ship <= dateDays(1995, time.June, 17) {
+				lstatus = "F"
+			}
+			total += price * (1 - disc) * (1 + tax)
+			lineitem.MustInsert(relation.Row{
+				relation.IntVal(orderKey),
+				relation.IntVal(int64(partkey)),
+				relation.IntVal(int64(suppkey)),
+				relation.IntVal(int64(ln)),
+				relation.FloatVal(qty),
+				relation.FloatVal(price),
+				relation.FloatVal(disc),
+				relation.FloatVal(tax),
+				relation.StrVal(flag),
+				relation.StrVal(lstatus),
+				relation.DateVal(ship),
+				relation.DateVal(commit),
+				relation.DateVal(receipt),
+				relation.StrVal(shipModes[src.Intn(len(shipModes))]),
+			})
+		}
+		orders.MustInsert(relation.Row{
+			relation.IntVal(orderKey),
+			relation.IntVal(custkey),
+			relation.StrVal(status),
+			relation.FloatVal(total),
+			relation.DateVal(odate),
+			relation.StrVal(priorities[src.Intn(len(priorities))]),
+			relation.IntVal(0),
+		})
+	}
+	return catalog, nil
+}
+
+func phone(src *stats.Source) string {
+	return fmt.Sprintf("%02d-%03d-%03d-%04d", 10+src.Intn(25), src.Intn(1000), src.Intn(1000), src.Intn(10000))
+}

@@ -1,0 +1,281 @@
+package tpch
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"ivdss/internal/relation"
+	"ivdss/internal/sqlmini"
+)
+
+// Query is one of the 22 benchmark queries restated in the sqlmini dialect.
+// Where the official query uses constructs outside the dialect (scalar and
+// correlated sub-queries, CASE, EXTRACT, DISTINCT, outer joins), the
+// restatement keeps the join graph, filters, and grouping and simplifies
+// the rest; the Note field records each deviation.
+type Query struct {
+	ID   string
+	SQL  string
+	Note string // "" when the query is structurally faithful
+}
+
+// Queries returns the 22 queries in benchmark order.
+func Queries() []Query {
+	return []Query{
+		{ID: "Q1", SQL: `
+			SELECT l_returnflag, l_linestatus,
+			       sum(l_quantity) AS sum_qty,
+			       sum(l_extendedprice) AS sum_base_price,
+			       sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+			       sum(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+			       avg(l_quantity) AS avg_qty,
+			       avg(l_extendedprice) AS avg_price,
+			       avg(l_discount) AS avg_disc,
+			       count(*) AS count_order
+			FROM lineitem
+			WHERE l_shipdate <= DATE '1998-09-02'
+			GROUP BY l_returnflag, l_linestatus
+			ORDER BY l_returnflag, l_linestatus`},
+		{ID: "Q2", Note: "min-supplycost correlated sub-query dropped; join graph and filters kept", SQL: `
+			SELECT s.s_acctbal, s.s_name, n.n_name, p.p_partkey, p.p_mfgr
+			FROM part p, supplier s, partsupp ps, nation n, region r
+			WHERE p.p_partkey = ps.ps_partkey AND s.s_suppkey = ps.ps_suppkey
+			  AND p.p_size = 15 AND p.p_type LIKE '%STEEL'
+			  AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+			  AND r.r_name = 'EUROPE'
+			ORDER BY s.s_acctbal DESC, n.n_name, s.s_name LIMIT 100`},
+		{ID: "Q3", SQL: `
+			SELECT l.l_orderkey, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+			       o.o_orderdate, o.o_shippriority
+			FROM customer c, orders o, lineitem l
+			WHERE c.c_mktsegment = 'BUILDING' AND c.c_custkey = o.o_custkey
+			  AND l.l_orderkey = o.o_orderkey
+			  AND o.o_orderdate < DATE '1995-03-15' AND l.l_shipdate > DATE '1995-03-15'
+			GROUP BY l.l_orderkey, o.o_orderdate, o.o_shippriority
+			ORDER BY revenue DESC, o.o_orderdate LIMIT 10`},
+		{ID: "Q4", Note: "EXISTS sub-query rewritten as a join with COUNT(DISTINCT order)", SQL: `
+			SELECT o.o_orderpriority, count(DISTINCT o.o_orderkey) AS order_count
+			FROM orders o, lineitem l
+			WHERE o.o_orderkey = l.l_orderkey
+			  AND o.o_orderdate >= DATE '1993-07-01' AND o.o_orderdate < DATE '1993-10-01'
+			  AND l.l_commitdate < l.l_receiptdate
+			GROUP BY o.o_orderpriority ORDER BY o.o_orderpriority`},
+		{ID: "Q5", SQL: `
+			SELECT n.n_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+			FROM customer c, orders o, lineitem l, supplier s, nation n, region r
+			WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+			  AND l.l_suppkey = s.s_suppkey AND c.c_nationkey = s.s_nationkey
+			  AND s.s_nationkey = n.n_nationkey AND n.n_regionkey = r.r_regionkey
+			  AND r.r_name = 'ASIA'
+			  AND o.o_orderdate >= DATE '1994-01-01' AND o.o_orderdate < DATE '1995-01-01'
+			GROUP BY n.n_name ORDER BY revenue DESC`},
+		{ID: "Q6", SQL: `
+			SELECT sum(l_extendedprice * l_discount) AS revenue
+			FROM lineitem
+			WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+			  AND l_discount BETWEEN 0.05 AND 0.07 AND l_quantity < 24`},
+		{ID: "Q7", Note: "per-year split (EXTRACT) dropped; nation pair fixed one way", SQL: `
+			SELECT n1.n_name AS supp_nation, n2.n_name AS cust_nation,
+			       sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+			FROM supplier s, lineitem l, orders o, customer c, nation n1, nation n2
+			WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+			  AND c.c_custkey = o.o_custkey
+			  AND s.s_nationkey = n1.n_nationkey AND c.c_nationkey = n2.n_nationkey
+			  AND n1.n_name = 'FRANCE' AND n2.n_name = 'GERMANY'
+			  AND l.l_shipdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+			GROUP BY n1.n_name, n2.n_name ORDER BY revenue DESC`},
+		{ID: "Q8", Note: "market-share CASE ratio reduced to the numerator revenue", SQL: `
+			SELECT n2.n_name AS supp_nation, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+			FROM part p, supplier s, lineitem l, orders o, customer c, nation n1, nation n2, region r
+			WHERE p.p_partkey = l.l_partkey AND s.s_suppkey = l.l_suppkey
+			  AND l.l_orderkey = o.o_orderkey AND o.o_custkey = c.c_custkey
+			  AND c.c_nationkey = n1.n_nationkey AND n1.n_regionkey = r.r_regionkey
+			  AND r.r_name = 'AMERICA' AND s.s_nationkey = n2.n_nationkey
+			  AND o.o_orderdate BETWEEN DATE '1995-01-01' AND DATE '1996-12-31'
+			  AND p.p_type = 'ECONOMY ANODIZED STEEL'
+			GROUP BY n2.n_name ORDER BY revenue DESC`},
+		{ID: "Q9", Note: "per-year split (EXTRACT) dropped; grouped by nation only", SQL: `
+			SELECT n.n_name AS nation,
+			       sum(l.l_extendedprice * (1 - l.l_discount) - ps.ps_supplycost * l.l_quantity) AS profit
+			FROM part p, supplier s, lineitem l, partsupp ps, orders o, nation n
+			WHERE s.s_suppkey = l.l_suppkey AND ps.ps_suppkey = l.l_suppkey
+			  AND ps.ps_partkey = l.l_partkey AND p.p_partkey = l.l_partkey
+			  AND o.o_orderkey = l.l_orderkey AND s.s_nationkey = n.n_nationkey
+			  AND p.p_name LIKE '%green%'
+			GROUP BY n.n_name ORDER BY profit DESC`},
+		{ID: "Q10", SQL: `
+			SELECT c.c_custkey, c.c_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue,
+			       c.c_acctbal, n.n_name
+			FROM customer c, orders o, lineitem l, nation n
+			WHERE c.c_custkey = o.o_custkey AND l.l_orderkey = o.o_orderkey
+			  AND o.o_orderdate >= DATE '1993-10-01' AND o.o_orderdate < DATE '1994-01-01'
+			  AND l.l_returnflag = 'R' AND c.c_nationkey = n.n_nationkey
+			GROUP BY c.c_custkey, c.c_name, c.c_acctbal, n.n_name
+			ORDER BY revenue DESC LIMIT 20`},
+		{ID: "Q11", Note: "fraction-of-total sub-query replaced by a fixed HAVING threshold", SQL: `
+			SELECT ps.ps_partkey, sum(ps.ps_supplycost * ps.ps_availqty) AS stock_value
+			FROM partsupp ps, supplier s, nation n
+			WHERE ps.ps_suppkey = s.s_suppkey AND s.s_nationkey = n.n_nationkey
+			  AND n.n_name = 'GERMANY'
+			GROUP BY ps.ps_partkey
+			HAVING sum(ps.ps_supplycost * ps.ps_availqty) > 100000
+			ORDER BY stock_value DESC`},
+		{ID: "Q12", Note: "priority CASE split reduced to a single line count", SQL: `
+			SELECT l.l_shipmode, count(*) AS line_count
+			FROM orders o, lineitem l
+			WHERE o.o_orderkey = l.l_orderkey AND l.l_shipmode IN ('MAIL', 'SHIP')
+			  AND l.l_commitdate < l.l_receiptdate AND l.l_shipdate < l.l_commitdate
+			  AND l.l_receiptdate >= DATE '1994-01-01' AND l.l_receiptdate < DATE '1995-01-01'
+			GROUP BY l.l_shipmode ORDER BY l.l_shipmode`},
+		{ID: "Q13", Note: "left outer join reduced to inner join (customers with no orders drop out)", SQL: `
+			SELECT c.c_custkey, count(*) AS c_count
+			FROM customer c, orders o
+			WHERE c.c_custkey = o.o_custkey
+			GROUP BY c.c_custkey ORDER BY c_count DESC, c.c_custkey LIMIT 100`},
+		{ID: "Q14", Note: "promo-share CASE ratio reduced to promo revenue", SQL: `
+			SELECT sum(l.l_extendedprice * (1 - l.l_discount)) AS promo_revenue
+			FROM lineitem l, part p
+			WHERE l.l_partkey = p.p_partkey AND p.p_type LIKE 'PROMO%'
+			  AND l.l_shipdate >= DATE '1995-09-01' AND l.l_shipdate < DATE '1995-10-01'`},
+		{ID: "Q15", Note: "revenue view + MAX sub-query replaced by ORDER BY ... LIMIT 1", SQL: `
+			SELECT s.s_suppkey, s.s_name, sum(l.l_extendedprice * (1 - l.l_discount)) AS total_revenue
+			FROM supplier s, lineitem l
+			WHERE s.s_suppkey = l.l_suppkey
+			  AND l.l_shipdate >= DATE '1996-01-01' AND l.l_shipdate < DATE '1996-04-01'
+			GROUP BY s.s_suppkey, s.s_name
+			ORDER BY total_revenue DESC LIMIT 1`},
+		{ID: "Q16", Note: "excluded-supplier sub-query dropped", SQL: `
+			SELECT p.p_brand, p.p_type, p.p_size, count(DISTINCT ps.ps_suppkey) AS supplier_cnt
+			FROM partsupp ps, part p
+			WHERE p.p_partkey = ps.ps_partkey AND p.p_brand <> 'Brand#45'
+			  AND p.p_size IN (1, 4, 7, 14, 23, 36, 45, 49)
+			GROUP BY p.p_brand, p.p_type, p.p_size
+			ORDER BY supplier_cnt DESC, p.p_brand, p.p_type, p.p_size`},
+		{ID: "Q17", Note: "per-part average-quantity sub-query replaced by a constant threshold", SQL: `
+			SELECT sum(l.l_extendedprice) / 7 AS avg_yearly
+			FROM lineitem l, part p
+			WHERE p.p_partkey = l.l_partkey AND p.p_brand = 'Brand#23'
+			  AND p.p_container = 'MED BOX' AND l.l_quantity < 5`},
+		{ID: "Q18", SQL: `
+			SELECT c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice,
+			       sum(l.l_quantity) AS total_qty
+			FROM customer c, orders o, lineitem l
+			WHERE c.c_custkey = o.o_custkey AND o.o_orderkey = l.l_orderkey
+			GROUP BY c.c_name, c.c_custkey, o.o_orderkey, o.o_orderdate, o.o_totalprice
+			HAVING sum(l.l_quantity) > 150
+			ORDER BY o.o_totalprice DESC, o.o_orderdate LIMIT 100`},
+		{ID: "Q19", SQL: `
+			SELECT sum(l.l_extendedprice * (1 - l.l_discount)) AS revenue
+			FROM lineitem l, part p
+			WHERE p.p_partkey = l.l_partkey
+			  AND ((p.p_brand = 'Brand#12' AND l.l_quantity BETWEEN 1 AND 11 AND p.p_size BETWEEN 1 AND 5)
+			    OR (p.p_brand = 'Brand#23' AND l.l_quantity BETWEEN 10 AND 20 AND p.p_size BETWEEN 1 AND 10)
+			    OR (p.p_brand = 'Brand#34' AND l.l_quantity BETWEEN 20 AND 30 AND p.p_size BETWEEN 1 AND 15))`},
+		{ID: "Q20", Note: "nested availability sub-queries flattened into joins with a fixed quantity bound", SQL: `
+			SELECT s.s_name, s.s_phone
+			FROM supplier s, nation n, partsupp ps, part p
+			WHERE s.s_suppkey = ps.ps_suppkey AND ps.ps_partkey = p.p_partkey
+			  AND p.p_name LIKE 'forest%' AND s.s_nationkey = n.n_nationkey
+			  AND n.n_name = 'CANADA' AND ps.ps_availqty > 100
+			ORDER BY s.s_name`},
+		{ID: "Q21", Note: "multi-supplier EXISTS/NOT EXISTS conditions dropped; late-delivery join kept", SQL: `
+			SELECT s.s_name, count(*) AS numwait
+			FROM supplier s, lineitem l, orders o, nation n
+			WHERE s.s_suppkey = l.l_suppkey AND o.o_orderkey = l.l_orderkey
+			  AND o.o_orderstatus = 'F' AND l.l_receiptdate > l.l_commitdate
+			  AND s.s_nationkey = n.n_nationkey AND n.n_name = 'SAUDI ARABIA'
+			GROUP BY s.s_name ORDER BY numwait DESC, s.s_name LIMIT 100`},
+		{ID: "Q22", Note: "phone-prefix SUBSTRING and NOT EXISTS dropped; grouped by nation key", SQL: `
+			SELECT c.c_nationkey, count(*) AS numcust, sum(c.c_acctbal) AS totacctbal
+			FROM customer c
+			WHERE c.c_acctbal > 0
+			GROUP BY c.c_nationkey ORDER BY c.c_nationkey`},
+	}
+}
+
+// QueryByID returns the query with the given ID.
+func QueryByID(id string) (Query, error) {
+	for _, q := range Queries() {
+		if strings.EqualFold(q.ID, id) {
+			return q, nil
+		}
+	}
+	return Query{}, fmt.Errorf("tpch: unknown query %q", id)
+}
+
+// Tables returns the base tables the query reads (lower-cased, in
+// first-appearance order).
+func (q Query) Tables() ([]string, error) {
+	stmt, err := sqlmini.Parse(q.SQL)
+	if err != nil {
+		return nil, fmt.Errorf("tpch: %s: %w", q.ID, err)
+	}
+	names := stmt.TableNames()
+	for i, n := range names {
+		names[i] = strings.ToLower(n)
+	}
+	return names, nil
+}
+
+// Weights derives a deterministic per-query cost weight from the catalog:
+// the total row count of the tables each query touches, normalized so the
+// mean weight over all 22 queries is 1. It is the offline stand-in for the
+// paper's calibration step ("this step needs to be done only once and can
+// be done in advance").
+func Weights(catalog map[string]*relation.Table) (map[string]float64, error) {
+	raw := make(map[string]float64, 22)
+	var total float64
+	for _, q := range Queries() {
+		tables, err := q.Tables()
+		if err != nil {
+			return nil, err
+		}
+		var rows float64
+		for _, t := range tables {
+			tbl, ok := catalog[t]
+			if !ok {
+				return nil, fmt.Errorf("tpch: weights: catalog missing table %s for %s", t, q.ID)
+			}
+			rows += float64(tbl.NumRows())
+		}
+		raw[q.ID] = rows
+		total += rows
+	}
+	mean := total / float64(len(raw))
+	for id := range raw {
+		raw[id] /= mean
+	}
+	return raw, nil
+}
+
+// MidCostQueries returns the IDs of the k queries with mid-range weights —
+// the paper's Figure 6 "15 queries which are neither too cheap nor too
+// expensive" selection — ordered cheapest first.
+func MidCostQueries(weights map[string]float64, k int) []string {
+	type wq struct {
+		id string
+		w  float64
+	}
+	all := make([]wq, 0, len(weights))
+	for id, w := range weights {
+		all = append(all, wq{id, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w < all[j].w
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	drop := len(all) - k
+	lo := drop / 2
+	mid := all[lo : lo+k]
+	ids := make([]string, k)
+	for i, q := range mid {
+		ids[i] = q.id
+	}
+	return ids
+}

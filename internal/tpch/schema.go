@@ -1,0 +1,173 @@
+// Package tpch is the TPC-H substrate for the paper's experiments: a
+// deterministic scaled-down data generator for the eight benchmark tables,
+// the 22 benchmark queries restated in the internal/sqlmini dialect (same
+// join graphs and groupings, with the sub-query idioms the dialect omits
+// simplified away), and the LineItem partitioning helper the paper's
+// Section 4.2 setup uses ("we first split LineItem table into 5
+// partitions, therefore there are totally 12 tables").
+package tpch
+
+import (
+	"fmt"
+
+	"ivdss/internal/relation"
+)
+
+// Table names.
+const (
+	Region   = "region"
+	Nation   = "nation"
+	Supplier = "supplier"
+	Customer = "customer"
+	Part     = "part"
+	PartSupp = "partsupp"
+	Orders   = "orders"
+	LineItem = "lineitem"
+)
+
+// TableNames lists the eight base tables in generation order.
+func TableNames() []string {
+	return []string{Region, Nation, Supplier, Customer, Part, PartSupp, Orders, LineItem}
+}
+
+func col(name string, t relation.Type) relation.Column {
+	return relation.Column{Name: name, Type: t}
+}
+
+// Schemas returns the column layout of every table.
+func Schemas() map[string]relation.Schema {
+	return map[string]relation.Schema{
+		Region: relation.MustSchema(
+			col("r_regionkey", relation.Int),
+			col("r_name", relation.Str),
+		),
+		Nation: relation.MustSchema(
+			col("n_nationkey", relation.Int),
+			col("n_name", relation.Str),
+			col("n_regionkey", relation.Int),
+		),
+		Supplier: relation.MustSchema(
+			col("s_suppkey", relation.Int),
+			col("s_name", relation.Str),
+			col("s_nationkey", relation.Int),
+			col("s_acctbal", relation.Float),
+			col("s_phone", relation.Str),
+		),
+		Customer: relation.MustSchema(
+			col("c_custkey", relation.Int),
+			col("c_name", relation.Str),
+			col("c_nationkey", relation.Int),
+			col("c_acctbal", relation.Float),
+			col("c_mktsegment", relation.Str),
+			col("c_phone", relation.Str),
+		),
+		Part: relation.MustSchema(
+			col("p_partkey", relation.Int),
+			col("p_name", relation.Str),
+			col("p_mfgr", relation.Str),
+			col("p_brand", relation.Str),
+			col("p_type", relation.Str),
+			col("p_size", relation.Int),
+			col("p_container", relation.Str),
+			col("p_retailprice", relation.Float),
+		),
+		PartSupp: relation.MustSchema(
+			col("ps_partkey", relation.Int),
+			col("ps_suppkey", relation.Int),
+			col("ps_availqty", relation.Int),
+			col("ps_supplycost", relation.Float),
+		),
+		Orders: relation.MustSchema(
+			col("o_orderkey", relation.Int),
+			col("o_custkey", relation.Int),
+			col("o_orderstatus", relation.Str),
+			col("o_totalprice", relation.Float),
+			col("o_orderdate", relation.Date),
+			col("o_orderpriority", relation.Str),
+			col("o_shippriority", relation.Int),
+		),
+		LineItem: relation.MustSchema(
+			col("l_orderkey", relation.Int),
+			col("l_partkey", relation.Int),
+			col("l_suppkey", relation.Int),
+			col("l_linenumber", relation.Int),
+			col("l_quantity", relation.Float),
+			col("l_extendedprice", relation.Float),
+			col("l_discount", relation.Float),
+			col("l_tax", relation.Float),
+			col("l_returnflag", relation.Str),
+			col("l_linestatus", relation.Str),
+			col("l_shipdate", relation.Date),
+			col("l_commitdate", relation.Date),
+			col("l_receiptdate", relation.Date),
+			col("l_shipmode", relation.Str),
+		),
+	}
+}
+
+// PartitionLineItem splits the lineitem table into n hash partitions by
+// l_orderkey, named lineitem_p0 .. lineitem_p<n-1>, mirroring the paper's
+// 5-way split. The input catalog is not modified; the returned catalog has
+// the partitions in place of the original lineitem table.
+func PartitionLineItem(catalog map[string]*relation.Table, n int) (map[string]*relation.Table, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("tpch: partition count %d must be positive", n)
+	}
+	li, ok := catalog[LineItem]
+	if !ok {
+		return nil, fmt.Errorf("tpch: catalog has no %s table", LineItem)
+	}
+	out := make(map[string]*relation.Table, len(catalog)+n-1)
+	for name, t := range catalog {
+		if name != LineItem {
+			out[name] = t
+		}
+	}
+	parts := make([]*relation.Table, n)
+	for i := range parts {
+		parts[i] = relation.NewTable(PartitionName(i), li.Schema)
+		out[parts[i].Name] = parts[i]
+	}
+	keyIdx := li.Schema.ColIndex("l_orderkey")
+	for _, row := range li.Rows {
+		p := int(row[keyIdx].I % int64(n))
+		parts[p].Rows = append(parts[p].Rows, row)
+	}
+	return out, nil
+}
+
+// PartitionName returns the name of lineitem partition i.
+func PartitionName(i int) string { return fmt.Sprintf("%s_p%d", LineItem, i) }
+
+// PartitionedTableNames lists the 8−1+n table names of a catalog whose
+// lineitem was split n ways (12 names for the paper's n=5 setup).
+func PartitionedTableNames(n int) []string {
+	names := make([]string, 0, 7+n)
+	for _, t := range TableNames() {
+		if t == LineItem {
+			continue
+		}
+		names = append(names, t)
+	}
+	for i := 0; i < n; i++ {
+		names = append(names, PartitionName(i))
+	}
+	return names
+}
+
+// ExpandPartitions rewrites a query's table set for a partitioned catalog:
+// a reference to lineitem becomes references to all n partitions, matching
+// how a federation decomposes a scan over a partitioned table.
+func ExpandPartitions(tables []string, n int) []string {
+	out := make([]string, 0, len(tables)+n)
+	for _, t := range tables {
+		if t == LineItem {
+			for i := 0; i < n; i++ {
+				out = append(out, PartitionName(i))
+			}
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

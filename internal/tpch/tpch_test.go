@@ -1,0 +1,439 @@
+package tpch
+
+import (
+	"strings"
+	"testing"
+
+	"ivdss/internal/relation"
+	"ivdss/internal/sqlmini"
+)
+
+func generate(t *testing.T, scale float64) map[string]*relation.Table {
+	t.Helper()
+	catalog, err := Generate(Config{Scale: scale, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return catalog
+}
+
+func TestGenerateCardinalities(t *testing.T) {
+	catalog := generate(t, 1)
+	if got := catalog[Region].NumRows(); got != 5 {
+		t.Errorf("regions = %d, want 5", got)
+	}
+	if got := catalog[Nation].NumRows(); got != 25 {
+		t.Errorf("nations = %d, want 25", got)
+	}
+	if got := catalog[Customer].NumRows(); got != 150 {
+		t.Errorf("customers = %d, want 150", got)
+	}
+	if got := catalog[Orders].NumRows(); got != 1500 {
+		t.Errorf("orders = %d, want 1500", got)
+	}
+	li := catalog[LineItem].NumRows()
+	if li < 1500 || li > 1500*7 {
+		t.Errorf("lineitems = %d, want within [1500, 10500]", li)
+	}
+	if got := catalog[PartSupp].NumRows(); got != catalog[Part].NumRows()*4 {
+		t.Errorf("partsupp = %d, want 4 per part", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := generate(t, 0.5)
+	b := generate(t, 0.5)
+	for name, ta := range a {
+		tb := b[name]
+		if ta.NumRows() != tb.NumRows() {
+			t.Fatalf("%s: %d vs %d rows", name, ta.NumRows(), tb.NumRows())
+		}
+		for i := range ta.Rows {
+			for j := range ta.Rows[i] {
+				if !relation.Equal(ta.Rows[i][j], tb.Rows[i][j]) {
+					t.Fatalf("%s row %d col %d differs", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadScale(t *testing.T) {
+	if _, err := Generate(Config{Scale: 0}); err == nil {
+		t.Error("zero scale accepted")
+	}
+}
+
+func TestGenerateReferentialIntegrity(t *testing.T) {
+	catalog := generate(t, 1)
+	custKeys := make(map[int64]bool)
+	for _, r := range catalog[Customer].Rows {
+		custKeys[r[0].I] = true
+	}
+	for _, r := range catalog[Orders].Rows {
+		if !custKeys[r[1].I] {
+			t.Fatalf("order %d references missing customer %d", r[0].I, r[1].I)
+		}
+	}
+	orderKeys := make(map[int64]bool)
+	for _, r := range catalog[Orders].Rows {
+		orderKeys[r[0].I] = true
+	}
+	nSupp := int64(catalog[Supplier].NumRows())
+	nPart := int64(catalog[Part].NumRows())
+	for _, r := range catalog[LineItem].Rows {
+		if !orderKeys[r[0].I] {
+			t.Fatalf("lineitem references missing order %d", r[0].I)
+		}
+		if r[1].I < 1 || r[1].I > nPart {
+			t.Fatalf("lineitem references part %d outside [1, %d]", r[1].I, nPart)
+		}
+		if r[2].I < 1 || r[2].I > nSupp {
+			t.Fatalf("lineitem references supplier %d outside [1, %d]", r[2].I, nSupp)
+		}
+	}
+	for _, r := range catalog[Nation].Rows {
+		if r[2].I < 0 || r[2].I > 4 {
+			t.Fatalf("nation %s references region %d", r[1].S, r[2].I)
+		}
+	}
+}
+
+func TestGenerateDateOrdering(t *testing.T) {
+	catalog := generate(t, 1)
+	li := catalog[LineItem]
+	ship := li.Schema.ColIndex("l_shipdate")
+	receipt := li.Schema.ColIndex("l_receiptdate")
+	for _, r := range li.Rows {
+		if r[receipt].I <= r[ship].I {
+			t.Fatalf("receipt %d not after ship %d", r[receipt].I, r[ship].I)
+		}
+	}
+}
+
+func TestAll22QueriesParseAndRun(t *testing.T) {
+	catalog := generate(t, 1)
+	cat := sqlmini.MapCatalog(catalog)
+	queries := Queries()
+	if len(queries) != 22 {
+		t.Fatalf("have %d queries, want 22", len(queries))
+	}
+	nonEmpty := 0
+	for _, q := range queries {
+		q := q
+		t.Run(q.ID, func(t *testing.T) {
+			out, err := sqlmini.Run(q.SQL, cat)
+			if err != nil {
+				t.Fatalf("%s failed: %v", q.ID, err)
+			}
+			if out.NumRows() > 0 {
+				nonEmpty++
+			}
+		})
+	}
+	// Filters on tiny data legitimately empty some results, but the bulk of
+	// the workload must produce rows or the generator is off.
+	if nonEmpty < 15 {
+		t.Errorf("only %d/22 queries returned rows", nonEmpty)
+	}
+}
+
+func TestQ1Shape(t *testing.T) {
+	catalog := generate(t, 1)
+	out, err := sqlmini.Run(Queries()[0].SQL, sqlmini.MapCatalog(catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Schema.Arity() != 10 {
+		t.Errorf("Q1 arity = %d, want 10", out.Schema.Arity())
+	}
+	// At most 3 returnflags × 2 linestatuses.
+	if out.NumRows() == 0 || out.NumRows() > 6 {
+		t.Errorf("Q1 groups = %d", out.NumRows())
+	}
+	// sum_disc_price <= sum_base_price for every group (discounts ≥ 0).
+	for _, r := range out.Rows {
+		if r[4].F > r[3].F {
+			t.Errorf("group %v: disc price %v exceeds base price %v", r[0], r[4].F, r[3].F)
+		}
+	}
+}
+
+func TestQueryByID(t *testing.T) {
+	q, err := QueryByID("q17")
+	if err != nil || q.ID != "Q17" {
+		t.Errorf("QueryByID(q17) = %v, %v", q.ID, err)
+	}
+	if _, err := QueryByID("Q99"); err == nil {
+		t.Error("unknown query accepted")
+	}
+}
+
+func TestQueryTables(t *testing.T) {
+	q, _ := QueryByID("Q5")
+	tables, err := q.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{Customer: true, Orders: true, LineItem: true, Supplier: true, Nation: true, Region: true}
+	if len(tables) != len(want) {
+		t.Fatalf("Q5 tables = %v", tables)
+	}
+	for _, tb := range tables {
+		if !want[tb] {
+			t.Errorf("unexpected table %s", tb)
+		}
+	}
+	// Q7 references nation twice but it must appear once.
+	q7, _ := QueryByID("Q7")
+	t7, err := q7.Tables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, tb := range t7 {
+		if tb == Nation {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("Q7 lists nation %d times", count)
+	}
+}
+
+func TestPartitionLineItem(t *testing.T) {
+	catalog := generate(t, 1)
+	liRows := catalog[LineItem].NumRows()
+	parted, err := PartitionLineItem(catalog, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := parted[LineItem]; ok {
+		t.Error("original lineitem still present")
+	}
+	if len(parted) != 12 {
+		t.Errorf("partitioned catalog has %d tables, want 12", len(parted))
+	}
+	total := 0
+	for i := 0; i < 5; i++ {
+		p, ok := parted[PartitionName(i)]
+		if !ok {
+			t.Fatalf("missing partition %d", i)
+		}
+		total += p.NumRows()
+		if p.NumRows() == 0 {
+			t.Errorf("partition %d empty", i)
+		}
+	}
+	if total != liRows {
+		t.Errorf("partitions hold %d rows, want %d", total, liRows)
+	}
+	// Partitioning must not mutate the input catalog.
+	if catalog[LineItem].NumRows() != liRows {
+		t.Error("input catalog mutated")
+	}
+}
+
+func TestPartitionLineItemErrors(t *testing.T) {
+	catalog := generate(t, 1)
+	if _, err := PartitionLineItem(catalog, 0); err == nil {
+		t.Error("zero partitions accepted")
+	}
+	if _, err := PartitionLineItem(map[string]*relation.Table{}, 5); err == nil {
+		t.Error("missing lineitem accepted")
+	}
+}
+
+func TestPartitionedTableNames(t *testing.T) {
+	names := PartitionedTableNames(5)
+	if len(names) != 12 {
+		t.Fatalf("names = %d, want 12", len(names))
+	}
+	for _, n := range names {
+		if n == LineItem {
+			t.Error("unsplit lineitem listed")
+		}
+	}
+}
+
+func TestExpandPartitions(t *testing.T) {
+	in := []string{Customer, LineItem, Orders}
+	out := ExpandPartitions(in, 3)
+	if len(out) != 5 {
+		t.Fatalf("expanded = %v", out)
+	}
+	if out[1] != PartitionName(0) || out[3] != PartitionName(2) {
+		t.Errorf("expanded = %v", out)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	catalog := generate(t, 1)
+	weights, err := Weights(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weights) != 22 {
+		t.Fatalf("weights for %d queries", len(weights))
+	}
+	var sum float64
+	for id, w := range weights {
+		if w <= 0 {
+			t.Errorf("%s weight %v not positive", id, w)
+		}
+		sum += w
+	}
+	if mean := sum / 22; mean < .999 || mean > 1.001 {
+		t.Errorf("mean weight = %v, want 1", mean)
+	}
+	// Q22 touches only customer; Q9 joins six tables including lineitem.
+	if weights["Q22"] >= weights["Q9"] {
+		t.Errorf("Q22 (%v) should be cheaper than Q9 (%v)", weights["Q22"], weights["Q9"])
+	}
+}
+
+func TestMidCostQueries(t *testing.T) {
+	catalog := generate(t, 1)
+	weights, err := Weights(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := MidCostQueries(weights, 15)
+	if len(mid) != 15 {
+		t.Fatalf("mid = %d queries", len(mid))
+	}
+	seen := make(map[string]bool)
+	for i, id := range mid {
+		if seen[id] {
+			t.Errorf("duplicate %s", id)
+		}
+		seen[id] = true
+		if i > 0 && weights[mid[i-1]] > weights[id] {
+			t.Errorf("not sorted by weight at %d", i)
+		}
+	}
+	if got := MidCostQueries(weights, 100); len(got) != 22 {
+		t.Errorf("oversized k returned %d", len(got))
+	}
+}
+
+func TestQueriesHaveUniqueIDs(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, q := range Queries() {
+		if seen[q.ID] {
+			t.Errorf("duplicate ID %s", q.ID)
+		}
+		seen[q.ID] = true
+		if !strings.HasPrefix(q.ID, "Q") {
+			t.Errorf("bad ID %s", q.ID)
+		}
+	}
+}
+
+// TestQ6MatchesManualComputation recomputes Q6's revenue by hand over the
+// generated rows and compares with the engine's answer.
+func TestQ6MatchesManualComputation(t *testing.T) {
+	catalog := generate(t, 1)
+	li := catalog[LineItem]
+	ship := li.Schema.ColIndex("l_shipdate")
+	disc := li.Schema.ColIndex("l_discount")
+	qty := li.Schema.ColIndex("l_quantity")
+	price := li.Schema.ColIndex("l_extendedprice")
+	lo, _ := relation.ParseDate("1994-01-01")
+	hi, _ := relation.ParseDate("1995-01-01")
+	var want float64
+	for _, r := range li.Rows {
+		if r[ship].I >= lo.I && r[ship].I < hi.I &&
+			r[disc].F >= .05 && r[disc].F <= .07 && r[qty].F < 24 {
+			want += r[price].F * r[disc].F
+		}
+	}
+	q, _ := QueryByID("Q6")
+	out, err := sqlmini.Run(q.SQL, sqlmini.MapCatalog(catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Rows[0][0].F
+	if diff := got - want; diff > 1e-6 || diff < -1e-6 {
+		t.Errorf("Q6 revenue = %v, manual = %v", got, want)
+	}
+}
+
+// TestQ1MatchesManualComputation validates all ten aggregate columns of
+// Q1 against a hand computation for one group.
+func TestQ1MatchesManualComputation(t *testing.T) {
+	catalog := generate(t, 1)
+	li := catalog[LineItem]
+	flagIdx := li.Schema.ColIndex("l_returnflag")
+	statusIdx := li.Schema.ColIndex("l_linestatus")
+	ship := li.Schema.ColIndex("l_shipdate")
+	qty := li.Schema.ColIndex("l_quantity")
+	price := li.Schema.ColIndex("l_extendedprice")
+	disc := li.Schema.ColIndex("l_discount")
+	tax := li.Schema.ColIndex("l_tax")
+	cut, _ := relation.ParseDate("1998-09-02")
+
+	q, _ := QueryByID("Q1")
+	out, err := sqlmini.Run(q.SQL, sqlmini.MapCatalog(catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() == 0 {
+		t.Fatal("Q1 returned no groups")
+	}
+	wantFlag, wantStatus := out.Rows[0][0].S, out.Rows[0][1].S
+
+	var sumQty, sumBase, sumDisc, sumCharge, sumDiscount float64
+	var n int64
+	for _, r := range li.Rows {
+		if r[ship].I > cut.I || r[flagIdx].S != wantFlag || r[statusIdx].S != wantStatus {
+			continue
+		}
+		sumQty += r[qty].F
+		sumBase += r[price].F
+		sumDisc += r[price].F * (1 - r[disc].F)
+		sumCharge += r[price].F * (1 - r[disc].F) * (1 + r[tax].F)
+		sumDiscount += r[disc].F
+		n++
+	}
+	row := out.Rows[0]
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"sum_qty", row[2].F, sumQty},
+		{"sum_base_price", row[3].F, sumBase},
+		{"sum_disc_price", row[4].F, sumDisc},
+		{"sum_charge", row[5].F, sumCharge},
+		{"avg_qty", row[6].F, sumQty / float64(n)},
+		{"avg_price", row[7].F, sumBase / float64(n)},
+		{"avg_disc", row[8].F, sumDiscount / float64(n)},
+	}
+	for _, c := range checks {
+		if diff := c.got - c.want; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("%s = %v, manual = %v", c.name, c.got, c.want)
+		}
+	}
+	if row[9].I != n {
+		t.Errorf("count_order = %d, manual = %d", row[9].I, n)
+	}
+}
+
+// TestQ3TopKOrdered: Q3's LIMIT 10 must be the revenue-descending prefix.
+func TestQ3TopKOrdered(t *testing.T) {
+	catalog := generate(t, 1)
+	q, _ := QueryByID("Q3")
+	out, err := sqlmini.Run(q.SQL, sqlmini.MapCatalog(catalog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() > 10 {
+		t.Fatalf("LIMIT violated: %d rows", out.NumRows())
+	}
+	for i := 1; i < out.NumRows(); i++ {
+		if out.Rows[i][1].F > out.Rows[i-1][1].F {
+			t.Fatalf("revenue not descending at row %d", i)
+		}
+	}
+}

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -55,23 +56,48 @@ func run(addr string, n int, mean time.Duration, queryList string, value float64
 	}
 
 	src := stats.NewSource(seed)
+	// Transport-level retries against the DSS itself; remote errors are the
+	// DSS's answer (possibly a typed degraded refusal) and are not retried.
+	retrier := netproto.Retrier{
+		MaxAttempts: 3,
+		BaseDelay:   50 * time.Millisecond,
+		Budget:      2 * time.Second,
+		Retryable: func(err error) bool {
+			var remote *netproto.RemoteError
+			return !errors.As(err, &remote)
+		},
+	}
 	var ivs, cls, sls []float64
 	planMix := map[string]int{}
-	errs := 0
+	errs, degraded, retried := 0, 0, 0
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		if i > 0 && mean > 0 {
 			time.Sleep(time.Duration(src.Expo(float64(mean))))
 		}
 		tmpl := templates[src.Intn(len(templates))]
-		resp, err := netproto.Call(addr, &netproto.Request{
-			Kind:          netproto.KindExec,
-			SQL:           tmpl.SQL,
-			BusinessValue: value,
-		}, 2*time.Minute)
+		var resp *netproto.Response
+		err := retrier.Do(func(attempt int) error {
+			if attempt > 0 {
+				retried++
+			}
+			r, err := netproto.Call(addr, &netproto.Request{
+				Kind:          netproto.KindExec,
+				SQL:           tmpl.SQL,
+				BusinessValue: value,
+			}, 2*time.Minute)
+			resp = r
+			return err
+		})
 		if err != nil {
 			errs++
-			fmt.Printf("%3d  %-4s ERROR: %v\n", i+1, tmpl.ID, err)
+			var remote *netproto.RemoteError
+			if errors.As(err, &remote) && remote.Degraded {
+				degraded++
+				fmt.Printf("%3d  %-4s DEGRADED: %v\n", i+1, tmpl.ID, err)
+			} else {
+				fmt.Printf("%3d  %-4s ERROR: %v\n", i+1, tmpl.ID, err)
+			}
 			continue
 		}
 		meta := resp.Meta
@@ -79,11 +105,17 @@ func run(addr string, n int, mean time.Duration, queryList string, value float64
 		cls = append(cls, meta.CLMinutes)
 		sls = append(sls, meta.SLMinutes)
 		planMix[planShape(meta.PlanSignature)]++
-		fmt.Printf("%3d  %-4s rows=%-5d IV=%.4f CL=%.2f SL=%.2f  %s\n",
-			i+1, tmpl.ID, resp.Result.NumRows(), meta.Value, meta.CLMinutes, meta.SLMinutes, meta.PlanSignature)
+		mark := ""
+		if meta.Degraded {
+			degraded++
+			mark = "  DEGRADED"
+		}
+		fmt.Printf("%3d  %-4s rows=%-5d IV=%.4f CL=%.2f SL=%.2f  %s%s\n",
+			i+1, tmpl.ID, resp.Result.NumRows(), meta.Value, meta.CLMinutes, meta.SLMinutes, meta.PlanSignature, mark)
 	}
 
-	fmt.Printf("\nreplayed %d queries in %v (%d errors)\n", n, time.Since(start).Round(time.Millisecond), errs)
+	fmt.Printf("\nreplayed %d queries in %v (%d errors, %d degraded, %d transport retries)\n",
+		n, time.Since(start).Round(time.Millisecond), errs, degraded, retried)
 	if len(ivs) > 0 {
 		fmt.Printf("information value: mean %.4f  p50 %.4f  p95 %.4f\n",
 			stats.Mean(ivs), stats.Percentile(ivs, 50), stats.Percentile(ivs, 95))

@@ -71,6 +71,13 @@ func run(addr string, value float64, status, showMetrics, remote, register, batc
 		if err != nil {
 			return err
 		}
+		if len(resp.Sites) > 0 {
+			fmt.Printf("%-5s %-22s %-10s %s\n", "SITE", "ADDR", "BREAKER", "CONSEC FAILURES")
+			for _, st := range resp.Sites {
+				fmt.Printf("%-5d %-22s %-10s %d\n", st.Site, st.Addr, st.Breaker, st.ConsecutiveFailures)
+			}
+			fmt.Println()
+		}
 		fmt.Printf("%-16s %-5s %-12s %s\n", "TABLE", "SITE", "LAST SYNC", "STALENESS (min)")
 		for _, r := range resp.Replicas {
 			fmt.Printf("%-16s %-5d %-12.2f %.2f\n", r.Table, r.Site, r.LastSyncMinutes, r.StalenessMinutes)
@@ -93,6 +100,9 @@ func run(addr string, value float64, status, showMetrics, remote, register, batc
 		fmt.Printf("\nplan: %s\n", resp.Meta.PlanSignature)
 		fmt.Printf("CL = %.2f min, SL = %.2f min, information value = %.4f (wall %v)\n",
 			resp.Meta.CLMinutes, resp.Meta.SLMinutes, resp.Meta.Value, elapsed.Round(time.Millisecond))
+		if resp.Meta.Degraded {
+			fmt.Println("DEGRADED: a base site was down; the report used local replicas (SL reflects their true staleness)")
+		}
 	}
 	return nil
 }
@@ -156,12 +166,19 @@ func runBatch(addr string, value float64, sql string) error {
 	for i, item := range resp.Batch {
 		fmt.Printf("--- query %d ---\n", i+1)
 		if item.Err != "" {
-			fmt.Printf("ERROR: %s\n", item.Err)
+			if item.Degraded {
+				fmt.Printf("DEGRADED ERROR: %s\n", item.Err)
+			} else {
+				fmt.Printf("ERROR: %s\n", item.Err)
+			}
 			continue
 		}
 		printTable(item.Result)
 		fmt.Printf("plan: %s\nCL = %.2f min, SL = %.2f min, IV = %.4f\n",
 			item.Meta.PlanSignature, item.Meta.CLMinutes, item.Meta.SLMinutes, item.Meta.Value)
+		if item.Degraded {
+			fmt.Println("DEGRADED: answered from local replicas because a base site was down")
+		}
 		total += item.Meta.Value
 	}
 	fmt.Printf("\nworkload: %d queries, total IV %.4f (wall %v)\n",

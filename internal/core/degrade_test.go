@@ -1,0 +1,130 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+// Tests for planner-level failure degradation: BaseDown tables must never
+// be read from their base site, replicas stand in with their true
+// staleness, and an unreplicated down table raises SiteUnavailableError.
+
+func baseDownState(states []TableState, id TableID) []TableState {
+	out := make([]TableState, len(states))
+	copy(out, states)
+	for i := range out {
+		if out[i].ID == id {
+			out[i].BaseDown = true
+		}
+	}
+	return out
+}
+
+func assertNoBaseAccess(t *testing.T, plan Plan, id TableID) {
+	t.Helper()
+	for _, a := range plan.Access {
+		if a.Table == id && a.Kind == AccessBase {
+			t.Fatalf("plan reads %s from its down base site: %s", id, plan.Signature())
+		}
+	}
+}
+
+func TestPlannerExcludesDownSiteAllModes(t *testing.T) {
+	cost := countCost{local: 2, perBase: 2}
+	q := figure4Query()
+	for _, mode := range []SearchMode{ScatterGather, ScatterGatherFull, Exhaustive} {
+		p := mustPlanner(t, cost, PlannerConfig{Rates: DiscountRates{CL: .02, SL: .02}, Mode: mode})
+		states := baseDownState(figure4State(), "T2")
+		plan, _, err := p.Best(q, states, q.SubmitAt)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		assertNoBaseAccess(t, plan, "T2")
+	}
+}
+
+func TestPlannerDownTableUsesTrueStaleness(t *testing.T) {
+	// One table, replica synced at 2, submission at 11: with the base site
+	// down the only immediate option is the stale replica, so SL must
+	// reflect the sync age plus processing.
+	p := mustPlanner(t, countCost{local: 2, perBase: 2}, PlannerConfig{Rates: DiscountRates{CL: .02, SL: .02}, Horizon: 5})
+	states := []TableState{
+		{ID: "T1", Site: 1, BaseDown: true, Replica: &ReplicaState{LastSync: 2}},
+	}
+	q := Query{ID: "Q", Tables: []TableID{"T1"}, BusinessValue: 1, SubmitAt: 11}
+	plan, _, err := p.Best(q, states, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Access[0].Kind != AccessReplica || plan.Access[0].Freshness != 2 {
+		t.Fatalf("plan = %s, want replica@2", plan.Signature())
+	}
+	lat := plan.Latencies()
+	if lat.SL <= lat.CL {
+		t.Errorf("SL %v not larger than CL %v despite 9-minute-stale replica", lat.SL, lat.CL)
+	}
+}
+
+func TestPlannerUnreplicatedDownTableFailsTyped(t *testing.T) {
+	cost := countCost{local: 2, perBase: 2}
+	q := Query{ID: "Q", Tables: []TableID{"T1"}, BusinessValue: 1, SubmitAt: 0}
+	for _, mode := range []SearchMode{ScatterGather, ScatterGatherFull, Exhaustive} {
+		p := mustPlanner(t, cost, PlannerConfig{Rates: DiscountRates{CL: .02, SL: .02}, Mode: mode})
+		states := []TableState{{ID: "T1", Site: 3, BaseDown: true}}
+		_, _, err := p.Best(q, states, 0)
+		var ue *SiteUnavailableError
+		if !errors.As(err, &ue) {
+			t.Fatalf("%v: err = %v, want SiteUnavailableError", mode, err)
+		}
+		if ue.Table != "T1" || ue.Site != 3 {
+			t.Errorf("%v: error identifies %s/site %d", mode, ue.Table, ue.Site)
+		}
+	}
+}
+
+func TestPlannerDownTableWithOnlyFutureReplicaDelays(t *testing.T) {
+	// The down table's first replica materializes at t=5: the plan must
+	// wait for it rather than fail or read base.
+	p := mustPlanner(t, countCost{local: 2, perBase: 2}, PlannerConfig{Rates: DiscountRates{CL: .02, SL: .02}, Horizon: 30})
+	states := []TableState{
+		{ID: "T1", Site: 1, BaseDown: true, Replica: &ReplicaState{LastSync: 5, NextSyncs: []Time{15}}},
+	}
+	q := Query{ID: "Q", Tables: []TableID{"T1"}, BusinessValue: 1, SubmitAt: 0}
+	plan, _, err := p.Best(q, states, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Access[0].Kind != AccessReplica {
+		t.Fatalf("plan = %s", plan.Signature())
+	}
+	if plan.Start < 5 {
+		t.Errorf("plan starts at %v, before the first replica exists", plan.Start)
+	}
+
+	// Outside the horizon the same state is a typed failure.
+	tight := mustPlanner(t, countCost{local: 2, perBase: 2}, PlannerConfig{Rates: DiscountRates{CL: .02, SL: .02}, Horizon: 2})
+	_, _, err = tight.Best(q, states, 0)
+	var ue *SiteUnavailableError
+	if !errors.As(err, &ue) {
+		t.Fatalf("err = %v, want SiteUnavailableError beyond horizon", err)
+	}
+}
+
+func TestPlannerMixedDownAndUpSites(t *testing.T) {
+	// T1's site is down (replica available), T2's site is up and
+	// unreplicated: the plan must pair T1's replica with T2's base.
+	p := mustPlanner(t, countCost{local: 2, perBase: 2}, PlannerConfig{Rates: DiscountRates{CL: .02, SL: .02}})
+	states := []TableState{
+		{ID: "T1", Site: 1, BaseDown: true, Replica: &ReplicaState{LastSync: 8}},
+		{ID: "T2", Site: 2},
+	}
+	q := Query{ID: "Q", Tables: []TableID{"T1", "T2"}, BusinessValue: 1, SubmitAt: 10}
+	plan, _, err := p.Best(q, states, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertNoBaseAccess(t, plan, "T1")
+	if plan.Access[1].Kind != AccessBase {
+		t.Errorf("T2 access = %v, want base", plan.Access[1].Kind)
+	}
+}

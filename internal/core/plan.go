@@ -79,6 +79,13 @@ type TableState struct {
 	ID      TableID
 	Site    SiteID        // site holding the base table
 	Replica *ReplicaState // nil when the table is not replicated locally
+	// BaseDown marks the base table's site unavailable at planning time
+	// (its circuit breaker is open): the planner excludes AccessBase for
+	// this table and degrades to replica versions, pricing their true
+	// staleness into the information value. Planning fails with
+	// SiteUnavailableError when a down table has no replica to fall back
+	// on.
+	BaseDown bool
 }
 
 // Validate reports whether the snapshot is internally consistent.
@@ -97,6 +104,29 @@ func (ts TableState) Validate() error {
 	}
 	return nil
 }
+
+// SiteUnavailableError is the typed degraded-mode failure: a query needs a
+// table whose base site is down and no local replica exists (or none will
+// exist within the planning horizon) to stand in for it.
+type SiteUnavailableError struct {
+	Table TableID
+	Site  SiteID
+	// Cause carries the underlying transport failure when the error is
+	// raised at execution time rather than planning time; may be nil.
+	Cause error
+}
+
+// Error implements the error interface.
+func (e *SiteUnavailableError) Error() string {
+	msg := fmt.Sprintf("degraded: table %s unavailable: site %d is down and no local replica exists", e.Table, e.Site)
+	if e.Cause != nil {
+		msg += ": " + e.Cause.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes the underlying transport failure.
+func (e *SiteUnavailableError) Unwrap() error { return e.Cause }
 
 // Plan is a fully specified way to evaluate one query: a per-table access
 // decision (aligned with Query.Tables) plus a start time and the cost

@@ -184,8 +184,15 @@ func (p *Planner) evaluate(q Query, access []TableAccess, start Time, stats *Sea
 // scatterGather implements the paper's bounded timeline search.
 func (p *Planner) scatterGather(q Query, states []TableState, now Time, full bool, stats *SearchStats) (Plan, SearchStats, error) {
 	// Scatter: the all-base-tables plan executed immediately seeds the
-	// current optimum and the tolerated-latency bound.
-	best, bestVal := p.evaluate(q, allBaseAccess(states), now, stats)
+	// current optimum and the tolerated-latency bound. Tables whose base
+	// site is down are pinned to their freshest replica instead; if one of
+	// them only gains a replica at a future sync, the seed start slides to
+	// that instant.
+	seedAccess, seedStart, err := availableSeed(states, now, p.horizonEnd(now))
+	if err != nil {
+		return Plan{}, *stats, err
+	}
+	best, bestVal := p.evaluate(q, seedAccess, seedStart, stats)
 	boundary := q.SubmitAt + ToleratedCL(q.BusinessValue, bestVal, p.cfg.Rates)
 
 	end := math.Min(p.horizonEnd(now), boundary)
@@ -228,6 +235,10 @@ func (p *Planner) scatterGather(q Query, states []TableState, now Time, full boo
 // dominated whenever remote cost is identity-blind. With full=true all 2^m
 // subsets are produced. When skipAllBase is set the combination using no
 // replicas is suppressed (used for t beyond the first time point).
+//
+// A table with BaseDown is pinned to its replica version at t and excluded
+// from the demotion chain; when it has no usable replica at t there is no
+// valid assignment and nil is returned.
 func (p *Planner) combinationsAt(states []TableState, t Time, full, skipAllBase bool) [][]TableAccess {
 	type replicated struct {
 		idx       int
@@ -236,6 +247,18 @@ func (p *Planner) combinationsAt(states []TableState, t Time, full, skipAllBase 
 	var reps []replicated
 	base := make([]TableAccess, len(states))
 	for i, ts := range states {
+		if ts.BaseDown {
+			v, ok := replicaVersionAt(ts.Replica, t)
+			if !ok {
+				return nil
+			}
+			base[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessReplica, Freshness: v}
+			// The pinned replica gets fresher at later time points, so the
+			// "no optional replicas" combination is no longer a dominated
+			// pure-base delay — keep it.
+			skipAllBase = false
+			continue
+		}
 		base[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessBase}
 		if v, ok := replicaVersionAt(ts.Replica, t); ok {
 			reps = append(reps, replicated{idx: i, freshness: v})
@@ -284,12 +307,57 @@ func (p *Planner) combinationsAt(states []TableState, t Time, full, skipAllBase 
 	return out
 }
 
-func allBaseAccess(states []TableState) []TableAccess {
+// availableSeed builds the scatter seed: base access everywhere a site is
+// up, the freshest available replica where it is down. When a down table
+// only gains its first replica at a future sync, the seed start slides
+// forward to that instant; past the horizon (or with no replica at all)
+// planning fails with SiteUnavailableError.
+func availableSeed(states []TableState, now, end Time) ([]TableAccess, Time, error) {
+	start := now
+	for _, ts := range states {
+		if !ts.BaseDown {
+			continue
+		}
+		at, ok := earliestReplicaAt(ts.Replica, now)
+		if !ok || at > end {
+			return nil, 0, &SiteUnavailableError{Table: ts.ID, Site: ts.Site}
+		}
+		if at > start {
+			start = at
+		}
+	}
 	access := make([]TableAccess, len(states))
 	for i, ts := range states {
+		if ts.BaseDown {
+			v, _ := replicaVersionAt(ts.Replica, start)
+			access[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessReplica, Freshness: v}
+			continue
+		}
 		access[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessBase}
 	}
-	return access
+	return access, start, nil
+}
+
+// earliestReplicaAt returns the earliest instant ≥ now at which a replica
+// version exists.
+func earliestReplicaAt(rs *ReplicaState, now Time) (Time, bool) {
+	if rs == nil {
+		return 0, false
+	}
+	if _, ok := replicaVersionAt(rs, now); ok {
+		return now, true
+	}
+	// Every version completes in the future: the earliest is LastSync when
+	// it is still pending, else the first scheduled sync after now.
+	if rs.LastSync > now {
+		return rs.LastSync, true
+	}
+	for _, n := range rs.NextSyncs {
+		if n > now {
+			return n, true
+		}
+	}
+	return 0, false
 }
 
 // exhaustive enumerates every combination of table versions. Each table
@@ -302,7 +370,10 @@ func (p *Planner) exhaustive(q Query, states []TableState, now Time, stats *Sear
 	options := make([][]TableAccess, len(states))
 	total := 1
 	for i, ts := range states {
-		opts := []TableAccess{{Table: ts.ID, Site: ts.Site, Kind: AccessBase}}
+		var opts []TableAccess
+		if !ts.BaseDown {
+			opts = append(opts, TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessBase})
+		}
 		if v, ok := replicaVersionAt(ts.Replica, now); ok {
 			opts = append(opts, TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessReplica, Freshness: v})
 		}
@@ -313,6 +384,9 @@ func (p *Planner) exhaustive(q Query, states []TableState, now Time, stats *Sear
 				}
 				opts = append(opts, TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessReplica, Freshness: n})
 			}
+		}
+		if len(opts) == 0 {
+			return Plan{}, *stats, &SiteUnavailableError{Table: ts.ID, Site: ts.Site}
 		}
 		options[i] = opts
 		total *= len(opts)

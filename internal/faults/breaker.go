@@ -1,0 +1,220 @@
+// Package faults is the fault-tolerance toolkit for the DSS's remote I/O:
+// a per-site circuit breaker that stops hammering a dead branch server and
+// re-admits traffic through half-open probes, and a deterministic
+// fault-injecting TCP proxy used by the chaos tests to delay, drop,
+// corrupt, or black-hole connections under a seeded RNG.
+package faults
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// BreakerState is one of the circuit breaker's three states.
+type BreakerState int
+
+const (
+	// Closed admits every call; consecutive transport failures trip it.
+	Closed BreakerState = iota
+	// HalfOpen admits a bounded number of probe calls after the open
+	// timeout; a probe success closes the breaker, a failure re-opens it.
+	HalfOpen
+	// Open rejects every call until the open timeout elapses.
+	Open
+)
+
+// String names the state for logs and status output.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	default:
+		return fmt.Sprintf("BreakerState(%d)", int(s))
+	}
+}
+
+// BreakerConfig parameterizes a Breaker. Zero values take defaults.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip a closed
+	// breaker. Default 3.
+	FailureThreshold int
+	// OpenTimeout is how long an open breaker rejects before admitting
+	// half-open probes. Default 5s.
+	OpenTimeout time.Duration
+	// HalfOpenProbes caps concurrently admitted probes while half-open.
+	// Default 1.
+	HalfOpenProbes int
+	// SuccessThreshold is how many probe successes close a half-open
+	// breaker. Default 1.
+	SuccessThreshold int
+	// Now is the clock; defaults to time.Now. Injectable for deterministic
+	// tests.
+	Now func() time.Time
+	// OnTransition, when set, observes every state change under the
+	// breaker's lock — keep it fast and do not call back into the breaker.
+	OnTransition func(from, to BreakerState)
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.FailureThreshold <= 0 {
+		c.FailureThreshold = 3
+	}
+	if c.OpenTimeout <= 0 {
+		c.OpenTimeout = 5 * time.Second
+	}
+	if c.HalfOpenProbes <= 0 {
+		c.HalfOpenProbes = 1
+	}
+	if c.SuccessThreshold <= 0 {
+		c.SuccessThreshold = 1
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Breaker is a circuit breaker: closed → open on consecutive failures,
+// open → half-open after a timeout, half-open → closed on probe success or
+// back to open on probe failure. Safe for concurrent use. Callers gate
+// each remote call on Allow and report the outcome with Success or
+// Failure; only transport-level failures should be reported — a remote
+// that answers with an application error is alive.
+type Breaker struct {
+	mu       sync.Mutex
+	cfg      BreakerConfig
+	state    BreakerState
+	failures int       // consecutive failures while closed
+	probes   int       // probes admitted and still in flight while half-open
+	okProbes int       // probe successes while half-open
+	openedAt time.Time // when the breaker last opened
+}
+
+// NewBreaker returns a closed breaker.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	return &Breaker{cfg: cfg.withDefaults()}
+}
+
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	switch to {
+	case Open:
+		b.openedAt = b.cfg.Now()
+	case HalfOpen:
+		b.probes = 0
+		b.okProbes = 0
+	case Closed:
+		b.failures = 0
+	}
+	if b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(from, to)
+	}
+}
+
+// Allow reports whether a call may proceed. While half-open, an admitted
+// caller holds one of the bounded probe slots and MUST report Success or
+// Failure to release it.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenTimeout {
+			return false
+		}
+		b.transition(HalfOpen)
+		b.probes = 1
+		return true
+	case HalfOpen:
+		if b.probes >= b.cfg.HalfOpenProbes {
+			return false
+		}
+		b.probes++
+		return true
+	default:
+		return false
+	}
+}
+
+// Success reports a completed call that reached the remote.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		b.okProbes++
+		if b.okProbes >= b.cfg.SuccessThreshold {
+			b.transition(Closed)
+		}
+	case Open:
+		// A straggler admitted before the trip; the timeout, not one stale
+		// success, decides when to probe again.
+	}
+}
+
+// Failure reports a transport-level failure.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.transition(Open)
+		}
+	case HalfOpen:
+		if b.probes > 0 {
+			b.probes--
+		}
+		b.transition(Open)
+	case Open:
+		// Stragglers do not extend the open window: openedAt stays put so
+		// recovery probing is not starved by a burst of queued failures.
+	}
+}
+
+// State returns the current state, first promoting an expired open breaker
+// to half-open so status reporting matches what Allow would do.
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+		return HalfOpen
+	}
+	return b.state
+}
+
+// Failures returns the consecutive transport failures since the last
+// success (meaningful while closed).
+func (b *Breaker) Failures() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.failures
+}
+
+// OpenError is returned by call sites whose breaker rejected the call.
+type OpenError struct {
+	// Key identifies the protected resource (e.g. "site 2").
+	Key string
+}
+
+// Error implements the error interface.
+func (e *OpenError) Error() string {
+	return fmt.Sprintf("faults: circuit breaker open for %s", e.Key)
+}

@@ -1,0 +1,208 @@
+package faults
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(0, 0)} }
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second, Now: clock.Now})
+
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected call %d", i)
+		}
+		b.Failure()
+	}
+	// A success resets the consecutive count.
+	b.Success()
+	for i := 0; i < 2; i++ {
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state = %v after 2 failures post-reset, want closed", b.State())
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v after threshold failures, want open", b.State())
+	}
+	if b.Allow() {
+		t.Error("open breaker admitted a call")
+	}
+}
+
+func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
+	clock := newFakeClock()
+	var transitions []string
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		OpenTimeout:      time.Second,
+		Now:              clock.Now,
+		OnTransition: func(from, to BreakerState) {
+			transitions = append(transitions, from.String()+"->"+to.String())
+		},
+	})
+	b.Failure() // trips immediately
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before the timeout")
+	}
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("expired open breaker rejected the probe")
+	}
+	// Only one probe may be in flight.
+	if b.Allow() {
+		t.Error("second concurrent probe admitted")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after probe success, want closed", b.State())
+	}
+	want := []string{"closed->open", "open->half-open", "half-open->closed"}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Errorf("transition %d = %s, want %s", i, transitions[i], want[i])
+		}
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Second, Now: clock.Now})
+	b.Failure()
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("probe rejected")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state = %v after probe failure, want open", b.State())
+	}
+	// The open window restarts from the failed probe.
+	if b.Allow() {
+		t.Error("re-opened breaker admitted a call immediately")
+	}
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Error("re-opened breaker never recovered")
+	}
+}
+
+func TestBreakerSuccessThreshold(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		OpenTimeout:      time.Second,
+		HalfOpenProbes:   2,
+		SuccessThreshold: 2,
+		Now:              clock.Now,
+	})
+	b.Failure()
+	clock.Advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("first probe rejected")
+	}
+	b.Success()
+	if b.State() == Closed {
+		t.Fatal("closed after one probe success, want two")
+	}
+	if !b.Allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state = %v after two probe successes", b.State())
+	}
+}
+
+// TestBreakerConcurrentProbes exercises the half-open probe cap under
+// concurrency (run with -race): of many simultaneous callers, at most
+// HalfOpenProbes are admitted.
+func TestBreakerConcurrentProbes(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{
+		FailureThreshold: 1,
+		OpenTimeout:      time.Second,
+		HalfOpenProbes:   2,
+		SuccessThreshold: 100, // keep it half-open while probes succeed
+		Now:              clock.Now,
+	})
+	b.Failure()
+	clock.Advance(time.Second)
+
+	var wg sync.WaitGroup
+	admitted := make(chan bool, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			admitted <- b.Allow()
+		}()
+	}
+	wg.Wait()
+	close(admitted)
+	n := 0
+	for ok := range admitted {
+		if ok {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("admitted %d concurrent probes, want exactly 2", n)
+	}
+}
+
+// TestBreakerConcurrentTraffic hammers a breaker from many goroutines
+// while the clock advances, for the race detector.
+func TestBreakerConcurrentTraffic(t *testing.T) {
+	clock := newFakeClock()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Millisecond, Now: clock.Now})
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		fail := i%2 == 0
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				if b.Allow() {
+					if fail {
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				if j%50 == 0 {
+					clock.Advance(time.Millisecond)
+				}
+				_ = b.State()
+				_ = b.Failures()
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,158 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"ivdss/internal/netproto"
+)
+
+// startEcho runs a minimal netproto server that answers KindPing.
+func startEcho(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	go func() {
+		for {
+			raw, err := l.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				conn := netproto.NewConn(raw)
+				defer conn.Close()
+				for {
+					if _, err := conn.ReadRequest(); err != nil {
+						return
+					}
+					if err := conn.WriteResponse(&netproto.Response{}); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr().String()
+}
+
+func startProxy(t *testing.T, target string) *Proxy {
+	t.Helper()
+	p := NewProxy(target, 42)
+	if _, err := p.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func TestProxyPassThrough(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	resp, err := netproto.Call(p.Addr(), &netproto.Request{Kind: netproto.KindPing}, time.Second)
+	if err != nil || resp.Err != "" {
+		t.Fatalf("pass-through ping: %v %v", err, resp)
+	}
+}
+
+func TestProxyDelay(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	p.SetMode(ModeDelay, 80*time.Millisecond)
+	start := time.Now()
+	if _, err := netproto.Call(p.Addr(), &netproto.Request{Kind: netproto.KindPing}, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 70*time.Millisecond {
+		t.Errorf("delayed call returned in %v", elapsed)
+	}
+}
+
+func TestProxyDrop(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	p.SetMode(ModeDrop, 0)
+	if _, err := netproto.Call(p.Addr(), &netproto.Request{Kind: netproto.KindPing}, time.Second); err == nil {
+		t.Fatal("call through dropping proxy succeeded")
+	}
+}
+
+func TestProxyBlackholeTimesOut(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	p.SetMode(ModeBlackhole, 0)
+	start := time.Now()
+	_, err := netproto.Call(p.Addr(), &netproto.Request{Kind: netproto.KindPing}, 150*time.Millisecond)
+	if err == nil {
+		t.Fatal("call through black-holed proxy succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want timeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("black-holed call took %v", elapsed)
+	}
+}
+
+func TestProxyCorruptBreaksDecoding(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	p.SetMode(ModeCorrupt, 0)
+	if _, err := netproto.Call(p.Addr(), &netproto.Request{Kind: netproto.KindPing}, time.Second); err == nil {
+		t.Fatal("corrupted response decoded cleanly")
+	}
+}
+
+func TestProxySeverCutsEstablishedConns(t *testing.T) {
+	p := startProxy(t, startEcho(t))
+	conn, err := netproto.Dial(p.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetTimeout(time.Second)
+	if _, err := conn.RoundTrip(&netproto.Request{Kind: netproto.KindPing}); err != nil {
+		t.Fatal(err)
+	}
+	p.Sever()
+	if _, err := conn.RoundTrip(&netproto.Request{Kind: netproto.KindPing}); err == nil {
+		t.Fatal("round trip over severed connection succeeded")
+	}
+	// New connections still pass.
+	if _, err := netproto.Call(p.Addr(), &netproto.Request{Kind: netproto.KindPing}, time.Second); err != nil {
+		t.Fatalf("fresh connection after sever: %v", err)
+	}
+}
+
+func TestProxyProbabilisticFaultsDeterministicUnderSeed(t *testing.T) {
+	run := func() []bool {
+		echo := startEcho(t)
+		p := NewProxy(echo, 7)
+		if _, err := p.Listen("127.0.0.1:0"); err != nil {
+			t.Fatal(err)
+		}
+		defer p.Close()
+		p.SetMode(ModeDrop, 0)
+		p.SetProb(.5)
+		var outcomes []bool
+		for i := 0; i < 12; i++ {
+			_, err := netproto.Call(p.Addr(), &netproto.Request{Kind: netproto.KindPing}, time.Second)
+			outcomes = append(outcomes, err == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("outcome %d differs between seeded runs: %v vs %v", i, a, b)
+		}
+	}
+	// The 50% drop mode must actually produce both outcomes.
+	saw := map[bool]bool{}
+	for _, ok := range a {
+		saw[ok] = true
+	}
+	if !saw[true] || !saw[false] {
+		t.Errorf("outcomes not mixed: %v", a)
+	}
+}

@@ -43,6 +43,19 @@ const (
 	KindBatch
 )
 
+// SiteStatus describes one remote site's health as the DSS sees it, for
+// KindStatus responses.
+type SiteStatus struct {
+	Site int
+	Addr string
+	// Breaker is the circuit-breaker state name: "closed", "open", or
+	// "half-open".
+	Breaker string
+	// ConsecutiveFailures counts transport failures since the last success
+	// (meaningful while closed).
+	ConsecutiveFailures int
+}
+
 // Request is the client-to-server message.
 type Request struct {
 	Kind  RequestKind
@@ -67,6 +80,11 @@ type ReportMeta struct {
 	CLMinutes     float64
 	SLMinutes     float64
 	Value         float64
+	// Degraded marks a report produced under the failure-degradation
+	// policy: at least one table was answered from a local replica because
+	// its base site was unreachable, so SL reflects the replica's true
+	// staleness rather than the planner's preferred choice.
+	Degraded bool
 }
 
 // ReplicaStatus describes one replica in a KindStatus response.
@@ -80,20 +98,43 @@ type ReplicaStatus struct {
 // BatchItem is one KindBatch member's outcome, aligned with the request's
 // Batch slice.
 type BatchItem struct {
-	Err    string
-	Result *relation.Table
-	Meta   *ReportMeta
+	Err      string
+	Degraded bool // see Response.Degraded
+	Result   *relation.Table
+	Meta     *ReportMeta
 }
 
 // Response is the server-to-client message.
 type Response struct {
-	Err      string // empty on success
+	Err string // empty on success
+	// Degraded marks an error produced by the DSS degraded-mode policy: a
+	// remote site is unavailable and no local replica exists to answer
+	// from. Clients distinguish it from plain query errors via RemoteError.
+	Degraded bool
 	Tables   []string
 	Result   *relation.Table
 	Meta     *ReportMeta
 	Replicas []ReplicaStatus
+	Sites    []SiteStatus
 	Metrics  map[string]float64
 	Batch    []BatchItem
+}
+
+// RemoteError is the typed client-side form of a server-reported error.
+type RemoteError struct {
+	Msg string
+	// Degraded is set when the DSS refused the query because a remote site
+	// is down and no replica could stand in (degraded mode), as opposed to
+	// the query itself being invalid.
+	Degraded bool
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string {
+	if e.Degraded {
+		return "netproto: remote error (degraded): " + e.Msg
+	}
+	return "netproto: remote error: " + e.Msg
 }
 
 // ErrOrNil converts the wire error back to a Go error.
@@ -101,7 +142,7 @@ func (r *Response) ErrOrNil() error {
 	if r.Err == "" {
 		return nil
 	}
-	return fmt.Errorf("netproto: remote error: %s", r.Err)
+	return &RemoteError{Msg: r.Err, Degraded: r.Degraded}
 }
 
 // Conn wraps a network connection with gob codecs.
@@ -109,12 +150,19 @@ type Conn struct {
 	raw net.Conn
 	enc *gob.Encoder
 	dec *gob.Decoder
+	// timeout bounds each round trip; zero means no deadline.
+	timeout time.Duration
 }
 
 // NewConn wraps an established connection.
 func NewConn(raw net.Conn) *Conn {
 	return &Conn{raw: raw, enc: gob.NewEncoder(raw), dec: gob.NewDecoder(raw)}
 }
+
+// SetTimeout bounds every subsequent round trip on this connection: the
+// deadline is re-armed per RoundTrip, so a hung peer surfaces as a timeout
+// error instead of stalling the caller forever. Zero disables deadlines.
+func (c *Conn) SetTimeout(d time.Duration) { c.timeout = d }
 
 // Dial connects to a server.
 func Dial(addr string, timeout time.Duration) (*Conn, error) {
@@ -162,8 +210,16 @@ func (c *Conn) ReadResponse() (*Response, error) {
 	return &resp, nil
 }
 
-// RoundTrip sends one request and reads its response.
+// RoundTrip sends one request and reads its response. With a timeout set,
+// the whole exchange runs under one connection deadline, cleared on return
+// so a pooled connection can idle without tripping it.
 func (c *Conn) RoundTrip(req *Request) (*Response, error) {
+	if c.timeout > 0 {
+		if err := c.raw.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+			return nil, fmt.Errorf("netproto: set deadline: %w", err)
+		}
+		defer c.raw.SetDeadline(time.Time{})
+	}
 	if err := c.WriteRequest(req); err != nil {
 		return nil, err
 	}
@@ -171,19 +227,23 @@ func (c *Conn) RoundTrip(req *Request) (*Response, error) {
 }
 
 // Call dials, round-trips one request, and closes — the convenience used
-// by short-lived clients and the sync puller.
+// by short-lived clients and the sync puller. The timeout bounds the dial
+// and the round trip separately, so a server that accepts but never
+// answers cannot hang the caller. On a server-reported error the response
+// is still returned alongside the RemoteError.
 func Call(addr string, req *Request, timeout time.Duration) (*Response, error) {
 	conn, err := Dial(addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
+	conn.SetTimeout(timeout)
 	resp, err := conn.RoundTrip(req)
 	if err != nil {
 		return nil, err
 	}
 	if err := resp.ErrOrNil(); err != nil {
-		return nil, err
+		return resp, err
 	}
 	return resp, nil
 }

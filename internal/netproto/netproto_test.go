@@ -1,7 +1,9 @@
 package netproto
 
 import (
+	"errors"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
@@ -148,6 +150,68 @@ func TestMultipleSequentialRoundTrips(t *testing.T) {
 		if len(resp.Tables) != 1 || resp.Tables[0] != "t" {
 			t.Fatalf("round %d: %v", i, resp.Tables)
 		}
+	}
+}
+
+// TestCallTimesOutOnUnresponsiveServer is the regression test for the
+// missing-deadline bug: a server that accepts and then never reads or
+// writes must not stall Call forever — the per-round-trip deadline has to
+// fire.
+func TestCallTimesOutOnUnresponsiveServer(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var (
+		mu   sync.Mutex
+		held []net.Conn
+	)
+	defer func() {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, c := range held {
+			c.Close()
+		}
+	}()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			held = append(held, c) // accept and never respond
+			mu.Unlock()
+		}
+	}()
+
+	start := time.Now()
+	_, err = Call(l.Addr().String(), &Request{Kind: KindPing}, 150*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call to black-holed server succeeded")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Errorf("err = %v, want a net timeout", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("call took %v, deadline did not bound the round trip", elapsed)
+	}
+}
+
+// TestRoundTripTimeoutOnConn covers the persistent-connection path the DSS
+// executor and sync puller use: SetTimeout must bound each RoundTrip.
+func TestRoundTripTimeoutOnConn(t *testing.T) {
+	client, server := pipePair()
+	defer client.Close()
+	defer server.Close()
+	client.SetTimeout(100 * time.Millisecond)
+	// The server side never reads: the write (or the read of the missing
+	// response) must time out.
+	if _, err := client.RoundTrip(&Request{Kind: KindPing}); err == nil {
+		t.Fatal("round trip against a mute peer succeeded")
 	}
 }
 

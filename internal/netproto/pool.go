@@ -1,0 +1,193 @@
+package netproto
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Pool is a keyed connection pool for the wire protocol: connections are
+// reused per address, health-checked before reuse, and bounded per key.
+// The protocol allows one outstanding request per connection, so a pooled
+// connection is either idle or owned by exactly one in-flight call.
+type Pool struct {
+	// DialTimeout bounds establishing a new connection. Default 5s.
+	DialTimeout time.Duration
+	// CallTimeout bounds each round trip made through the pool; zero means
+	// no per-call deadline (not recommended — a hung peer then stalls the
+	// caller).
+	CallTimeout time.Duration
+	// MaxIdlePerKey caps idle connections kept per address. Default 4.
+	MaxIdlePerKey int
+	// IdleExpiry discards idle connections older than this. Default 30s.
+	IdleExpiry time.Duration
+
+	mu     sync.Mutex
+	idle   map[string][]pooledConn
+	closed bool
+}
+
+type pooledConn struct {
+	conn  *Conn
+	since time.Time
+}
+
+// NewPool returns an empty pool with the given per-call timeout.
+func NewPool(dialTimeout, callTimeout time.Duration) *Pool {
+	return &Pool{
+		DialTimeout: dialTimeout,
+		CallTimeout: callTimeout,
+		idle:        make(map[string][]pooledConn),
+	}
+}
+
+func (p *Pool) maxIdle() int {
+	if p.MaxIdlePerKey <= 0 {
+		return 4
+	}
+	return p.MaxIdlePerKey
+}
+
+func (p *Pool) idleExpiry() time.Duration {
+	if p.IdleExpiry <= 0 {
+		return 30 * time.Second
+	}
+	return p.IdleExpiry
+}
+
+// get returns a healthy idle connection for addr, or reused=false when the
+// caller must dial.
+func (p *Pool) get(addr string) (c *Conn, reused bool) {
+	for {
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return nil, false
+		}
+		conns := p.idle[addr]
+		if len(conns) == 0 {
+			p.mu.Unlock()
+			return nil, false
+		}
+		pc := conns[len(conns)-1]
+		p.idle[addr] = conns[:len(conns)-1]
+		p.mu.Unlock()
+		if time.Since(pc.since) > p.idleExpiry() || !healthy(pc.conn) {
+			pc.conn.Close()
+			continue
+		}
+		return pc.conn, true
+	}
+}
+
+// healthy probes an idle connection for silent peer closure: with a
+// deadline in the past, a read must time out (no data, still open). An EOF
+// means the peer hung up; any buffered byte means the one-request-at-a-time
+// protocol was violated, so the connection is unusable either way.
+func healthy(c *Conn) bool {
+	if err := c.raw.SetReadDeadline(time.Unix(1, 0)); err != nil {
+		return false
+	}
+	var b [1]byte
+	n, err := c.raw.Read(b[:])
+	if resetErr := c.raw.SetReadDeadline(time.Time{}); resetErr != nil {
+		return false
+	}
+	if n > 0 {
+		return false
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// put returns a connection to the idle set, closing it when the pool is
+// full or closed.
+func (p *Pool) put(addr string, c *Conn) {
+	p.mu.Lock()
+	if p.closed || len(p.idle[addr]) >= p.maxIdle() {
+		p.mu.Unlock()
+		c.Close()
+		return
+	}
+	p.idle[addr] = append(p.idle[addr], pooledConn{conn: c, since: time.Now()})
+	p.mu.Unlock()
+}
+
+func (p *Pool) dial(addr string) (*Conn, error) {
+	d := p.DialTimeout
+	if d <= 0 {
+		d = 5 * time.Second
+	}
+	c, err := Dial(addr, d)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTimeout(p.CallTimeout)
+	return c, nil
+}
+
+// Call round-trips one request against addr over a pooled connection. A
+// failure on a reused connection (the peer may have silently closed it
+// since the health probe) is transparently retried once on a fresh dial;
+// a failure on a fresh connection is the caller's to handle. A
+// server-reported error leaves the connection healthy, so it is returned
+// to the pool and the error surfaces via the response's Err field.
+func (p *Pool) Call(addr string, req *Request) (*Response, error) {
+	conn, reused := p.get(addr)
+	if conn == nil {
+		var err error
+		conn, err = p.dial(addr)
+		if err != nil {
+			return nil, err
+		}
+	}
+	resp, err := conn.RoundTrip(req)
+	if err != nil {
+		conn.Close()
+		if !reused {
+			return nil, err
+		}
+		conn, err = p.dial(addr)
+		if err != nil {
+			return nil, err
+		}
+		resp, err = conn.RoundTrip(req)
+		if err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	p.put(addr, conn)
+	return resp, nil
+}
+
+// IdleLen reports the idle connections held for addr (for tests and
+// introspection).
+func (p *Pool) IdleLen(addr string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle[addr])
+}
+
+// Close discards every idle connection and makes further calls dial
+// one-shot connections that are closed after use.
+func (p *Pool) Close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return nil
+	}
+	p.closed = true
+	var firstErr error
+	for _, conns := range p.idle {
+		for _, pc := range conns {
+			if err := pc.conn.Close(); err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("netproto: pool close: %w", err)
+			}
+		}
+	}
+	p.idle = make(map[string][]pooledConn)
+	return firstErr
+}

@@ -1,0 +1,122 @@
+package netproto
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Retrier retries an operation under exponential backoff with jitter,
+// capped by both an attempt count and a cumulative sleep budget. The zero
+// value is usable and takes the defaults documented per field. Sleep and
+// Rand are injectable so tests run deterministically without waiting.
+type Retrier struct {
+	// MaxAttempts is the total number of tries, including the first.
+	// Default 3.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry. Default 25ms.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff step. Default 1s.
+	MaxDelay time.Duration
+	// Multiplier grows the backoff per retry. Default 2.
+	Multiplier float64
+	// Jitter perturbs each delay by ±Jitter fraction. Default 0.2; set
+	// negative for none.
+	Jitter float64
+	// Budget caps the cumulative backoff sleep: when the next delay would
+	// exceed the remaining budget, the retrier gives up and returns the
+	// last error instead of sleeping. Zero means no budget cap.
+	Budget time.Duration
+	// Retryable classifies errors; a non-retryable error returns
+	// immediately. Nil means every error is retryable.
+	Retryable func(error) bool
+	// Sleep defaults to time.Sleep.
+	Sleep func(time.Duration)
+	// Rand yields uniform values in [0,1) for jitter; defaults to the
+	// global math/rand source. Inject a seeded source for determinism.
+	Rand func() float64
+}
+
+// RetryError wraps the final error with the attempt count.
+type RetryError struct {
+	Attempts int
+	Err      error
+}
+
+// Error implements the error interface.
+func (e *RetryError) Error() string {
+	return fmt.Sprintf("after %d attempts: %v", e.Attempts, e.Err)
+}
+
+// Unwrap exposes the final underlying error.
+func (e *RetryError) Unwrap() error { return e.Err }
+
+// Do runs op until it succeeds, exhausts the attempt count, runs out of
+// backoff budget, or returns a non-retryable error. op receives the
+// zero-based attempt index.
+func (r Retrier) Do(op func(attempt int) error) error {
+	attempts := r.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	base := r.BaseDelay
+	if base <= 0 {
+		base = 25 * time.Millisecond
+	}
+	maxDelay := r.MaxDelay
+	if maxDelay <= 0 {
+		maxDelay = time.Second
+	}
+	mult := r.Multiplier
+	if mult <= 1 {
+		mult = 2
+	}
+	jitter := r.Jitter
+	if jitter == 0 {
+		jitter = .2
+	}
+	sleep := r.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	random := r.Rand
+	if random == nil {
+		random = rand.Float64
+	}
+
+	var slept time.Duration
+	delay := base
+	var err error
+	for a := 0; a < attempts; a++ {
+		err = op(a)
+		if err == nil {
+			return nil
+		}
+		if r.Retryable != nil && !r.Retryable(err) {
+			if a == 0 {
+				return err
+			}
+			return &RetryError{Attempts: a + 1, Err: err}
+		}
+		if a == attempts-1 {
+			break
+		}
+		d := delay
+		if jitter > 0 {
+			d = time.Duration(float64(d) * (1 + jitter*(2*random()-1)))
+		}
+		if d > maxDelay {
+			d = maxDelay
+		}
+		if r.Budget > 0 && slept+d > r.Budget {
+			return &RetryError{Attempts: a + 1, Err: err}
+		}
+		sleep(d)
+		slept += d
+		delay = time.Duration(float64(delay) * mult)
+		if delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+	return &RetryError{Attempts: attempts, Err: err}
+}

@@ -1,0 +1,118 @@
+package netproto
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRetrierSucceedsAfterTransientFailures(t *testing.T) {
+	var slept []time.Duration
+	calls := 0
+	r := Retrier{
+		MaxAttempts: 5,
+		BaseDelay:   10 * time.Millisecond,
+		Jitter:      -1, // exact delays
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	err := r.Do(func(attempt int) error {
+		calls++
+		if attempt < 2 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Errorf("backoff = %v, want %v (exponential, no jitter)", slept, want)
+	}
+}
+
+func TestRetrierExhaustsAttempts(t *testing.T) {
+	calls := 0
+	r := Retrier{MaxAttempts: 3, Sleep: func(time.Duration) {}}
+	boom := errors.New("boom")
+	err := r.Do(func(int) error { calls++; return boom })
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3", calls)
+	}
+	var re *RetryError
+	if !errors.As(err, &re) || re.Attempts != 3 || !errors.Is(err, boom) {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestRetrierBudgetCap(t *testing.T) {
+	var slept time.Duration
+	r := Retrier{
+		MaxAttempts: 10,
+		BaseDelay:   40 * time.Millisecond,
+		Jitter:      -1,
+		Budget:      100 * time.Millisecond,
+		Sleep:       func(d time.Duration) { slept += d },
+	}
+	calls := 0
+	err := r.Do(func(int) error { calls++; return errors.New("down") })
+	if err == nil {
+		t.Fatal("budget-capped retrier succeeded")
+	}
+	// Delays 40ms, 80ms: the second would overflow the 100ms budget, so
+	// only two attempts run and total sleep stays within budget.
+	if calls != 2 {
+		t.Errorf("calls = %d, want 2", calls)
+	}
+	if slept > 100*time.Millisecond {
+		t.Errorf("slept %v, beyond budget", slept)
+	}
+}
+
+func TestRetrierNonRetryableStopsImmediately(t *testing.T) {
+	fatal := errors.New("schema mismatch")
+	calls := 0
+	r := Retrier{
+		MaxAttempts: 5,
+		Sleep:       func(time.Duration) {},
+		Retryable:   func(err error) bool { return !errors.Is(err, fatal) },
+	}
+	if err := r.Do(func(int) error { calls++; return fatal }); !errors.Is(err, fatal) {
+		t.Errorf("err = %v", err)
+	}
+	if calls != 1 {
+		t.Errorf("calls = %d, want 1", calls)
+	}
+}
+
+func TestRetrierJitterDeterministicUnderSeededRand(t *testing.T) {
+	run := func() []time.Duration {
+		var slept []time.Duration
+		seq := []float64{.1, .9, .5}
+		i := 0
+		r := Retrier{
+			MaxAttempts: 4,
+			BaseDelay:   100 * time.Millisecond,
+			Sleep:       func(d time.Duration) { slept = append(slept, d) },
+			Rand:        func() float64 { v := seq[i%len(seq)]; i++; return v },
+		}
+		_ = r.Do(func(int) error { return errors.New("down") })
+		return slept
+	}
+	a, b := run(), run()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("sleeps = %v / %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("delay %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// Jitter must actually perturb the base delay.
+	if a[0] == 100*time.Millisecond {
+		t.Errorf("first delay %v unjittered", a[0])
+	}
+}

@@ -1,0 +1,40 @@
+package server
+
+import (
+	"sync"
+
+	"ivdss/internal/netproto"
+)
+
+// connSet tracks a server's live client connections so Close can unblock
+// handler goroutines parked in ReadRequest: pooled clients (netproto.Pool)
+// keep idle connections open indefinitely, so waiting for them to hang up
+// would deadlock shutdown.
+type connSet struct {
+	mu    sync.Mutex
+	conns map[*netproto.Conn]bool
+}
+
+func (cs *connSet) add(c *netproto.Conn) {
+	cs.mu.Lock()
+	if cs.conns == nil {
+		cs.conns = make(map[*netproto.Conn]bool)
+	}
+	cs.conns[c] = true
+	cs.mu.Unlock()
+}
+
+func (cs *connSet) remove(c *netproto.Conn) {
+	cs.mu.Lock()
+	delete(cs.conns, c)
+	cs.mu.Unlock()
+}
+
+// closeAll force-closes every tracked connection.
+func (cs *connSet) closeAll() {
+	cs.mu.Lock()
+	for c := range cs.conns {
+		c.Close()
+	}
+	cs.mu.Unlock()
+}

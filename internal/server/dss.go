@@ -16,6 +16,7 @@ import (
 
 	"ivdss/internal/core"
 	"ivdss/internal/costmodel"
+	"ivdss/internal/faults"
 	"ivdss/internal/federation"
 	"ivdss/internal/metrics"
 	"ivdss/internal/netproto"
@@ -50,8 +51,27 @@ type DSSConfig struct {
 	// MaxDelay caps how long the executor honours a delayed plan,
 	// wall-clock. Default 30s.
 	MaxDelay time.Duration
-	// DialTimeout bounds remote calls. Default 5s.
+	// DialTimeout bounds remote calls: both establishing a connection and
+	// each round trip run under this deadline. Default 5s.
 	DialTimeout time.Duration
+
+	// RetryAttempts is the total tries per remote call, including the
+	// first. Default 3.
+	RetryAttempts int
+	// RetryBaseDelay seeds the exponential backoff between retries.
+	// Default 25ms.
+	RetryBaseDelay time.Duration
+	// RetryBudget caps the cumulative backoff sleep per logical call.
+	// Default 1s.
+	RetryBudget time.Duration
+	// BreakerFailures is how many consecutive failed calls (after retries)
+	// open a site's circuit breaker. Default 3.
+	BreakerFailures int
+	// BreakerOpenTimeout is how long an open breaker rejects before
+	// half-open probes are admitted. Default 3s.
+	BreakerOpenTimeout time.Duration
+	// BreakerProbes caps concurrent half-open probes per site. Default 1.
+	BreakerProbes int
 }
 
 func (c DSSConfig) withDefaults() DSSConfig {
@@ -69,6 +89,24 @@ func (c DSSConfig) withDefaults() DSSConfig {
 	}
 	if c.DialTimeout == 0 {
 		c.DialTimeout = 5 * time.Second
+	}
+	if c.RetryAttempts == 0 {
+		c.RetryAttempts = 3
+	}
+	if c.RetryBaseDelay == 0 {
+		c.RetryBaseDelay = 25 * time.Millisecond
+	}
+	if c.RetryBudget == 0 {
+		c.RetryBudget = time.Second
+	}
+	if c.BreakerFailures == 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerOpenTimeout == 0 {
+		c.BreakerOpenTimeout = 3 * time.Second
+	}
+	if c.BreakerProbes == 0 {
+		c.BreakerProbes = 1
 	}
 	return c
 }
@@ -88,6 +126,12 @@ type DSSServer struct {
 	costs   *costmodel.CalibratedModel
 	stats   *metrics.Registry
 
+	// Remote I/O fault tolerance: pooled connections with per-round-trip
+	// deadlines, budget-capped retries, and a circuit breaker per site.
+	pool     *netproto.Pool
+	retrier  netproto.Retrier
+	breakers map[core.SiteID]*faults.Breaker
+
 	routerMu sync.Mutex
 	router   *router.Router
 
@@ -95,6 +139,7 @@ type DSSServer struct {
 	replicas map[core.TableID]replicaSnapshot
 
 	listener  net.Listener
+	live      connSet
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -186,9 +231,30 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		planner:  planner,
 		costs:    costs,
 		stats:    metrics.NewRegistry(),
+		pool:     netproto.NewPool(cfg.DialTimeout, cfg.DialTimeout),
 		router:   fastRouter,
 		replicas: make(map[core.TableID]replicaSnapshot),
 		closed:   make(chan struct{}),
+	}
+	s.retrier = netproto.Retrier{
+		MaxAttempts: cfg.RetryAttempts,
+		BaseDelay:   cfg.RetryBaseDelay,
+		Budget:      cfg.RetryBudget,
+	}
+	s.breakers = make(map[core.SiteID]*faults.Breaker, len(cfg.Remotes))
+	for site := range cfg.Remotes {
+		site := site
+		s.breakers[site] = faults.NewBreaker(faults.BreakerConfig{
+			FailureThreshold: cfg.BreakerFailures,
+			OpenTimeout:      cfg.BreakerOpenTimeout,
+			HalfOpenProbes:   cfg.BreakerProbes,
+			OnTransition: func(from, to faults.BreakerState) {
+				s.stats.Counter("breaker_transitions_total").Inc()
+				s.stats.Gauge(breakerGaugeName(site)).Set(float64(to))
+				log.Printf("server: site %d breaker %v -> %v", site, from, to)
+			},
+		})
+		s.stats.Gauge(breakerGaugeName(site)).Set(float64(faults.Closed))
 	}
 	// Initial pull so replicas are usable immediately (the schedule's
 	// first tick at t=0 has, conceptually, just completed).
@@ -198,6 +264,67 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		}
 	}
 	return s, nil
+}
+
+// breakerGaugeName is the per-site breaker state metric: 0 closed,
+// 1 half-open, 2 open (faults.BreakerState values).
+func breakerGaugeName(site core.SiteID) string {
+	return fmt.Sprintf("breaker_state_site_%d", site)
+}
+
+// callSite runs one logical request against a remote site through the
+// full fault-tolerance stack: circuit breaker admission, pooled
+// connections with per-round-trip deadlines, and budget-capped retries on
+// transport failures. Transport outcomes feed the breaker; a remote that
+// answers with an application-level error is alive, so that surfaces as a
+// RemoteError without penalizing the site.
+func (s *DSSServer) callSite(site core.SiteID, req *netproto.Request) (*netproto.Response, error) {
+	addr, ok := s.cfg.Remotes[site]
+	if !ok {
+		return nil, fmt.Errorf("server: no address for site %d", site)
+	}
+	br := s.breakers[site]
+	if !br.Allow() {
+		s.stats.Counter("breaker_rejects_total").Inc()
+		return nil, &faults.OpenError{Key: fmt.Sprintf("site %d", site)}
+	}
+	var resp *netproto.Response
+	err := s.retrier.Do(func(attempt int) error {
+		if attempt > 0 {
+			s.stats.Counter("remote_retries_total").Inc()
+		}
+		s.stats.Counter("remote_calls_total").Inc()
+		r, err := s.pool.Call(addr, req)
+		if err != nil {
+			return err
+		}
+		resp = r
+		return nil
+	})
+	if err != nil {
+		br.Failure()
+		s.stats.Counter("remote_call_errors_total").Inc()
+		return nil, fmt.Errorf("server: site %d: %w", site, err)
+	}
+	br.Success()
+	if err := resp.ErrOrNil(); err != nil {
+		return resp, err
+	}
+	return resp, nil
+}
+
+// openSites returns the sites whose breaker currently rejects calls.
+func (s *DSSServer) openSites() map[core.SiteID]bool {
+	var down map[core.SiteID]bool
+	for site, br := range s.breakers {
+		if br.State() == faults.Open {
+			if down == nil {
+				down = make(map[core.SiteID]bool)
+			}
+			down[site] = true
+		}
+	}
+	return down
 }
 
 // LoadCalibration merges a previously saved calibration snapshot into the
@@ -221,13 +348,15 @@ func (s *DSSServer) wallDelay(minutes core.Duration) time.Duration {
 }
 
 // pullReplica scans the base table from its site into the replica store.
+// It runs through the fault-tolerance stack, so pulls against a dead site
+// trip its breaker and — once open — later pulls double as the half-open
+// probes that detect recovery.
 func (s *DSSServer) pullReplica(id core.TableID) error {
 	site, err := s.catalog.Placement().SiteOf(id)
 	if err != nil {
 		return err
 	}
-	addr := s.cfg.Remotes[site]
-	resp, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindScan, Table: string(id)}, s.cfg.DialTimeout)
+	resp, err := s.callSite(site, &netproto.Request{Kind: netproto.KindScan, Table: string(id)})
 	if err != nil {
 		return err
 	}
@@ -312,7 +441,10 @@ func (s *DSSServer) acceptLoop() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handleConn(netproto.NewConn(raw))
+			conn := netproto.NewConn(raw)
+			s.live.add(conn)
+			defer s.live.remove(conn)
+			s.handleConn(conn)
 		}()
 	}
 }
@@ -367,7 +499,18 @@ func (s *DSSServer) handleStatus() *netproto.Response {
 		out = append(out, st)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
-	return &netproto.Response{Replicas: out}
+	var sites []netproto.SiteStatus
+	for site, addr := range s.cfg.Remotes {
+		br := s.breakers[site]
+		sites = append(sites, netproto.SiteStatus{
+			Site:                int(site),
+			Addr:                addr,
+			Breaker:             br.State().String(),
+			ConsecutiveFailures: br.Failures(),
+		})
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i].Site < sites[j].Site })
+	return &netproto.Response{Replicas: out, Sites: sites}
 }
 
 // handleRegister pre-computes routing for a query (Section 3.1): plans for
@@ -459,9 +602,16 @@ func (s *DSSServer) execWithMetrics(req *netproto.Request) *netproto.Response {
 	}
 	result, meta, err := s.runOne(stmt, q, true)
 	if err != nil {
-		return &netproto.Response{Err: err.Error()}
+		return &netproto.Response{Err: err.Error(), Degraded: isDegradedErr(err)}
 	}
-	return &netproto.Response{Result: result, Meta: meta}
+	return &netproto.Response{Result: result, Meta: meta, Degraded: meta.Degraded}
+}
+
+// isDegradedErr reports whether err is the typed degraded-mode failure: the
+// query could not be answered because a site is down and no replica exists.
+func isDegradedErr(err error) bool {
+	var ue *core.SiteUnavailableError
+	return errors.As(err, &ue)
 }
 
 // plannerQuery derives the planner's view of a parsed statement.
@@ -493,11 +643,26 @@ func (s *DSSServer) runOne(stmt *sqlmini.SelectStmt, q core.Query, tryRouter boo
 	if err != nil {
 		return nil, nil, err
 	}
+	// Degradation policy (planner-level): a site whose breaker is open is
+	// excluded from the plan space, so the search itself falls back to the
+	// freshest replica — pricing the true staleness into the IV — instead
+	// of the executor discovering the outage per call.
+	degradedPlanning := false
+	if down := s.openSites(); down != nil {
+		for i := range snapshot {
+			if down[snapshot[i].Site] {
+				snapshot[i].BaseDown = true
+				degradedPlanning = true
+			}
+		}
+	}
 	// Registered queries take the pre-calculated routing fast path; a
 	// refusal (QoS violated, shape changed) falls back to the full search.
+	// Routing tables were precomputed assuming healthy sites, so degraded
+	// planning always takes the full search.
 	var plan core.Plan
 	usedRouter := false
-	if tryRouter {
+	if tryRouter && !degradedPlanning {
 		s.routerMu.Lock()
 		plan, usedRouter = s.router.Route(q.ID, snapshot, now)
 		s.routerMu.Unlock()
@@ -524,10 +689,13 @@ func (s *DSSServer) runOne(stmt *sqlmini.SelectStmt, q core.Query, tryRouter boo
 		}
 	}
 
-	result, freshness, err := s.executePlan(stmt, plan)
+	result, freshness, degradedExec, err := s.executePlan(stmt, plan)
 	if err != nil {
 		return nil, nil, err
 	}
+	// A degraded answer: the plan was searched around an open breaker, or
+	// the executor itself had to fall back to a replica mid-read.
+	degraded := degradedPlanning || degradedExec
 	finish := s.now()
 
 	// Online calibration: record the measured processing cost for this
@@ -552,11 +720,15 @@ func (s *DSSServer) runOne(stmt *sqlmini.SelectStmt, q core.Query, tryRouter boo
 	if plan.Start > q.SubmitAt {
 		s.stats.Counter("plans_delayed_total").Inc()
 	}
+	if degraded {
+		s.stats.Counter("degraded_answers_total").Inc()
+	}
 	return result, &netproto.ReportMeta{
 		PlanSignature: plan.Signature(),
 		CLMinutes:     lat.CL,
 		SLMinutes:     lat.SL,
 		Value:         value,
+		Degraded:      degraded,
 	}, nil
 }
 
@@ -612,21 +784,25 @@ func (s *DSSServer) handleBatch(req *netproto.Request) *netproto.Response {
 		s.stats.Counter("queries_total").Inc()
 		if err != nil {
 			items[reqIdx].Err = err.Error()
+			items[reqIdx].Degraded = isDegradedErr(err)
 			s.stats.Counter("query_errors_total").Inc()
 			continue
 		}
 		items[reqIdx].Result = result
 		items[reqIdx].Meta = meta
+		items[reqIdx].Degraded = meta.Degraded
 	}
 	return &netproto.Response{Batch: items}
 }
 
 // executePlan evaluates the statement with per-table data sources chosen
-// by the plan and returns the result plus the oldest freshness timestamp
-// actually used.
-func (s *DSSServer) executePlan(stmt *sqlmini.SelectStmt, plan core.Plan) (*relation.Table, core.Time, error) {
+// by the plan and returns the result, the oldest freshness timestamp
+// actually used, and whether the answer is degraded (a base read fell back
+// to a stale replica because the site was unreachable).
+func (s *DSSServer) executePlan(stmt *sqlmini.SelectStmt, plan core.Plan) (*relation.Table, core.Time, bool, error) {
 	cat := make(sqlmini.MapCatalog, len(plan.Access))
 	oldest := math.Inf(1)
+	degraded := false
 	for _, a := range plan.Access {
 		switch a.Kind {
 		case core.AccessReplica:
@@ -634,15 +810,11 @@ func (s *DSSServer) executePlan(stmt *sqlmini.SelectStmt, plan core.Plan) (*rela
 			snap, ok := s.replicas[a.Table]
 			s.mu.RUnlock()
 			if !ok {
-				return nil, 0, fmt.Errorf("server: no replica snapshot for %s", a.Table)
+				return nil, 0, false, fmt.Errorf("server: no replica snapshot for %s", a.Table)
 			}
 			cat[string(a.Table)] = snap.table
 			oldest = math.Min(oldest, snap.syncedAt)
 		case core.AccessBase:
-			addr, ok := s.cfg.Remotes[a.Site]
-			if !ok {
-				return nil, 0, fmt.Errorf("server: no address for site %d", a.Site)
-			}
 			fetchedAt := s.now()
 			// Query decomposition: push the table's single-alias filter
 			// conjuncts to the remote site so only matching rows travel.
@@ -653,7 +825,7 @@ func (s *DSSServer) executePlan(stmt *sqlmini.SelectStmt, plan core.Plan) (*rela
 				req = &netproto.Request{Kind: netproto.KindExec, SQL: pushSQL}
 				s.stats.Counter("pushdowns_total").Inc()
 			}
-			resp, err := netproto.Call(addr, req, s.cfg.DialTimeout)
+			resp, err := s.callSite(a.Site, req)
 			if err != nil {
 				// Availability degradation: an unreachable site is survivable
 				// when a replica snapshot exists — serve the stale copy and
@@ -662,10 +834,17 @@ func (s *DSSServer) executePlan(stmt *sqlmini.SelectStmt, plan core.Plan) (*rela
 				snap, ok := s.replicas[a.Table]
 				s.mu.RUnlock()
 				if !ok {
-					return nil, 0, fmt.Errorf("server: site %d unreachable for %s and no replica to degrade to: %w", a.Site, a.Table, err)
+					var remote *netproto.RemoteError
+					if errors.As(err, &remote) {
+						// The site answered: an application error, not an
+						// outage — surface it undecorated.
+						return nil, 0, false, fmt.Errorf("server: site %d: %w", a.Site, err)
+					}
+					return nil, 0, false, &core.SiteUnavailableError{Table: a.Table, Site: a.Site, Cause: err}
 				}
 				log.Printf("server: site %d unreachable for %s, degrading to replica (synced %.2f): %v", a.Site, a.Table, snap.syncedAt, err)
 				s.stats.Counter("degraded_reads_total").Inc()
+				degraded = true
 				cat[string(a.Table)] = snap.table
 				oldest = math.Min(oldest, snap.syncedAt)
 				continue
@@ -675,17 +854,17 @@ func (s *DSSServer) executePlan(stmt *sqlmini.SelectStmt, plan core.Plan) (*rela
 			cat[string(a.Table)] = result
 			oldest = math.Min(oldest, fetchedAt)
 		default:
-			return nil, 0, fmt.Errorf("server: invalid access kind %d", int(a.Kind))
+			return nil, 0, false, fmt.Errorf("server: invalid access kind %d", int(a.Kind))
 		}
 	}
 	out, err := sqlmini.Execute(stmt, cat)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, false, err
 	}
 	if math.IsInf(oldest, 1) {
 		oldest = s.now()
 	}
-	return out, oldest, nil
+	return out, oldest, degraded, nil
 }
 
 // Close stops the listener and the synchronization loop. It is idempotent.
@@ -696,7 +875,9 @@ func (s *DSSServer) Close() error {
 		if s.listener != nil {
 			err = s.listener.Close()
 		}
+		s.live.closeAll()
 		s.wg.Wait()
+		s.pool.Close()
 	})
 	return err
 }

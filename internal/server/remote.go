@@ -30,6 +30,7 @@ type RemoteServer struct {
 	scanDelay time.Duration
 
 	listener  net.Listener
+	live      connSet
 	wg        sync.WaitGroup
 	closed    chan struct{}
 	closeOnce sync.Once
@@ -104,7 +105,10 @@ func (s *RemoteServer) acceptLoop() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.handleConn(netproto.NewConn(raw))
+			conn := netproto.NewConn(raw)
+			s.live.add(conn)
+			defer s.live.remove(conn)
+			s.handleConn(conn)
 		}()
 	}
 }
@@ -191,6 +195,7 @@ func (s *RemoteServer) Close() error {
 		if s.listener != nil {
 			err = s.listener.Close()
 		}
+		s.live.closeAll()
 		s.wg.Wait()
 	})
 	return err

@@ -5,9 +5,12 @@
 //
 //	ivqp-bench                 # run everything at paper scale
 //	ivqp-bench -fig 5          # one experiment: 5, 6, 7, 8, 9a, 9b,
-//	                           # search, mqo, aging, advisor
+//	                           # tables, search, mqo, aging, advisor, load
 //	ivqp-bench -quick          # scaled-down configs (CI-sized)
 //	ivqp-bench -seed 7         # change the experiment seed
+//	ivqp-bench -fig load -epsilon 0.25   # admission-control load run;
+//	                           # writes machine-readable BENCH_<date>.json
+//	ivqp-bench -timeout 10m    # abort the sweep past a wall-clock budget
 package main
 
 import (
@@ -23,22 +26,32 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, or all")
+	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, load, or all")
 	quick := flag.Bool("quick", false, "use scaled-down configurations")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
+	epsilon := flag.Float64("epsilon", 0.25, "value-expiry threshold for the load experiment (0 disables shedding)")
+	timeout := flag.Duration("timeout", 0, "abort the sweep once this wall-clock budget is spent (0 = unlimited)")
+	out := flag.String("out", "", "path for the load experiment's JSON result (default BENCH_<date>.json)")
 	flag.Parse()
 
-	if err := run(*fig, *quick, *seed, *csvDir); err != nil {
+	if err := run(*fig, *quick, *seed, *csvDir, *epsilon, *timeout, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, quick bool, seed int64, csvDir string) error {
-	want := func(name string) bool { return fig == "all" || strings.EqualFold(fig, name) }
+func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, timeout time.Duration, out string) error {
 	ran := false
 	start := time.Now()
+	// The sweep checks the budget between experiments: a single experiment
+	// is never interrupted, so results that do print are always complete.
+	want := func(name string) bool {
+		if timeout > 0 && time.Since(start) > timeout {
+			return false
+		}
+		return fig == "all" || strings.EqualFold(fig, name)
+	}
 
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
@@ -186,8 +199,46 @@ func run(fig string, quick bool, seed int64, csvDir string) error {
 		emit(res.Tables())
 	}
 
+	if want("load") {
+		cfg := bench.DefaultLoadConfig()
+		if quick {
+			cfg = bench.QuickLoadConfig()
+		}
+		cfg.Seed = seed
+		cfg.Epsilon = epsilon
+		res, err := bench.RunLoad(cfg)
+		if err != nil {
+			return err
+		}
+		res.Date = time.Now().Format("2006-01-02")
+		emit(res.Tables())
+		path := out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_%s.json", res.Date)
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		writeErr := res.WriteJSON(f)
+		if closeErr := f.Close(); writeErr == nil {
+			writeErr = closeErr
+		}
+		if writeErr != nil {
+			return writeErr
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if timeout > 0 && time.Since(start) > timeout {
+		if !ran {
+			return fmt.Errorf("wall-clock budget %v spent before any experiment could run", timeout)
+		}
+		fmt.Fprintf(os.Stderr, "ivqp-bench: stopped after %v: wall-clock budget %v spent\n",
+			time.Since(start).Round(time.Millisecond), timeout)
+	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, or all)", fig)
+		return fmt.Errorf("unknown experiment %q (want 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, load, or all)", fig)
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -1,22 +1,24 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"ivdss/internal/bench"
 )
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", true, 1, ""); err == nil {
+	if err := run("nope", true, 1, "", .25, 0, ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunAgingQuickWithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("aging", true, 1, dir); err != nil {
+	if err := run("aging", true, 1, dir, .25, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -25,6 +27,35 @@ func TestRunAgingQuickWithCSV(t *testing.T) {
 	}
 	if len(entries) != 1 || filepath.Ext(entries[0].Name()) != ".csv" {
 		t.Errorf("csv dir = %v", entries)
+	}
+}
+
+func TestRunLoadWritesJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run("load", true, 1, "", .25, 0, path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res bench.LoadResult
+	if err := json.Unmarshal(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Queries == 0 || res.Completed == 0 || res.Date == "" {
+		t.Errorf("result incomplete: %+v", res)
+	}
+	if res.Completed+res.Shed != res.Queries {
+		t.Errorf("completed %d + shed %d != %d", res.Completed, res.Shed, res.Queries)
+	}
+}
+
+func TestRunTimeoutBudget(t *testing.T) {
+	// A budget that is already spent before the first experiment: the
+	// sweep refuses to start rather than running past its deadline.
+	if err := run("aging", true, 1, "", .25, time.Nanosecond, ""); err == nil {
+		t.Error("exhausted budget still ran an experiment")
 	}
 }
 

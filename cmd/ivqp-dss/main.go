@@ -69,25 +69,34 @@ func main() {
 	lambdaSL := flag.Float64("lambda-sl", .01, "synchronization-latency discount rate per experiment minute")
 	timescale := flag.Float64("timescale", 1.0/60, "experiment minutes per wall second (1/60 = real time)")
 	calibration := flag.String("calibration", "", "JSON file to load learned plan costs from at startup and save to on shutdown")
+	timeout := flag.Duration("timeout", 0, "deadline for each remote call (dial and per round trip; 0 = server default)")
+	epsilon := flag.Float64("epsilon", 0, "value-expiry threshold: shed queries whose projected IV falls below it (0 = server default, negative disables)")
+	workers := flag.Int("workers", 0, "execution worker pool size (0 = server default)")
+	queue := flag.Int("queue", 0, "admission queue depth; arrivals beyond it are shed (0 = server default)")
 	flag.Parse()
 
-	if err := run(*addr, remotes, *replicate, *lambdaCL, *lambdaSL, *timescale, *calibration); err != nil {
+	cfg := server.DSSConfig{
+		Rates:       core.DiscountRates{CL: *lambdaCL, SL: *lambdaSL},
+		TimeScale:   *timescale,
+		DialTimeout: *timeout,
+		Epsilon:     *epsilon,
+		Workers:     *workers,
+		QueueDepth:  *queue,
+	}
+	if err := run(*addr, remotes, *replicate, cfg, *calibration); err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-dss:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, remotes remoteFlags, replicate string, lambdaCL, lambdaSL, timescale float64, calibration string) error {
+func run(addr string, remotes remoteFlags, replicate string, cfg server.DSSConfig, calibration string) error {
 	plan, err := parseReplicate(replicate)
 	if err != nil {
 		return err
 	}
-	dss, err := server.NewDSSServer(server.DSSConfig{
-		Remotes:   remotes,
-		Replicate: plan,
-		Rates:     core.DiscountRates{CL: lambdaCL, SL: lambdaSL},
-		TimeScale: timescale,
-	})
+	cfg.Remotes = remotes
+	cfg.Replicate = plan
+	dss, err := server.NewDSSServer(cfg)
 	if err != nil {
 		return err
 	}
@@ -108,7 +117,7 @@ func run(addr string, remotes remoteFlags, replicate string, lambdaCL, lambdaSL,
 		return err
 	}
 	fmt.Printf("ivqp-dss: federation server on %s (%d remote sites, %d replicas, λcl=%g λsl=%g)\n",
-		bound, len(remotes), len(plan), lambdaCL, lambdaSL)
+		bound, len(remotes), len(plan), cfg.Rates.CL, cfg.Rates.SL)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

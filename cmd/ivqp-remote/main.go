@@ -33,6 +33,7 @@ func main() {
 	delay := flag.Duration("delay", 0, "simulated WAN latency per scan/exec (e.g. 50ms)")
 	load := flag.String("load", "", "directory of <table>.csv files to serve instead of generated TPC-H data")
 	dump := flag.String("dump", "", "write the generated TPC-H tables as <table>.csv into this directory and exit")
+	timeout := flag.Duration("timeout", 0, "server-side cap on each request's work; composes with the caller's wire deadline (0 = uncapped)")
 	flag.Parse()
 
 	if *dump != "" {
@@ -42,15 +43,16 @@ func main() {
 		}
 		return
 	}
-	if err := run(*addr, *tables, *scale, *seed, *delay, *load); err != nil {
+	if err := run(*addr, *tables, *scale, *seed, *delay, *timeout, *load); err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-remote:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, tables string, scale float64, seed int64, delay time.Duration, load string) error {
+func run(addr, tables string, scale float64, seed int64, delay, timeout time.Duration, load string) error {
 	srv := server.NewRemoteServer()
 	srv.SetScanDelay(delay)
+	srv.SetRequestTimeout(timeout)
 	if load != "" {
 		if err := loadCSVDir(srv, load); err != nil {
 			return err

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"strings"
 	"time"
 
+	"ivdss/internal/core"
 	"ivdss/internal/netproto"
 	"ivdss/internal/stats"
 	"ivdss/internal/tpch"
@@ -31,15 +33,47 @@ func main() {
 	queries := flag.String("queries", "Q1,Q6,Q13,Q22", "comma-separated TPC-H template IDs")
 	value := flag.Float64("value", 1, "business value per report")
 	seed := flag.Int64("seed", 1, "workload seed")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-query wall-clock deadline (0 = no deadline)")
+	epsilon := flag.Float64("epsilon", 0, "tighten the per-query deadline to the value horizon: give up once IV would fall below this (0 = off)")
+	lambdaCL := flag.Float64("lambda-cl", .01, "computational-latency discount rate used for the -epsilon horizon")
+	timescale := flag.Float64("timescale", 1.0/60, "experiment minutes per wall second for the -epsilon horizon (must match the server)")
 	flag.Parse()
 
-	if err := run(*addr, *n, *mean, *queries, *value, *seed); err != nil {
+	deadline, err := queryDeadline(*timeout, *epsilon, *value, *lambdaCL, *timescale)
+	if err == nil {
+		err = run(*addr, *n, *mean, *queries, *value, *seed, deadline)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-workload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, n int, mean time.Duration, queryList string, value float64, seed int64) error {
+// queryDeadline folds -timeout and the optional -epsilon value horizon into
+// one per-query wall-clock budget; zero means no deadline.
+func queryDeadline(timeout time.Duration, epsilon, value, lambdaCL, timescale float64) (time.Duration, error) {
+	d := timeout
+	if epsilon > 0 {
+		if timescale <= 0 {
+			return 0, fmt.Errorf("-timescale must be positive when -epsilon is set")
+		}
+		rates := core.DiscountRates{CL: lambdaCL}
+		if err := rates.Validate(); err != nil {
+			return 0, err
+		}
+		minutes := core.ToleratedCL(value, epsilon, rates)
+		wall := time.Duration(minutes / timescale * float64(time.Second))
+		if wall <= 0 {
+			return 0, fmt.Errorf("value %g is already below -epsilon %g: every report would be worthless", value, epsilon)
+		}
+		if d == 0 || wall < d {
+			d = wall
+		}
+	}
+	return d, nil
+}
+
+func run(addr string, n int, mean time.Duration, queryList string, value float64, seed int64, deadline time.Duration) error {
 	if n <= 0 {
 		return fmt.Errorf("need a positive query count")
 	}
@@ -57,31 +91,39 @@ func run(addr string, n int, mean time.Duration, queryList string, value float64
 
 	src := stats.NewSource(seed)
 	// Transport-level retries against the DSS itself; remote errors are the
-	// DSS's answer (possibly a typed degraded refusal) and are not retried.
+	// DSS's answer (possibly a typed degraded or expired refusal) and are
+	// not retried, and neither is a spent per-query deadline.
 	retrier := netproto.Retrier{
 		MaxAttempts: 3,
 		BaseDelay:   50 * time.Millisecond,
 		Budget:      2 * time.Second,
 		Retryable: func(err error) bool {
 			var remote *netproto.RemoteError
-			return !errors.As(err, &remote)
+			return !errors.As(err, &remote) && !errors.Is(err, context.DeadlineExceeded)
 		},
 	}
 	var ivs, cls, sls []float64
 	planMix := map[string]int{}
-	errs, degraded, retried := 0, 0, 0
+	errs, degraded, expired, retried := 0, 0, 0, 0
 	start := time.Now()
 	for i := 0; i < n; i++ {
 		if i > 0 && mean > 0 {
 			time.Sleep(time.Duration(src.Expo(float64(mean))))
 		}
 		tmpl := templates[src.Intn(len(templates))]
+		// The deadline covers the whole query including transport retries:
+		// a retried attempt inherits whatever budget the first one left.
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if deadline > 0 {
+			ctx, cancel = context.WithTimeout(ctx, deadline)
+		}
 		var resp *netproto.Response
 		err := retrier.Do(func(attempt int) error {
 			if attempt > 0 {
 				retried++
 			}
-			r, err := netproto.Call(addr, &netproto.Request{
+			r, err := netproto.CallContext(ctx, addr, &netproto.Request{
 				Kind:          netproto.KindExec,
 				SQL:           tmpl.SQL,
 				BusinessValue: value,
@@ -89,13 +131,19 @@ func run(addr string, n int, mean time.Duration, queryList string, value float64
 			resp = r
 			return err
 		})
+		cancel()
 		if err != nil {
 			errs++
 			var remote *netproto.RemoteError
-			if errors.As(err, &remote) && remote.Degraded {
+			switch {
+			case errors.As(err, &remote) && remote.Expired,
+				errors.Is(err, context.DeadlineExceeded):
+				expired++
+				fmt.Printf("%3d  %-4s EXPIRED: %v\n", i+1, tmpl.ID, err)
+			case errors.As(err, &remote) && remote.Degraded:
 				degraded++
 				fmt.Printf("%3d  %-4s DEGRADED: %v\n", i+1, tmpl.ID, err)
-			} else {
+			default:
 				fmt.Printf("%3d  %-4s ERROR: %v\n", i+1, tmpl.ID, err)
 			}
 			continue
@@ -114,8 +162,8 @@ func run(addr string, n int, mean time.Duration, queryList string, value float64
 			i+1, tmpl.ID, resp.Result.NumRows(), meta.Value, meta.CLMinutes, meta.SLMinutes, meta.PlanSignature, mark)
 	}
 
-	fmt.Printf("\nreplayed %d queries in %v (%d errors, %d degraded, %d transport retries)\n",
-		n, time.Since(start).Round(time.Millisecond), errs, degraded, retried)
+	fmt.Printf("\nreplayed %d queries in %v (%d errors, %d expired, %d degraded, %d transport retries)\n",
+		n, time.Since(start).Round(time.Millisecond), errs, expired, degraded, retried)
 	if len(ivs) > 0 {
 		fmt.Printf("information value: mean %.4f  p50 %.4f  p95 %.4f\n",
 			stats.Mean(ivs), stats.Percentile(ivs, 50), stats.Percentile(ivs, 95))

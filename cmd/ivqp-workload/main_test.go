@@ -1,6 +1,9 @@
 package main
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
 
 func TestPlanShape(t *testing.T) {
 	tests := []struct {
@@ -19,10 +22,33 @@ func TestPlanShape(t *testing.T) {
 }
 
 func TestRunRejectsBadInput(t *testing.T) {
-	if err := run("127.0.0.1:1", 0, 0, "Q1", 1, 1); err == nil {
+	if err := run("127.0.0.1:1", 0, 0, "Q1", 1, 1, 0); err == nil {
 		t.Error("zero count accepted")
 	}
-	if err := run("127.0.0.1:1", 1, 0, "Q99", 1, 1); err == nil {
+	if err := run("127.0.0.1:1", 1, 0, "Q99", 1, 1, 0); err == nil {
 		t.Error("unknown template accepted")
+	}
+}
+
+func TestQueryDeadline(t *testing.T) {
+	// -epsilon off: the plain timeout passes through.
+	if d, err := queryDeadline(time.Minute, 0, 1, .01, 1.0/60); err != nil || d != time.Minute {
+		t.Errorf("deadline = %v, %v", d, err)
+	}
+	// bv 1, epsilon .5, λcl .05 → ~13.5 experiment minutes; at timescale 10
+	// that is ~1.35 wall seconds, well under the 1-minute timeout.
+	d, err := queryDeadline(time.Minute, .5, 1, .05, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < time.Second || d > 2*time.Second {
+		t.Errorf("horizon deadline = %v, want ~1.35s", d)
+	}
+	// A value already below epsilon is refused up front.
+	if _, err := queryDeadline(time.Minute, .5, .4, .05, 10); err == nil {
+		t.Error("worthless value accepted")
+	}
+	if _, err := queryDeadline(time.Minute, .5, 1, .05, 0); err == nil {
+		t.Error("zero timescale accepted with epsilon set")
 	}
 }

@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -15,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"ivdss/internal/core"
 	"ivdss/internal/netproto"
 	"ivdss/internal/relation"
 )
@@ -27,17 +30,59 @@ func main() {
 	remote := flag.Bool("remote", false, "talk to a remote site server (bypasses IV planning)")
 	register := flag.Bool("register", false, "pre-register the query for fast routing instead of running it")
 	batch := flag.Bool("batch", false, "treat the argument as a ';'-separated workload and submit it for MQO scheduling")
+	timeout := flag.Duration("timeout", 2*time.Minute, "wall-clock deadline for the call (0 = no deadline)")
+	epsilon := flag.Float64("epsilon", 0, "derive the deadline from the report's value horizon: give up once IV would fall below this (0 = off)")
+	lambdaCL := flag.Float64("lambda-cl", .01, "computational-latency discount rate used for the -epsilon horizon")
+	timescale := flag.Float64("timescale", 1.0/60, "experiment minutes per wall second for the -epsilon horizon (must match the server)")
 	flag.Parse()
 
-	if err := run(*addr, *value, *status, *showMetrics, *remote, *register, *batch, strings.Join(flag.Args(), " ")); err != nil {
+	deadline, err := callDeadline(*timeout, *epsilon, *value, *lambdaCL, *timescale)
+	if err == nil {
+		err = run(*addr, *value, *status, *showMetrics, *remote, *register, *batch, deadline, strings.Join(flag.Args(), " "))
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, value float64, status, showMetrics, remote, register, batch bool, sql string) error {
+// callDeadline folds -timeout and the optional -epsilon value horizon into
+// one wall-clock budget. The horizon is client-side insurance: even when the
+// server does no shedding, the call abandons work that can no longer reach
+// the threshold. Zero means no deadline.
+func callDeadline(timeout time.Duration, epsilon, value, lambdaCL, timescale float64) (time.Duration, error) {
+	d := timeout
+	if epsilon > 0 {
+		if timescale <= 0 {
+			return 0, fmt.Errorf("-timescale must be positive when -epsilon is set")
+		}
+		rates := core.DiscountRates{CL: lambdaCL}
+		if err := rates.Validate(); err != nil {
+			return 0, err
+		}
+		minutes := core.ToleratedCL(value, epsilon, rates)
+		wall := time.Duration(minutes / timescale * float64(time.Second))
+		if wall <= 0 {
+			return 0, fmt.Errorf("value %g is already below -epsilon %g: the report would be worthless", value, epsilon)
+		}
+		if d == 0 || wall < d {
+			d = wall
+		}
+	}
+	return d, nil
+}
+
+// callCtx returns a context carrying the deadline (Background when zero).
+func callCtx(deadline time.Duration) (context.Context, context.CancelFunc) {
+	if deadline <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), deadline)
+}
+
+func run(addr string, value float64, status, showMetrics, remote, register, batch bool, deadline time.Duration, sql string) error {
 	if batch {
-		return runBatch(addr, value, sql)
+		return runBatch(addr, value, deadline, sql)
 	}
 	if register {
 		if strings.TrimSpace(sql) == "" {
@@ -88,9 +133,18 @@ func run(addr string, value float64, status, showMetrics, remote, register, batc
 		return fmt.Errorf("no SQL given (pass it as the final argument)")
 	}
 	req := &netproto.Request{Kind: netproto.KindExec, SQL: sql, BusinessValue: value}
+	ctx, cancel := callCtx(deadline)
+	defer cancel()
 	start := time.Now()
-	resp, err := netproto.Call(addr, req, 5*time.Minute)
+	resp, err := netproto.CallContext(ctx, addr, req, 5*time.Minute)
 	if err != nil {
+		var remoteErr *netproto.RemoteError
+		switch {
+		case errors.As(err, &remoteErr) && remoteErr.Expired:
+			return fmt.Errorf("EXPIRED: %w", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			return fmt.Errorf("EXPIRED: no report within the %v budget: %w", deadline, err)
+		}
 		return err
 	}
 	elapsed := time.Since(start)
@@ -147,7 +201,7 @@ func printTable(t *relation.Table) {
 
 // runBatch submits a ';'-separated workload for multi-query-optimized
 // execution and prints each member's result and IV accounting.
-func runBatch(addr string, value float64, sql string) error {
+func runBatch(addr string, value float64, deadline time.Duration, sql string) error {
 	var queries []netproto.BatchQuery
 	for _, part := range strings.Split(sql, ";") {
 		if q := strings.TrimSpace(part); q != "" {
@@ -157,8 +211,10 @@ func runBatch(addr string, value float64, sql string) error {
 	if len(queries) == 0 {
 		return fmt.Errorf("no queries in batch (separate with ';')")
 	}
+	ctx, cancel := callCtx(deadline)
+	defer cancel()
 	start := time.Now()
-	resp, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindBatch, Batch: queries}, 10*time.Minute)
+	resp, err := netproto.CallContext(ctx, addr, &netproto.Request{Kind: netproto.KindBatch, Batch: queries}, 10*time.Minute)
 	if err != nil {
 		return err
 	}
@@ -166,9 +222,12 @@ func runBatch(addr string, value float64, sql string) error {
 	for i, item := range resp.Batch {
 		fmt.Printf("--- query %d ---\n", i+1)
 		if item.Err != "" {
-			if item.Degraded {
+			switch {
+			case strings.Contains(item.Err, "value expired"):
+				fmt.Printf("EXPIRED: %s\n", item.Err)
+			case item.Degraded:
 				fmt.Printf("DEGRADED ERROR: %s\n", item.Err)
-			} else {
+			default:
 				fmt.Printf("ERROR: %s\n", item.Err)
 			}
 			continue

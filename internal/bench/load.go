@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ivdss/internal/core"
+	"ivdss/internal/scheduler"
+	"ivdss/internal/sim"
+	"ivdss/internal/stats"
+)
+
+// LoadConfig parameterizes the admission-control load experiment: a
+// Poisson TPC-H stream pushed through a value-shedding dispatcher at an
+// arrival rate chosen to overload the slots, so the run reports both the
+// throughput the system sustains and the work it refuses.
+type LoadConfig struct {
+	Scale     float64       // TPC-H generator scale (weights calibration)
+	NQueries  int           // arrivals in the stream
+	QueryMean core.Duration // mean interarrival, experiment minutes
+	SyncMean  core.Duration // mean replica synchronization cycle
+	Rates     core.DiscountRates
+	// Epsilon is the value-expiry threshold: queries whose IV is projected
+	// to fall below it are shed from the queue. Zero disables shedding.
+	Epsilon        float64
+	Slots          int
+	Aging          core.Aging
+	Sites          int
+	Replicas       int
+	PlannerHorizon core.Duration
+	Seed           int64
+}
+
+// DefaultLoadConfig overloads one slot roughly 3× so shedding is visible.
+func DefaultLoadConfig() LoadConfig {
+	return LoadConfig{
+		Scale:          1,
+		NQueries:       110,
+		QueryMean:      25,
+		SyncMean:       25,
+		Rates:          core.DiscountRates{CL: .05, SL: .05},
+		Epsilon:        .25,
+		Slots:          1,
+		Aging:          core.Aging{Coefficient: .05, Exponent: 1.5},
+		Sites:          4,
+		Replicas:       5,
+		PlannerHorizon: 30,
+		Seed:           1,
+	}
+}
+
+// QuickLoadConfig is a scaled-down variant for tests.
+func QuickLoadConfig() LoadConfig {
+	cfg := DefaultLoadConfig()
+	cfg.NQueries = 30
+	return cfg
+}
+
+// LoadResult is the machine-readable outcome of one load run — the shape
+// written to BENCH_<date>.json so the repo's bench trajectory is
+// comparable across commits.
+type LoadResult struct {
+	Date       string  `json:"date,omitempty"` // stamped by the caller
+	Queries    int     `json:"queries"`
+	Completed  int     `json:"completed"`
+	Shed       int     `json:"shed"`
+	Epsilon    float64 `json:"epsilon"`
+	Slots      int     `json:"slots"`
+	Seed       int64   `json:"seed"`
+	Throughput float64 `json:"throughput_per_minute"` // completed reports per experiment minute
+	MeanCL     float64 `json:"mean_cl_minutes"`
+	P95CL      float64 `json:"p95_cl_minutes"`
+	MeanSL     float64 `json:"mean_sl_minutes"`
+	P95SL      float64 `json:"p95_sl_minutes"`
+	TotalIV    float64 `json:"total_iv"`
+	MeanIV     float64 `json:"mean_iv"` // over completed reports
+}
+
+// RunLoad executes the experiment: the full IVQP stack (planner, catalog,
+// dispatcher) under an overloading stream, with the dispatcher shedding
+// queries whose value horizon passes while they wait.
+func RunLoad(cfg LoadConfig) (LoadResult, error) {
+	var res LoadResult
+	world, err := NewTPCHWorld(cfg.Scale, cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+	queries, weights, err := world.Stream(cfg.NQueries, cfg.QueryMean, cfg.Seed+2)
+	if err != nil {
+		return res, err
+	}
+	cost := world.CostModel(weights)
+	horizon := queries[len(queries)-1].SubmitAt + core.Time(cfg.NQueries)*cfg.QueryMean*4 + 1000
+	dep, err := BuildDeployment(DeployConfig{
+		Tables:          world.Tables,
+		Sites:           cfg.Sites,
+		ReplicaCount:    cfg.Replicas,
+		SyncMean:        cfg.SyncMean,
+		ScheduleHorizon: horizon,
+		InitialSync:     true,
+		Seed:            cfg.Seed,
+	})
+	if err != nil {
+		return res, err
+	}
+	strategy, err := dep.Strategy(MethodIVQP, cost, cfg.Rates, cfg.PlannerHorizon)
+	if err != nil {
+		return res, err
+	}
+
+	s := sim.New()
+	d, err := scheduler.NewDispatcher(s, strategy, cfg.Rates, cfg.Slots, cfg.Aging)
+	if err != nil {
+		return res, err
+	}
+	d.SetExpiry(cfg.Epsilon)
+	d.SubmitAll(queries)
+	s.Run()
+	if err := d.Err(); err != nil {
+		return res, err
+	}
+	if d.Pending() != 0 {
+		return res, fmt.Errorf("bench: %d queries neither completed nor shed", d.Pending())
+	}
+
+	var cls, sls, ivs []float64
+	makespan := core.Time(0)
+	for _, o := range d.Outcomes() {
+		if o.Expired {
+			continue
+		}
+		cls = append(cls, o.Latencies.CL)
+		sls = append(sls, o.Latencies.SL)
+		ivs = append(ivs, o.Value)
+		res.TotalIV += o.Value
+		if finish := o.Query.SubmitAt + o.Latencies.CL; finish > makespan {
+			makespan = finish
+		}
+	}
+	res.Queries = len(queries)
+	res.Completed = len(ivs)
+	res.Shed = d.Shed()
+	res.Epsilon = cfg.Epsilon
+	res.Slots = cfg.Slots
+	res.Seed = cfg.Seed
+	if makespan > 0 {
+		res.Throughput = float64(res.Completed) / makespan
+	}
+	if len(ivs) > 0 {
+		res.MeanCL = stats.Mean(cls)
+		res.P95CL = stats.Percentile(cls, 95)
+		res.MeanSL = stats.Mean(sls)
+		res.P95SL = stats.Percentile(sls, 95)
+		res.MeanIV = stats.Mean(ivs)
+	}
+	return res, nil
+}
+
+// WriteJSON emits the result as indented JSON.
+func (r LoadResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Tables renders the run as one summary table.
+func (r LoadResult) Tables() []Table {
+	return []Table{{
+		Title:   fmt.Sprintf("Load: admission control under overload (epsilon=%g, %d slots)", r.Epsilon, r.Slots),
+		Columns: []string{"queries", "completed", "shed", "throughput/min", "mean CL", "p95 CL", "mean SL", "p95 SL", "mean IV", "total IV"},
+		Rows: [][]string{{
+			fmt.Sprintf("%d", r.Queries),
+			fmt.Sprintf("%d", r.Completed),
+			fmt.Sprintf("%d", r.Shed),
+			f3(r.Throughput),
+			f1(r.MeanCL), f1(r.P95CL),
+			f1(r.MeanSL), f1(r.P95SL),
+			f3(r.MeanIV), f3(r.TotalIV),
+		}},
+	}}
+}

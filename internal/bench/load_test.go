@@ -1,0 +1,68 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunLoadShedsUnderOverload(t *testing.T) {
+	res, err := RunLoad(QuickLoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed == 0 {
+		t.Fatal("nothing completed")
+	}
+	if res.Shed == 0 {
+		t.Fatal("nothing shed; the config should overload one slot")
+	}
+	if res.Completed+res.Shed != res.Queries {
+		t.Errorf("completed %d + shed %d != %d queries", res.Completed, res.Shed, res.Queries)
+	}
+	if res.Throughput <= 0 || res.TotalIV <= 0 {
+		t.Errorf("throughput %v, total IV %v", res.Throughput, res.TotalIV)
+	}
+	if res.P95CL < res.MeanCL {
+		t.Errorf("p95 CL %v below mean %v", res.P95CL, res.MeanCL)
+	}
+
+	var buf strings.Builder
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back LoadResult
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != res {
+		t.Errorf("JSON round trip changed the result: %+v vs %+v", back, res)
+	}
+}
+
+func TestRunLoadDeterministicInSeed(t *testing.T) {
+	cfg := QuickLoadConfig()
+	a, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed, different results:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunLoadEpsilonZeroCompletesEverything(t *testing.T) {
+	cfg := QuickLoadConfig()
+	cfg.Epsilon = 0
+	res, err := RunLoad(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shed != 0 || res.Completed != res.Queries {
+		t.Errorf("epsilon 0: completed %d, shed %d of %d", res.Completed, res.Shed, res.Queries)
+	}
+}

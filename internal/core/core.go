@@ -82,6 +82,43 @@ func (q Query) Validate() error {
 	return nil
 }
 
+// ValueHorizon returns the query's value horizon: the duration after
+// submission at which its projected information value falls below epsilon
+// even in the best case of zero synchronization latency. Past this point
+// the report is worth less than the threshold no matter how it is
+// executed, so schedulers shed the query instead of burning resources on
+// worthless work. A zero business value is treated as 1, matching the
+// wire protocol's default. The horizon is +Inf when epsilon is
+// non-positive or λCL is zero (no decay), and 0 when the business value
+// already sits at or below epsilon.
+func (q Query) ValueHorizon(r DiscountRates, epsilon float64) Duration {
+	bv := q.BusinessValue
+	if bv == 0 {
+		bv = 1
+	}
+	return ToleratedCL(bv, epsilon, r)
+}
+
+// ValueExpiredError is the typed load-shedding failure: the query's
+// information value fell (or was projected to fall) below the admission
+// threshold before a report could be produced, so the system refused to
+// spend resources on it.
+type ValueExpiredError struct {
+	Query string
+	// Horizon is the query's value horizon in experiment minutes after
+	// submission. It may be +Inf on a queue-full shed when value-based
+	// shedding is disabled (a bounded queue still refuses overflow).
+	Horizon Duration
+	// Reason says where the decision was made: "queue-full",
+	// "projected-completion", "expired-queued", or "expired-running".
+	Reason string
+}
+
+// Error implements the error interface.
+func (e *ValueExpiredError) Error() string {
+	return fmt.Sprintf("value expired: query %s exceeds its %.2f-minute value horizon (%s)", e.Query, e.Horizon, e.Reason)
+}
+
 // DiscountRates carries the two per-minute discount rates from the IV
 // formula: λCL for computational latency and λSL for synchronization
 // latency. Both must lie in [0, 1).

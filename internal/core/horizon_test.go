@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValueHorizon(t *testing.T) {
+	rates := DiscountRates{CL: .05, SL: .05}
+	q := Query{ID: "q", Tables: []TableID{"t"}, BusinessValue: 1}
+
+	h := q.ValueHorizon(rates, .1)
+	// At the horizon the best-case value equals epsilon exactly.
+	if got := InformationValue(q.BusinessValue, Latencies{CL: h}, rates); math.Abs(got-.1) > 1e-9 {
+		t.Errorf("IV at horizon = %v, want 0.1", got)
+	}
+	// Just before the horizon the value still clears the threshold.
+	if got := InformationValue(q.BusinessValue, Latencies{CL: h - 1}, rates); got <= .1 {
+		t.Errorf("IV just inside horizon = %v, want > 0.1", got)
+	}
+}
+
+func TestValueHorizonEdgeCases(t *testing.T) {
+	rates := DiscountRates{CL: .05, SL: .05}
+	q := Query{ID: "q", Tables: []TableID{"t"}, BusinessValue: 2}
+
+	if h := q.ValueHorizon(rates, 0); !math.IsInf(h, 1) {
+		t.Errorf("epsilon 0: horizon %v, want +Inf", h)
+	}
+	if h := q.ValueHorizon(DiscountRates{SL: .05}, .1); !math.IsInf(h, 1) {
+		t.Errorf("no CL decay: horizon %v, want +Inf", h)
+	}
+	if h := q.ValueHorizon(rates, 2); h != 0 {
+		t.Errorf("epsilon at business value: horizon %v, want 0", h)
+	}
+	// Zero business value defaults to 1 (wire-protocol convention).
+	zero := Query{ID: "z", Tables: []TableID{"t"}}
+	one := Query{ID: "o", Tables: []TableID{"t"}, BusinessValue: 1}
+	if got, want := zero.ValueHorizon(rates, .1), one.ValueHorizon(rates, .1); got != want {
+		t.Errorf("zero-BV horizon %v, want %v", got, want)
+	}
+}
+
+func TestValueHorizonScalesWithBusinessValue(t *testing.T) {
+	rates := DiscountRates{CL: .05}
+	cheap := Query{ID: "c", Tables: []TableID{"t"}, BusinessValue: 1}
+	rich := Query{ID: "r", Tables: []TableID{"t"}, BusinessValue: 10}
+	if hc, hr := cheap.ValueHorizon(rates, .1), rich.ValueHorizon(rates, .1); hr <= hc {
+		t.Errorf("richer query should tolerate more latency: %v vs %v", hr, hc)
+	}
+}
+
+func TestValueExpiredError(t *testing.T) {
+	err := &ValueExpiredError{Query: "q-1", Horizon: 12.5, Reason: "projected-completion"}
+	msg := err.Error()
+	for _, want := range []string{"q-1", "12.5", "projected-completion"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}

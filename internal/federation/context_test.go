@@ -1,0 +1,75 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ivdss/internal/core"
+)
+
+func TestExecutePlanContextCancelledUpFront(t *testing.T) {
+	_, engine, mgr := buildTestWorld(t)
+	mgr.Advance(0)
+
+	q := core.Query{ID: "q", Tables: []core.TableID{"trades"}, BusinessValue: 1}
+	plan := core.Plan{Query: q, Access: []core.TableAccess{
+		{Table: "trades", Site: 2, Kind: core.AccessBase},
+	}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := engine.ExecutePlanContext(ctx, "SELECT t_account FROM trades", plan)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled plan: %v, want context.Canceled", err)
+	}
+}
+
+func TestExecutePlanContextInterruptsNetworkDelay(t *testing.T) {
+	_, engine, mgr := buildTestWorld(t)
+	mgr.Advance(0)
+	// A long simulated network wait per base access: a deadline shorter than
+	// one wait must abort mid-delay, not after it.
+	engine.SetNetworkDelay(5 * time.Second)
+
+	q := core.Query{ID: "q", Tables: []core.TableID{"trades"}, BusinessValue: 1}
+	plan := core.Plan{Query: q, Access: []core.TableAccess{
+		{Table: "trades", Site: 2, Kind: core.AccessBase},
+	}}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := engine.ExecutePlanContext(ctx, "SELECT t_account FROM trades", plan)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > time.Second {
+		t.Errorf("abort took %v, want well under the 5s simulated delay", elapsed)
+	}
+}
+
+func TestExecutePlanContextCarriesCause(t *testing.T) {
+	_, engine, mgr := buildTestWorld(t)
+	mgr.Advance(0)
+	engine.SetNetworkDelay(5 * time.Second)
+
+	q := core.Query{ID: "q", Tables: []core.TableID{"trades"}, BusinessValue: 1}
+	plan := core.Plan{Query: q, Access: []core.TableAccess{
+		{Table: "trades", Site: 2, Kind: core.AccessBase},
+	}}
+	expired := &core.ValueExpiredError{Query: "q", Horizon: 1, Reason: "expired-running"}
+	ctx, cancel := context.WithCancelCause(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel(expired)
+	}()
+	_, err := engine.ExecutePlanContext(ctx, "SELECT t_account FROM trades", plan)
+	var vee *core.ValueExpiredError
+	if !errors.As(err, &vee) {
+		t.Fatalf("error %v, want the ValueExpiredError cause", err)
+	}
+	if vee.Reason != "expired-running" {
+		t.Errorf("cause reason %q", vee.Reason)
+	}
+}

@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -141,8 +142,11 @@ func (e *Engine) Replica(id core.TableID) (*relation.Table, error) {
 	return t, nil
 }
 
-// planCatalog resolves table names per the plan's access decisions.
+// planCatalog resolves table names per the plan's access decisions. It
+// carries the execution context so simulated network waits (and the fetch
+// itself) stop as soon as the caller's deadline expires.
 type planCatalog struct {
+	ctx    context.Context
 	engine *Engine
 	access map[core.TableID]core.TableAccess
 }
@@ -150,6 +154,9 @@ type planCatalog struct {
 var _ sqlmini.Catalog = (*planCatalog)(nil)
 
 func (pc *planCatalog) Table(name string) (*relation.Table, error) {
+	if err := pc.ctx.Err(); err != nil {
+		return nil, context.Cause(pc.ctx)
+	}
 	id := core.TableID(strings.ToLower(name))
 	a, ok := pc.access[id]
 	if !ok {
@@ -163,8 +170,17 @@ func (pc *planCatalog) Table(name string) (*relation.Table, error) {
 		if !ok {
 			return nil, fmt.Errorf("federation: unknown site %d for table %s", a.Site, id)
 		}
-		if pc.engine.netDelay > 0 {
-			time.Sleep(pc.engine.netDelay)
+		if d := pc.engine.netDelay; d > 0 {
+			// The simulated network wait is interruptible: a remote fetch
+			// must not outlive the caller's deadline just to return data
+			// nobody is waiting for.
+			t := time.NewTimer(d)
+			select {
+			case <-t.C:
+			case <-pc.ctx.Done():
+				t.Stop()
+				return nil, context.Cause(pc.ctx)
+			}
 		}
 		return s.Table(id)
 	default:
@@ -175,11 +191,18 @@ func (pc *planCatalog) Table(name string) (*relation.Table, error) {
 // ExecutePlan evaluates the SQL text under the plan's per-table access
 // decisions and returns the result rows.
 func (e *Engine) ExecutePlan(sql string, plan core.Plan) (*relation.Table, error) {
+	return e.ExecutePlanContext(context.Background(), sql, plan)
+}
+
+// ExecutePlanContext is ExecutePlan under a context: base-table fetches
+// (including their simulated network delay) and the executor's row loops
+// all stop promptly once the context ends, returning its cause.
+func (e *Engine) ExecutePlanContext(ctx context.Context, sql string, plan core.Plan) (*relation.Table, error) {
 	access := make(map[core.TableID]core.TableAccess, len(plan.Access))
 	for _, a := range plan.Access {
 		access[a.Table] = a
 	}
-	return sqlmini.Run(sql, &planCatalog{engine: e, access: access})
+	return sqlmini.RunContext(ctx, sql, &planCatalog{ctx: ctx, engine: e, access: access})
 }
 
 // Measurement is one calibration data point: the wall time to execute a

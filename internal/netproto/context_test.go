@@ -1,0 +1,308 @@
+package netproto
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// budgetEchoServer answers every request with the received TimeoutMillis
+// rendered into Tables[0], so tests can observe what travelled on the wire.
+func budgetEchoServer(t *testing.T) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			raw, err := l.Accept()
+			if err != nil {
+				return
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				conn := NewConn(raw)
+				defer conn.Close()
+				for {
+					req, err := conn.ReadRequest()
+					if err != nil {
+						return
+					}
+					resp := &Response{Tables: []string{fmt.Sprint(req.TimeoutMillis)}}
+					if err := conn.WriteResponse(resp); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	return l.Addr().String(), func() {
+		l.Close()
+		wg.Wait()
+	}
+}
+
+// blackholeServer accepts connections and reads requests but never answers.
+func blackholeServer(t *testing.T) (string, func()) {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		mu    sync.Mutex
+		conns []net.Conn
+	)
+	go func() {
+		for {
+			raw, err := l.Accept()
+			if err != nil {
+				return
+			}
+			mu.Lock()
+			conns = append(conns, raw)
+			mu.Unlock()
+		}
+	}()
+	return l.Addr().String(), func() {
+		l.Close()
+		mu.Lock()
+		for _, c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+	}
+}
+
+func TestRoundTripContextStampsWireBudget(t *testing.T) {
+	addr, stop := budgetEchoServer(t)
+	defer stop()
+
+	conn, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 750*time.Millisecond)
+	defer cancel()
+	resp, err := conn.RoundTripContext(ctx, &Request{Kind: KindPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := strconv.ParseInt(resp.Tables[0], 10, 64)
+	if err != nil {
+		t.Fatalf("server echoed %q, want a millisecond count", resp.Tables[0])
+	}
+	if ms <= 0 || ms > 750 {
+		t.Errorf("wire budget %dms, want in (0, 750]", ms)
+	}
+}
+
+func TestRoundTripContextNoDeadlineLeavesBudgetZero(t *testing.T) {
+	addr, stop := budgetEchoServer(t)
+	defer stop()
+
+	conn, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	resp, err := conn.RoundTripContext(context.Background(), &Request{Kind: KindPing})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Tables[0] != "0" {
+		t.Errorf("wire budget %q without a deadline, want 0", resp.Tables[0])
+	}
+}
+
+func TestRoundTripContextAlreadyExpired(t *testing.T) {
+	addr, stop := budgetEchoServer(t)
+	defer stop()
+
+	conn, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := conn.RoundTripContext(ctx, &Request{Kind: KindPing}); !errors.Is(err, context.Canceled) {
+		t.Errorf("round trip on dead context: %v, want context.Canceled", err)
+	}
+}
+
+func TestBudgetContext(t *testing.T) {
+	req := &Request{TimeoutMillis: 80}
+	ctx, cancel := req.BudgetContext(context.Background())
+	defer cancel()
+	d, ok := ctx.Deadline()
+	if !ok {
+		t.Fatal("budget context has no deadline")
+	}
+	if until := time.Until(d); until <= 0 || until > 80*time.Millisecond {
+		t.Errorf("deadline %v away, want within (0, 80ms]", until)
+	}
+
+	free, cancelFree := (&Request{}).BudgetContext(context.Background())
+	defer cancelFree()
+	if _, ok := free.Deadline(); ok {
+		t.Error("zero TimeoutMillis should not impose a deadline")
+	}
+}
+
+func TestCallContextDeadlineAgainstBlackhole(t *testing.T) {
+	addr, stop := blackholeServer(t)
+	defer stop()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := CallContext(ctx, addr, &Request{Kind: KindPing}, 10*time.Second)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("call against blackhole succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 600*time.Millisecond {
+		t.Errorf("call took %v, want well under the 10s connection timeout", elapsed)
+	}
+}
+
+func TestPoolCallContextDeadline(t *testing.T) {
+	addr, stop := blackholeServer(t)
+	defer stop()
+
+	p := NewPool(time.Second, 10*time.Second)
+	defer p.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := p.CallContext(ctx, addr, &Request{Kind: KindPing})
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("pooled call against blackhole succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("error %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed > 600*time.Millisecond {
+		t.Errorf("call took %v, want bounded by the context, not the pool timeout", elapsed)
+	}
+	// A deadline failure must not be "repaired" by redialing: that would
+	// burn budget the caller no longer has.
+	if n := p.IdleLen(addr); n != 0 {
+		t.Errorf("pool kept %d idle conns after a deadline failure, want 0", n)
+	}
+}
+
+func TestPoolCallContextExpiredUpFront(t *testing.T) {
+	p := NewPool(time.Second, time.Second)
+	defer p.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.CallContext(ctx, "127.0.0.1:1", &Request{Kind: KindPing}); !errors.Is(err, context.Canceled) {
+		t.Errorf("call on dead context: %v, want context.Canceled", err)
+	}
+}
+
+func TestDoContextSkipsBackoffPastDeadline(t *testing.T) {
+	var slept []time.Duration
+	r := Retrier{
+		MaxAttempts: 5,
+		BaseDelay:   200 * time.Millisecond,
+		Jitter:      -1,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+
+	calls := 0
+	errBoom := errors.New("boom")
+	err := r.DoContext(ctx, func(int) error { calls++; return errBoom })
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v, want RetryError", err)
+	}
+	// The first backoff (200ms) would outlive the 50ms deadline, so the
+	// retrier gives up after one attempt without sleeping at all.
+	if calls != 1 || re.Attempts != 1 {
+		t.Errorf("calls=%d attempts=%d, want 1 and 1", calls, re.Attempts)
+	}
+	if len(slept) != 0 {
+		t.Errorf("slept %v, want no backoff past the deadline", slept)
+	}
+	if !errors.Is(err, errBoom) {
+		t.Errorf("error %v should wrap the op's last error", err)
+	}
+}
+
+func TestDoContextStopsOnCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	r := Retrier{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		Jitter:      -1,
+		Sleep:       func(time.Duration) {},
+	}
+	calls := 0
+	err := r.DoContext(ctx, func(int) error {
+		calls++
+		if calls == 2 {
+			cancel()
+		}
+		return errors.New("boom")
+	})
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v, want RetryError", err)
+	}
+	// Cancellation mid-backoff stops the loop with the op's last (more
+	// informative) error; no third attempt runs.
+	if calls != 2 || re.Attempts != 2 {
+		t.Errorf("calls=%d attempts=%d, want 2 and 2 (cancelled after second attempt)", calls, re.Attempts)
+	}
+}
+
+func TestDoContextDeadContextUpFront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Retrier{Sleep: func(time.Duration) {}}.DoContext(ctx, func(int) error {
+		t.Fatal("op ran on a dead context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error %v, want context.Canceled", err)
+	}
+}
+
+func TestRemoteErrorExpired(t *testing.T) {
+	resp := &Response{Err: "shed at admission", Expired: true}
+	err := resp.ErrOrNil()
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v, want RemoteError", err)
+	}
+	if !re.Expired {
+		t.Error("Expired flag lost crossing the wire")
+	}
+	if msg := re.Error(); msg != "netproto: remote error (value expired): shed at admission" {
+		t.Errorf("unexpected message %q", msg)
+	}
+}

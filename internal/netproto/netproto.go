@@ -5,6 +5,7 @@
 package netproto
 
 import (
+	"context"
 	"encoding/gob"
 	"fmt"
 	"net"
@@ -66,6 +67,22 @@ type Request struct {
 	BusinessValue float64
 	// Batch carries the workload for KindBatch.
 	Batch []BatchQuery
+	// TimeoutMillis is the caller's remaining deadline budget, carried on
+	// the wire so the server can bound its own work (and its downstream
+	// calls) by what the client will still wait for. Zero means no
+	// deadline. Relative milliseconds rather than an absolute instant, so
+	// clock skew between peers cannot corrupt the budget.
+	TimeoutMillis int64
+}
+
+// BudgetContext derives a context bounded by the request's wire deadline,
+// if any. The server's request handlers run under it so a client that has
+// stopped waiting also stops consuming server resources.
+func (r *Request) BudgetContext(parent context.Context) (context.Context, context.CancelFunc) {
+	if r.TimeoutMillis > 0 {
+		return context.WithTimeout(parent, time.Duration(r.TimeoutMillis)*time.Millisecond)
+	}
+	return context.WithCancel(parent)
 }
 
 // BatchQuery is one member of a KindBatch workload.
@@ -111,6 +128,10 @@ type Response struct {
 	// remote site is unavailable and no local replica exists to answer
 	// from. Clients distinguish it from plain query errors via RemoteError.
 	Degraded bool
+	// Expired marks an error produced by the DSS admission controller: the
+	// query was shed (or cancelled mid-flight) because its information
+	// value expired before a report could be produced.
+	Expired  bool
 	Tables   []string
 	Result   *relation.Table
 	Meta     *ReportMeta
@@ -127,14 +148,21 @@ type RemoteError struct {
 	// is down and no replica could stand in (degraded mode), as opposed to
 	// the query itself being invalid.
 	Degraded bool
+	// Expired is set when the DSS shed or cancelled the query because its
+	// information value expired (core.ValueExpiredError on the server).
+	Expired bool
 }
 
 // Error implements the error interface.
 func (e *RemoteError) Error() string {
-	if e.Degraded {
+	switch {
+	case e.Expired:
+		return "netproto: remote error (value expired): " + e.Msg
+	case e.Degraded:
 		return "netproto: remote error (degraded): " + e.Msg
+	default:
+		return "netproto: remote error: " + e.Msg
 	}
-	return "netproto: remote error: " + e.Msg
 }
 
 // ErrOrNil converts the wire error back to a Go error.
@@ -142,7 +170,7 @@ func (r *Response) ErrOrNil() error {
 	if r.Err == "" {
 		return nil
 	}
-	return &RemoteError{Msg: r.Err, Degraded: r.Degraded}
+	return &RemoteError{Msg: r.Err, Degraded: r.Degraded, Expired: r.Expired}
 }
 
 // Conn wraps a network connection with gob codecs.
@@ -166,8 +194,18 @@ func (c *Conn) SetTimeout(d time.Duration) { c.timeout = d }
 
 // Dial connects to a server.
 func Dial(addr string, timeout time.Duration) (*Conn, error) {
-	raw, err := net.DialTimeout("tcp", addr, timeout)
+	return DialContext(context.Background(), addr, timeout)
+}
+
+// DialContext connects to a server, bounded by both the timeout and the
+// context: whichever expires first aborts the dial.
+func DialContext(ctx context.Context, addr string, timeout time.Duration) (*Conn, error) {
+	d := net.Dialer{Timeout: timeout}
+	raw, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
+		if cause := context.Cause(ctx); cause != nil {
+			return nil, fmt.Errorf("netproto: dial %s: %w", addr, cause)
+		}
 		return nil, fmt.Errorf("netproto: dial %s: %w", addr, err)
 	}
 	return NewConn(raw), nil
@@ -214,12 +252,66 @@ func (c *Conn) ReadResponse() (*Response, error) {
 // the whole exchange runs under one connection deadline, cleared on return
 // so a pooled connection can idle without tripping it.
 func (c *Conn) RoundTrip(req *Request) (*Response, error) {
+	return c.RoundTripContext(context.Background(), req)
+}
+
+// RoundTripContext sends one request and reads its response under the
+// tighter of the connection timeout and the context deadline. The
+// context's remaining budget is stamped onto the request (TimeoutMillis)
+// so the server can honour the caller's deadline too; a cancelled context
+// interrupts an in-flight exchange by expiring the connection deadline.
+// When the exchange fails after the context ended, the context's cause is
+// returned so callers see the deadline, not a generic I/O timeout.
+func (c *Conn) RoundTripContext(ctx context.Context, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
+	var deadline time.Time
 	if c.timeout > 0 {
-		if err := c.raw.SetDeadline(time.Now().Add(c.timeout)); err != nil {
+		deadline = time.Now().Add(c.timeout)
+	}
+	if d, ok := ctx.Deadline(); ok {
+		if deadline.IsZero() || d.Before(deadline) {
+			deadline = d
+		}
+		ms := time.Until(d).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.TimeoutMillis = ms
+	}
+	if !deadline.IsZero() {
+		if err := c.raw.SetDeadline(deadline); err != nil {
 			return nil, fmt.Errorf("netproto: set deadline: %w", err)
 		}
 		defer c.raw.SetDeadline(time.Time{})
 	}
+	// Explicit cancellation (not just deadline expiry) unblocks the
+	// exchange by forcing the connection deadline into the past.
+	stop := context.AfterFunc(ctx, func() {
+		c.raw.SetDeadline(time.Unix(1, 0))
+	})
+	defer stop()
+	resp, err := c.exchange(req)
+	if err != nil {
+		// The connection deadline and the context deadline are the same
+		// instant, so the I/O error can beat the context's own timer by
+		// microseconds. When the context is due, wait for it to fire so the
+		// failure is attributed to its cause (a value expiry, a wire
+		// budget) rather than surfacing as a generic network timeout.
+		if ctx.Err() == nil {
+			if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+				<-ctx.Done()
+			}
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("netproto: round trip: %w", context.Cause(ctx))
+		}
+	}
+	return resp, err
+}
+
+func (c *Conn) exchange(req *Request) (*Response, error) {
 	if err := c.WriteRequest(req); err != nil {
 		return nil, err
 	}
@@ -232,13 +324,20 @@ func (c *Conn) RoundTrip(req *Request) (*Response, error) {
 // answers cannot hang the caller. On a server-reported error the response
 // is still returned alongside the RemoteError.
 func Call(addr string, req *Request, timeout time.Duration) (*Response, error) {
-	conn, err := Dial(addr, timeout)
+	return CallContext(context.Background(), addr, req, timeout)
+}
+
+// CallContext is Call bounded additionally by a context: the dial and the
+// round trip each stop at the earlier of the timeout and the context
+// deadline, and the remaining budget travels on the wire.
+func CallContext(ctx context.Context, addr string, req *Request, timeout time.Duration) (*Response, error) {
+	conn, err := DialContext(ctx, addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	conn.SetTimeout(timeout)
-	resp, err := conn.RoundTrip(req)
+	resp, err := conn.RoundTripContext(ctx, req)
 	if err != nil {
 		return nil, err
 	}

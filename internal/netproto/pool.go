@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -115,12 +116,12 @@ func (p *Pool) put(addr string, c *Conn) {
 	p.mu.Unlock()
 }
 
-func (p *Pool) dial(addr string) (*Conn, error) {
+func (p *Pool) dial(ctx context.Context, addr string) (*Conn, error) {
 	d := p.DialTimeout
 	if d <= 0 {
 		d = 5 * time.Second
 	}
-	c, err := Dial(addr, d)
+	c, err := DialContext(ctx, addr, d)
 	if err != nil {
 		return nil, err
 	}
@@ -135,25 +136,37 @@ func (p *Pool) dial(addr string) (*Conn, error) {
 // server-reported error leaves the connection healthy, so it is returned
 // to the pool and the error surfaces via the response's Err field.
 func (p *Pool) Call(addr string, req *Request) (*Response, error) {
+	return p.CallContext(context.Background(), addr, req)
+}
+
+// CallContext is Call bounded by a context: the dial and the round trip
+// respect the earlier of the pool's timeouts and the context deadline, the
+// remaining budget travels on the wire (Conn.RoundTripContext), and the
+// redial-once repair path is skipped when the context has already ended —
+// a deadline failure is the caller's answer, not a broken idle connection.
+func (p *Pool) CallContext(ctx context.Context, addr string, req *Request) (*Response, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
 	conn, reused := p.get(addr)
 	if conn == nil {
 		var err error
-		conn, err = p.dial(addr)
+		conn, err = p.dial(ctx, addr)
 		if err != nil {
 			return nil, err
 		}
 	}
-	resp, err := conn.RoundTrip(req)
+	resp, err := conn.RoundTripContext(ctx, req)
 	if err != nil {
 		conn.Close()
-		if !reused {
+		if !reused || ctx.Err() != nil {
 			return nil, err
 		}
-		conn, err = p.dial(addr)
+		conn, err = p.dial(ctx, addr)
 		if err != nil {
 			return nil, err
 		}
-		resp, err = conn.RoundTrip(req)
+		resp, err = conn.RoundTripContext(ctx, req)
 		if err != nil {
 			conn.Close()
 			return nil, err

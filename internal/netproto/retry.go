@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"time"
@@ -55,6 +56,16 @@ func (e *RetryError) Unwrap() error { return e.Err }
 // backoff budget, or returns a non-retryable error. op receives the
 // zero-based attempt index.
 func (r Retrier) Do(op func(attempt int) error) error {
+	return r.DoContext(context.Background(), op)
+}
+
+// DoContext is Do bounded by a context: no attempt starts after the
+// context ends, and a backoff that would sleep past the context deadline
+// is skipped — the retrier gives up immediately with the last error
+// rather than burning the caller's remaining budget on a wait it cannot
+// use. This is what makes retries compose with request deadlines instead
+// of racing them.
+func (r Retrier) DoContext(ctx context.Context, op func(attempt int) error) error {
 	attempts := r.MaxAttempts
 	if attempts <= 0 {
 		attempts = 3
@@ -88,6 +99,13 @@ func (r Retrier) Do(op func(attempt int) error) error {
 	delay := base
 	var err error
 	for a := 0; a < attempts; a++ {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			cause := context.Cause(ctx)
+			if a == 0 {
+				return cause
+			}
+			return &RetryError{Attempts: a, Err: fmt.Errorf("%w (last error: %v)", cause, err)}
+		}
 		err = op(a)
 		if err == nil {
 			return nil
@@ -111,7 +129,14 @@ func (r Retrier) Do(op func(attempt int) error) error {
 		if r.Budget > 0 && slept+d > r.Budget {
 			return &RetryError{Attempts: a + 1, Err: err}
 		}
-		sleep(d)
+		// A backoff that outlives the caller's deadline is pure waste:
+		// give up now with the real error in hand.
+		if deadline, ok := ctx.Deadline(); ok && time.Now().Add(d).After(deadline) {
+			return &RetryError{Attempts: a + 1, Err: err}
+		}
+		if !sleepCtx(ctx, sleep, r.Sleep != nil, d) {
+			return &RetryError{Attempts: a + 1, Err: err}
+		}
 		slept += d
 		delay = time.Duration(float64(delay) * mult)
 		if delay > maxDelay {
@@ -119,4 +144,23 @@ func (r Retrier) Do(op func(attempt int) error) error {
 		}
 	}
 	return &RetryError{Attempts: attempts, Err: err}
+}
+
+// sleepCtx waits d, returning false if the context ended first. An
+// injected Sleep (tests) is called directly — determinism over
+// interruptibility — while the default path selects on the context so a
+// cancellation mid-backoff is honoured immediately.
+func sleepCtx(ctx context.Context, sleep func(time.Duration), injected bool, d time.Duration) bool {
+	if injected {
+		sleep(d)
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }

@@ -1,6 +1,7 @@
 package relation
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -42,6 +43,14 @@ func Project(t *Table, cols []int) (*Table, error) {
 // columns followed by r's columns; callers that need unambiguous names
 // qualify them beforehand (internal/sqlmini does).
 func HashJoin(l, r *Table, lk, rk []int) (*Table, error) {
+	return HashJoinContext(context.Background(), l, r, lk, rk)
+}
+
+// HashJoinContext is HashJoin under a context: the build and probe loops
+// checkpoint the context every few thousand rows, so a join whose output
+// explodes (or whose caller's deadline expires mid-flight) aborts promptly
+// with the context's cause instead of materializing the rest.
+func HashJoinContext(ctx context.Context, l, r *Table, lk, rk []int) (*Table, error) {
 	if len(lk) != len(rk) || len(lk) == 0 {
 		return nil, fmt.Errorf("relation: hash join needs matching non-empty key lists, got %d and %d", len(lk), len(rk))
 	}
@@ -66,12 +75,37 @@ func HashJoin(l, r *Table, lk, rk []int) (*Table, error) {
 	if r.NumRows() < l.NumRows() {
 		build, probe, bk, pk, buildLeft = r, l, rk, lk, false
 	}
+	// Checkpoint cadence for context checks: build rows, probe rows, and
+	// emitted rows all advance the counter, so a skewed key whose single
+	// probe emits millions of rows still notices cancellation in-batch.
+	const checkEvery = 4096
+	ticks := 0
+	tick := func() error {
+		ticks++
+		if ticks%checkEvery != 0 {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return context.Cause(ctx)
+		}
+		return nil
+	}
+
 	index := make(map[string][]Row, build.NumRows())
 	for _, row := range build.Rows {
+		if err := tick(); err != nil {
+			return nil, err
+		}
 		index[joinKey(row, bk)] = append(index[joinKey(row, bk)], row)
 	}
 	for _, prow := range probe.Rows {
+		if err := tick(); err != nil {
+			return nil, err
+		}
 		for _, brow := range index[joinKey(prow, pk)] {
+			if err := tick(); err != nil {
+				return nil, err
+			}
 			nr := make(Row, 0, outSchema.Arity())
 			if buildLeft {
 				nr = append(nr, brow...)

@@ -84,9 +84,11 @@ type Dispatcher struct {
 	rates    core.DiscountRates
 	aging    core.Aging
 	slots    int
+	epsilon  float64
 	busy     int
 	queue    []core.Query
 	outcomes []Outcome
+	expired  int
 	err      error
 }
 
@@ -108,6 +110,15 @@ func NewDispatcher(s *sim.Simulator, strategy Strategy, rates core.DiscountRates
 	return &Dispatcher{sim: s, strategy: strategy, rates: rates, aging: aging, slots: slots}, nil
 }
 
+// SetExpiry enables value-horizon expiry: a queued query whose best-case
+// information value has dropped below epsilon by the time a dispatch
+// decision is made is shed instead of planned, recorded as an expired
+// outcome. The check runs on the raw information-value horizon — the
+// anti-starvation aging boost raises a query's dispatch priority but
+// cannot resurrect value that has already decayed away. Zero or negative
+// epsilon disables expiry (the default).
+func (d *Dispatcher) SetExpiry(epsilon float64) { d.epsilon = epsilon }
+
 // SubmitAll schedules every query's arrival on the simulator. Call before
 // running the simulation.
 func (d *Dispatcher) SubmitAll(queries []core.Query) {
@@ -122,9 +133,11 @@ func (d *Dispatcher) arrive(q core.Query) {
 	d.dispatch()
 }
 
-// dispatch fills free slots with the highest-effective-value waiting
-// queries. A planning failure halts the dispatcher and is surfaced by Err.
+// dispatch sheds expired queries, then fills free slots with the
+// highest-effective-value waiting queries. A planning failure halts the
+// dispatcher and is surfaced by Err.
 func (d *Dispatcher) dispatch() {
+	d.shedExpired()
 	for d.err == nil && d.busy < d.slots && len(d.queue) > 0 {
 		now := d.sim.Now()
 		bestIdx := -1
@@ -165,8 +178,38 @@ func (d *Dispatcher) dispatch() {
 	}
 }
 
-// Outcomes returns the completed queries' results, in completion order.
+// shedExpired drops every queued query whose value horizon has passed,
+// recording each as an expired outcome. Runs at every dispatch decision —
+// including arrivals while all slots are busy — so a query never occupies
+// queue space after its value is gone.
+func (d *Dispatcher) shedExpired() {
+	if d.epsilon <= 0 || len(d.queue) == 0 {
+		return
+	}
+	now := d.sim.Now()
+	kept := d.queue[:0]
+	for _, q := range d.queue {
+		if now-q.SubmitAt >= q.ValueHorizon(d.rates, d.epsilon) {
+			d.outcomes = append(d.outcomes, Outcome{
+				Query:   q,
+				Wait:    now - q.SubmitAt,
+				Expired: true,
+			})
+			d.expired++
+			continue
+		}
+		kept = append(kept, q)
+	}
+	d.queue = kept
+}
+
+// Outcomes returns every query's result in decision order: completions
+// carry their plan and value, expired entries are marked Expired with zero
+// value.
 func (d *Dispatcher) Outcomes() []Outcome { return d.outcomes }
+
+// Shed returns how many queries expired in the queue and were dropped.
+func (d *Dispatcher) Shed() int { return d.expired }
 
 // Pending returns the number of queries still waiting or running.
 func (d *Dispatcher) Pending() int { return len(d.queue) + d.busy }

@@ -26,6 +26,10 @@ type Outcome struct {
 	Latencies core.Latencies
 	Value     float64       // information value of the report
 	Wait      core.Duration // submission to plan release
+	// Expired marks a query dropped because its value horizon passed before
+	// it could be dispatched: no plan ran, Value is zero, and Wait records
+	// how long it sat in the queue before being shed.
+	Expired bool
 }
 
 // SequenceResult is the outcome of executing a set of queries in a
@@ -69,6 +73,11 @@ type Evaluator struct {
 	// Horizon bounds how far ahead snapshots include scheduled syncs; zero
 	// means unbounded.
 	Horizon core.Duration
+	// Epsilon is the value-expiry threshold: a query whose best-case
+	// information value has already fallen below it by the time it reaches
+	// the head of the sequence is recorded as expired (zero value, no plan)
+	// without occupying the coordinator. Zero or negative disables expiry.
+	Epsilon float64
 }
 
 // RunSequence executes queries[order[0]], queries[order[1]], ... starting
@@ -90,6 +99,16 @@ func (e *Evaluator) RunSequence(queries []core.Query, order []int, startAt core.
 	for _, idx := range order {
 		q := queries[idx]
 		decision := math.Max(clock, q.SubmitAt)
+		if e.Epsilon > 0 && decision-q.SubmitAt >= q.ValueHorizon(rates, e.Epsilon) {
+			// Shedding frees the coordinator immediately: the clock does not
+			// advance, so later queries in the order benefit from the drop.
+			res.Outcomes = append(res.Outcomes, Outcome{
+				Query:   q,
+				Wait:    decision - q.SubmitAt,
+				Expired: true,
+			})
+			continue
+		}
 		snap, err := e.Catalog.Snapshot(q.Tables, decision, e.Horizon)
 		if err != nil {
 			return SequenceResult{}, fmt.Errorf("scheduler: snapshot for %s: %w", q.ID, err)

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+	"time"
+
+	"ivdss/internal/core"
+	"ivdss/internal/netproto"
+)
+
+// job is one admitted Exec or Batch request travelling from a connection
+// handler to the worker pool. The context carries the tighter of the wire
+// deadline and the query's value horizon; done receives exactly one
+// response.
+type job struct {
+	req  *netproto.Request
+	ctx  context.Context
+	done chan *netproto.Response
+}
+
+// submit runs admission control for an Exec/Batch request: derive the
+// request context (wire budget and value horizon), shed on arrival when
+// the queue is full or the projected completion already overshoots the
+// horizon, otherwise enqueue for the worker pool and wait for the answer.
+// Shedding here — before any planning or remote I/O — is what keeps an
+// overloaded DSS producing valuable reports instead of uniformly late
+// ones; the same horizon is re-checked at dispatch (worker pickup, batch
+// member turn) because queue time can kill a query that was worth
+// admitting.
+func (s *DSSServer) submit(req *netproto.Request) *netproto.Response {
+	ctx, cancel := req.BudgetContext(s.baseCtx)
+	defer cancel()
+
+	id := queryID(req.SQL)
+	horizon := s.requestHorizon(req)
+	if s.cfg.Epsilon > 0 && horizon <= 0 {
+		// The business value already sits at or below the threshold: the
+		// report is worthless before any work is done.
+		return s.shed(id, horizon, "projected-completion")
+	}
+	if s.cfg.Epsilon > 0 && !math.IsInf(horizon, 1) {
+		horizonWall := s.wallDelay(horizon)
+		if projected := s.projectedCompletion(); projected > horizonWall {
+			return s.shed(id, horizon, "projected-completion")
+		}
+		// Arm the horizon as a context deadline with a typed cause, so an
+		// execution that overruns it is cancelled mid-flight and the error
+		// names the value expiry rather than a generic timeout.
+		var cancelHorizon context.CancelFunc
+		ctx, cancelHorizon = context.WithDeadlineCause(ctx, time.Now().Add(horizonWall),
+			&core.ValueExpiredError{Query: id, Horizon: horizon, Reason: "expired-running"})
+		defer cancelHorizon()
+	}
+
+	j := &job{req: req, ctx: ctx, done: make(chan *netproto.Response, 1)}
+	select {
+	case s.jobs <- j:
+		s.stats.Gauge("admission_queue_depth").Set(float64(len(s.jobs)))
+	default:
+		return s.shed(id, horizon, "queue-full")
+	}
+	select {
+	case resp := <-j.done:
+		return resp
+	case <-s.closed:
+		return &netproto.Response{Err: "server shutting down"}
+	}
+}
+
+// requestHorizon computes the request's value horizon in experiment
+// minutes. A batch uses its richest member: the batch is worth admitting
+// while any member would still produce value (per-member horizons are
+// enforced at dispatch inside handleBatch).
+func (s *DSSServer) requestHorizon(req *netproto.Request) core.Duration {
+	if req.Kind == netproto.KindBatch {
+		h := core.Duration(0)
+		for _, m := range req.Batch {
+			q := core.Query{BusinessValue: m.BusinessValue}
+			if mh := q.ValueHorizon(s.cfg.Rates, s.cfg.Epsilon); mh > h {
+				h = mh
+			}
+		}
+		return h
+	}
+	q := core.Query{BusinessValue: req.BusinessValue}
+	return q.ValueHorizon(s.cfg.Rates, s.cfg.Epsilon)
+}
+
+// shed refuses a request at admission with the typed value-expiry error.
+func (s *DSSServer) shed(id string, horizon core.Duration, reason string) *netproto.Response {
+	s.stats.Counter("queries_shed_total").Inc()
+	err := &core.ValueExpiredError{Query: id, Horizon: horizon, Reason: reason}
+	return &netproto.Response{Err: err.Error(), Expired: true}
+}
+
+// projectedCompletion estimates how long a newly admitted query will take
+// from arrival to report: the smoothed service time, scaled by how many
+// queued jobs stand between it and a worker.
+func (s *DSSServer) projectedCompletion() time.Duration {
+	s.svcMu.Lock()
+	ewma := s.svcEWMA
+	s.svcMu.Unlock()
+	if ewma <= 0 {
+		return 0 // no completions yet: admit and learn
+	}
+	waiting := float64(len(s.jobs))
+	return time.Duration(float64(ewma) * (waiting/float64(s.cfg.Workers) + 1))
+}
+
+// observeService folds one measured query service time into the EWMA the
+// admission projection uses.
+func (s *DSSServer) observeService(d time.Duration) {
+	const alpha = 0.3
+	s.svcMu.Lock()
+	if s.svcEWMA == 0 {
+		s.svcEWMA = d
+	} else {
+		s.svcEWMA = time.Duration(alpha*float64(d) + (1-alpha)*float64(s.svcEWMA))
+	}
+	s.svcMu.Unlock()
+}
+
+// worker drains the admission queue until the server closes. Each job is
+// re-checked on pickup: a context that ended while the job sat in the
+// queue means the query is shed (its value or its client's patience ran
+// out before any work started), recorded separately from mid-execution
+// cancellations.
+func (s *DSSServer) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.closed:
+			return
+		case j := <-s.jobs:
+			s.stats.Gauge("admission_queue_depth").Set(float64(len(s.jobs)))
+			j.done <- s.runJob(j)
+		}
+	}
+}
+
+func (s *DSSServer) runJob(j *job) *netproto.Response {
+	if err := j.ctx.Err(); err != nil {
+		cause := context.Cause(j.ctx)
+		var vee *core.ValueExpiredError
+		if errors.As(cause, &vee) {
+			return s.shed(vee.Query, vee.Horizon, "expired-queued")
+		}
+		s.stats.Counter("queries_deadline_exceeded_total").Inc()
+		return &netproto.Response{Err: cause.Error(), Expired: true}
+	}
+	start := time.Now()
+	var resp *netproto.Response
+	switch j.req.Kind {
+	case netproto.KindBatch:
+		resp = s.handleBatch(j.ctx, j.req)
+	default:
+		resp = s.handleExec(j.ctx, j.req)
+		// Only single-query service times feed the admission projection; a
+		// batch's duration says nothing about the next ad hoc query.
+		s.observeService(time.Since(start))
+	}
+	return resp
+}

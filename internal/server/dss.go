@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"errors"
@@ -72,6 +73,19 @@ type DSSConfig struct {
 	BreakerOpenTimeout time.Duration
 	// BreakerProbes caps concurrent half-open probes per site. Default 1.
 	BreakerProbes int
+
+	// Workers sizes the execution worker pool that serves KindExec and
+	// KindBatch requests; connection handlers only enqueue. Default 8.
+	Workers int
+	// QueueDepth bounds the admission queue between connection handlers and
+	// the worker pool; arrivals beyond it are shed immediately. Default 64.
+	QueueDepth int
+	// Epsilon is the admission controller's value-expiry threshold: a query
+	// whose projected information value at completion falls below it is shed
+	// instead of executed, and a running query is cancelled once its value
+	// horizon passes. Default 0.01; negative disables value-based shedding
+	// (the queue stays bounded regardless).
+	Epsilon float64
 }
 
 func (c DSSConfig) withDefaults() DSSConfig {
@@ -108,6 +122,15 @@ func (c DSSConfig) withDefaults() DSSConfig {
 	if c.BreakerProbes == 0 {
 		c.BreakerProbes = 1
 	}
+	if c.Workers == 0 {
+		c.Workers = 8
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 64
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = .01
+	}
 	return c
 }
 
@@ -137,6 +160,15 @@ type DSSServer struct {
 
 	mu       sync.RWMutex
 	replicas map[core.TableID]replicaSnapshot
+
+	// Admission control: connection handlers enqueue Exec/Batch work onto a
+	// bounded queue drained by a fixed worker pool; baseCtx roots every
+	// request context and is cancelled on Close.
+	jobs       chan *job
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	svcMu      sync.Mutex
+	svcEWMA    time.Duration // smoothed per-query service time
 
 	listener  net.Listener
 	live      connSet
@@ -234,8 +266,16 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		pool:     netproto.NewPool(cfg.DialTimeout, cfg.DialTimeout),
 		router:   fastRouter,
 		replicas: make(map[core.TableID]replicaSnapshot),
+		jobs:     make(chan *job, cfg.QueueDepth),
 		closed:   make(chan struct{}),
 	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	// Pre-create the admission metrics so a -metrics dump shows them at
+	// zero before the first query is shed or cancelled.
+	s.stats.Counter("queries_shed_total")
+	s.stats.Counter("queries_cancelled_total")
+	s.stats.Counter("queries_deadline_exceeded_total")
+	s.stats.Gauge("admission_queue_depth").Set(0)
 	s.retrier = netproto.Retrier{
 		MaxAttempts: cfg.RetryAttempts,
 		BaseDelay:   cfg.RetryBaseDelay,
@@ -278,7 +318,7 @@ func breakerGaugeName(site core.SiteID) string {
 // transport failures. Transport outcomes feed the breaker; a remote that
 // answers with an application-level error is alive, so that surfaces as a
 // RemoteError without penalizing the site.
-func (s *DSSServer) callSite(site core.SiteID, req *netproto.Request) (*netproto.Response, error) {
+func (s *DSSServer) callSite(ctx context.Context, site core.SiteID, req *netproto.Request) (*netproto.Response, error) {
 	addr, ok := s.cfg.Remotes[site]
 	if !ok {
 		return nil, fmt.Errorf("server: no address for site %d", site)
@@ -289,12 +329,12 @@ func (s *DSSServer) callSite(site core.SiteID, req *netproto.Request) (*netproto
 		return nil, &faults.OpenError{Key: fmt.Sprintf("site %d", site)}
 	}
 	var resp *netproto.Response
-	err := s.retrier.Do(func(attempt int) error {
+	err := s.retrier.DoContext(ctx, func(attempt int) error {
 		if attempt > 0 {
 			s.stats.Counter("remote_retries_total").Inc()
 		}
 		s.stats.Counter("remote_calls_total").Inc()
-		r, err := s.pool.Call(addr, req)
+		r, err := s.pool.CallContext(ctx, addr, req)
 		if err != nil {
 			return err
 		}
@@ -356,7 +396,7 @@ func (s *DSSServer) pullReplica(id core.TableID) error {
 	if err != nil {
 		return err
 	}
-	resp, err := s.callSite(site, &netproto.Request{Kind: netproto.KindScan, Table: string(id)})
+	resp, err := s.callSite(s.baseCtx, site, &netproto.Request{Kind: netproto.KindScan, Table: string(id)})
 	if err != nil {
 		return err
 	}
@@ -416,9 +456,12 @@ func (s *DSSServer) Listen(addr string) (string, error) {
 		return "", fmt.Errorf("server: listen %s: %w", addr, err)
 	}
 	s.listener = l
-	s.wg.Add(2)
+	s.wg.Add(2 + s.cfg.Workers)
 	go s.syncLoop()
 	go s.acceptLoop()
+	for i := 0; i < s.cfg.Workers; i++ {
+		go s.worker()
+	}
 	return l.Addr().String(), nil
 }
 
@@ -466,10 +509,10 @@ func (s *DSSServer) handleConn(conn *netproto.Conn) {
 			resp = &netproto.Response{Metrics: s.stats.Flatten()}
 		case netproto.KindRegister:
 			resp = s.handleRegister(req)
-		case netproto.KindBatch:
-			resp = s.handleBatch(req)
-		case netproto.KindExec:
-			resp = s.handleExec(req)
+		case netproto.KindBatch, netproto.KindExec:
+			// Execution goes through admission control: bounded queue,
+			// worker pool, value-horizon shedding.
+			resp = s.submit(req)
 		default:
 			resp = &netproto.Response{Err: fmt.Sprintf("DSS does not serve request kind %d", int(req.Kind))}
 		}
@@ -576,8 +619,8 @@ func queryID(sql string) string {
 	return "sql-" + hex.EncodeToString(sum[:6])
 }
 
-func (s *DSSServer) handleExec(req *netproto.Request) *netproto.Response {
-	resp := s.execWithMetrics(req)
+func (s *DSSServer) handleExec(ctx context.Context, req *netproto.Request) *netproto.Response {
+	resp := s.execWithMetrics(ctx, req)
 	if resp.Err != "" {
 		s.stats.Counter("query_errors_total").Inc()
 	}
@@ -590,7 +633,7 @@ var latencyBounds = []float64{.1, .5, 1, 2, 5, 10, 20, 40, 80, 160}
 // valueBounds buckets information-value histograms.
 var valueBounds = []float64{.1, .2, .3, .4, .5, .6, .7, .8, .9, 1}
 
-func (s *DSSServer) execWithMetrics(req *netproto.Request) *netproto.Response {
+func (s *DSSServer) execWithMetrics(ctx context.Context, req *netproto.Request) *netproto.Response {
 	s.stats.Counter("queries_total").Inc()
 	stmt, err := sqlmini.Parse(req.SQL)
 	if err != nil {
@@ -600,11 +643,34 @@ func (s *DSSServer) execWithMetrics(req *netproto.Request) *netproto.Response {
 	if err != nil {
 		return &netproto.Response{Err: err.Error()}
 	}
-	result, meta, err := s.runOne(stmt, q, true)
+	result, meta, err := s.runOne(ctx, stmt, q, true)
 	if err != nil {
+		if resp := s.expiryResponse(err); resp != nil {
+			return resp
+		}
 		return &netproto.Response{Err: err.Error(), Degraded: isDegradedErr(err)}
 	}
 	return &netproto.Response{Result: result, Meta: meta, Degraded: meta.Degraded}
+}
+
+// expiryResponse classifies a mid-execution failure caused by the request
+// context ending: a value-horizon cancellation, a wire-deadline expiry, or
+// a client cancellation. It returns nil for ordinary errors. The matching
+// counters distinguish work the admission controller killed for value
+// reasons from work the client simply stopped waiting for.
+func (s *DSSServer) expiryResponse(err error) *netproto.Response {
+	var vee *core.ValueExpiredError
+	switch {
+	case errors.As(err, &vee):
+		s.stats.Counter("queries_cancelled_total").Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		s.stats.Counter("queries_deadline_exceeded_total").Inc()
+	case errors.Is(err, context.Canceled):
+		s.stats.Counter("queries_cancelled_total").Inc()
+	default:
+		return nil
+	}
+	return &netproto.Response{Err: err.Error(), Expired: true}
 }
 
 // isDegradedErr reports whether err is the typed degraded-mode failure: the
@@ -637,7 +703,10 @@ func (s *DSSServer) plannerQuery(stmt *sqlmini.SelectStmt, sql string, bv float6
 // executes, and records calibration and metrics for one query. The CL
 // clock runs from q.SubmitAt, so batch members queued behind their
 // workload predecessors pay their waiting time.
-func (s *DSSServer) runOne(stmt *sqlmini.SelectStmt, q core.Query, tryRouter bool) (*relation.Table, *netproto.ReportMeta, error) {
+func (s *DSSServer) runOne(ctx context.Context, stmt *sqlmini.SelectStmt, q core.Query, tryRouter bool) (*relation.Table, *netproto.ReportMeta, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, context.Cause(ctx)
+	}
 	now := s.now()
 	snapshot, err := s.catalog.Snapshot(q.Tables, now, s.cfg.PlannerHorizon)
 	if err != nil {
@@ -677,19 +746,25 @@ func (s *DSSServer) runOne(stmt *sqlmini.SelectStmt, q core.Query, tryRouter boo
 		}
 	}
 
-	// Honour a delayed plan, bounded by MaxDelay.
+	// Honour a delayed plan, bounded by MaxDelay — and by the request
+	// context: a deadline that fires mid-delay aborts before any work runs.
 	if delay := s.wallDelay(plan.Start - s.now()); delay > 0 {
 		if delay > s.cfg.MaxDelay {
 			delay = s.cfg.MaxDelay
 		}
+		t := time.NewTimer(delay)
 		select {
-		case <-time.After(delay):
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return nil, nil, context.Cause(ctx)
 		case <-s.closed:
+			t.Stop()
 			return nil, nil, fmt.Errorf("server shutting down")
 		}
 	}
 
-	result, freshness, degradedExec, err := s.executePlan(stmt, plan)
+	result, freshness, degradedExec, err := s.executePlan(ctx, stmt, plan)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -736,7 +811,7 @@ func (s *DSSServer) runOne(stmt *sqlmini.SelectStmt, q core.Query, tryRouter boo
 // workload is ordered by the genetic scheduler over the planner's estimates
 // and then executed in that order on the coordinator, each member replanned
 // live when its turn comes.
-func (s *DSSServer) handleBatch(req *netproto.Request) *netproto.Response {
+func (s *DSSServer) handleBatch(ctx context.Context, req *netproto.Request) *netproto.Response {
 	if len(req.Batch) == 0 {
 		return &netproto.Response{Err: "empty batch"}
 	}
@@ -780,12 +855,33 @@ func (s *DSSServer) handleBatch(req *netproto.Request) *netproto.Response {
 
 	for _, qi := range order {
 		reqIdx := memberOf[qi]
-		result, meta, err := s.runOne(stmts[reqIdx], queries[qi], false)
+		q := queries[qi]
+		// The whole batch runs under one wire deadline; once it passes, the
+		// remaining members are marked rather than executed.
+		if ctx.Err() != nil {
+			cause := context.Cause(ctx)
+			items[reqIdx].Err = cause.Error()
+			s.expiryResponse(cause) // count the deadline/cancellation per member
+			continue
+		}
+		// Horizon check at dispatch: a member queued behind its workload
+		// predecessors may have outlived its value even though it was worth
+		// admitting — shed it instead of occupying the coordinator.
+		if s.cfg.Epsilon > 0 {
+			if h := q.ValueHorizon(s.cfg.Rates, s.cfg.Epsilon); s.now()-q.SubmitAt >= h {
+				items[reqIdx].Err = (&core.ValueExpiredError{Query: q.ID, Horizon: h, Reason: "expired-queued"}).Error()
+				s.stats.Counter("queries_shed_total").Inc()
+				continue
+			}
+		}
+		result, meta, err := s.runOne(ctx, stmts[reqIdx], q, false)
 		s.stats.Counter("queries_total").Inc()
 		if err != nil {
 			items[reqIdx].Err = err.Error()
 			items[reqIdx].Degraded = isDegradedErr(err)
-			s.stats.Counter("query_errors_total").Inc()
+			if s.expiryResponse(err) == nil {
+				s.stats.Counter("query_errors_total").Inc()
+			}
 			continue
 		}
 		items[reqIdx].Result = result
@@ -799,7 +895,7 @@ func (s *DSSServer) handleBatch(req *netproto.Request) *netproto.Response {
 // by the plan and returns the result, the oldest freshness timestamp
 // actually used, and whether the answer is degraded (a base read fell back
 // to a stale replica because the site was unreachable).
-func (s *DSSServer) executePlan(stmt *sqlmini.SelectStmt, plan core.Plan) (*relation.Table, core.Time, bool, error) {
+func (s *DSSServer) executePlan(ctx context.Context, stmt *sqlmini.SelectStmt, plan core.Plan) (*relation.Table, core.Time, bool, error) {
 	cat := make(sqlmini.MapCatalog, len(plan.Access))
 	oldest := math.Inf(1)
 	degraded := false
@@ -812,7 +908,7 @@ func (s *DSSServer) executePlan(stmt *sqlmini.SelectStmt, plan core.Plan) (*rela
 			if !ok {
 				return nil, 0, false, fmt.Errorf("server: no replica snapshot for %s", a.Table)
 			}
-			cat[string(a.Table)] = snap.table
+			cat.Add(string(a.Table), snap.table)
 			oldest = math.Min(oldest, snap.syncedAt)
 		case core.AccessBase:
 			fetchedAt := s.now()
@@ -825,8 +921,14 @@ func (s *DSSServer) executePlan(stmt *sqlmini.SelectStmt, plan core.Plan) (*rela
 				req = &netproto.Request{Kind: netproto.KindExec, SQL: pushSQL}
 				s.stats.Counter("pushdowns_total").Inc()
 			}
-			resp, err := s.callSite(a.Site, req)
+			resp, err := s.callSite(ctx, a.Site, req)
 			if err != nil {
+				// A failure caused by the request's own deadline is the
+				// caller's answer — degrading to a replica would spend more
+				// time producing a report nobody is waiting for.
+				if ctx.Err() != nil {
+					return nil, 0, false, context.Cause(ctx)
+				}
 				// Availability degradation: an unreachable site is survivable
 				// when a replica snapshot exists — serve the stale copy and
 				// let the SL accounting price the staleness honestly.
@@ -845,19 +947,19 @@ func (s *DSSServer) executePlan(stmt *sqlmini.SelectStmt, plan core.Plan) (*rela
 				log.Printf("server: site %d unreachable for %s, degrading to replica (synced %.2f): %v", a.Site, a.Table, snap.syncedAt, err)
 				s.stats.Counter("degraded_reads_total").Inc()
 				degraded = true
-				cat[string(a.Table)] = snap.table
+				cat.Add(string(a.Table), snap.table)
 				oldest = math.Min(oldest, snap.syncedAt)
 				continue
 			}
 			result := resp.Result
 			result.Name = string(a.Table)
-			cat[string(a.Table)] = result
+			cat.Add(string(a.Table), result)
 			oldest = math.Min(oldest, fetchedAt)
 		default:
 			return nil, 0, false, fmt.Errorf("server: invalid access kind %d", int(a.Kind))
 		}
 	}
-	out, err := sqlmini.Execute(stmt, cat)
+	out, err := sqlmini.ExecuteContext(ctx, stmt, cat)
 	if err != nil {
 		return nil, 0, false, err
 	}
@@ -872,6 +974,7 @@ func (s *DSSServer) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.closed)
+		s.baseCancel() // cancel every in-flight request context
 		if s.listener != nil {
 			err = s.listener.Close()
 		}

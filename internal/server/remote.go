@@ -5,6 +5,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"log"
@@ -28,6 +29,9 @@ type RemoteServer struct {
 	// scanDelay simulates WAN latency on every scan and exec; loopback
 	// demos use it so remote reads genuinely cost more than replicas.
 	scanDelay time.Duration
+	// requestTimeout is a server-side cap on each request's work,
+	// composed with (never extending) the caller's wire deadline.
+	requestTimeout time.Duration
 
 	listener  net.Listener
 	live      connSet
@@ -47,6 +51,12 @@ func NewRemoteServer() *RemoteServer {
 // SetScanDelay makes every scan and query execution pause for d first,
 // simulating WAN distance. Call before Listen.
 func (s *RemoteServer) SetScanDelay(d time.Duration) { s.scanDelay = d }
+
+// SetRequestTimeout caps the work spent on any single request at d,
+// regardless of the deadline the caller stamped on the wire — protection
+// against clients that ask for unbounded scans. The caller's own budget
+// still applies when it is shorter. Zero means no cap. Call before Listen.
+func (s *RemoteServer) SetRequestTimeout(d time.Duration) { s.requestTimeout = d }
 
 // AddTable installs a base table (before or after Serve).
 func (s *RemoteServer) AddTable(t *relation.Table) error {
@@ -128,6 +138,20 @@ func (s *RemoteServer) handleConn(conn *netproto.Conn) {
 }
 
 func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
+	// The wire deadline the caller stamped on the request bounds this
+	// server's work too: a coordinator that has stopped waiting must not
+	// keep a branch server scanning on its behalf. The server's own
+	// request cap layers underneath, so context.WithTimeout keeps
+	// whichever deadline is sooner.
+	base := context.Background()
+	if s.requestTimeout > 0 {
+		var capCancel context.CancelFunc
+		base, capCancel = context.WithTimeout(base, s.requestTimeout)
+		defer capCancel()
+	}
+	ctx, cancel := req.BudgetContext(base)
+	defer cancel()
+
 	switch req.Kind {
 	case netproto.KindPing:
 		return &netproto.Response{}
@@ -136,8 +160,8 @@ func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
 		return &netproto.Response{Tables: s.Tables()}
 
 	case netproto.KindScan:
-		if s.scanDelay > 0 {
-			time.Sleep(s.scanDelay)
+		if err := s.waitScanDelay(ctx); err != nil {
+			return &netproto.Response{Err: err.Error(), Expired: true}
 		}
 		s.mu.RLock()
 		t, ok := s.tables[strings.ToLower(req.Table)]
@@ -152,18 +176,18 @@ func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
 		return &netproto.Response{Result: snapshot}
 
 	case netproto.KindExec:
-		if s.scanDelay > 0 {
-			time.Sleep(s.scanDelay)
+		if err := s.waitScanDelay(ctx); err != nil {
+			return &netproto.Response{Err: err.Error(), Expired: true}
 		}
 		s.mu.RLock()
 		cat := make(sqlmini.MapCatalog, len(s.tables))
 		for n, t := range s.tables {
-			cat[n] = t
+			cat.Add(n, t)
 		}
-		out, err := sqlmini.Run(req.SQL, cat)
+		out, err := sqlmini.RunContext(ctx, req.SQL, cat)
 		s.mu.RUnlock()
 		if err != nil {
-			return &netproto.Response{Err: err.Error()}
+			return &netproto.Response{Err: err.Error(), Expired: ctx.Err() != nil}
 		}
 		return &netproto.Response{Result: out}
 
@@ -183,6 +207,22 @@ func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
 
 	default:
 		return &netproto.Response{Err: fmt.Sprintf("unsupported request kind %d", int(req.Kind))}
+	}
+}
+
+// waitScanDelay pauses for the simulated WAN latency, giving up early if
+// the request's wire deadline passes first.
+func (s *RemoteServer) waitScanDelay(ctx context.Context) error {
+	if s.scanDelay <= 0 {
+		return nil
+	}
+	t := time.NewTimer(s.scanDelay)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"strings"
 	"sync"
 	"testing"
@@ -377,6 +378,35 @@ func TestRemoteServerScanDelay(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 40*time.Millisecond {
 		t.Errorf("ping took %v, should not be delayed", elapsed)
+	}
+}
+
+func TestRemoteServerRequestTimeoutCapsScans(t *testing.T) {
+	srv := NewRemoteServer()
+	srv.SetScanDelay(2 * time.Second)
+	srv.SetRequestTimeout(80 * time.Millisecond)
+	if err := srv.AddTable(accountsTable(t)); err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	// The client waits generously, but the server's own cap fires first
+	// and the response comes back as a typed expiry.
+	start := time.Now()
+	_, err = netproto.Call(addr, &netproto.Request{Kind: netproto.KindScan, Table: "accounts"}, 5*time.Second)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("capped scan succeeded")
+	}
+	var remoteErr *netproto.RemoteError
+	if !errors.As(err, &remoteErr) || !remoteErr.Expired {
+		t.Fatalf("error = %v, want expired RemoteError", err)
+	}
+	if elapsed > time.Second {
+		t.Errorf("capped scan took %v, cap not applied", elapsed)
 	}
 }
 

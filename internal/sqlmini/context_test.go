@@ -1,0 +1,132 @@
+package sqlmini
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"ivdss/internal/relation"
+)
+
+// bigTable builds an n-row single-column int table.
+func bigTable(name string, n int) *relation.Table {
+	t := relation.NewTable(name, relation.Schema{Cols: []relation.Column{
+		{Name: "v", Type: relation.Int},
+	}})
+	for i := 0; i < n; i++ {
+		t.Rows = append(t.Rows, relation.Row{relation.IntVal(int64(i))})
+	}
+	return t
+}
+
+func TestRunContextCancelsCrossProduct(t *testing.T) {
+	// 2000 × 2000 = 4M output rows: enough that cancellation must land
+	// mid-join, far above the 4096-row checkpoint batch.
+	cat := NewMapCatalog(map[string]*relation.Table{
+		"a": bigTable("a", 2000),
+		"b": bigTable("b", 2000),
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := RunContext(ctx, "SELECT a.v, b.v FROM a, b", cat)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled cross product: %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("abort took %v, want prompt", elapsed)
+	}
+}
+
+func TestRunContextDeadlineAbortsJoin(t *testing.T) {
+	// A skewed equijoin: every row of both sides shares one key, so the
+	// probe loop alone would emit 4M rows.
+	mk := func(name string) *relation.Table {
+		tb := relation.NewTable(name, relation.Schema{Cols: []relation.Column{
+			{Name: "k", Type: relation.Int},
+			{Name: "v", Type: relation.Int},
+		}})
+		for i := 0; i < 2000; i++ {
+			tb.Rows = append(tb.Rows, relation.Row{relation.IntVal(1), relation.IntVal(int64(i))})
+		}
+		return tb
+	}
+	cat := NewMapCatalog(map[string]*relation.Table{"l": mk("l"), "r": mk("r")})
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(5 * time.Millisecond) // let the deadline pass before executing
+	_, err := RunContext(ctx, "SELECT l.v FROM l, r WHERE l.k = r.k", cat)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired join: %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunContextPropagatesCause(t *testing.T) {
+	cat := NewMapCatalog(map[string]*relation.Table{
+		"a": bigTable("a", 2000),
+		"b": bigTable("b", 2000),
+	})
+	cause := errors.New("value horizon passed")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	cancel(cause)
+	if _, err := RunContext(ctx, "SELECT a.v FROM a, b", cat); !errors.Is(err, cause) {
+		t.Errorf("error %v, want the cancellation cause", err)
+	}
+}
+
+func TestRunContextBackgroundUnaffected(t *testing.T) {
+	cat := NewMapCatalog(map[string]*relation.Table{"a": bigTable("a", 10)})
+	out, err := RunContext(context.Background(), "SELECT count(*) AS n FROM a", cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.Rows[0][0].I; got != 10 {
+		t.Errorf("count = %d, want 10", got)
+	}
+}
+
+func TestNewMapCatalogNormalizesKeys(t *testing.T) {
+	cat := NewMapCatalog(map[string]*relation.Table{
+		"Customers": bigTable("Customers", 3),
+	})
+	for _, name := range []string{"customers", "Customers", "CUSTOMERS"} {
+		if _, err := cat.Table(name); err != nil {
+			t.Errorf("lookup %q: %v", name, err)
+		}
+	}
+	if _, err := cat.Table("orders"); err == nil {
+		t.Error("unknown table lookup should fail")
+	}
+}
+
+func TestMapCatalogAdd(t *testing.T) {
+	cat := make(MapCatalog)
+	cat.Add("Trades", bigTable("Trades", 1))
+	if _, ok := cat["trades"]; !ok {
+		t.Error("Add should store under the lower-cased name")
+	}
+	if _, err := cat.Table("TRADES"); err != nil {
+		t.Errorf("lookup after Add: %v", err)
+	}
+}
+
+func BenchmarkMapCatalogLookup(b *testing.B) {
+	tables := make(map[string]*relation.Table, 64)
+	for i := 0; i < 64; i++ {
+		name := fmt.Sprintf("table_%02d", i)
+		tables[name] = bigTable(name, 1)
+	}
+	cat := NewMapCatalog(tables)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Mixed case forces the second (lower-cased) lookup — the path the
+		// old implementation served with an O(n) EqualFold scan.
+		if _, err := cat.Table("TABLE_63"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sqlmini
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -15,17 +16,33 @@ type Catalog interface {
 }
 
 // MapCatalog is a Catalog over an in-memory map, keyed case-insensitively.
+// Keys should be lower case — build one with NewMapCatalog to normalize at
+// insertion — so that lookups stay O(1) for any case a query uses.
 type MapCatalog map[string]*relation.Table
 
-// Table implements Catalog.
+// NewMapCatalog builds a MapCatalog with every key folded to lower case
+// once, up front, so Table never has to scan for a case-insensitive match.
+func NewMapCatalog(tables map[string]*relation.Table) MapCatalog {
+	m := make(MapCatalog, len(tables))
+	for name, t := range tables {
+		m[strings.ToLower(name)] = t
+	}
+	return m
+}
+
+// Add inserts a table under its lower-cased name.
+func (m MapCatalog) Add(name string, t *relation.Table) {
+	m[strings.ToLower(name)] = t
+}
+
+// Table implements Catalog: an exact lookup, then a lower-cased one. Both
+// are O(1); keys inserted via NewMapCatalog/Add are already lower case.
 func (m MapCatalog) Table(name string) (*relation.Table, error) {
 	if t, ok := m[name]; ok {
 		return t, nil
 	}
-	for k, t := range m {
-		if strings.EqualFold(k, name) {
-			return t, nil
-		}
+	if t, ok := m[strings.ToLower(name)]; ok {
+		return t, nil
 	}
 	return nil, fmt.Errorf("sqlmini: unknown table %q", name)
 }
@@ -33,26 +50,65 @@ func (m MapCatalog) Table(name string) (*relation.Table, error) {
 // maxCrossRows guards runaway cross products from disconnected FROM lists.
 const maxCrossRows = 1 << 22
 
+// checkEvery is how many rows an executor loop processes between
+// cancellation checkpoints. Small enough that a multi-million-row join or
+// scan notices an expired deadline within one batch; large enough that the
+// atomic-free counter check costs nothing measurable per row.
+const checkEvery = 4096
+
+// canceller amortizes context checks over executor row loops: tick returns
+// the context's cause once per checkEvery rows after the context ends.
+type canceller struct {
+	ctx context.Context
+	n   int
+}
+
+func (c *canceller) tick() error {
+	c.n++
+	if c.n%checkEvery != 0 {
+		return nil
+	}
+	if c.ctx.Err() != nil {
+		return context.Cause(c.ctx)
+	}
+	return nil
+}
+
 // Run parses and executes a query against the catalog.
 func Run(query string, cat Catalog) (*relation.Table, error) {
+	return RunContext(context.Background(), query, cat)
+}
+
+// RunContext is Run under a context: execution loops checkpoint the
+// context every few thousand rows, so an expired deadline or cancellation
+// aborts a long join/filter/aggregate promptly with the context's cause.
+func RunContext(ctx context.Context, query string, cat Catalog) (*relation.Table, error) {
 	stmt, err := Parse(query)
 	if err != nil {
 		return nil, err
 	}
-	return Execute(stmt, cat)
+	return ExecuteContext(ctx, stmt, cat)
 }
 
 // Execute evaluates a parsed statement against the catalog and returns the
 // result as a table whose columns are the SELECT items.
 func Execute(stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
-	working, err := buildJoinTree(stmt, cat)
+	return ExecuteContext(context.Background(), stmt, cat)
+}
+
+// ExecuteContext is Execute under a context; see RunContext.
+func ExecuteContext(ctx context.Context, stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
+	working, err := buildJoinTree(ctx, stmt, cat)
 	if err != nil {
 		return nil, err
 	}
 	en := env{schema: working.Schema}
 
 	if stmt.Where != nil {
-		working, err = filterTable(working, en, stmt.Where)
+		working, err = filterTable(ctx, working, en, stmt.Where)
 		if err != nil {
 			return nil, err
 		}
@@ -64,13 +120,13 @@ func Execute(stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
 	}
 
 	if len(stmt.GroupBy) > 0 || containsAggregate(stmt) {
-		working, err = aggregate(stmt, working, en)
+		working, err = aggregate(ctx, stmt, working, en)
 		if err != nil {
 			return nil, err
 		}
 		en = env{schema: working.Schema}
 		if stmt.Having != nil {
-			working, err = filterTable(working, en, stmt.Having)
+			working, err = filterTable(ctx, working, en, stmt.Having)
 			if err != nil {
 				return nil, err
 			}
@@ -79,7 +135,7 @@ func Execute(stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
 		return nil, fmt.Errorf("sqlmini: HAVING without aggregation")
 	}
 
-	return project(stmt, working, en)
+	return project(ctx, stmt, working, en)
 }
 
 // expandStars replaces `*` select items with explicit column references
@@ -122,7 +178,7 @@ func expandStars(stmt *SelectStmt, schema relation.Schema) (*SelectStmt, error) 
 // clauses join in statement order; comma-listed FROM tables join greedily
 // along equijoin conjuncts found in WHERE, falling back to a (guarded)
 // cross product for disconnected tables.
-func buildJoinTree(stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
+func buildJoinTree(ctx context.Context, stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
 	if len(stmt.From) == 0 {
 		return nil, fmt.Errorf("sqlmini: no FROM tables")
 	}
@@ -163,7 +219,7 @@ func buildJoinTree(stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
 			if len(lk) == 0 {
 				continue
 			}
-			working, err = relation.HashJoin(working, t, lk, rk)
+			working, err = relation.HashJoinContext(ctx, working, t, lk, rk)
 			if err != nil {
 				return nil, err
 			}
@@ -180,7 +236,7 @@ func buildJoinTree(stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
 				return nil, fmt.Errorf("sqlmini: cross product of %s (%d rows) and %s (%d rows) exceeds limit",
 					working.Name, working.NumRows(), t.Name, t.NumRows())
 			}
-			working, err = crossJoin(working, t)
+			working, err = crossJoin(ctx, working, t)
 			if err != nil {
 				return nil, err
 			}
@@ -197,7 +253,7 @@ func buildJoinTree(stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
 		if len(lk) == 0 {
 			return nil, fmt.Errorf("sqlmini: JOIN %s ON clause has no equijoin predicate", jc.Table.Name)
 		}
-		working, err = relation.HashJoin(working, t, lk, rk)
+		working, err = relation.HashJoinContext(ctx, working, t, lk, rk)
 		if err != nil {
 			return nil, err
 		}
@@ -207,7 +263,7 @@ func buildJoinTree(stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
 			if isEquijoin(c) {
 				continue
 			}
-			working, err = filterTable(working, en, c)
+			working, err = filterTable(ctx, working, en, c)
 			if err != nil {
 				return nil, err
 			}
@@ -278,13 +334,17 @@ func equijoinKeys(conjuncts []Expr, left, right relation.Schema) (lk, rk []int) 
 	return lk, rk
 }
 
-func crossJoin(l, r *relation.Table) (*relation.Table, error) {
+func crossJoin(ctx context.Context, l, r *relation.Table) (*relation.Table, error) {
 	cols := make([]relation.Column, 0, l.Schema.Arity()+r.Schema.Arity())
 	cols = append(cols, l.Schema.Cols...)
 	cols = append(cols, r.Schema.Cols...)
 	out := &relation.Table{Name: l.Name + "×" + r.Name, Schema: relation.Schema{Cols: cols}}
+	cc := canceller{ctx: ctx}
 	for _, lr := range l.Rows {
 		for _, rr := range r.Rows {
+			if err := cc.tick(); err != nil {
+				return nil, err
+			}
 			row := make(relation.Row, 0, len(cols))
 			row = append(row, lr...)
 			row = append(row, rr...)
@@ -294,10 +354,15 @@ func crossJoin(l, r *relation.Table) (*relation.Table, error) {
 	return out, nil
 }
 
-func filterTable(t *relation.Table, en env, pred Expr) (*relation.Table, error) {
+func filterTable(ctx context.Context, t *relation.Table, en env, pred Expr) (*relation.Table, error) {
 	var evalErr error
+	cc := canceller{ctx: ctx}
 	out := relation.Filter(t, func(r relation.Row) bool {
 		if evalErr != nil {
+			return false
+		}
+		if err := cc.tick(); err != nil {
+			evalErr = err
 			return false
 		}
 		ok, err := evalBool(pred, en, r)
@@ -406,7 +471,7 @@ func collectAggs(stmt *SelectStmt) []*AggExpr {
 // columns, runs relation.Aggregate, and returns a table whose column names
 // are the rendered group-by and aggregate expressions — which is how later
 // phases (HAVING, SELECT, ORDER BY) refer back to them.
-func aggregate(stmt *SelectStmt, working *relation.Table, en env) (*relation.Table, error) {
+func aggregate(ctx context.Context, stmt *SelectStmt, working *relation.Table, en env) (*relation.Table, error) {
 	aggs := collectAggs(stmt)
 
 	// Derived input table: group-key columns then aggregate-arg columns.
@@ -432,7 +497,11 @@ func aggregate(stmt *SelectStmt, working *relation.Table, en env) (*relation.Tab
 	}
 
 	derived := &relation.Table{Name: working.Name, Schema: relation.Schema{Cols: derivedCols}}
+	cc := canceller{ctx: ctx}
 	for _, row := range working.Rows {
+		if err := cc.tick(); err != nil {
+			return nil, err
+		}
 		nr := make(relation.Row, len(exprs))
 		for i, e := range exprs {
 			v, err := eval(e, en, row)
@@ -473,7 +542,7 @@ func groupColName(e Expr) string {
 
 // project evaluates the SELECT items (plus hidden ORDER BY keys), sorts,
 // limits, and strips the hidden columns.
-func project(stmt *SelectStmt, working *relation.Table, en env) (*relation.Table, error) {
+func project(ctx context.Context, stmt *SelectStmt, working *relation.Table, en env) (*relation.Table, error) {
 	outCols := make([]relation.Column, 0, len(stmt.Items)+len(stmt.OrderBy))
 	exprs := make([]Expr, 0, cap(outCols))
 	for i, it := range stmt.Items {
@@ -511,7 +580,11 @@ func project(stmt *SelectStmt, working *relation.Table, en env) (*relation.Table
 	}
 
 	result := &relation.Table{Name: "result", Schema: relation.Schema{Cols: outEnvCols}}
+	cc := canceller{ctx: ctx}
 	for _, row := range working.Rows {
+		if err := cc.tick(); err != nil {
+			return nil, err
+		}
 		nr := make(relation.Row, len(exprs))
 		for i, e := range exprs {
 			v, err := eval(e, en, row)

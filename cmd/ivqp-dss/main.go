@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"ivdss/internal/core"
+	"ivdss/internal/scheduler"
 	"ivdss/internal/server"
 )
 
@@ -73,6 +74,12 @@ func main() {
 	epsilon := flag.Float64("epsilon", 0, "value-expiry threshold: shed queries whose projected IV falls below it (0 = server default, negative disables)")
 	workers := flag.Int("workers", 0, "execution worker pool size (0 = server default)")
 	queue := flag.Int("queue", 0, "admission queue depth; arrivals beyond it are shed (0 = server default)")
+	mqoWindow := flag.Duration("mqo-window", 0, "micro-batch window: hold ad hoc arrivals this long (wall clock) and schedule them as one MQO workload (0 = dispatch immediately)")
+	agingCoeff := flag.Float64("aging", 0, "aging coefficient: boost queued queries by coeff*wait^exponent so low-value reports cannot starve (0 = off)")
+	agingExp := flag.Float64("aging-exponent", 0, "aging exponent, must be > 1 (0 = default 1.5)")
+	gaSeed := flag.Int64("ga-seed", 0, "GA ordering seed for batch/micro-batch MQO (0 = server default)")
+	gaPopulation := flag.Int("ga-population", 0, "GA population size (0 = default 40)")
+	gaGenerations := flag.Int("ga-generations", 0, "GA generations (0 = default 50)")
 	flag.Parse()
 
 	cfg := server.DSSConfig{
@@ -82,6 +89,9 @@ func main() {
 		Epsilon:     *epsilon,
 		Workers:     *workers,
 		QueueDepth:  *queue,
+		MQOWindow:   *mqoWindow,
+		Aging:       core.Aging{Coefficient: *agingCoeff, Exponent: *agingExp},
+		GA:          scheduler.GAConfig{Seed: *gaSeed, Population: *gaPopulation, Generations: *gaGenerations},
 	}
 	if err := run(*addr, remotes, *replicate, cfg, *calibration); err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-dss:", err)

@@ -127,6 +127,18 @@ func run(addr string, value float64, status, showMetrics, remote, register, batc
 		for _, r := range resp.Replicas {
 			fmt.Printf("%-16s %-5d %-12.2f %.2f\n", r.Table, r.Site, r.LastSyncMinutes, r.StalenessMinutes)
 		}
+		if len(resp.Metrics) > 0 {
+			fmt.Println()
+			fmt.Println("SCHEDULER")
+			names := make([]string, 0, len(resp.Metrics))
+			for name := range resp.Metrics {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				fmt.Printf("  %-32s %g\n", name, resp.Metrics[name])
+			}
+		}
 		return nil
 	}
 	if strings.TrimSpace(sql) == "" {
@@ -217,6 +229,9 @@ func runBatch(addr string, value float64, deadline time.Duration, sql string) er
 	resp, err := netproto.CallContext(ctx, addr, &netproto.Request{Kind: netproto.KindBatch, Batch: queries}, 10*time.Minute)
 	if err != nil {
 		return err
+	}
+	if resp.MQOFallback {
+		fmt.Println("MQO FALLBACK: workload ordering failed; the batch ran in submission order")
 	}
 	var total float64
 	for i, item := range resp.Batch {

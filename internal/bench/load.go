@@ -30,14 +30,23 @@ type LoadConfig struct {
 	Replicas       int
 	PlannerHorizon core.Duration
 	Seed           int64
+	// MQOWindow is the continuous micro-batch window (experiment minutes)
+	// used by the live-path comparison: the same stream is replayed through
+	// the engine in plain FIFO order and with micro-batch MQO, and both
+	// totals are reported. Zero skips the comparison.
+	MQOWindow core.Duration
+	// GA parameterizes the workload ordering in the MQO variant.
+	GA scheduler.GAConfig
 }
 
-// DefaultLoadConfig overloads one slot roughly 3× so shedding is visible.
+// DefaultLoadConfig overloads one slot several times over, so both
+// shedding and the scheduling policy (which queries win the slot) are
+// visible in the totals.
 func DefaultLoadConfig() LoadConfig {
 	return LoadConfig{
 		Scale:          1,
 		NQueries:       110,
-		QueryMean:      25,
+		QueryMean:      10,
 		SyncMean:       25,
 		Rates:          core.DiscountRates{CL: .05, SL: .05},
 		Epsilon:        .25,
@@ -47,6 +56,8 @@ func DefaultLoadConfig() LoadConfig {
 		Replicas:       5,
 		PlannerHorizon: 30,
 		Seed:           1,
+		MQOWindow:      10,
+		GA:             scheduler.GAConfig{Seed: 1},
 	}
 }
 
@@ -75,6 +86,20 @@ type LoadResult struct {
 	P95SL      float64 `json:"p95_sl_minutes"`
 	TotalIV    float64 `json:"total_iv"`
 	MeanIV     float64 `json:"mean_iv"` // over completed reports
+
+	// Live-path comparison: the same stream replayed through the shared
+	// scheduling engine in plain FIFO submission order versus continuous
+	// micro-batch MQO (window formation + GA ordering + value-ranked
+	// dispatch with aging). Present when MQOWindow > 0.
+	MQOWindowMinutes float64 `json:"mqo_window_minutes,omitempty"`
+	FIFOCompleted    int     `json:"fifo_completed,omitempty"`
+	FIFOShed         int     `json:"fifo_shed,omitempty"`
+	FIFOTotalIV      float64 `json:"fifo_total_iv,omitempty"`
+	MQOCompleted     int     `json:"mqo_completed,omitempty"`
+	MQOShed          int     `json:"mqo_shed,omitempty"`
+	MQOTotalIV       float64 `json:"mqo_total_iv,omitempty"`
+	// MQOGainPct is (MQOTotalIV - FIFOTotalIV) / FIFOTotalIV × 100.
+	MQOGainPct float64 `json:"mqo_gain_pct,omitempty"`
 }
 
 // RunLoad executes the experiment: the full IVQP stack (planner, catalog,
@@ -92,7 +117,7 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 	}
 	cost := world.CostModel(weights)
 	horizon := queries[len(queries)-1].SubmitAt + core.Time(cfg.NQueries)*cfg.QueryMean*4 + 1000
-	dep, err := BuildDeployment(DeployConfig{
+	depCfg := DeployConfig{
 		Tables:          world.Tables,
 		Sites:           cfg.Sites,
 		ReplicaCount:    cfg.Replicas,
@@ -100,7 +125,8 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		ScheduleHorizon: horizon,
 		InitialSync:     true,
 		Seed:            cfg.Seed,
-	})
+	}
+	dep, err := BuildDeployment(depCfg)
 	if err != nil {
 		return res, err
 	}
@@ -154,7 +180,92 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 		res.P95SL = stats.Percentile(sls, 95)
 		res.MeanIV = stats.Mean(ivs)
 	}
+
+	// Live-path ablation: the identical stream through the shared engine,
+	// once in plain FIFO submission order (the old live server path), once
+	// with continuous micro-batch MQO. Each variant gets a fresh deployment
+	// so no state leaks between runs.
+	if cfg.MQOWindow > 0 {
+		fifoDone, fifoShed, fifoIV, err := runLivePath(cfg, depCfg, cost, queries, false)
+		if err != nil {
+			return res, err
+		}
+		mqoDone, mqoShed, mqoIV, err := runLivePath(cfg, depCfg, cost, queries, true)
+		if err != nil {
+			return res, err
+		}
+		res.MQOWindowMinutes = float64(cfg.MQOWindow)
+		res.FIFOCompleted, res.FIFOShed, res.FIFOTotalIV = fifoDone, fifoShed, fifoIV
+		res.MQOCompleted, res.MQOShed, res.MQOTotalIV = mqoDone, mqoShed, mqoIV
+		if fifoIV > 0 {
+			res.MQOGainPct = (mqoIV - fifoIV) / fifoIV * 100
+		}
+	}
 	return res, nil
+}
+
+// runLivePath replays the stream through the scheduling engine on virtual
+// time with model execution — the live DSS server's scheduling core,
+// minus the network. mqo selects between the FIFO baseline and the
+// micro-batch MQO pipeline (window formation, GA ordering, value-ranked
+// dispatch with aging).
+func runLivePath(cfg LoadConfig, depCfg DeployConfig, cost core.CostModel, queries []core.Query, mqo bool) (completed, shed int, totalIV float64, err error) {
+	dep, err := BuildDeployment(depCfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	strategy, err := dep.Strategy(MethodIVQP, cost, cfg.Rates, cfg.PlannerHorizon)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	s := sim.New()
+	clock := scheduler.SimClock{Sim: s}
+	ecfg := scheduler.EngineConfig{
+		Clock:           clock,
+		Executor:        scheduler.PlanExecutor{Clock: clock, Rates: cfg.Rates},
+		Strategy:        strategy,
+		Rates:           cfg.Rates,
+		Slots:           cfg.Slots,
+		HaltOnPlanError: true,
+		RecordOutcomes:  true,
+	}
+	if mqo {
+		ivqp := strategy.(*scheduler.IVQPStrategy)
+		ecfg.Aging = cfg.Aging
+		ecfg.Window = cfg.MQOWindow
+		ecfg.GA = cfg.GA
+		ecfg.Evaluator = &scheduler.Evaluator{
+			Planner: ivqp.Planner,
+			Catalog: ivqp.Catalog,
+			Horizon: cfg.PlannerHorizon,
+		}
+	} else {
+		ecfg.FIFO = true
+	}
+	eng, err := scheduler.NewEngine(ecfg)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	eng.SetEpsilon(cfg.Epsilon)
+	for _, q := range queries {
+		q := q
+		s.ScheduleAt(q.SubmitAt, func() { eng.Submit(q, nil) })
+	}
+	s.Run()
+	if err := eng.Err(); err != nil {
+		return 0, 0, 0, err
+	}
+	if p := eng.Pending(); p != 0 {
+		return 0, 0, 0, fmt.Errorf("bench: live path left %d queries pending", p)
+	}
+	for _, o := range eng.Outcomes() {
+		if o.Expired {
+			continue
+		}
+		completed++
+		totalIV += o.Value
+	}
+	return completed, eng.Shed(), totalIV, nil
 }
 
 // WriteJSON emits the result as indented JSON.
@@ -164,9 +275,9 @@ func (r LoadResult) WriteJSON(w io.Writer) error {
 	return enc.Encode(r)
 }
 
-// Tables renders the run as one summary table.
+// Tables renders the run as summary tables.
 func (r LoadResult) Tables() []Table {
-	return []Table{{
+	tables := []Table{{
 		Title:   fmt.Sprintf("Load: admission control under overload (epsilon=%g, %d slots)", r.Epsilon, r.Slots),
 		Columns: []string{"queries", "completed", "shed", "throughput/min", "mean CL", "p95 CL", "mean SL", "p95 SL", "mean IV", "total IV"},
 		Rows: [][]string{{
@@ -179,4 +290,16 @@ func (r LoadResult) Tables() []Table {
 			f3(r.MeanIV), f3(r.TotalIV),
 		}},
 	}}
+	if r.MQOWindowMinutes > 0 {
+		tables = append(tables, Table{
+			Title:   fmt.Sprintf("Live path: FIFO vs continuous micro-batch MQO (window=%g min)", r.MQOWindowMinutes),
+			Columns: []string{"variant", "completed", "shed", "total IV"},
+			Rows: [][]string{
+				{"fifo", fmt.Sprintf("%d", r.FIFOCompleted), fmt.Sprintf("%d", r.FIFOShed), f3(r.FIFOTotalIV)},
+				{"mqo", fmt.Sprintf("%d", r.MQOCompleted), fmt.Sprintf("%d", r.MQOShed), f3(r.MQOTotalIV)},
+				{"gain", "", "", fmt.Sprintf("%+.1f%%", r.MQOGainPct)},
+			},
+		})
+	}
+	return tables
 }

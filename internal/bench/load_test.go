@@ -55,6 +55,28 @@ func TestRunLoadDeterministicInSeed(t *testing.T) {
 	}
 }
 
+// TestRunLoadMQOBeatsFIFOLivePath is the tentpole's payoff: the identical
+// overload stream through the shared engine yields more total information
+// value with continuous micro-batch MQO than in FIFO submission order.
+func TestRunLoadMQOBeatsFIFOLivePath(t *testing.T) {
+	res, err := RunLoad(QuickLoadConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FIFOTotalIV <= 0 || res.MQOTotalIV <= 0 {
+		t.Fatalf("live-path comparison missing: fifo %v, mqo %v", res.FIFOTotalIV, res.MQOTotalIV)
+	}
+	if res.MQOTotalIV <= res.FIFOTotalIV {
+		t.Errorf("micro-batch MQO total IV %.4f not above FIFO %.4f", res.MQOTotalIV, res.FIFOTotalIV)
+	}
+	if res.FIFOCompleted+res.FIFOShed != res.Queries {
+		t.Errorf("fifo variant lost queries: %d + %d != %d", res.FIFOCompleted, res.FIFOShed, res.Queries)
+	}
+	if res.MQOCompleted+res.MQOShed != res.Queries {
+		t.Errorf("mqo variant lost queries: %d + %d != %d", res.MQOCompleted, res.MQOShed, res.Queries)
+	}
+}
+
 func TestRunLoadEpsilonZeroCompletesEverything(t *testing.T) {
 	cfg := QuickLoadConfig()
 	cfg.Epsilon = 0

@@ -1,0 +1,20 @@
+package core
+
+// Outcome records how one query fared under a schedule. It is shared by
+// every scheduling driver — the discrete-event dispatcher, the wall-clock
+// DSS server, and the workload evaluator — so their results compare
+// field-for-field.
+type Outcome struct {
+	Query     Query
+	Plan      Plan
+	Latencies Latencies
+	Value     float64  // information value of the report
+	Wait      Duration // submission to plan release
+	// Expired marks a query dropped because its value horizon passed before
+	// it could be dispatched: no plan ran, Value is zero, and Wait records
+	// how long it sat in the queue before being shed.
+	Expired bool
+	// Err marks a query dropped because planning it failed at dispatch time
+	// (only on drivers that do not halt on plan errors).
+	Err error
+}

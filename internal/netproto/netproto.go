@@ -131,14 +131,18 @@ type Response struct {
 	// Expired marks an error produced by the DSS admission controller: the
 	// query was shed (or cancelled mid-flight) because its information
 	// value expired before a report could be produced.
-	Expired  bool
-	Tables   []string
-	Result   *relation.Table
-	Meta     *ReportMeta
-	Replicas []ReplicaStatus
-	Sites    []SiteStatus
-	Metrics  map[string]float64
-	Batch    []BatchItem
+	Expired bool
+	// MQOFallback marks a degraded scheduling decision: multi-query
+	// workload formation or GA ordering failed, so the queries ran in plain
+	// submission order instead. The reports themselves are still correct.
+	MQOFallback bool
+	Tables      []string
+	Result      *relation.Table
+	Meta        *ReportMeta
+	Replicas    []ReplicaStatus
+	Sites       []SiteStatus
+	Metrics     map[string]float64
+	Batch       []BatchItem
 }
 
 // RemoteError is the typed client-side form of a server-reported error.

@@ -1,0 +1,123 @@
+package scheduler
+
+import (
+	"container/heap"
+
+	"ivdss/internal/core"
+	"ivdss/internal/sim"
+)
+
+// Clock is the time source the scheduling engine runs against. The engine
+// never sleeps or reads wall time directly: it asks the clock for "now"
+// (in experiment minutes) and arms callbacks for future instants, which is
+// what lets the identical engine run inside a discrete event simulation,
+// against a hand-stepped test clock, or on the live server's scaled wall
+// clock.
+type Clock interface {
+	// Now returns the current experiment time.
+	Now() core.Time
+	// AfterFunc arranges for fn to run d experiment minutes from now. A
+	// non-positive d runs fn as soon as possible, after callbacks already
+	// due. fn must not be invoked synchronously from inside AfterFunc.
+	AfterFunc(d core.Duration, fn func())
+}
+
+// SimClock drives the engine on a discrete event simulator's virtual
+// time. Like the simulator itself it is strictly single-threaded.
+type SimClock struct {
+	Sim *sim.Simulator
+}
+
+var _ Clock = SimClock{}
+
+// Now implements Clock.
+func (c SimClock) Now() core.Time { return c.Sim.Now() }
+
+// AfterFunc implements Clock.
+func (c SimClock) AfterFunc(d core.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	c.Sim.Schedule(d, fn)
+}
+
+// ManualClock is a hand-stepped clock for driving the engine in tests
+// without a simulator: callbacks queue in (time, insertion) order and run
+// when the test calls Run or RunUntil. Not safe for concurrent use.
+type ManualClock struct {
+	now   core.Time
+	seq   uint64
+	queue manualQueue
+}
+
+var _ Clock = (*ManualClock)(nil)
+
+// Now implements Clock.
+func (c *ManualClock) Now() core.Time { return c.now }
+
+// AfterFunc implements Clock.
+func (c *ManualClock) AfterFunc(d core.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	heap.Push(&c.queue, &manualEvent{at: c.now + d, seq: c.seq, fn: fn})
+	c.seq++
+}
+
+// Run executes queued callbacks in time order until none remain,
+// advancing the clock to each callback's instant.
+func (c *ManualClock) Run() {
+	for len(c.queue) > 0 {
+		ev := heap.Pop(&c.queue).(*manualEvent)
+		c.now = ev.at
+		ev.fn()
+	}
+}
+
+// RunUntil executes callbacks due at or before t, then advances the clock
+// to t.
+func (c *ManualClock) RunUntil(t core.Time) {
+	for len(c.queue) > 0 && c.queue[0].at <= t {
+		ev := heap.Pop(&c.queue).(*manualEvent)
+		c.now = ev.at
+		ev.fn()
+	}
+	if c.now < t {
+		c.now = t
+	}
+}
+
+// Pending returns the number of callbacks still queued.
+func (c *ManualClock) Pending() int { return len(c.queue) }
+
+type manualEvent struct {
+	at  core.Time
+	seq uint64
+	fn  func()
+}
+
+// manualQueue is a min-heap over (at, seq), matching the simulator's FIFO
+// tie-break among simultaneous events.
+type manualQueue []*manualEvent
+
+func (q manualQueue) Len() int { return len(q) }
+
+func (q manualQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q manualQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *manualQueue) Push(x any) { *q = append(*q, x.(*manualEvent)) }
+
+func (q *manualQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

@@ -78,18 +78,14 @@ func (s *FixedStrategy) Plan(q core.Query, now core.Time) (core.Plan, error) {
 // anti-starvation aging boost for the time it has already waited (Section
 // 3.3). With aging disabled this is pure value-maximizing dispatch, which
 // can starve long-waiting queries under load.
+//
+// Dispatcher is the DES driver of the shared scheduling Engine: it mounts
+// the engine on the simulator's virtual clock with model execution
+// (PlanExecutor), while the live DSS server mounts the same engine on its
+// wall clock with real execution.
 type Dispatcher struct {
-	sim      *sim.Simulator
-	strategy Strategy
-	rates    core.DiscountRates
-	aging    core.Aging
-	slots    int
-	epsilon  float64
-	busy     int
-	queue    []core.Query
-	outcomes []Outcome
-	expired  int
-	err      error
+	sim *sim.Simulator
+	eng *Engine
 }
 
 // NewDispatcher validates inputs and returns a dispatcher bound to the
@@ -101,119 +97,50 @@ func NewDispatcher(s *sim.Simulator, strategy Strategy, rates core.DiscountRates
 	if slots < 1 {
 		return nil, fmt.Errorf("scheduler: dispatcher needs at least one slot, got %d", slots)
 	}
-	if err := rates.Validate(); err != nil {
+	clock := SimClock{Sim: s}
+	eng, err := NewEngine(EngineConfig{
+		Clock:           clock,
+		Executor:        PlanExecutor{Clock: clock, Rates: rates},
+		Strategy:        strategy,
+		Rates:           rates,
+		Slots:           slots,
+		Aging:           aging,
+		HaltOnPlanError: true,
+		RecordOutcomes:  true,
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := aging.Validate(); err != nil {
-		return nil, err
-	}
-	return &Dispatcher{sim: s, strategy: strategy, rates: rates, aging: aging, slots: slots}, nil
+	return &Dispatcher{sim: s, eng: eng}, nil
 }
 
-// SetExpiry enables value-horizon expiry: a queued query whose best-case
-// information value has dropped below epsilon by the time a dispatch
-// decision is made is shed instead of planned, recorded as an expired
-// outcome. The check runs on the raw information-value horizon — the
-// anti-starvation aging boost raises a query's dispatch priority but
-// cannot resurrect value that has already decayed away. Zero or negative
-// epsilon disables expiry (the default).
-func (d *Dispatcher) SetExpiry(epsilon float64) { d.epsilon = epsilon }
+// SetExpiry enables value-horizon expiry; see Engine.SetEpsilon.
+func (d *Dispatcher) SetExpiry(epsilon float64) { d.eng.SetEpsilon(epsilon) }
+
+// Engine exposes the underlying scheduling engine, for drivers that need
+// its full interface (workload formation, metrics).
+func (d *Dispatcher) Engine() *Engine { return d.eng }
 
 // SubmitAll schedules every query's arrival on the simulator. Call before
 // running the simulation.
 func (d *Dispatcher) SubmitAll(queries []core.Query) {
 	for _, q := range queries {
 		q := q
-		d.sim.ScheduleAt(q.SubmitAt, func() { d.arrive(q) })
+		d.sim.ScheduleAt(q.SubmitAt, func() { d.eng.Submit(q, nil) })
 	}
-}
-
-func (d *Dispatcher) arrive(q core.Query) {
-	d.queue = append(d.queue, q)
-	d.dispatch()
-}
-
-// dispatch sheds expired queries, then fills free slots with the
-// highest-effective-value waiting queries. A planning failure halts the
-// dispatcher and is surfaced by Err.
-func (d *Dispatcher) dispatch() {
-	d.shedExpired()
-	for d.err == nil && d.busy < d.slots && len(d.queue) > 0 {
-		now := d.sim.Now()
-		bestIdx := -1
-		var bestPlan core.Plan
-		bestEff := 0.0
-		for i, q := range d.queue {
-			plan, err := d.strategy.Plan(q, now)
-			if err != nil {
-				d.err = fmt.Errorf("scheduler: dispatch %s at %v: %w", q.ID, now, err)
-				return
-			}
-			iv := plan.Value(d.rates)
-			eff := d.aging.EffectiveValue(iv, now-q.SubmitAt)
-			if bestIdx < 0 || eff > bestEff {
-				bestIdx, bestPlan, bestEff = i, plan, eff
-			}
-		}
-		q := d.queue[bestIdx]
-		d.queue = append(d.queue[:bestIdx], d.queue[bestIdx+1:]...)
-		d.busy++
-		plan := bestPlan
-		duration := plan.ResultAt() - now
-		if duration < 0 {
-			duration = 0
-		}
-		d.sim.Schedule(duration, func() {
-			lat := plan.Latencies()
-			d.outcomes = append(d.outcomes, Outcome{
-				Query:     q,
-				Plan:      plan,
-				Latencies: lat,
-				Value:     core.InformationValue(q.BusinessValue, lat, d.rates),
-				Wait:      plan.Start - q.SubmitAt,
-			})
-			d.busy--
-			d.dispatch()
-		})
-	}
-}
-
-// shedExpired drops every queued query whose value horizon has passed,
-// recording each as an expired outcome. Runs at every dispatch decision —
-// including arrivals while all slots are busy — so a query never occupies
-// queue space after its value is gone.
-func (d *Dispatcher) shedExpired() {
-	if d.epsilon <= 0 || len(d.queue) == 0 {
-		return
-	}
-	now := d.sim.Now()
-	kept := d.queue[:0]
-	for _, q := range d.queue {
-		if now-q.SubmitAt >= q.ValueHorizon(d.rates, d.epsilon) {
-			d.outcomes = append(d.outcomes, Outcome{
-				Query:   q,
-				Wait:    now - q.SubmitAt,
-				Expired: true,
-			})
-			d.expired++
-			continue
-		}
-		kept = append(kept, q)
-	}
-	d.queue = kept
 }
 
 // Outcomes returns every query's result in decision order: completions
 // carry their plan and value, expired entries are marked Expired with zero
 // value.
-func (d *Dispatcher) Outcomes() []Outcome { return d.outcomes }
+func (d *Dispatcher) Outcomes() []Outcome { return d.eng.Outcomes() }
 
 // Shed returns how many queries expired in the queue and were dropped.
-func (d *Dispatcher) Shed() int { return d.expired }
+func (d *Dispatcher) Shed() int { return d.eng.Shed() }
 
 // Pending returns the number of queries still waiting or running.
-func (d *Dispatcher) Pending() int { return len(d.queue) + d.busy }
+func (d *Dispatcher) Pending() int { return d.eng.Pending() }
 
 // Err reports the first planning failure, if any; the dispatcher stops
 // issuing work after one.
-func (d *Dispatcher) Err() error { return d.err }
+func (d *Dispatcher) Err() error { return d.eng.Err() }

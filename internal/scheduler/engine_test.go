@@ -1,0 +1,272 @@
+package scheduler
+
+import (
+	"sync"
+	"testing"
+
+	"ivdss/internal/core"
+	"ivdss/internal/metrics"
+	"ivdss/internal/sim"
+)
+
+// equivalenceQueries is an arrival pattern dense enough that the dispatch
+// ranking, aging, and expiry all make real decisions: bursts early on, a
+// lull, then a second burst.
+func equivalenceQueries() []core.Query {
+	qs := queriesAt([]core.Time{0, 1, 2, 3, 8, 9, 30, 31})
+	bvs := []float64{1, .4, .9, .3, 1, .5, .8, .6}
+	for i := range qs {
+		qs[i].BusinessValue = bvs[i]
+	}
+	qs[1].Tables = []core.TableID{"t3"}
+	qs[3].Tables = []core.TableID{"t3", "t4"}
+	qs[5].Tables = []core.TableID{"t1"}
+	return qs
+}
+
+// TestEngineManualClockMatchesDESDispatcher is the refactor's equivalence
+// proof: the DES dispatcher (engine on the simulator's virtual clock) and
+// the engine on a hand-stepped clock — the shape the live server mounts it
+// in — produce identical plan choices and outcome sequences for the same
+// stream, including expiries and aging decisions.
+func TestEngineManualClockMatchesDESDispatcher(t *testing.T) {
+	rates := core.DiscountRates{CL: .05, SL: .05}
+	aging := core.Aging{Coefficient: .05, Exponent: 1.5}
+	const epsilon = .25
+
+	catalogA, plannerA := testWorld(t, rates)
+	s := sim.New()
+	d, err := NewDispatcher(s, &IVQPStrategy{Planner: plannerA, Catalog: catalogA, Horizon: 100}, rates, 1, aging)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.SetExpiry(epsilon)
+	d.SubmitAll(equivalenceQueries())
+	s.Run()
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	catalogB, plannerB := testWorld(t, rates)
+	clock := &ManualClock{}
+	eng, err := NewEngine(EngineConfig{
+		Clock:           clock,
+		Executor:        PlanExecutor{Clock: clock, Rates: rates},
+		Strategy:        &IVQPStrategy{Planner: plannerB, Catalog: catalogB, Horizon: 100},
+		Rates:           rates,
+		Slots:           1,
+		Aging:           aging,
+		HaltOnPlanError: true,
+		RecordOutcomes:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.SetEpsilon(epsilon)
+	for _, q := range equivalenceQueries() {
+		q := q
+		clock.AfterFunc(core.Duration(q.SubmitAt), func() { eng.Submit(q, nil) })
+	}
+	clock.Run()
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := d.Outcomes(), eng.Outcomes()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("outcome counts differ: dispatcher %d, manual-clock engine %d", len(a), len(b))
+	}
+	completed, expired := 0, 0
+	for i := range a {
+		if a[i].Query.ID != b[i].Query.ID {
+			t.Fatalf("outcome %d: query %s vs %s", i, a[i].Query.ID, b[i].Query.ID)
+		}
+		if a[i].Expired != b[i].Expired {
+			t.Errorf("outcome %d (%s): expired %v vs %v", i, a[i].Query.ID, a[i].Expired, b[i].Expired)
+		}
+		if a[i].Wait != b[i].Wait {
+			t.Errorf("outcome %d (%s): wait %v vs %v", i, a[i].Query.ID, a[i].Wait, b[i].Wait)
+		}
+		if a[i].Value != b[i].Value {
+			t.Errorf("outcome %d (%s): value %v vs %v", i, a[i].Query.ID, a[i].Value, b[i].Value)
+		}
+		if a[i].Plan.Signature() != b[i].Plan.Signature() {
+			t.Errorf("outcome %d (%s): plan %q vs %q", i, a[i].Query.ID, a[i].Plan.Signature(), b[i].Plan.Signature())
+		}
+		if a[i].Expired {
+			expired++
+		} else {
+			completed++
+		}
+	}
+	if completed == 0 || expired == 0 {
+		t.Errorf("scenario too tame: %d completed, %d expired — both paths must be exercised", completed, expired)
+	}
+	if d.Shed() != eng.Shed() {
+		t.Errorf("shed counts differ: %d vs %d", d.Shed(), eng.Shed())
+	}
+}
+
+// flagExecutor records each dispatch's MQOFallback flag before delegating
+// to model execution.
+type flagExecutor struct {
+	inner PlanExecutor
+	mu    sync.Mutex
+	flags map[string]bool
+}
+
+func (f *flagExecutor) Execute(d Dispatch, done func(core.Outcome)) {
+	f.mu.Lock()
+	f.flags[d.Query.ID] = d.MQOFallback
+	f.mu.Unlock()
+	f.inner.Execute(d, done)
+}
+
+// TestEngineMicroBatchFormsWorkloads: with a window configured, arrivals
+// inside it are formed into a GA-ordered workload, the formation metrics
+// tick, and every member still completes.
+func TestEngineMicroBatchFormsWorkloads(t *testing.T) {
+	rates := core.DiscountRates{CL: .05, SL: .05}
+	catalog, planner := testWorld(t, rates)
+	clock := &ManualClock{}
+	reg := metrics.NewRegistry()
+	exec := &flagExecutor{inner: PlanExecutor{Clock: clock, Rates: rates}, flags: make(map[string]bool)}
+	eng, err := NewEngine(EngineConfig{
+		Clock:          clock,
+		Executor:       exec,
+		Strategy:       &IVQPStrategy{Planner: planner, Catalog: catalog, Horizon: 100},
+		Rates:          rates,
+		Slots:          1,
+		Window:         5,
+		GA:             GAConfig{Seed: 1},
+		Evaluator:      &Evaluator{Planner: planner, Catalog: catalog, Horizon: 100},
+		RecordOutcomes: true,
+		Stats:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queriesAt([]core.Time{0, 0, 0}) {
+		if !eng.Submit(q, nil) {
+			t.Fatalf("submit %s refused", q.ID)
+		}
+	}
+	if got := eng.Outcomes(); len(got) != 0 {
+		t.Fatalf("dispatched %d queries before the window closed", len(got))
+	}
+	clock.Run()
+	if eng.Pending() != 0 {
+		t.Fatalf("%d queries left pending", eng.Pending())
+	}
+	if got := len(eng.Outcomes()); got != 3 {
+		t.Fatalf("outcomes = %d, want 3", got)
+	}
+	flat := reg.Flatten()
+	if flat["workloads_formed_total"] < 1 {
+		t.Errorf("workloads_formed_total = %v, want >= 1", flat["workloads_formed_total"])
+	}
+	if flat["mqo_fallback_total"] != 0 {
+		t.Errorf("mqo_fallback_total = %v, want 0", flat["mqo_fallback_total"])
+	}
+	for id, fb := range exec.flags {
+		if fb {
+			t.Errorf("query %s dispatched with the fallback flag", id)
+		}
+	}
+}
+
+// TestEngineMQOFallbackMarksDispatches: when GA ordering cannot run (an
+// invalid GA configuration), the group still executes — in submission
+// order, with every dispatch flagged and mqo_fallback_total counted.
+func TestEngineMQOFallbackMarksDispatches(t *testing.T) {
+	rates := core.DiscountRates{CL: .05, SL: .05}
+	catalog, planner := testWorld(t, rates)
+	clock := &ManualClock{}
+	reg := metrics.NewRegistry()
+	exec := &flagExecutor{inner: PlanExecutor{Clock: clock, Rates: rates}, flags: make(map[string]bool)}
+	eng, err := NewEngine(EngineConfig{
+		Clock:    clock,
+		Executor: exec,
+		Strategy: &IVQPStrategy{Planner: planner, Catalog: catalog, Horizon: 100},
+		Rates:    rates,
+		Slots:    1,
+		// Elite exceeding the population fails GAConfig validation inside
+		// OptimizeOrder — the formation failure this test wants.
+		GA:             GAConfig{Population: 2, Elite: 3},
+		Evaluator:      &Evaluator{Planner: planner, Catalog: catalog, Horizon: 100},
+		RecordOutcomes: true,
+		Stats:          reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := queriesAt([]core.Time{0, 0, 0})
+	payloads := make([]any, len(queries))
+	if !eng.SubmitGroup(queries, payloads) {
+		t.Fatal("group refused")
+	}
+	clock.Run()
+	if got := len(eng.Outcomes()); got != 3 {
+		t.Fatalf("outcomes = %d, want 3", got)
+	}
+	if flat := reg.Flatten(); flat["mqo_fallback_total"] != 1 {
+		t.Errorf("mqo_fallback_total = %v, want 1", flat["mqo_fallback_total"])
+	}
+	if len(exec.flags) != 3 {
+		t.Fatalf("executed %d queries, want 3", len(exec.flags))
+	}
+	for id, fb := range exec.flags {
+		if !fb {
+			t.Errorf("query %s not flagged as MQO fallback", id)
+		}
+	}
+	// Fallback preserves submission order.
+	for i, o := range eng.Outcomes() {
+		if want := queries[i].ID; o.Query.ID != want {
+			t.Errorf("outcome %d: %s, want %s (submission order)", i, o.Query.ID, want)
+		}
+	}
+}
+
+// TestEngineFIFODispatchesInSubmissionOrder: FIFO mode ignores value — the
+// baseline the live-path bench compares micro-batch MQO against.
+func TestEngineFIFODispatchesInSubmissionOrder(t *testing.T) {
+	rates := core.DiscountRates{CL: .05, SL: .05}
+	catalog, planner := testWorld(t, rates)
+	clock := &ManualClock{}
+	eng, err := NewEngine(EngineConfig{
+		Clock:           clock,
+		Executor:        PlanExecutor{Clock: clock, Rates: rates},
+		Strategy:        &IVQPStrategy{Planner: planner, Catalog: catalog, Horizon: 100},
+		Rates:           rates,
+		Slots:           1,
+		FIFO:            true,
+		HaltOnPlanError: true,
+		RecordOutcomes:  true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Later arrivals are more valuable; FIFO must still serve in order.
+	queries := queriesAt([]core.Time{0, 1, 2})
+	queries[0].BusinessValue = .3
+	queries[1].BusinessValue = .6
+	queries[2].BusinessValue = 1
+	for _, q := range queries {
+		q := q
+		clock.AfterFunc(core.Duration(q.SubmitAt), func() { eng.Submit(q, nil) })
+	}
+	clock.Run()
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := eng.Outcomes()
+	if len(out) != 3 {
+		t.Fatalf("outcomes = %d, want 3", len(out))
+	}
+	for i, o := range out {
+		if want := queries[i].ID; o.Query.ID != want {
+			t.Errorf("outcome %d: %s, want %s", i, o.Query.ID, want)
+		}
+	}
+}

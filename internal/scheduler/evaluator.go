@@ -19,18 +19,8 @@ type CatalogView interface {
 	Snapshot(tables []core.TableID, now core.Time, horizon core.Duration) ([]core.TableState, error)
 }
 
-// Outcome records how one query fared under a schedule.
-type Outcome struct {
-	Query     core.Query
-	Plan      core.Plan
-	Latencies core.Latencies
-	Value     float64       // information value of the report
-	Wait      core.Duration // submission to plan release
-	// Expired marks a query dropped because its value horizon passed before
-	// it could be dispatched: no plan ran, Value is zero, and Wait records
-	// how long it sat in the queue before being shed.
-	Expired bool
-}
+// Outcome is the shared per-query result record; see core.Outcome.
+type Outcome = core.Outcome
 
 // SequenceResult is the outcome of executing a set of queries in a
 // particular order on the serialized DSS coordinator.

@@ -2,7 +2,6 @@ package server
 
 import (
 	"context"
-	"errors"
 	"math"
 	"time"
 
@@ -10,25 +9,15 @@ import (
 	"ivdss/internal/netproto"
 )
 
-// job is one admitted Exec or Batch request travelling from a connection
-// handler to the worker pool. The context carries the tighter of the wire
-// deadline and the query's value horizon; done receives exactly one
-// response.
-type job struct {
-	req  *netproto.Request
-	ctx  context.Context
-	done chan *netproto.Response
-}
-
 // submit runs admission control for an Exec/Batch request: derive the
 // request context (wire budget and value horizon), shed on arrival when
 // the queue is full or the projected completion already overshoots the
-// horizon, otherwise enqueue for the worker pool and wait for the answer.
-// Shedding here — before any planning or remote I/O — is what keeps an
-// overloaded DSS producing valuable reports instead of uniformly late
-// ones; the same horizon is re-checked at dispatch (worker pickup, batch
-// member turn) because queue time can kill a query that was worth
-// admitting.
+// horizon, otherwise hand the request to the scheduling engine and wait
+// for the answer. Shedding here — before any planning or remote I/O — is
+// what keeps an overloaded DSS producing valuable reports instead of
+// uniformly late ones; the same horizon is re-checked inside the engine
+// (value-horizon shedding at every dispatch decision) because queue time
+// can kill a query that was worth admitting.
 func (s *DSSServer) submit(req *netproto.Request) *netproto.Response {
 	ctx, cancel := req.BudgetContext(s.baseCtx)
 	defer cancel()
@@ -54,25 +43,16 @@ func (s *DSSServer) submit(req *netproto.Request) *netproto.Response {
 		defer cancelHorizon()
 	}
 
-	j := &job{req: req, ctx: ctx, done: make(chan *netproto.Response, 1)}
-	select {
-	case s.jobs <- j:
-		s.stats.Gauge("admission_queue_depth").Set(float64(len(s.jobs)))
-	default:
-		return s.shed(id, horizon, "queue-full")
+	if req.Kind == netproto.KindBatch {
+		return s.submitBatch(ctx, req, id, horizon)
 	}
-	select {
-	case resp := <-j.done:
-		return resp
-	case <-s.closed:
-		return &netproto.Response{Err: "server shutting down"}
-	}
+	return s.submitExec(ctx, req, id, horizon)
 }
 
 // requestHorizon computes the request's value horizon in experiment
 // minutes. A batch uses its richest member: the batch is worth admitting
 // while any member would still produce value (per-member horizons are
-// enforced at dispatch inside handleBatch).
+// enforced at dispatch inside the engine).
 func (s *DSSServer) requestHorizon(req *netproto.Request) core.Duration {
 	if req.Kind == netproto.KindBatch {
 		h := core.Duration(0)
@@ -97,7 +77,7 @@ func (s *DSSServer) shed(id string, horizon core.Duration, reason string) *netpr
 
 // projectedCompletion estimates how long a newly admitted query will take
 // from arrival to report: the smoothed service time, scaled by how many
-// queued jobs stand between it and a worker.
+// queued queries stand between it and an execution slot.
 func (s *DSSServer) projectedCompletion() time.Duration {
 	s.svcMu.Lock()
 	ewma := s.svcEWMA
@@ -105,7 +85,7 @@ func (s *DSSServer) projectedCompletion() time.Duration {
 	if ewma <= 0 {
 		return 0 // no completions yet: admit and learn
 	}
-	waiting := float64(len(s.jobs))
+	waiting := float64(s.engine.QueueLen())
 	return time.Duration(float64(ewma) * (waiting/float64(s.cfg.Workers) + 1))
 }
 
@@ -120,46 +100,4 @@ func (s *DSSServer) observeService(d time.Duration) {
 		s.svcEWMA = time.Duration(alpha*float64(d) + (1-alpha)*float64(s.svcEWMA))
 	}
 	s.svcMu.Unlock()
-}
-
-// worker drains the admission queue until the server closes. Each job is
-// re-checked on pickup: a context that ended while the job sat in the
-// queue means the query is shed (its value or its client's patience ran
-// out before any work started), recorded separately from mid-execution
-// cancellations.
-func (s *DSSServer) worker() {
-	defer s.wg.Done()
-	for {
-		select {
-		case <-s.closed:
-			return
-		case j := <-s.jobs:
-			s.stats.Gauge("admission_queue_depth").Set(float64(len(s.jobs)))
-			j.done <- s.runJob(j)
-		}
-	}
-}
-
-func (s *DSSServer) runJob(j *job) *netproto.Response {
-	if err := j.ctx.Err(); err != nil {
-		cause := context.Cause(j.ctx)
-		var vee *core.ValueExpiredError
-		if errors.As(cause, &vee) {
-			return s.shed(vee.Query, vee.Horizon, "expired-queued")
-		}
-		s.stats.Counter("queries_deadline_exceeded_total").Inc()
-		return &netproto.Response{Err: cause.Error(), Expired: true}
-	}
-	start := time.Now()
-	var resp *netproto.Response
-	switch j.req.Kind {
-	case netproto.KindBatch:
-		resp = s.handleBatch(j.ctx, j.req)
-	default:
-		resp = s.handleExec(j.ctx, j.req)
-		// Only single-query service times feed the admission projection; a
-		// batch's duration says nothing about the next ad hoc query.
-		s.observeService(time.Since(start))
-	}
-	return resp
 }

@@ -2,13 +2,10 @@ package server
 
 import (
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
 	"log"
-	"math"
 	"net"
 	"sort"
 	"strings"
@@ -74,11 +71,11 @@ type DSSConfig struct {
 	// BreakerProbes caps concurrent half-open probes per site. Default 1.
 	BreakerProbes int
 
-	// Workers sizes the execution worker pool that serves KindExec and
-	// KindBatch requests; connection handlers only enqueue. Default 8.
+	// Workers sizes the scheduling engine's execution slots serving KindExec
+	// and KindBatch requests; connection handlers only submit. Default 8.
 	Workers int
-	// QueueDepth bounds the admission queue between connection handlers and
-	// the worker pool; arrivals beyond it are shed immediately. Default 64.
+	// QueueDepth bounds how many queries may wait in the scheduling engine;
+	// arrivals beyond it are shed immediately. Default 64.
 	QueueDepth int
 	// Epsilon is the admission controller's value-expiry threshold: a query
 	// whose projected information value at completion falls below it is shed
@@ -86,6 +83,24 @@ type DSSConfig struct {
 	// horizon passes. Default 0.01; negative disables value-based shedding
 	// (the queue stays bounded regardless).
 	Epsilon float64
+
+	// Aging is the anti-starvation policy (Section 3.3) applied at every
+	// dispatch decision: queries are ranked by information value plus a
+	// boost that grows superlinearly with queue time. The zero value
+	// disables it — pure value-maximizing dispatch, which can starve cheap
+	// queries under sustained high-value load.
+	Aging core.Aging
+	// MQOWindow is the continuous micro-batch window (wall-clock). Ad hoc
+	// queries arriving while a window is open are held until it closes,
+	// then formed into range-overlapping workloads and GA-ordered together
+	// — Section 3.2's multi-query optimization applied continuously to the
+	// live stream instead of only to explicit KindBatch requests. Zero
+	// disables micro-batching; explicit batches are MQO-ordered regardless.
+	MQOWindow time.Duration
+	// GA parameterizes the genetic workload ordering used for explicit
+	// batches and micro-batch windows. Zero fields take the scheduler
+	// defaults; a zero Seed becomes 1 so runs are reproducible.
+	GA scheduler.GAConfig
 }
 
 func (c DSSConfig) withDefaults() DSSConfig {
@@ -131,6 +146,9 @@ func (c DSSConfig) withDefaults() DSSConfig {
 	if c.Epsilon == 0 {
 		c.Epsilon = .01
 	}
+	if c.GA.Seed == 0 {
+		c.GA.Seed = 1
+	}
 	return c
 }
 
@@ -161,10 +179,11 @@ type DSSServer struct {
 	mu       sync.RWMutex
 	replicas map[core.TableID]replicaSnapshot
 
-	// Admission control: connection handlers enqueue Exec/Batch work onto a
-	// bounded queue drained by a fixed worker pool; baseCtx roots every
-	// request context and is cancelled on Close.
-	jobs       chan *job
+	// Scheduling: connection handlers submit Exec/Batch work into the
+	// shared engine (bounded queue, micro-batch MQO, value-ranked dispatch
+	// over Workers slots); baseCtx roots every request context and is
+	// cancelled on Close.
+	engine     *scheduler.Engine
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 	svcMu      sync.Mutex
@@ -266,7 +285,6 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		pool:     netproto.NewPool(cfg.DialTimeout, cfg.DialTimeout),
 		router:   fastRouter,
 		replicas: make(map[core.TableID]replicaSnapshot),
-		jobs:     make(chan *job, cfg.QueueDepth),
 		closed:   make(chan struct{}),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -276,6 +294,11 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 	s.stats.Counter("queries_cancelled_total")
 	s.stats.Counter("queries_deadline_exceeded_total")
 	s.stats.Gauge("admission_queue_depth").Set(0)
+	eng, err := s.newEngine()
+	if err != nil {
+		return nil, err
+	}
+	s.engine = eng
 	s.retrier = netproto.Retrier{
 		MaxAttempts: cfg.RetryAttempts,
 		BaseDelay:   cfg.RetryBaseDelay,
@@ -456,12 +479,9 @@ func (s *DSSServer) Listen(addr string) (string, error) {
 		return "", fmt.Errorf("server: listen %s: %w", addr, err)
 	}
 	s.listener = l
-	s.wg.Add(2 + s.cfg.Workers)
+	s.wg.Add(2)
 	go s.syncLoop()
 	go s.acceptLoop()
-	for i := 0; i < s.cfg.Workers; i++ {
-		go s.worker()
-	}
 	return l.Addr().String(), nil
 }
 
@@ -510,8 +530,9 @@ func (s *DSSServer) handleConn(conn *netproto.Conn) {
 		case netproto.KindRegister:
 			resp = s.handleRegister(req)
 		case netproto.KindBatch, netproto.KindExec:
-			// Execution goes through admission control: bounded queue,
-			// worker pool, value-horizon shedding.
+			// Execution goes through admission control and the scheduling
+			// engine: bounded queue, micro-batch MQO, value-ranked dispatch,
+			// value-horizon shedding.
 			resp = s.submit(req)
 		default:
 			resp = &netproto.Response{Err: fmt.Sprintf("DSS does not serve request kind %d", int(req.Kind))}
@@ -553,7 +574,7 @@ func (s *DSSServer) handleStatus() *netproto.Response {
 		})
 	}
 	sort.Slice(sites, func(i, j int) bool { return sites[i].Site < sites[j].Site })
-	return &netproto.Response{Replicas: out, Sites: sites}
+	return &netproto.Response{Replicas: out, Sites: sites, Metrics: s.schedulerStatusMetrics()}
 }
 
 // handleRegister pre-computes routing for a query (Section 3.1): plans for
@@ -612,368 +633,12 @@ func (s *DSSServer) handleRegister(req *netproto.Request) *netproto.Response {
 	return &netproto.Response{}
 }
 
-// queryID derives a stable identifier for ad hoc SQL so repeated texts
-// share calibration entries.
-func queryID(sql string) string {
-	sum := sha256.Sum256([]byte(strings.Join(strings.Fields(sql), " ")))
-	return "sql-" + hex.EncodeToString(sum[:6])
-}
-
-func (s *DSSServer) handleExec(ctx context.Context, req *netproto.Request) *netproto.Response {
-	resp := s.execWithMetrics(ctx, req)
-	if resp.Err != "" {
-		s.stats.Counter("query_errors_total").Inc()
-	}
-	return resp
-}
-
-// latencyBounds buckets CL/SL histograms in experiment minutes.
-var latencyBounds = []float64{.1, .5, 1, 2, 5, 10, 20, 40, 80, 160}
-
-// valueBounds buckets information-value histograms.
-var valueBounds = []float64{.1, .2, .3, .4, .5, .6, .7, .8, .9, 1}
-
-func (s *DSSServer) execWithMetrics(ctx context.Context, req *netproto.Request) *netproto.Response {
-	s.stats.Counter("queries_total").Inc()
-	stmt, err := sqlmini.Parse(req.SQL)
-	if err != nil {
-		return &netproto.Response{Err: err.Error()}
-	}
-	q, err := s.plannerQuery(stmt, req.SQL, req.BusinessValue, s.now())
-	if err != nil {
-		return &netproto.Response{Err: err.Error()}
-	}
-	result, meta, err := s.runOne(ctx, stmt, q, true)
-	if err != nil {
-		if resp := s.expiryResponse(err); resp != nil {
-			return resp
-		}
-		return &netproto.Response{Err: err.Error(), Degraded: isDegradedErr(err)}
-	}
-	return &netproto.Response{Result: result, Meta: meta, Degraded: meta.Degraded}
-}
-
-// expiryResponse classifies a mid-execution failure caused by the request
-// context ending: a value-horizon cancellation, a wire-deadline expiry, or
-// a client cancellation. It returns nil for ordinary errors. The matching
-// counters distinguish work the admission controller killed for value
-// reasons from work the client simply stopped waiting for.
-func (s *DSSServer) expiryResponse(err error) *netproto.Response {
-	var vee *core.ValueExpiredError
-	switch {
-	case errors.As(err, &vee):
-		s.stats.Counter("queries_cancelled_total").Inc()
-	case errors.Is(err, context.DeadlineExceeded):
-		s.stats.Counter("queries_deadline_exceeded_total").Inc()
-	case errors.Is(err, context.Canceled):
-		s.stats.Counter("queries_cancelled_total").Inc()
-	default:
-		return nil
-	}
-	return &netproto.Response{Err: err.Error(), Expired: true}
-}
-
-// isDegradedErr reports whether err is the typed degraded-mode failure: the
-// query could not be answered because a site is down and no replica exists.
-func isDegradedErr(err error) bool {
-	var ue *core.SiteUnavailableError
-	return errors.As(err, &ue)
-}
-
-// plannerQuery derives the planner's view of a parsed statement.
-func (s *DSSServer) plannerQuery(stmt *sqlmini.SelectStmt, sql string, bv float64, submit core.Time) (core.Query, error) {
-	var tables []core.TableID
-	for _, name := range stmt.TableNames() {
-		tables = append(tables, core.TableID(strings.ToLower(name)))
-	}
-	if bv == 0 {
-		bv = 1
-	}
-	q := core.Query{ID: queryID(sql), Tables: tables, BusinessValue: bv, SubmitAt: submit}
-	// Fail fast on unknown tables so batch members error individually.
-	for _, id := range tables {
-		if _, err := s.catalog.Placement().SiteOf(id); err != nil {
-			return core.Query{}, err
-		}
-	}
-	return q, nil
-}
-
-// runOne plans (router fast path optional), honours a bounded delay,
-// executes, and records calibration and metrics for one query. The CL
-// clock runs from q.SubmitAt, so batch members queued behind their
-// workload predecessors pay their waiting time.
-func (s *DSSServer) runOne(ctx context.Context, stmt *sqlmini.SelectStmt, q core.Query, tryRouter bool) (*relation.Table, *netproto.ReportMeta, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, nil, context.Cause(ctx)
-	}
-	now := s.now()
-	snapshot, err := s.catalog.Snapshot(q.Tables, now, s.cfg.PlannerHorizon)
-	if err != nil {
-		return nil, nil, err
-	}
-	// Degradation policy (planner-level): a site whose breaker is open is
-	// excluded from the plan space, so the search itself falls back to the
-	// freshest replica — pricing the true staleness into the IV — instead
-	// of the executor discovering the outage per call.
-	degradedPlanning := false
-	if down := s.openSites(); down != nil {
-		for i := range snapshot {
-			if down[snapshot[i].Site] {
-				snapshot[i].BaseDown = true
-				degradedPlanning = true
-			}
-		}
-	}
-	// Registered queries take the pre-calculated routing fast path; a
-	// refusal (QoS violated, shape changed) falls back to the full search.
-	// Routing tables were precomputed assuming healthy sites, so degraded
-	// planning always takes the full search.
-	var plan core.Plan
-	usedRouter := false
-	if tryRouter && !degradedPlanning {
-		s.routerMu.Lock()
-		plan, usedRouter = s.router.Route(q.ID, snapshot, now)
-		s.routerMu.Unlock()
-	}
-	if usedRouter {
-		plan.Query = q // carry the true submission time for CL accounting
-		s.stats.Counter("routed_plans_total").Inc()
-	} else {
-		plan, _, err = s.planner.Best(q, snapshot, now)
-		if err != nil {
-			return nil, nil, err
-		}
-	}
-
-	// Honour a delayed plan, bounded by MaxDelay — and by the request
-	// context: a deadline that fires mid-delay aborts before any work runs.
-	if delay := s.wallDelay(plan.Start - s.now()); delay > 0 {
-		if delay > s.cfg.MaxDelay {
-			delay = s.cfg.MaxDelay
-		}
-		t := time.NewTimer(delay)
-		select {
-		case <-t.C:
-		case <-ctx.Done():
-			t.Stop()
-			return nil, nil, context.Cause(ctx)
-		case <-s.closed:
-			t.Stop()
-			return nil, nil, fmt.Errorf("server shutting down")
-		}
-	}
-
-	result, freshness, degradedExec, err := s.executePlan(ctx, stmt, plan)
-	if err != nil {
-		return nil, nil, err
-	}
-	// A degraded answer: the plan was searched around an open breaker, or
-	// the executor itself had to fall back to a replica mid-read.
-	degraded := degradedPlanning || degradedExec
-	finish := s.now()
-
-	// Online calibration: record the measured processing cost for this
-	// (query, base-table subset) configuration.
-	s.costs.Record(q.ID, plan.BaseTables(), core.CostEstimate{Process: finish - plan.Start})
-
-	lat := core.Latencies{
-		CL: math.Max(finish-q.SubmitAt, 0),
-		SL: math.Max(finish-freshness, 0),
-	}
-	value := core.InformationValue(q.BusinessValue, lat, s.cfg.Rates)
-	s.stats.Histogram("report_cl_minutes", latencyBounds).Observe(lat.CL)
-	s.stats.Histogram("report_sl_minutes", latencyBounds).Observe(lat.SL)
-	s.stats.Histogram("report_value", valueBounds).Observe(value)
-	if len(plan.BaseTables()) == 0 {
-		s.stats.Counter("plans_all_replica_total").Inc()
-	} else if len(plan.BaseTables()) == len(plan.Access) {
-		s.stats.Counter("plans_all_base_total").Inc()
-	} else {
-		s.stats.Counter("plans_mixed_total").Inc()
-	}
-	if plan.Start > q.SubmitAt {
-		s.stats.Counter("plans_delayed_total").Inc()
-	}
-	if degraded {
-		s.stats.Counter("degraded_answers_total").Inc()
-	}
-	return result, &netproto.ReportMeta{
-		PlanSignature: plan.Signature(),
-		CLMinutes:     lat.CL,
-		SLMinutes:     lat.SL,
-		Value:         value,
-		Degraded:      degraded,
-	}, nil
-}
-
-// handleBatch implements the live multi-query optimizer (Section 3.2): the
-// workload is ordered by the genetic scheduler over the planner's estimates
-// and then executed in that order on the coordinator, each member replanned
-// live when its turn comes.
-func (s *DSSServer) handleBatch(ctx context.Context, req *netproto.Request) *netproto.Response {
-	if len(req.Batch) == 0 {
-		return &netproto.Response{Err: "empty batch"}
-	}
-	s.stats.Counter("batches_total").Inc()
-	submit := s.now()
-
-	items := make([]netproto.BatchItem, len(req.Batch))
-	stmts := make([]*sqlmini.SelectStmt, len(req.Batch))
-	queries := make([]core.Query, 0, len(req.Batch))
-	memberOf := make([]int, 0, len(req.Batch)) // scheduler index → request index
-	for i, bq := range req.Batch {
-		stmt, err := sqlmini.Parse(bq.SQL)
-		if err != nil {
-			items[i].Err = err.Error()
-			continue
-		}
-		q, err := s.plannerQuery(stmt, bq.SQL, bq.BusinessValue, submit)
-		if err != nil {
-			items[i].Err = err.Error()
-			continue
-		}
-		q.ID = fmt.Sprintf("%s#%d", q.ID, i) // GA needs distinct members
-		stmts[i] = stmt
-		queries = append(queries, q)
-		memberOf = append(memberOf, i)
-	}
-
-	order := make([]int, len(queries))
-	for i := range order {
-		order[i] = i
-	}
-	if len(queries) > 1 {
-		ev := &scheduler.Evaluator{Planner: s.planner, Catalog: s.catalog, Horizon: s.cfg.PlannerHorizon}
-		mqo, err := scheduler.ScheduleMQO(queries, ev, scheduler.GAConfig{Seed: 1})
-		if err == nil {
-			order = mqo.Order
-		} else {
-			log.Printf("server: batch MQO failed, running FIFO: %v", err)
-		}
-	}
-
-	for _, qi := range order {
-		reqIdx := memberOf[qi]
-		q := queries[qi]
-		// The whole batch runs under one wire deadline; once it passes, the
-		// remaining members are marked rather than executed.
-		if ctx.Err() != nil {
-			cause := context.Cause(ctx)
-			items[reqIdx].Err = cause.Error()
-			s.expiryResponse(cause) // count the deadline/cancellation per member
-			continue
-		}
-		// Horizon check at dispatch: a member queued behind its workload
-		// predecessors may have outlived its value even though it was worth
-		// admitting — shed it instead of occupying the coordinator.
-		if s.cfg.Epsilon > 0 {
-			if h := q.ValueHorizon(s.cfg.Rates, s.cfg.Epsilon); s.now()-q.SubmitAt >= h {
-				items[reqIdx].Err = (&core.ValueExpiredError{Query: q.ID, Horizon: h, Reason: "expired-queued"}).Error()
-				s.stats.Counter("queries_shed_total").Inc()
-				continue
-			}
-		}
-		result, meta, err := s.runOne(ctx, stmts[reqIdx], q, false)
-		s.stats.Counter("queries_total").Inc()
-		if err != nil {
-			items[reqIdx].Err = err.Error()
-			items[reqIdx].Degraded = isDegradedErr(err)
-			if s.expiryResponse(err) == nil {
-				s.stats.Counter("query_errors_total").Inc()
-			}
-			continue
-		}
-		items[reqIdx].Result = result
-		items[reqIdx].Meta = meta
-		items[reqIdx].Degraded = meta.Degraded
-	}
-	return &netproto.Response{Batch: items}
-}
-
-// executePlan evaluates the statement with per-table data sources chosen
-// by the plan and returns the result, the oldest freshness timestamp
-// actually used, and whether the answer is degraded (a base read fell back
-// to a stale replica because the site was unreachable).
-func (s *DSSServer) executePlan(ctx context.Context, stmt *sqlmini.SelectStmt, plan core.Plan) (*relation.Table, core.Time, bool, error) {
-	cat := make(sqlmini.MapCatalog, len(plan.Access))
-	oldest := math.Inf(1)
-	degraded := false
-	for _, a := range plan.Access {
-		switch a.Kind {
-		case core.AccessReplica:
-			s.mu.RLock()
-			snap, ok := s.replicas[a.Table]
-			s.mu.RUnlock()
-			if !ok {
-				return nil, 0, false, fmt.Errorf("server: no replica snapshot for %s", a.Table)
-			}
-			cat.Add(string(a.Table), snap.table)
-			oldest = math.Min(oldest, snap.syncedAt)
-		case core.AccessBase:
-			fetchedAt := s.now()
-			// Query decomposition: push the table's single-alias filter
-			// conjuncts to the remote site so only matching rows travel.
-			// The residual WHERE still runs locally, so a refused or
-			// failed pushdown only costs transfer, never correctness.
-			req := &netproto.Request{Kind: netproto.KindScan, Table: string(a.Table)}
-			if pushSQL, ok := sqlmini.PushdownFor(stmt, string(a.Table)); ok {
-				req = &netproto.Request{Kind: netproto.KindExec, SQL: pushSQL}
-				s.stats.Counter("pushdowns_total").Inc()
-			}
-			resp, err := s.callSite(ctx, a.Site, req)
-			if err != nil {
-				// A failure caused by the request's own deadline is the
-				// caller's answer — degrading to a replica would spend more
-				// time producing a report nobody is waiting for.
-				if ctx.Err() != nil {
-					return nil, 0, false, context.Cause(ctx)
-				}
-				// Availability degradation: an unreachable site is survivable
-				// when a replica snapshot exists — serve the stale copy and
-				// let the SL accounting price the staleness honestly.
-				s.mu.RLock()
-				snap, ok := s.replicas[a.Table]
-				s.mu.RUnlock()
-				if !ok {
-					var remote *netproto.RemoteError
-					if errors.As(err, &remote) {
-						// The site answered: an application error, not an
-						// outage — surface it undecorated.
-						return nil, 0, false, fmt.Errorf("server: site %d: %w", a.Site, err)
-					}
-					return nil, 0, false, &core.SiteUnavailableError{Table: a.Table, Site: a.Site, Cause: err}
-				}
-				log.Printf("server: site %d unreachable for %s, degrading to replica (synced %.2f): %v", a.Site, a.Table, snap.syncedAt, err)
-				s.stats.Counter("degraded_reads_total").Inc()
-				degraded = true
-				cat.Add(string(a.Table), snap.table)
-				oldest = math.Min(oldest, snap.syncedAt)
-				continue
-			}
-			result := resp.Result
-			result.Name = string(a.Table)
-			cat.Add(string(a.Table), result)
-			oldest = math.Min(oldest, fetchedAt)
-		default:
-			return nil, 0, false, fmt.Errorf("server: invalid access kind %d", int(a.Kind))
-		}
-	}
-	out, err := sqlmini.ExecuteContext(ctx, stmt, cat)
-	if err != nil {
-		return nil, 0, false, err
-	}
-	if math.IsInf(oldest, 1) {
-		oldest = s.now()
-	}
-	return out, oldest, degraded, nil
-}
-
 // Close stops the listener and the synchronization loop. It is idempotent.
 func (s *DSSServer) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.closed)
+		s.engine.Stop()
 		s.baseCancel() // cancel every in-flight request context
 		if s.listener != nil {
 			err = s.listener.Close()

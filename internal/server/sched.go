@@ -1,0 +1,297 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ivdss/internal/core"
+	"ivdss/internal/netproto"
+	"ivdss/internal/scheduler"
+	"ivdss/internal/sqlmini"
+)
+
+// Live scheduling: the DSS drives the shared scheduler.Engine on its
+// scaled wall clock. Every Exec and Batch request flows through the
+// engine, which buffers arrivals in the micro-batch window, forms
+// workloads of range-overlapping queries, GA-orders them (Section 3.2),
+// and dispatches highest-effective-value-first with anti-starvation aging
+// (Section 3.3) and horizon shedding. The DES dispatcher drives the
+// identical engine on virtual time — one scheduling core, two drivers.
+
+// wallClock adapts the server's scaled wall clock (experiment minutes) to
+// the engine's Clock interface.
+type wallClock struct{ s *DSSServer }
+
+var _ scheduler.Clock = wallClock{}
+
+func (c wallClock) Now() core.Time { return c.s.now() }
+
+func (c wallClock) AfterFunc(d core.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	time.AfterFunc(c.s.wallDelay(d), fn)
+}
+
+// liveStrategy plans dispatch candidates the way runOne will plan them:
+// full IVQP search over the current catalog snapshot, with sites behind
+// open breakers excluded so scheduling decisions already respect outages.
+type liveStrategy struct{ s *DSSServer }
+
+var _ scheduler.Strategy = liveStrategy{}
+
+func (st liveStrategy) Plan(q core.Query, now core.Time) (core.Plan, error) {
+	snap, err := st.s.catalog.Snapshot(q.Tables, now, st.s.cfg.PlannerHorizon)
+	if err != nil {
+		return core.Plan{}, err
+	}
+	if down := st.s.openSites(); down != nil {
+		for i := range snap {
+			if down[snap[i].Site] {
+				snap[i].BaseDown = true
+			}
+		}
+	}
+	plan, _, err := st.s.planner.Best(q, snap, now)
+	return plan, err
+}
+
+// pendingQuery is the engine payload for one admitted query: the parsed
+// statement plus the path back to the waiting client — a reply channel
+// for ad hoc queries, a collector slot for batch members.
+type pendingQuery struct {
+	ctx       context.Context
+	stmt      *sqlmini.SelectStmt
+	tryRouter bool
+	// done receives the response for an ad hoc query (nil for batch
+	// members).
+	done chan *netproto.Response
+	// batch/reqIdx place a batch member's result; nil for ad hoc queries.
+	batch  *batchCollector
+	reqIdx int
+}
+
+// deliver hands the finished response to whoever is waiting.
+func (p *pendingQuery) deliver(resp *netproto.Response) {
+	if p.batch != nil {
+		item := &p.batch.items[p.reqIdx]
+		item.Err = resp.Err
+		item.Degraded = resp.Degraded
+		item.Result = resp.Result
+		item.Meta = resp.Meta
+		if resp.MQOFallback {
+			p.batch.fallback.Store(true)
+		}
+		p.batch.wg.Done()
+		return
+	}
+	p.done <- resp
+}
+
+// batchCollector gathers one batch's member results. Members write
+// disjoint item slots from executor goroutines; wg releases the waiting
+// connection handler once every member delivered.
+type batchCollector struct {
+	items    []netproto.BatchItem
+	fallback atomic.Bool
+	wg       sync.WaitGroup
+}
+
+// newEngine wires the shared scheduling engine to this server: scaled
+// wall clock, real execution, IVQP dispatch planning, and the configured
+// MQO window, GA, aging, and admission bound.
+func (s *DSSServer) newEngine() (*scheduler.Engine, error) {
+	eng, err := scheduler.NewEngine(scheduler.EngineConfig{
+		Clock:    wallClock{s},
+		Executor: liveExecutor{s},
+		Strategy: liveStrategy{s},
+		Rates:    s.cfg.Rates,
+		Slots:    s.cfg.Workers,
+		Aging:    s.cfg.Aging,
+		Window:   core.Duration(s.cfg.MQOWindow.Seconds() * s.cfg.TimeScale),
+		GA:       s.cfg.GA,
+		Evaluator: &scheduler.Evaluator{
+			Planner: s.planner,
+			Catalog: s.catalog,
+			Horizon: s.cfg.PlannerHorizon,
+		},
+		MaxQueue: s.cfg.QueueDepth,
+		Stats:    s.stats,
+		OnDrop:   s.onDrop,
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng.SetEpsilon(s.cfg.Epsilon)
+	return eng, nil
+}
+
+// liveExecutor runs a dispatched query for real: one goroutine per
+// execution slot in use, through the planning/execution path in exec.go.
+type liveExecutor struct{ s *DSSServer }
+
+var _ scheduler.Executor = liveExecutor{}
+
+func (x liveExecutor) Execute(d scheduler.Dispatch, done func(core.Outcome)) {
+	go func() {
+		s := x.s
+		p := d.Payload.(*pendingQuery)
+		s.stats.Counter("queries_total").Inc()
+		start := time.Now()
+		result, meta, err := s.runOne(p.ctx, p.stmt, d.Query, p.tryRouter)
+		var resp *netproto.Response
+		if err != nil {
+			resp = s.expiryResponse(err)
+			if resp == nil {
+				s.stats.Counter("query_errors_total").Inc()
+				resp = &netproto.Response{Err: err.Error(), Degraded: isDegradedErr(err)}
+			}
+		} else {
+			resp = &netproto.Response{Result: result, Meta: meta, Degraded: meta.Degraded}
+		}
+		resp.MQOFallback = d.MQOFallback
+		if p.batch == nil {
+			// Only single-query service times feed the admission projection;
+			// a batch member's duration says nothing about the next ad hoc
+			// query.
+			s.observeService(time.Since(start))
+		}
+		o := core.Outcome{Query: d.Query, Err: err}
+		if meta != nil {
+			o.Value = meta.Value
+		}
+		p.deliver(resp)
+		s.noteQueueDepth()
+		done(o)
+	}()
+}
+
+// onDrop answers queries the engine dropped without executing: expired in
+// the queue (value-horizon shedding) or impossible to plan.
+func (s *DSSServer) onDrop(o core.Outcome, payload any) {
+	p := payload.(*pendingQuery)
+	var resp *netproto.Response
+	if o.Expired {
+		s.stats.Counter("queries_shed_total").Inc()
+		err := &core.ValueExpiredError{
+			Query:   o.Query.ID,
+			Horizon: o.Query.ValueHorizon(s.cfg.Rates, s.cfg.Epsilon),
+			Reason:  "expired-queued",
+		}
+		resp = &netproto.Response{Err: err.Error(), Expired: true}
+	} else {
+		s.stats.Counter("queries_total").Inc()
+		s.stats.Counter("query_errors_total").Inc()
+		resp = &netproto.Response{Err: o.Err.Error(), Degraded: isDegradedErr(o.Err)}
+	}
+	p.deliver(resp)
+	s.noteQueueDepth()
+}
+
+// noteQueueDepth mirrors the engine's queue length into the admission
+// gauge.
+func (s *DSSServer) noteQueueDepth() {
+	s.stats.Gauge("admission_queue_depth").Set(float64(s.engine.QueueLen()))
+}
+
+// submitExec admits one ad hoc query into the engine and waits for its
+// report. Parse and catalog errors answer immediately — they are query
+// errors, not scheduling outcomes.
+func (s *DSSServer) submitExec(ctx context.Context, req *netproto.Request, id string, horizon core.Duration) *netproto.Response {
+	stmt, err := sqlmini.Parse(req.SQL)
+	if err != nil {
+		return s.execError(err)
+	}
+	q, err := s.plannerQuery(stmt, req.SQL, req.BusinessValue, s.now())
+	if err != nil {
+		return s.execError(err)
+	}
+	p := &pendingQuery{ctx: ctx, stmt: stmt, tryRouter: true, done: make(chan *netproto.Response, 1)}
+	if !s.engine.Submit(q, p) {
+		return s.shed(id, horizon, "queue-full")
+	}
+	s.noteQueueDepth()
+	select {
+	case resp := <-p.done:
+		return resp
+	case <-s.closed:
+		return &netproto.Response{Err: "server shutting down"}
+	}
+}
+
+// execError counts a query that failed before it could be scheduled.
+func (s *DSSServer) execError(err error) *netproto.Response {
+	s.stats.Counter("queries_total").Inc()
+	s.stats.Counter("query_errors_total").Inc()
+	return &netproto.Response{Err: err.Error()}
+}
+
+// submitBatch admits a client workload as one engine group: members that
+// parse are formed into workloads and GA-ordered immediately (Section
+// 3.2), then dispatched by the same engine that schedules ad hoc queries.
+// Admission against the queue bound is all-or-nothing, as a batch was one
+// admission unit on the wire.
+func (s *DSSServer) submitBatch(ctx context.Context, req *netproto.Request, id string, horizon core.Duration) *netproto.Response {
+	if len(req.Batch) == 0 {
+		return &netproto.Response{Err: "empty batch"}
+	}
+	s.stats.Counter("batches_total").Inc()
+	submit := s.now()
+
+	col := &batchCollector{items: make([]netproto.BatchItem, len(req.Batch))}
+	queries := make([]core.Query, 0, len(req.Batch))
+	payloads := make([]any, 0, len(req.Batch))
+	for i, bq := range req.Batch {
+		stmt, err := sqlmini.Parse(bq.SQL)
+		if err != nil {
+			col.items[i].Err = err.Error()
+			continue
+		}
+		q, err := s.plannerQuery(stmt, bq.SQL, bq.BusinessValue, submit)
+		if err != nil {
+			col.items[i].Err = err.Error()
+			continue
+		}
+		col.wg.Add(1)
+		queries = append(queries, q)
+		payloads = append(payloads, &pendingQuery{ctx: ctx, stmt: stmt, batch: col, reqIdx: i})
+	}
+	if len(queries) == 0 {
+		return &netproto.Response{Batch: col.items}
+	}
+	if !s.engine.SubmitGroup(queries, payloads) {
+		return s.shed(id, horizon, "queue-full")
+	}
+	s.noteQueueDepth()
+
+	delivered := make(chan struct{})
+	go func() {
+		col.wg.Wait()
+		close(delivered)
+	}()
+	select {
+	case <-delivered:
+	case <-s.closed:
+		return &netproto.Response{Err: "server shutting down"}
+	}
+	return &netproto.Response{Batch: col.items, MQOFallback: col.fallback.Load()}
+}
+
+// schedulerStatusMetrics is the scheduling slice of the registry included
+// in KindStatus responses, so `ivqp -status` shows the live MQO engine
+// without a full metrics dump.
+func (s *DSSServer) schedulerStatusMetrics() map[string]float64 {
+	out := make(map[string]float64)
+	for name, v := range s.stats.Flatten() {
+		if strings.HasPrefix(name, "workloads_formed") ||
+			strings.HasPrefix(name, "workload_size") ||
+			strings.HasPrefix(name, "mqo_") ||
+			strings.HasPrefix(name, "aging_") {
+			out[name] = v
+		}
+	}
+	return out
+}

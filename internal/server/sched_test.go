@@ -1,0 +1,219 @@
+package server
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ivdss/internal/core"
+	"ivdss/internal/netproto"
+	"ivdss/internal/scheduler"
+)
+
+// Live-scheduling tests: the DSS driving the shared engine — aging at
+// dispatch, micro-batch MQO on the ad hoc stream, and the degraded-MQO
+// fallback flag on the wire.
+
+// runStarvationScenario starts a one-slot DSS with the given aging policy,
+// occupies the slot, queues one cheap query and then a convoy of
+// full-value queries behind it, and returns the cheap query's completion
+// position among all seven (1 = finished first).
+func runStarvationScenario(t *testing.T, aging core.Aging) int {
+	t.Helper()
+	remote, remoteAddr := startRemote(t, accountsTable(t), tradesTable(t))
+	remote.SetScanDelay(150 * time.Millisecond)
+	_, dssAddr := startDSSWith(t, DSSConfig{
+		Remotes:   map[core.SiteID]string{1: remoteAddr},
+		Rates:     core.DiscountRates{CL: .05, SL: .05},
+		TimeScale: 10,
+		Workers:   1,
+		Epsilon:   -1, // no shedding: starvation must be visible, not masked
+		Aging:     aging,
+	})
+
+	type finish struct {
+		cheap bool
+		at    time.Time
+	}
+	finishes := make(chan finish, 7)
+	var wg sync.WaitGroup
+	call := func(sql string, bv float64, cheap bool) {
+		defer wg.Done()
+		_, err := netproto.Call(dssAddr, &netproto.Request{
+			Kind: netproto.KindExec, SQL: sql, BusinessValue: bv,
+		}, 30*time.Second)
+		if err != nil {
+			t.Errorf("query (cheap=%v) failed: %v", cheap, err)
+		}
+		finishes <- finish{cheap: cheap, at: time.Now()}
+	}
+
+	// The blocker takes the only slot.
+	wg.Add(1)
+	go call("SELECT count(*) AS n FROM trades", 1, false)
+	time.Sleep(100 * time.Millisecond)
+	// The cheap query queues first...
+	wg.Add(1)
+	go call("SELECT sum(t_amount) AS s FROM trades", .2, true)
+	time.Sleep(30 * time.Millisecond)
+	// ...then a convoy of full-value queries piles in behind it.
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go call("SELECT count(*) AS n FROM trades", 1, false)
+	}
+	wg.Wait()
+	close(finishes)
+
+	all := make([]finish, 0, 7)
+	for f := range finishes {
+		all = append(all, f)
+	}
+	if len(all) != 7 {
+		t.Fatalf("%d completions, want 7", len(all))
+	}
+	pos := 0
+	var cheapAt time.Time
+	for _, f := range all {
+		if f.cheap {
+			cheapAt = f.at
+		}
+	}
+	for _, f := range all {
+		if !f.at.After(cheapAt) {
+			pos++
+		}
+	}
+	return pos
+}
+
+// TestDSSAgingPreventsStarvationLive: under pure value-maximizing dispatch
+// a cheap query starves behind a convoy of full-value queries; with the
+// Section 3.3 aging boost its accumulated wait wins it a slot within a
+// bounded number of dispatches. This is the DES dispatcher's starvation
+// guarantee holding on the wall-clock driver.
+func TestDSSAgingPreventsStarvationLive(t *testing.T) {
+	if pos := runStarvationScenario(t, core.Aging{}); pos != 7 {
+		t.Errorf("aging off: cheap query finished %d of 7, want dead last (starved)", pos)
+	}
+	pos := runStarvationScenario(t, core.Aging{Coefficient: 1, Exponent: 1.5})
+	if pos > 3 {
+		t.Errorf("aging on: cheap query finished %d of 7, want within the first 3", pos)
+	}
+}
+
+// TestDSSBatchMQOFallbackOnWire: a GA configuration that cannot run (elite
+// exceeding the population) degrades batch scheduling to submission order;
+// the reports still arrive, the response carries the MQOFallback flag, and
+// mqo_fallback_total ticks.
+func TestDSSBatchMQOFallbackOnWire(t *testing.T) {
+	_, remoteAddr := startRemote(t, accountsTable(t), tradesTable(t))
+	_, dssAddr := startDSSWith(t, DSSConfig{
+		Remotes:   map[core.SiteID]string{1: remoteAddr},
+		Rates:     core.DiscountRates{CL: .05, SL: .05},
+		TimeScale: 10,
+		GA:        scheduler.GAConfig{Population: 2, Elite: 3, Seed: 1},
+	})
+
+	resp, err := netproto.Call(dssAddr, &netproto.Request{
+		Kind: netproto.KindBatch,
+		Batch: []netproto.BatchQuery{
+			{SQL: "SELECT count(*) AS n FROM accounts", BusinessValue: 1},
+			{SQL: "SELECT sum(t_amount) AS s FROM trades", BusinessValue: 1},
+			{SQL: "SELECT count(*) AS n FROM trades", BusinessValue: .8},
+		},
+	}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.MQOFallback {
+		t.Error("response does not flag the MQO fallback")
+	}
+	for i, item := range resp.Batch {
+		if item.Err != "" {
+			t.Errorf("member %d failed under fallback: %s", i, item.Err)
+		}
+		if item.Result == nil {
+			t.Errorf("member %d has no result", i)
+		}
+	}
+	m := metricsOf(t, dssAddr)
+	if m["mqo_fallback_total"] < 1 {
+		t.Errorf("mqo_fallback_total = %v, want ≥ 1", m["mqo_fallback_total"])
+	}
+}
+
+// TestDSSBatchMQOCleanRunNotFlagged: a healthy batch must not carry the
+// degraded-scheduling flag.
+func TestDSSBatchMQOCleanRunNotFlagged(t *testing.T) {
+	_, remoteAddr := startRemote(t, accountsTable(t), tradesTable(t))
+	_, dssAddr := startDSS(t, remoteAddr)
+	resp, err := netproto.Call(dssAddr, &netproto.Request{
+		Kind: netproto.KindBatch,
+		Batch: []netproto.BatchQuery{
+			{SQL: "SELECT count(*) AS n FROM accounts", BusinessValue: 1},
+			{SQL: "SELECT count(*) AS n FROM trades", BusinessValue: 1},
+		},
+	}, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.MQOFallback {
+		t.Error("healthy batch flagged as MQO fallback")
+	}
+}
+
+// TestDSSMicroBatchWindowFormsWorkloads: with MQOWindow set, concurrent ad
+// hoc arrivals are held briefly, formed into a workload, GA-ordered, and
+// all answered — continuous MQO on the live stream, visible in the
+// scheduler metrics and in the KindStatus response.
+func TestDSSMicroBatchWindowFormsWorkloads(t *testing.T) {
+	_, remoteAddr := startRemote(t, accountsTable(t), tradesTable(t))
+	_, dssAddr := startDSSWith(t, DSSConfig{
+		Remotes:   map[core.SiteID]string{1: remoteAddr},
+		Rates:     core.DiscountRates{CL: .05, SL: .05},
+		TimeScale: 10,
+		MQOWindow: 150 * time.Millisecond,
+	})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 3)
+	for _, sql := range []string{
+		"SELECT count(*) AS n FROM accounts",
+		"SELECT sum(t_amount) AS s FROM trades",
+		"SELECT count(*) AS n FROM trades",
+	} {
+		sql := sql
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := netproto.Call(dssAddr, &netproto.Request{
+				Kind: netproto.KindExec, SQL: sql, BusinessValue: 1,
+			}, 30*time.Second)
+			errs <- err
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("windowed query failed: %v", err)
+		}
+	}
+	m := metricsOf(t, dssAddr)
+	if m["workloads_formed_total"] < 1 {
+		t.Errorf("workloads_formed_total = %v, want ≥ 1", m["workloads_formed_total"])
+	}
+	if m["mqo_fallback_total"] != 0 {
+		t.Errorf("mqo_fallback_total = %v, want 0", m["mqo_fallback_total"])
+	}
+
+	// The scheduler slice of the metrics rides on KindStatus for `ivqp
+	// -status`.
+	st, err := netproto.Call(dssAddr, &netproto.Request{Kind: netproto.KindStatus}, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := st.Metrics["workloads_formed_total"]; !ok || v < 1 {
+		t.Errorf("status metrics workloads_formed_total = %v (present %v), want ≥ 1", v, ok)
+	}
+}

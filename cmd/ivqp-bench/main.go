@@ -4,8 +4,8 @@
 // Usage:
 //
 //	ivqp-bench                 # run everything at paper scale
-//	ivqp-bench -fig 5          # one experiment: 5, 6, 7, 8, 9a, 9b,
-//	                           # tables, search, mqo, aging, advisor, load
+//	ivqp-bench -fig 5          # one experiment: 5, 6, 7, 8, 9a, 9b, tables,
+//	                           # search, mqo, aging, advisor, sync, load
 //	ivqp-bench -quick          # scaled-down configs (CI-sized)
 //	ivqp-bench -seed 7         # change the experiment seed
 //	ivqp-bench -fig load -epsilon 0.25   # admission-control load run;
@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, load, or all")
+	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, or all")
 	quick := flag.Bool("quick", false, "use scaled-down configurations")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
@@ -193,6 +193,19 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 		}
 		cfg.Seed = seed
 		res, err := bench.RunAblationAging(cfg)
+		if err != nil {
+			return err
+		}
+		emit(res.Tables())
+	}
+
+	if want("sync") {
+		cfg := bench.DefaultSyncConfig()
+		if quick {
+			cfg = bench.QuickSyncConfig()
+		}
+		cfg.Seed = seed
+		res, err := bench.RunSync(cfg)
 		if err != nil {
 			return err
 		}

@@ -80,18 +80,24 @@ func main() {
 	gaSeed := flag.Int64("ga-seed", 0, "GA ordering seed for batch/micro-batch MQO (0 = server default)")
 	gaPopulation := flag.Int("ga-population", 0, "GA population size (0 = default 40)")
 	gaGenerations := flag.Int("ga-generations", 0, "GA generations (0 = default 50)")
+	syncBudget := flag.Float64("sync-budget", 0, "replication bandwidth budget in bytes per wall second shared by all tables (0 = unlimited)")
+	adaptiveSync := flag.Bool("adaptive-sync", false, "re-divide the sync budget by observed IV loss to staleness and review replica placement online")
+	syncAdjust := flag.Duration("sync-adjust", 0, "cadence controller interval for -adaptive-sync (0 = default 10s)")
 	flag.Parse()
 
 	cfg := server.DSSConfig{
-		Rates:       core.DiscountRates{CL: *lambdaCL, SL: *lambdaSL},
-		TimeScale:   *timescale,
-		DialTimeout: *timeout,
-		Epsilon:     *epsilon,
-		Workers:     *workers,
-		QueueDepth:  *queue,
-		MQOWindow:   *mqoWindow,
-		Aging:       core.Aging{Coefficient: *agingCoeff, Exponent: *agingExp},
-		GA:          scheduler.GAConfig{Seed: *gaSeed, Population: *gaPopulation, Generations: *gaGenerations},
+		Rates:           core.DiscountRates{CL: *lambdaCL, SL: *lambdaSL},
+		TimeScale:       *timescale,
+		DialTimeout:     *timeout,
+		Epsilon:         *epsilon,
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		MQOWindow:       *mqoWindow,
+		Aging:           core.Aging{Coefficient: *agingCoeff, Exponent: *agingExp},
+		GA:              scheduler.GAConfig{Seed: *gaSeed, Population: *gaPopulation, Generations: *gaGenerations},
+		SyncBudget:      *syncBudget,
+		AdaptiveSync:    *adaptiveSync,
+		SyncAdjustEvery: *syncAdjust,
 	}
 	if err := run(*addr, remotes, *replicate, cfg, *calibration); err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-dss:", err)

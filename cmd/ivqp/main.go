@@ -123,9 +123,19 @@ func run(addr string, value float64, status, showMetrics, remote, register, batc
 			}
 			fmt.Println()
 		}
-		fmt.Printf("%-16s %-5s %-12s %s\n", "TABLE", "SITE", "LAST SYNC", "STALENESS (min)")
+		fmt.Printf("%-16s %-5s %-12s %-16s %-12s %-11s %-10s %s\n",
+			"TABLE", "SITE", "LAST SYNC", "STALENESS (min)", "PERIOD (min)", "NEXT SYNC", "SYNC AGE", "CURSOR")
 		for _, r := range resp.Replicas {
-			fmt.Printf("%-16s %-5d %-12.2f %.2f\n", r.Table, r.Site, r.LastSyncMinutes, r.StalenessMinutes)
+			// Live-cadence columns read "-" until the sync engine reports.
+			next, age := "-", "-"
+			if r.NextSyncMinutes >= 0 {
+				next = fmt.Sprintf("%.2f", r.NextSyncMinutes)
+			}
+			if r.LastSyncAgeMinutes >= 0 {
+				age = fmt.Sprintf("%.2f", r.LastSyncAgeMinutes)
+			}
+			fmt.Printf("%-16s %-5d %-12.2f %-16.2f %-12.2f %-11s %-10s %d\n",
+				r.Table, r.Site, r.LastSyncMinutes, r.StalenessMinutes, r.PeriodMinutes, next, age, r.Cursor)
 		}
 		if len(resp.Metrics) > 0 {
 			fmt.Println()

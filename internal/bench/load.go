@@ -37,6 +37,10 @@ type LoadConfig struct {
 	MQOWindow core.Duration
 	// GA parameterizes the workload ordering in the MQO variant.
 	GA scheduler.GAConfig
+	// Sync parameterizes the replication-cadence comparison that rides
+	// along in the same artifact (seed is overridden with Seed). A zero
+	// Tables count falls back to DefaultSyncConfig.
+	Sync SyncConfig
 }
 
 // DefaultLoadConfig overloads one slot several times over, so both
@@ -58,6 +62,7 @@ func DefaultLoadConfig() LoadConfig {
 		Seed:           1,
 		MQOWindow:      10,
 		GA:             scheduler.GAConfig{Seed: 1},
+		Sync:           DefaultSyncConfig(),
 	}
 }
 
@@ -65,6 +70,7 @@ func DefaultLoadConfig() LoadConfig {
 func QuickLoadConfig() LoadConfig {
 	cfg := DefaultLoadConfig()
 	cfg.NQueries = 30
+	cfg.Sync = QuickSyncConfig()
 	return cfg
 }
 
@@ -100,6 +106,17 @@ type LoadResult struct {
 	MQOTotalIV       float64 `json:"mqo_total_iv,omitempty"`
 	// MQOGainPct is (MQOTotalIV - FIFOTotalIV) / FIFOTotalIV × 100.
 	MQOGainPct float64 `json:"mqo_gain_pct,omitempty"`
+
+	// Replication cadence comparison (the replsync engine on the DES): the
+	// same skewed stream scored under a static uniform sync cadence versus
+	// the IV-adaptive controller, plus the adaptive run's traffic counters.
+	SyncStaticTotalIV       float64 `json:"sync_static_total_iv"`
+	SyncAdaptiveTotalIV     float64 `json:"sync_adaptive_total_iv"`
+	SyncAdaptiveGainPct     float64 `json:"sync_adaptive_gain_pct"`
+	SyncsTotal              float64 `json:"syncs_total"`
+	SyncBytesTotal          float64 `json:"sync_bytes_total"`
+	SyncDeferredTotal       float64 `json:"sync_deferred_total"`
+	CadenceAdjustmentsTotal float64 `json:"cadence_adjustments_total"`
 }
 
 // RunLoad executes the experiment: the full IVQP stack (planner, catalog,
@@ -201,6 +218,26 @@ func RunLoad(cfg LoadConfig) (LoadResult, error) {
 			res.MQOGainPct = (mqoIV - fifoIV) / fifoIV * 100
 		}
 	}
+
+	// Replication cadence comparison: static uniform versus IV-adaptive
+	// sync under a skewed workload, recorded in the same artifact so the
+	// trajectory of both results is comparable across commits.
+	syncCfg := cfg.Sync
+	if syncCfg.Tables == 0 {
+		syncCfg = DefaultSyncConfig()
+	}
+	syncCfg.Seed = cfg.Seed
+	syncRes, err := RunSync(syncCfg)
+	if err != nil {
+		return res, err
+	}
+	res.SyncStaticTotalIV = syncRes.Static.TotalIV
+	res.SyncAdaptiveTotalIV = syncRes.Adaptive.TotalIV
+	res.SyncAdaptiveGainPct = syncRes.GainPct
+	res.SyncsTotal = syncRes.Adaptive.Syncs
+	res.SyncBytesTotal = syncRes.Adaptive.SyncBytes
+	res.SyncDeferredTotal = syncRes.Adaptive.SyncDeferred
+	res.CadenceAdjustmentsTotal = syncRes.Adaptive.CadenceAdjustments
 	return res, nil
 }
 
@@ -298,6 +335,21 @@ func (r LoadResult) Tables() []Table {
 				{"fifo", fmt.Sprintf("%d", r.FIFOCompleted), fmt.Sprintf("%d", r.FIFOShed), f3(r.FIFOTotalIV)},
 				{"mqo", fmt.Sprintf("%d", r.MQOCompleted), fmt.Sprintf("%d", r.MQOShed), f3(r.MQOTotalIV)},
 				{"gain", "", "", fmt.Sprintf("%+.1f%%", r.MQOGainPct)},
+			},
+		})
+	}
+	if r.SyncsTotal > 0 {
+		tables = append(tables, Table{
+			Title:   "Replication cadence: static uniform vs IV-adaptive",
+			Columns: []string{"variant", "total IV", "syncs", "bytes", "deferred", "adjusts"},
+			Rows: [][]string{
+				{"static", f3(r.SyncStaticTotalIV), "", "", "", ""},
+				{"adaptive", f3(r.SyncAdaptiveTotalIV),
+					fmt.Sprintf("%.0f", r.SyncsTotal),
+					fmt.Sprintf("%.0f", r.SyncBytesTotal),
+					fmt.Sprintf("%.0f", r.SyncDeferredTotal),
+					fmt.Sprintf("%.0f", r.CadenceAdjustmentsTotal)},
+				{"gain", fmt.Sprintf("%+.1f%%", r.SyncAdaptiveGainPct), "", "", "", ""},
 			},
 		})
 	}

@@ -26,6 +26,18 @@ func TestRunLoadShedsUnderOverload(t *testing.T) {
 	if res.P95CL < res.MeanCL {
 		t.Errorf("p95 CL %v below mean %v", res.P95CL, res.MeanCL)
 	}
+	// The replication-cadence comparison rides along: adaptive must beat
+	// the static uniform cadence, and the traffic counters are populated.
+	if res.SyncAdaptiveTotalIV <= res.SyncStaticTotalIV {
+		t.Errorf("adaptive sync IV %.3f did not beat static %.3f",
+			res.SyncAdaptiveTotalIV, res.SyncStaticTotalIV)
+	}
+	if res.SyncAdaptiveGainPct <= 0 {
+		t.Errorf("sync gain = %+.2f%%, want positive", res.SyncAdaptiveGainPct)
+	}
+	if res.SyncsTotal <= 0 || res.SyncBytesTotal <= 0 {
+		t.Errorf("sync traffic counters empty: syncs=%v bytes=%v", res.SyncsTotal, res.SyncBytesTotal)
+	}
 
 	var buf strings.Builder
 	if err := res.WriteJSON(&buf); err != nil {

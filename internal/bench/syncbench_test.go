@@ -1,0 +1,85 @@
+package bench
+
+import "testing"
+
+func TestRunSyncAdaptiveBeatsStatic(t *testing.T) {
+	res, err := RunSync(QuickSyncConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Adaptive.TotalIV <= res.Static.TotalIV {
+		t.Errorf("adaptive IV %.3f did not beat static %.3f",
+			res.Adaptive.TotalIV, res.Static.TotalIV)
+	}
+	if res.GainPct <= 0 {
+		t.Errorf("gain = %+.2f%%, want positive", res.GainPct)
+	}
+	// The win comes from cadence: the hot tables sync faster than they
+	// started, the cold tables slower, under the same total rate.
+	if res.Adaptive.HotPeriod >= res.Static.HotPeriod {
+		t.Errorf("hot period %.2f did not shrink from the uniform %.2f",
+			res.Adaptive.HotPeriod, res.Static.HotPeriod)
+	}
+	if res.Adaptive.ColdPeriod <= res.Static.ColdPeriod {
+		t.Errorf("cold period %.2f did not grow from the uniform %.2f",
+			res.Adaptive.ColdPeriod, res.Static.ColdPeriod)
+	}
+	if res.Adaptive.CadenceAdjustments < 1 {
+		t.Errorf("cadence_adjustments_total = %v, want ≥ 1", res.Adaptive.CadenceAdjustments)
+	}
+	if res.Static.CadenceAdjustments != 0 {
+		t.Errorf("static variant adjusted cadence %v times", res.Static.CadenceAdjustments)
+	}
+	// Traffic accounting is populated for both variants.
+	for name, v := range map[string]SyncVariant{"static": res.Static, "adaptive": res.Adaptive} {
+		if v.Syncs <= 0 || v.SyncBytes <= 0 {
+			t.Errorf("%s: syncs=%v bytes=%v, want positive traffic", name, v.Syncs, v.SyncBytes)
+		}
+	}
+}
+
+func TestRunSyncDeterministic(t *testing.T) {
+	cfg := QuickSyncConfig()
+	a, err := RunSync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestRunSyncBudgetDefers(t *testing.T) {
+	cfg := QuickSyncConfig()
+	// Squeeze the pipe: each delta ships ~RowsPerMin×Period×RowBytes =
+	// 5×8×8 = 320 bytes per table per period; a 100 B/min budget across 8
+	// tables cannot keep up, so cycles must defer.
+	cfg.Budget = 100
+	res, err := RunSync(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Static.SyncDeferred <= 0 {
+		t.Errorf("sync_deferred_total = %v under a starved budget, want > 0", res.Static.SyncDeferred)
+	}
+}
+
+func TestRunSyncRejectsBadConfig(t *testing.T) {
+	bad := []func(*SyncConfig){
+		func(c *SyncConfig) { c.HotTables = 0 },
+		func(c *SyncConfig) { c.HotTables = c.Tables },
+		func(c *SyncConfig) { c.HotFraction = 0 },
+		func(c *SyncConfig) { c.HotFraction = 1 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultSyncConfig()
+		mut(&cfg)
+		if _, err := RunSync(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}

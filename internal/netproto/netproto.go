@@ -42,6 +42,14 @@ const (
 	// KindBatch submits a workload of queries together; the DSS orders it
 	// with the multi-query optimizer (Section 3.2) before executing.
 	KindBatch
+	// KindSnapshot fetches a full, versioned copy of a base table — the
+	// sync agent's first pull for a newly registered replica, and its
+	// fallback when a delta cursor has been invalidated.
+	KindSnapshot
+	// KindDelta fetches the rows appended to a base table since the
+	// caller's replication cursor (Request.Cursor), so steady-state sync
+	// cycles ship only the change set instead of the whole table.
+	KindDelta
 )
 
 // SiteStatus describes one remote site's health as the DSS sees it, for
@@ -67,6 +75,11 @@ type Request struct {
 	BusinessValue float64
 	// Batch carries the workload for KindBatch.
 	Batch []BatchQuery
+	// Cursor is the replication cursor for KindDelta: the table version the
+	// caller's replica already reflects. Base tables are append-only, so
+	// the version is the count of rows ever inserted and the delta is the
+	// suffix beyond it.
+	Cursor uint64
 	// TimeoutMillis is the caller's remaining deadline budget, carried on
 	// the wire so the server can bound its own work (and its downstream
 	// calls) by what the client will still wait for. Zero means no
@@ -110,6 +123,19 @@ type ReplicaStatus struct {
 	Site             int
 	LastSyncMinutes  float64 // experiment-time of the last completed sync
 	StalenessMinutes float64
+	// LastSyncAgeMinutes is now minus the last completed sync — how old the
+	// replica's contents are, the quantity a QoS window bounds.
+	LastSyncAgeMinutes float64
+	// NextSyncMinutes is the experiment-time of the next scheduled sync;
+	// negative when none is scheduled.
+	NextSyncMinutes float64
+	// PeriodMinutes is the sync period currently in force — under adaptive
+	// cadence it drifts from the configured one as the controller
+	// re-divides the budget.
+	PeriodMinutes float64
+	// Cursor is the replication cursor: rows of the base table the replica
+	// reflects.
+	Cursor uint64
 }
 
 // BatchItem is one KindBatch member's outcome, aligned with the request's
@@ -143,6 +169,15 @@ type Response struct {
 	Sites       []SiteStatus
 	Metrics     map[string]float64
 	Batch       []BatchItem
+	// Version is the table version accompanying KindSnapshot and KindDelta
+	// responses: the count of rows ever inserted into the base table.
+	Version uint64
+	// DeltaRows carries the appended rows for KindDelta.
+	DeltaRows []relation.Row
+	// Resync is set on a KindDelta response whose cursor the server cannot
+	// serve (it is ahead of the table, e.g. after a site restart); the
+	// caller must fall back to a full snapshot.
+	Resync bool
 }
 
 // RemoteError is the typed client-side form of a server-reported error.

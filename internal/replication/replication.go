@@ -14,6 +14,7 @@ package replication
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"ivdss/internal/core"
 	"ivdss/internal/stats"
@@ -55,6 +56,9 @@ func Exponential(mean core.Duration, seed int64, until core.Time) (Schedule, err
 	if mean <= 0 {
 		return Schedule{}, fmt.Errorf("replication: mean %v must be positive", mean)
 	}
+	if until <= 0 {
+		return Schedule{}, fmt.Errorf("replication: horizon %v must be positive", until)
+	}
 	stream := stats.NewExponentialStream(mean, seed)
 	var times []core.Time
 	t := core.Time(0)
@@ -73,13 +77,16 @@ type SyncEvent struct {
 	At    core.Time
 }
 
-// Manager tracks the synchronization state of every replicated table. It
-// is single-goroutine like the simulator that drives it; the live server
-// wraps it with its own lock.
+// Manager tracks the synchronization state of every replicated table. All
+// methods are safe for concurrent use: the live server's sync agent
+// rewrites schedules while request handlers read StateFor, so the manager
+// carries its own lock rather than relying on a single driving goroutine.
 type Manager struct {
+	mu     sync.Mutex
 	tables map[core.TableID]*tableSync
 	// onSync, when set, is invoked for each newly completed sync (in time
-	// order) so the owner can copy data into the replica store.
+	// order) so the owner can copy data into the replica store. It is
+	// called without the manager lock held.
 	onSync func(SyncEvent)
 }
 
@@ -94,10 +101,16 @@ func NewManager() *Manager {
 }
 
 // OnSync registers a callback invoked for each sync as Advance applies it.
-func (m *Manager) OnSync(fn func(SyncEvent)) { m.onSync = fn }
+func (m *Manager) OnSync(fn func(SyncEvent)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onSync = fn
+}
 
 // Register adds a replicated table with its schedule. Re-registering a
-// table is an error.
+// table is an error. An empty schedule is valid: the live sync agent
+// registers tables bare and fills in completions (RecordSync) and upcoming
+// syncs (Reschedule) as it runs.
 func (m *Manager) Register(id core.TableID, s Schedule) error {
 	if id == "" {
 		return fmt.Errorf("replication: empty table ID")
@@ -105,6 +118,8 @@ func (m *Manager) Register(id core.TableID, s Schedule) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	if _, ok := m.tables[id]; ok {
 		return fmt.Errorf("replication: table %s already registered", id)
 	}
@@ -114,14 +129,28 @@ func (m *Manager) Register(id core.TableID, s Schedule) error {
 	return nil
 }
 
+// Unregister drops a replicated table (a runtime demotion). It reports
+// whether the table was registered.
+func (m *Manager) Unregister(id core.TableID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.tables[id]
+	delete(m.tables, id)
+	return ok
+}
+
 // Replicated reports whether the table has a registered replica.
 func (m *Manager) Replicated(id core.TableID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	_, ok := m.tables[id]
 	return ok
 }
 
 // Tables returns the registered table IDs, sorted.
 func (m *Manager) Tables() []core.TableID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	ids := make([]core.TableID, 0, len(m.tables))
 	for id := range m.tables {
 		ids = append(ids, id)
@@ -132,8 +161,10 @@ func (m *Manager) Tables() []core.TableID {
 
 // Advance applies every scheduled sync with completion time <= now, in
 // global time order, invoking the OnSync callback for each, and returns
-// the newly applied events.
+// the newly applied events. Callbacks run outside the manager lock so they
+// may call back into the manager.
 func (m *Manager) Advance(now core.Time) []SyncEvent {
+	m.mu.Lock()
 	var events []SyncEvent
 	for id, ts := range m.tables {
 		for ts.applied < len(ts.schedule) && ts.schedule[ts.applied] <= now {
@@ -147,9 +178,11 @@ func (m *Manager) Advance(now core.Time) []SyncEvent {
 		}
 		return events[i].Table < events[j].Table
 	})
-	if m.onSync != nil {
+	onSync := m.onSync
+	m.mu.Unlock()
+	if onSync != nil {
 		for _, ev := range events {
-			m.onSync(ev)
+			onSync(ev)
 		}
 	}
 	return events
@@ -159,6 +192,8 @@ func (m *Manager) Advance(now core.Time) []SyncEvent {
 // sync across all tables, or core.Time infinity substitute (ok=false) when
 // none remain.
 func (m *Manager) NextSyncAt() (core.Time, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	best := core.Time(0)
 	found := false
 	for _, ts := range m.tables {
@@ -172,6 +207,68 @@ func (m *Manager) NextSyncAt() (core.Time, bool) {
 	return best, found
 }
 
+// RecordSync records an out-of-schedule completed synchronization at `at`
+// — the live sync agent's actual completion instant, which drifts from the
+// materialized schedule under deferrals and transfer time. Scheduled
+// entries at or before `at` that have not completed are dropped (the
+// completed sync supersedes them) and `at` becomes the latest completed
+// sync, so StateFor and Staleness reflect exactly what the replica store
+// holds. `at` must not precede the last completed sync.
+func (m *Manager) RecordSync(id core.TableID, at core.Time) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tables[id]
+	if !ok {
+		return fmt.Errorf("replication: table %s not registered", id)
+	}
+	if ts.applied > 0 {
+		if last := ts.schedule[ts.applied-1]; at < last {
+			return fmt.Errorf("replication: sync at %v precedes last completed sync %v of %s", at, last, id)
+		} else if at == last {
+			return nil // already recorded
+		}
+	}
+	// Drop pending entries the completed sync supersedes, then splice the
+	// completion into the applied prefix.
+	rest := ts.schedule[ts.applied:]
+	for len(rest) > 0 && rest[0] <= at {
+		rest = rest[1:]
+	}
+	sched := make([]core.Time, 0, ts.applied+1+len(rest))
+	sched = append(sched, ts.schedule[:ts.applied]...)
+	sched = append(sched, at)
+	sched = append(sched, rest...)
+	ts.schedule = sched
+	ts.applied++
+	return nil
+}
+
+// Reschedule replaces the table's not-yet-completed schedule suffix with
+// `future` (strictly ascending, every entry after the last completed
+// sync). The adaptive cadence controller calls it whenever it re-divides
+// the sync budget, so the planner's view of upcoming replica versions
+// tracks the cadence actually in force.
+func (m *Manager) Reschedule(id core.TableID, future []core.Time) error {
+	if err := (Schedule{Times: future}).Validate(); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ts, ok := m.tables[id]
+	if !ok {
+		return fmt.Errorf("replication: table %s not registered", id)
+	}
+	if ts.applied > 0 && len(future) > 0 && future[0] <= ts.schedule[ts.applied-1] {
+		return fmt.Errorf("replication: rescheduled sync %v not after last completed sync %v of %s",
+			future[0], ts.schedule[ts.applied-1], id)
+	}
+	sched := make([]core.Time, 0, ts.applied+len(future))
+	sched = append(sched, ts.schedule[:ts.applied]...)
+	sched = append(sched, future...)
+	ts.schedule = sched
+	return nil
+}
+
 // StateFor returns the planner's view of one replicated table at time now:
 // the last completed sync and the scheduled syncs within the horizon
 // (horizon 0 means all remaining). It returns nil for unreplicated tables.
@@ -179,6 +276,8 @@ func (m *Manager) NextSyncAt() (core.Time, bool) {
 // The state is derived from the schedule rather than the applied counter,
 // so callers may ask about any `now` at or after the last Advance.
 func (m *Manager) StateFor(id core.TableID, now core.Time, horizon core.Duration) *core.ReplicaState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	ts, ok := m.tables[id]
 	if !ok {
 		return nil
@@ -224,6 +323,8 @@ func finishState(rs *core.ReplicaState, seenPast bool, now core.Time) *core.Repl
 // quantity a QoS window bounds. The second result is false when the table
 // is unreplicated or has never synchronized by `now`.
 func (m *Manager) Staleness(id core.TableID, now core.Time) (core.Duration, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	ts, ok := m.tables[id]
 	if !ok {
 		return 0, false

@@ -1,0 +1,521 @@
+package replsync
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"ivdss/internal/core"
+	"ivdss/internal/metrics"
+	"ivdss/internal/replication"
+	"ivdss/internal/scheduler"
+)
+
+// TableConfig is one replicated table's starting cadence.
+type TableConfig struct {
+	ID core.TableID
+	// Period is the sync period in experiment minutes; must be positive.
+	Period core.Duration
+}
+
+// Config wires an Agent.
+type Config struct {
+	// Clock is the time source; the agent never sleeps or reads wall time,
+	// so a SimClock drives the identical code path as the live server's
+	// scaled wall clock.
+	Clock scheduler.Clock
+	// Fetch obtains sync payloads; Apply installs them.
+	Fetch Fetcher
+	Apply Applier
+	// Manager, when set, mirrors every completion (RecordSync) and the
+	// upcoming cadence (Reschedule) so the planner's StateFor view matches
+	// the replica store exactly. The caller registers the initial Tables;
+	// the agent registers/unregisters tables it promotes/demotes.
+	Manager *replication.Manager
+	// Context roots fetches; cancelling it aborts in-flight pulls on
+	// shutdown. Defaults to context.Background().
+	Context context.Context
+	// Tables is the initial replica set with starting periods.
+	Tables []TableConfig
+
+	// Budget is the global bandwidth budget in bytes per experiment
+	// minute, shared by all tables; 0 means unlimited. The budget is a
+	// token bucket: a sync whose payload overdraws it puts the bucket into
+	// debt, and cycles defer until the debt refills rather than retrying.
+	Budget float64
+	// Burst caps accumulated budget. Default 5 minutes' worth.
+	Burst float64
+	// MirrorSyncs is how many upcoming syncs are mirrored into the Manager
+	// per table (the planner's delayed-execution lookahead). Default 4.
+	MirrorSyncs int
+
+	// Adaptive enables the cadence controller: every AdjustEvery minutes
+	// the total sync rate (Σ 1/period, fixed at construction) is
+	// re-divided across tables in proportion to the square root of each
+	// table's decayed IV-loss-to-staleness, clamped to
+	// [MinPeriod, MaxPeriod].
+	Adaptive bool
+	// AdjustEvery is the controller interval in experiment minutes.
+	// Default 10.
+	AdjustEvery core.Duration
+	// MinPeriod / MaxPeriod clamp adaptive periods. Defaults: a quarter of
+	// the fastest configured period, and four times the slowest.
+	MinPeriod core.Duration
+	MaxPeriod core.Duration
+	// DecayHalfLife is the half-life of the loss accounting, so stale
+	// demand fades. Default 2×AdjustEvery.
+	DecayHalfLife core.Duration
+	// Placer, when set (and Adaptive), is consulted every PlaceEvery
+	// adjustments: tables it recommends that are not replicated are
+	// promoted (snapshot first), replicated tables it omits are demoted.
+	Placer Placer
+	// PlaceEvery is how many adjustments pass between placement reviews.
+	// Default 3.
+	PlaceEvery int
+
+	// Stats receives the agent's metrics; nil allocates a private registry.
+	Stats *metrics.Registry
+	// OnSync observes every sync event (completions, deferrals, failures),
+	// invoked outside the agent lock.
+	OnSync func(Event)
+}
+
+// tableState is one replicated table's live sync state.
+type tableState struct {
+	id           core.TableID
+	period       core.Duration
+	cursor       uint64
+	haveSnapshot bool
+	lastSync     core.Time // -1 before the first completed sync
+	nextAt       core.Time // -1 when no cycle is armed
+	gen          uint64    // invalidates armed timers on reschedule/demote
+	syncing      bool      // a cycle is in flight (live mode)
+}
+
+// TableStatus is one table's sync state as reported by Status.
+type TableStatus struct {
+	Table        core.TableID
+	Period       core.Duration
+	Cursor       uint64
+	LastSync     core.Time // -1: never synced
+	NextAt       core.Time // -1: no cycle armed
+	HaveSnapshot bool
+}
+
+// Agent runs the synchronization cycles. Construct with New; call SyncNow
+// for synchronous initial pulls, Start to begin the periodic cycles, Stop
+// to cease.
+type Agent struct {
+	cfg Config
+	ctx context.Context
+
+	mu      sync.Mutex
+	tables  map[core.TableID]*tableState
+	genSeq  uint64
+	started bool
+	stopped bool
+
+	// Token-bucket bandwidth budget, in bytes over experiment time.
+	tokens     float64
+	lastRefill core.Time
+
+	// rateBudget is Σ 1/period at construction — the total sync rate the
+	// adaptive controller re-divides but never exceeds.
+	rateBudget float64
+	adjustGen  uint64
+	losses     map[core.TableID]float64
+	lossAt     core.Time
+	placeLeft  int
+
+	stats *metrics.Registry
+}
+
+// New validates the config and returns an Agent. No cycles run until
+// SyncNow or Start.
+func New(cfg Config) (*Agent, error) {
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("replsync: config needs a Clock")
+	}
+	if cfg.Fetch == nil {
+		return nil, fmt.Errorf("replsync: config needs a Fetcher")
+	}
+	if cfg.Apply == nil {
+		return nil, fmt.Errorf("replsync: config needs an Applier")
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("replsync: negative bandwidth budget %g", cfg.Budget)
+	}
+	if cfg.Context == nil {
+		cfg.Context = context.Background()
+	}
+	if cfg.MirrorSyncs == 0 {
+		cfg.MirrorSyncs = 4
+	}
+	if cfg.AdjustEvery == 0 {
+		cfg.AdjustEvery = 10
+	}
+	if cfg.AdjustEvery < 0 {
+		return nil, fmt.Errorf("replsync: negative adjust interval %v", cfg.AdjustEvery)
+	}
+	if cfg.DecayHalfLife == 0 {
+		cfg.DecayHalfLife = 2 * cfg.AdjustEvery
+	}
+	if cfg.PlaceEvery == 0 {
+		cfg.PlaceEvery = 3
+	}
+	if cfg.Stats == nil {
+		cfg.Stats = metrics.NewRegistry()
+	}
+
+	a := &Agent{
+		cfg:    cfg,
+		ctx:    cfg.Context,
+		tables: make(map[core.TableID]*tableState, len(cfg.Tables)),
+		losses: make(map[core.TableID]float64),
+		stats:  cfg.Stats,
+	}
+	minP, maxP := core.Duration(math.Inf(1)), core.Duration(0)
+	for _, tc := range cfg.Tables {
+		if tc.ID == "" {
+			return nil, fmt.Errorf("replsync: empty table ID")
+		}
+		if tc.Period <= 0 {
+			return nil, fmt.Errorf("replsync: table %s: period %v must be positive", tc.ID, tc.Period)
+		}
+		if _, ok := a.tables[tc.ID]; ok {
+			return nil, fmt.Errorf("replsync: table %s configured twice", tc.ID)
+		}
+		a.tables[tc.ID] = &tableState{id: tc.ID, period: tc.Period, lastSync: -1, nextAt: -1}
+		a.rateBudget += 1 / float64(tc.Period)
+		minP = math.Min(minP, tc.Period)
+		maxP = math.Max(maxP, tc.Period)
+	}
+	if a.cfg.MinPeriod == 0 && len(cfg.Tables) > 0 {
+		a.cfg.MinPeriod = minP / 4
+	}
+	if a.cfg.MaxPeriod == 0 && len(cfg.Tables) > 0 {
+		a.cfg.MaxPeriod = maxP * 4
+	}
+	if a.cfg.Adaptive {
+		if len(cfg.Tables) == 0 {
+			return nil, fmt.Errorf("replsync: adaptive cadence needs at least one table")
+		}
+		if a.cfg.MinPeriod <= 0 || a.cfg.MaxPeriod < a.cfg.MinPeriod {
+			return nil, fmt.Errorf("replsync: invalid period clamp [%v, %v]", a.cfg.MinPeriod, a.cfg.MaxPeriod)
+		}
+	}
+	if cfg.Budget > 0 {
+		if a.cfg.Burst == 0 {
+			a.cfg.Burst = 5 * cfg.Budget
+		}
+		a.tokens = a.cfg.Burst
+	}
+	a.lastRefill = cfg.Clock.Now()
+	a.lossAt = a.lastRefill
+	a.placeLeft = a.cfg.PlaceEvery
+
+	// Pre-create the counters so a metrics dump shows zeros before the
+	// first cycle.
+	for _, name := range []string{
+		"syncs_total", "snapshot_syncs_total", "delta_syncs_total",
+		"sync_bytes_total", "sync_deferred_total", "sync_errors_total",
+		"cadence_adjustments_total", "replicas_promoted_total", "replicas_demoted_total",
+	} {
+		a.stats.Counter(name)
+	}
+	return a, nil
+}
+
+// Tables returns the currently replicated table IDs, sorted.
+func (a *Agent) Tables() []core.TableID {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.tablesLocked()
+}
+
+func (a *Agent) tablesLocked() []core.TableID {
+	ids := make([]core.TableID, 0, len(a.tables))
+	for id := range a.tables {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Status reports every table's sync state, sorted by table ID.
+func (a *Agent) Status() []TableStatus {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]TableStatus, 0, len(a.tables))
+	for _, id := range a.tablesLocked() {
+		ts := a.tables[id]
+		out = append(out, TableStatus{
+			Table:        ts.id,
+			Period:       ts.period,
+			Cursor:       ts.cursor,
+			LastSync:     ts.lastSync,
+			NextAt:       ts.nextAt,
+			HaveSnapshot: ts.haveSnapshot,
+		})
+	}
+	return out
+}
+
+// RefreshStaleness updates the per-table replica_staleness_seconds gauges
+// to the current instant (staleness in experiment seconds). Called before
+// metric dumps; sync completions also reset their table's gauge.
+func (a *Agent) RefreshStaleness() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	now := a.cfg.Clock.Now()
+	for id, ts := range a.tables {
+		if ts.lastSync >= 0 {
+			a.stats.Gauge(stalenessGauge(id)).Set(float64(now-ts.lastSync) * 60)
+		}
+	}
+}
+
+// stalenessGauge is the per-table staleness metric name.
+func stalenessGauge(id core.TableID) string {
+	return "replica_staleness_seconds_" + string(id)
+}
+
+// SyncNow runs one synchronous cycle for the table — the initial snapshot
+// pull at registration. It does not arm a timer; Start does.
+func (a *Agent) SyncNow(id core.TableID) error {
+	a.mu.Lock()
+	ts, ok := a.tables[id]
+	if !ok {
+		a.mu.Unlock()
+		return fmt.Errorf("replsync: table %s not replicated", id)
+	}
+	if a.stopped {
+		a.mu.Unlock()
+		return fmt.Errorf("replsync: agent stopped")
+	}
+	if ts.syncing {
+		a.mu.Unlock()
+		return fmt.Errorf("replsync: table %s already syncing", id)
+	}
+	ts.syncing = true
+	gen, cursor, have := ts.gen, ts.cursor, ts.haveSnapshot
+	a.mu.Unlock()
+	ev := a.perform(id, gen, cursor, have, false)
+	a.emit(ev)
+	return ev.Err
+}
+
+// Start arms the periodic cycles (and, when Adaptive, the cadence
+// controller). Tables never synced are pulled immediately; tables with a
+// completed SyncNow resume one period after it.
+func (a *Agent) Start() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.started || a.stopped {
+		return
+	}
+	a.started = true
+	now := a.cfg.Clock.Now()
+	for _, id := range a.tablesLocked() {
+		ts := a.tables[id]
+		delay := core.Duration(0)
+		if ts.lastSync >= 0 {
+			delay = math.Max(0, float64(ts.lastSync)+ts.period-float64(now))
+		}
+		a.armLocked(ts, now, delay)
+	}
+	if a.cfg.Adaptive {
+		a.armAdjustLocked()
+	}
+}
+
+// Stop ceases all cycles. Armed timers become no-ops; an in-flight fetch
+// completes but its result is discarded.
+func (a *Agent) Stop() {
+	a.mu.Lock()
+	a.stopped = true
+	a.mu.Unlock()
+}
+
+// armLocked schedules the table's next cycle `delay` minutes from `now`.
+func (a *Agent) armLocked(ts *tableState, now core.Time, delay core.Duration) {
+	if !a.started || a.stopped {
+		return
+	}
+	ts.nextAt = now + math.Max(delay, 0)
+	id, gen := ts.id, ts.gen
+	a.cfg.Clock.AfterFunc(delay, func() { a.tick(id, gen) })
+}
+
+// refillLocked accrues bandwidth tokens up to the burst cap.
+func (a *Agent) refillLocked(now core.Time) {
+	if a.cfg.Budget <= 0 {
+		return
+	}
+	if dt := float64(now - a.lastRefill); dt > 0 {
+		a.tokens = math.Min(a.cfg.Burst, a.tokens+dt*a.cfg.Budget)
+	}
+	a.lastRefill = now
+}
+
+// tick runs one scheduled cycle: budget check, then fetch/apply.
+func (a *Agent) tick(id core.TableID, gen uint64) {
+	a.mu.Lock()
+	ts, ok := a.tables[id]
+	if !ok || a.stopped || ts.gen != gen || ts.syncing {
+		a.mu.Unlock()
+		return
+	}
+	now := a.cfg.Clock.Now()
+	a.refillLocked(now)
+	if a.cfg.Budget > 0 && a.tokens < 0 {
+		// The bucket is in debt from an earlier payload: defer until it
+		// refills instead of overdrawing further. The deferral is a cycle
+		// outcome, not a retry loop.
+		wait := -a.tokens / a.cfg.Budget
+		a.stats.Counter("sync_deferred_total").Inc()
+		ev := Event{Table: id, At: now, Kind: DeferredSync,
+			Err: fmt.Errorf("replsync: bandwidth budget exhausted (debt %.0f bytes)", -a.tokens)}
+		a.armLocked(ts, now, wait*1.0001+1e-9)
+		a.mu.Unlock()
+		a.emit(ev)
+		return
+	}
+	ts.syncing = true
+	cursor, have := ts.cursor, ts.haveSnapshot
+	a.mu.Unlock()
+	ev := a.perform(id, gen, cursor, have, true)
+	a.emit(ev)
+}
+
+// perform fetches and applies one cycle's payload, updates cursors,
+// budget, metrics, and the Manager mirror, and (when rearm) schedules the
+// next cycle. It returns the cycle's Event.
+func (a *Agent) perform(id core.TableID, gen uint64, cursor uint64, have, rearm bool) Event {
+	var (
+		snap    Snapshot
+		delta   Delta
+		asSnap  bool
+		bytes   int64
+		version uint64
+		err     error
+	)
+	if !have {
+		asSnap = true
+		snap, err = a.cfg.Fetch.Snapshot(a.ctx, id)
+	} else {
+		delta, err = a.cfg.Fetch.Delta(a.ctx, id, cursor)
+		if err == nil && delta.Resync {
+			// The site cannot serve our cursor (history lost): fall back to
+			// a full snapshot within the same cycle.
+			asSnap = true
+			snap, err = a.cfg.Fetch.Snapshot(a.ctx, id)
+		}
+	}
+	if err == nil {
+		if asSnap {
+			bytes, version = snap.Bytes, snap.Version
+		} else {
+			bytes, version = delta.Bytes, delta.Version
+		}
+	}
+
+	a.mu.Lock()
+	ts, ok := a.tables[id]
+	if !ok || a.stopped || ts.gen != gen {
+		// Demoted or stopped while the fetch was in flight: discard.
+		if ok {
+			ts.syncing = false
+		}
+		a.mu.Unlock()
+		return Event{Table: id, At: a.cfg.Clock.Now(), Kind: FailedSync,
+			Err: fmt.Errorf("replsync: table %s cycle superseded", id)}
+	}
+	ts.syncing = false
+	now := a.cfg.Clock.Now()
+
+	if err == nil {
+		// Apply atomically (the applier owns the replica store's lock)
+		// and stamp the manager mirror with the same instant, so the
+		// planner's freshness view and the store agree exactly.
+		if asSnap {
+			err = a.cfg.Apply.ApplySnapshot(id, snap, now)
+		} else {
+			err = a.cfg.Apply.ApplyDelta(id, delta, now)
+		}
+	}
+	if err != nil {
+		kind := FailedSync
+		if deferrable(err) {
+			// The site's circuit breaker is open: no bytes moved and no
+			// retries burned. Push the cycle back one period; once the
+			// breaker half-opens, the next cycle doubles as its probe.
+			kind = DeferredSync
+			a.stats.Counter("sync_deferred_total").Inc()
+		} else {
+			a.stats.Counter("sync_errors_total").Inc()
+		}
+		if rearm {
+			a.armLocked(ts, now, ts.period)
+		}
+		a.mu.Unlock()
+		return Event{Table: id, At: now, Kind: kind, Err: err}
+	}
+
+	ts.cursor = version
+	ts.haveSnapshot = true
+	ts.lastSync = now
+	if a.cfg.Budget > 0 {
+		a.refillLocked(now)
+		a.tokens -= float64(bytes)
+	}
+	a.stats.Counter("syncs_total").Inc()
+	a.stats.Counter("sync_bytes_total").Add(bytes)
+	if asSnap {
+		a.stats.Counter("snapshot_syncs_total").Inc()
+	} else {
+		a.stats.Counter("delta_syncs_total").Inc()
+	}
+	a.stats.Gauge(stalenessGauge(id)).Set(0)
+	if rearm {
+		a.armLocked(ts, now, ts.period)
+	}
+	a.mirrorLocked(ts, now)
+	a.mu.Unlock()
+
+	kind := DeltaSync
+	if asSnap {
+		kind = SnapshotSync
+	}
+	return Event{Table: id, At: now, Kind: kind, Bytes: bytes, Version: version}
+}
+
+// mirrorLocked records the completion and the upcoming cadence in the
+// replication manager, so StateFor tracks the live schedule.
+func (a *Agent) mirrorLocked(ts *tableState, at core.Time) {
+	mgr := a.cfg.Manager
+	if mgr == nil {
+		return
+	}
+	if err := mgr.RecordSync(ts.id, at); err != nil {
+		return // e.g. unregistered concurrently; nothing to mirror
+	}
+	future := make([]core.Time, a.cfg.MirrorSyncs)
+	next := at + ts.period
+	if ts.nextAt > at {
+		next = ts.nextAt
+	}
+	for i := range future {
+		future[i] = next + core.Time(i)*ts.period
+	}
+	_ = mgr.Reschedule(ts.id, future)
+}
+
+// emit hands the event to the observer, outside the agent lock.
+func (a *Agent) emit(ev Event) {
+	if a.cfg.OnSync != nil {
+		a.cfg.OnSync(ev)
+	}
+}

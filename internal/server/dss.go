@@ -20,6 +20,7 @@ import (
 	"ivdss/internal/netproto"
 	"ivdss/internal/relation"
 	"ivdss/internal/replication"
+	"ivdss/internal/replsync"
 	"ivdss/internal/router"
 	"ivdss/internal/scheduler"
 	"ivdss/internal/sqlmini"
@@ -52,6 +53,19 @@ type DSSConfig struct {
 	// DialTimeout bounds remote calls: both establishing a connection and
 	// each round trip run under this deadline. Default 5s.
 	DialTimeout time.Duration
+
+	// SyncBudget caps replication traffic, in bytes per wall-clock second
+	// shared across all tables. Zero means unlimited. Cycles that would
+	// overdraw the budget defer until it refills.
+	SyncBudget float64
+	// AdaptiveSync enables the IV-adaptive cadence controller: sync rate is
+	// periodically re-divided across tables in proportion to the
+	// information value each is losing to staleness, and the replica set
+	// itself is reviewed online against the recent workload.
+	AdaptiveSync bool
+	// SyncAdjustEvery is the cadence controller's interval (wall-clock).
+	// Default 10s.
+	SyncAdjustEvery time.Duration
 
 	// RetryAttempts is the total tries per remote call, including the
 	// first. Default 3.
@@ -119,6 +133,9 @@ func (c DSSConfig) withDefaults() DSSConfig {
 	if c.DialTimeout == 0 {
 		c.DialTimeout = 5 * time.Second
 	}
+	if c.SyncAdjustEvery == 0 {
+		c.SyncAdjustEvery = 10 * time.Second
+	}
 	if c.RetryAttempts == 0 {
 		c.RetryAttempts = 3
 	}
@@ -179,6 +196,14 @@ type DSSServer struct {
 	mu       sync.RWMutex
 	replicas map[core.TableID]replicaSnapshot
 
+	// sync is the live replication engine; it owns every replica write.
+	sync *replsync.Agent
+	// recent is the sliding window of executed queries the adaptive
+	// placement review scores against.
+	recentMu  sync.Mutex
+	recent    []core.Query
+	recentIdx int
+
 	// Scheduling: connection handlers submit Exec/Batch work into the
 	// shared engine (bounded queue, micro-batch MQO, value-ranked dispatch
 	// over Workers slots); baseCtx roots every request context and is
@@ -236,17 +261,18 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 
 	epoch := time.Now()
 	mgr := replication.NewManager()
-	horizonMinutes := cfg.ScheduleHorizon.Seconds() * cfg.TimeScale
 	for id, period := range cfg.Replicate {
 		if _, ok := siteOf[id]; !ok {
 			return nil, fmt.Errorf("server: replicated table %s not served by any remote", id)
 		}
-		periodMinutes := period.Seconds() * cfg.TimeScale
-		sched, err := replication.Periodic(periodMinutes, 0, horizonMinutes)
-		if err != nil {
-			return nil, fmt.Errorf("server: schedule for %s: %w", id, err)
+		if period <= 0 {
+			return nil, fmt.Errorf("server: replication period for %s must be positive", id)
 		}
-		if err := mgr.Register(id, sched); err != nil {
+		// Registered bare: the sync agent records completions and mirrors
+		// its live cadence as it runs, so the planner's view tracks what
+		// the replica store actually holds rather than a materialized
+		// wall-clock schedule it may drift from.
+		if err := mgr.Register(id, replication.Schedule{}); err != nil {
 			return nil, err
 		}
 	}
@@ -319,10 +345,15 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		})
 		s.stats.Gauge(breakerGaugeName(site)).Set(float64(faults.Closed))
 	}
-	// Initial pull so replicas are usable immediately (the schedule's
-	// first tick at t=0 has, conceptually, just completed).
-	for id := range cfg.Replicate {
-		if err := s.pullReplica(id); err != nil {
+	agent, err := s.newSyncAgent()
+	if err != nil {
+		return nil, err
+	}
+	s.sync = agent
+	// Initial snapshot pulls so replicas are usable immediately; periodic
+	// cycles (deltas from here on) start with Listen.
+	for _, id := range agent.Tables() {
+		if err := agent.SyncNow(id); err != nil {
 			return nil, fmt.Errorf("server: initial sync of %s: %w", id, err)
 		}
 	}
@@ -410,77 +441,17 @@ func (s *DSSServer) wallDelay(minutes core.Duration) time.Duration {
 	return time.Duration(minutes / s.cfg.TimeScale * float64(time.Second))
 }
 
-// pullReplica scans the base table from its site into the replica store.
-// It runs through the fault-tolerance stack, so pulls against a dead site
-// trip its breaker and — once open — later pulls double as the half-open
-// probes that detect recovery.
-func (s *DSSServer) pullReplica(id core.TableID) error {
-	site, err := s.catalog.Placement().SiteOf(id)
-	if err != nil {
-		return err
-	}
-	resp, err := s.callSite(s.baseCtx, site, &netproto.Request{Kind: netproto.KindScan, Table: string(id)})
-	if err != nil {
-		return err
-	}
-	s.mu.Lock()
-	s.replicas[id] = replicaSnapshot{table: resp.Result, syncedAt: s.now()}
-	s.mu.Unlock()
-	s.stats.Counter("replica_syncs_total").Inc()
-	return nil
-}
-
-// syncLoop walks the merged synchronization schedule in real time.
-func (s *DSSServer) syncLoop() {
-	defer s.wg.Done()
-	mgr := s.catalog.Replication()
-	for {
-		next, ok := mgr.NextSyncAt()
-		if !ok {
-			return // schedule exhausted (past ScheduleHorizon)
-		}
-		wait := s.wallDelay(next - s.now())
-		if wait > 0 {
-			select {
-			case <-time.After(wait):
-			case <-s.closed:
-				return
-			}
-		}
-		// Pulls take real time; when several syncs of one table come due
-		// together (the puller lagging its schedule), one pull serves them
-		// all — the data is equally fresh either way.
-		due := make(map[core.TableID]bool)
-		var order []core.TableID
-		for _, ev := range mgr.Advance(s.now()) {
-			if !due[ev.Table] {
-				due[ev.Table] = true
-				order = append(order, ev.Table)
-			}
-		}
-		for _, id := range order {
-			if err := s.pullReplica(id); err != nil {
-				log.Printf("server: sync %s: %v", id, err)
-			}
-		}
-		select {
-		case <-s.closed:
-			return
-		default:
-		}
-	}
-}
-
-// Listen binds the DSS to addr, starts the synchronization loop, and
-// serves clients in the background. It returns the bound address.
+// Listen binds the DSS to addr, starts the replication engine's periodic
+// cycles, and serves clients in the background. It returns the bound
+// address.
 func (s *DSSServer) Listen(addr string) (string, error) {
 	l, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", fmt.Errorf("server: listen %s: %w", addr, err)
 	}
 	s.listener = l
-	s.wg.Add(2)
-	go s.syncLoop()
+	s.sync.Start()
+	s.wg.Add(1)
 	go s.acceptLoop()
 	return l.Addr().String(), nil
 }
@@ -526,6 +497,7 @@ func (s *DSSServer) handleConn(conn *netproto.Conn) {
 		case netproto.KindStatus:
 			resp = s.handleStatus()
 		case netproto.KindMetrics:
+			s.sync.RefreshStaleness()
 			resp = &netproto.Response{Metrics: s.stats.Flatten()}
 		case netproto.KindRegister:
 			resp = s.handleRegister(req)
@@ -546,13 +518,21 @@ func (s *DSSServer) handleConn(conn *netproto.Conn) {
 func (s *DSSServer) handleStatus() *netproto.Response {
 	now := s.now()
 	mgr := s.catalog.Replication()
+	syncStatus := s.syncStatuses(now)
 	var out []netproto.ReplicaStatus
 	for _, id := range mgr.Tables() {
 		site, err := s.catalog.Placement().SiteOf(id)
 		if err != nil {
 			continue
 		}
-		st := netproto.ReplicaStatus{Table: string(id), Site: int(site)}
+		st := netproto.ReplicaStatus{Table: string(id), Site: int(site),
+			LastSyncAgeMinutes: -1, NextSyncMinutes: -1}
+		if agentView, ok := syncStatus[id]; ok {
+			st.LastSyncAgeMinutes = agentView.LastSyncAgeMinutes
+			st.NextSyncMinutes = agentView.NextSyncMinutes
+			st.PeriodMinutes = agentView.PeriodMinutes
+			st.Cursor = agentView.Cursor
+		}
 		s.mu.RLock()
 		snap, ok := s.replicas[id]
 		s.mu.RUnlock()
@@ -638,6 +618,7 @@ func (s *DSSServer) Close() error {
 	var err error
 	s.closeOnce.Do(func() {
 		close(s.closed)
+		s.sync.Stop()
 		s.engine.Stop()
 		s.baseCancel() // cancel every in-flight request context
 		if s.listener != nil {

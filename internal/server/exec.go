@@ -181,6 +181,11 @@ func (s *DSSServer) runOne(ctx context.Context, stmt *sqlmini.SelectStmt, q core
 	if degraded {
 		s.stats.Counter("degraded_answers_total").Inc()
 	}
+	// Feed the adaptive replication loop: what this report lost to
+	// staleness, charged to the replicas its plan read, and the query
+	// itself for the placement review's workload window.
+	s.observeSyncLoss(plan, value, lat)
+	s.noteRecentQuery(q)
 	return result, &netproto.ReportMeta{
 		PlanSignature: plan.Signature(),
 		CLMinutes:     lat.CL,

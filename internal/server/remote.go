@@ -175,6 +175,56 @@ func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
 		}
 		return &netproto.Response{Result: snapshot}
 
+	case netproto.KindSnapshot:
+		// A versioned full copy for replication: the version is the row
+		// count, which is a complete change cursor because base tables are
+		// append-only (Insert is the only mutation).
+		if err := s.waitScanDelay(ctx); err != nil {
+			return &netproto.Response{Err: err.Error(), Expired: true}
+		}
+		s.mu.RLock()
+		t, ok := s.tables[strings.ToLower(req.Table)]
+		var snapshot *relation.Table
+		if ok {
+			snapshot = t.Clone()
+		}
+		s.mu.RUnlock()
+		if !ok {
+			return &netproto.Response{Err: fmt.Sprintf("no table %q", req.Table)}
+		}
+		return &netproto.Response{Result: snapshot, Version: uint64(snapshot.NumRows())}
+
+	case netproto.KindDelta:
+		// The change set since the caller's cursor: the appended row
+		// suffix. A cursor ahead of the table means the caller's history is
+		// no longer valid here (e.g. this site restarted with fewer rows) —
+		// answer Resync so it falls back to a full snapshot.
+		if err := s.waitScanDelay(ctx); err != nil {
+			return &netproto.Response{Err: err.Error(), Expired: true}
+		}
+		s.mu.RLock()
+		t, ok := s.tables[strings.ToLower(req.Table)]
+		var version uint64
+		var rows []relation.Row
+		resync := false
+		if ok {
+			version = uint64(t.NumRows())
+			if req.Cursor > version {
+				resync = true
+			} else {
+				tail := t.Rows[req.Cursor:]
+				rows = make([]relation.Row, len(tail))
+				for i, r := range tail {
+					rows[i] = r.Clone()
+				}
+			}
+		}
+		s.mu.RUnlock()
+		if !ok {
+			return &netproto.Response{Err: fmt.Sprintf("no table %q", req.Table)}
+		}
+		return &netproto.Response{DeltaRows: rows, Version: version, Resync: resync}
+
 	case netproto.KindExec:
 		if err := s.waitScanDelay(ctx); err != nil {
 			return &netproto.Response{Err: err.Error(), Expired: true}

@@ -1,0 +1,72 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"ivdss/internal/netproto"
+	"ivdss/internal/relation"
+)
+
+// The versioned replication protocol served by a remote site: a snapshot
+// carries the row-count version, a delta ships exactly the appended
+// suffix, and a cursor from a lost history answers Resync.
+func TestRemoteSnapshotAndDelta(t *testing.T) {
+	_, addr := startRemote(t, accountsTable(t))
+
+	snap, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindSnapshot, Table: "accounts"}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Result == nil || snap.Result.NumRows() != 2 {
+		t.Fatalf("snapshot rows = %v, want 2", snap.Result)
+	}
+	if snap.Version != 2 {
+		t.Fatalf("snapshot version = %d, want 2", snap.Version)
+	}
+
+	// Nothing new: an empty delta at the same version.
+	d, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindDelta, Table: "accounts", Cursor: snap.Version}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.DeltaRows) != 0 || d.Version != 2 || d.Resync {
+		t.Fatalf("empty delta = %d rows, version %d, resync %v", len(d.DeltaRows), d.Version, d.Resync)
+	}
+
+	// Append two rows; the delta from the old cursor is exactly those rows.
+	ins := &netproto.Request{Kind: netproto.KindInsert, Table: "accounts", Rows: []relation.Row{
+		{relation.IntVal(3), relation.FloatVal(300)},
+		{relation.IntVal(4), relation.FloatVal(400)},
+	}}
+	if _, err := netproto.Call(addr, ins, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	d, err = netproto.Call(addr, &netproto.Request{Kind: netproto.KindDelta, Table: "accounts", Cursor: 2}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.DeltaRows) != 2 || d.Version != 4 {
+		t.Fatalf("delta = %d rows, version %d, want 2 rows at version 4", len(d.DeltaRows), d.Version)
+	}
+	if got := d.DeltaRows[0][0].String(); got != "3" {
+		t.Fatalf("first delta row key = %s, want 3", got)
+	}
+
+	// A cursor ahead of the table (the site lost history): Resync.
+	d, err = netproto.Call(addr, &netproto.Request{Kind: netproto.KindDelta, Table: "accounts", Cursor: 99}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Resync {
+		t.Fatal("cursor ahead of table should answer Resync")
+	}
+
+	// Unknown tables error on both kinds.
+	if _, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindSnapshot, Table: "nope"}, 2*time.Second); err == nil {
+		t.Fatal("snapshot of unknown table should error")
+	}
+	if _, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindDelta, Table: "nope"}, 2*time.Second); err == nil {
+		t.Fatal("delta of unknown table should error")
+	}
+}

@@ -1,0 +1,271 @@
+package server
+
+import (
+	"context"
+	"fmt"
+
+	"ivdss/internal/advisor"
+	"ivdss/internal/core"
+	"ivdss/internal/netproto"
+	"ivdss/internal/relation"
+	"ivdss/internal/replsync"
+)
+
+// Live replication: the DSS wires the replsync engine to its remote sites.
+// The fetcher speaks the versioned netproto replication kinds through the
+// full fault-tolerance stack (pool, retries, breaker), so a sync against a
+// site whose breaker is open surfaces faults.OpenError and the agent
+// defers the cycle instead of burning retries. The applier swaps replica
+// snapshots copy-on-write under the server lock, stamping the same instant
+// into the replication manager, so planner freshness and replica contents
+// never disagree.
+
+// siteFetcher implements replsync.Fetcher over the wire.
+type siteFetcher struct{ s *DSSServer }
+
+func (f siteFetcher) Snapshot(ctx context.Context, id core.TableID) (replsync.Snapshot, error) {
+	s := f.s
+	site, err := s.catalog.Placement().SiteOf(id)
+	if err != nil {
+		return replsync.Snapshot{}, err
+	}
+	resp, err := s.callSite(ctx, site, &netproto.Request{Kind: netproto.KindSnapshot, Table: string(id)})
+	if err != nil {
+		return replsync.Snapshot{}, err
+	}
+	return replsync.Snapshot{
+		Table:   resp.Result,
+		Version: resp.Version,
+		Bytes:   resp.Result.SizeBytes(),
+	}, nil
+}
+
+func (f siteFetcher) Delta(ctx context.Context, id core.TableID, cursor uint64) (replsync.Delta, error) {
+	s := f.s
+	site, err := s.catalog.Placement().SiteOf(id)
+	if err != nil {
+		return replsync.Delta{}, err
+	}
+	req := &netproto.Request{Kind: netproto.KindDelta, Table: string(id), Cursor: cursor}
+	resp, err := s.callSite(ctx, site, req)
+	if err != nil {
+		return replsync.Delta{}, err
+	}
+	return replsync.Delta{
+		Rows:    resp.DeltaRows,
+		Version: resp.Version,
+		Bytes:   rowsBytes(resp.DeltaRows),
+		Resync:  resp.Resync,
+	}, nil
+}
+
+// rowsBytes prices a row slice the way Table.SizeBytes prices a table.
+func rowsBytes(rows []relation.Row) int64 {
+	var size int64
+	for _, r := range rows {
+		for _, v := range r {
+			if v.T == relation.Str {
+				size += int64(len(v.S))
+			} else {
+				size += 8
+			}
+		}
+	}
+	return size
+}
+
+// replicaApplier implements replsync.Applier over the server's replica
+// store. Every apply is an atomic swap under s.mu, so readers see either
+// the old or the new copy, never a half-applied one.
+type replicaApplier struct{ s *DSSServer }
+
+func (ap replicaApplier) ApplySnapshot(id core.TableID, snap replsync.Snapshot, at core.Time) error {
+	if snap.Table == nil {
+		return fmt.Errorf("server: snapshot of %s carried no table", id)
+	}
+	snap.Table.Name = string(id)
+	s := ap.s
+	s.mu.Lock()
+	s.replicas[id] = replicaSnapshot{table: snap.Table, syncedAt: at}
+	s.mu.Unlock()
+	s.stats.Counter("replica_syncs_total").Inc()
+	return nil
+}
+
+func (ap replicaApplier) ApplyDelta(id core.TableID, delta replsync.Delta, at core.Time) error {
+	s := ap.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.replicas[id]
+	if !ok {
+		return fmt.Errorf("server: delta for %s but no replica snapshot", id)
+	}
+	if len(delta.Rows) == 0 {
+		// Nothing changed upstream: same contents, fresher stamp.
+		s.replicas[id] = replicaSnapshot{table: cur.table, syncedAt: at}
+	} else {
+		// Copy-on-write: in-flight queries hold the old pointer; the
+		// appended copy swaps in whole.
+		next := cur.table.Clone()
+		for i, row := range delta.Rows {
+			if err := next.Insert(row); err != nil {
+				return fmt.Errorf("server: delta row %d for %s: %w", i, id, err)
+			}
+		}
+		s.replicas[id] = replicaSnapshot{table: next, syncedAt: at}
+	}
+	s.stats.Counter("replica_syncs_total").Inc()
+	return nil
+}
+
+func (ap replicaApplier) Drop(id core.TableID) {
+	s := ap.s
+	s.mu.Lock()
+	delete(s.replicas, id)
+	s.mu.Unlock()
+}
+
+// recentQueries is the sliding window of executed queries the placement
+// review scores replica sets against.
+const recentQueriesCap = 32
+
+// minPlacementWorkload is how many recent queries the placer needs before
+// it will second-guess the configured replica set.
+const minPlacementWorkload = 8
+
+// noteRecentQuery records an executed query for the placer's workload
+// window.
+func (s *DSSServer) noteRecentQuery(q core.Query) {
+	s.recentMu.Lock()
+	defer s.recentMu.Unlock()
+	if len(s.recent) < recentQueriesCap {
+		s.recent = append(s.recent, q)
+	} else {
+		s.recent[s.recentIdx%recentQueriesCap] = q
+	}
+	s.recentIdx++
+}
+
+// recentWindow copies the current workload window.
+func (s *DSSServer) recentWindow() []core.Query {
+	s.recentMu.Lock()
+	defer s.recentMu.Unlock()
+	return append([]core.Query{}, s.recent...)
+}
+
+// advisorPlacer implements replsync.Placer with the replica-selection
+// advisor scored over the server's recent query window.
+type advisorPlacer struct{ s *DSSServer }
+
+func (p advisorPlacer) Recommend(current []core.TableID) ([]core.TableID, error) {
+	s := p.s
+	queries := s.recentWindow()
+	if len(queries) < minPlacementWorkload || len(current) == 0 {
+		return current, nil
+	}
+	// The advisor scores against a mean sync period; use the mean of the
+	// cadences currently in force.
+	var meanPeriod core.Duration
+	for _, st := range s.sync.Status() {
+		meanPeriod += st.Period
+	}
+	meanPeriod /= core.Duration(len(current))
+	adv, err := advisor.New(advisor.Config{
+		Cost:     s.costs,
+		Rates:    s.cfg.Rates,
+		SyncMean: meanPeriod,
+		Horizon:  s.cfg.PlannerHorizon,
+		Samples:  4,
+		Seed:     1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Same replica budget: the review re-places, it does not grow the set.
+	rec, err := adv.RecommendReplicas(queries, s.catalog.Placement(), len(current))
+	if err != nil {
+		return nil, err
+	}
+	if len(rec.Replicas) == 0 {
+		return current, nil
+	}
+	return rec.Replicas, nil
+}
+
+// newSyncAgent wires the replication engine for this server's configured
+// replica set. Periods, budget, and the adjust interval convert from
+// wall-clock config to experiment minutes.
+func (s *DSSServer) newSyncAgent() (*replsync.Agent, error) {
+	tables := make([]replsync.TableConfig, 0, len(s.cfg.Replicate))
+	for id, period := range s.cfg.Replicate {
+		tables = append(tables, replsync.TableConfig{
+			ID:     id,
+			Period: period.Seconds() * s.cfg.TimeScale,
+		})
+	}
+	cfg := replsync.Config{
+		Clock:   wallClock{s},
+		Fetch:   siteFetcher{s},
+		Apply:   replicaApplier{s},
+		Manager: s.catalog.Replication(),
+		Context: s.baseCtx,
+		Tables:  tables,
+		// Bytes per wall-second → bytes per experiment minute.
+		Budget:      s.cfg.SyncBudget / s.cfg.TimeScale,
+		Adaptive:    s.cfg.AdaptiveSync,
+		AdjustEvery: s.cfg.SyncAdjustEvery.Seconds() * s.cfg.TimeScale,
+		Stats:       s.stats,
+	}
+	if s.cfg.AdaptiveSync {
+		cfg.Placer = advisorPlacer{s}
+	}
+	return replsync.New(cfg)
+}
+
+// syncStatuses maps the agent's per-table state into the wire status
+// shape, keyed by table.
+func (s *DSSServer) syncStatuses(now core.Time) map[core.TableID]netproto.ReplicaStatus {
+	if s.sync == nil {
+		return nil
+	}
+	out := make(map[core.TableID]netproto.ReplicaStatus)
+	for _, st := range s.sync.Status() {
+		rs := netproto.ReplicaStatus{
+			Table:              string(st.Table),
+			PeriodMinutes:      st.Period,
+			Cursor:             st.Cursor,
+			LastSyncAgeMinutes: -1,
+			NextSyncMinutes:    -1,
+		}
+		if st.LastSync >= 0 {
+			rs.LastSyncAgeMinutes = now - st.LastSync
+		}
+		if st.NextAt >= 0 {
+			rs.NextSyncMinutes = st.NextAt - now
+		}
+		out[st.Table] = rs
+	}
+	return out
+}
+
+// syncLossObserver feeds the cadence controller: the erosion of the
+// (1−λSL)^SL factor of one report, attributed to the replicas its plan
+// read.
+func (s *DSSServer) observeSyncLoss(plan core.Plan, value float64, lat core.Latencies) {
+	if s.sync == nil {
+		return
+	}
+	var replicaTables []core.TableID
+	for _, a := range plan.Access {
+		if a.Kind == core.AccessReplica {
+			replicaTables = append(replicaTables, a.Table)
+		}
+	}
+	if len(replicaTables) == 0 {
+		return
+	}
+	fresh := core.InformationValue(plan.Query.BusinessValue, core.Latencies{CL: lat.CL}, s.cfg.Rates)
+	if loss := fresh - value; loss > 0 {
+		s.sync.ObserveLoss(replicaTables, loss)
+	}
+}

@@ -1,0 +1,28 @@
+// Command ivdss-lint runs the repository's invariant analyzers: clock,
+// rand, context, lock, and metric discipline (see internal/analysis and
+// DESIGN.md §8).
+//
+// Standalone, it lints a whole module tree:
+//
+//	ivdss-lint            # the module at the current directory
+//	ivdss-lint path/to/mod
+//
+// It also implements the `go vet -vettool` protocol, which is how CI
+// runs it with go's per-package build caching:
+//
+//	go build -o /tmp/ivdss-lint ./cmd/ivdss-lint
+//	go vet -vettool=/tmp/ivdss-lint ./...
+//
+// Findings are suppressed line-by-line with
+// `//lint:allow <analyzer>(reason)`; the reason is mandatory.
+package main
+
+import (
+	"os"
+
+	"ivdss/internal/analysis/lint"
+)
+
+func main() {
+	os.Exit(lint.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

@@ -277,16 +277,23 @@ func writeCSV(dir string, t bench.Table) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	w := csv.NewWriter(f)
-	if err := w.Write(t.Columns); err != nil {
-		return err
-	}
-	for _, row := range t.Rows {
-		if err := w.Write(row); err != nil {
+	writeErr := func() error {
+		if err := w.Write(t.Columns); err != nil {
 			return err
 		}
+		for _, row := range t.Rows {
+			if err := w.Write(row); err != nil {
+				return err
+			}
+		}
+		w.Flush()
+		return w.Error()
+	}()
+	// A close failure on a written file can mean lost buffered bytes, so
+	// it is a write error unless one already happened.
+	if closeErr := f.Close(); writeErr == nil {
+		writeErr = closeErr
 	}
-	w.Flush()
-	return w.Error()
+	return writeErr
 }

@@ -78,6 +78,7 @@ func main() {
 	agingCoeff := flag.Float64("aging", 0, "aging coefficient: boost queued queries by coeff*wait^exponent so low-value reports cannot starve (0 = off)")
 	agingExp := flag.Float64("aging-exponent", 0, "aging exponent, must be > 1 (0 = default 1.5)")
 	gaSeed := flag.Int64("ga-seed", 0, "GA ordering seed for batch/micro-batch MQO (0 = server default)")
+	retrySeed := flag.Int64("retry-seed", 0, "seed for remote-call retry backoff jitter (0 = server default)")
 	gaPopulation := flag.Int("ga-population", 0, "GA population size (0 = default 40)")
 	gaGenerations := flag.Int("ga-generations", 0, "GA generations (0 = default 50)")
 	syncBudget := flag.Float64("sync-budget", 0, "replication bandwidth budget in bytes per wall second shared by all tables (0 = unlimited)")
@@ -88,6 +89,7 @@ func main() {
 	cfg := server.DSSConfig{
 		Rates:           core.DiscountRates{CL: *lambdaCL, SL: *lambdaSL},
 		TimeScale:       *timescale,
+		RetrySeed:       *retrySeed,
 		DialTimeout:     *timeout,
 		Epsilon:         *epsilon,
 		Workers:         *workers,
@@ -144,9 +146,14 @@ func run(addr string, remotes remoteFlags, replicate string, cfg server.DSSConfi
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		if err := dss.SaveCalibration(f); err != nil {
-			return err
+		saveErr := dss.SaveCalibration(f)
+		// A close failure can mean lost buffered bytes: the save did not
+		// durably happen.
+		if closeErr := f.Close(); saveErr == nil {
+			saveErr = closeErr
+		}
+		if saveErr != nil {
+			return saveErr
 		}
 		fmt.Printf("ivqp-dss: saved %d calibrated plan configurations\n", dss.CalibrationLen())
 	}

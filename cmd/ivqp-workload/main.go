@@ -119,7 +119,7 @@ func run(addr string, n int, mean time.Duration, queryList string, value float64
 			ctx, cancel = context.WithTimeout(ctx, deadline)
 		}
 		var resp *netproto.Response
-		err := retrier.Do(func(attempt int) error {
+		err := retrier.DoContext(ctx, func(attempt int) error {
 			if attempt > 0 {
 				retried++
 			}

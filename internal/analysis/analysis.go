@@ -1,0 +1,217 @@
+// Package analysis is a dependency-free miniature of the
+// golang.org/x/tools/go/analysis framework: just enough Analyzer/Pass
+// plumbing to host the ivdss-lint invariant checkers without pulling a
+// module the build must not depend on. Analyzers here are syntactic —
+// they work on parsed files, not type information — which keeps them
+// fast, usable from `go vet -vettool` (internal/analysis/lint implements
+// that protocol), and honest about what they can prove.
+//
+// Escape hatch: a finding may be suppressed with a trailing comment on
+// the offending line (or the line above):
+//
+//	//lint:allow clockcheck(reason the wall clock is correct here)
+//
+// The reason is mandatory; a bare `//lint:allow clockcheck` is itself a
+// diagnostic. Each directive names exactly one analyzer, so a line that
+// needs two exemptions carries two directives.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// An Analyzer is one invariant checker. Run inspects the pass's files
+// and reports findings via pass.Reportf.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in //lint:allow
+	Doc  string // one-paragraph description of the invariant
+	Run  func(*Pass)
+}
+
+// A Diagnostic is one finding, already resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s", d.Pos, d.Message)
+}
+
+// A Pass hands one analyzer one parsed package (or a self-contained
+// group of files claiming the same package name).
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File
+	PkgName    string
+	ImportPath string
+
+	diags  []Diagnostic
+	allows map[*ast.File]map[int][]*allowDirective
+}
+
+type allowDirective struct {
+	analyzer   string
+	reason     string
+	pos        token.Pos
+	complained bool // needs-a-reason reported once, not per suppressed finding
+}
+
+var allowRe = regexp.MustCompile(`//lint:allow\s+(\w+)(?:\(([^)]*)\))?`)
+
+// Reportf records a finding at pos unless an //lint:allow directive for
+// this analyzer covers the line (trailing, or on the line above). A
+// directive without a reason does not suppress: it replaces the finding
+// with a demand for one.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	posn := p.Fset.Position(pos)
+	if f := p.fileFor(pos); f != nil {
+		for _, line := range [2]int{posn.Line, posn.Line - 1} {
+			for _, d := range p.allowsFor(f)[line] {
+				if d.analyzer != p.Analyzer.Name {
+					continue
+				}
+				if d.reason == "" {
+					if !d.complained {
+						d.complained = true
+						p.diags = append(p.diags, Diagnostic{
+							Analyzer: p.Analyzer.Name,
+							Pos:      posn,
+							Message: fmt.Sprintf("%s: //lint:allow %s needs a reason: //lint:allow %s(why this line is exempt)",
+								p.Analyzer.Name, p.Analyzer.Name, p.Analyzer.Name),
+						})
+					}
+					return
+				}
+				return // suppressed with a reason
+			}
+		}
+	}
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      posn,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+func (p *Pass) fileFor(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+func (p *Pass) allowsFor(f *ast.File) map[int][]*allowDirective {
+	if p.allows == nil {
+		p.allows = make(map[*ast.File]map[int][]*allowDirective)
+	}
+	if m, ok := p.allows[f]; ok {
+		return m
+	}
+	m := make(map[int][]*allowDirective)
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			ms := allowRe.FindAllStringSubmatch(c.Text, -1)
+			if ms == nil {
+				continue
+			}
+			line := p.Fset.Position(c.Pos()).Line
+			for _, sub := range ms {
+				m[line] = append(m[line], &allowDirective{
+					analyzer: sub[1],
+					reason:   strings.TrimSpace(sub[2]),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	p.allows[f] = m
+	return m
+}
+
+// Run executes one analyzer over one file group and returns its
+// findings.
+func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkgName, importPath string) []Diagnostic {
+	p := &Pass{Analyzer: a, Fset: fset, Files: files, PkgName: pkgName, ImportPath: importPath}
+	a.Run(p)
+	return p.diags
+}
+
+// ImportName returns the local name under which f imports importPath
+// ("" and false if it does not, or imports it blank or dot).
+func ImportName(f *ast.File, importPath string) (string, bool) {
+	for _, spec := range f.Imports {
+		p := strings.Trim(spec.Path.Value, `"`)
+		if p != importPath {
+			continue
+		}
+		if spec.Name == nil {
+			return path.Base(p), true
+		}
+		if spec.Name.Name == "_" || spec.Name.Name == "." {
+			return "", false
+		}
+		return spec.Name.Name, true
+	}
+	return "", false
+}
+
+// ImportNameSuffix returns the local name of the first import whose
+// path's trailing segments equal suffix (e.g. "internal/netproto"
+// matches both the real module path and a test fixture's).
+func ImportNameSuffix(f *ast.File, suffix string) (string, bool) {
+	for _, spec := range f.Imports {
+		p := strings.Trim(spec.Path.Value, `"`)
+		if !PathEndsWith(p, suffix) {
+			continue
+		}
+		if spec.Name == nil {
+			return path.Base(p), true
+		}
+		if spec.Name.Name == "_" || spec.Name.Name == "." {
+			return "", false
+		}
+		return spec.Name.Name, true
+	}
+	return "", false
+}
+
+// PathEndsWith reports whether importPath's trailing slash-separated
+// segments equal suffix's.
+func PathEndsWith(importPath, suffix string) bool {
+	return importPath == suffix || strings.HasSuffix(importPath, "/"+suffix)
+}
+
+// IsTestFile reports whether f was parsed from a _test.go file.
+func IsTestFile(fset *token.FileSet, f *ast.File) bool {
+	return strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// Filename returns the base name of the file f was parsed from.
+func Filename(fset *token.FileSet, f *ast.File) string {
+	return filepath.Base(fset.Position(f.Pos()).Filename)
+}
+
+// PkgCall matches a call of the form pkgLocal.Name(...) and returns the
+// called name ("" if the expression is not such a call).
+func PkgCall(call *ast.CallExpr, pkgLocal string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgLocal {
+		return ""
+	}
+	return sel.Sel.Name
+}

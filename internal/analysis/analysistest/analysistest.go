@@ -1,0 +1,156 @@
+// Package analysistest runs an analyzer over golden packages under
+// testdata/src and checks its findings against `// want "regexp"`
+// comments, mirroring golang.org/x/tools/go/analysis/analysistest
+// closely enough that the golden files read the same way.
+//
+// A want comment trails the offending line and holds one or more
+// double- or back-quoted regexps, each of which must be matched by a
+// distinct diagnostic reported on that line:
+//
+//	time.Sleep(d) // want `clockcheck: time\.Sleep`
+//
+// Lines without a want comment must produce no diagnostics.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"ivdss/internal/analysis"
+)
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run analyzes each package directory testdata/src/<pkg> with a and
+// reports mismatches between diagnostics and want comments on t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runPkg(t, filepath.Join(testdata, "src", pkg), pkg, a)
+	}
+}
+
+func runPkg(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("%s: %v", dir, err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*want
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("%s: no Go files", dir)
+	}
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		files = append(files, f)
+		ws, err := parseWants(fset, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wants = append(wants, ws...)
+	}
+	diags := analysis.Run(a, fset, files, files[0].Name.Name, importPath)
+
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseWants extracts want expectations from a file's comments. The
+// marker may share a comment with an //lint:allow directive, so it is
+// located by substring rather than by the comment's full text.
+func parseWants(fset *token.FileSet, f *ast.File) ([]*want, error) {
+	var wants []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			i := strings.Index(c.Text, "// want ")
+			if i < 0 {
+				continue
+			}
+			posn := fset.Position(c.Pos())
+			rest := strings.TrimSpace(c.Text[i+len("// want "):])
+			any := false
+			for rest != "" {
+				var lit string
+				switch rest[0] {
+				case '"':
+					end := strings.Index(rest[1:], `"`)
+					if end < 0 {
+						return nil, fmt.Errorf("%s: unterminated want pattern", posn)
+					}
+					var err error
+					lit, err = strconv.Unquote(rest[:end+2])
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %s: %v", posn, rest[:end+2], err)
+					}
+					rest = strings.TrimSpace(rest[end+2:])
+				case '`':
+					end := strings.Index(rest[1:], "`")
+					if end < 0 {
+						return nil, fmt.Errorf("%s: unterminated want pattern", posn)
+					}
+					lit = rest[1 : end+1]
+					rest = strings.TrimSpace(rest[end+2:])
+				default:
+					return nil, fmt.Errorf("%s: want patterns must be quoted, got %q", posn, rest)
+				}
+				re, err := regexp.Compile(lit)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad want regexp %q: %v", posn, lit, err)
+				}
+				wants = append(wants, &want{file: posn.Filename, line: posn.Line, re: re, raw: lit})
+				any = true
+			}
+			if !any {
+				return nil, fmt.Errorf("%s: empty want comment", posn)
+			}
+		}
+	}
+	return wants, nil
+}

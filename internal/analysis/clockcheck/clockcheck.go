@@ -1,0 +1,78 @@
+// Package clockcheck forbids reading the process clock outside the
+// sanctioned implementations. The DES↔live equivalence guarantee holds
+// only if every scheduling-relevant instant flows through a
+// scheduler.Clock; a stray time.Now is a determinism bug waiting for a
+// slow machine. Wall-bound I/O (socket deadlines, retry backoffs) must
+// route through internal/wall so each wall dependence is explicit.
+package clockcheck
+
+import (
+	"go/ast"
+
+	"ivdss/internal/analysis"
+)
+
+// forbidden are the time-package functions that read or schedule on the
+// process clock. Constructors like time.Unix or time.Date are pure and
+// stay legal everywhere.
+var forbidden = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"Tick":      true,
+	"Since":     true,
+	"Until":     true,
+}
+
+// Analyzer is the clockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "clockcheck",
+	Doc: "forbid time.Now/Sleep/After/NewTimer/NewTicker outside clock implementations; " +
+		"thread scheduler.Clock, or use internal/wall for inherently wall-bound I/O",
+	Run: run,
+}
+
+// allowedPkg reports whether an entire package may touch the clock:
+// main packages (process entry points own their wall clock) and the two
+// sanctioned implementation packages.
+func allowedPkg(pkgName, importPath string) bool {
+	if pkgName == "main" {
+		return true
+	}
+	return analysis.PathEndsWith(importPath, "internal/sim") ||
+		analysis.PathEndsWith(importPath, "internal/wall")
+}
+
+func run(pass *analysis.Pass) {
+	if allowedPkg(pass.PkgName, pass.ImportPath) {
+		return
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		// The live driver's Clock implementation is the one scheduler
+		// file allowed to read wall time.
+		if pass.PkgName == "scheduler" && analysis.Filename(pass.Fset, f) == "wallclock.go" {
+			continue
+		}
+		local, ok := analysis.ImportName(f, "time")
+		if !ok {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name := analysis.PkgCall(call, local); forbidden[name] {
+				pass.Reportf(call.Pos(),
+					"clockcheck: time.%s outside a clock implementation: thread scheduler.Clock, or use internal/wall for wall-bound I/O", name)
+			}
+			return true
+		})
+	}
+}

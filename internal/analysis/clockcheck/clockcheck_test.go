@@ -1,0 +1,13 @@
+package clockcheck_test
+
+import (
+	"testing"
+
+	"ivdss/internal/analysis/analysistest"
+	"ivdss/internal/analysis/clockcheck"
+)
+
+func TestClockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", clockcheck.Analyzer,
+		"a", "internal/sim", "mainprog", "scheduler")
+}

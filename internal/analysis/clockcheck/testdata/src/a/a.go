@@ -1,0 +1,23 @@
+// Package a exercises clockcheck: raw clock reads in library code.
+package a
+
+import "time"
+
+func bad(d time.Duration) {
+	_ = time.Now()                  // want `clockcheck: time\.Now outside a clock implementation`
+	time.Sleep(d)                   // want `clockcheck: time\.Sleep`
+	_ = time.After(d)               // want `clockcheck: time\.After`
+	_ = time.NewTimer(d)            // want `clockcheck: time\.NewTimer`
+	_ = time.NewTicker(d)           // want `clockcheck: time\.NewTicker`
+	_ = time.Since(time.Unix(1, 0)) // want `clockcheck: time\.Since`
+}
+
+func pure() time.Time {
+	// Constructors that do not read the clock stay legal.
+	return time.Unix(42, 0).Add(3 * time.Minute)
+}
+
+func escaped(d time.Duration) {
+	time.Sleep(d) //lint:allow clockcheck(this fixture models an exempted wall-bound sleep)
+	time.Sleep(d) //lint:allow clockcheck // want `clockcheck: //lint:allow clockcheck needs a reason`
+}

@@ -1,0 +1,7 @@
+package a
+
+import stdtime "time"
+
+func renamed() {
+	_ = stdtime.Now() // want `clockcheck: time\.Now`
+}

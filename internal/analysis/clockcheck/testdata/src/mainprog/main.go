@@ -1,0 +1,9 @@
+// Command mainprog shows that process entry points own their wall clock.
+package main
+
+import "time"
+
+func main() {
+	time.Sleep(time.Nanosecond)
+	_ = time.Now()
+}

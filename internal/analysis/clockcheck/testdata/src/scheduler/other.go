@@ -1,0 +1,7 @@
+package scheduler
+
+import "time"
+
+func bad() time.Time {
+	return time.Now() // want `clockcheck: time\.Now`
+}

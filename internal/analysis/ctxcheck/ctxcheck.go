@@ -1,0 +1,177 @@
+// Package ctxcheck enforces context discipline below cmd/: remote
+// round-trips must thread the caller's context.Context, and library
+// code must not mint fresh root contexts with context.Background() or
+// context.TODO(). A Background() mid-stack detaches the work from the
+// caller's deadline and cancellation — exactly how a shed or expired
+// query keeps burning a branch server after nobody wants the answer.
+//
+// Two idioms stay legal without an escape hatch, because they preserve
+// rather than break the discipline:
+//
+//   - the ctx-less public wrapper, a single-return delegation such as
+//     `func Call(...) { return CallContext(context.Background(), ...) }`;
+//   - the nil-default guard `if cfg.Context == nil { cfg.Context =
+//     context.Background() }`.
+package ctxcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ivdss/internal/analysis"
+)
+
+// Analyzer is the ctxcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxcheck",
+	Doc: "remote round-trips must thread context.Context; no context.Background()/TODO() below cmd/ " +
+		"outside ctx-less delegating wrappers and nil-default guards",
+	Run: run,
+}
+
+// ctxless maps an import-path suffix to the package-level functions
+// that drop the caller's context and therefore must not be called from
+// library code (each has a Context-taking sibling).
+var ctxless = map[string]map[string]bool{
+	"internal/netproto":   {"Call": true, "Dial": true},
+	"internal/federation": {"ExecutePlan": true},
+}
+
+func run(pass *analysis.Pass) {
+	if pass.PkgName == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		checkFile(pass, f)
+	}
+}
+
+func checkFile(pass *analysis.Pass, f *ast.File) {
+	ctxLocal, hasCtx := analysis.ImportName(f, "context")
+	type remote struct{ local, suffix string }
+	var remotes []remote
+	for suffix := range ctxless {
+		if local, ok := analysis.ImportNameSuffix(f, suffix); ok {
+			remotes = append(remotes, remote{local, suffix})
+		}
+	}
+	if !hasCtx && len(remotes) == 0 {
+		return
+	}
+
+	for _, decl := range f.Decls {
+		fn, isFunc := decl.(*ast.FuncDecl)
+		if isFunc && fn.Body == nil {
+			continue
+		}
+		// A ctx-less delegating wrapper: the whole body is one return
+		// that hands a fresh root to the Context-taking sibling. The
+		// root is born and consumed on the same line, so nothing
+		// mid-stack can capture it.
+		if isFunc && isDelegatingWrapper(fn, ctxLocal) {
+			continue
+		}
+		exempt := map[*ast.CallExpr]bool{}
+		if isFunc && hasCtx {
+			markNilDefaults(fn.Body, ctxLocal, exempt)
+		}
+		ast.Inspect(decl, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if hasCtx && !exempt[call] {
+				if name := analysis.PkgCall(call, ctxLocal); name == "Background" || name == "TODO" {
+					pass.Reportf(call.Pos(),
+						"ctxcheck: context.%s below cmd/ detaches from the caller's deadline: accept and thread a ctx", name)
+				}
+			}
+			for _, r := range remotes {
+				if name := analysis.PkgCall(call, r.local); ctxless[r.suffix][name] {
+					pass.Reportf(call.Pos(),
+						"ctxcheck: %s.%s drops the caller's context: call %s.%sContext and thread ctx", r.local, name, r.local, name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// isDelegatingWrapper reports whether fn's body is exactly one return
+// statement that passes context.Background()/TODO() as an argument of a
+// call (the sanctioned ctx-less public wrapper shape).
+func isDelegatingWrapper(fn *ast.FuncDecl, ctxLocal string) bool {
+	if ctxLocal == "" || len(fn.Body.List) != 1 {
+		return false
+	}
+	ret, ok := fn.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return false
+	}
+	call, ok := ret.Results[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	for _, arg := range call.Args {
+		if inner, ok := arg.(*ast.CallExpr); ok {
+			if name := analysis.PkgCall(inner, ctxLocal); name == "Background" || name == "TODO" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// markNilDefaults records Background/TODO calls of the shape
+//
+//	if x == nil { x = context.Background() }
+//
+// (either comparison order) as exempt.
+func markNilDefaults(body *ast.BlockStmt, ctxLocal string, exempt map[*ast.CallExpr]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		target := nilComparee(ifs.Cond)
+		if target == "" {
+			return true
+		}
+		for _, stmt := range ifs.Body.List {
+			asg, ok := stmt.(*ast.AssignStmt)
+			if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+				continue
+			}
+			if types.ExprString(asg.Lhs[0]) != target {
+				continue
+			}
+			call, ok := asg.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if name := analysis.PkgCall(call, ctxLocal); name == "Background" || name == "TODO" {
+				exempt[call] = true
+			}
+		}
+		return true
+	})
+}
+
+// nilComparee returns the printed form of X for a condition `X == nil`
+// or `nil == X`, and "" otherwise.
+func nilComparee(cond ast.Expr) string {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op.String() != "==" {
+		return ""
+	}
+	if id, ok := bin.Y.(*ast.Ident); ok && id.Name == "nil" {
+		return types.ExprString(bin.X)
+	}
+	if id, ok := bin.X.(*ast.Ident); ok && id.Name == "nil" {
+		return types.ExprString(bin.Y)
+	}
+	return ""
+}

@@ -1,0 +1,12 @@
+package ctxcheck_test
+
+import (
+	"testing"
+
+	"ivdss/internal/analysis/analysistest"
+	"ivdss/internal/analysis/ctxcheck"
+)
+
+func TestCtxcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxcheck.Analyzer, "a", "mainprog")
+}

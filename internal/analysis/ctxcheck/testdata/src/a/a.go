@@ -1,0 +1,34 @@
+// Package a exercises ctxcheck: fresh root contexts below cmd/.
+package a
+
+import "context"
+
+var pkgRoot = context.Background() // want `ctxcheck: context\.Background below cmd/`
+
+func bad(addr string) {
+	ctx := context.Background() // want `ctxcheck: context\.Background below cmd/`
+	todo := context.TODO()      // want `ctxcheck: context\.TODO below cmd/`
+	_, _ = ctx, todo
+}
+
+// Call is the sanctioned ctx-less public wrapper: the fresh root is
+// born and consumed on one line, so nothing mid-stack captures it.
+func Call(addr string) error {
+	return CallContext(context.Background(), addr)
+}
+
+func CallContext(ctx context.Context, addr string) error { return nil }
+
+type config struct{ Context context.Context }
+
+func (c *config) withDefaults() {
+	// The nil-default guard is the other sanctioned idiom.
+	if c.Context == nil {
+		c.Context = context.Background()
+	}
+}
+
+func escaped() {
+	_ = context.Background() //lint:allow ctxcheck(fixture models a justified request root)
+	_ = context.Background() //lint:allow ctxcheck // want `ctxcheck: //lint:allow ctxcheck needs a reason`
+}

@@ -1,0 +1,9 @@
+// Command mainprog owns the process root context.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

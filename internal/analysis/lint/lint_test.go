@@ -1,0 +1,113 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ivdss/internal/analysis/lint"
+)
+
+// moduleRoot walks up from the working directory to go.mod.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// TestRepoIsLintClean is the meta-test the tentpole demands: the
+// repository itself must produce zero findings, so the analyzers stay
+// honest (every rule they enforce is a rule the tree actually obeys)
+// and CI's `go vet -vettool` step cannot rot.
+func TestRepoIsLintClean(t *testing.T) {
+	diags, err := lint.RunModule(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestVetToolProtocol proves the binary speaks the `go vet -vettool`
+// protocol end to end against a scratch module: -flags and -V=full
+// answer, a dirty package fails the vet run with a clockcheck finding,
+// and the cleaned package passes.
+func TestVetToolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the lint binary and shells out to go vet")
+	}
+	root := moduleRoot(t)
+	scratch := t.TempDir()
+	bin := filepath.Join(scratch, "ivdss-lint")
+
+	build := exec.Command("go", "build", "-o", bin, "./cmd/ivdss-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building ivdss-lint: %v\n%s", err, out)
+	}
+
+	mod := filepath.Join(scratch, "mod")
+	if err := os.MkdirAll(filepath.Join(mod, "lib"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	writeFile(t, filepath.Join(mod, "go.mod"), "module lintme\n\ngo 1.22\n")
+	writeFile(t, filepath.Join(mod, "lib", "lib.go"), `package lib
+
+import "time"
+
+// Nap trips clockcheck.
+func Nap() { time.Sleep(time.Millisecond) }
+`)
+
+	env := append(os.Environ(), "GOPROXY=off", "GOFLAGS=-mod=mod", "GOWORK=off")
+	runVet := func() (string, error) {
+		cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+		cmd.Dir = mod
+		cmd.Env = env
+		var out bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &out
+		err := cmd.Run()
+		return out.String(), err
+	}
+
+	out, err := runVet()
+	if err == nil {
+		t.Fatalf("go vet passed on a package with a raw time.Sleep:\n%s", out)
+	}
+	if !strings.Contains(out, "clockcheck") {
+		t.Fatalf("go vet failed without a clockcheck finding:\n%s", out)
+	}
+
+	writeFile(t, filepath.Join(mod, "lib", "lib.go"), `package lib
+
+// Pure no longer reads the clock.
+func Pure() int { return 1 }
+`)
+	if out, err := runVet(); err != nil {
+		t.Fatalf("go vet failed on a clean package: %v\n%s", err, out)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,234 @@
+// Package lockcheck flags calls that can block on the network while a
+// sync.Mutex/RWMutex locked in the same function is still held. A
+// round-trip under the server lock turns one slow branch site into a
+// full coordinator stall — the hazard the copy-on-write replica swap
+// exists to avoid. The check is a linear, syntactic walk: it tracks
+// Lock/RLock and Unlock/RUnlock pairs by receiver expression within a
+// function body (a deferred unlock holds to function end) and reports
+// any statement in the held window that calls into a remote-I/O package
+// (import path ending internal/netproto, internal/replsync, or
+// internal/federation) or a known round-trip method.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ivdss/internal/analysis"
+)
+
+// Analyzer is the lockcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockcheck",
+	Doc:  "no network-blocking calls while a sync.Mutex/RWMutex is held: snapshot under the lock, call after unlocking",
+	Run:  run,
+}
+
+// blockingPkgs are import-path suffixes whose package-level calls may
+// block on the network.
+var blockingPkgs = [3]string{"internal/netproto", "internal/replsync", "internal/federation"}
+
+// blockingMethods are method names that perform a remote round-trip
+// regardless of receiver (client pools, retriers, federation engines).
+var blockingMethods = map[string]bool{
+	"CallContext":        true,
+	"RoundTripContext":   true,
+	"DoContext":          true,
+	"FetchContext":       true,
+	"ExecutePlanContext": true,
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		var pkgLocals []string
+		for _, suffix := range blockingPkgs {
+			if local, ok := analysis.ImportNameSuffix(f, suffix); ok {
+				pkgLocals = append(pkgLocals, local)
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			scanBlock(pass, fn.Body.List, map[string]bool{}, pkgLocals)
+		}
+	}
+}
+
+// lockOp classifies a statement's expression as a Lock/RLock or
+// Unlock/RUnlock call and returns the receiver's printed form.
+func lockOp(expr ast.Expr) (recv string, acquire, release bool) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return "", false, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		return types.ExprString(sel.X), true, false
+	case "Unlock", "RUnlock":
+		return types.ExprString(sel.X), false, true
+	}
+	return "", false, false
+}
+
+// scanBlock walks stmts linearly with the set of held lock receivers,
+// recursing into nested blocks with a copy; after a nested block, any
+// lock it unlocks anywhere inside is treated as released (conservative
+// toward silence — branch analysis is out of scope for a syntax pass).
+func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool, pkgLocals []string) {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if recv, acquire, release := lockOp(s.X); acquire {
+				held[recv] = true
+				continue
+			} else if release {
+				delete(held, recv)
+				continue
+			}
+			checkBlocking(pass, s, held, pkgLocals)
+		case *ast.DeferStmt:
+			// `defer mu.Unlock()` keeps the lock held to function end:
+			// leave it in the set. Deferred blocking calls run after the
+			// body, beyond a linear pass's reach — skip them.
+			continue
+		case *ast.GoStmt:
+			// A spawned goroutine does not hold this function's locks.
+			continue
+		case *ast.BlockStmt:
+			scanBlock(pass, s.List, copyHeld(held), pkgLocals)
+			releaseUnlocked(held, s)
+		case *ast.IfStmt:
+			if s.Init != nil {
+				checkBlocking(pass, s.Init, held, pkgLocals)
+			}
+			checkBlocking(pass, s.Cond, held, pkgLocals)
+			scanBlock(pass, s.Body.List, copyHeld(held), pkgLocals)
+			if s.Else != nil {
+				scanBlock(pass, []ast.Stmt{s.Else}, copyHeld(held), pkgLocals)
+			}
+			releaseUnlocked(held, s)
+		case *ast.ForStmt:
+			scanBlock(pass, s.Body.List, copyHeld(held), pkgLocals)
+			releaseUnlocked(held, s)
+		case *ast.RangeStmt:
+			checkBlocking(pass, s.X, held, pkgLocals)
+			scanBlock(pass, s.Body.List, copyHeld(held), pkgLocals)
+			releaseUnlocked(held, s)
+		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			for _, clause := range clauseBodies(s) {
+				scanBlock(pass, clause, copyHeld(held), pkgLocals)
+			}
+			releaseUnlocked(held, s)
+		default:
+			checkBlocking(pass, stmt, held, pkgLocals)
+			releaseUnlocked(held, stmt)
+		}
+	}
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(held))
+	for k := range held {
+		out[k] = true
+	}
+	return out
+}
+
+// releaseUnlocked drops from held any lock that stmt unlocks somewhere
+// inside (conservative toward silence — branch analysis is out of
+// scope for a syntax pass).
+func releaseUnlocked(held map[string]bool, stmt ast.Stmt) {
+	for _, recv := range unlockedWithin(stmt) {
+		delete(held, recv)
+	}
+}
+
+// clauseBodies returns the statement lists of a switch/select's clauses.
+func clauseBodies(stmt ast.Stmt) [][]ast.Stmt {
+	var body *ast.BlockStmt
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var out [][]ast.Stmt
+	for _, clause := range body.List {
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			out = append(out, c.Body)
+		case *ast.CommClause:
+			out = append(out, c.Body)
+		}
+	}
+	return out
+}
+
+// checkBlocking reports network-capable calls inside n while any lock
+// is held, skipping function literals (their bodies run later, without
+// these locks).
+func checkBlocking(pass *analysis.Pass, n ast.Node, held map[string]bool, pkgLocals []string) {
+	if len(held) == 0 {
+		return
+	}
+	var lockName string
+	for recv := range held {
+		lockName = recv
+		break
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		for _, local := range pkgLocals {
+			if name := analysis.PkgCall(call, local); name != "" {
+				pass.Reportf(call.Pos(),
+					"lockcheck: %s.%s may block on the network while %s is held: snapshot under the lock, call after unlocking", local, name, lockName)
+				return true
+			}
+		}
+		if blockingMethods[sel.Sel.Name] {
+			pass.Reportf(call.Pos(),
+				"lockcheck: %s may block on the network while %s is held: snapshot under the lock, call after unlocking",
+				types.ExprString(call.Fun), lockName)
+		}
+		return true
+	})
+}
+
+// unlockedWithin collects receivers unlocked anywhere inside stmt
+// (outside function literals).
+func unlockedWithin(stmt ast.Stmt) []string {
+	var recvs []string
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if expr, ok := n.(*ast.CallExpr); ok {
+			if recv, _, release := lockOp(expr); release {
+				recvs = append(recvs, recv)
+			}
+		}
+		return true
+	})
+	return recvs
+}

@@ -1,0 +1,71 @@
+// Package a exercises lockcheck: network round-trips under a mutex.
+package a
+
+import (
+	"context"
+	"sync"
+
+	"example.com/internal/netproto"
+)
+
+type server struct {
+	mu    sync.Mutex
+	state int
+	pool  interface {
+		CallContext(ctx context.Context, addr string) error
+	}
+}
+
+func (s *server) heldAcrossCall(ctx context.Context, addr string) {
+	s.mu.Lock()
+	netproto.CallContext(ctx, addr, nil, 0) // want `lockcheck: netproto\.CallContext may block on the network while s\.mu is held`
+	s.mu.Unlock()
+}
+
+func (s *server) heldByDefer(ctx context.Context, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_ = s.pool.CallContext(ctx, addr) // want `lockcheck: s\.pool\.CallContext may block on the network while s\.mu is held`
+}
+
+func (s *server) snapshotThenCall(ctx context.Context, addr string) {
+	s.mu.Lock()
+	snapshot := s.state
+	s.mu.Unlock()
+	_ = snapshot
+	netproto.CallContext(ctx, addr, nil, 0) // lock released: fine
+}
+
+func (s *server) goroutineDoesNotHold(ctx context.Context, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		// A spawned goroutine runs without this function's locks.
+		netproto.CallContext(ctx, addr, nil, 0)
+	}()
+}
+
+func (s *server) lockedInLoop(ctx context.Context, addrs []string) {
+	for _, addr := range addrs {
+		s.mu.Lock()
+		netproto.CallContext(ctx, addr, nil, 0) // want `lockcheck: netproto\.CallContext may block on the network while s\.mu is held`
+		s.mu.Unlock()
+	}
+}
+
+func (s *server) branchRelease(ctx context.Context, addr string, fast bool) {
+	s.mu.Lock()
+	if fast {
+		s.mu.Unlock()
+		netproto.CallContext(ctx, addr, nil, 0) // released in this branch: fine
+		return
+	}
+	s.mu.Unlock()
+}
+
+func (s *server) escaped(ctx context.Context, addr string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	netproto.CallContext(ctx, addr, nil, 0) //lint:allow lockcheck(fixture models a justified short critical section)
+	netproto.CallContext(ctx, addr, nil, 0) //lint:allow lockcheck // want `lockcheck: //lint:allow lockcheck needs a reason`
+}

@@ -1,0 +1,77 @@
+// Package metriccheck enforces metric-name discipline on the
+// get-or-create registry calls (Counter/Gauge/Histogram): names must be
+// compile-time string literals (so the full metric surface is grep-able
+// and stable across runs), snake_case (one naming scheme in dashboards
+// and the DES/live comparison harness), and consistent within a package
+// — the same name registered under two instrument kinds is always a
+// bug, because the registry would silently hand back whichever kind won
+// the race to create it.
+package metriccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+
+	"ivdss/internal/analysis"
+)
+
+// Analyzer is the metriccheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "metriccheck",
+	Doc:  "metric names must be literal snake_case strings, and one name must map to one instrument kind per package",
+	Run:  run,
+}
+
+var kinds = map[string]bool{"Counter": true, "Gauge": true, "Histogram": true}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+type registration struct {
+	kind string
+	pos  token.Position
+}
+
+func run(pass *analysis.Pass) {
+	if pass.PkgName == "main" {
+		return
+	}
+	seen := make(map[string]registration)
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) < 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !kinds[sel.Sel.Name] {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				pass.Reportf(call.Pos(),
+					"metriccheck: %s name must be a compile-time string literal so the metric surface is grep-able", sel.Sel.Name)
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !snakeCase.MatchString(name) {
+				pass.Reportf(lit.Pos(), "metriccheck: metric name %q must be snake_case", name)
+				return true
+			}
+			if prev, dup := seen[name]; dup && prev.kind != sel.Sel.Name {
+				pass.Reportf(lit.Pos(),
+					"metriccheck: metric %q registered as %s here but as %s at %s", name, sel.Sel.Name, prev.kind, prev.pos)
+				return true
+			}
+			seen[name] = registration{kind: sel.Sel.Name, pos: pass.Fset.Position(lit.Pos())}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package metriccheck_test
+
+import (
+	"testing"
+
+	"ivdss/internal/analysis/analysistest"
+	"ivdss/internal/analysis/metriccheck"
+)
+
+func TestMetriccheck(t *testing.T) {
+	analysistest.Run(t, "testdata", metriccheck.Analyzer, "a", "mainprog")
+}

@@ -1,0 +1,21 @@
+// Package a exercises metriccheck: metric-name discipline.
+package a
+
+type registry struct{}
+
+func (registry) Counter(name string) int   { return 0 }
+func (registry) Gauge(name string) int     { return 0 }
+func (registry) Histogram(name string) int { return 0 }
+
+func metrics(r registry, dyn string) {
+	_ = r.Counter("queries_total")
+	_ = r.Counter("queries_total") // same name, same kind: get-or-create is fine
+	_ = r.Histogram("service_seconds")
+	_ = r.Gauge("queries_total") // want `metriccheck: metric "queries_total" registered as Gauge here but as Counter at`
+	_ = r.Counter("BadName")     // want `metriccheck: metric name "BadName" must be snake_case`
+	_ = r.Counter("kebab-case")  // want `metriccheck: metric name "kebab-case" must be snake_case`
+	_ = r.Counter(dyn)           // want `metriccheck: Counter name must be a compile-time string literal`
+	_ = r.Counter("dyn_" + dyn)  // want `metriccheck: Counter name must be a compile-time string literal`
+	_ = r.Gauge(dyn)             //lint:allow metriccheck(fixture models a bounded per-site family)
+	_ = r.Gauge(dyn)             //lint:allow metriccheck // want `metriccheck: //lint:allow metriccheck needs a reason`
+}

@@ -1,0 +1,11 @@
+// Command mainprog: metric discipline is a library concern.
+package main
+
+type registry struct{}
+
+func (registry) Counter(name string) int { return 0 }
+
+func main() {
+	var r registry
+	_ = r.Counter("whatever-Goes")
+}

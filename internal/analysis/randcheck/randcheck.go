@@ -1,0 +1,79 @@
+// Package randcheck forbids the global math/rand source in library
+// code. Every random decision in the system — GA ordering, retry
+// jitter, fault-proxy coin flips, Zipf workloads — must come from an
+// injected, seeded *rand.Rand so a run replays bit-identically from its
+// seed. The global source is shared, lockstep with every other caller
+// in the process, and unseedable per-component: using it silently
+// breaks replayability.
+package randcheck
+
+import (
+	"go/ast"
+
+	"ivdss/internal/analysis"
+)
+
+// constructors build sources or derived generators from an injected
+// seed or generator, which is exactly the sanctioned pattern.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Analyzer is the randcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "randcheck",
+	Doc: "forbid package-level math/rand functions and freshly-computed seeds in library code; " +
+		"randomness must be an injected seeded *rand.Rand",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	if pass.PkgName == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		if analysis.IsTestFile(pass.Fset, f) {
+			continue
+		}
+		locals := make([]string, 0, 2)
+		for _, path := range [2]string{"math/rand", "math/rand/v2"} {
+			if local, ok := analysis.ImportName(f, path); ok {
+				locals = append(locals, local)
+			}
+		}
+		if len(locals) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, local := range locals {
+				name := analysis.PkgCall(call, local)
+				if name == "" {
+					continue
+				}
+				if !constructors[name] {
+					pass.Reportf(call.Pos(),
+						"randcheck: global math/rand source via rand.%s: inject a seeded *rand.Rand instead", name)
+					return true
+				}
+				// rand.NewSource(<call>) computes a fresh seed (the
+				// classic time.Now().UnixNano() idiom): the seed must be
+				// a value plumbed in from configuration.
+				if name == "NewSource" && len(call.Args) == 1 {
+					if _, isCall := call.Args[0].(*ast.CallExpr); isCall {
+						pass.Reportf(call.Pos(),
+							"randcheck: rand.NewSource seed is computed at the call site: plumb an injected seed value instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,12 @@
+package randcheck_test
+
+import (
+	"testing"
+
+	"ivdss/internal/analysis/analysistest"
+	"ivdss/internal/analysis/randcheck"
+)
+
+func TestRandcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", randcheck.Analyzer, "a", "mainprog")
+}

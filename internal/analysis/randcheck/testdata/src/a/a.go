@@ -1,0 +1,27 @@
+// Package a exercises randcheck: global math/rand use in library code.
+package a
+
+import "math/rand"
+
+func seedFn() int64 { return 42 }
+
+func bad() {
+	_ = rand.Intn(5)                       // want `randcheck: global math/rand source via rand\.Intn`
+	rand.Shuffle(2, func(i, j int) {})     // want `randcheck: global math/rand source via rand\.Shuffle`
+	_ = rand.New(rand.NewSource(seedFn())) // want `randcheck: rand\.NewSource seed is computed at the call site`
+}
+
+func good(seed int64) *rand.Rand {
+	// The sanctioned pattern: a seeded generator built from an injected
+	// seed and threaded to whoever needs randomness.
+	return rand.New(rand.NewSource(seed))
+}
+
+func goodZipf(rng *rand.Rand, n uint64) *rand.Zipf {
+	return rand.NewZipf(rng, 1.2, 1, n)
+}
+
+func escaped() {
+	_ = rand.Int() //lint:allow randcheck(fixture models an exempted one-off)
+	_ = rand.Int() //lint:allow randcheck // want `randcheck: //lint:allow randcheck needs a reason`
+}

@@ -1,0 +1,11 @@
+package a
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Test files may use the global source.
+func TestRandAllowed(t *testing.T) {
+	_ = rand.Intn(3)
+}

@@ -1,0 +1,8 @@
+// Command mainprog may roll dice however it likes.
+package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Intn(6)
+}

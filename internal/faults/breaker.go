@@ -8,7 +8,9 @@ package faults
 import (
 	"fmt"
 	"sync"
-	"time"
+
+	"ivdss/internal/core"
+	"ivdss/internal/scheduler"
 )
 
 // BreakerState is one of the circuit breaker's three states.
@@ -38,23 +40,27 @@ func (s BreakerState) String() string {
 	}
 }
 
-// BreakerConfig parameterizes a Breaker. Zero values take defaults.
+// BreakerConfig parameterizes a Breaker. Zero values take defaults,
+// except Clock, which is required.
 type BreakerConfig struct {
 	// FailureThreshold is how many consecutive failures trip a closed
 	// breaker. Default 3.
 	FailureThreshold int
 	// OpenTimeout is how long an open breaker rejects before admitting
-	// half-open probes. Default 5s.
-	OpenTimeout time.Duration
+	// half-open probes, in experiment minutes on Clock. Default 1/12 of a
+	// minute (5 wall seconds at real-time scale).
+	OpenTimeout core.Duration
 	// HalfOpenProbes caps concurrently admitted probes while half-open.
 	// Default 1.
 	HalfOpenProbes int
 	// SuccessThreshold is how many probe successes close a half-open
 	// breaker. Default 1.
 	SuccessThreshold int
-	// Now is the clock; defaults to time.Now. Injectable for deterministic
-	// tests.
-	Now func() time.Time
+	// Clock supplies the breaker's notion of now. Required: the live
+	// server passes its scaled WallClock, the DES passes SimClock, tests
+	// hand-step a ManualClock — the open/half-open window logic is
+	// identical on all three.
+	Clock scheduler.Clock
 	// OnTransition, when set, observes every state change under the
 	// breaker's lock — keep it fast and do not call back into the breaker.
 	OnTransition func(from, to BreakerState)
@@ -65,16 +71,13 @@ func (c BreakerConfig) withDefaults() BreakerConfig {
 		c.FailureThreshold = 3
 	}
 	if c.OpenTimeout <= 0 {
-		c.OpenTimeout = 5 * time.Second
+		c.OpenTimeout = 1.0 / 12
 	}
 	if c.HalfOpenProbes <= 0 {
 		c.HalfOpenProbes = 1
 	}
 	if c.SuccessThreshold <= 0 {
 		c.SuccessThreshold = 1
-	}
-	if c.Now == nil {
-		c.Now = time.Now
 	}
 	return c
 }
@@ -92,11 +95,16 @@ type Breaker struct {
 	failures int       // consecutive failures while closed
 	probes   int       // probes admitted and still in flight while half-open
 	okProbes int       // probe successes while half-open
-	openedAt time.Time // when the breaker last opened
+	openedAt core.Time // when the breaker last opened
 }
 
-// NewBreaker returns a closed breaker.
+// NewBreaker returns a closed breaker. It panics without a Clock: a
+// breaker that reads wall time directly cannot run under the DES, which
+// is the whole point of injecting one.
 func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Clock == nil {
+		panic("faults: BreakerConfig.Clock is required")
+	}
 	return &Breaker{cfg: cfg.withDefaults()}
 }
 
@@ -108,7 +116,7 @@ func (b *Breaker) transition(to BreakerState) {
 	b.state = to
 	switch to {
 	case Open:
-		b.openedAt = b.cfg.Now()
+		b.openedAt = b.cfg.Clock.Now()
 	case HalfOpen:
 		b.probes = 0
 		b.okProbes = 0
@@ -130,7 +138,7 @@ func (b *Breaker) Allow() bool {
 	case Closed:
 		return true
 	case Open:
-		if b.cfg.Now().Sub(b.openedAt) < b.cfg.OpenTimeout {
+		if b.cfg.Clock.Now()-b.openedAt < b.cfg.OpenTimeout {
 			return false
 		}
 		b.transition(HalfOpen)
@@ -194,7 +202,7 @@ func (b *Breaker) Failure() {
 func (b *Breaker) State() BreakerState {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if b.state == Open && b.cfg.Now().Sub(b.openedAt) >= b.cfg.OpenTimeout {
+	if b.state == Open && b.cfg.Clock.Now()-b.openedAt >= b.cfg.OpenTimeout {
 		return HalfOpen
 	}
 	return b.state

@@ -3,7 +3,10 @@ package faults
 import (
 	"fmt"
 	"testing"
-	"time"
+
+	"ivdss/internal/core"
+	"ivdss/internal/scheduler"
+	"ivdss/internal/sim"
 )
 
 // The breaker property test exhaustively replays every event sequence up
@@ -32,13 +35,34 @@ var eventNames = map[breakerEvent]string{
 	evAllow: "allow", evSuccess: "success", evFailure: "failure", evTick: "tick",
 }
 
+// tickClock abstracts "the open timeout elapses" so the same replay runs
+// against the hand-stepped test clock and the discrete event simulator:
+// the breaker's window logic must behave identically on both.
+type tickClock interface {
+	scheduler.Clock
+	Tick(d core.Duration)
+}
+
+// tickFake adapts fakeClock.
+type tickFake struct{ *fakeClock }
+
+func (c tickFake) Tick(d core.Duration) { c.Advance(d) }
+
+// tickSim advances a simulator by scheduling an empty event at +d and
+// draining the queue, exactly how DES time moves everywhere else.
+type tickSim struct{ scheduler.SimClock }
+
+func (c tickSim) Tick(d core.Duration) {
+	c.Sim.Schedule(d, func() {})
+	c.Sim.Run()
+}
+
 // replay drives a fresh breaker through seq, checking invariants after
 // every event. It reports the sequence and config on violation.
-func replay(t *testing.T, cfg BreakerConfig, seq []breakerEvent) {
+func replay(t *testing.T, cfg BreakerConfig, clock tickClock, seq []breakerEvent) {
 	t.Helper()
-	clock := newFakeClock()
-	cfg.Now = clock.Now
-	cfg.OpenTimeout = time.Second
+	cfg.Clock = clock
+	cfg.OpenTimeout = 1
 
 	type obs struct{ from, to BreakerState }
 	var transitions []obs
@@ -107,7 +131,7 @@ func replay(t *testing.T, cfg BreakerConfig, seq []breakerEvent) {
 			outstanding--
 			b.Failure()
 		case evTick:
-			clock.Advance(cfg.OpenTimeout)
+			clock.Tick(cfg.OpenTimeout)
 		}
 
 		// Invariant 1: no skipped states.
@@ -139,19 +163,27 @@ func TestBreakerPropertyExhaustive(t *testing.T) {
 		{FailureThreshold: 3, HalfOpenProbes: 1, SuccessThreshold: 2},
 	}
 
-	seq := make([]breakerEvent, depth)
-	var walk func(i int, cfg BreakerConfig)
-	walk = func(i int, cfg BreakerConfig) {
-		if i == depth {
-			replay(t, cfg, seq)
-			return
-		}
-		for _, ev := range events {
-			seq[i] = ev
-			walk(i+1, cfg)
-		}
+	clocks := map[string]func() tickClock{
+		"manual": func() tickClock { return tickFake{newFakeClock()} },
+		"sim":    func() tickClock { return tickSim{scheduler.SimClock{Sim: sim.New()}} },
 	}
-	for _, cfg := range configs {
-		walk(0, cfg)
+	for name, mk := range clocks {
+		t.Run(name, func(t *testing.T) {
+			seq := make([]breakerEvent, depth)
+			var walk func(i int, cfg BreakerConfig)
+			walk = func(i int, cfg BreakerConfig) {
+				if i == depth {
+					replay(t, cfg, mk(), seq)
+					return
+				}
+				for _, ev := range events {
+					seq[i] = ev
+					walk(i+1, cfg)
+				}
+			}
+			for _, cfg := range configs {
+				walk(0, cfg)
+			}
+		})
 	}
 }

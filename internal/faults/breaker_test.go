@@ -3,32 +3,43 @@ package faults
 import (
 	"sync"
 	"testing"
-	"time"
+
+	"ivdss/internal/core"
+	"ivdss/internal/scheduler"
 )
 
-// fakeClock is a manually advanced clock for deterministic breaker tests.
+// fakeClock is a manually advanced scheduler.Clock for deterministic
+// breaker tests. Unlike scheduler.ManualClock it is safe for concurrent
+// use, which the -race traffic tests need.
 type fakeClock struct {
 	mu sync.Mutex
-	t  time.Time
+	t  core.Time
 }
 
-func newFakeClock() *fakeClock { return &fakeClock{t: time.Unix(0, 0)} }
+var _ scheduler.Clock = (*fakeClock)(nil)
 
-func (c *fakeClock) Now() time.Time {
+func newFakeClock() *fakeClock { return &fakeClock{} }
+
+func (c *fakeClock) Now() core.Time {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.t
 }
 
-func (c *fakeClock) Advance(d time.Duration) {
+// AfterFunc is unused by the breaker: it only ever asks for "now".
+func (c *fakeClock) AfterFunc(core.Duration, func()) {
+	panic("fakeClock: breaker must not arm timers")
+}
+
+func (c *fakeClock) Advance(d core.Duration) {
 	c.mu.Lock()
-	c.t = c.t.Add(d)
+	c.t += d
 	c.mu.Unlock()
 }
 
 func TestBreakerTripsAfterConsecutiveFailures(t *testing.T) {
 	clock := newFakeClock()
-	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Second, Now: clock.Now})
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: 1, Clock: clock})
 
 	for i := 0; i < 2; i++ {
 		if !b.Allow() {
@@ -58,8 +69,8 @@ func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
 	var transitions []string
 	b := NewBreaker(BreakerConfig{
 		FailureThreshold: 1,
-		OpenTimeout:      time.Second,
-		Now:              clock.Now,
+		OpenTimeout:      1,
+		Clock:            clock,
 		OnTransition: func(from, to BreakerState) {
 			transitions = append(transitions, from.String()+"->"+to.String())
 		},
@@ -68,7 +79,7 @@ func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
 	if b.Allow() {
 		t.Fatal("open breaker admitted a call before the timeout")
 	}
-	clock.Advance(time.Second)
+	clock.Advance(1)
 	if !b.Allow() {
 		t.Fatal("expired open breaker rejected the probe")
 	}
@@ -93,9 +104,9 @@ func TestBreakerHalfOpenProbeAndRecovery(t *testing.T) {
 
 func TestBreakerProbeFailureReopens(t *testing.T) {
 	clock := newFakeClock()
-	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: time.Second, Now: clock.Now})
+	b := NewBreaker(BreakerConfig{FailureThreshold: 1, OpenTimeout: 1, Clock: clock})
 	b.Failure()
-	clock.Advance(time.Second)
+	clock.Advance(1)
 	if !b.Allow() {
 		t.Fatal("probe rejected")
 	}
@@ -107,7 +118,7 @@ func TestBreakerProbeFailureReopens(t *testing.T) {
 	if b.Allow() {
 		t.Error("re-opened breaker admitted a call immediately")
 	}
-	clock.Advance(time.Second)
+	clock.Advance(1)
 	if !b.Allow() {
 		t.Error("re-opened breaker never recovered")
 	}
@@ -117,13 +128,13 @@ func TestBreakerSuccessThreshold(t *testing.T) {
 	clock := newFakeClock()
 	b := NewBreaker(BreakerConfig{
 		FailureThreshold: 1,
-		OpenTimeout:      time.Second,
+		OpenTimeout:      1,
 		HalfOpenProbes:   2,
 		SuccessThreshold: 2,
-		Now:              clock.Now,
+		Clock:            clock,
 	})
 	b.Failure()
-	clock.Advance(time.Second)
+	clock.Advance(1)
 	if !b.Allow() {
 		t.Fatal("first probe rejected")
 	}
@@ -147,13 +158,13 @@ func TestBreakerConcurrentProbes(t *testing.T) {
 	clock := newFakeClock()
 	b := NewBreaker(BreakerConfig{
 		FailureThreshold: 1,
-		OpenTimeout:      time.Second,
+		OpenTimeout:      1,
 		HalfOpenProbes:   2,
 		SuccessThreshold: 100, // keep it half-open while probes succeed
-		Now:              clock.Now,
+		Clock:            clock,
 	})
 	b.Failure()
-	clock.Advance(time.Second)
+	clock.Advance(1)
 
 	var wg sync.WaitGroup
 	admitted := make(chan bool, 64)
@@ -181,7 +192,7 @@ func TestBreakerConcurrentProbes(t *testing.T) {
 // while the clock advances, for the race detector.
 func TestBreakerConcurrentTraffic(t *testing.T) {
 	clock := newFakeClock()
-	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: time.Millisecond, Now: clock.Now})
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, OpenTimeout: .001, Clock: clock})
 	var wg sync.WaitGroup
 	for i := 0; i < 16; i++ {
 		fail := i%2 == 0
@@ -197,7 +208,7 @@ func TestBreakerConcurrentTraffic(t *testing.T) {
 					}
 				}
 				if j%50 == 0 {
-					clock.Advance(time.Millisecond)
+					clock.Advance(.001)
 				}
 				_ = b.State()
 				_ = b.Failures()

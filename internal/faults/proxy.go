@@ -9,6 +9,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"ivdss/internal/wall"
 )
 
 // Mode selects the fault a Proxy injects on new connections.
@@ -166,7 +168,7 @@ func (p *Proxy) serve(client net.Conn, mode Mode, delay time.Duration) {
 		return
 	case ModeDelay:
 		select {
-		case <-time.After(delay):
+		case <-wall.After(delay):
 		case <-p.closed:
 			return
 		}

@@ -11,6 +11,8 @@ import (
 	"ivdss/internal/relation"
 	"ivdss/internal/replication"
 	"ivdss/internal/sqlmini"
+
+	"ivdss/internal/wall"
 )
 
 // Site is an in-process remote server holding base tables. The live TCP
@@ -174,7 +176,7 @@ func (pc *planCatalog) Table(name string) (*relation.Table, error) {
 			// The simulated network wait is interruptible: a remote fetch
 			// must not outlive the caller's deadline just to return data
 			// nobody is waiting for.
-			t := time.NewTimer(d)
+			t := wall.NewTimer(d)
 			select {
 			case <-t.C:
 			case <-pc.ctx.Done():
@@ -278,11 +280,11 @@ func (e *Engine) Calibrate(q core.Query, sql string, model *costmodel.Calibrated
 		}
 		elapsed := time.Duration(1<<62 - 1)
 		for rep := 0; rep < 3; rep++ {
-			start := time.Now()
+			start := wall.Now()
 			if _, err := e.ExecutePlan(sql, core.Plan{Query: q, Access: access}); err != nil {
 				return nil, fmt.Errorf("federation: calibrate %s mask %d: %w", q.ID, mask, err)
 			}
-			if d := time.Since(start); d < elapsed {
+			if d := wall.Since(start); d < elapsed {
 				elapsed = d
 			}
 		}

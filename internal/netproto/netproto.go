@@ -12,6 +12,8 @@ import (
 	"time"
 
 	"ivdss/internal/relation"
+
+	"ivdss/internal/wall"
 )
 
 // RequestKind selects the operation.
@@ -307,13 +309,13 @@ func (c *Conn) RoundTripContext(ctx context.Context, req *Request) (*Response, e
 	}
 	var deadline time.Time
 	if c.timeout > 0 {
-		deadline = time.Now().Add(c.timeout)
+		deadline = wall.Now().Add(c.timeout)
 	}
 	if d, ok := ctx.Deadline(); ok {
 		if deadline.IsZero() || d.Before(deadline) {
 			deadline = d
 		}
-		ms := time.Until(d).Milliseconds()
+		ms := wall.Until(d).Milliseconds()
 		if ms < 1 {
 			ms = 1
 		}
@@ -339,7 +341,7 @@ func (c *Conn) RoundTripContext(ctx context.Context, req *Request) (*Response, e
 		// failure is attributed to its cause (a value expiry, a wire
 		// budget) rather than surfacing as a generic network timeout.
 		if ctx.Err() == nil {
-			if d, ok := ctx.Deadline(); ok && !time.Now().Before(d) {
+			if d, ok := ctx.Deadline(); ok && !wall.Now().Before(d) {
 				<-ctx.Done()
 			}
 		}

@@ -7,6 +7,8 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"ivdss/internal/wall"
 )
 
 // Pool is a keyed connection pool for the wire protocol: connections are
@@ -75,7 +77,7 @@ func (p *Pool) get(addr string) (c *Conn, reused bool) {
 		pc := conns[len(conns)-1]
 		p.idle[addr] = conns[:len(conns)-1]
 		p.mu.Unlock()
-		if time.Since(pc.since) > p.idleExpiry() || !healthy(pc.conn) {
+		if wall.Since(pc.since) > p.idleExpiry() || !healthy(pc.conn) {
 			pc.conn.Close()
 			continue
 		}
@@ -112,7 +114,7 @@ func (p *Pool) put(addr string, c *Conn) {
 		c.Close()
 		return
 	}
-	p.idle[addr] = append(p.idle[addr], pooledConn{conn: c, since: time.Now()})
+	p.idle[addr] = append(p.idle[addr], pooledConn{conn: c, since: wall.Now()})
 	p.mu.Unlock()
 }
 

@@ -4,7 +4,10 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
+
+	"ivdss/internal/wall"
 )
 
 // Retrier retries an operation under exponential backoff with jitter,
@@ -31,12 +34,40 @@ type Retrier struct {
 	// Retryable classifies errors; a non-retryable error returns
 	// immediately. Nil means every error is retryable.
 	Retryable func(error) bool
-	// Sleep defaults to time.Sleep.
+	// Sleep defaults to the wall clock's sleep.
 	Sleep func(time.Duration)
-	// Rand yields uniform values in [0,1) for jitter; defaults to the
-	// global math/rand source. Inject a seeded source for determinism.
+	// Rand yields uniform values in [0,1) for jitter. Defaults to a
+	// process-wide source seeded with 1, so retry timing replays
+	// identically run to run; inject NewJitter(seed) to pick the seed
+	// (plumbed from the server's -retry-seed flag), or any func for tests.
+	// The global math/rand source is never consulted.
 	Rand func() float64
 }
+
+// lockedRand is a mutex-guarded seeded source: *rand.Rand itself is not
+// safe for the concurrent request goroutines that share one Retrier.
+type lockedRand struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+func (l *lockedRand) Float64() float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.rng.Float64()
+}
+
+// NewJitter returns a jitter source for Retrier.Rand: uniform draws from
+// a seeded *rand.Rand, safe for concurrent use.
+func NewJitter(seed int64) func() float64 {
+	l := &lockedRand{rng: rand.New(rand.NewSource(seed))}
+	return l.Float64
+}
+
+// defaultJitter backs Retrier.Rand when none is injected. Seeded, never
+// the global source: an unseeded retrier must not be the reason two runs
+// of the same experiment diverge.
+var defaultJitter = NewJitter(1)
 
 // RetryError wraps the final error with the attempt count.
 type RetryError struct {
@@ -51,13 +82,6 @@ func (e *RetryError) Error() string {
 
 // Unwrap exposes the final underlying error.
 func (e *RetryError) Unwrap() error { return e.Err }
-
-// Do runs op until it succeeds, exhausts the attempt count, runs out of
-// backoff budget, or returns a non-retryable error. op receives the
-// zero-based attempt index.
-func (r Retrier) Do(op func(attempt int) error) error {
-	return r.DoContext(context.Background(), op)
-}
 
 // DoContext is Do bounded by a context: no attempt starts after the
 // context ends, and a backoff that would sleep past the context deadline
@@ -88,11 +112,11 @@ func (r Retrier) DoContext(ctx context.Context, op func(attempt int) error) erro
 	}
 	sleep := r.Sleep
 	if sleep == nil {
-		sleep = time.Sleep
+		sleep = wall.Sleep
 	}
 	random := r.Rand
 	if random == nil {
-		random = rand.Float64
+		random = defaultJitter
 	}
 
 	var slept time.Duration
@@ -131,7 +155,7 @@ func (r Retrier) DoContext(ctx context.Context, op func(attempt int) error) erro
 		}
 		// A backoff that outlives the caller's deadline is pure waste:
 		// give up now with the real error in hand.
-		if deadline, ok := ctx.Deadline(); ok && time.Now().Add(d).After(deadline) {
+		if deadline, ok := ctx.Deadline(); ok && wall.Now().Add(d).After(deadline) {
 			return &RetryError{Attempts: a + 1, Err: err}
 		}
 		if !sleepCtx(ctx, sleep, r.Sleep != nil, d) {
@@ -155,7 +179,7 @@ func sleepCtx(ctx context.Context, sleep func(time.Duration), injected bool, d t
 		sleep(d)
 		return ctx.Err() == nil
 	}
-	t := time.NewTimer(d)
+	t := wall.NewTimer(d)
 	defer t.Stop()
 	select {
 	case <-t.C:

@@ -1,6 +1,7 @@
 package netproto
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -15,7 +16,7 @@ func TestRetrierSucceedsAfterTransientFailures(t *testing.T) {
 		Jitter:      -1, // exact delays
 		Sleep:       func(d time.Duration) { slept = append(slept, d) },
 	}
-	err := r.Do(func(attempt int) error {
+	err := r.DoContext(context.Background(), func(attempt int) error {
 		calls++
 		if attempt < 2 {
 			return errors.New("transient")
@@ -38,7 +39,7 @@ func TestRetrierExhaustsAttempts(t *testing.T) {
 	calls := 0
 	r := Retrier{MaxAttempts: 3, Sleep: func(time.Duration) {}}
 	boom := errors.New("boom")
-	err := r.Do(func(int) error { calls++; return boom })
+	err := r.DoContext(context.Background(), func(int) error { calls++; return boom })
 	if calls != 3 {
 		t.Errorf("calls = %d, want 3", calls)
 	}
@@ -58,7 +59,7 @@ func TestRetrierBudgetCap(t *testing.T) {
 		Sleep:       func(d time.Duration) { slept += d },
 	}
 	calls := 0
-	err := r.Do(func(int) error { calls++; return errors.New("down") })
+	err := r.DoContext(context.Background(), func(int) error { calls++; return errors.New("down") })
 	if err == nil {
 		t.Fatal("budget-capped retrier succeeded")
 	}
@@ -80,7 +81,7 @@ func TestRetrierNonRetryableStopsImmediately(t *testing.T) {
 		Sleep:       func(time.Duration) {},
 		Retryable:   func(err error) bool { return !errors.Is(err, fatal) },
 	}
-	if err := r.Do(func(int) error { calls++; return fatal }); !errors.Is(err, fatal) {
+	if err := r.DoContext(context.Background(), func(int) error { calls++; return fatal }); !errors.Is(err, fatal) {
 		t.Errorf("err = %v", err)
 	}
 	if calls != 1 {
@@ -99,7 +100,7 @@ func TestRetrierJitterDeterministicUnderSeededRand(t *testing.T) {
 			Sleep:       func(d time.Duration) { slept = append(slept, d) },
 			Rand:        func() float64 { v := seq[i%len(seq)]; i++; return v },
 		}
-		_ = r.Do(func(int) error { return errors.New("down") })
+		_ = r.DoContext(context.Background(), func(int) error { return errors.New("down") })
 		return slept
 	}
 	a, b := run(), run()

@@ -223,7 +223,7 @@ func New(cfg Config) (*Agent, error) {
 		"sync_bytes_total", "sync_deferred_total", "sync_errors_total",
 		"cadence_adjustments_total", "replicas_promoted_total", "replicas_demoted_total",
 	} {
-		a.stats.Counter(name)
+		a.stats.Counter(name) //lint:allow metriccheck(pre-creation loop over the literal names listed just above)
 	}
 	return a, nil
 }
@@ -272,6 +272,7 @@ func (a *Agent) RefreshStaleness() {
 	now := a.cfg.Clock.Now()
 	for id, ts := range a.tables {
 		if ts.lastSync >= 0 {
+			//lint:allow metriccheck(per-table gauge family, bounded by the replication plan)
 			a.stats.Gauge(stalenessGauge(id)).Set(float64(now-ts.lastSync) * 60)
 		}
 	}
@@ -478,7 +479,7 @@ func (a *Agent) perform(id core.TableID, gen uint64, cursor uint64, have, rearm 
 	} else {
 		a.stats.Counter("delta_syncs_total").Inc()
 	}
-	a.stats.Gauge(stalenessGauge(id)).Set(0)
+	a.stats.Gauge(stalenessGauge(id)).Set(0) //lint:allow metriccheck(per-table gauge family, bounded by the replication plan)
 	if rearm {
 		a.armLocked(ts, now, ts.period)
 	}

@@ -7,6 +7,8 @@ import (
 
 	"ivdss/internal/core"
 	"ivdss/internal/netproto"
+
+	"ivdss/internal/wall"
 )
 
 // submit runs admission control for an Exec/Batch request: derive the
@@ -38,7 +40,7 @@ func (s *DSSServer) submit(req *netproto.Request) *netproto.Response {
 		// execution that overruns it is cancelled mid-flight and the error
 		// names the value expiry rather than a generic timeout.
 		var cancelHorizon context.CancelFunc
-		ctx, cancelHorizon = context.WithDeadlineCause(ctx, time.Now().Add(horizonWall),
+		ctx, cancelHorizon = context.WithDeadlineCause(ctx, wall.Now().Add(horizonWall),
 			&core.ValueExpiredError{Query: id, Horizon: horizon, Reason: "expired-running"})
 		defer cancelHorizon()
 	}

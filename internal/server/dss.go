@@ -53,6 +53,10 @@ type DSSConfig struct {
 	// DialTimeout bounds remote calls: both establishing a connection and
 	// each round trip run under this deadline. Default 5s.
 	DialTimeout time.Duration
+	// BaseContext roots every request context and the replication engine;
+	// it is cancelled on Close in addition to whatever its owner does.
+	// Defaults to a fresh background context for embedded servers.
+	BaseContext context.Context
 
 	// SyncBudget caps replication traffic, in bytes per wall-clock second
 	// shared across all tables. Zero means unlimited. Cycles that would
@@ -84,6 +88,9 @@ type DSSConfig struct {
 	BreakerOpenTimeout time.Duration
 	// BreakerProbes caps concurrent half-open probes per site. Default 1.
 	BreakerProbes int
+	// RetrySeed seeds the backoff jitter of remote-call retries, so a run
+	// replays the same retry timing. Default 1.
+	RetrySeed int64
 
 	// Workers sizes the scheduling engine's execution slots serving KindExec
 	// and KindBatch requests; connection handlers only submit. Default 8.
@@ -154,6 +161,12 @@ func (c DSSConfig) withDefaults() DSSConfig {
 	if c.BreakerProbes == 0 {
 		c.BreakerProbes = 1
 	}
+	if c.RetrySeed == 0 {
+		c.RetrySeed = 1
+	}
+	if c.BaseContext == nil {
+		c.BaseContext = context.Background()
+	}
 	if c.Workers == 0 {
 		c.Workers = 8
 	}
@@ -178,7 +191,7 @@ type replicaSnapshot struct {
 // DSSServer is the live federation/DSS server.
 type DSSServer struct {
 	cfg     DSSConfig
-	epoch   time.Time
+	clock   *scheduler.WallClock
 	catalog *federation.Catalog
 	planner *core.Planner
 	costs   *costmodel.CalibratedModel
@@ -242,7 +255,9 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		if site < 1 {
 			return nil, fmt.Errorf("server: remote site IDs start at 1, got %d", site)
 		}
-		resp, err := netproto.Call(addr, &netproto.Request{Kind: netproto.KindTables}, cfg.DialTimeout)
+		discoverCtx, cancel := context.WithTimeout(cfg.BaseContext, cfg.DialTimeout)
+		resp, err := netproto.CallContext(discoverCtx, addr, &netproto.Request{Kind: netproto.KindTables}, cfg.DialTimeout)
+		cancel()
 		if err != nil {
 			return nil, fmt.Errorf("server: discover site %d at %s: %w", site, addr, err)
 		}
@@ -259,7 +274,6 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		return nil, err
 	}
 
-	epoch := time.Now()
 	mgr := replication.NewManager()
 	for id, period := range cfg.Replicate {
 		if _, ok := siteOf[id]; !ok {
@@ -303,7 +317,7 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 	}
 	s := &DSSServer{
 		cfg:      cfg,
-		epoch:    epoch,
+		clock:    scheduler.NewWallClock(cfg.TimeScale),
 		catalog:  catalog,
 		planner:  planner,
 		costs:    costs,
@@ -313,7 +327,7 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		replicas: make(map[core.TableID]replicaSnapshot),
 		closed:   make(chan struct{}),
 	}
-	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.baseCtx, s.baseCancel = context.WithCancel(cfg.BaseContext)
 	// Pre-create the admission metrics so a -metrics dump shows them at
 	// zero before the first query is shed or cancelled.
 	s.stats.Counter("queries_shed_total")
@@ -329,21 +343,27 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		MaxAttempts: cfg.RetryAttempts,
 		BaseDelay:   cfg.RetryBaseDelay,
 		Budget:      cfg.RetryBudget,
+		Rand:        netproto.NewJitter(cfg.RetrySeed),
 	}
 	s.breakers = make(map[core.SiteID]*faults.Breaker, len(cfg.Remotes))
 	for site := range cfg.Remotes {
 		site := site
 		s.breakers[site] = faults.NewBreaker(faults.BreakerConfig{
 			FailureThreshold: cfg.BreakerFailures,
-			OpenTimeout:      cfg.BreakerOpenTimeout,
-			HalfOpenProbes:   cfg.BreakerProbes,
+			// Wall-clock config to experiment minutes, on the same scaled
+			// clock the engine runs on — which is what lets the identical
+			// breaker logic run under the DES.
+			OpenTimeout:    cfg.BreakerOpenTimeout.Seconds() * cfg.TimeScale,
+			HalfOpenProbes: cfg.BreakerProbes,
+			Clock:          s.clock,
 			OnTransition: func(from, to faults.BreakerState) {
 				s.stats.Counter("breaker_transitions_total").Inc()
+				//lint:allow metriccheck(per-site gauge family, bounded by cfg.Remotes)
 				s.stats.Gauge(breakerGaugeName(site)).Set(float64(to))
 				log.Printf("server: site %d breaker %v -> %v", site, from, to)
 			},
 		})
-		s.stats.Gauge(breakerGaugeName(site)).Set(float64(faults.Closed))
+		s.stats.Gauge(breakerGaugeName(site)).Set(float64(faults.Closed)) //lint:allow metriccheck(per-site gauge family, bounded by cfg.Remotes)
 	}
 	agent, err := s.newSyncAgent()
 	if err != nil {
@@ -432,13 +452,11 @@ func (s *DSSServer) SaveCalibration(w io.Writer) error { return s.costs.WriteJSO
 func (s *DSSServer) CalibrationLen() int { return s.costs.Len() }
 
 // now returns the current experiment time.
-func (s *DSSServer) now() core.Time {
-	return time.Since(s.epoch).Seconds() * s.cfg.TimeScale
-}
+func (s *DSSServer) now() core.Time { return s.clock.Now() }
 
 // wallDelay converts an experiment-minute delay to wall-clock.
 func (s *DSSServer) wallDelay(minutes core.Duration) time.Duration {
-	return time.Duration(minutes / s.cfg.TimeScale * float64(time.Second))
+	return s.clock.WallDelay(minutes)
 }
 
 // Listen binds the DSS to addr, starts the replication engine's periodic

@@ -9,12 +9,13 @@ import (
 	"log"
 	"math"
 	"strings"
-	"time"
 
 	"ivdss/internal/core"
 	"ivdss/internal/netproto"
 	"ivdss/internal/relation"
 	"ivdss/internal/sqlmini"
+
+	"ivdss/internal/wall"
 )
 
 // Execution path of the DSS: planning one query (router fast path, bounded
@@ -135,7 +136,7 @@ func (s *DSSServer) runOne(ctx context.Context, stmt *sqlmini.SelectStmt, q core
 		if delay > s.cfg.MaxDelay {
 			delay = s.cfg.MaxDelay
 		}
-		t := time.NewTimer(delay)
+		t := wall.NewTimer(delay)
 		select {
 		case <-t.C:
 		case <-ctx.Done():

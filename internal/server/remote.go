@@ -18,6 +18,8 @@ import (
 	"ivdss/internal/netproto"
 	"ivdss/internal/relation"
 	"ivdss/internal/sqlmini"
+
+	"ivdss/internal/wall"
 )
 
 // RemoteServer serves base tables: scans for replication pulls, local SQL
@@ -143,7 +145,7 @@ func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
 	// keep a branch server scanning on its behalf. The server's own
 	// request cap layers underneath, so context.WithTimeout keeps
 	// whichever deadline is sooner.
-	base := context.Background()
+	base := context.Background() //lint:allow ctxcheck(TCP request root: remote callers ship their budget on the wire, decoded below)
 	if s.requestTimeout > 0 {
 		var capCancel context.CancelFunc
 		base, capCancel = context.WithTimeout(base, s.requestTimeout)
@@ -266,7 +268,7 @@ func (s *RemoteServer) waitScanDelay(ctx context.Context) error {
 	if s.scanDelay <= 0 {
 		return nil
 	}
-	t := time.NewTimer(s.scanDelay)
+	t := wall.NewTimer(s.scanDelay)
 	defer t.Stop()
 	select {
 	case <-t.C:

@@ -5,12 +5,13 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"ivdss/internal/core"
 	"ivdss/internal/netproto"
 	"ivdss/internal/scheduler"
 	"ivdss/internal/sqlmini"
+
+	"ivdss/internal/wall"
 )
 
 // Live scheduling: the DSS drives the shared scheduler.Engine on its
@@ -20,21 +21,6 @@ import (
 // and dispatches highest-effective-value-first with anti-starvation aging
 // (Section 3.3) and horizon shedding. The DES dispatcher drives the
 // identical engine on virtual time — one scheduling core, two drivers.
-
-// wallClock adapts the server's scaled wall clock (experiment minutes) to
-// the engine's Clock interface.
-type wallClock struct{ s *DSSServer }
-
-var _ scheduler.Clock = wallClock{}
-
-func (c wallClock) Now() core.Time { return c.s.now() }
-
-func (c wallClock) AfterFunc(d core.Duration, fn func()) {
-	if d < 0 {
-		d = 0
-	}
-	time.AfterFunc(c.s.wallDelay(d), fn)
-}
 
 // liveStrategy plans dispatch candidates the way runOne will plan them:
 // full IVQP search over the current catalog snapshot, with sites behind
@@ -105,7 +91,7 @@ type batchCollector struct {
 // MQO window, GA, aging, and admission bound.
 func (s *DSSServer) newEngine() (*scheduler.Engine, error) {
 	eng, err := scheduler.NewEngine(scheduler.EngineConfig{
-		Clock:    wallClock{s},
+		Clock:    s.clock,
 		Executor: liveExecutor{s},
 		Strategy: liveStrategy{s},
 		Rates:    s.cfg.Rates,
@@ -140,7 +126,7 @@ func (x liveExecutor) Execute(d scheduler.Dispatch, done func(core.Outcome)) {
 		s := x.s
 		p := d.Payload.(*pendingQuery)
 		s.stats.Counter("queries_total").Inc()
-		start := time.Now()
+		start := wall.Now()
 		result, meta, err := s.runOne(p.ctx, p.stmt, d.Query, p.tryRouter)
 		var resp *netproto.Response
 		if err != nil {
@@ -157,7 +143,7 @@ func (x liveExecutor) Execute(d scheduler.Dispatch, done func(core.Outcome)) {
 			// Only single-query service times feed the admission projection;
 			// a batch member's duration says nothing about the next ad hoc
 			// query.
-			s.observeService(time.Since(start))
+			s.observeService(wall.Since(start))
 		}
 		o := core.Outcome{Query: d.Query, Err: err}
 		if meta != nil {

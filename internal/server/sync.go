@@ -204,7 +204,7 @@ func (s *DSSServer) newSyncAgent() (*replsync.Agent, error) {
 		})
 	}
 	cfg := replsync.Config{
-		Clock:   wallClock{s},
+		Clock:   s.clock,
 		Fetch:   siteFetcher{s},
 		Apply:   replicaApplier{s},
 		Manager: s.catalog.Replication(),

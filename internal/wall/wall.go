@@ -1,0 +1,35 @@
+// Package wall is the single sanctioned gateway to the process wall
+// clock. Deterministic packages (the scheduling engine, the replication
+// engine, the planner) never read time at all — they take a
+// scheduler.Clock and run identically under the DES, a hand-stepped test
+// clock, or the live server. Code that is *inherently* wall-bound — socket
+// deadlines, retry backoffs raced against context deadlines, connection
+// idle stamps — must route through this package instead of calling the
+// time package directly, so every wall-time dependence in the tree is
+// explicit, grep-able, and guarded by the clockcheck analyzer: a raw
+// time.Now anywhere else fails `go vet -vettool=ivdss-lint`.
+package wall
+
+import "time"
+
+// Now returns the current wall-clock instant.
+func Now() time.Time { return time.Now() }
+
+// Since returns the wall time elapsed since t.
+func Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Until returns the wall time remaining until t.
+func Until(t time.Time) time.Duration { return time.Until(t) }
+
+// Sleep pauses the calling goroutine for d.
+func Sleep(d time.Duration) { time.Sleep(d) }
+
+// NewTimer returns a timer that fires after d.
+func NewTimer(d time.Duration) *time.Timer { return time.NewTimer(d) }
+
+// After waits for d to elapse and then sends the instant on the returned
+// channel. Prefer NewTimer in loops so the timer can be stopped.
+func After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// AfterFunc arranges for fn to run in its own goroutine after d.
+func AfterFunc(d time.Duration, fn func()) *time.Timer { return time.AfterFunc(d, fn) }

@@ -5,11 +5,19 @@
 //
 //	ivqp-bench                 # run everything at paper scale
 //	ivqp-bench -fig 5          # one experiment: 5, 6, 7, 8, 9a, 9b, tables,
-//	                           # search, mqo, aging, advisor, sync, load
+//	                           # search, mqo, aging, advisor, sync, load,
+//	                           # scenario
 //	ivqp-bench -quick          # scaled-down configs (CI-sized)
 //	ivqp-bench -seed 7         # change the experiment seed
 //	ivqp-bench -fig load -epsilon 0.25   # admission-control load run;
 //	                           # writes machine-readable BENCH_<date>.json
+//	ivqp-bench -fig scenario             # the whole named-scenario matrix;
+//	                           # writes BENCH_SCENARIOS_<date>.json
+//	ivqp-bench -fig scenario -scenario flash-zipf   # one named scenario
+//	ivqp-bench -profile prof/  # capture cpu.pprof + heap.pprof for the run
+//	ivqp-bench -compare base.json new.json          # regression gate: exit
+//	                           # non-zero on >threshold total-IV drop per
+//	                           # scenario (default 5%)
 //	ivqp-bench -timeout 10m    # abort the sweep past a wall-clock budget
 package main
 
@@ -17,52 +25,152 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	"ivdss/internal/bench"
+	"ivdss/internal/synth"
 )
 
+// options bundles the CLI knobs run consumes.
+type options struct {
+	Fig      string
+	Quick    bool
+	Seed     int64
+	CSVDir   string
+	Epsilon  float64
+	Timeout  time.Duration
+	Out      string
+	Scenario string // restrict -fig scenario to one named preset
+	Profile  string // directory receiving cpu.pprof and heap.pprof
+}
+
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, or all")
+	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, or all")
 	quick := flag.Bool("quick", false, "use scaled-down configurations")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
 	epsilon := flag.Float64("epsilon", 0.25, "value-expiry threshold for the load experiment (0 disables shedding)")
 	timeout := flag.Duration("timeout", 0, "abort the sweep once this wall-clock budget is spent (0 = unlimited)")
-	out := flag.String("out", "", "path for the load experiment's JSON result (default BENCH_<date>.json)")
+	out := flag.String("out", "", "path for the load/scenario experiment's JSON result (default BENCH_<date>.json / BENCH_SCENARIOS_<date>.json)")
+	scenario := flag.String("scenario", "", "run only this named scenario preset (with -fig scenario)")
+	profile := flag.String("profile", "", "write cpu.pprof and heap.pprof for the run into this directory")
+	compare := flag.String("compare", "", "baseline scenario-suite JSON; pass the candidate JSON as the positional argument to diff instead of running experiments")
+	threshold := flag.Float64("threshold", bench.DefaultIVDropThreshold, "fractional per-scenario total-IV drop tolerated by -compare")
 	flag.Parse()
 
-	if err := run(*fig, *quick, *seed, *csvDir, *epsilon, *timeout, *out); err != nil {
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "ivqp-bench: -compare needs exactly one candidate JSON argument: ivqp-bench -compare baseline.json candidate.json")
+			os.Exit(2)
+		}
+		regressed, err := runCompare(*compare, flag.Arg(0), *threshold, os.Stdout)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ivqp-bench:", err)
+			os.Exit(1)
+		}
+		if regressed {
+			os.Exit(1)
+		}
+		return
+	}
+
+	err := run(options{
+		Fig:      *fig,
+		Quick:    *quick,
+		Seed:     *seed,
+		CSVDir:   *csvDir,
+		Epsilon:  *epsilon,
+		Timeout:  *timeout,
+		Out:      *out,
+		Scenario: *scenario,
+		Profile:  *profile,
+	})
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, timeout time.Duration, out string) error {
+// runCompare diffs a candidate suite against a baseline and reports every
+// regression; the boolean says whether the gate should fail.
+func runCompare(baselinePath, candidatePath string, threshold float64, w io.Writer) (bool, error) {
+	regs, err := bench.CompareSuiteFiles(baselinePath, candidatePath, threshold)
+	if err != nil {
+		return false, err
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(w, "ok: no scenario lost more than %.1f%% total IV versus %s\n", threshold*100, baselinePath)
+		return false, nil
+	}
+	fmt.Fprintf(w, "REGRESSION: %d scenario(s) exceed the %.1f%% total-IV drop threshold:\n", len(regs), threshold*100)
+	for _, r := range regs {
+		fmt.Fprintf(w, "  %s\n", r)
+	}
+	return true, nil
+}
+
+func run(o options) error {
 	ran := false
 	start := time.Now()
+
+	if o.Profile != "" {
+		if err := os.MkdirAll(o.Profile, 0o755); err != nil {
+			return err
+		}
+		cpuFile, err := os.Create(filepath.Join(o.Profile, "cpu.pprof"))
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			heapFile, err := os.Create(filepath.Join(o.Profile, "heap.pprof"))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ivqp-bench: heap profile:", err)
+				return
+			}
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(heapFile); err != nil {
+				fmt.Fprintln(os.Stderr, "ivqp-bench: heap profile:", err)
+			}
+			heapFile.Close()
+			fmt.Printf("wrote %s and %s\n",
+				filepath.Join(o.Profile, "cpu.pprof"), filepath.Join(o.Profile, "heap.pprof"))
+		}()
+	}
+
 	// The sweep checks the budget between experiments: a single experiment
 	// is never interrupted, so results that do print are always complete.
 	want := func(name string) bool {
-		if timeout > 0 && time.Since(start) > timeout {
+		if o.Timeout > 0 && time.Since(start) > o.Timeout {
 			return false
 		}
-		return fig == "all" || strings.EqualFold(fig, name)
+		return o.Fig == "all" || strings.EqualFold(o.Fig, name)
 	}
+	// Every figure runs on its own name-derived sub-seed, so the streams
+	// one figure draws are independent of which other figures ran.
+	figSeed := func(name string) int64 { return bench.FigSeed(o.Seed, name) }
 
-	if csvDir != "" {
-		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+	if o.CSVDir != "" {
+		if err := os.MkdirAll(o.CSVDir, 0o755); err != nil {
 			return err
 		}
 	}
 	emit := func(tables []bench.Table) {
 		for _, t := range tables {
 			fmt.Println(t.Render())
-			if csvDir != "" {
-				if err := writeCSV(csvDir, t); err != nil {
+			if o.CSVDir != "" {
+				if err := writeCSV(o.CSVDir, t); err != nil {
 					fmt.Fprintln(os.Stderr, "ivqp-bench: csv:", err)
 				}
 			}
@@ -72,10 +180,10 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 
 	if want("5") {
 		cfg := bench.DefaultFig5Config()
-		if quick {
+		if o.Quick {
 			cfg = bench.QuickFig5Config()
 		}
-		cfg.Seed = seed
+		cfg.Seed = figSeed("5")
 		res, err := bench.RunFig5(cfg)
 		if err != nil {
 			return err
@@ -84,7 +192,7 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 	}
 	if want("6") {
 		cfg := bench.DefaultFig6Config()
-		cfg.Seed = seed
+		cfg.Seed = figSeed("6")
 		res, err := bench.RunFig6(cfg)
 		if err != nil {
 			return err
@@ -93,7 +201,7 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 	}
 	if want("7") {
 		cfg := bench.DefaultFig7Config()
-		cfg.Seed = seed
+		cfg.Seed = figSeed("7")
 		res, err := bench.RunFig7(cfg)
 		if err != nil {
 			return err
@@ -102,10 +210,10 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 	}
 	if want("8") {
 		cfg := bench.DefaultFig8Config()
-		if quick {
+		if o.Quick {
 			cfg = bench.QuickFig8Config()
 		}
-		cfg.Seed = seed
+		cfg.Seed = figSeed("8")
 		res, err := bench.RunFig8(cfg)
 		if err != nil {
 			return err
@@ -114,10 +222,10 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 	}
 	if want("9a") || want("9") {
 		cfg := bench.DefaultFig9Config()
-		if quick {
+		if o.Quick {
 			cfg = bench.QuickFig9Config()
 		}
-		cfg.Seed = seed
+		cfg.Seed = figSeed("9a")
 		res, err := bench.RunFig9a(cfg)
 		if err != nil {
 			return err
@@ -126,10 +234,10 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 	}
 	if want("9b") || want("9") {
 		cfg := bench.DefaultFig9Config()
-		if quick {
+		if o.Quick {
 			cfg = bench.QuickFig9Config()
 		}
-		cfg.Seed = seed
+		cfg.Seed = figSeed("9b")
 		res, err := bench.RunFig9b(cfg)
 		if err != nil {
 			return err
@@ -138,10 +246,10 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 	}
 	if want("search") {
 		cfg := bench.DefaultAblationSearchConfig()
-		if quick {
+		if o.Quick {
 			cfg.Scenarios = 50
 		}
-		cfg.Seed = seed
+		cfg.Seed = figSeed("search")
 		res, err := bench.RunAblationSearch(cfg)
 		if err != nil {
 			return err
@@ -150,10 +258,10 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 	}
 	if want("mqo") {
 		cfg := bench.DefaultAblationMQOConfig()
-		if quick {
+		if o.Quick {
 			cfg.WorkloadSize = 5
 		}
-		cfg.Seed = seed
+		cfg.Seed = figSeed("mqo")
 		res, err := bench.RunAblationMQO(cfg)
 		if err != nil {
 			return err
@@ -162,11 +270,11 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 	}
 	if want("tables") {
 		cfg := bench.DefaultTablesSweepConfig()
-		if quick {
+		if o.Quick {
 			cfg.TableCounts = []int{10, 100}
 			cfg.NQueries = 30
 		}
-		cfg.Seed = seed
+		cfg.Seed = figSeed("tables")
 		res, err := bench.RunTablesSweep(cfg)
 		if err != nil {
 			return err
@@ -175,11 +283,11 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 	}
 	if want("advisor") {
 		cfg := bench.DefaultAdvisorConfig()
-		if quick {
+		if o.Quick {
 			cfg.NQueries = 30
 			cfg.RandomTrials = 3
 		}
-		cfg.Seed = seed
+		cfg.Seed = figSeed("advisor")
 		res, err := bench.RunAdvisor(cfg)
 		if err != nil {
 			return err
@@ -188,10 +296,10 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 	}
 	if want("aging") {
 		cfg := bench.DefaultAblationAgingConfig()
-		if quick {
+		if o.Quick {
 			cfg.NQueries = 30
 		}
-		cfg.Seed = seed
+		cfg.Seed = figSeed("aging")
 		res, err := bench.RunAblationAging(cfg)
 		if err != nil {
 			return err
@@ -201,10 +309,10 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 
 	if want("sync") {
 		cfg := bench.DefaultSyncConfig()
-		if quick {
+		if o.Quick {
 			cfg = bench.QuickSyncConfig()
 		}
-		cfg.Seed = seed
+		cfg.Seed = figSeed("sync")
 		res, err := bench.RunSync(cfg)
 		if err != nil {
 			return err
@@ -214,47 +322,78 @@ func run(fig string, quick bool, seed int64, csvDir string, epsilon float64, tim
 
 	if want("load") {
 		cfg := bench.DefaultLoadConfig()
-		if quick {
+		if o.Quick {
 			cfg = bench.QuickLoadConfig()
 		}
-		cfg.Seed = seed
-		cfg.Epsilon = epsilon
+		cfg.Seed = figSeed("load")
+		cfg.Epsilon = o.Epsilon
 		res, err := bench.RunLoad(cfg)
 		if err != nil {
 			return err
 		}
 		res.Date = time.Now().Format("2006-01-02")
 		emit(res.Tables())
-		path := out
+		path := o.Out
 		if path == "" {
 			path = fmt.Sprintf("BENCH_%s.json", res.Date)
 		}
-		f, err := os.Create(path)
-		if err != nil {
+		if err := writeFile(path, res.WriteJSON); err != nil {
 			return err
-		}
-		writeErr := res.WriteJSON(f)
-		if closeErr := f.Close(); writeErr == nil {
-			writeErr = closeErr
-		}
-		if writeErr != nil {
-			return writeErr
 		}
 		fmt.Printf("wrote %s\n", path)
 	}
 
-	if timeout > 0 && time.Since(start) > timeout {
+	if want("scenario") {
+		scenarios := synth.Presets()
+		if o.Scenario != "" {
+			sc, err := synth.Preset(o.Scenario)
+			if err != nil {
+				return err
+			}
+			scenarios = []synth.Scenario{sc}
+		}
+		suite, err := bench.RunScenarios(scenarios, o.Quick, o.Seed)
+		if err != nil {
+			return err
+		}
+		suite.Date = time.Now().Format("2006-01-02")
+		emit(suite.Tables())
+		path := o.Out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_SCENARIOS_%s.json", suite.Date)
+		}
+		if err := writeFile(path, suite.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	if o.Timeout > 0 && time.Since(start) > o.Timeout {
 		if !ran {
-			return fmt.Errorf("wall-clock budget %v spent before any experiment could run", timeout)
+			return fmt.Errorf("wall-clock budget %v spent before any experiment could run", o.Timeout)
 		}
 		fmt.Fprintf(os.Stderr, "ivqp-bench: stopped after %v: wall-clock budget %v spent\n",
-			time.Since(start).Round(time.Millisecond), timeout)
+			time.Since(start).Round(time.Millisecond), o.Timeout)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, load, or all)", fig)
+		return fmt.Errorf("unknown experiment %q (want 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, or all)", o.Fig)
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// writeFile creates path and streams write into it, treating a close
+// failure as a write error (buffered bytes may be lost).
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	writeErr := write(f)
+	if closeErr := f.Close(); writeErr == nil {
+		writeErr = closeErr
+	}
+	return writeErr
 }
 
 // writeCSV stores one result table as <slug>.csv in dir.

@@ -4,21 +4,33 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strings"
 	"testing"
 	"time"
 
 	"ivdss/internal/bench"
 )
 
+// opts builds a default options value for tests; fields are overridden by
+// the mutators.
+func opts(mut ...func(*options)) options {
+	o := options{Fig: "aging", Quick: true, Seed: 1, Epsilon: .25}
+	for _, m := range mut {
+		m(&o)
+	}
+	return o
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("nope", true, 1, "", .25, 0, ""); err == nil {
+	if err := run(opts(func(o *options) { o.Fig = "nope" })); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
 
 func TestRunAgingQuickWithCSV(t *testing.T) {
 	dir := t.TempDir()
-	if err := run("aging", true, 1, dir, .25, 0, ""); err != nil {
+	if err := run(opts(func(o *options) { o.CSVDir = dir })); err != nil {
 		t.Fatal(err)
 	}
 	entries, err := os.ReadDir(dir)
@@ -32,7 +44,7 @@ func TestRunAgingQuickWithCSV(t *testing.T) {
 
 func TestRunLoadWritesJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
-	if err := run("load", true, 1, "", .25, 0, path); err != nil {
+	if err := run(opts(func(o *options) { o.Fig = "load"; o.Out = path })); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(path)
@@ -54,8 +66,154 @@ func TestRunLoadWritesJSON(t *testing.T) {
 func TestRunTimeoutBudget(t *testing.T) {
 	// A budget that is already spent before the first experiment: the
 	// sweep refuses to start rather than running past its deadline.
-	if err := run("aging", true, 1, "", .25, time.Nanosecond, ""); err == nil {
+	if err := run(opts(func(o *options) { o.Timeout = time.Nanosecond })); err == nil {
 		t.Error("exhausted budget still ran an experiment")
+	}
+}
+
+// runScenarioSuite runs -fig scenario into a temp artifact and parses it.
+func runScenarioSuite(t *testing.T, mut ...func(*options)) (string, bench.ScenarioSuiteResult) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "suite.json")
+	o := opts(func(o *options) { o.Fig = "scenario"; o.Out = path })
+	for _, m := range mut {
+		m(&o)
+	}
+	if err := run(o); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	suite, err := bench.ReadScenarioSuite(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return path, suite
+}
+
+func TestRunScenarioWritesSuite(t *testing.T) {
+	_, suite := runScenarioSuite(t)
+	if len(suite.Scenarios) < 8 {
+		t.Fatalf("suite holds %d scenarios, want the full matrix (>= 8)", len(suite.Scenarios))
+	}
+	if suite.Date == "" || !suite.Quick {
+		t.Errorf("suite metadata incomplete: date %q quick %v", suite.Date, suite.Quick)
+	}
+	for _, s := range suite.Scenarios {
+		if s.TotalIV <= 0 {
+			t.Errorf("%s: no IV accrued", s.Name)
+		}
+	}
+}
+
+func TestRunScenarioSingle(t *testing.T) {
+	_, suite := runScenarioSuite(t, func(o *options) { o.Scenario = "flash-zipf" })
+	if len(suite.Scenarios) != 1 || suite.Scenarios[0].Name != "flash-zipf" {
+		t.Fatalf("suite = %+v, want exactly flash-zipf", suite.Scenarios)
+	}
+	if err := run(opts(func(o *options) { o.Fig = "scenario"; o.Scenario = "nope" })); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestScenarioSuiteDeterministic pins the artifact the CI gate diffs:
+// two runs with the same seed must produce identical scenario entries.
+func TestScenarioSuiteDeterministic(t *testing.T) {
+	_, a := runScenarioSuite(t)
+	_, b := runScenarioSuite(t)
+	if !reflect.DeepEqual(a.Scenarios, b.Scenarios) {
+		t.Error("same seed produced different suite artifacts")
+	}
+}
+
+func TestRunProfileWritesPprof(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "prof")
+	if err := run(opts(func(o *options) { o.Profile = dir })); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"cpu.pprof", "heap.pprof"} {
+		info, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			t.Errorf("%s missing: %v", name, err)
+			continue
+		}
+		if info.Size() == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+// TestCompareGateEndToEnd drives the real gate over real artifacts: the
+// suite compared against itself passes, and a tampered copy with one
+// scenario's total IV slashed fails.
+func TestCompareGateEndToEnd(t *testing.T) {
+	path, suite := runScenarioSuite(t)
+
+	var sb strings.Builder
+	regressed, err := runCompare(path, path, 0.05, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regressed {
+		t.Fatalf("suite regressed against itself:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "ok:") {
+		t.Errorf("pass message missing: %q", sb.String())
+	}
+
+	// Tamper: slash one scenario's total IV by half.
+	suite.Scenarios[0].TotalIV /= 2
+	tampered := filepath.Join(t.TempDir(), "tampered.json")
+	f, err := os.Create(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := suite.WriteJSON(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	regressed, err = runCompare(path, tampered, 0.05, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !regressed {
+		t.Fatal("halved total IV passed the gate")
+	}
+	if !strings.Contains(sb.String(), suite.Scenarios[0].Name) {
+		t.Errorf("regression report does not name the scenario: %q", sb.String())
+	}
+
+	// A missing artifact is an error, not a silent pass.
+	if _, err := runCompare(path, filepath.Join(t.TempDir(), "absent.json"), 0.05, &sb); err == nil {
+		t.Error("missing candidate artifact did not error")
+	}
+}
+
+// TestFigSeedIndependence pins the shared-seed fix: every figure draws
+// from its own name-derived sub-seed, all distinct from the base and from
+// each other, and stable across calls.
+func TestFigSeedIndependence(t *testing.T) {
+	figs := []string{"5", "6", "7", "8", "9a", "9b", "tables", "search", "mqo", "aging", "advisor", "sync", "load"}
+	const base = int64(1)
+	seen := map[int64]string{base: "base"}
+	for _, fig := range figs {
+		s := bench.FigSeed(base, fig)
+		if other, dup := seen[s]; dup {
+			t.Errorf("figure %s shares seed %d with %s", fig, s, other)
+		}
+		seen[s] = fig
+		if bench.FigSeed(base, fig) != s {
+			t.Errorf("figure %s seed not stable", fig)
+		}
+		if bench.FigSeed(base+1, fig) == s {
+			t.Errorf("figure %s seed ignores the base", fig)
+		}
 	}
 }
 

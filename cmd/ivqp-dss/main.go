@@ -22,6 +22,7 @@ import (
 	"ivdss/internal/core"
 	"ivdss/internal/scheduler"
 	"ivdss/internal/server"
+	"ivdss/internal/synth"
 )
 
 // remoteFlags accumulates repeated -remote site=addr flags.
@@ -84,6 +85,8 @@ func main() {
 	syncBudget := flag.Float64("sync-budget", 0, "replication bandwidth budget in bytes per wall second shared by all tables (0 = unlimited)")
 	adaptiveSync := flag.Bool("adaptive-sync", false, "re-divide the sync budget by observed IV loss to staleness and review replica placement online")
 	syncAdjust := flag.Duration("sync-adjust", 0, "cadence controller interval for -adaptive-sync (0 = default 10s)")
+	scenario := flag.String("scenario", "", "derive the replication plan from this named scenario preset (see ivqp-bench -fig scenario); needs -scenario-tables")
+	scenarioTables := flag.String("scenario-tables", "", "comma-separated live table names the -scenario replica budget draws from, hottest first")
 	flag.Parse()
 
 	cfg := server.DSSConfig{
@@ -101,16 +104,61 @@ func main() {
 		AdaptiveSync:    *adaptiveSync,
 		SyncAdjustEvery: *syncAdjust,
 	}
-	if err := run(*addr, remotes, *replicate, cfg, *calibration); err != nil {
+	if err := run(*addr, remotes, *replicate, *scenario, *scenarioTables, cfg, *calibration); err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-dss:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, remotes remoteFlags, replicate string, cfg server.DSSConfig, calibration string) error {
+// scenarioReplicate derives a live replication plan from a scenario
+// preset: the scenario's replica budget takes the first tables of the
+// provided list (hottest first, the operator's call), each synchronized
+// at the scenario's mean cycle scaled from experiment minutes to wall
+// time — so a live cluster mirrors the deployment the DES benched.
+func scenarioReplicate(name, tables string, timescale float64) (map[core.TableID]time.Duration, error) {
+	sc, err := synth.Preset(name)
+	if err != nil {
+		return nil, err
+	}
+	if timescale <= 0 {
+		return nil, fmt.Errorf("-timescale must be positive with -scenario")
+	}
+	var names []string
+	for _, t := range strings.Split(tables, ",") {
+		if t = strings.TrimSpace(t); t != "" {
+			names = append(names, strings.ToLower(t))
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("-scenario %s needs -scenario-tables naming the live tables its %d replicas draw from", name, sc.Replicas)
+	}
+	if sc.Replicas < len(names) {
+		names = names[:sc.Replicas]
+	}
+	period := time.Duration(sc.SyncMean / timescale * float64(time.Second))
+	if period <= 0 {
+		return nil, fmt.Errorf("scenario %s has no sync cycle (replicas %d, sync mean %v)", name, sc.Replicas, sc.SyncMean)
+	}
+	plan := make(map[core.TableID]time.Duration, len(names))
+	for _, n := range names {
+		plan[core.TableID(n)] = period
+	}
+	return plan, nil
+}
+
+func run(addr string, remotes remoteFlags, replicate, scenario, scenarioTables string, cfg server.DSSConfig, calibration string) error {
 	plan, err := parseReplicate(replicate)
 	if err != nil {
 		return err
+	}
+	if scenario != "" {
+		if len(plan) > 0 {
+			return fmt.Errorf("-scenario and -replicate both set: pick one replication plan source")
+		}
+		plan, err = scenarioReplicate(scenario, scenarioTables, cfg.TimeScale)
+		if err != nil {
+			return err
+		}
 	}
 	cfg.Remotes = remotes
 	cfg.Replicate = plan

@@ -25,6 +25,43 @@ func TestParseReplicate(t *testing.T) {
 	}
 }
 
+func TestScenarioReplicate(t *testing.T) {
+	// steady-zipf replicates 8 tables at a 120-experiment-minute cycle;
+	// at timescale 10 (experiment minutes per wall second) that is 12s.
+	plan, err := scenarioReplicate("steady-zipf", "customer,orders,lineitem", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 3 {
+		t.Fatalf("plan = %v, want 3 tables", plan)
+	}
+	if plan["customer"] != 12*time.Second {
+		t.Errorf("period = %v, want 12s", plan["customer"])
+	}
+	// More names than the scenario's replica budget: only the first
+	// (hottest) sc.Replicas survive.
+	many := "t1,t2,t3,t4,t5,t6,t7,t8,t9,t10"
+	plan, err = scenarioReplicate("steady-zipf", many, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan) != 8 {
+		t.Errorf("plan keeps %d tables, want the 8-replica budget", len(plan))
+	}
+	if _, ok := plan["t9"]; ok {
+		t.Error("table beyond the replica budget kept")
+	}
+	if _, err := scenarioReplicate("nope", "customer", 10); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	if _, err := scenarioReplicate("steady-zipf", "", 10); err == nil {
+		t.Error("empty table list accepted")
+	}
+	if _, err := scenarioReplicate("steady-zipf", "customer", 0); err == nil {
+		t.Error("zero timescale accepted")
+	}
+}
+
 func TestRemoteFlags(t *testing.T) {
 	r := remoteFlags{}
 	if err := r.Set("1=127.0.0.1:7101"); err != nil {

@@ -9,6 +9,22 @@
 // Arrivals follow an exponential process with the given mean gap; each
 // arrival runs a randomly chosen template. The summary reports the IV,
 // CL and SL distributions plus the plan mix the DSS chose.
+//
+// With -scenario, the tool instead replays a named preset from the
+// scenario matrix (see ivqp-bench -fig scenario): the scenario's seeded
+// arrival process sets the gaps (scaled to wall time by -timescale), its
+// horizon mix sets per-query business values, and each synthetic query
+// maps deterministically onto a TPC-H template — so the live cluster
+// serves the same workload shape the DES benched. Scenario outage storms
+// replay through fault proxies declared with repeated
+// -outage-proxy site=listen=target flags (point the DSS's -remote at the
+// listen addresses); without proxies, outage scenarios refuse to run
+// rather than silently skipping the storms.
+//
+//	ivqp-workload -addr 127.0.0.1:7100 -scenario flash-zipf -timescale 10
+//	ivqp-workload -addr 127.0.0.1:7100 -scenario outage-storm \
+//	    -outage-proxy 1=127.0.0.1:7201=127.0.0.1:7101 \
+//	    -outage-proxy 2=127.0.0.1:7202=127.0.0.1:7102
 package main
 
 import (
@@ -21,10 +37,32 @@ import (
 	"time"
 
 	"ivdss/internal/core"
+	"ivdss/internal/faults"
 	"ivdss/internal/netproto"
 	"ivdss/internal/stats"
+	"ivdss/internal/synth"
 	"ivdss/internal/tpch"
 )
+
+// proxyFlags accumulates repeated -outage-proxy site=listen=target flags.
+type proxyFlags map[core.SiteID]proxySpec
+
+type proxySpec struct{ listen, target string }
+
+func (p proxyFlags) String() string { return fmt.Sprintf("%v", map[core.SiteID]proxySpec(p)) }
+
+func (p proxyFlags) Set(v string) error {
+	parts := strings.SplitN(v, "=", 3)
+	if len(parts) != 3 {
+		return fmt.Errorf("want site=listen=target, got %q", v)
+	}
+	var site int
+	if _, err := fmt.Sscanf(parts[0], "%d", &site); err != nil || site < 1 {
+		return fmt.Errorf("invalid site id %q", parts[0])
+	}
+	p[core.SiteID(site)] = proxySpec{listen: parts[1], target: parts[2]}
+	return nil
+}
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7100", "DSS server address")
@@ -36,17 +74,122 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "per-query wall-clock deadline (0 = no deadline)")
 	epsilon := flag.Float64("epsilon", 0, "tighten the per-query deadline to the value horizon: give up once IV would fall below this (0 = off)")
 	lambdaCL := flag.Float64("lambda-cl", .01, "computational-latency discount rate used for the -epsilon horizon")
-	timescale := flag.Float64("timescale", 1.0/60, "experiment minutes per wall second for the -epsilon horizon (must match the server)")
+	timescale := flag.Float64("timescale", 1.0/60, "experiment minutes per wall second for the -epsilon horizon and -scenario replay (must match the server)")
+	scenario := flag.String("scenario", "", "replay this named scenario preset instead of the -n/-mean/-queries stream")
+	proxies := proxyFlags{}
+	flag.Var(proxies, "outage-proxy", "host a fault proxy for one remote site as site=listen=target (repeatable; used by outage scenarios)")
 	flag.Parse()
 
-	deadline, err := queryDeadline(*timeout, *epsilon, *value, *lambdaCL, *timescale)
-	if err == nil {
-		err = run(*addr, *n, *mean, *queries, *value, *seed, deadline)
+	var err error
+	if *scenario != "" {
+		err = runScenario(*addr, *scenario, *seed, *timescale, *timeout, proxies)
+	} else {
+		var deadline time.Duration
+		deadline, err = queryDeadline(*timeout, *epsilon, *value, *lambdaCL, *timescale)
+		if err == nil {
+			err = run(*addr, *n, *mean, *queries, *value, *seed, deadline)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-workload:", err)
 		os.Exit(1)
 	}
+}
+
+// scenarioStream converts a generated scenario workload into the live
+// replay schedule: wall-clock arrival offsets (experiment minutes scaled
+// by timescale) and a deterministic synthetic-table → TPC-H template
+// mapping, so the same spec drives DES and live runs.
+func scenarioStream(wl *synth.Workload, timescale float64) ([]time.Duration, []tpch.Query, []float64, error) {
+	if timescale <= 0 {
+		return nil, nil, nil, fmt.Errorf("-timescale must be positive for scenario replay")
+	}
+	templates := tpch.Queries()
+	offsets := make([]time.Duration, len(wl.Queries))
+	picks := make([]tpch.Query, len(wl.Queries))
+	values := make([]float64, len(wl.Queries))
+	for i, q := range wl.Queries {
+		offsets[i] = time.Duration(q.SubmitAt / timescale * float64(time.Second))
+		// Hash the query's table set: stable across runs, independent of
+		// arrival order, and spread across the template catalog.
+		var key strings.Builder
+		for _, id := range q.Tables {
+			key.WriteString(string(id))
+			key.WriteByte(',')
+		}
+		picks[i] = templates[stats.FNV1a(key.String())%uint64(len(templates))]
+		values[i] = q.BusinessValue
+	}
+	return offsets, picks, values, nil
+}
+
+// stormWindows scales the scenario's outage schedule to wall time and
+// binds each affected site to its proxy target name.
+func stormWindows(wl *synth.Workload, timescale float64) []faults.Window {
+	var out []faults.Window
+	for _, o := range wl.Outages {
+		out = append(out, faults.Window{
+			Target: fmt.Sprintf("site%d", o.Site),
+			Start:  time.Duration(o.Start / timescale * float64(time.Second)),
+			End:    time.Duration(o.End / timescale * float64(time.Second)),
+		})
+	}
+	return out
+}
+
+// runScenario replays a named scenario preset against a live DSS.
+func runScenario(addr, name string, seed int64, timescale float64, timeout time.Duration, proxies proxyFlags) error {
+	sc, err := synth.Preset(name)
+	if err != nil {
+		return err
+	}
+	sc.Seed = synth.SubSeedFor(seed, sc.Name)
+	wl, err := sc.Generate()
+	if err != nil {
+		return err
+	}
+	offsets, picks, values, err := scenarioStream(wl, timescale)
+	if err != nil {
+		return err
+	}
+
+	// Outage storms need the fault proxies in place; running the scenario
+	// without them would silently measure a calmer world than the DES did.
+	if len(wl.Outages) > 0 && len(proxies) == 0 {
+		return fmt.Errorf("scenario %s has outage storms: declare -outage-proxy site=listen=target for the affected sites", name)
+	}
+	if len(proxies) > 0 {
+		hosted := make(map[string]*faults.Proxy, len(proxies))
+		for site, spec := range proxies {
+			p := faults.NewProxy(spec.target, stats.SubSeed(sc.Seed, fmt.Sprintf("proxy:%d", site)))
+			bound, err := p.Listen(spec.listen)
+			if err != nil {
+				return err
+			}
+			defer p.Close()
+			hosted[fmt.Sprintf("site%d", site)] = p
+			fmt.Printf("proxy site%d: %s -> %s\n", site, bound, spec.target)
+		}
+		windows := stormWindows(wl, timescale)
+		for _, w := range windows {
+			if _, ok := hosted[w.Target]; !ok {
+				return fmt.Errorf("scenario %s takes down %s but no -outage-proxy covers it", name, w.Target)
+			}
+		}
+		if len(windows) > 0 {
+			drv, err := faults.NewStormDriver(hosted, windows)
+			if err != nil {
+				return err
+			}
+			drv.Start()
+			defer drv.Stop()
+			fmt.Printf("storm schedule armed: %d windows across %d outages\n", len(windows), len(wl.Outages))
+		}
+	}
+
+	fmt.Printf("replaying scenario %s: %d queries, %d tables, seed %d, timescale %g min/s\n",
+		sc.Name, len(wl.Queries), sc.Tables, sc.Seed, timescale)
+	return replay(addr, picks, offsets, values, timeout)
 }
 
 // queryDeadline folds -timeout and the optional -epsilon value horizon into
@@ -89,7 +232,28 @@ func run(addr string, n int, mean time.Duration, queryList string, value float64
 		return fmt.Errorf("no query templates selected")
 	}
 
+	// Draw order (gap, then template, per arrival) is preserved so a given
+	// seed replays the exact stream it always has.
 	src := stats.NewSource(seed)
+	offsets := make([]time.Duration, n)
+	picks := make([]tpch.Query, n)
+	values := make([]float64, n)
+	at := time.Duration(0)
+	for i := 0; i < n; i++ {
+		if i > 0 && mean > 0 {
+			at += time.Duration(src.Expo(float64(mean)))
+		}
+		offsets[i] = at
+		picks[i] = templates[src.Intn(len(templates))]
+		values[i] = value
+	}
+	return replay(addr, picks, offsets, values, deadline)
+}
+
+// replay pushes a fully materialized stream (template, arrival offset,
+// business value per query) at the DSS, pacing arrivals against the
+// stream's own schedule so burst shapes survive slow queries.
+func replay(addr string, picks []tpch.Query, offsets []time.Duration, values []float64, deadline time.Duration) error {
 	// Transport-level retries against the DSS itself; remote errors are the
 	// DSS's answer (possibly a typed degraded or expired refusal) and are
 	// not retried, and neither is a spent per-query deadline.
@@ -106,11 +270,10 @@ func run(addr string, n int, mean time.Duration, queryList string, value float64
 	planMix := map[string]int{}
 	errs, degraded, expired, retried := 0, 0, 0, 0
 	start := time.Now()
-	for i := 0; i < n; i++ {
-		if i > 0 && mean > 0 {
-			time.Sleep(time.Duration(src.Expo(float64(mean))))
+	for i, tmpl := range picks {
+		if wait := offsets[i] - time.Since(start); wait > 0 {
+			time.Sleep(wait)
 		}
-		tmpl := templates[src.Intn(len(templates))]
 		// The deadline covers the whole query including transport retries:
 		// a retried attempt inherits whatever budget the first one left.
 		ctx := context.Background()
@@ -126,7 +289,7 @@ func run(addr string, n int, mean time.Duration, queryList string, value float64
 			r, err := netproto.CallContext(ctx, addr, &netproto.Request{
 				Kind:          netproto.KindExec,
 				SQL:           tmpl.SQL,
-				BusinessValue: value,
+				BusinessValue: values[i],
 			}, 2*time.Minute)
 			resp = r
 			return err
@@ -163,7 +326,7 @@ func run(addr string, n int, mean time.Duration, queryList string, value float64
 	}
 
 	fmt.Printf("\nreplayed %d queries in %v (%d errors, %d expired, %d degraded, %d transport retries)\n",
-		n, time.Since(start).Round(time.Millisecond), errs, expired, degraded, retried)
+		len(picks), time.Since(start).Round(time.Millisecond), errs, expired, degraded, retried)
 	if len(ivs) > 0 {
 		fmt.Printf("information value: mean %.4f  p50 %.4f  p95 %.4f\n",
 			stats.Mean(ivs), stats.Percentile(ivs, 50), stats.Percentile(ivs, 95))

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"reflect"
 	"testing"
 	"time"
+
+	"ivdss/internal/synth"
 )
 
 func TestPlanShape(t *testing.T) {
@@ -27,6 +30,109 @@ func TestRunRejectsBadInput(t *testing.T) {
 	}
 	if err := run("127.0.0.1:1", 1, 0, "Q99", 1, 1, 0); err == nil {
 		t.Error("unknown template accepted")
+	}
+}
+
+func TestScenarioStreamDeterministic(t *testing.T) {
+	sc, err := synth.Preset("flash-zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc = sc.Quick()
+	wl, err := sc.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	off1, picks1, vals1, err := scenarioStream(wl, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, picks2, vals2, err := scenarioStream(wl, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(off1, off2) || !reflect.DeepEqual(vals1, vals2) {
+		t.Error("scenario stream not deterministic")
+	}
+	for i := range picks1 {
+		if picks1[i].ID != picks2[i].ID {
+			t.Fatalf("template pick %d differs: %s vs %s", i, picks1[i].ID, picks2[i].ID)
+		}
+	}
+	// Arrival order survives the scaling, and offsets shrink with a larger
+	// timescale (more experiment minutes per wall second).
+	for i := 1; i < len(off1); i++ {
+		if off1[i] < off1[i-1] {
+			t.Fatalf("offsets out of order at %d", i)
+		}
+	}
+	off3, _, _, err := scenarioStream(wl, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(off1) - 1
+	if off3[last] >= off1[last] {
+		t.Errorf("larger timescale did not compress the replay: %v vs %v", off3[last], off1[last])
+	}
+	if _, _, _, err := scenarioStream(wl, 0); err == nil {
+		t.Error("zero timescale accepted")
+	}
+}
+
+func TestStormWindowsScale(t *testing.T) {
+	sc, err := synth.Preset("outage-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := sc.Quick().Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Outages) == 0 {
+		t.Fatal("no outages generated")
+	}
+	windows := stormWindows(wl, 10)
+	if len(windows) != len(wl.Outages) {
+		t.Fatalf("%d windows for %d outages", len(windows), len(wl.Outages))
+	}
+	for i, w := range windows {
+		o := wl.Outages[i]
+		wantStart := time.Duration(o.Start / 10 * float64(time.Second))
+		if w.Start != wantStart || w.End <= w.Start {
+			t.Errorf("window %d = %+v, want start %v and positive span", i, w, wantStart)
+		}
+		if w.Target == "" || w.Target == "site0" {
+			t.Errorf("window %d targets %q", i, w.Target)
+		}
+	}
+}
+
+func TestProxyFlags(t *testing.T) {
+	p := proxyFlags{}
+	if err := p.Set("1=127.0.0.1:7201=127.0.0.1:7101"); err != nil {
+		t.Fatal(err)
+	}
+	if spec := p[1]; spec.listen != "127.0.0.1:7201" || spec.target != "127.0.0.1:7101" {
+		t.Errorf("spec = %+v", spec)
+	}
+	for _, bad := range []string{"", "1=only-two", "x=a=b", "0=a=b"} {
+		if err := p.Set(bad); err == nil {
+			t.Errorf("bad flag %q accepted", bad)
+		}
+	}
+}
+
+func TestRunScenarioRejectsBadInput(t *testing.T) {
+	if err := runScenario("127.0.0.1:1", "nope", 1, 10, 0, nil); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	// Outage scenarios refuse to run without fault proxies rather than
+	// silently measuring a calmer world than the DES benched.
+	if err := runScenario("127.0.0.1:1", "outage-storm", 1, 10, 0, nil); err == nil {
+		t.Error("outage scenario without proxies accepted")
+	}
+	if err := runScenario("127.0.0.1:1", "flash-zipf", 1, 0, 0, nil); err == nil {
+		t.Error("zero timescale accepted")
 	}
 }
 

@@ -124,8 +124,7 @@ func New(cfg Config) (*Advisor, error) {
 // set is scored against identical staleness realizations (common random
 // numbers).
 func (a *Advisor) tableScenario(id core.TableID, site core.SiteID, now core.Time, qIdx, sample int) core.TableState {
-	h := fnv1a(string(id))
-	src := stats.NewSource(a.cfg.Seed ^ int64(h) ^ (int64(qIdx) << 20) ^ (int64(sample) << 40))
+	src := stats.NewSource(stats.SubSeed(a.cfg.Seed, string(id)) ^ (int64(qIdx) << 20) ^ (int64(sample) << 40))
 	age := src.Expo(a.cfg.SyncMean)
 	rs := &core.ReplicaState{LastSync: now - age}
 	// Memoryless cycles: the residual to the next sync is another
@@ -171,16 +170,6 @@ func (a *Advisor) ExpectedWorkloadIV(queries []core.Query, placement *federation
 		total += qValue / float64(a.cfg.Samples)
 	}
 	return total, nil
-}
-
-// fnv1a hashes a string (FNV-1a, 64-bit) for deterministic per-table seeds.
-func fnv1a(s string) uint64 {
-	var h uint64 = 14695981039346656037
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= 1099511628211
-	}
-	return h
 }
 
 // RecommendReplicas greedily selects up to `budget` tables to replicate.

@@ -1,0 +1,165 @@
+package advisor
+
+import (
+	"sort"
+	"testing"
+
+	"ivdss/internal/core"
+	"ivdss/internal/costmodel"
+	"ivdss/internal/federation"
+	"ivdss/internal/synth"
+)
+
+// skewedWorkload materializes a zipf-skewed synth scenario: which tables
+// are hot is a pure function of the seed, so different seeds model the
+// popularity window shifting over time.
+func skewedWorkload(t *testing.T, seed int64) *synth.Workload {
+	t.Helper()
+	sc := synth.Scenario{
+		Name:              "advisor-skew",
+		Seed:              seed,
+		Tables:            12,
+		Sites:             3,
+		Replicas:          4,
+		SyncMean:          60,
+		NQueries:          60,
+		MaxTablesPerQuery: 3,
+		Skew:              2.5,
+		Arrival:           synth.ArrivalSpec{Shape: synth.ArrivalSteady, Mean: 5},
+	}
+	wl, err := sc.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wl
+}
+
+func workloadPlacement(t *testing.T, wl *synth.Workload) *federation.Placement {
+	t.Helper()
+	siteOf := make(map[core.TableID]core.SiteID, len(wl.Tables))
+	for i, id := range wl.Tables {
+		siteOf[id] = core.SiteID(1 + i%wl.Scenario.Sites)
+	}
+	p, err := federation.NewPlacement(siteOf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// tablesByHeat ranks the workload's tables by touch count, hottest first.
+func tablesByHeat(wl *synth.Workload) []core.TableID {
+	touches := make(map[core.TableID]int)
+	for _, q := range wl.Queries {
+		for _, id := range q.Tables {
+			touches[id]++
+		}
+	}
+	ranked := append([]core.TableID(nil), wl.Tables...)
+	sort.Slice(ranked, func(i, j int) bool {
+		if touches[ranked[i]] != touches[ranked[j]] {
+			return touches[ranked[i]] > touches[ranked[j]]
+		}
+		return ranked[i] < ranked[j]
+	})
+	return ranked
+}
+
+func skewAdvisor(t *testing.T) *Advisor {
+	t.Helper()
+	a, err := New(Config{
+		Cost:        &costmodel.CountModel{LocalProcess: 2, PerBaseTable: 4, TransmitFlat: 1},
+		Rates:       core.DiscountRates{CL: .05, SL: .02},
+		SyncMean:    60,
+		Horizon:     120,
+		FutureSyncs: 2,
+		Samples:     4,
+		Seed:        7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+// TestRecommendTracksZipfHotSet: under a skewed popularity window the
+// advisor promotes the zipf-hot tables — the first pick is the hottest
+// table in the stream, and nothing from the cold half is chosen.
+func TestRecommendTracksZipfHotSet(t *testing.T) {
+	wl := skewedWorkload(t, 11)
+	a := skewAdvisor(t)
+	rec, err := a.RecommendReplicas(wl.Queries, workloadPlacement(t, wl), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Replicas) != 3 {
+		t.Fatalf("recommended %v, want the full budget of 3", rec.Replicas)
+	}
+	heat := tablesByHeat(wl)
+	if rec.Replicas[0] != heat[0] {
+		t.Errorf("first pick = %s, want the zipf-hottest table %s", rec.Replicas[0], heat[0])
+	}
+	cold := make(map[core.TableID]bool)
+	for _, id := range heat[len(heat)/2:] {
+		cold[id] = true
+	}
+	for _, id := range rec.Replicas {
+		if cold[id] {
+			t.Errorf("cold table %s promoted over the hot set %v", id, heat[:3])
+		}
+	}
+	for i, step := range rec.Steps {
+		if step.Gain <= 0 {
+			t.Errorf("step %d (%s) gain %v, want positive", i, step.Table, step.Gain)
+		}
+	}
+}
+
+// TestRecommendShiftsWithHotWindow: when the popularity window moves
+// (same scenario, new seed reshuffles which tables are zipf-hot), the
+// advisor demotes stale replicas and promotes the new hot set.
+func TestRecommendShiftsWithHotWindow(t *testing.T) {
+	a := skewAdvisor(t)
+	recommend := func(seed int64) (map[core.TableID]bool, []core.TableID, *synth.Workload) {
+		wl := skewedWorkload(t, seed)
+		rec, err := a.RecommendReplicas(wl.Queries, workloadPlacement(t, wl), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		set := make(map[core.TableID]bool, len(rec.Replicas))
+		for _, id := range rec.Replicas {
+			set[id] = true
+		}
+		return set, rec.Replicas, wl
+	}
+
+	before, beforeOrder, wlA := recommend(11)
+	after, afterOrder, wlB := recommend(12)
+
+	// The two windows genuinely differ in what is hot.
+	if tablesByHeat(wlA)[0] == tablesByHeat(wlB)[0] {
+		t.Fatalf("test seeds share a hottest table; pick seeds with distinct hot sets")
+	}
+
+	var demoted, promoted []core.TableID
+	for _, id := range beforeOrder {
+		if !after[id] {
+			demoted = append(demoted, id)
+		}
+	}
+	for _, id := range afterOrder {
+		if !before[id] {
+			promoted = append(promoted, id)
+		}
+	}
+	if len(demoted) == 0 {
+		t.Errorf("no replica demoted when the hot window shifted: before %v, after %v", beforeOrder, afterOrder)
+	}
+	if len(promoted) == 0 {
+		t.Errorf("no replica promoted when the hot window shifted: before %v, after %v", beforeOrder, afterOrder)
+	}
+	// The shifted window's hottest table is in the new plan.
+	if hottest := tablesByHeat(wlB)[0]; !after[hottest] {
+		t.Errorf("new hottest table %s not promoted into %v", hottest, afterOrder)
+	}
+}

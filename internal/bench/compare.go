@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// DefaultIVDropThreshold is the regression gate's tolerance: a scenario
+// whose total IV falls by more than this fraction versus the baseline
+// fails the gate.
+const DefaultIVDropThreshold = 0.05
+
+// Regression is one gate violation.
+type Regression struct {
+	Scenario string
+	// OldIV and NewIV are the baseline and candidate totals; DropPct is
+	// the relative drop in percent (positive = worse).
+	OldIV, NewIV float64
+	DropPct      float64
+	// Missing marks a scenario present in the baseline but absent from the
+	// candidate — silently dropping a scenario must not pass the gate.
+	Missing bool
+}
+
+func (r Regression) String() string {
+	if r.Missing {
+		return fmt.Sprintf("%s: present in baseline (total IV %.3f) but missing from candidate", r.Scenario, r.OldIV)
+	}
+	return fmt.Sprintf("%s: total IV %.3f -> %.3f (-%.1f%%)", r.Scenario, r.OldIV, r.NewIV, r.DropPct)
+}
+
+// CompareSuites diffs a candidate suite against a baseline: any scenario
+// whose total IV drops by more than threshold (fractional; <=0 uses
+// DefaultIVDropThreshold), or that disappears entirely, is a regression.
+// Scenarios new in the candidate pass — growth is not a regression.
+func CompareSuites(baseline, candidate ScenarioSuiteResult, threshold float64) []Regression {
+	if threshold <= 0 {
+		threshold = DefaultIVDropThreshold
+	}
+	byName := make(map[string]ScenarioResult, len(candidate.Scenarios))
+	for _, s := range candidate.Scenarios {
+		byName[s.Name] = s
+	}
+	var out []Regression
+	for _, old := range baseline.Scenarios {
+		cur, ok := byName[old.Name]
+		if !ok {
+			out = append(out, Regression{Scenario: old.Name, OldIV: old.TotalIV, Missing: true})
+			continue
+		}
+		if old.TotalIV <= 0 {
+			continue // nothing to regress from
+		}
+		drop := (old.TotalIV - cur.TotalIV) / old.TotalIV
+		if drop > threshold {
+			out = append(out, Regression{
+				Scenario: old.Name,
+				OldIV:    old.TotalIV,
+				NewIV:    cur.TotalIV,
+				DropPct:  drop * 100,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Scenario < out[j].Scenario })
+	return out
+}
+
+// CompareSuiteFiles loads two suite artifacts and diffs them.
+func CompareSuiteFiles(baselinePath, candidatePath string, threshold float64) ([]Regression, error) {
+	baseline, err := readSuiteFile(baselinePath)
+	if err != nil {
+		return nil, err
+	}
+	candidate, err := readSuiteFile(candidatePath)
+	if err != nil {
+		return nil, err
+	}
+	return CompareSuites(baseline, candidate, threshold), nil
+}
+
+func readSuiteFile(path string) (ScenarioSuiteResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ScenarioSuiteResult{}, fmt.Errorf("bench: %w", err)
+	}
+	defer f.Close()
+	suite, err := ReadScenarioSuite(f)
+	if err != nil {
+		return suite, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return suite, nil
+}

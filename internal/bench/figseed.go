@@ -1,0 +1,15 @@
+package bench
+
+import "ivdss/internal/stats"
+
+// FigSeed derives an independent experiment seed for one named figure
+// from the sweep's base seed. Before this existed, `ivqp-bench -fig all`
+// handed every figure the same base seed, so two figures whose drivers
+// drew the same stream shapes sampled correlated randomness — and any
+// reordering of the sweep silently changed nothing, while giving one
+// figure an extra draw would have been invisible. A name-derived sub-seed
+// makes each figure's stream a pure function of (base seed, figure name):
+// adding, removing, or reordering figures never perturbs the others.
+func FigSeed(base int64, fig string) int64 {
+	return stats.SubSeed(base, "fig:"+fig)
+}

@@ -1,0 +1,280 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ivdss/internal/core"
+	"ivdss/internal/costmodel"
+	"ivdss/internal/scheduler"
+	"ivdss/internal/sim"
+	"ivdss/internal/stats"
+	"ivdss/internal/synth"
+)
+
+// ScenarioConfig runs one named synthetic scenario through the full IVQP
+// stack on the DES. The scenario supplies the world (tables, arrivals,
+// outages); this config supplies the system-under-test knobs, which are
+// held fixed across the matrix so results are comparable scenario to
+// scenario.
+type ScenarioConfig struct {
+	Scenario       synth.Scenario
+	Rates          core.DiscountRates
+	Epsilon        float64
+	Slots          int
+	Aging          core.Aging
+	PlannerHorizon core.Duration
+}
+
+// DefaultScenarioConfig wraps a scenario in the matrix's standard
+// system-under-test knobs (the same operating point as the load bench).
+func DefaultScenarioConfig(sc synth.Scenario) ScenarioConfig {
+	return ScenarioConfig{
+		Scenario:       sc,
+		Rates:          core.DiscountRates{CL: .05, SL: .05},
+		Epsilon:        .25,
+		Slots:          2,
+		Aging:          core.Aging{Coefficient: .05, Exponent: 1.5},
+		PlannerHorizon: 30,
+	}
+}
+
+// ScenarioResult is one scenario's totals — the per-scenario entry of the
+// BENCH_<date>.json suite artifact the regression gate diffs.
+type ScenarioResult struct {
+	Name          string  `json:"name"`
+	Seed          int64   `json:"seed"`
+	Queries       int     `json:"queries"`
+	Completed     int     `json:"completed"`
+	Shed          int     `json:"shed"`
+	Unplannable   int     `json:"unplannable"`
+	TotalIV       float64 `json:"total_iv"`
+	MeanIV        float64 `json:"mean_iv"`
+	MeanCL        float64 `json:"mean_cl_minutes"`
+	P95CL         float64 `json:"p95_cl_minutes"`
+	MeanSL        float64 `json:"mean_sl_minutes"`
+	P95SL         float64 `json:"p95_sl_minutes"`
+	OutageCount   int     `json:"outage_count,omitempty"`
+	OutageMinutes float64 `json:"outage_minutes,omitempty"`
+}
+
+// ScenarioSuiteResult is the whole matrix in one artifact.
+type ScenarioSuiteResult struct {
+	Date      string           `json:"date,omitempty"` // stamped by the caller
+	Seed      int64            `json:"seed"`
+	Quick     bool             `json:"quick,omitempty"`
+	Scenarios []ScenarioResult `json:"scenarios"`
+}
+
+// OutageView overlays a workload's outage schedule on a catalog: any
+// table whose base site is inside an active outage window at snapshot
+// time is reported with BaseDown set, exactly as the live server marks
+// sites behind open breakers. Because the overlay is a pure function of
+// the snapshot instant, the same schedule drives the DES and any
+// wall-clock replay identically.
+type OutageView struct {
+	Inner    scheduler.CatalogView
+	Workload *synth.Workload
+}
+
+var _ scheduler.CatalogView = OutageView{}
+
+// Snapshot implements scheduler.CatalogView.
+func (v OutageView) Snapshot(tables []core.TableID, now core.Time, horizon core.Duration) ([]core.TableState, error) {
+	snap, err := v.Inner.Snapshot(tables, now, horizon)
+	if err != nil {
+		return nil, err
+	}
+	for i := range snap {
+		if v.Workload.SiteDown(snap[i].Site, now) {
+			snap[i].BaseDown = true
+		}
+	}
+	return snap, nil
+}
+
+// scenarioCost is the synthetic-table cost model shared by every
+// scenario: the Figure 4 shape plus fan-out coordination and flat result
+// transmission, so plan choice has all three axes to trade.
+func scenarioCost() core.CostModel {
+	return &costmodel.CountModel{LocalProcess: 2, PerBaseTable: 3, PerExtraSite: 1, TransmitFlat: 2}
+}
+
+// ScenarioWorld materializes a scenario into everything a driver needs to
+// replay it: the generated workload, the deployment (placement, replicas,
+// sync schedules, catalog), and the scheduling strategy with the outage
+// overlay applied. Both the DES runner below and the live tools build on
+// it, so the two modes execute one world.
+type ScenarioWorld struct {
+	Workload   *synth.Workload
+	Deployment *Deployment
+	Strategy   *scheduler.IVQPStrategy
+	Cost       core.CostModel
+}
+
+// BuildScenarioWorld generates and assembles the scenario world.
+func BuildScenarioWorld(cfg ScenarioConfig) (*ScenarioWorld, error) {
+	sc := cfg.Scenario
+	wl, err := sc.Generate()
+	if err != nil {
+		return nil, err
+	}
+	last := wl.Queries[len(wl.Queries)-1].SubmitAt
+	dep, err := BuildDeployment(DeployConfig{
+		Tables:          wl.Tables,
+		Sites:           sc.Sites,
+		ReplicaCount:    sc.Replicas,
+		SyncMean:        sc.SyncMean,
+		ScheduleHorizon: last*2 + 1000,
+		InitialSync:     true,
+		Seed:            stats.SubSeed(sc.Seed, "deploy"),
+	})
+	if err != nil {
+		return nil, err
+	}
+	cost := scenarioCost()
+	planner, err := core.NewPlanner(cost, core.PlannerConfig{Rates: cfg.Rates, Horizon: cfg.PlannerHorizon})
+	if err != nil {
+		return nil, err
+	}
+	var view scheduler.CatalogView = dep.Catalog
+	if len(wl.Outages) > 0 {
+		view = OutageView{Inner: dep.Catalog, Workload: wl}
+	}
+	return &ScenarioWorld{
+		Workload:   wl,
+		Deployment: dep,
+		Strategy:   &scheduler.IVQPStrategy{Planner: planner, Catalog: view, Horizon: cfg.PlannerHorizon},
+		Cost:       cost,
+	}, nil
+}
+
+// RunScenario replays the scenario through the shared scheduling engine
+// on virtual time. Outage windows make some queries unplannable (every
+// candidate needs a downed base); those are dropped with Outcome.Err —
+// the live contract — and counted, not fatal.
+func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
+	var res ScenarioResult
+	world, err := BuildScenarioWorld(cfg)
+	if err != nil {
+		return res, err
+	}
+	s := sim.New()
+	clock := scheduler.SimClock{Sim: s}
+	eng, err := scheduler.NewEngine(scheduler.EngineConfig{
+		Clock:           clock,
+		Executor:        scheduler.PlanExecutor{Clock: clock, Rates: cfg.Rates},
+		Strategy:        world.Strategy,
+		Rates:           cfg.Rates,
+		Slots:           cfg.Slots,
+		Aging:           cfg.Aging,
+		HaltOnPlanError: false,
+		RecordOutcomes:  true,
+	})
+	if err != nil {
+		return res, err
+	}
+	eng.SetEpsilon(cfg.Epsilon)
+	for _, q := range world.Workload.Queries {
+		q := q
+		s.ScheduleAt(q.SubmitAt, func() { eng.Submit(q, nil) })
+	}
+	s.Run()
+	if err := eng.Err(); err != nil {
+		return res, err
+	}
+	if p := eng.Pending(); p != 0 {
+		return res, fmt.Errorf("bench: scenario %s left %d queries pending", cfg.Scenario.Name, p)
+	}
+
+	sc := cfg.Scenario
+	res.Name = sc.Name
+	res.Seed = sc.Seed
+	res.Queries = len(world.Workload.Queries)
+	res.Shed = eng.Shed()
+	res.OutageCount = len(world.Workload.Outages)
+	res.OutageMinutes = world.Workload.OutageMinutes()
+	var cls, sls, ivs []float64
+	for _, o := range eng.Outcomes() {
+		switch {
+		case o.Err != nil:
+			res.Unplannable++
+		case o.Expired:
+		default:
+			cls = append(cls, o.Latencies.CL)
+			sls = append(sls, o.Latencies.SL)
+			ivs = append(ivs, o.Value)
+			res.TotalIV += o.Value
+		}
+	}
+	res.Completed = len(ivs)
+	if len(ivs) > 0 {
+		res.MeanIV = stats.Mean(ivs)
+		res.MeanCL = stats.Mean(cls)
+		res.P95CL = stats.Percentile(cls, 95)
+		res.MeanSL = stats.Mean(sls)
+		res.P95SL = stats.Percentile(sls, 95)
+	}
+	return res, nil
+}
+
+// RunScenarios runs the given scenarios (quick variants if asked) with
+// the standard knobs and collects the suite artifact. Each scenario's
+// master seed is re-derived from the base seed and its name, so one -seed
+// knob re-seeds the whole matrix without collapsing the presets onto one
+// stream.
+func RunScenarios(scenarios []synth.Scenario, quick bool, seed int64) (ScenarioSuiteResult, error) {
+	suite := ScenarioSuiteResult{Seed: seed, Quick: quick}
+	for _, sc := range scenarios {
+		sc.Seed = synth.SubSeedFor(seed, sc.Name)
+		if quick {
+			sc = sc.Quick()
+		}
+		res, err := RunScenario(DefaultScenarioConfig(sc))
+		if err != nil {
+			return suite, fmt.Errorf("bench: scenario %s: %w", sc.Name, err)
+		}
+		suite.Scenarios = append(suite.Scenarios, res)
+	}
+	return suite, nil
+}
+
+// WriteJSON emits the suite as indented JSON (one key per line, so text
+// tools can audit or tamper with individual fields in CI negative tests).
+func (r ScenarioSuiteResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadScenarioSuite parses a suite artifact.
+func ReadScenarioSuite(r io.Reader) (ScenarioSuiteResult, error) {
+	var suite ScenarioSuiteResult
+	if err := json.NewDecoder(r).Decode(&suite); err != nil {
+		return suite, fmt.Errorf("bench: read scenario suite: %w", err)
+	}
+	return suite, nil
+}
+
+// Tables renders the suite as one summary table.
+func (r ScenarioSuiteResult) Tables() []Table {
+	t := Table{
+		Title:   fmt.Sprintf("Scenario matrix (seed=%d, quick=%v)", r.Seed, r.Quick),
+		Columns: []string{"scenario", "queries", "completed", "shed", "unplannable", "total IV", "mean IV", "p95 CL", "outage min"},
+	}
+	for _, s := range r.Scenarios {
+		t.Rows = append(t.Rows, []string{
+			s.Name,
+			fmt.Sprintf("%d", s.Queries),
+			fmt.Sprintf("%d", s.Completed),
+			fmt.Sprintf("%d", s.Shed),
+			fmt.Sprintf("%d", s.Unplannable),
+			f3(s.TotalIV),
+			f3(s.MeanIV),
+			f1(s.P95CL),
+			f1(s.OutageMinutes),
+		})
+	}
+	return []Table{t}
+}

@@ -1,0 +1,80 @@
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// waitMode polls until the proxy reports mode m or the deadline passes.
+func waitMode(t *testing.T, p *Proxy, m Mode, what string) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if p.Mode() == m {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("%s: proxy mode %v, want %v", what, p.Mode(), m)
+}
+
+func TestStormDriverTogglesProxies(t *testing.T) {
+	a := NewProxy("127.0.0.1:1", 1)
+	b := NewProxy("127.0.0.1:1", 2)
+	drv, err := NewStormDriver(map[string]*Proxy{"site1": a, "site2": b}, []Window{
+		{Target: "site1", Start: 10 * time.Millisecond, End: 60 * time.Millisecond},
+		// Overlapping windows on site2: it must stay down until the last
+		// window closes.
+		{Target: "site2", Start: 10 * time.Millisecond, End: 40 * time.Millisecond},
+		{Target: "site2", Start: 20 * time.Millisecond, End: 90 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Mode() != ModePass || b.Mode() != ModePass {
+		t.Fatal("proxies not pass-through before Start")
+	}
+	drv.Start()
+	defer drv.Stop()
+
+	waitMode(t, a, ModeDrop, "site1 storm open")
+	waitMode(t, b, ModeDrop, "site2 storm open")
+	if down := drv.Down(); len(down) != 2 {
+		t.Errorf("Down() = %v mid-storm, want both sites", down)
+	}
+
+	waitMode(t, a, ModePass, "site1 storm close")
+	// site2's first window has closed by now, but the second still holds
+	// it down — then it recovers.
+	waitMode(t, b, ModePass, "site2 overlapping close")
+	if down := drv.Down(); len(down) != 0 {
+		t.Errorf("Down() = %v after recovery, want none", down)
+	}
+}
+
+func TestStormDriverStopRestores(t *testing.T) {
+	p := NewProxy("127.0.0.1:1", 1)
+	drv, err := NewStormDriver(map[string]*Proxy{"s": p}, []Window{
+		{Target: "s", Start: time.Millisecond, End: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drv.Start()
+	waitMode(t, p, ModeDrop, "open")
+	drv.Stop()
+	waitMode(t, p, ModePass, "stop restore")
+}
+
+func TestStormDriverValidates(t *testing.T) {
+	p := NewProxy("127.0.0.1:1", 1)
+	if _, err := NewStormDriver(map[string]*Proxy{"s": p}, []Window{{Target: "t", Start: 0, End: time.Second}}); err == nil {
+		t.Error("unknown target accepted")
+	}
+	if _, err := NewStormDriver(map[string]*Proxy{"s": p}, []Window{{Target: "s", Start: time.Second, End: time.Second}}); err == nil {
+		t.Error("empty window accepted")
+	}
+	if _, err := NewStormDriver(map[string]*Proxy{"s": p}, []Window{{Target: "s", Start: -time.Second, End: time.Second}}); err == nil {
+		t.Error("negative start accepted")
+	}
+}

@@ -137,6 +137,25 @@ func (s *Source) Fork(label int64) *Source {
 	return NewSource(s.rng.Int63() ^ label)
 }
 
+// FNV1a hashes a string (FNV-1a, 64-bit). It is the repo's canonical way
+// to turn a stable name into seed material.
+func FNV1a(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SubSeed derives an independent stream seed from a base seed and a stable
+// label. Unlike chaining draws off one shared source, a labelled sub-seed
+// is a pure function of (base, label): adding or removing one consumer
+// never perturbs another consumer's stream.
+func SubSeed(base int64, label string) int64 {
+	return base ^ int64(FNV1a(label))
+}
+
 // Mean returns the arithmetic mean of xs, or 0 for an empty slice.
 func Mean(xs []float64) float64 {
 	if len(xs) == 0 {

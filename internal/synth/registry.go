@@ -1,0 +1,231 @@
+package synth
+
+import (
+	"fmt"
+	"sort"
+
+	"ivdss/internal/stats"
+)
+
+// presetSeed spreads each preset onto its own master seed so that no two
+// presets ever share a draw stream, while a single knob (the base) still
+// re-seeds the whole matrix.
+func presetSeed(name string) int64 { return SubSeedFor(1, name) }
+
+// SubSeedFor derives a scenario master seed from a base seed and the
+// scenario name. cmd tools use it to honour a -seed flag across the whole
+// matrix without collapsing the presets onto one stream.
+func SubSeedFor(base int64, name string) int64 {
+	return stats.SubSeed(base, "scenario:"+name)
+}
+
+// presets returns the built-in scenario matrix in its canonical order.
+// Each entry exercises one axis of the paper's evaluation space: scale
+// (10–300 tables), popularity skew, arrival shape, horizon mix, and
+// outage storms.
+func presets() []Scenario {
+	return []Scenario{
+		{
+			Name:              "steady-uniform",
+			Description:       "baseline: steady Poisson arrivals, uniform table popularity, lax horizons",
+			Tables:            60,
+			Sites:             5,
+			Replicas:          8,
+			SyncMean:          120,
+			NQueries:          200,
+			MaxTablesPerQuery: 6,
+			Arrival:           ArrivalSpec{Shape: ArrivalSteady, Mean: 30},
+			Horizon:           HorizonSpec{LaxValue: 1},
+		},
+		{
+			Name:              "steady-zipf",
+			Description:       "steady arrivals over a zipf-hot table set — the placement advisor's home turf",
+			Tables:            60,
+			Sites:             5,
+			Replicas:          8,
+			SyncMean:          120,
+			NQueries:          200,
+			MaxTablesPerQuery: 6,
+			Skew:              1.5,
+			Arrival:           ArrivalSpec{Shape: ArrivalSteady, Mean: 30},
+			Horizon:           HorizonSpec{LaxValue: 1},
+		},
+		{
+			Name:              "flash-zipf",
+			Description:       "flash crowd (8x rate for two hours) on zipf-hot tables",
+			Tables:            60,
+			Sites:             5,
+			Replicas:          8,
+			SyncMean:          120,
+			NQueries:          200,
+			MaxTablesPerQuery: 6,
+			Skew:              1.5,
+			Arrival: ArrivalSpec{
+				Shape:       ArrivalFlashCrowd,
+				Mean:        30,
+				FlashAt:     600,
+				FlashWidth:  120,
+				FlashFactor: 8,
+			},
+			Horizon: HorizonSpec{LaxValue: 1},
+		},
+		{
+			Name:              "diurnal-mix",
+			Description:       "sinusoidal day/night load with a tight/lax horizon mix",
+			Tables:            60,
+			Sites:             5,
+			Replicas:          8,
+			SyncMean:          120,
+			NQueries:          200,
+			MaxTablesPerQuery: 6,
+			Arrival: ArrivalSpec{
+				Shape:      ArrivalDiurnal,
+				Mean:       30,
+				Period:     1440,
+				PeakFactor: 4,
+			},
+			Horizon: HorizonSpec{TightFraction: 0.3, TightValue: 0.2, LaxValue: 1},
+		},
+		{
+			Name:              "bursty-cdc",
+			Description:       "compound-Poisson bursts modelling change-data-capture fan-out",
+			Tables:            60,
+			Sites:             5,
+			Replicas:          8,
+			SyncMean:          120,
+			NQueries:          200,
+			MaxTablesPerQuery: 6,
+			Arrival: ArrivalSpec{
+				Shape:       ArrivalBurstyPoisson,
+				Mean:        30,
+				BurstMean:   5,
+				BurstSpread: 2,
+			},
+			Horizon: HorizonSpec{LaxValue: 1},
+		},
+		{
+			Name:              "outage-storm",
+			Description:       "steady load under correlated site-outage storms (40% of sites per storm)",
+			Tables:            60,
+			Sites:             5,
+			Replicas:          8,
+			SyncMean:          120,
+			NQueries:          200,
+			MaxTablesPerQuery: 6,
+			Arrival:           ArrivalSpec{Shape: ArrivalSteady, Mean: 30},
+			Horizon:           HorizonSpec{LaxValue: 1},
+			Outages: &OutageSpec{
+				Storms:       4,
+				MeanGap:      1200,
+				MeanDuration: 240,
+				SiteFraction: 0.4,
+			},
+		},
+		{
+			Name:              "flash-outage",
+			Description:       "worst case: a flash crowd colliding with outage storms on skewed tables",
+			Tables:            60,
+			Sites:             5,
+			Replicas:          8,
+			SyncMean:          120,
+			NQueries:          200,
+			MaxTablesPerQuery: 6,
+			Skew:              1.5,
+			Arrival: ArrivalSpec{
+				Shape:       ArrivalFlashCrowd,
+				Mean:        30,
+				FlashAt:     1200,
+				FlashWidth:  240,
+				FlashFactor: 6,
+			},
+			Horizon: HorizonSpec{TightFraction: 0.2, TightValue: 0.2, LaxValue: 1},
+			Outages: &OutageSpec{
+				Storms:       3,
+				MeanGap:      1500,
+				MeanDuration: 300,
+				SiteFraction: 0.4,
+			},
+		},
+		{
+			Name:              "small-federation",
+			Description:       "lower bound of the paper's sweep: 10 tables across 3 sites",
+			Tables:            10,
+			Sites:             3,
+			Replicas:          3,
+			SyncMean:          120,
+			NQueries:          200,
+			MaxTablesPerQuery: 4,
+			Arrival:           ArrivalSpec{Shape: ArrivalSteady, Mean: 30},
+			Horizon:           HorizonSpec{LaxValue: 1},
+		},
+		{
+			Name:              "wide-federation",
+			Description:       "upper bound of the paper's sweep: 300 tables across 10 sites, zipf-hot",
+			Tables:            300,
+			Sites:             10,
+			Replicas:          12,
+			SyncMean:          120,
+			NQueries:          200,
+			MaxTablesPerQuery: 10,
+			Skew:              1.3,
+			Arrival:           ArrivalSpec{Shape: ArrivalSteady, Mean: 20},
+			Horizon:           HorizonSpec{TightFraction: 0.25, TightValue: 0.2, LaxValue: 1},
+		},
+	}
+}
+
+// Presets returns the built-in scenario matrix, each preset carrying its
+// name-derived master seed.
+func Presets() []Scenario {
+	out := presets()
+	for i := range out {
+		out[i].Seed = presetSeed(out[i].Name)
+	}
+	return out
+}
+
+// PresetNames returns the preset names in canonical (registry) order.
+func PresetNames() []string {
+	ps := presets()
+	names := make([]string, len(ps))
+	for i, p := range ps {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// Preset returns the named preset, seeded. The error lists the known
+// names so a CLI typo is self-diagnosing.
+func Preset(name string) (Scenario, error) {
+	for _, p := range Presets() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	known := PresetNames()
+	sort.Strings(known)
+	return Scenario{}, fmt.Errorf("synth: unknown scenario %q (known: %v)", name, known)
+}
+
+// Quick shrinks a scenario for smoke runs and CI gates: a quarter of the
+// queries (at least 40) and at most two outage storms, with everything
+// else — and the seed — unchanged. The quick variant of a preset is
+// itself deterministic, so a checked-in quick baseline reproduces
+// exactly.
+func (s Scenario) Quick() Scenario {
+	q := s
+	q.NQueries = s.NQueries / 4
+	if q.NQueries < 40 {
+		q.NQueries = 40
+	}
+	if q.Outages != nil {
+		o := *s.Outages
+		if o.Storms > 2 {
+			o.Storms = 2
+		}
+		// Pull the storms forward so a shorter stream still meets them.
+		o.MeanGap = o.MeanGap / 2
+		q.Outages = &o
+	}
+	return q
+}

@@ -1,0 +1,39 @@
+package synth
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzScenarioJSON fuzzes the Scenario JSON codec: any input that parses
+// into a valid scenario must re-encode and re-parse to the identical
+// value (a canonical round trip), and parsing must never panic on
+// arbitrary bytes. The seed corpus is the full preset registry.
+func FuzzScenarioJSON(f *testing.F) {
+	for _, p := range Presets() {
+		data, err := p.JSON()
+		if err != nil {
+			f.Fatalf("%s: encode: %v", p.Name, err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := ParseScenario(data)
+		if err != nil {
+			return // invalid input is fine; panicking is not
+		}
+		out, err := s.JSON()
+		if err != nil {
+			t.Fatalf("valid scenario failed to encode: %v", err)
+		}
+		back, err := ParseScenario(out)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to parse: %v", err)
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Fatalf("round trip changed the scenario:\n  in:  %+v\n  out: %+v", s, back)
+		}
+	})
+}

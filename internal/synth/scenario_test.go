@@ -1,0 +1,373 @@
+package synth
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"ivdss/internal/core"
+)
+
+func TestPresetsAreValidAndDistinct(t *testing.T) {
+	ps := Presets()
+	if len(ps) < 8 {
+		t.Fatalf("registry has %d presets, the matrix needs at least 8", len(ps))
+	}
+	seen := map[string]bool{}
+	seeds := map[int64]string{}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", p.Name, err)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate preset name %s", p.Name)
+		}
+		seen[p.Name] = true
+		if other, dup := seeds[p.Seed]; dup {
+			t.Errorf("presets %s and %s share master seed %d", p.Name, other, p.Seed)
+		}
+		seeds[p.Seed] = p.Name
+	}
+	// The matrix must span the paper's 10–300 table sweep.
+	minT, maxT := ps[0].Tables, ps[0].Tables
+	for _, p := range ps {
+		if p.Tables < minT {
+			minT = p.Tables
+		}
+		if p.Tables > maxT {
+			maxT = p.Tables
+		}
+	}
+	if minT > 10 || maxT < 300 {
+		t.Errorf("preset table counts span [%d, %d], want coverage of [10, 300]", minT, maxT)
+	}
+	// Every arrival shape must be represented.
+	shapes := map[ArrivalShape]bool{}
+	for _, p := range ps {
+		shapes[p.Arrival.Shape] = true
+	}
+	for _, want := range []ArrivalShape{ArrivalSteady, ArrivalDiurnal, ArrivalFlashCrowd, ArrivalBurstyPoisson} {
+		if !shapes[want] {
+			t.Errorf("no preset uses arrival shape %s", want)
+		}
+	}
+}
+
+func TestPresetLookup(t *testing.T) {
+	s, err := Preset("flash-zipf")
+	if err != nil {
+		t.Fatalf("Preset: %v", err)
+	}
+	if s.Name != "flash-zipf" || s.Seed == 0 {
+		t.Fatalf("unexpected preset: %+v", s)
+	}
+	if _, err := Preset("no-such-scenario"); err == nil {
+		t.Fatal("unknown preset did not error")
+	}
+}
+
+// TestGenerateDeterministic is the same-seed property: one scenario
+// generated twice yields byte-identical query streams and outage
+// schedules (compared through their JSON encodings, the strictest
+// equality the artifacts rely on).
+func TestGenerateDeterministic(t *testing.T) {
+	for _, p := range Presets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			a, err := p.Generate()
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			b, err := p.Generate()
+			if err != nil {
+				t.Fatalf("regenerate: %v", err)
+			}
+			aj, err := json.Marshal(a.Queries)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			bj, err := json.Marshal(b.Queries)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			if string(aj) != string(bj) {
+				t.Error("same seed produced different query streams")
+			}
+			if !reflect.DeepEqual(a.Outages, b.Outages) {
+				t.Error("same seed produced different outage schedules")
+			}
+		})
+	}
+}
+
+// TestGenerateSeedSensitivity: different seeds must actually change the
+// stream (guards against a generator that ignores its seed).
+func TestGenerateSeedSensitivity(t *testing.T) {
+	p, err := Preset("steady-uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Seed++
+	b, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Queries {
+		if a.Queries[i].SubmitAt != b.Queries[i].SubmitAt ||
+			!reflect.DeepEqual(a.Queries[i].Tables, b.Queries[i].Tables) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("changing the seed left the query stream unchanged")
+	}
+}
+
+func TestGenerateStreamShape(t *testing.T) {
+	for _, p := range Presets() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			wl, err := p.Generate()
+			if err != nil {
+				t.Fatalf("generate: %v", err)
+			}
+			if len(wl.Queries) != p.NQueries {
+				t.Fatalf("got %d queries, want %d", len(wl.Queries), p.NQueries)
+			}
+			if len(wl.Tables) != p.Tables {
+				t.Fatalf("got %d tables, want %d", len(wl.Tables), p.Tables)
+			}
+			prev := core.Time(0)
+			for i, q := range wl.Queries {
+				if err := q.Validate(); err != nil {
+					t.Fatalf("query %d invalid: %v", i, err)
+				}
+				if q.SubmitAt < prev {
+					t.Fatalf("arrivals out of order at %d: %v < %v", i, q.SubmitAt, prev)
+				}
+				prev = q.SubmitAt
+				if len(q.Tables) > p.MaxTablesPerQuery {
+					t.Fatalf("query %d touches %d tables, max %d", i, len(q.Tables), p.MaxTablesPerQuery)
+				}
+				if q.BusinessValue <= 0 {
+					t.Fatalf("query %d has non-positive business value %v", i, q.BusinessValue)
+				}
+			}
+		})
+	}
+}
+
+// TestFlashCrowdConcentratesArrivals: the flash window must hold a far
+// larger share of arrivals than its share of the timeline.
+func TestFlashCrowdConcentratesArrivals(t *testing.T) {
+	p, err := Preset("flash-zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := p.Arrival
+	in := 0
+	for _, q := range wl.Queries {
+		if q.SubmitAt >= a.FlashAt && q.SubmitAt < a.FlashAt+a.FlashWidth {
+			in++
+		}
+	}
+	span := wl.Queries[len(wl.Queries)-1].SubmitAt
+	baseline := float64(len(wl.Queries)) * a.FlashWidth / span
+	if float64(in) < 2*baseline {
+		t.Errorf("flash window holds %d arrivals, want well above the uniform share %.1f", in, baseline)
+	}
+}
+
+// TestZipfSkewConcentratesTables: under skew, the busiest table must see
+// far more traffic than the uniform expectation.
+func TestZipfSkewConcentratesTables(t *testing.T) {
+	p, err := Preset("steady-zipf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[core.TableID]int{}
+	total := 0
+	for _, q := range wl.Queries {
+		for _, id := range q.Tables {
+			counts[id]++
+			total++
+		}
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	uniform := float64(total) / float64(p.Tables)
+	if float64(max) < 3*uniform {
+		t.Errorf("hottest table saw %d touches, want well above the uniform share %.1f", max, uniform)
+	}
+}
+
+func TestOutageScheduleCorrelated(t *testing.T) {
+	p, err := Preset("outage-storm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wl, err := p.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wl.Outages) == 0 {
+		t.Fatal("outage-storm generated no outages")
+	}
+	// Group windows by start: each storm takes down the configured
+	// fraction of sites with one shared window.
+	byStart := map[core.Time][]Outage{}
+	for _, o := range wl.Outages {
+		if o.End <= o.Start {
+			t.Fatalf("empty outage window %+v", o)
+		}
+		if o.Site == 0 {
+			t.Fatalf("site 0 (the DSS) must never be scheduled down: %+v", o)
+		}
+		if int(o.Site) > p.Sites {
+			t.Fatalf("outage names site %d beyond the %d-site federation", o.Site, p.Sites)
+		}
+		byStart[o.Start] = append(byStart[o.Start], o)
+	}
+	if len(byStart) != p.Outages.Storms {
+		t.Fatalf("got %d distinct storm windows, want %d", len(byStart), p.Outages.Storms)
+	}
+	want := int(float64(p.Sites) * p.Outages.SiteFraction)
+	if want < 1 {
+		want = 1
+	}
+	for start, storm := range byStart {
+		if len(storm) != want {
+			t.Errorf("storm at %v takes down %d sites, want %d", start, len(storm), want)
+		}
+		for _, o := range storm {
+			if o.End != storm[0].End {
+				t.Errorf("storm at %v has uncorrelated end times", start)
+			}
+			if !wl.SiteDown(o.Site, (o.Start+o.End)/2) {
+				t.Errorf("SiteDown misses site %d mid-window", o.Site)
+			}
+			if wl.SiteDown(o.Site, o.End) {
+				t.Errorf("SiteDown includes the exclusive end bound for site %d", o.Site)
+			}
+		}
+	}
+	if wl.OutageMinutes() <= 0 {
+		t.Error("OutageMinutes is zero with outages present")
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	for _, p := range Presets() {
+		data, err := p.JSON()
+		if err != nil {
+			t.Fatalf("%s: encode: %v", p.Name, err)
+		}
+		back, err := ParseScenario(data)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", p.Name, err)
+		}
+		if !reflect.DeepEqual(p, back) {
+			t.Errorf("%s: round trip changed the scenario:\n  in:  %+v\n  out: %+v", p.Name, p, back)
+		}
+	}
+}
+
+func TestParseScenarioRejectsUnknownFields(t *testing.T) {
+	if _, err := ParseScenario([]byte(`{"name":"x","tables":10,"sites":2,"queries":5,"max_tables_per_query":2,"arrival":{"shape":"steady","mean_minutes":10},"horizon":{},"typo_field":1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestScenarioValidate(t *testing.T) {
+	base, err := Preset("steady-uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Scenario){
+		func(s *Scenario) { s.Name = "" },
+		func(s *Scenario) { s.Tables = 0 },
+		func(s *Scenario) { s.Sites = 0 },
+		func(s *Scenario) { s.Replicas = -1 },
+		func(s *Scenario) { s.Replicas = s.Tables + 1 },
+		func(s *Scenario) { s.Replicas = 1; s.SyncMean = 0 },
+		func(s *Scenario) { s.NQueries = 0 },
+		func(s *Scenario) { s.MaxTablesPerQuery = 0 },
+		func(s *Scenario) { s.MaxTablesPerQuery = s.Tables + 1 },
+		func(s *Scenario) { s.Skew = 0.5 },
+		func(s *Scenario) { s.Arrival.Mean = 0 },
+		func(s *Scenario) { s.Arrival.Shape = "wat" },
+		func(s *Scenario) { s.Arrival.Shape = ArrivalDiurnal },
+		func(s *Scenario) { s.Arrival.Shape = ArrivalFlashCrowd },
+		func(s *Scenario) { s.Arrival.Shape = ArrivalBurstyPoisson },
+		func(s *Scenario) { s.Horizon.TightFraction = 1.5 },
+		func(s *Scenario) { s.Horizon.TightFraction = 0.5; s.Horizon.TightValue = 0 },
+		func(s *Scenario) { s.Outages = &OutageSpec{} },
+		func(s *Scenario) { s.Outages = &OutageSpec{Storms: 1, MeanGap: 10, MeanDuration: 10, SiteFraction: 2} },
+	}
+	for i, mutate := range bad {
+		s := base
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("mutation %d produced a scenario that validated: %+v", i, s)
+		}
+	}
+	if err := base.Validate(); err != nil {
+		t.Errorf("base preset no longer validates: %v", err)
+	}
+}
+
+func TestQuickShrinks(t *testing.T) {
+	for _, p := range Presets() {
+		q := p.Quick()
+		if err := q.Validate(); err != nil {
+			t.Errorf("%s: quick variant invalid: %v", p.Name, err)
+		}
+		if q.NQueries >= p.NQueries {
+			t.Errorf("%s: quick did not shrink the stream (%d -> %d)", p.Name, p.NQueries, q.NQueries)
+		}
+		if q.Seed != p.Seed || q.Tables != p.Tables {
+			t.Errorf("%s: quick changed seed or scale", p.Name)
+		}
+		if p.Outages != nil {
+			if q.Outages == nil {
+				t.Errorf("%s: quick dropped outages", p.Name)
+			} else if q.Outages.Storms > 2 {
+				t.Errorf("%s: quick kept %d storms", p.Name, q.Outages.Storms)
+			}
+			if p.Outages.Storms != presetStorms(p.Name) {
+				t.Errorf("%s: quick mutated the original spec", p.Name)
+			}
+		}
+	}
+}
+
+// presetStorms re-reads the registry to prove Quick did not alias the
+// original's OutageSpec pointer.
+func presetStorms(name string) int {
+	p, err := Preset(name)
+	if err != nil {
+		return -1
+	}
+	if p.Outages == nil {
+		return 0
+	}
+	return p.Outages.Storms
+}

@@ -14,6 +14,9 @@
 //	ivqp-bench -fig scenario             # the whole named-scenario matrix;
 //	                           # writes BENCH_SCENARIOS_<date>.json
 //	ivqp-bench -fig scenario -scenario flash-zipf   # one named scenario
+//	ivqp-bench -fig exec                 # tree-walk vs compiled-VM engine
+//	                           # comparison (throughput + scenario IV);
+//	                           # writes BENCH_EXEC_<date>.json
 //	ivqp-bench -profile prof/  # capture cpu.pprof + heap.pprof for the run
 //	ivqp-bench -compare base.json new.json          # regression gate: exit
 //	                           # non-zero on >threshold total-IV drop per
@@ -22,6 +25,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -51,7 +55,7 @@ type options struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, or all")
+	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, exec, or all")
 	quick := flag.Bool("quick", false, "use scaled-down configurations")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
@@ -368,6 +372,28 @@ func run(o options) error {
 		fmt.Printf("wrote %s\n", path)
 	}
 
+	if want("exec") {
+		cfg := bench.DefaultExecConfig()
+		if o.Quick {
+			cfg = bench.QuickExecConfig()
+		}
+		cfg.Seed = figSeed("exec")
+		res, err := bench.RunExec(context.Background(), cfg)
+		if err != nil {
+			return err
+		}
+		res.Date = time.Now().Format("2006-01-02")
+		emit(res.Tables())
+		path := o.Out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_EXEC_%s.json", res.Date)
+		}
+		if err := writeFile(path, res.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
 	if o.Timeout > 0 && time.Since(start) > o.Timeout {
 		if !ran {
 			return fmt.Errorf("wall-clock budget %v spent before any experiment could run", o.Timeout)
@@ -376,7 +402,7 @@ func run(o options) error {
 			time.Since(start).Round(time.Millisecond), o.Timeout)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, or all)", o.Fig)
+		return fmt.Errorf("unknown experiment %q (want 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, exec, or all)", o.Fig)
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

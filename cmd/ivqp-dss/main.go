@@ -22,6 +22,7 @@ import (
 	"ivdss/internal/core"
 	"ivdss/internal/scheduler"
 	"ivdss/internal/server"
+	"ivdss/internal/sqlmini"
 	"ivdss/internal/synth"
 )
 
@@ -87,7 +88,14 @@ func main() {
 	syncAdjust := flag.Duration("sync-adjust", 0, "cadence controller interval for -adaptive-sync (0 = default 10s)")
 	scenario := flag.String("scenario", "", "derive the replication plan from this named scenario preset (see ivqp-bench -fig scenario); needs -scenario-tables")
 	scenarioTables := flag.String("scenario-tables", "", "comma-separated live table names the -scenario replica budget draws from, hottest first")
+	engine := flag.String("engine", "vm", "sqlmini execution engine: vm (compiled bytecode over columnar batches) or tree (reference tree-walk)")
 	flag.Parse()
+
+	sqlEngine, err := sqlmini.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ivqp-dss:", err)
+		os.Exit(1)
+	}
 
 	cfg := server.DSSConfig{
 		Rates:           core.DiscountRates{CL: *lambdaCL, SL: *lambdaSL},
@@ -103,6 +111,7 @@ func main() {
 		SyncBudget:      *syncBudget,
 		AdaptiveSync:    *adaptiveSync,
 		SyncAdjustEvery: *syncAdjust,
+		SQLEngine:       sqlEngine,
 	}
 	if err := run(*addr, remotes, *replicate, *scenario, *scenarioTables, cfg, *calibration); err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-dss:", err)

@@ -1,0 +1,123 @@
+package bench
+
+import (
+	"context"
+	"testing"
+
+	"ivdss/internal/sqlmini"
+)
+
+// benchCatalog builds one shared catalog for the engine benchmarks.
+func benchCatalog(tb testing.TB) sqlmini.MapCatalog {
+	tb.Helper()
+	cat, err := execCatalog(ExecConfig{Scale: 4, Seed: 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return cat
+}
+
+// benchShape resolves a shape's parsed statement by name.
+func benchShape(tb testing.TB, name string) *sqlmini.SelectStmt {
+	tb.Helper()
+	sql, ok := shapeSQL(name)
+	if !ok {
+		tb.Fatalf("unknown exec shape %q", name)
+	}
+	stmt, err := sqlmini.Parse(sql)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return stmt
+}
+
+func BenchmarkExecTreeWalk(b *testing.B) {
+	cat := benchCatalog(b)
+	ctx := context.Background()
+	opts := sqlmini.Options{Engine: sqlmini.EngineTreeWalk}
+	for _, name := range []string{"scan", "filter", "join", "group"} {
+		stmt := benchShape(b, name)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sqlmini.ExecuteWith(ctx, stmt, cat, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkExecVM(b *testing.B) {
+	cat := benchCatalog(b)
+	ctx := context.Background()
+	for _, name := range []string{"scan", "filter", "join", "group"} {
+		stmt := benchShape(b, name)
+		prep, err := sqlmini.Prepare(stmt, cat)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := sqlmini.NewExecCache()
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := prep.ExecuteContext(ctx, cat, cache); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestExecShapesAgree runs every benchmark shape on both engines and
+// demands identical answers — the same oracle RunExec enforces, kept as
+// a plain test so `go test` catches a divergence without running the
+// timed comparison.
+func TestExecShapesAgree(t *testing.T) {
+	cat := benchCatalog(t)
+	ctx := context.Background()
+	for _, sh := range execShapes() {
+		stmt := benchShape(t, sh.Name)
+		tree, err := sqlmini.ExecuteWith(ctx, stmt, cat, sqlmini.Options{Engine: sqlmini.EngineTreeWalk})
+		if err != nil {
+			t.Fatalf("%s: tree: %v", sh.Name, err)
+		}
+		vm, err := sqlmini.ExecuteWith(ctx, stmt, cat, sqlmini.Options{Engine: sqlmini.EngineVM})
+		if err != nil {
+			t.Fatalf("%s: vm: %v", sh.Name, err)
+		}
+		if err := sameResult(tree, vm); err != nil {
+			t.Errorf("%s: engines disagree: %v", sh.Name, err)
+		}
+	}
+}
+
+// TestRunExecQuick smoke-tests the full comparison at CI size: every
+// shape must produce rows-per-second figures for both engines, and the
+// VM cost calibration must not lose scenario-matrix IV.
+func TestRunExecQuick(t *testing.T) {
+	cfg := QuickExecConfig()
+	cfg.Iters = 2
+	res, err := RunExec(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Shapes) != 4 {
+		t.Fatalf("got %d shapes, want 4", len(res.Shapes))
+	}
+	for _, s := range res.Shapes {
+		if s.TreeRowsPerSec <= 0 || s.VMRowsPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput: tree %v vm %v", s.Name, s.TreeRowsPerSec, s.VMRowsPerSec)
+		}
+		if s.InputRows <= 0 {
+			t.Errorf("%s: no input rows", s.Name)
+		}
+	}
+	if res.TreeIV <= 0 || res.VMIV <= 0 {
+		t.Fatalf("IV totals not positive: tree %v vm %v", res.TreeIV, res.VMIV)
+	}
+	if res.VMIV < res.TreeIV {
+		t.Errorf("VM calibration lost IV: tree %v vm %v", res.TreeIV, res.VMIV)
+	}
+	if got := len(res.Tables()); got != 2 {
+		t.Errorf("got %d tables, want 2", got)
+	}
+}

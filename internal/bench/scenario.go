@@ -25,6 +25,11 @@ type ScenarioConfig struct {
 	Slots          int
 	Aging          core.Aging
 	PlannerHorizon core.Duration
+	// Cost overrides the scenario cost model. Nil uses the standard
+	// matrix model calibrated to the VM execution engine; pass a
+	// tree-walk-scaled model to reproduce pre-VM totals (the -fig exec
+	// IV leg does exactly that comparison).
+	Cost core.CostModel
 }
 
 // DefaultScenarioConfig wraps a scenario in the matrix's standard
@@ -96,9 +101,18 @@ func (v OutageView) Snapshot(tables []core.TableID, now core.Time, horizon core.
 
 // scenarioCost is the synthetic-table cost model shared by every
 // scenario: the Figure 4 shape plus fan-out coordination and flat result
-// transmission, so plan choice has all three axes to trade.
-func scenarioCost() core.CostModel {
+// transmission, so plan choice has all three axes to trade. The base
+// constants describe the tree-walk engine; the matrix default applies
+// the VM's measured process scale on top (transmission unscaled).
+func scenarioCost() *costmodel.CountModel {
 	return &costmodel.CountModel{LocalProcess: 2, PerBaseTable: 3, PerExtraSite: 1, TransmitFlat: 2}
+}
+
+// ScenarioCostFor returns the matrix cost model recalibrated for an
+// execution engine: the tree-walk anchor model at scale 1, or the VM's
+// processing constants shrunk by its measured speedup.
+func ScenarioCostFor(scale float64) core.CostModel {
+	return scenarioCost().Scaled(scale)
 }
 
 // ScenarioWorld materializes a scenario into everything a driver needs to
@@ -133,7 +147,10 @@ func BuildScenarioWorld(cfg ScenarioConfig) (*ScenarioWorld, error) {
 	if err != nil {
 		return nil, err
 	}
-	cost := scenarioCost()
+	cost := cfg.Cost
+	if cost == nil {
+		cost = ScenarioCostFor(costmodel.VMProcessScale)
+	}
 	planner, err := core.NewPlanner(cost, core.PlannerConfig{Rates: cfg.Rates, Horizon: cfg.PlannerHorizon})
 	if err != nil {
 		return nil, err
@@ -225,13 +242,23 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 // knob re-seeds the whole matrix without collapsing the presets onto one
 // stream.
 func RunScenarios(scenarios []synth.Scenario, quick bool, seed int64) (ScenarioSuiteResult, error) {
+	return RunScenariosWithCost(scenarios, quick, seed, nil)
+}
+
+// RunScenariosWithCost is RunScenarios under an explicit cost model (nil
+// keeps the matrix default). The exec benchmark uses it to run the same
+// matrix under tree-walk- and VM-calibrated computation latencies and
+// compare total information value.
+func RunScenariosWithCost(scenarios []synth.Scenario, quick bool, seed int64, cost core.CostModel) (ScenarioSuiteResult, error) {
 	suite := ScenarioSuiteResult{Seed: seed, Quick: quick}
 	for _, sc := range scenarios {
 		sc.Seed = synth.SubSeedFor(seed, sc.Name)
 		if quick {
 			sc = sc.Quick()
 		}
-		res, err := RunScenario(DefaultScenarioConfig(sc))
+		cfg := DefaultScenarioConfig(sc)
+		cfg.Cost = cost
+		res, err := RunScenario(cfg)
 		if err != nil {
 			return suite, fmt.Errorf("bench: scenario %s: %w", sc.Name, err)
 		}

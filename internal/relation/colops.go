@@ -1,0 +1,404 @@
+package relation
+
+import (
+	"context"
+	"fmt"
+	"math"
+)
+
+// colTicker amortizes context checks over columnar operator loops, at the
+// same cadence as the row-major operators (see HashJoinContext).
+type colTicker struct {
+	ctx context.Context
+	n   int
+}
+
+func (t *colTicker) tick() error {
+	t.n++
+	if t.n%4096 != 0 {
+		return nil
+	}
+	if t.ctx.Err() != nil {
+		return context.Cause(t.ctx)
+	}
+	return nil
+}
+
+// appendColKey appends the composite key bytes for row i over the given
+// columns — byte-identical to the row-major joinKey, so columnar and
+// row-major operators group and join identically (numerically equal
+// Int/Float cells share a key, Dates stay distinct from numbers).
+func appendColKey(b []byte, t *ColTable, i int, cols []int) []byte {
+	for _, c := range cols {
+		v := &t.Cols[c]
+		switch v.T {
+		case Int:
+			bits := math.Float64bits(float64(v.Ints[i]))
+			b = append(b, 'n')
+			for shift := 56; shift >= 0; shift -= 8 {
+				b = append(b, byte(bits>>shift))
+			}
+		case Float:
+			bits := math.Float64bits(v.Floats[i])
+			b = append(b, 'n')
+			for shift := 56; shift >= 0; shift -= 8 {
+				b = append(b, byte(bits>>shift))
+			}
+		case Date:
+			b = append(b, 'd')
+			u := uint64(v.Ints[i])
+			for shift := 56; shift >= 0; shift -= 8 {
+				b = append(b, byte(u>>shift))
+			}
+		case Str:
+			s := v.Strs[i]
+			b = append(b, 's')
+			n := uint64(len(s))
+			for shift := 56; shift >= 0; shift -= 8 {
+				b = append(b, byte(n>>shift))
+			}
+			b = append(b, s...)
+		default:
+			b = append(b, '?')
+		}
+	}
+	return b
+}
+
+// JoinIndex is a reusable hash-join build: key bytes to row positions of
+// the indexed (build-side) table. Because it depends only on the build
+// input's vectors and key positions, a micro-batch workload that joins
+// the same replica snapshot repeatedly can build it once and reuse it
+// (sqlmini's ExecCache does exactly that).
+type JoinIndex struct {
+	N      int // rows indexed, for cache staleness checks
+	groups map[string][]int32
+}
+
+// BuildJoinIndex indexes t's rows by the key columns.
+func BuildJoinIndex(ctx context.Context, t *ColTable, keys []int) (*JoinIndex, error) {
+	idx := &JoinIndex{N: t.N, groups: make(map[string][]int32, t.N)}
+	tk := colTicker{ctx: ctx}
+	var buf []byte
+	for i := 0; i < t.N; i++ {
+		if err := tk.tick(); err != nil {
+			return nil, err
+		}
+		buf = appendColKey(buf[:0], t, i, keys)
+		idx.groups[string(buf)] = append(idx.groups[string(buf)], int32(i))
+	}
+	return idx, nil
+}
+
+// ColHashJoinContext equijoins l and r in columnar form with the same
+// semantics as the row-major HashJoinContext: build on the smaller input
+// (left on ties), probe in input order, matches emitted in build insertion
+// order, output columns l's then r's.
+func ColHashJoinContext(ctx context.Context, l, r *ColTable, lk, rk []int) (*ColTable, error) {
+	buildLeft := r.N >= l.N
+	var idx *JoinIndex
+	var err error
+	if buildLeft {
+		idx, err = BuildJoinIndex(ctx, l, lk)
+	} else {
+		idx, err = BuildJoinIndex(ctx, r, rk)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ColHashJoinIndexed(ctx, l, r, lk, rk, buildLeft, idx)
+}
+
+// ColHashJoinIndexed is ColHashJoinContext with the build side chosen by
+// the caller and its index possibly prebuilt (idx indexes l when
+// buildLeft, r otherwise). Callers must pick the side by the same
+// smaller-input rule to keep output order identical to the row-major
+// operator.
+func ColHashJoinIndexed(ctx context.Context, l, r *ColTable, lk, rk []int, buildLeft bool, idx *JoinIndex) (*ColTable, error) {
+	if len(lk) != len(rk) || len(lk) == 0 {
+		return nil, fmt.Errorf("relation: hash join needs matching non-empty key lists, got %d and %d", len(lk), len(rk))
+	}
+	for _, c := range lk {
+		if c < 0 || c >= l.Schema.Arity() {
+			return nil, fmt.Errorf("relation: join key %d out of range for %s", c, l.Name)
+		}
+	}
+	for _, c := range rk {
+		if c < 0 || c >= r.Schema.Arity() {
+			return nil, fmt.Errorf("relation: join key %d out of range for %s", c, r.Name)
+		}
+	}
+
+	probe, pk := r, rk
+	if !buildLeft {
+		probe, pk = l, lk
+	}
+
+	// Collect the matching (left row, right row) pairs first, then gather
+	// per column in typed loops: the pair lists are two int32 slices, far
+	// cheaper than a row-at-a-time emit.
+	tk := colTicker{ctx: ctx}
+	tk.n = idx.N // index build already advanced the cadence
+	var lrows, rrows []int32
+	var buf []byte
+	for p := 0; p < probe.N; p++ {
+		if err := tk.tick(); err != nil {
+			return nil, err
+		}
+		buf = appendColKey(buf[:0], probe, p, pk)
+		for _, b := range idx.groups[string(buf)] {
+			if err := tk.tick(); err != nil {
+				return nil, err
+			}
+			if buildLeft {
+				lrows = append(lrows, b)
+				rrows = append(rrows, int32(p))
+			} else {
+				lrows = append(lrows, int32(p))
+				rrows = append(rrows, b)
+			}
+		}
+	}
+
+	outSchema := Schema{Cols: make([]Column, 0, l.Schema.Arity()+r.Schema.Arity())}
+	outSchema.Cols = append(outSchema.Cols, l.Schema.Cols...)
+	outSchema.Cols = append(outSchema.Cols, r.Schema.Cols...)
+	out := NewColTable(l.Name+"⨝"+r.Name, outSchema, len(lrows))
+	gatherCols(out.Cols[:l.Schema.Arity()], l, lrows)
+	gatherCols(out.Cols[l.Schema.Arity():], r, rrows)
+	out.N = len(lrows)
+	return out, nil
+}
+
+func gatherCols(dst []Vector, src *ColTable, rows []int32) {
+	for ci := range dst {
+		d, s := &dst[ci], &src.Cols[ci]
+		switch d.T {
+		case Int, Date:
+			for _, i := range rows {
+				d.Ints = append(d.Ints, s.Ints[i])
+			}
+		case Float:
+			for _, i := range rows {
+				d.Floats = append(d.Floats, s.Floats[i])
+			}
+		case Str:
+			for _, i := range rows {
+				d.Strs = append(d.Strs, s.Strs[i])
+			}
+		}
+	}
+}
+
+// ColCrossJoinContext is the columnar cross product, emitting rows in the
+// same left-major order as the row-major crossJoin. The caller guards
+// against blow-up before calling.
+func ColCrossJoinContext(ctx context.Context, l, r *ColTable) (*ColTable, error) {
+	outSchema := Schema{Cols: make([]Column, 0, l.Schema.Arity()+r.Schema.Arity())}
+	outSchema.Cols = append(outSchema.Cols, l.Schema.Cols...)
+	outSchema.Cols = append(outSchema.Cols, r.Schema.Cols...)
+	total := l.N * r.N
+	out := NewColTable(l.Name+"×"+r.Name, outSchema, total)
+	tk := colTicker{ctx: ctx}
+	lrows := make([]int32, 0, total)
+	rrows := make([]int32, 0, total)
+	for li := 0; li < l.N; li++ {
+		for ri := 0; ri < r.N; ri++ {
+			if err := tk.tick(); err != nil {
+				return nil, err
+			}
+			lrows = append(lrows, int32(li))
+			rrows = append(rrows, int32(ri))
+		}
+	}
+	gatherCols(out.Cols[:l.Schema.Arity()], l, lrows)
+	gatherCols(out.Cols[l.Schema.Arity():], r, rrows)
+	out.N = total
+	return out, nil
+}
+
+// ColAggregateContext groups t by the groupBy columns and computes the
+// aggregates, mirroring the row-major Aggregate exactly: first-seen group
+// order, float accumulation in row order, Count/CountDistinct as Int,
+// Sum/Avg as Float, Min/Max keeping the input column type, and a single
+// zero-valued row for a global aggregate over an empty input.
+func ColAggregateContext(ctx context.Context, t *ColTable, groupBy []int, aggs []AggSpec) (*ColTable, error) {
+	for _, c := range groupBy {
+		if c < 0 || c >= t.Schema.Arity() {
+			return nil, fmt.Errorf("relation: group-by column %d out of range", c)
+		}
+	}
+	for _, a := range aggs {
+		if a.Fn != Count && (a.Col < 0 || a.Col >= t.Schema.Arity()) {
+			return nil, fmt.Errorf("relation: aggregate column %d out of range", a.Col)
+		}
+	}
+
+	outCols := make([]Column, 0, len(groupBy)+len(aggs))
+	for _, c := range groupBy {
+		outCols = append(outCols, t.Schema.Cols[c])
+	}
+	for _, a := range aggs {
+		typ := Float
+		if a.Fn == Count || a.Fn == CountDistinct {
+			typ = Int
+		}
+		if (a.Fn == Min || a.Fn == Max) && a.Col >= 0 && a.Col < t.Schema.Arity() {
+			typ = t.Schema.Cols[a.Col].Type
+		}
+		outCols = append(outCols, Column{Name: a.As, Type: typ})
+	}
+
+	// Pass 1: assign each row its group id in first-seen order.
+	tk := colTicker{ctx: ctx}
+	ids := make(map[string]int32, 64)
+	gids := make([]int32, t.N)
+	var firstRow []int32
+	var buf []byte
+	for i := 0; i < t.N; i++ {
+		if err := tk.tick(); err != nil {
+			return nil, err
+		}
+		buf = appendColKey(buf[:0], t, i, groupBy)
+		id, ok := ids[string(buf)]
+		if !ok {
+			id = int32(len(firstRow))
+			ids[string(buf)] = id
+			firstRow = append(firstRow, int32(i))
+		}
+		gids[i] = id
+	}
+	ngroups := len(firstRow)
+
+	out := NewColTable(t.Name, Schema{Cols: outCols}, ngroups)
+	if ngroups == 0 && len(groupBy) == 0 {
+		// Global aggregate over an empty input still yields one row.
+		for i, a := range aggs {
+			v := &out.Cols[len(groupBy)+i]
+			switch a.Fn {
+			case Count, CountDistinct:
+				v.Append(IntVal(0))
+			case Min, Max:
+				v.Append(Value{T: v.T})
+			default:
+				v.Append(FloatVal(0))
+			}
+		}
+		out.N = 1
+		return out, nil
+	}
+
+	// Group-key output columns: the first-seen row's values.
+	for gi, c := range groupBy {
+		dst, src := &out.Cols[gi], &t.Cols[c]
+		for _, fr := range firstRow {
+			dst.AppendFrom(src, int(fr))
+		}
+	}
+
+	// Pass 2: one accumulation sweep per aggregate, column-major.
+	for ai, a := range aggs {
+		dst := &out.Cols[len(groupBy)+ai]
+		switch a.Fn {
+		case Count:
+			counts := make([]int64, ngroups)
+			for i := 0; i < t.N; i++ {
+				counts[gids[i]]++
+			}
+			for _, n := range counts {
+				dst.Ints = append(dst.Ints, n)
+			}
+		case CountDistinct:
+			distinct := make([]map[any]bool, ngroups)
+			src := &t.Cols[a.Col]
+			for i := 0; i < t.N; i++ {
+				g := gids[i]
+				if distinct[g] == nil {
+					distinct[g] = make(map[any]bool)
+				}
+				distinct[g][src.Value(i).Key()] = true
+			}
+			for _, m := range distinct {
+				dst.Ints = append(dst.Ints, int64(len(m)))
+			}
+		case Sum, Avg:
+			src := &t.Cols[a.Col]
+			if src.T != Int && src.T != Float {
+				if t.N > 0 {
+					return nil, fmt.Errorf("relation: %s over non-numeric column %s", a.Fn, t.Schema.Cols[a.Col].Name)
+				}
+			}
+			sums := make([]float64, ngroups)
+			counts := make([]int64, ngroups)
+			if src.T == Int {
+				for i := 0; i < t.N; i++ {
+					sums[gids[i]] += float64(src.Ints[i])
+					counts[gids[i]]++
+				}
+			} else {
+				for i := 0; i < t.N; i++ {
+					sums[gids[i]] += src.Floats[i]
+					counts[gids[i]]++
+				}
+			}
+			if a.Fn == Avg {
+				for g := range sums {
+					dst.Floats = append(dst.Floats, sums[g]/float64(counts[g]))
+				}
+			} else {
+				dst.Floats = append(dst.Floats, sums...)
+			}
+		case Min, Max:
+			src := &t.Cols[a.Col]
+			best := make([]int32, ngroups)
+			for g := range best {
+				best[g] = -1
+			}
+			for i := 0; i < t.N; i++ {
+				g := gids[i]
+				if best[g] < 0 {
+					best[g] = int32(i)
+					continue
+				}
+				c, err := colCompare(src, i, int(best[g]))
+				if err != nil {
+					return nil, err
+				}
+				if (a.Fn == Min && c < 0) || (a.Fn == Max && c > 0) {
+					best[g] = int32(i)
+				}
+			}
+			for _, b := range best {
+				dst.AppendFrom(src, int(b))
+			}
+		default:
+			return nil, fmt.Errorf("relation: unknown aggregate %d", int(a.Fn))
+		}
+	}
+	out.N = ngroups
+	return out, nil
+}
+
+// colCompare orders two cells of one vector (same type, so the only
+// Compare paths possible are numeric/string/date against themselves).
+func colCompare(v *Vector, i, j int) (int, error) {
+	switch v.T {
+	case Int:
+		return compareFloat(float64(v.Ints[i]), float64(v.Ints[j])), nil
+	case Float:
+		return compareFloat(v.Floats[i], v.Floats[j]), nil
+	case Date:
+		return compareInt(v.Ints[i], v.Ints[j]), nil
+	case Str:
+		switch {
+		case v.Strs[i] < v.Strs[j]:
+			return -1, nil
+		case v.Strs[i] > v.Strs[j]:
+			return 1, nil
+		default:
+			return 0, nil
+		}
+	default:
+		return 0, typeMismatch(v.Value(i), v.Value(j))
+	}
+}

@@ -71,6 +71,13 @@ type DSSConfig struct {
 	// Default 10s.
 	SyncAdjustEvery time.Duration
 
+	// SQLEngine selects the sqlmini execution engine for local plan
+	// evaluation: the bytecode VM (default) or the tree-walk reference
+	// oracle. The VM shares one columnar/join-build cache per server, so
+	// micro-batched workloads over the same replica snapshots skip
+	// re-conversion and re-building.
+	SQLEngine sqlmini.Engine
+
 	// RetryAttempts is the total tries per remote call, including the
 	// first. Default 3.
 	RetryAttempts int
@@ -209,6 +216,10 @@ type DSSServer struct {
 	mu       sync.RWMutex
 	replicas map[core.TableID]replicaSnapshot
 
+	// execOpts carries the configured sqlmini engine plus the server-wide
+	// execution cache (columnar images, hash-join builds).
+	execOpts sqlmini.Options
+
 	// sync is the live replication engine; it owns every replica write.
 	sync *replsync.Agent
 	// recent is the sliding window of executed queries the adaptive
@@ -325,6 +336,7 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		pool:     netproto.NewPool(cfg.DialTimeout, cfg.DialTimeout),
 		router:   fastRouter,
 		replicas: make(map[core.TableID]replicaSnapshot),
+		execOpts: sqlmini.Options{Engine: cfg.SQLEngine, Cache: sqlmini.NewExecCache()},
 		closed:   make(chan struct{}),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(cfg.BaseContext)

@@ -264,7 +264,7 @@ func (s *DSSServer) executePlan(ctx context.Context, stmt *sqlmini.SelectStmt, p
 			return nil, 0, false, fmt.Errorf("server: invalid access kind %d", int(a.Kind))
 		}
 	}
-	out, err := sqlmini.ExecuteContext(ctx, stmt, cat)
+	out, err := sqlmini.ExecuteWith(ctx, stmt, cat, s.execOpts)
 	if err != nil {
 		return nil, 0, false, err
 	}

@@ -11,12 +11,50 @@ import (
 // carry qualified names ("alias.col") or derived-expression names.
 type env struct {
 	schema relation.Schema
+	memo   *envMemo
+}
+
+// envMemo caches name resolution per schema, keyed by AST node identity:
+// resolution is a pure function of (node, schema), so resolving once per
+// env instead of once per row takes the lower-cased suffix scan (and the
+// String() rendering behind derived-column lookups) out of the row loop.
+type envMemo struct {
+	cols    map[*ColumnRef]colRes
+	derived map[Expr]int
+}
+
+type colRes struct {
+	idx int
+	err error
+}
+
+// newEnv returns an env with resolution memoization enabled. The zero
+// env still works (memo checks are nil-guarded) but resolves per call.
+func newEnv(schema relation.Schema) env {
+	return env{schema: schema, memo: &envMemo{}}
 }
 
 // resolve finds the column position for a reference. Qualified references
 // match "qualifier.name" exactly; unqualified references match either a
-// whole column name (derived columns) or a unique ".name" suffix.
+// whole column name (derived columns) or a unique ".name" suffix. Results
+// are memoized per env: the scan runs once per reference, not per row.
 func (e env) resolve(ref *ColumnRef) (int, error) {
+	if e.memo != nil {
+		if r, ok := e.memo.cols[ref]; ok {
+			return r.idx, r.err
+		}
+	}
+	idx, err := e.resolveScan(ref)
+	if e.memo != nil {
+		if e.memo.cols == nil {
+			e.memo.cols = make(map[*ColumnRef]colRes)
+		}
+		e.memo.cols[ref] = colRes{idx: idx, err: err}
+	}
+	return idx, err
+}
+
+func (e env) resolveScan(ref *ColumnRef) (int, error) {
 	if ref.Qualifier != "" {
 		if i := e.schema.ColIndex(ref.Qualifier + "." + ref.Name); i >= 0 {
 			return i, nil
@@ -44,9 +82,22 @@ func (e env) resolve(ref *ColumnRef) (int, error) {
 }
 
 // lookupDerived finds a column whose name equals the rendered expression,
-// used to read back materialized aggregate and group-key columns.
+// used to read back materialized aggregate and group-key columns. The
+// result is memoized by node identity so the rendering happens once per
+// env, not once per row.
 func (e env) lookupDerived(expr Expr) (int, bool) {
+	if e.memo != nil {
+		if i, ok := e.memo.derived[expr]; ok {
+			return i, i >= 0
+		}
+	}
 	i := e.schema.ColIndex(expr.String())
+	if e.memo != nil {
+		if e.memo.derived == nil {
+			e.memo.derived = make(map[Expr]int)
+		}
+		e.memo.derived[expr] = i
+	}
 	return i, i >= 0
 }
 

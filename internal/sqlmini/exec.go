@@ -96,8 +96,16 @@ func Execute(stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
 	return ExecuteContext(context.Background(), stmt, cat)
 }
 
-// ExecuteContext is Execute under a context; see RunContext.
+// ExecuteContext is Execute under a context; see RunContext. It runs the
+// default engine (the bytecode VM); ExecuteWith selects explicitly.
 func ExecuteContext(ctx context.Context, stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
+	return ExecuteWith(ctx, stmt, cat, Options{})
+}
+
+// executeTree is the tree-walking evaluator: the original row-at-a-time
+// interpreter, kept as the reference oracle the VM is differentially
+// tested against (and selectable via Options.Engine).
+func executeTree(ctx context.Context, stmt *SelectStmt, cat Catalog) (*relation.Table, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, context.Cause(ctx)
 	}
@@ -105,7 +113,7 @@ func ExecuteContext(ctx context.Context, stmt *SelectStmt, cat Catalog) (*relati
 	if err != nil {
 		return nil, err
 	}
-	en := env{schema: working.Schema}
+	en := newEnv(working.Schema)
 
 	if stmt.Where != nil {
 		working, err = filterTable(ctx, working, en, stmt.Where)
@@ -124,7 +132,7 @@ func ExecuteContext(ctx context.Context, stmt *SelectStmt, cat Catalog) (*relati
 		if err != nil {
 			return nil, err
 		}
-		en = env{schema: working.Schema}
+		en = newEnv(working.Schema)
 		if stmt.Having != nil {
 			working, err = filterTable(ctx, working, en, stmt.Having)
 			if err != nil {
@@ -258,7 +266,7 @@ func buildJoinTree(ctx context.Context, stmt *SelectStmt, cat Catalog) (*relatio
 			return nil, err
 		}
 		// Non-equijoin residue of the ON clause filters the join output.
-		en := env{schema: working.Schema}
+		en := newEnv(working.Schema)
 		for _, c := range onConjuncts {
 			if isEquijoin(c) {
 				continue
@@ -306,7 +314,7 @@ func isEquijoin(e Expr) bool {
 // resolve in the two given schemas (in either order) and returns the paired
 // column positions.
 func equijoinKeys(conjuncts []Expr, left, right relation.Schema) (lk, rk []int) {
-	lEnv, rEnv := env{schema: left}, env{schema: right}
+	lEnv, rEnv := newEnv(left), newEnv(right)
 	for _, c := range conjuncts {
 		b, ok := c.(*BinaryExpr)
 		if !ok || b.Op != "=" {

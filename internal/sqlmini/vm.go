@@ -1,0 +1,590 @@
+package sqlmini
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"ivdss/internal/relation"
+)
+
+// This file executes a Prepared plan: a register interpreter for the
+// bytecode in compile.go, and the batched pipeline driver that binds the
+// plan to live tables, runs joins over columnar data (reusing cached
+// build indexes), and drives each expression program one BatchRows
+// window at a time.
+
+// errVMFallback marks conditions under which the VM cannot faithfully
+// execute (a base table whose rows violate its declared schema, or a
+// plan/type mirror mismatch). ExecuteWith catches it and re-runs the
+// statement on the tree-walk oracle, so callers always get the
+// reference semantics.
+var errVMFallback = errors.New("sqlmini: vm cannot execute faithfully")
+
+func vmFallback(err error) error {
+	return fmt.Errorf("%w: %v", errVMFallback, err)
+}
+
+// identitySel is the shared all-rows selection; programs only read it.
+var identitySel = func() []int32 {
+	s := make([]int32, relation.BatchRows)
+	for i := range s {
+		s[i] = int32(i)
+	}
+	return s
+}()
+
+// progRegs is one program's register file. Data registers are indexed
+// uniformly across the three typed pools (only the slice matching the
+// register's type is populated); view registers rebind to column windows
+// per batch, computed registers own BatchRows-sized buffers for the
+// lifetime of the stage. Selection registers hold sorted row positions;
+// register 0 is the stage-provided input selection.
+type progRegs struct {
+	ints   [][]int64
+	floats [][]float64
+	strs   [][]string
+	sels   [][]int32
+	selBuf [][]int32 // backing storage for computed selections
+}
+
+func newProgRegs(p *prog) *progRegs {
+	rf := &progRegs{
+		ints:   make([][]int64, len(p.dataTypes)),
+		floats: make([][]float64, len(p.dataTypes)),
+		strs:   make([][]string, len(p.dataTypes)),
+		sels:   make([][]int32, p.nsel),
+		selBuf: make([][]int32, p.nsel),
+	}
+	for r, t := range p.dataTypes {
+		if p.dataView[r] {
+			continue
+		}
+		switch t {
+		case relation.Float:
+			rf.floats[r] = make([]float64, relation.BatchRows)
+		case relation.Str:
+			rf.strs[r] = make([]string, relation.BatchRows)
+		default: // Int, Date
+			rf.ints[r] = make([]int64, relation.BatchRows)
+		}
+	}
+	for i := 1; i < p.nsel; i++ {
+		rf.selBuf[i] = make([]int32, 0, relation.BatchRows)
+	}
+	return rf
+}
+
+// run executes the program over the window [base, base+n) of ct. The
+// caller sets rf.sels[0] to the input selection before calling.
+func (p *prog) run(rf *progRegs, ct *relation.ColTable, base, n int) error {
+	for _, in := range p.ins {
+		switch in.op {
+		case opLoadCol:
+			col := &ct.Cols[in.aux]
+			switch col.T {
+			case relation.Float:
+				rf.floats[in.dst] = col.Floats[base : base+n]
+			case relation.Str:
+				rf.strs[in.dst] = col.Strs[base : base+n]
+			default:
+				rf.ints[in.dst] = col.Ints[base : base+n]
+			}
+		case opConst:
+			v := p.consts[in.aux]
+			switch v.T {
+			case relation.Float:
+				d := rf.floats[in.dst]
+				for i := 0; i < n; i++ {
+					d[i] = v.F
+				}
+			case relation.Str:
+				d := rf.strs[in.dst]
+				for i := 0; i < n; i++ {
+					d[i] = v.S
+				}
+			default:
+				d := rf.ints[in.dst]
+				for i := 0; i < n; i++ {
+					d[i] = v.I
+				}
+			}
+		case opI2F:
+			a, d := rf.ints[in.a], rf.floats[in.dst]
+			for _, i := range rf.sels[in.sel] {
+				d[i] = float64(a[i])
+			}
+		case opAddI:
+			a, b, d := rf.ints[in.a], rf.ints[in.b], rf.ints[in.dst]
+			for _, i := range rf.sels[in.sel] {
+				d[i] = a[i] + b[i]
+			}
+		case opSubI:
+			a, b, d := rf.ints[in.a], rf.ints[in.b], rf.ints[in.dst]
+			for _, i := range rf.sels[in.sel] {
+				d[i] = a[i] - b[i]
+			}
+		case opMulI:
+			a, b, d := rf.ints[in.a], rf.ints[in.b], rf.ints[in.dst]
+			for _, i := range rf.sels[in.sel] {
+				d[i] = a[i] * b[i]
+			}
+		case opAddF:
+			a, b, d := rf.floats[in.a], rf.floats[in.b], rf.floats[in.dst]
+			for _, i := range rf.sels[in.sel] {
+				d[i] = a[i] + b[i]
+			}
+		case opSubF:
+			a, b, d := rf.floats[in.a], rf.floats[in.b], rf.floats[in.dst]
+			for _, i := range rf.sels[in.sel] {
+				d[i] = a[i] - b[i]
+			}
+		case opMulF:
+			a, b, d := rf.floats[in.a], rf.floats[in.b], rf.floats[in.dst]
+			for _, i := range rf.sels[in.sel] {
+				d[i] = a[i] * b[i]
+			}
+		case opDivF:
+			a, b, d := rf.floats[in.a], rf.floats[in.b], rf.floats[in.dst]
+			for _, i := range rf.sels[in.sel] {
+				if b[i] == 0 {
+					return fmt.Errorf("sqlmini: division by zero")
+				}
+				d[i] = a[i] / b[i]
+			}
+		case opParseDate:
+			a, d := rf.strs[in.a], rf.ints[in.dst]
+			for _, i := range rf.sels[in.sel] {
+				v, err := relation.ParseDate(a[i])
+				if err != nil {
+					return err
+				}
+				d[i] = v.I
+			}
+		case opCmpF:
+			rf.sels[in.dst] = cmpFloats(rf.selBuf[in.dst][:0], rf.floats[in.a], rf.floats[in.b], rf.sels[in.sel], in.aux)
+			rf.selBuf[in.dst] = rf.sels[in.dst][:0]
+		case opCmpI:
+			rf.sels[in.dst] = cmpInts(rf.selBuf[in.dst][:0], rf.ints[in.a], rf.ints[in.b], rf.sels[in.sel], in.aux)
+			rf.selBuf[in.dst] = rf.sels[in.dst][:0]
+		case opCmpS:
+			rf.sels[in.dst] = cmpStrs(rf.selBuf[in.dst][:0], rf.strs[in.a], rf.strs[in.b], rf.sels[in.sel], in.aux)
+			rf.selBuf[in.dst] = rf.sels[in.dst][:0]
+		case opSelNonZeroI:
+			out := rf.selBuf[in.dst][:0]
+			a := rf.ints[in.a]
+			for _, i := range rf.sels[in.sel] {
+				if a[i] != 0 {
+					out = append(out, i)
+				}
+			}
+			rf.sels[in.dst] = out
+			rf.selBuf[in.dst] = out[:0]
+		case opSelNonZeroF:
+			out := rf.selBuf[in.dst][:0]
+			a := rf.floats[in.a]
+			for _, i := range rf.sels[in.sel] {
+				if a[i] != 0 {
+					out = append(out, i)
+				}
+			}
+			rf.sels[in.dst] = out
+			rf.selBuf[in.dst] = out[:0]
+		case opLike:
+			out := rf.selBuf[in.dst][:0]
+			a, parts := rf.strs[in.a], p.pats[in.aux]
+			for _, i := range rf.sels[in.sel] {
+				if likeMatchParts(a[i], parts) {
+					out = append(out, i)
+				}
+			}
+			rf.sels[in.dst] = out
+			rf.selBuf[in.dst] = out[:0]
+		case opSelDiff:
+			rf.sels[in.dst] = selDiff(rf.selBuf[in.dst][:0], rf.sels[in.a], rf.sels[in.b])
+			rf.selBuf[in.dst] = rf.sels[in.dst][:0]
+		case opSelUnion:
+			rf.sels[in.dst] = selUnion(rf.selBuf[in.dst][:0], rf.sels[in.a], rf.sels[in.b])
+			rf.selBuf[in.dst] = rf.sels[in.dst][:0]
+		case opSelInter:
+			rf.sels[in.dst] = selInter(rf.selBuf[in.dst][:0], rf.sels[in.a], rf.sels[in.b])
+			rf.selBuf[in.dst] = rf.sels[in.dst][:0]
+		case opBoolFromSel:
+			d, sa, sb := rf.ints[in.dst], rf.sels[in.a], rf.sels[in.b]
+			j := 0
+			for _, i := range sa {
+				for j < len(sb) && sb[j] < i {
+					j++
+				}
+				if j < len(sb) && sb[j] == i {
+					d[i] = 1
+				} else {
+					d[i] = 0
+				}
+			}
+		case opError:
+			if len(rf.sels[in.sel]) > 0 {
+				return errors.New(p.errs[in.aux])
+			}
+		}
+	}
+	return nil
+}
+
+// cmpFloats filters sel by a[i] <op> b[i]; the comparison predicate is
+// hoisted out of the loop so the hot path is a branch per row.
+func cmpFloats(out []int32, a, b []float64, sel []int32, code int32) []int32 {
+	switch code {
+	case cmpEQ:
+		for _, i := range sel {
+			if a[i] == b[i] {
+				out = append(out, i)
+			}
+		}
+	case cmpNE:
+		for _, i := range sel {
+			if a[i] != b[i] {
+				out = append(out, i)
+			}
+		}
+	case cmpLT:
+		for _, i := range sel {
+			if a[i] < b[i] {
+				out = append(out, i)
+			}
+		}
+	case cmpLE:
+		for _, i := range sel {
+			if a[i] <= b[i] {
+				out = append(out, i)
+			}
+		}
+	case cmpGT:
+		for _, i := range sel {
+			if a[i] > b[i] {
+				out = append(out, i)
+			}
+		}
+	default:
+		for _, i := range sel {
+			if a[i] >= b[i] {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+func cmpInts(out []int32, a, b []int64, sel []int32, code int32) []int32 {
+	switch code {
+	case cmpEQ:
+		for _, i := range sel {
+			if a[i] == b[i] {
+				out = append(out, i)
+			}
+		}
+	case cmpNE:
+		for _, i := range sel {
+			if a[i] != b[i] {
+				out = append(out, i)
+			}
+		}
+	case cmpLT:
+		for _, i := range sel {
+			if a[i] < b[i] {
+				out = append(out, i)
+			}
+		}
+	case cmpLE:
+		for _, i := range sel {
+			if a[i] <= b[i] {
+				out = append(out, i)
+			}
+		}
+	case cmpGT:
+		for _, i := range sel {
+			if a[i] > b[i] {
+				out = append(out, i)
+			}
+		}
+	default:
+		for _, i := range sel {
+			if a[i] >= b[i] {
+				out = append(out, i)
+			}
+		}
+	}
+	return out
+}
+
+func cmpStrs(out []int32, a, b []string, sel []int32, code int32) []int32 {
+	for _, i := range sel {
+		c := strings.Compare(a[i], b[i])
+		ok := false
+		switch code {
+		case cmpEQ:
+			ok = c == 0
+		case cmpNE:
+			ok = c != 0
+		case cmpLT:
+			ok = c < 0
+		case cmpLE:
+			ok = c <= 0
+		case cmpGT:
+			ok = c > 0
+		default:
+			ok = c >= 0
+		}
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// selDiff appends a \ b (both sorted ascending).
+func selDiff(out, a, b []int32) []int32 {
+	j := 0
+	for _, i := range a {
+		for j < len(b) && b[j] < i {
+			j++
+		}
+		if j < len(b) && b[j] == i {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// selUnion merges two disjoint sorted selections.
+func selUnion(out, a, b []int32) []int32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func selInter(out, a, b []int32) []int32 {
+	j := 0
+	for _, i := range a {
+		for j < len(b) && b[j] < i {
+			j++
+		}
+		if j < len(b) && b[j] == i {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ExecuteContext binds the plan to the catalog's current table contents
+// and runs it. A nil cache disables cross-execution reuse. Safe for
+// concurrent use on a shared Prepared and a shared cache.
+func (p *Prepared) ExecuteContext(ctx context.Context, cat Catalog, cache *ExecCache) (*relation.Table, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, context.Cause(ctx)
+	}
+
+	bound := make([]*relation.ColTable, len(p.loads))
+	ptrs := make([]*relation.Table, len(p.loads))
+	for i, ld := range p.loads {
+		t, err := cat.Table(ld.table)
+		if err != nil {
+			return nil, err
+		}
+		if !schemaEqual(t.Schema, ld.base) {
+			return nil, vmFallback(fmt.Errorf("table %q schema changed since prepare", ld.table))
+		}
+		var ct *relation.ColTable
+		if cache != nil {
+			ct, err = cache.columnar(t)
+		} else {
+			ct, err = relation.Columnar(t)
+		}
+		if err != nil {
+			return nil, vmFallback(err)
+		}
+		// Requalify via a shallow wrapper: vectors are shared with the
+		// (possibly cached) base image and never written.
+		bound[i] = &relation.ColTable{Name: ld.alias, Schema: ld.qual, N: ct.N, Cols: ct.Cols}
+		ptrs[i] = t
+	}
+
+	working := bound[0]
+	workingBase := 0 // loads index while working is still a bare scan, else -1
+	var err error
+	for _, st := range p.steps {
+		right := bound[st.right]
+		if st.cross {
+			if int64(working.N)*int64(right.N) > maxCrossRows {
+				return nil, fmt.Errorf("sqlmini: cross product of %s (%d rows) and %s (%d rows) exceeds limit",
+					working.Name, working.N, right.Name, right.N)
+			}
+			working, err = relation.ColCrossJoinContext(ctx, working, right)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// Build the smaller side, like HashJoinContext (ties build
+			// left). When the chosen build side is a bare base-table scan,
+			// the build index is cacheable across executions — the heart
+			// of hash-join reuse under a micro-batch workload.
+			buildLeft := right.N >= working.N
+			var idx *relation.JoinIndex
+			if cache != nil {
+				if buildLeft && workingBase >= 0 {
+					idx, err = cache.joinIndex(ctx, ptrs[workingBase], working, st.lk)
+				} else if !buildLeft {
+					idx, err = cache.joinIndex(ctx, ptrs[st.right], right, st.rk)
+				}
+			}
+			if idx == nil && err == nil {
+				if buildLeft {
+					idx, err = relation.BuildJoinIndex(ctx, working, st.lk)
+				} else {
+					idx, err = relation.BuildJoinIndex(ctx, right, st.rk)
+				}
+			}
+			if err != nil {
+				return nil, err
+			}
+			working, err = relation.ColHashJoinIndexed(ctx, working, right, st.lk, st.rk, buildLeft, idx)
+			if err != nil {
+				return nil, err
+			}
+		}
+		workingBase = -1
+		for _, rp := range st.residual {
+			working, err = filterCol(ctx, working, rp)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	if p.where != nil {
+		working, err = filterCol(ctx, working, p.where)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if p.agg != nil {
+		derived, err := runValueStage(ctx, working, p.agg.derived, working.Name, p.agg.derivedCols, p.agg.progTypes)
+		if err != nil {
+			return nil, err
+		}
+		working, err = relation.ColAggregateContext(ctx, derived, p.agg.groupIdx, p.agg.specs)
+		if err != nil {
+			return nil, err
+		}
+		if p.having != nil {
+			working, err = filterCol(ctx, working, p.having)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	stage, err := runValueStage(ctx, working, p.proj.prog, "result", p.proj.outEnvCols, p.proj.progTypes)
+	if err != nil {
+		return nil, err
+	}
+	result := stage.ToTable()
+	if p.proj.distinct {
+		dedupeRows(result, len(p.proj.outCols))
+	}
+	if len(p.proj.sortKeys) > 0 {
+		if err := relation.Sort(result, p.proj.sortKeys); err != nil {
+			return nil, err
+		}
+	}
+	if p.proj.limit >= 0 {
+		if err := relation.Limit(result, p.proj.limit); err != nil {
+			return nil, err
+		}
+	}
+	if len(p.proj.outEnvCols) > len(p.proj.outCols) {
+		cols := make([]int, len(p.proj.outCols))
+		for i := range cols {
+			cols[i] = i
+		}
+		return relation.Project(result, cols)
+	}
+	result.Schema = relation.Schema{Cols: p.proj.outCols}
+	return result, nil
+}
+
+// filterCol streams t through a predicate program, gathering surviving
+// rows batch by batch.
+func filterCol(ctx context.Context, t *relation.ColTable, pr *prog) (*relation.ColTable, error) {
+	out := relation.NewColTable(t.Name, t.Schema, 0)
+	rf := newProgRegs(pr)
+	for base := 0; base < t.N; base += relation.BatchRows {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
+		n := t.N - base
+		if n > relation.BatchRows {
+			n = relation.BatchRows
+		}
+		rf.sels[0] = identitySel[:n]
+		if err := pr.run(rf, t, base, n); err != nil {
+			return nil, err
+		}
+		out.GatherInto(t, base, rf.sels[pr.outSel])
+	}
+	return out, nil
+}
+
+// runValueStage evaluates a value program over every row of t, producing
+// a columnar table whose declared schema comes from the plan and whose
+// vectors carry the program's computed types.
+func runValueStage(ctx context.Context, t *relation.ColTable, pr *prog, name string, declared []relation.Column, progTypes []relation.Type) (*relation.ColTable, error) {
+	out := &relation.ColTable{
+		Name:   name,
+		Schema: relation.Schema{Cols: declared},
+		Cols:   make([]relation.Vector, len(progTypes)),
+	}
+	for i, ty := range progTypes {
+		out.Cols[i] = relation.NewVector(ty, t.N)
+	}
+	rf := newProgRegs(pr)
+	for base := 0; base < t.N; base += relation.BatchRows {
+		if ctx.Err() != nil {
+			return nil, context.Cause(ctx)
+		}
+		n := t.N - base
+		if n > relation.BatchRows {
+			n = relation.BatchRows
+		}
+		rf.sels[0] = identitySel[:n]
+		if err := pr.run(rf, t, base, n); err != nil {
+			return nil, err
+		}
+		for oi, reg := range pr.outs {
+			v := &out.Cols[oi]
+			switch progTypes[oi] {
+			case relation.Float:
+				v.Floats = append(v.Floats, rf.floats[reg][:n]...)
+			case relation.Str:
+				v.Strs = append(v.Strs, rf.strs[reg][:n]...)
+			default:
+				v.Ints = append(v.Ints, rf.ints[reg][:n]...)
+			}
+		}
+	}
+	out.N = t.N
+	return out, nil
+}

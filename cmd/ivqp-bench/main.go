@@ -6,7 +6,7 @@
 //	ivqp-bench                 # run everything at paper scale
 //	ivqp-bench -fig 5          # one experiment: 5, 6, 7, 8, 9a, 9b, tables,
 //	                           # search, mqo, aging, advisor, sync, load,
-//	                           # scenario
+//	                           # scenario, exec, ivm
 //	ivqp-bench -quick          # scaled-down configs (CI-sized)
 //	ivqp-bench -seed 7         # change the experiment seed
 //	ivqp-bench -fig load -epsilon 0.25   # admission-control load run;
@@ -17,6 +17,9 @@
 //	ivqp-bench -fig exec                 # tree-walk vs compiled-VM engine
 //	                           # comparison (throughput + scenario IV);
 //	                           # writes BENCH_EXEC_<date>.json
+//	ivqp-bench -fig ivm                  # materialized views: replica-only
+//	                           # vs view-enabled on an aggregate-heavy skew;
+//	                           # writes BENCH_IVM_<date>.json
 //	ivqp-bench -profile prof/  # capture cpu.pprof + heap.pprof for the run
 //	ivqp-bench -compare base.json new.json          # regression gate: exit
 //	                           # non-zero on >threshold total-IV drop per
@@ -55,7 +58,7 @@ type options struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, exec, or all")
+	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, exec, ivm, or all")
 	quick := flag.Bool("quick", false, "use scaled-down configurations")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
@@ -394,6 +397,38 @@ func run(o options) error {
 		fmt.Printf("wrote %s\n", path)
 	}
 
+	if want("ivm") {
+		cfg := bench.DefaultIVMConfig()
+		if o.Quick {
+			cfg = bench.QuickIVMConfig()
+		}
+		cfg.Seed = figSeed("ivm")
+		res, err := bench.RunIVM(cfg)
+		if err != nil {
+			return err
+		}
+		res.Date = time.Now().Format("2006-01-02")
+		emit(res.Tables())
+		path := o.Out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_IVM_%s.json", res.Date)
+		}
+		if err := writeFile(path, res.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		// The run doubles as CI's IVM gate: materialized views must not
+		// lose total IV, and must strictly cut sync traffic.
+		if res.ViewEnabled.TotalIV < res.ReplicaOnly.TotalIV {
+			return fmt.Errorf("ivm gate: view-enabled total IV %.3f fell below replica-only %.3f",
+				res.ViewEnabled.TotalIV, res.ReplicaOnly.TotalIV)
+		}
+		if res.ViewEnabled.SyncBytes >= res.ReplicaOnly.SyncBytes {
+			return fmt.Errorf("ivm gate: view-enabled sync bytes %.0f not below replica-only %.0f",
+				res.ViewEnabled.SyncBytes, res.ReplicaOnly.SyncBytes)
+		}
+	}
+
 	if o.Timeout > 0 && time.Since(start) > o.Timeout {
 		if !ran {
 			return fmt.Errorf("wall-clock budget %v spent before any experiment could run", o.Timeout)
@@ -402,7 +437,7 @@ func run(o options) error {
 			time.Since(start).Round(time.Millisecond), o.Timeout)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, exec, or all)", o.Fig)
+		return fmt.Errorf("unknown experiment %q (want 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, exec, ivm, or all)", o.Fig)
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

@@ -6,6 +6,7 @@
 //	ivqp-dss -addr :7100 \
 //	    -remote 1=127.0.0.1:7101 -remote 2=127.0.0.1:7102 \
 //	    -replicate customer=30s,nation=2m,region=2m \
+//	    -views "SELECT t_account, sum(t_amount) FROM trades GROUP BY t_account" \
 //	    -lambda-cl 0.01 -lambda-sl 0.05 -timescale 10
 package main
 
@@ -25,6 +26,19 @@ import (
 	"ivdss/internal/sqlmini"
 	"ivdss/internal/synth"
 )
+
+// viewFlags accumulates repeated -views SQL flags.
+type viewFlags []string
+
+func (v *viewFlags) String() string { return strings.Join(*v, "; ") }
+
+func (v *viewFlags) Set(sql string) error {
+	if strings.TrimSpace(sql) == "" {
+		return fmt.Errorf("empty view SQL")
+	}
+	*v = append(*v, sql)
+	return nil
+}
 
 // remoteFlags accumulates repeated -remote site=addr flags.
 type remoteFlags map[core.SiteID]string
@@ -68,6 +82,9 @@ func main() {
 	remotes := remoteFlags{}
 	flag.Var(remotes, "remote", "remote site as site=addr (repeatable)")
 	replicate := flag.String("replicate", "", "replication plan as table=period,... (e.g. customer=30s,nation=2m)")
+	views := viewFlags{}
+	flag.Var(&views, "views", "materialized view SQL — a single-table aggregate the view answers (repeatable)")
+	viewPeriod := flag.Duration("view-period", 0, "refresh period for every -views view (0 = default 10s); views share the -sync-budget with replicas")
 	lambdaCL := flag.Float64("lambda-cl", .01, "computational-latency discount rate per experiment minute")
 	lambdaSL := flag.Float64("lambda-sl", .01, "synchronization-latency discount rate per experiment minute")
 	timescale := flag.Float64("timescale", 1.0/60, "experiment minutes per wall second (1/60 = real time)")
@@ -112,6 +129,9 @@ func main() {
 		AdaptiveSync:    *adaptiveSync,
 		SyncAdjustEvery: *syncAdjust,
 		SQLEngine:       sqlEngine,
+	}
+	for _, sql := range views {
+		cfg.Views = append(cfg.Views, server.ViewSpec{SQL: sql, Period: *viewPeriod})
 	}
 	if err := run(*addr, remotes, *replicate, *scenario, *scenarioTables, cfg, *calibration); err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-dss:", err)
@@ -191,8 +211,8 @@ func run(addr string, remotes remoteFlags, replicate, scenario, scenarioTables s
 	if err != nil {
 		return err
 	}
-	fmt.Printf("ivqp-dss: federation server on %s (%d remote sites, %d replicas, λcl=%g λsl=%g)\n",
-		bound, len(remotes), len(plan), cfg.Rates.CL, cfg.Rates.SL)
+	fmt.Printf("ivqp-dss: federation server on %s (%d remote sites, %d replicas, %d views, λcl=%g λsl=%g)\n",
+		bound, len(remotes), len(plan), len(cfg.Views), cfg.Rates.CL, cfg.Rates.SL)
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

@@ -137,6 +137,24 @@ func run(addr string, value float64, status, showMetrics, remote, register, batc
 			fmt.Printf("%-16s %-5d %-12.2f %-16.2f %-12.2f %-11s %-10s %d\n",
 				r.Table, r.Site, r.LastSyncMinutes, r.StalenessMinutes, r.PeriodMinutes, next, age, r.Cursor)
 		}
+		if len(resp.Views) > 0 {
+			fmt.Println()
+			fmt.Printf("%-16s %-14s %-10s %-5s %-12s %-16s %-12s %-11s %-6s %s\n",
+				"VIEW", "QUERY", "TABLE", "SITE", "LAST SYNC", "STALENESS (min)", "PERIOD (min)", "NEXT SYNC", "ROWS", "CURSOR")
+			for _, v := range resp.Views {
+				// A demoted (never- or no-longer-materialized) view reads "-".
+				last, stale, next := "-", "-", "-"
+				if v.LastSyncMinutes >= 0 {
+					last = fmt.Sprintf("%.2f", v.LastSyncMinutes)
+					stale = fmt.Sprintf("%.2f", v.StalenessMinutes)
+				}
+				if v.NextSyncMinutes >= 0 {
+					next = fmt.Sprintf("%.2f", v.NextSyncMinutes)
+				}
+				fmt.Printf("%-16s %-14s %-10s %-5d %-12s %-16s %-12.2f %-11s %-6d %d\n",
+					v.View, v.QueryID, v.Table, v.Site, last, stale, v.PeriodMinutes, next, v.Rows, v.Cursor)
+			}
+		}
 		if len(resp.Metrics) > 0 {
 			fmt.Println()
 			fmt.Println("SCHEDULER")

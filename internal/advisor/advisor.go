@@ -61,11 +61,24 @@ func (c Config) validate() error {
 	return nil
 }
 
+// ViewCandidate describes a materialized view the advisor may choose to
+// maintain: the query whose answer it covers and the base table it is
+// maintained over. A chosen view occupies one slot of the sync budget,
+// exactly like a replica — promotion and demotion fall out of the same
+// greedy selection.
+type ViewCandidate struct {
+	ID      core.ViewID
+	QueryID string
+	Table   core.TableID
+}
+
 // Step records one greedy selection.
 type Step struct {
+	// Table is the selected synchronized unit: a base table chosen for
+	// replication, or a view's namespaced unit ("view:<id>").
 	Table core.TableID
 	// ExpectedIV is the workload's expected total information value after
-	// adding this replica.
+	// adding this unit.
 	ExpectedIV float64
 	// Gain is the improvement over the previous step.
 	Gain float64
@@ -75,10 +88,24 @@ type Step struct {
 type Recommendation struct {
 	// Replicas to create, in greedy selection order (most valuable first).
 	Replicas []core.TableID
-	// BaselineIV is the workload's expected IV with no replicas at all.
+	// Views to materialize, in greedy selection order. The interleaved
+	// order across replicas and views is traced in Steps.
+	Views []core.ViewID
+	// BaselineIV is the workload's expected IV with no local sources at
+	// all.
 	BaselineIV float64
 	// Steps traces the greedy selection.
 	Steps []Step
+}
+
+// Units returns every selected synchronized unit — replica tables plus
+// namespaced view units — in greedy selection order.
+func (r Recommendation) Units() []core.TableID {
+	units := make([]core.TableID, 0, len(r.Steps))
+	for _, s := range r.Steps {
+		units = append(units, s.Table)
+	}
+	return units
 }
 
 // FinalIV returns the expected workload IV with every recommended replica
@@ -137,11 +164,35 @@ func (a *Advisor) tableScenario(id core.TableID, site core.SiteID, now core.Time
 	return core.TableState{ID: id, Site: site, Replica: rs}
 }
 
+// viewScenario builds the planner's view of one maintained view in one
+// sampled scenario, on the same common-random-numbers discipline as
+// tableScenario: the draw stream depends only on (seed, view unit, query
+// index, sample index), never on which other units are selected.
+func (a *Advisor) viewScenario(v ViewCandidate, now core.Time, qIdx, sample int) core.ViewState {
+	src := stats.NewSource(stats.SubSeed(a.cfg.Seed, string(core.ViewUnit(v.ID))) ^ (int64(qIdx) << 20) ^ (int64(sample) << 40))
+	age := src.Expo(a.cfg.SyncMean)
+	vs := core.ViewState{ID: v.ID, QueryID: v.QueryID, LastSync: now - age}
+	next := now + src.Expo(a.cfg.SyncMean)
+	for i := 0; i < a.cfg.FutureSyncs; i++ {
+		vs.NextSyncs = append(vs.NextSyncs, next)
+		next += src.Expo(a.cfg.SyncMean)
+	}
+	return vs
+}
+
 // ExpectedWorkloadIV scores a replication plan: the mean over sampled
 // synchronization scenarios of the information value each query's best
 // plan achieves, summed over the workload (business value included via
 // the IV formula).
 func (a *Advisor) ExpectedWorkloadIV(queries []core.Query, placement *federation.Placement, replicas map[core.TableID]bool) (float64, error) {
+	return a.expectedIV(queries, placement, nil, replicas)
+}
+
+// expectedIV scores one selection of synchronized units: replicated base
+// tables plus maintained views (namespaced units in the same chosen set).
+// Every table's catalog scenario lists all its selected sources, and the
+// planner's data-source enumeration decides what each query reads.
+func (a *Advisor) expectedIV(queries []core.Query, placement *federation.Placement, views []ViewCandidate, chosen map[core.TableID]bool) (float64, error) {
 	if placement == nil {
 		return 0, fmt.Errorf("advisor: nil placement")
 	}
@@ -155,10 +206,15 @@ func (a *Advisor) ExpectedWorkloadIV(queries []core.Query, placement *federation
 				if err != nil {
 					return 0, fmt.Errorf("advisor: query %s: %w", q.ID, err)
 				}
-				if replicas[id] {
+				if chosen[id] {
 					states[i] = a.tableScenario(id, site, q.SubmitAt, qIdx, sample)
 				} else {
 					states[i] = core.TableState{ID: id, Site: site}
+				}
+				for _, v := range views {
+					if v.Table == id && v.QueryID == q.ID && chosen[core.ViewUnit(v.ID)] {
+						states[i].Views = append(states[i].Views, a.viewScenario(v, q.SubmitAt, qIdx, sample))
+					}
 				}
 			}
 			plan, _, err := a.planner.Best(q, states, q.SubmitAt)
@@ -173,9 +229,20 @@ func (a *Advisor) ExpectedWorkloadIV(queries []core.Query, placement *federation
 }
 
 // RecommendReplicas greedily selects up to `budget` tables to replicate.
-// Selection stops early when no candidate improves the expected workload
-// value. Candidates are the tables the workload actually touches.
+// It is RecommendSources with no view candidates.
 func (a *Advisor) RecommendReplicas(queries []core.Query, placement *federation.Placement, budget int) (Recommendation, error) {
+	return a.RecommendSources(queries, placement, nil, budget)
+}
+
+// RecommendSources greedily selects up to `budget` synchronized units —
+// replicated base tables and materialized views together, competing for
+// the same slots. At each step the unit yielding the largest increase in
+// expected workload IV wins; a view that pre-aggregates a hot query can
+// therefore displace a table replica (promotion), and a view no longer
+// earning its slot drops out of the selection (demotion). Selection stops
+// early when no candidate improves the expected value. Replica candidates
+// are the tables the workload touches; view candidates are the ones given.
+func (a *Advisor) RecommendSources(queries []core.Query, placement *federation.Placement, views []ViewCandidate, budget int) (Recommendation, error) {
 	var rec Recommendation
 	if budget < 0 {
 		return rec, fmt.Errorf("advisor: negative budget %d", budget)
@@ -192,6 +259,12 @@ func (a *Advisor) RecommendReplicas(queries []core.Query, placement *federation.
 			candidateSet[id] = true
 		}
 	}
+	for _, v := range views {
+		if v.ID == "" || v.QueryID == "" || v.Table == "" {
+			return rec, fmt.Errorf("advisor: view candidate %q is incomplete", v.ID)
+		}
+		candidateSet[core.ViewUnit(v.ID)] = true
+	}
 	candidates := make([]core.TableID, 0, len(candidateSet))
 	for id := range candidateSet {
 		candidates = append(candidates, id)
@@ -199,38 +272,42 @@ func (a *Advisor) RecommendReplicas(queries []core.Query, placement *federation.
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
 
 	chosen := make(map[core.TableID]bool)
-	base, err := a.ExpectedWorkloadIV(queries, placement, chosen)
+	base, err := a.expectedIV(queries, placement, views, chosen)
 	if err != nil {
 		return rec, err
 	}
 	rec.BaselineIV = base
 
 	current := base
-	for len(rec.Replicas) < budget {
-		bestTable := core.TableID("")
+	for len(rec.Steps) < budget {
+		bestUnit := core.TableID("")
 		bestIV := current
 		for _, id := range candidates {
 			if chosen[id] {
 				continue
 			}
 			chosen[id] = true
-			iv, err := a.ExpectedWorkloadIV(queries, placement, chosen)
+			iv, err := a.expectedIV(queries, placement, views, chosen)
 			delete(chosen, id)
 			if err != nil {
 				return rec, err
 			}
 			if iv > bestIV+1e-12 {
 				bestIV = iv
-				bestTable = id
+				bestUnit = id
 			}
 		}
-		if bestTable == "" {
+		if bestUnit == "" {
 			break // no remaining candidate helps
 		}
-		chosen[bestTable] = true
-		rec.Replicas = append(rec.Replicas, bestTable)
+		chosen[bestUnit] = true
+		if vid, ok := core.ViewOfUnit(bestUnit); ok {
+			rec.Views = append(rec.Views, vid)
+		} else {
+			rec.Replicas = append(rec.Replicas, bestUnit)
+		}
 		rec.Steps = append(rec.Steps, Step{
-			Table:      bestTable,
+			Table:      bestUnit,
 			ExpectedIV: bestIV,
 			Gain:       bestIV - current,
 		})

@@ -243,3 +243,84 @@ func TestRecommendBeatsRandomChoice(t *testing.T) {
 		t.Errorf("greedy %v more than 5%% below the optimal 2-subset %v", rec.FinalIV(), bestIV)
 	}
 }
+
+func TestRecommendSourcesPromotesViewForHotAggregate(t *testing.T) {
+	placement, tables := testPlacement(t, 4)
+	cfg := testConfig()
+	cfg.Cost = &costmodel.CountModel{LocalProcess: 4, PerBaseTable: 4, TransmitFlat: 1}
+	cfg.Samples = 32
+	cfg.Seed = 7
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One registered aggregate hammers T00; background queries touch the
+	// rest. A view covering the aggregate collapses its whole processing
+	// cost, so it should out-earn a plain replica of T00.
+	var queries []core.Query
+	for i := 0; i < 12; i++ {
+		queries = append(queries, core.Query{
+			ID: "agg", Tables: []core.TableID{tables[0]}, BusinessValue: 1, SubmitAt: core.Time(i) * 5,
+		})
+	}
+	for i := 0; i < 4; i++ {
+		queries = append(queries, core.Query{
+			ID: fmt.Sprintf("bg%d", i), Tables: []core.TableID{tables[1+i%3]}, BusinessValue: 1, SubmitAt: core.Time(i)*13 + 2,
+		})
+	}
+	views := []ViewCandidate{{ID: "vagg", QueryID: "agg", Table: tables[0]}}
+	rec, err := a.RecommendSources(queries, placement, views, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Views) != 1 || rec.Views[0] != "vagg" {
+		t.Fatalf("views = %v, want the aggregate's view promoted", rec.Views)
+	}
+	// The view displaced its base table's replica: a replica of T00 adds
+	// nothing once the hot query answers from the view.
+	for _, id := range rec.Replicas {
+		if id == tables[0] {
+			t.Errorf("replica of %s recommended alongside its view", id)
+		}
+	}
+	// Units preserves the greedy selection order and namespaces view units.
+	units := rec.Units()
+	if len(units) != len(rec.Steps) {
+		t.Fatalf("units = %v, steps = %v, want one unit per step", units, rec.Steps)
+	}
+	for i, st := range rec.Steps {
+		if units[i] != st.Table {
+			t.Errorf("unit %d = %s, step table = %s", i, units[i], st.Table)
+		}
+	}
+	if units[0] != core.ViewUnit("vagg") {
+		t.Errorf("first unit = %s, want the view picked first", units[0])
+	}
+}
+
+func TestRecommendSourcesIgnoresUselessView(t *testing.T) {
+	placement, tables := testPlacement(t, 3)
+	a, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The candidate view covers a query ID that never occurs, so every
+	// slot should go to replicas.
+	var queries []core.Query
+	for i := 0; i < 8; i++ {
+		queries = append(queries, core.Query{
+			ID: fmt.Sprintf("q%d", i%2), Tables: []core.TableID{tables[i%2]}, BusinessValue: 1, SubmitAt: core.Time(i) * 5,
+		})
+	}
+	views := []ViewCandidate{{ID: "vghost", QueryID: "ghost", Table: tables[0]}}
+	rec, err := a.RecommendSources(queries, placement, views, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Views) != 0 {
+		t.Errorf("views = %v, want none for a view no query matches", rec.Views)
+	}
+	if len(rec.Replicas) == 0 {
+		t.Error("no replicas recommended")
+	}
+}

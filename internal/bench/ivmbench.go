@@ -1,0 +1,350 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"ivdss/internal/core"
+	"ivdss/internal/metrics"
+	"ivdss/internal/relation"
+	"ivdss/internal/replication"
+	"ivdss/internal/replsync"
+	"ivdss/internal/scheduler"
+	"ivdss/internal/sim"
+	"ivdss/internal/stats"
+)
+
+// Materialized-view experiment (-fig ivm): an aggregate-heavy skewed
+// workload over replicated tables, replica-only versus view-enabled. In
+// the view-enabled variant each hot table's sync unit is a materialized
+// view covering the hot query: its cycles ship only the delta rows passing
+// the view's predicate, projected to the columns the view reads, and the
+// query is answered from the pre-aggregated materialization instead of
+// re-aggregating a replica. The figure reports total information value
+// against total sync traffic — the paper's IV currency versus the
+// bandwidth the views exist to save.
+
+// IVMConfig parameterizes the experiment.
+type IVMConfig struct {
+	// Tables is the base-table count; HotTables of them receive
+	// HotFraction of the query traffic. Hot queries are view-covered
+	// single-table aggregates.
+	Tables      int
+	HotTables   int
+	HotFraction float64
+	// NQueries arrive as a Poisson stream with mean interarrival QueryMean
+	// (experiment minutes).
+	NQueries  int
+	QueryMean core.Duration
+	// Period is the uniform sync period per unit (replica or view).
+	Period core.Duration
+	// ProcessCL is the computational latency of aggregating over a local
+	// replica; ViewProcessCL is the latency of serving the view's already
+	// aggregated answer (strictly smaller — that is the CL the view
+	// collapses).
+	ProcessCL     core.Duration
+	ViewProcessCL core.Duration
+	// RowsPerMin and RowBytes model each table's append rate; BaseRows is
+	// the size at t=0.
+	RowsPerMin float64
+	RowBytes   int64
+	BaseRows   uint64
+	// Selectivity is the fraction of appended rows passing the view's
+	// WHERE predicate; ColumnFraction is the fraction of each row's bytes
+	// the view's column subset keeps. Together they price the delta
+	// projection applied at the base site.
+	Selectivity    float64
+	ColumnFraction float64
+	// Budget caps sync traffic in bytes per experiment minute (0 =
+	// unlimited), shared across all units.
+	Budget float64
+	Rates  core.DiscountRates
+	Seed   int64
+}
+
+// DefaultIVMConfig: 8 tables, 2 hot ones drawing 80% of an
+// aggregate-heavy stream; the views' predicates pass 25% of delta rows and
+// keep half of each row's bytes.
+func DefaultIVMConfig() IVMConfig {
+	return IVMConfig{
+		Tables:         8,
+		HotTables:      2,
+		HotFraction:    .8,
+		NQueries:       400,
+		QueryMean:      .25,
+		Period:         8,
+		ProcessCL:      .5,
+		ViewProcessCL:  .05,
+		RowsPerMin:     5,
+		RowBytes:       8,
+		BaseRows:       200,
+		Selectivity:    .25,
+		ColumnFraction: .5,
+		Rates:          core.DiscountRates{CL: .05, SL: .08},
+		Seed:           1,
+	}
+}
+
+// QuickIVMConfig is the CI-sized variant.
+func QuickIVMConfig() IVMConfig {
+	cfg := DefaultIVMConfig()
+	cfg.NQueries = 150
+	return cfg
+}
+
+// IVMVariant is one variant's outcome.
+type IVMVariant struct {
+	TotalIV           float64 `json:"total_iv"`
+	MeanSL            float64 `json:"mean_sl_minutes"`
+	Syncs             float64 `json:"syncs_total"`
+	SyncBytes         float64 `json:"sync_bytes_total"`
+	SyncDeferred      float64 `json:"sync_deferred_total"`
+	ViewsMaterialized float64 `json:"views_materialized_total"`
+	ViewDeltaRows     float64 `json:"view_delta_rows_total"`
+	ViewDeltaBytes    float64 `json:"view_delta_bytes_total"`
+}
+
+// IVMResult is the experiment outcome.
+type IVMResult struct {
+	ReplicaOnly IVMVariant `json:"replica_only"`
+	ViewEnabled IVMVariant `json:"view_enabled"`
+	// IVGainPct is the view-enabled IV gain over replica-only, percent.
+	IVGainPct float64 `json:"iv_gain_pct"`
+	// BytesSavedPct is the sync-traffic reduction, percent.
+	BytesSavedPct float64 `json:"bytes_saved_pct"`
+	Date          string  `json:"date,omitempty"`
+}
+
+// ivmViewID names the view covering hot table i's query.
+func ivmViewID(i int) core.ViewID {
+	return core.ViewID(fmt.Sprintf("q%02d", i))
+}
+
+// ivmModelFetcher prices sync payloads for both unit kinds: a replica
+// unit ships its table's full append suffix; a view unit ships the suffix
+// filtered by the view's selectivity and projected to its column
+// fraction. Versions always count base rows, so both kinds share one
+// cursor space — exactly the live wire contract.
+type ivmModelFetcher struct {
+	clock scheduler.Clock
+	cfg   IVMConfig
+}
+
+func (f ivmModelFetcher) version() uint64 {
+	return f.cfg.BaseRows + uint64(f.cfg.RowsPerMin*float64(f.clock.Now()))
+}
+
+// passed is the cumulative count of rows passing the view predicate among
+// the first v base rows — a deterministic floor so successive deltas sum
+// exactly to the snapshot.
+func (f ivmModelFetcher) passed(v uint64) uint64 {
+	return uint64(math.Floor(f.cfg.Selectivity * float64(v)))
+}
+
+func (f ivmModelFetcher) viewRowBytes() int64 {
+	b := int64(math.Round(f.cfg.ColumnFraction * float64(f.cfg.RowBytes)))
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+func (f ivmModelFetcher) Snapshot(_ context.Context, id core.TableID) (replsync.Snapshot, error) {
+	v := f.version()
+	if _, isView := core.ViewOfUnit(id); isView {
+		return replsync.Snapshot{
+			Table:   relation.NewTable(string(id), relation.Schema{}),
+			Version: v,
+			Bytes:   int64(f.passed(v)) * f.viewRowBytes(),
+		}, nil
+	}
+	return replsync.Snapshot{Version: v, Bytes: int64(v) * f.cfg.RowBytes}, nil
+}
+
+func (f ivmModelFetcher) Delta(_ context.Context, id core.TableID, cursor uint64) (replsync.Delta, error) {
+	v := f.version()
+	if cursor > v {
+		return replsync.Delta{Resync: true}, nil
+	}
+	if _, isView := core.ViewOfUnit(id); isView {
+		rows := f.passed(v) - f.passed(cursor)
+		return replsync.Delta{
+			Rows:    make([]relation.Row, rows),
+			Version: v,
+			Bytes:   int64(rows) * f.viewRowBytes(),
+		}, nil
+	}
+	return replsync.Delta{Version: v, Bytes: int64(v-cursor) * f.cfg.RowBytes}, nil
+}
+
+// RunIVM executes the experiment: the identical aggregate-heavy skewed
+// stream against a replica-only and a view-enabled source set.
+func RunIVM(cfg IVMConfig) (IVMResult, error) {
+	var res IVMResult
+	if cfg.Tables < 2 || cfg.HotTables < 1 || cfg.HotTables >= cfg.Tables {
+		return res, fmt.Errorf("bench: need at least one hot and one cold table, got %d/%d", cfg.HotTables, cfg.Tables)
+	}
+	if cfg.HotFraction <= 0 || cfg.HotFraction >= 1 {
+		return res, fmt.Errorf("bench: hot fraction %v outside (0, 1)", cfg.HotFraction)
+	}
+	if cfg.Selectivity <= 0 || cfg.Selectivity > 1 {
+		return res, fmt.Errorf("bench: selectivity %v outside (0, 1]", cfg.Selectivity)
+	}
+	if cfg.ColumnFraction <= 0 || cfg.ColumnFraction > 1 {
+		return res, fmt.Errorf("bench: column fraction %v outside (0, 1]", cfg.ColumnFraction)
+	}
+	if cfg.ViewProcessCL > cfg.ProcessCL {
+		return res, fmt.Errorf("bench: view process CL %v exceeds replica process CL %v", cfg.ViewProcessCL, cfg.ProcessCL)
+	}
+	ro, err := runIVMVariant(cfg, false)
+	if err != nil {
+		return res, err
+	}
+	ve, err := runIVMVariant(cfg, true)
+	if err != nil {
+		return res, err
+	}
+	res.ReplicaOnly, res.ViewEnabled = ro, ve
+	if ro.TotalIV > 0 {
+		res.IVGainPct = (ve.TotalIV - ro.TotalIV) / ro.TotalIV * 100
+	}
+	if ro.SyncBytes > 0 {
+		res.BytesSavedPct = (ro.SyncBytes - ve.SyncBytes) / ro.SyncBytes * 100
+	}
+	return res, nil
+}
+
+func runIVMVariant(cfg IVMConfig, viewEnabled bool) (IVMVariant, error) {
+	var out IVMVariant
+	s := sim.New()
+	clock := scheduler.SimClock{Sim: s}
+	mgr := replication.NewManager()
+	// Unit per table: hot tables synchronize as views in the view-enabled
+	// variant (same slot, projected bytes), as plain replicas otherwise.
+	units := make([]core.TableID, cfg.Tables)
+	for i := range units {
+		if viewEnabled && i < cfg.HotTables {
+			units[i] = core.ViewUnit(ivmViewID(i))
+		} else {
+			units[i] = syncTableID(i)
+		}
+	}
+	tables := make([]replsync.TableConfig, cfg.Tables)
+	for i, id := range units {
+		tables[i] = replsync.TableConfig{ID: id, Period: cfg.Period}
+		if err := mgr.Register(id, replication.Schedule{}); err != nil {
+			return out, err
+		}
+	}
+	reg := metrics.NewRegistry()
+	agent, err := replsync.New(replsync.Config{
+		Clock:   clock,
+		Fetch:   ivmModelFetcher{clock: clock, cfg: cfg},
+		Apply:   nopApplier{},
+		Manager: mgr,
+		Tables:  tables,
+		Budget:  cfg.Budget,
+		Stats:   reg,
+	})
+	if err != nil {
+		return out, err
+	}
+	for _, tc := range tables {
+		if err := agent.SyncNow(tc.ID); err != nil {
+			return out, err
+		}
+	}
+	agent.Start()
+
+	// The skewed stream: identical arrivals and table choices in both
+	// variants (seeded independently of the sync engine's behaviour).
+	src := stats.NewSource(cfg.Seed)
+	arrivals := make([]core.Time, cfg.NQueries)
+	targets := make([]int, cfg.NQueries)
+	at := core.Time(0)
+	for i := range arrivals {
+		at += src.Expo(float64(cfg.QueryMean))
+		arrivals[i] = at
+		if src.Float64() < cfg.HotFraction {
+			targets[i] = src.Intn(cfg.HotTables)
+		} else {
+			targets[i] = cfg.HotTables + src.Intn(cfg.Tables-cfg.HotTables)
+		}
+	}
+
+	var sls []float64
+	for i := range arrivals {
+		i := i
+		s.ScheduleAt(arrivals[i], func() {
+			now := s.Now()
+			tableIdx := targets[i]
+			unit := units[tableIdx]
+			sl, ok := mgr.Staleness(unit, now)
+			if !ok {
+				sl = now
+			}
+			// Serving a pre-aggregated view answer is cheaper than
+			// re-aggregating a replica — the CL the view collapses.
+			cl := cfg.ProcessCL
+			if _, isView := core.ViewOfUnit(unit); isView {
+				cl = cfg.ViewProcessCL
+			}
+			lat := core.Latencies{CL: cl, SL: sl + cl}
+			value := core.InformationValue(1, lat, cfg.Rates)
+			out.TotalIV += value
+			sls = append(sls, lat.SL)
+			fresh := core.InformationValue(1, core.Latencies{CL: lat.CL}, cfg.Rates)
+			agent.ObserveLoss([]core.TableID{unit}, fresh-value)
+		})
+	}
+	s.RunUntil(arrivals[len(arrivals)-1] + 1)
+	agent.Stop()
+
+	if len(sls) != cfg.NQueries {
+		return out, fmt.Errorf("bench: ivm variant scored %d of %d queries", len(sls), cfg.NQueries)
+	}
+	out.MeanSL = stats.Mean(sls)
+	flat := reg.Flatten()
+	out.Syncs = flat["syncs_total"]
+	out.SyncBytes = flat["sync_bytes_total"]
+	out.SyncDeferred = flat["sync_deferred_total"]
+	out.ViewsMaterialized = flat["views_materialized_total"]
+	out.ViewDeltaRows = flat["view_delta_rows_total"]
+	out.ViewDeltaBytes = flat["view_delta_bytes_total"]
+	return out, nil
+}
+
+// WriteJSON writes the machine-readable result.
+func (r IVMResult) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Tables renders the experiment as a summary table.
+func (r IVMResult) Tables() []Table {
+	row := func(name string, v IVMVariant) []string {
+		return []string{
+			name,
+			f3(v.TotalIV),
+			f1(v.MeanSL),
+			fmt.Sprintf("%.0f", v.Syncs),
+			fmt.Sprintf("%.0f", v.SyncBytes),
+			fmt.Sprintf("%.0f", v.SyncDeferred),
+			fmt.Sprintf("%.0f", v.ViewsMaterialized),
+			fmt.Sprintf("%.0f", v.ViewDeltaBytes),
+		}
+	}
+	return []Table{{
+		Title:   "Materialized views: replica-only vs view-enabled (aggregate-heavy skew)",
+		Columns: []string{"variant", "total IV", "mean SL", "syncs", "bytes", "deferred", "materialized", "view delta bytes"},
+		Rows: [][]string{
+			row("replica-only", r.ReplicaOnly),
+			row("view-enabled", r.ViewEnabled),
+			{"gain", fmt.Sprintf("%+.1f%%", r.IVGainPct), "", "", fmt.Sprintf("-%.1f%%", r.BytesSavedPct), "", "", ""},
+		},
+	}}
+}

@@ -1,0 +1,48 @@
+package bench
+
+import "testing"
+
+// TestIVMViewBeatsReplicaOnly is the acceptance gate for the view
+// experiment: under the aggregate-heavy skewed stream, the view-enabled
+// variant must deliver at least the replica-only total IV while shipping
+// strictly fewer sync bytes.
+func TestIVMViewBeatsReplicaOnly(t *testing.T) {
+	res, err := RunIVM(QuickIVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("replica-only IV=%.3f bytes=%.0f | view-enabled IV=%.3f bytes=%.0f (gain %+.1f%%, bytes -%.1f%%)",
+		res.ReplicaOnly.TotalIV, res.ReplicaOnly.SyncBytes,
+		res.ViewEnabled.TotalIV, res.ViewEnabled.SyncBytes,
+		res.IVGainPct, res.BytesSavedPct)
+	if res.ViewEnabled.TotalIV < res.ReplicaOnly.TotalIV {
+		t.Errorf("view-enabled IV %.3f below replica-only %.3f", res.ViewEnabled.TotalIV, res.ReplicaOnly.TotalIV)
+	}
+	if res.ViewEnabled.SyncBytes >= res.ReplicaOnly.SyncBytes {
+		t.Errorf("view-enabled sync bytes %.0f not below replica-only %.0f", res.ViewEnabled.SyncBytes, res.ReplicaOnly.SyncBytes)
+	}
+	if res.ViewEnabled.ViewsMaterialized == 0 {
+		t.Error("no view materializations counted")
+	}
+	if res.ViewEnabled.ViewDeltaBytes <= 0 {
+		t.Error("no view delta bytes counted")
+	}
+	if res.ReplicaOnly.ViewDeltaBytes != 0 {
+		t.Errorf("replica-only variant shipped view deltas: %.0f", res.ReplicaOnly.ViewDeltaBytes)
+	}
+}
+
+// TestIVMDeterministic pins run-to-run reproducibility of the DES.
+func TestIVMDeterministic(t *testing.T) {
+	a, err := RunIVM(QuickIVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunIVM(QuickIVMConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("ivm experiment not deterministic:\n%+v\n%+v", a, b)
+	}
+}

@@ -17,6 +17,11 @@ const (
 	// A "future replica" is an AccessReplica whose Freshness lies after the
 	// query's submission time: the plan must delay its start until then.
 	AccessReplica
+	// AccessView reads an incrementally maintained materialized view at the
+	// local DSS server. A view materializes one query's full answer, so a
+	// view access always stands alone in its plan and carries the covered
+	// query's result rather than a base table's rows.
+	AccessView
 )
 
 // String returns a short human-readable name for the access kind.
@@ -26,6 +31,8 @@ func (k AccessKind) String() string {
 		return "base"
 	case AccessReplica:
 		return "replica"
+	case AccessView:
+		return "view"
 	default:
 		return fmt.Sprintf("AccessKind(%d)", int(k))
 	}
@@ -35,12 +42,15 @@ func (k AccessKind) String() string {
 type TableAccess struct {
 	Table TableID
 	Site  SiteID     // site holding the base table
-	Kind  AccessKind // base vs (possibly future) replica
+	Kind  AccessKind // base vs (possibly future) replica vs materialized view
 	// Freshness is the synchronization-completion timestamp of the chosen
-	// replica version. It is meaningful only for AccessReplica; base-table
-	// freshness is the moment processing starts and is derived during plan
-	// evaluation.
+	// replica or view version. It is meaningful only for AccessReplica and
+	// AccessView; base-table freshness is the moment processing starts and
+	// is derived during plan evaluation.
 	Freshness Time
+	// View identifies the materialized view serving an AccessView; empty
+	// otherwise.
+	View ViewID
 }
 
 // CostEstimate decomposes a plan's computational latency the way the paper
@@ -79,12 +89,16 @@ type TableState struct {
 	ID      TableID
 	Site    SiteID        // site holding the base table
 	Replica *ReplicaState // nil when the table is not replicated locally
+	// Views lists the materialized views maintained over this table, each
+	// covering one query. Ordered deterministically (by ViewID) so plan
+	// enumeration is reproducible.
+	Views []ViewState
 	// BaseDown marks the base table's site unavailable at planning time
 	// (its circuit breaker is open): the planner excludes AccessBase for
-	// this table and degrades to replica versions, pricing their true
-	// staleness into the information value. Planning fails with
-	// SiteUnavailableError when a down table has no replica to fall back
-	// on.
+	// this table and degrades to local versions — replicas or views —
+	// pricing their true staleness into the information value. Planning
+	// fails with SiteUnavailableError when a down table has no local
+	// source to fall back on.
 	BaseDown bool
 }
 
@@ -98,6 +112,18 @@ func (ts TableState) Validate() error {
 		for _, n := range ts.Replica.NextSyncs {
 			if n <= prev {
 				return fmt.Errorf("core: table %s: next syncs not strictly ascending after last sync (%v after %v)", ts.ID, n, prev)
+			}
+			prev = n
+		}
+	}
+	for _, vs := range ts.Views {
+		if vs.ID == "" {
+			return fmt.Errorf("core: table %s: view state with empty ID", ts.ID)
+		}
+		prev := vs.LastSync
+		for _, n := range vs.NextSyncs {
+			if n <= prev {
+				return fmt.Errorf("core: table %s view %s: next syncs not strictly ascending after last sync (%v after %v)", ts.ID, vs.ID, n, prev)
 			}
 			prev = n
 		}
@@ -177,6 +203,16 @@ func (p Plan) Value(r DiscountRates) float64 {
 	return InformationValue(p.Query.BusinessValue, p.Latencies(), r)
 }
 
+// ViewAccess reports whether the plan is answered entirely from one
+// materialized view — the only shape view plans take, since a view
+// materializes a whole query's answer.
+func (p Plan) ViewAccess() (TableAccess, bool) {
+	if len(p.Access) == 1 && p.Access[0].Kind == AccessView {
+		return p.Access[0], true
+	}
+	return TableAccess{}, false
+}
+
 // BaseTables returns the IDs of tables the plan reads remotely, in plan
 // order.
 func (p Plan) BaseTables() []TableID {
@@ -219,6 +255,8 @@ func (p Plan) Signature() string {
 			fmt.Fprintf(&b, "%s=base", a.Table)
 		case AccessReplica:
 			fmt.Fprintf(&b, "%s=replica@%.1f", a.Table, a.Freshness)
+		case AccessView:
+			fmt.Fprintf(&b, "%s=view:%s@%.1f", a.Table, a.View, a.Freshness)
 		}
 	}
 	fmt.Fprintf(&b, " start=%.1f", p.Start)

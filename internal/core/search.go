@@ -185,10 +185,10 @@ func (p *Planner) evaluate(q Query, access []TableAccess, start Time, stats *Sea
 func (p *Planner) scatterGather(q Query, states []TableState, now Time, full bool, stats *SearchStats) (Plan, SearchStats, error) {
 	// Scatter: the all-base-tables plan executed immediately seeds the
 	// current optimum and the tolerated-latency bound. Tables whose base
-	// site is down are pinned to their freshest replica instead; if one of
-	// them only gains a replica at a future sync, the seed start slides to
-	// that instant.
-	seedAccess, seedStart, err := availableSeed(states, now, p.horizonEnd(now))
+	// site is down are pinned to their freshest local source (replica or
+	// view) instead; if one of them only gains a version at a future sync,
+	// the seed start slides to that instant.
+	seedAccess, seedStart, err := availableSeed(q, states, now, p.horizonEnd(now))
 	if err != nil {
 		return Plan{}, *stats, err
 	}
@@ -196,7 +196,7 @@ func (p *Planner) scatterGather(q Query, states []TableState, now Time, full boo
 	boundary := q.SubmitAt + ToleratedCL(q.BusinessValue, bestVal, p.cfg.Rates)
 
 	end := math.Min(p.horizonEnd(now), boundary)
-	events := syncEventsWithin(states, now, p.horizonEnd(now))
+	events := syncEventsWithin(q, states, now, p.horizonEnd(now))
 
 	// Gather: enumerate combinations at the decision time and then at each
 	// future synchronization completion, shrinking the boundary as better
@@ -210,7 +210,7 @@ func (p *Planner) scatterGather(q Query, states []TableState, now Time, full boo
 		}
 		stats.TimePoints++
 		improved := false
-		for _, access := range p.combinationsAt(states, t, full, i > 0) {
+		for _, access := range p.combinationsAt(q, states, t, full, i > 0) {
 			plan, val := p.evaluate(q, access, t, stats)
 			if val > bestVal {
 				best, bestVal = plan, val
@@ -236,32 +236,57 @@ func (p *Planner) scatterGather(q Query, states []TableState, now Time, full boo
 // subsets are produced. When skipAllBase is set the combination using no
 // replicas is suppressed (used for t beyond the first time point).
 //
-// A table with BaseDown is pinned to its replica version at t and excluded
-// from the demotion chain; when it has no usable replica at t there is no
-// valid assignment and nil is returned.
-func (p *Planner) combinationsAt(states []TableState, t Time, full, skipAllBase bool) [][]TableAccess {
+// A table with BaseDown is pinned to its freshest local source at t and
+// excluded from the demotion chain; when it has no usable local version at
+// t there is no valid assignment and nil is returned.
+//
+// Materialized views extend the enumeration: a view materializes the
+// covered query's entire answer, so each usable view version contributes
+// one whole-plan combination of its own rather than entering the per-table
+// chain (views only ever cover single-table queries, enforced at
+// registration).
+func (p *Planner) combinationsAt(q Query, states []TableState, t Time, full, skipAllBase bool) [][]TableAccess {
 	type replicated struct {
 		idx       int
 		freshness Time
+		src       DataSource
 	}
 	var reps []replicated
 	base := make([]TableAccess, len(states))
+	var views []TableAccess
 	for i, ts := range states {
+		sources := ts.Sources(q)
+		if len(states) == 1 {
+			for _, src := range sources {
+				if src.Kind() != AccessView {
+					continue
+				}
+				if v, ok := src.VersionAt(t); ok {
+					views = append(views, src.Access(v))
+				}
+			}
+		}
 		if ts.BaseDown {
-			v, ok := replicaVersionAt(ts.Replica, t)
+			acc, ok := bestLocalAt(ts.LocalSources(q), t)
 			if !ok {
 				return nil
 			}
-			base[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessReplica, Freshness: v}
-			// The pinned replica gets fresher at later time points, so the
+			base[i] = acc
+			// The pinned source gets fresher at later time points, so the
 			// "no optional replicas" combination is no longer a dominated
 			// pure-base delay — keep it.
 			skipAllBase = false
 			continue
 		}
-		base[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessBase}
-		if v, ok := replicaVersionAt(ts.Replica, t); ok {
-			reps = append(reps, replicated{idx: i, freshness: v})
+		for _, src := range sources {
+			switch src.Kind() {
+			case AccessBase:
+				base[i] = src.Access(t)
+			case AccessReplica:
+				if v, ok := src.VersionAt(t); ok {
+					reps = append(reps, replicated{idx: i, freshness: v, src: src})
+				}
+			}
 		}
 	}
 	sort.SliceStable(reps, func(a, b int) bool { return reps[a].freshness < reps[b].freshness })
@@ -270,12 +295,7 @@ func (p *Planner) combinationsAt(states []TableState, t Time, full, skipAllBase 
 		access := make([]TableAccess, len(base))
 		copy(access, base)
 		for _, r := range replicaSet {
-			access[r.idx] = TableAccess{
-				Table:     states[r.idx].ID,
-				Site:      states[r.idx].Site,
-				Kind:      AccessReplica,
-				Freshness: r.freshness,
-			}
+			access[r.idx] = r.src.Access(r.freshness)
 		}
 		return access
 	}
@@ -295,30 +315,34 @@ func (p *Planner) combinationsAt(states []TableState, t Time, full, skipAllBase 
 			}
 			out = append(out, assignment(subset))
 		}
-		return out
-	}
-	// Prefix chain: k oldest replicas demoted to base, the rest kept.
-	for k := 0; k <= len(reps); k++ {
-		if skipAllBase && k == len(reps) {
-			continue
+	} else {
+		// Prefix chain: k oldest replicas demoted to base, the rest kept.
+		for k := 0; k <= len(reps); k++ {
+			if skipAllBase && k == len(reps) {
+				continue
+			}
+			out = append(out, assignment(reps[k:]))
 		}
-		out = append(out, assignment(reps[k:]))
+	}
+	for _, va := range views {
+		out = append(out, []TableAccess{va})
 	}
 	return out
 }
 
 // availableSeed builds the scatter seed: base access everywhere a site is
-// up, the freshest available replica where it is down. When a down table
-// only gains its first replica at a future sync, the seed start slides
-// forward to that instant; past the horizon (or with no replica at all)
-// planning fails with SiteUnavailableError.
-func availableSeed(states []TableState, now, end Time) ([]TableAccess, Time, error) {
+// up, the freshest available local source (replica or view) where it is
+// down. When a down table only gains its first local version at a future
+// sync, the seed start slides forward to that instant; past the horizon
+// (or with no local source at all) planning fails with
+// SiteUnavailableError.
+func availableSeed(q Query, states []TableState, now, end Time) ([]TableAccess, Time, error) {
 	start := now
 	for _, ts := range states {
 		if !ts.BaseDown {
 			continue
 		}
-		at, ok := earliestReplicaAt(ts.Replica, now)
+		at, ok := earliestLocalAt(ts.LocalSources(q), now)
 		if !ok || at > end {
 			return nil, 0, &SiteUnavailableError{Table: ts.ID, Site: ts.Site}
 		}
@@ -329,8 +353,8 @@ func availableSeed(states []TableState, now, end Time) ([]TableAccess, Time, err
 	access := make([]TableAccess, len(states))
 	for i, ts := range states {
 		if ts.BaseDown {
-			v, _ := replicaVersionAt(ts.Replica, start)
-			access[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessReplica, Freshness: v}
+			acc, _ := bestLocalAt(ts.LocalSources(q), start)
+			access[i] = acc
 			continue
 		}
 		access[i] = TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessBase}
@@ -361,28 +385,37 @@ func earliestReplicaAt(rs *ReplicaState, now Time) (Time, bool) {
 }
 
 // exhaustive enumerates every combination of table versions. Each table
-// contributes: its base table, its current replica (if synchronized by
-// now), and one option per scheduled future synchronization within the
-// horizon. The plan start time is the latest freshness among chosen future
-// replicas (never earlier than now).
+// contributes one option per version of every usable data source: the base
+// table, the current replica or view (if synchronized by now), and one per
+// scheduled future synchronization within the horizon. The plan start time
+// is the latest freshness among chosen future versions (never earlier than
+// now). View options appear only for single-table queries, since a view
+// answers its covered query whole.
 func (p *Planner) exhaustive(q Query, states []TableState, now Time, stats *SearchStats) (Plan, SearchStats, error) {
 	end := p.horizonEnd(now)
 	options := make([][]TableAccess, len(states))
 	total := 1
 	for i, ts := range states {
 		var opts []TableAccess
-		if !ts.BaseDown {
-			opts = append(opts, TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessBase})
-		}
-		if v, ok := replicaVersionAt(ts.Replica, now); ok {
-			opts = append(opts, TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessReplica, Freshness: v})
-		}
-		if ts.Replica != nil {
-			for _, n := range ts.Replica.NextSyncs {
-				if n <= now || n > end {
+		for _, src := range ts.Sources(q) {
+			switch src.Kind() {
+			case AccessBase:
+				if ts.BaseDown {
 					continue
 				}
-				opts = append(opts, TableAccess{Table: ts.ID, Site: ts.Site, Kind: AccessReplica, Freshness: n})
+				opts = append(opts, src.Access(now))
+			case AccessView:
+				if len(states) != 1 {
+					continue
+				}
+				fallthrough
+			default:
+				if v, ok := src.VersionAt(now); ok {
+					opts = append(opts, src.Access(v))
+				}
+				for _, n := range src.EventsWithin(now, end) {
+					opts = append(opts, src.Access(n))
+				}
 			}
 		}
 		if len(opts) == 0 {
@@ -412,7 +445,7 @@ func (p *Planner) exhaustive(q Query, states []TableState, now Time, stats *Sear
 		for _, opt := range options[i] {
 			access[i] = opt
 			next := start
-			if opt.Kind == AccessReplica && opt.Freshness > next {
+			if opt.Kind != AccessBase && opt.Freshness > next {
 				next = opt.Freshness
 			}
 			rec(i+1, next)
@@ -425,15 +458,13 @@ func (p *Planner) exhaustive(q Query, states []TableState, now Time, stats *Sear
 }
 
 // syncEventsWithin collects the distinct future synchronization completion
-// times of all replicated tables in (after, until], ascending.
-func syncEventsWithin(states []TableState, after, until Time) []Time {
+// times of every local data source usable by q — replicas and covering
+// views — in (after, until], ascending.
+func syncEventsWithin(q Query, states []TableState, after, until Time) []Time {
 	set := make(map[Time]bool)
 	for _, ts := range states {
-		if ts.Replica == nil {
-			continue
-		}
-		for _, n := range ts.Replica.NextSyncs {
-			if n > after && n <= until {
+		for _, src := range ts.LocalSources(q) {
+			for _, n := range src.EventsWithin(after, until) {
 				set[n] = true
 			}
 		}

@@ -51,6 +51,11 @@ type CountModel struct {
 	// remote servers".
 	TransmitFlat    core.Duration
 	TransmitPerBase core.Duration
+	// ViewProcess is the processing time of a plan answered entirely from a
+	// materialized view: the answer is pre-joined and pre-aggregated, so
+	// serving it skips local evaluation. It replaces LocalProcess for
+	// all-view plans. The zero default prices a view read as a free lookup.
+	ViewProcess core.Duration
 	// QueryWeights optionally scales processing per query ID (default 1),
 	// so a workload can mix cheap and expensive queries.
 	QueryWeights map[string]float64
@@ -69,15 +74,20 @@ func Figure4Model() *CountModel {
 
 // Estimate implements core.CostModel.
 func (m *CountModel) Estimate(q core.Query, access []core.TableAccess, start core.Time) core.CostEstimate {
-	bases, sites := remoteFootprint(access)
+	fp := sourceFootprint(access)
+	bases, sites := fp.Bases, fp.Sites
 	w := 1.0
 	if m.QueryWeights != nil {
 		if qw, ok := m.QueryWeights[q.ID]; ok {
 			w = qw
 		}
 	}
+	local := m.LocalProcess
+	if fp.AllViews() {
+		local = m.ViewProcess
+	}
 	est := core.CostEstimate{
-		Process: w * (m.LocalProcess + m.PerBaseTable*core.Duration(bases) + m.PerExtraSite*core.Duration(max(0, sites-1))),
+		Process: w * (local + m.PerBaseTable*core.Duration(bases) + m.PerExtraSite*core.Duration(max(0, sites-1))),
 	}
 	if bases > 0 {
 		est.Transmit = m.TransmitFlat + m.TransmitPerBase*core.Duration(bases)
@@ -97,9 +107,11 @@ type WeightedModel struct {
 	// it is read remotely; DefaultWeight covers unlisted tables.
 	TableWeights  map[core.TableID]core.Duration
 	DefaultWeight core.Duration
-	// PerExtraSite, TransmitFlat and Queue behave as in CountModel.
+	// PerExtraSite, TransmitFlat, ViewProcess and Queue behave as in
+	// CountModel.
 	PerExtraSite core.Duration
 	TransmitFlat core.Duration
+	ViewProcess  core.Duration
 	Queue        QueueEstimator
 }
 
@@ -107,16 +119,22 @@ var _ core.CostModel = (*WeightedModel)(nil)
 
 // Estimate implements core.CostModel.
 func (m *WeightedModel) Estimate(q core.Query, access []core.TableAccess, start core.Time) core.CostEstimate {
-	bases, sites := remoteFootprint(access)
+	fp := sourceFootprint(access)
+	bases, sites := fp.Bases, fp.Sites
 	process := m.LocalProcess
+	if fp.AllViews() {
+		process = m.ViewProcess
+	}
 	for _, a := range access {
-		if a.Kind != core.AccessBase {
-			continue
-		}
-		if w, ok := m.TableWeights[a.Table]; ok {
-			process += w
-		} else {
-			process += m.DefaultWeight
+		switch a.Kind {
+		case core.AccessBase:
+			if w, ok := m.TableWeights[a.Table]; ok {
+				process += w
+			} else {
+				process += m.DefaultWeight
+			}
+		case core.AccessReplica, core.AccessView:
+			// Served locally: no remote weight.
 		}
 	}
 	process += m.PerExtraSite * core.Duration(max(0, sites-1))
@@ -188,32 +206,78 @@ func (m *CalibratedModel) Len() int {
 
 // Estimate implements core.CostModel: calibration hit first, else fallback.
 func (m *CalibratedModel) Estimate(q core.Query, access []core.TableAccess, start core.Time) core.CostEstimate {
-	var bases []core.TableID
-	for _, a := range access {
-		if a.Kind == core.AccessBase {
-			bases = append(bases, a.Table)
-		}
-	}
-	if est, ok := m.Lookup(q.ID, bases); ok {
+	m.mu.RLock()
+	est, ok := m.entries[ConfigKeyForAccess(q.ID, access)]
+	m.mu.RUnlock()
+	if ok {
 		return est
 	}
 	return m.fallback.Estimate(q, access, start)
 }
 
-// remoteFootprint counts remote base tables and distinct remote sites.
-func remoteFootprint(access []core.TableAccess) (bases, sites int) {
-	seen := make(map[core.SiteID]bool)
+// ConfigKeyForAccess canonically names the data-source configuration of an
+// access set: remote base tables by name plus materialized views under
+// their namespaced unit ("view:<id>"). Replica reads don't enter the key —
+// a replica answers like its base table, only staler. For plans without
+// views the key equals ConfigKey over the plan's base tables, so existing
+// calibration snapshots keep matching.
+func ConfigKeyForAccess(queryID string, access []core.TableAccess) string {
+	var names []string
 	for _, a := range access {
-		if a.Kind != core.AccessBase {
-			continue
-		}
-		bases++
-		if !seen[a.Site] {
-			seen[a.Site] = true
-			sites++
+		switch a.Kind {
+		case core.AccessBase:
+			names = append(names, string(a.Table))
+		case core.AccessView:
+			names = append(names, string(core.ViewUnit(a.View)))
+		case core.AccessReplica:
+			// Local replica read: same plan shape as all-replica.
 		}
 	}
-	return bases, sites
+	sort.Strings(names)
+	return queryID + "|" + strings.Join(names, ",")
+}
+
+// RecordAccess stores a measured cost under the access set's configuration
+// key, the write-side twin of the Estimate lookup.
+func (m *CalibratedModel) RecordAccess(queryID string, access []core.TableAccess, est core.CostEstimate) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries[ConfigKeyForAccess(queryID, access)] = est
+}
+
+// Footprint summarizes the data sources of one access set.
+type Footprint struct {
+	Bases int // remote base-table reads
+	Sites int // distinct remote sites
+	Local int // local replica reads
+	Views int // materialized-view reads
+}
+
+// AllViews reports whether every access is served from a materialized
+// view (and there is at least one).
+func (f Footprint) AllViews() bool {
+	return f.Views > 0 && f.Bases == 0 && f.Local == 0
+}
+
+// sourceFootprint counts each access by its data-source kind.
+func sourceFootprint(access []core.TableAccess) Footprint {
+	var fp Footprint
+	seen := make(map[core.SiteID]bool)
+	for _, a := range access {
+		switch a.Kind {
+		case core.AccessBase:
+			fp.Bases++
+			if !seen[a.Site] {
+				seen[a.Site] = true
+				fp.Sites++
+			}
+		case core.AccessReplica:
+			fp.Local++
+		case core.AccessView:
+			fp.Views++
+		}
+	}
+	return fp
 }
 
 // calibrationFile is the JSON shape calibration snapshots serialize to.

@@ -7,11 +7,13 @@ import (
 	"ivdss/internal/replication"
 )
 
-// Catalog combines table placement with replication state into the
-// snapshot the IVQP planner consumes.
+// Catalog combines table placement, replication state, and the
+// materialized-view directory into the snapshot the IVQP planner consumes:
+// per table, every data source the plan space enumerates.
 type Catalog struct {
 	placement *Placement
 	replicas  *replication.Manager
+	views     viewRegistry
 }
 
 // NewCatalog wires a placement to a replication manager. Every table the
@@ -47,6 +49,7 @@ func (c *Catalog) Snapshot(tables []core.TableID, now core.Time, horizon core.Du
 			ID:      id,
 			Site:    site,
 			Replica: c.replicas.StateFor(id, now, horizon),
+			Views:   c.viewStatesFor(id, now, horizon),
 		}
 	}
 	return out, nil

@@ -15,6 +15,16 @@ import (
 	"ivdss/internal/wall"
 )
 
+// SyncBucket is the engine's slice of the shared sync-bandwidth budget: a
+// post-paid token bucket where Debt reports outstanding overdraw (zero
+// means spending is allowed) and Charge post-pays a payload's bytes.
+// *replsync.Bucket implements it; the indirection keeps federation from
+// importing replsync, whose clockwork depends on the scheduler.
+type SyncBucket interface {
+	Debt() float64
+	Charge(bytes int64)
+}
+
 // Site is an in-process remote server holding base tables. The live TCP
 // deployment (internal/server) exposes the same data over the wire; the
 // engine here is the embedded equivalent used by examples, tests and
@@ -58,6 +68,13 @@ type Engine struct {
 	catalog  *Catalog
 	sites    map[core.SiteID]*Site
 	replicas map[core.TableID]*relation.Table
+	// views holds each materialized view's current answer table,
+	// installed by the view maintenance pipeline.
+	views map[core.ViewID]*relation.Table
+	// bucket, when set, is the shared sync-bandwidth bucket replica
+	// refreshes charge — the same one the sync agent draws on, so
+	// pre-warming replica-access plans cannot exceed the sync budget.
+	bucket SyncBucket
 	// netDelay simulates the network cost of each remote base-table
 	// access; in-process sites are otherwise as fast as local replicas,
 	// which would hide the federation trade-off the planner reasons about.
@@ -78,6 +95,7 @@ func NewEngine(catalog *Catalog) (*Engine, error) {
 		catalog:  catalog,
 		sites:    make(map[core.SiteID]*Site),
 		replicas: make(map[core.TableID]*relation.Table),
+		views:    make(map[core.ViewID]*relation.Table),
 		execOpts: sqlmini.Options{Cache: sqlmini.NewExecCache()},
 	}
 	catalog.Replication().OnSync(func(ev replication.SyncEvent) {
@@ -127,7 +145,31 @@ func (e *Engine) Distribute(tables map[string]*relation.Table) error {
 	return nil
 }
 
-// refreshReplica snapshots the base table into the local replica store.
+// SetSyncBucket routes the engine's replica-refresh bytes through the
+// given shared bandwidth bucket (the one the sync agent charges), so all
+// byte movers respect one sync budget. Nil (the default) is unlimited.
+func (e *Engine) SetSyncBucket(b SyncBucket) { e.bucket = b }
+
+// InstallView installs (or replaces) a materialized view's current answer
+// table. The view maintenance pipeline calls this after each refresh;
+// AccessView plans read the installed table.
+func (e *Engine) InstallView(id core.ViewID, t *relation.Table) {
+	e.views[id] = t
+}
+
+// View returns the current answer table of a materialized view.
+func (e *Engine) View(id core.ViewID) (*relation.Table, error) {
+	t, ok := e.views[id]
+	if !ok {
+		return nil, fmt.Errorf("federation: no materialized answer for view %s", id)
+	}
+	return t, nil
+}
+
+// refreshReplica snapshots the base table into the local replica store,
+// charging the payload against the shared sync bucket. A bucket in debt
+// defers the refresh — the previous snapshot stays in place and the next
+// sync event retries — so pre-warming cannot exceed the sync budget.
 func (e *Engine) refreshReplica(id core.TableID) error {
 	site, err := e.catalog.Placement().SiteOf(id)
 	if err != nil {
@@ -141,7 +183,16 @@ func (e *Engine) refreshReplica(id core.TableID) error {
 	if err != nil {
 		return err
 	}
-	e.replicas[id] = t.Clone()
+	if e.bucket != nil {
+		if debt := e.bucket.Debt(); debt > 0 {
+			return fmt.Errorf("federation: replica %s refresh deferred: sync budget in debt %.0f bytes", id, debt)
+		}
+	}
+	snap := t.Clone()
+	if e.bucket != nil {
+		e.bucket.Charge(snap.SizeBytes())
+	}
+	e.replicas[id] = snap
 	return nil
 }
 
@@ -177,6 +228,11 @@ func (pc *planCatalog) Table(name string) (*relation.Table, error) {
 	switch a.Kind {
 	case core.AccessReplica:
 		return pc.engine.Replica(id)
+	case core.AccessView:
+		// A view materializes a whole query's answer, never a base table's
+		// rows: view plans bypass SQL execution in ExecutePlanContext, so a
+		// per-table view lookup here means the plan was malformed.
+		return nil, fmt.Errorf("federation: view %s cannot serve table %s inside a multi-source plan", a.View, id)
 	case core.AccessBase:
 		s, ok := pc.engine.sites[a.Site]
 		if !ok {
@@ -210,6 +266,11 @@ func (e *Engine) ExecutePlan(sql string, plan core.Plan) (*relation.Table, error
 // (including their simulated network delay) and the executor's row loops
 // all stop promptly once the context ends, returning its cause.
 func (e *Engine) ExecutePlanContext(ctx context.Context, sql string, plan core.Plan) (*relation.Table, error) {
+	if va, ok := plan.ViewAccess(); ok {
+		// The view already materializes the query's full answer: serve it
+		// directly instead of re-running the SQL.
+		return e.View(va.View)
+	}
 	access := make(map[core.TableID]core.TableAccess, len(plan.Access))
 	for _, a := range plan.Access {
 		access[a.Table] = a

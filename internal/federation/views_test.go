@@ -1,0 +1,203 @@
+package federation
+
+import (
+	"testing"
+
+	"ivdss/internal/core"
+	"ivdss/internal/relation"
+	"ivdss/internal/replication"
+	"ivdss/internal/replsync"
+	"ivdss/internal/scheduler"
+)
+
+func TestRegisterView(t *testing.T) {
+	catalog, _, _ := buildTestWorld(t)
+	def := core.ViewDef{
+		ID:      "exposure",
+		QueryID: "q-exposure",
+		Table:   "trades",
+		SQL:     "SELECT t_account, sum(t_amount) FROM trades GROUP BY t_account",
+	}
+	if err := catalog.RegisterView(def); err != nil {
+		t.Fatalf("RegisterView: %v", err)
+	}
+	if err := catalog.RegisterView(def); err == nil {
+		t.Error("duplicate view ID accepted")
+	}
+	if _, ok := catalog.View("exposure"); !ok {
+		t.Error("View lookup failed after registration")
+	}
+	if got := catalog.Views(); len(got) != 1 || got[0].ID != "exposure" {
+		t.Errorf("Views() = %v", got)
+	}
+
+	bad := []core.ViewDef{
+		{ID: "j", QueryID: "q", Table: "trades",
+			SQL: "SELECT t_account FROM trades JOIN accounts ON t_account = a_id"}, // join
+		{ID: "m", QueryID: "q", Table: "accounts",
+			SQL: "SELECT t_account FROM trades"}, // table mismatch
+		{ID: "u", QueryID: "q", Table: "ghost",
+			SQL: "SELECT x FROM ghost"}, // unplaced table
+		{ID: "p", QueryID: "q", Table: "trades",
+			SQL: "SELEC broken"}, // parse error
+	}
+	for _, def := range bad {
+		if err := catalog.RegisterView(def); err == nil {
+			t.Errorf("view %s: invalid definition accepted", def.ID)
+		}
+	}
+
+	catalog.DropView("exposure")
+	if _, ok := catalog.View("exposure"); ok {
+		t.Error("View lookup succeeded after DropView")
+	}
+}
+
+func TestSnapshotAttachesViewStates(t *testing.T) {
+	catalog, _, mgr := buildTestWorld(t)
+	if err := catalog.RegisterView(core.ViewDef{
+		ID:      "exposure",
+		QueryID: "q-exposure",
+		Table:   "accounts",
+		SQL:     "SELECT a_id, sum(a_balance) FROM accounts GROUP BY a_id",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Not yet registered as a sync unit: no planner state.
+	snap, err := catalog.Snapshot([]core.TableID{"accounts"}, 12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap[0].Views) != 0 {
+		t.Fatalf("unsynced view got planner state: %v", snap[0].Views)
+	}
+
+	// Register the view's unit and complete one refresh.
+	unit := core.ViewUnit("exposure")
+	if err := mgr.Register(unit, replication.Schedule{Times: []core.Time{5, 15, 25}}); err != nil {
+		t.Fatal(err)
+	}
+	mgr.Advance(5)
+	snap, err = catalog.Snapshot([]core.TableID{"accounts"}, 12, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap[0].Views) != 1 {
+		t.Fatalf("Views = %v, want one state", snap[0].Views)
+	}
+	vs := snap[0].Views[0]
+	if vs.ID != "exposure" || vs.QueryID != "q-exposure" {
+		t.Errorf("view state identity = %+v", vs)
+	}
+	if vs.LastSync != 5 {
+		t.Errorf("LastSync = %v, want 5", vs.LastSync)
+	}
+	if len(vs.NextSyncs) != 2 || vs.NextSyncs[0] != 15 {
+		t.Errorf("NextSyncs = %v", vs.NextSyncs)
+	}
+	if err := (core.TableState{ID: "accounts", Views: snap[0].Views}).Validate(); err != nil {
+		t.Errorf("snapshot state invalid: %v", err)
+	}
+}
+
+func TestExecutePlanViewBypass(t *testing.T) {
+	_, engine, _ := buildTestWorld(t)
+	answer := relation.NewTable("result", relation.MustSchema(
+		relation.Column{Name: "t_account", Type: relation.Int},
+		relation.Column{Name: "sum(t_amount)", Type: relation.Float},
+	))
+	answer.MustInsert(relation.Row{relation.IntVal(1), relation.FloatVal(35)})
+	engine.InstallView("exposure", answer)
+
+	q := core.Query{ID: "q-exposure", Tables: []core.TableID{"trades"}, BusinessValue: 1}
+	plan := core.Plan{Query: q, Access: []core.TableAccess{
+		{Table: "trades", Site: 2, Kind: core.AccessView, Freshness: 3, View: "exposure"},
+	}}
+	// The SQL is deliberately unexecutable: a view plan must not re-run it.
+	out, err := engine.ExecutePlan("SELECT broken FROM nowhere", plan)
+	if err != nil {
+		t.Fatalf("view plan execution: %v", err)
+	}
+	if out != answer {
+		t.Error("view plan did not serve the installed answer table")
+	}
+
+	// A view access mixed into a multi-source plan is malformed.
+	mixed := core.Plan{Query: q, Access: []core.TableAccess{
+		{Table: "trades", Site: 2, Kind: core.AccessView, Freshness: 3, View: "exposure"},
+		{Table: "accounts", Site: 1, Kind: core.AccessBase},
+	}}
+	if _, err := engine.ExecutePlan("SELECT t_account FROM trades, accounts", mixed); err == nil {
+		t.Error("multi-source plan with a view access accepted")
+	}
+
+	// Unknown view.
+	missing := core.Plan{Query: q, Access: []core.TableAccess{
+		{Table: "trades", Site: 2, Kind: core.AccessView, View: "nope"},
+	}}
+	if _, err := engine.ExecutePlan("SELECT 1 FROM trades", missing); err == nil {
+		t.Error("uninstalled view served")
+	}
+}
+
+// TestRefreshReplicaSharedBucket pins the satellite fix: replica
+// pre-warming charges the shared sync bucket, and a bucket in debt defers
+// the refresh instead of overdrawing the -sync-budget.
+func TestRefreshReplicaSharedBucket(t *testing.T) {
+	placement, err := NewPlacement(map[core.TableID]core.SiteID{"accounts": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := replication.NewManager()
+	if err := mgr.Register("accounts", replication.Schedule{Times: []core.Time{0, 10, 20, 30}}); err != nil {
+		t.Fatal(err)
+	}
+	catalog, err := NewCatalog(placement, mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(catalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	accounts := relation.NewTable("accounts", relation.MustSchema(
+		relation.Column{Name: "a_id", Type: relation.Int},
+		relation.Column{Name: "a_balance", Type: relation.Float},
+	))
+	accounts.MustInsert(relation.Row{relation.IntVal(1), relation.FloatVal(100)})
+	accounts.MustInsert(relation.Row{relation.IntVal(2), relation.FloatVal(250)})
+	if err := engine.Distribute(map[string]*relation.Table{"accounts": accounts}); err != nil {
+		t.Fatal(err)
+	}
+
+	clk := &scheduler.ManualClock{}
+	bucket, err := replsync.NewBucket(clk, 10, 40) // 10 B/min, burst 40
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine.SetSyncBucket(bucket)
+
+	mgr.Advance(0) // 2 rows × 16 B = 32 B charged; 8 tokens left
+	if r, _ := engine.Replica("accounts"); r.NumRows() != 2 {
+		t.Fatal("first refresh did not install the snapshot")
+	}
+
+	accounts.MustInsert(relation.Row{relation.IntVal(3), relation.FloatVal(5)})
+	mgr.Advance(10) // 48 B charged from 8 tokens: bucket goes to -40
+	if r, _ := engine.Replica("accounts"); r.NumRows() != 3 {
+		t.Fatal("second refresh should still pass (post-paid bucket)")
+	}
+
+	accounts.MustInsert(relation.Row{relation.IntVal(4), relation.FloatVal(7)})
+	mgr.Advance(20) // bucket in debt: refresh defers, snapshot stays
+	if r, _ := engine.Replica("accounts"); r.NumRows() != 3 {
+		t.Fatal("refresh proceeded while the shared bucket was in debt")
+	}
+
+	clk.RunUntil(10) // refill: 10 min × 10 B/min clears the 40 B debt
+	mgr.Advance(30)
+	if r, _ := engine.Replica("accounts"); r.NumRows() != 4 {
+		t.Fatal("refresh did not resume after the bucket refilled")
+	}
+}

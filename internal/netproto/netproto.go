@@ -82,6 +82,18 @@ type Request struct {
 	// the version is the count of rows ever inserted and the delta is the
 	// suffix beyond it.
 	Cursor uint64
+	// Filter, for KindSnapshot and KindDelta, asks the site to drop rows
+	// failing this predicate (a SQL boolean expression over the base
+	// table's bare column names) before they cross the wire. Views with a
+	// selective WHERE use it so only relevant deltas are shipped. Empty
+	// means ship every row. Versions and cursors still count base rows, so
+	// filtered and unfiltered pulls share one cursor space.
+	Filter string
+	// Columns, for KindSnapshot and KindDelta, restricts shipped rows to
+	// these base columns (in this order). Nil means ship every column.
+	// Like Filter, a pure byte optimization: the view's delta program
+	// accepts either projection.
+	Columns []string
 	// TimeoutMillis is the caller's remaining deadline budget, carried on
 	// the wire so the server can bound its own work (and its downstream
 	// calls) by what the client will still wait for. Zero means no
@@ -140,6 +152,27 @@ type ReplicaStatus struct {
 	Cursor uint64
 }
 
+// ViewStatus describes one materialized view in a KindStatus response.
+type ViewStatus struct {
+	View    string // view ID
+	QueryID string // the query whose answer the view materializes
+	Table   string // base table the view is maintained over
+	Site    int    // site holding that base table
+	// LastSyncMinutes is the experiment-time of the last completed refresh;
+	// negative when the view has never materialized.
+	LastSyncMinutes  float64
+	StalenessMinutes float64
+	// NextSyncMinutes is the experiment-time of the next scheduled refresh;
+	// negative when none is scheduled.
+	NextSyncMinutes float64
+	// PeriodMinutes is the refresh period currently in force.
+	PeriodMinutes float64
+	// Cursor counts the base-table rows the view's state reflects.
+	Cursor uint64
+	// Rows is the current size of the materialized answer.
+	Rows int
+}
+
 // BatchItem is one KindBatch member's outcome, aligned with the request's
 // Batch slice.
 type BatchItem struct {
@@ -168,6 +201,7 @@ type Response struct {
 	Result      *relation.Table
 	Meta        *ReportMeta
 	Replicas    []ReplicaStatus
+	Views       []ViewStatus
 	Sites       []SiteStatus
 	Metrics     map[string]float64
 	Batch       []BatchItem

@@ -47,6 +47,11 @@ type Config struct {
 	Budget float64
 	// Burst caps accumulated budget. Default 5 minutes' worth.
 	Burst float64
+	// Bucket, when set, is the shared token bucket the agent charges
+	// instead of building a private one from Budget/Burst — so other
+	// byte movers (the federation engine's replica pre-warming) draw
+	// from the same -sync-budget.
+	Bucket *Bucket
 	// MirrorSyncs is how many upcoming syncs are mirrored into the Manager
 	// per table (the planner's delayed-execution lookahead). Default 4.
 	MirrorSyncs int
@@ -117,9 +122,8 @@ type Agent struct {
 	started bool
 	stopped bool
 
-	// Token-bucket bandwidth budget, in bytes over experiment time.
-	tokens     float64
-	lastRefill core.Time
+	// bucket is the bandwidth budget; nil means unlimited.
+	bucket *Bucket
 
 	// rateBudget is Σ 1/period at construction — the total sync rate the
 	// adaptive controller re-divides but never exceeds.
@@ -206,14 +210,15 @@ func New(cfg Config) (*Agent, error) {
 			return nil, fmt.Errorf("replsync: invalid period clamp [%v, %v]", a.cfg.MinPeriod, a.cfg.MaxPeriod)
 		}
 	}
-	if cfg.Budget > 0 {
-		if a.cfg.Burst == 0 {
-			a.cfg.Burst = 5 * cfg.Budget
+	a.bucket = cfg.Bucket
+	if a.bucket == nil && cfg.Budget > 0 {
+		b, err := NewBucket(cfg.Clock, cfg.Budget, cfg.Burst)
+		if err != nil {
+			return nil, err
 		}
-		a.tokens = a.cfg.Burst
+		a.bucket = b
 	}
-	a.lastRefill = cfg.Clock.Now()
-	a.lossAt = a.lastRefill
+	a.lossAt = cfg.Clock.Now()
 	a.placeLeft = a.cfg.PlaceEvery
 
 	// Pre-create the counters so a metrics dump shows zeros before the
@@ -222,6 +227,8 @@ func New(cfg Config) (*Agent, error) {
 		"syncs_total", "snapshot_syncs_total", "delta_syncs_total",
 		"sync_bytes_total", "sync_deferred_total", "sync_errors_total",
 		"cadence_adjustments_total", "replicas_promoted_total", "replicas_demoted_total",
+		"views_materialized_total", "view_delta_rows_total",
+		"view_delta_bytes_total", "view_refresh_deferred_total",
 	} {
 		a.stats.Counter(name) //lint:allow metriccheck(pre-creation loop over the literal names listed just above)
 	}
@@ -278,9 +285,22 @@ func (a *Agent) RefreshStaleness() {
 	}
 }
 
-// stalenessGauge is the per-table staleness metric name.
+// stalenessGauge is the per-unit staleness metric name: replicas report
+// under replica_staleness_seconds_<table>, materialized views under
+// view_staleness_seconds_<view>.
 func stalenessGauge(id core.TableID) string {
+	if vid, ok := core.ViewOfUnit(id); ok {
+		return "view_staleness_seconds_" + string(vid)
+	}
 	return "replica_staleness_seconds_" + string(id)
+}
+
+// countViewDeferral bumps the view deferral counter when the deferred unit
+// is a materialized view.
+func (a *Agent) countViewDeferral(id core.TableID) {
+	if _, ok := core.ViewOfUnit(id); ok {
+		a.stats.Counter("view_refresh_deferred_total").Inc()
+	}
 }
 
 // SyncNow runs one synchronous cycle for the table — the initial snapshot
@@ -350,17 +370,6 @@ func (a *Agent) armLocked(ts *tableState, now core.Time, delay core.Duration) {
 	a.cfg.Clock.AfterFunc(delay, func() { a.tick(id, gen) })
 }
 
-// refillLocked accrues bandwidth tokens up to the burst cap.
-func (a *Agent) refillLocked(now core.Time) {
-	if a.cfg.Budget <= 0 {
-		return
-	}
-	if dt := float64(now - a.lastRefill); dt > 0 {
-		a.tokens = math.Min(a.cfg.Burst, a.tokens+dt*a.cfg.Budget)
-	}
-	a.lastRefill = now
-}
-
 // tick runs one scheduled cycle: budget check, then fetch/apply.
 func (a *Agent) tick(id core.TableID, gen uint64) {
 	a.mu.Lock()
@@ -370,15 +379,15 @@ func (a *Agent) tick(id core.TableID, gen uint64) {
 		return
 	}
 	now := a.cfg.Clock.Now()
-	a.refillLocked(now)
-	if a.cfg.Budget > 0 && a.tokens < 0 {
+	if debt := a.bucket.Debt(); debt > 0 {
 		// The bucket is in debt from an earlier payload: defer until it
 		// refills instead of overdrawing further. The deferral is a cycle
 		// outcome, not a retry loop.
-		wait := -a.tokens / a.cfg.Budget
+		wait := debt / a.bucket.Rate()
 		a.stats.Counter("sync_deferred_total").Inc()
+		a.countViewDeferral(id)
 		ev := Event{Table: id, At: now, Kind: DeferredSync,
-			Err: fmt.Errorf("replsync: bandwidth budget exhausted (debt %.0f bytes)", -a.tokens)}
+			Err: fmt.Errorf("replsync: bandwidth budget exhausted (debt %.0f bytes)", debt)}
 		a.armLocked(ts, now, wait*1.0001+1e-9)
 		a.mu.Unlock()
 		a.emit(ev)
@@ -455,6 +464,7 @@ func (a *Agent) perform(id core.TableID, gen uint64, cursor uint64, have, rearm 
 			// breaker half-opens, the next cycle doubles as its probe.
 			kind = DeferredSync
 			a.stats.Counter("sync_deferred_total").Inc()
+			a.countViewDeferral(id)
 		} else {
 			a.stats.Counter("sync_errors_total").Inc()
 		}
@@ -468,16 +478,21 @@ func (a *Agent) perform(id core.TableID, gen uint64, cursor uint64, have, rearm 
 	ts.cursor = version
 	ts.haveSnapshot = true
 	ts.lastSync = now
-	if a.cfg.Budget > 0 {
-		a.refillLocked(now)
-		a.tokens -= float64(bytes)
-	}
+	a.bucket.Charge(bytes)
 	a.stats.Counter("syncs_total").Inc()
 	a.stats.Counter("sync_bytes_total").Add(bytes)
 	if asSnap {
 		a.stats.Counter("snapshot_syncs_total").Inc()
 	} else {
 		a.stats.Counter("delta_syncs_total").Inc()
+	}
+	if _, isView := core.ViewOfUnit(id); isView {
+		if asSnap {
+			a.stats.Counter("views_materialized_total").Inc()
+		} else {
+			a.stats.Counter("view_delta_rows_total").Add(int64(len(delta.Rows)))
+			a.stats.Counter("view_delta_bytes_total").Add(bytes)
+		}
 	}
 	a.stats.Gauge(stalenessGauge(id)).Set(0) //lint:allow metriccheck(per-table gauge family, bounded by the replication plan)
 	if rearm {

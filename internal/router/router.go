@@ -183,6 +183,14 @@ func (r *Router) Route(id string, snapshot []core.TableState, now core.Time) (co
 	byID := make(map[core.TableID]core.TableState, len(snapshot))
 	for _, ts := range snapshot {
 		byID[ts.ID] = ts
+		// A synchronized view covering this query changes the plan space in
+		// a way the precomputed base/replica shapes cannot price: hand the
+		// query back to the full search so the view gets considered.
+		for _, v := range ts.Views {
+			if v.QueryID == id {
+				return core.Plan{}, false
+			}
+		}
 	}
 
 	// Observed worst staleness across the query's replicated tables.

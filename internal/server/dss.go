@@ -33,6 +33,10 @@ type DSSConfig struct {
 	// Replicate lists the tables to replicate locally with their
 	// synchronization periods (wall-clock).
 	Replicate map[core.TableID]time.Duration
+	// Views lists the materialized views to maintain locally. Each covers
+	// one query's full answer and refreshes on base-table deltas filtered
+	// through the view's predicate at the base site.
+	Views []ViewSpec
 	// Rates are the information-value discount rates (per experiment
 	// minute).
 	Rates core.DiscountRates
@@ -215,6 +219,10 @@ type DSSServer struct {
 
 	mu       sync.RWMutex
 	replicas map[core.TableID]replicaSnapshot
+	// views holds the runtime state of every registered materialized view,
+	// keyed by ViewID. The map itself is immutable after construction;
+	// each entry's mutable fields are guarded by mu.
+	views map[core.ViewID]*viewState
 
 	// execOpts carries the configured sqlmini engine plus the server-wide
 	// execution cache (columnar images, hash-join builds).
@@ -336,6 +344,7 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		pool:     netproto.NewPool(cfg.DialTimeout, cfg.DialTimeout),
 		router:   fastRouter,
 		replicas: make(map[core.TableID]replicaSnapshot),
+		views:    make(map[core.ViewID]*viewState),
 		execOpts: sqlmini.Options{Engine: cfg.SQLEngine, Cache: sqlmini.NewExecCache()},
 		closed:   make(chan struct{}),
 	}
@@ -376,6 +385,9 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 			},
 		})
 		s.stats.Gauge(breakerGaugeName(site)).Set(float64(faults.Closed)) //lint:allow metriccheck(per-site gauge family, bounded by cfg.Remotes)
+	}
+	if err := s.registerViews(); err != nil {
+		return nil, err
 	}
 	agent, err := s.newSyncAgent()
 	if err != nil {
@@ -584,7 +596,7 @@ func (s *DSSServer) handleStatus() *netproto.Response {
 		})
 	}
 	sort.Slice(sites, func(i, j int) bool { return sites[i].Site < sites[j].Site })
-	return &netproto.Response{Replicas: out, Sites: sites, Metrics: s.schedulerStatusMetrics()}
+	return &netproto.Response{Replicas: out, Views: s.viewStatuses(now), Sites: sites, Metrics: s.schedulerStatusMetrics()}
 }
 
 // handleRegister pre-computes routing for a query (Section 3.1): plans for

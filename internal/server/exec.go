@@ -158,8 +158,10 @@ func (s *DSSServer) runOne(ctx context.Context, stmt *sqlmini.SelectStmt, q core
 	finish := s.now()
 
 	// Online calibration: record the measured processing cost for this
-	// (query, base-table subset) configuration.
-	s.costs.Record(q.ID, plan.BaseTables(), core.CostEstimate{Process: finish - plan.Start})
+	// (query, data-source configuration) pair. For plans without views the
+	// key reduces to the legacy base-table subset, so saved calibrations
+	// keep matching.
+	s.costs.RecordAccess(q.ID, plan.Access, core.CostEstimate{Process: finish - plan.Start})
 
 	lat := core.Latencies{
 		CL: math.Max(finish-q.SubmitAt, 0),
@@ -169,7 +171,9 @@ func (s *DSSServer) runOne(ctx context.Context, stmt *sqlmini.SelectStmt, q core
 	s.stats.Histogram("report_cl_minutes", latencyBounds).Observe(lat.CL)
 	s.stats.Histogram("report_sl_minutes", latencyBounds).Observe(lat.SL)
 	s.stats.Histogram("report_value", valueBounds).Observe(value)
-	if len(plan.BaseTables()) == 0 {
+	if _, viewPlan := plan.ViewAccess(); viewPlan {
+		s.stats.Counter("plans_view_total").Inc()
+	} else if len(plan.BaseTables()) == 0 {
 		s.stats.Counter("plans_all_replica_total").Inc()
 	} else if len(plan.BaseTables()) == len(plan.Access) {
 		s.stats.Counter("plans_all_base_total").Inc()
@@ -201,6 +205,23 @@ func (s *DSSServer) runOne(ctx context.Context, stmt *sqlmini.SelectStmt, q core
 // actually used, and whether the answer is degraded (a base read fell back
 // to a stale replica because the site was unreachable).
 func (s *DSSServer) executePlan(ctx context.Context, stmt *sqlmini.SelectStmt, plan core.Plan) (*relation.Table, core.Time, bool, error) {
+	// A view plan is the whole answer, already materialized and
+	// pre-aggregated: serve it without re-evaluating the statement. The
+	// copy-on-write refresh discipline makes the returned snapshot stable.
+	if va, ok := plan.ViewAccess(); ok {
+		s.mu.RLock()
+		vs, ok := s.views[va.View]
+		var table *relation.Table
+		var syncedAt core.Time
+		if ok && vs.table != nil {
+			table, syncedAt = vs.table, vs.syncedAt
+		}
+		s.mu.RUnlock()
+		if table == nil {
+			return nil, 0, false, fmt.Errorf("server: no materialized answer for view %s", va.View)
+		}
+		return table, syncedAt, false, nil
+	}
 	cat := make(sqlmini.MapCatalog, len(plan.Access))
 	oldest := math.Inf(1)
 	degraded := false
@@ -260,6 +281,10 @@ func (s *DSSServer) executePlan(ctx context.Context, stmt *sqlmini.SelectStmt, p
 			result.Name = string(a.Table)
 			cat.Add(string(a.Table), result)
 			oldest = math.Min(oldest, fetchedAt)
+		case core.AccessView:
+			// A view materializes a whole answer; the bypass above is the
+			// only valid shape. The planner never emits mixed view plans.
+			return nil, 0, false, fmt.Errorf("server: view %s cannot serve table %s inside a multi-source plan", a.View, a.Table)
 		default:
 			return nil, 0, false, fmt.Errorf("server: invalid access kind %d", int(a.Kind))
 		}

@@ -180,7 +180,9 @@ func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
 	case netproto.KindSnapshot:
 		// A versioned full copy for replication: the version is the row
 		// count, which is a complete change cursor because base tables are
-		// append-only (Insert is the only mutation).
+		// append-only (Insert is the only mutation). A view pull carries a
+		// delta projection (Filter/Columns); the version still counts base
+		// rows so filtered and unfiltered pulls share one cursor space.
 		if err := s.waitScanDelay(ctx); err != nil {
 			return &netproto.Response{Err: err.Error(), Expired: true}
 		}
@@ -194,7 +196,15 @@ func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
 		if !ok {
 			return &netproto.Response{Err: fmt.Sprintf("no table %q", req.Table)}
 		}
-		return &netproto.Response{Result: snapshot, Version: uint64(snapshot.NumRows())}
+		version := uint64(snapshot.NumRows())
+		if req.Filter != "" || req.Columns != nil {
+			shipped, err := projectForWire(ctx, snapshot, snapshot.Rows, req.Filter, req.Columns)
+			if err != nil {
+				return &netproto.Response{Err: err.Error(), Expired: ctx.Err() != nil}
+			}
+			snapshot = shipped
+		}
+		return &netproto.Response{Result: snapshot, Version: version}
 
 	case netproto.KindDelta:
 		// The change set since the caller's cursor: the appended row
@@ -208,6 +218,7 @@ func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
 		t, ok := s.tables[strings.ToLower(req.Table)]
 		var version uint64
 		var rows []relation.Row
+		var schema *relation.Table
 		resync := false
 		if ok {
 			version = uint64(t.NumRows())
@@ -219,11 +230,19 @@ func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
 				for i, r := range tail {
 					rows[i] = r.Clone()
 				}
+				schema = t
 			}
 		}
 		s.mu.RUnlock()
 		if !ok {
 			return &netproto.Response{Err: fmt.Sprintf("no table %q", req.Table)}
+		}
+		if !resync && (req.Filter != "" || req.Columns != nil) {
+			shipped, err := projectForWire(ctx, schema, rows, req.Filter, req.Columns)
+			if err != nil {
+				return &netproto.Response{Err: err.Error(), Expired: ctx.Err() != nil}
+			}
+			rows = shipped.Rows
 		}
 		return &netproto.Response{DeltaRows: rows, Version: version, Resync: resync}
 
@@ -260,6 +279,21 @@ func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
 	default:
 		return &netproto.Response{Err: fmt.Sprintf("unsupported request kind %d", int(req.Kind))}
 	}
+}
+
+// projectForWire applies a view's delta projection — the ViewWire filter
+// and column subset — to candidate rows before they cross the wire, by
+// running the shipping SELECT over a scratch table holding just those
+// rows. The schema (and the query's FROM name) come from the base table.
+func projectForWire(ctx context.Context, base *relation.Table, rows []relation.Row, filter string, columns []string) (*relation.Table, error) {
+	name := strings.ToLower(base.Name)
+	scratch := relation.NewTable(base.Name, base.Schema)
+	scratch.Rows = rows
+	out, err := sqlmini.RunContext(ctx, sqlmini.WireSQL(name, filter, columns), sqlmini.MapCatalog{name: scratch})
+	if err != nil {
+		return nil, fmt.Errorf("server: delta projection on %s: %w", name, err)
+	}
+	return out, nil
 }
 
 // waitScanDelay pauses for the simulated WAN latency, giving up early if

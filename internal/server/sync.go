@@ -23,13 +23,33 @@ import (
 // siteFetcher implements replsync.Fetcher over the wire.
 type siteFetcher struct{ s *DSSServer }
 
+// wireTarget resolves a sync unit to what travels on the wire: a replica
+// unit pulls its own base table whole; a view unit pulls its base table
+// with the view's delta projection (filter + column subset) applied at
+// the base site, so only relevant bytes cross.
+func (f siteFetcher) wireTarget(id core.TableID) (table core.TableID, filter string, columns []string, err error) {
+	if vid, ok := core.ViewOfUnit(id); ok {
+		vs, err := f.s.viewByID(vid)
+		if err != nil {
+			return "", "", nil, err
+		}
+		return vs.def.Table, vs.filter, vs.columns, nil
+	}
+	return id, "", nil, nil
+}
+
 func (f siteFetcher) Snapshot(ctx context.Context, id core.TableID) (replsync.Snapshot, error) {
 	s := f.s
-	site, err := s.catalog.Placement().SiteOf(id)
+	table, filter, columns, err := f.wireTarget(id)
 	if err != nil {
 		return replsync.Snapshot{}, err
 	}
-	resp, err := s.callSite(ctx, site, &netproto.Request{Kind: netproto.KindSnapshot, Table: string(id)})
+	site, err := s.catalog.Placement().SiteOf(table)
+	if err != nil {
+		return replsync.Snapshot{}, err
+	}
+	req := &netproto.Request{Kind: netproto.KindSnapshot, Table: string(table), Filter: filter, Columns: columns}
+	resp, err := s.callSite(ctx, site, req)
 	if err != nil {
 		return replsync.Snapshot{}, err
 	}
@@ -42,11 +62,15 @@ func (f siteFetcher) Snapshot(ctx context.Context, id core.TableID) (replsync.Sn
 
 func (f siteFetcher) Delta(ctx context.Context, id core.TableID, cursor uint64) (replsync.Delta, error) {
 	s := f.s
-	site, err := s.catalog.Placement().SiteOf(id)
+	table, filter, columns, err := f.wireTarget(id)
 	if err != nil {
 		return replsync.Delta{}, err
 	}
-	req := &netproto.Request{Kind: netproto.KindDelta, Table: string(id), Cursor: cursor}
+	site, err := s.catalog.Placement().SiteOf(table)
+	if err != nil {
+		return replsync.Delta{}, err
+	}
+	req := &netproto.Request{Kind: netproto.KindDelta, Table: string(table), Cursor: cursor, Filter: filter, Columns: columns}
 	resp, err := s.callSite(ctx, site, req)
 	if err != nil {
 		return replsync.Delta{}, err
@@ -80,6 +104,9 @@ func rowsBytes(rows []relation.Row) int64 {
 type replicaApplier struct{ s *DSSServer }
 
 func (ap replicaApplier) ApplySnapshot(id core.TableID, snap replsync.Snapshot, at core.Time) error {
+	if vid, ok := core.ViewOfUnit(id); ok {
+		return ap.applyViewSnapshot(vid, snap, at)
+	}
 	if snap.Table == nil {
 		return fmt.Errorf("server: snapshot of %s carried no table", id)
 	}
@@ -93,6 +120,9 @@ func (ap replicaApplier) ApplySnapshot(id core.TableID, snap replsync.Snapshot, 
 }
 
 func (ap replicaApplier) ApplyDelta(id core.TableID, delta replsync.Delta, at core.Time) error {
+	if vid, ok := core.ViewOfUnit(id); ok {
+		return ap.applyViewDelta(vid, delta, at)
+	}
 	s := ap.s
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -119,6 +149,10 @@ func (ap replicaApplier) ApplyDelta(id core.TableID, delta replsync.Delta, at co
 }
 
 func (ap replicaApplier) Drop(id core.TableID) {
+	if vid, ok := core.ViewOfUnit(id); ok {
+		ap.s.dropView(vid)
+		return
+	}
 	s := ap.s
 	s.mu.Lock()
 	delete(s.replicas, id)
@@ -181,26 +215,46 @@ func (p advisorPlacer) Recommend(current []core.TableID) ([]core.TableID, error)
 	if err != nil {
 		return nil, err
 	}
-	// Same replica budget: the review re-places, it does not grow the set.
-	rec, err := adv.RecommendReplicas(queries, s.catalog.Placement(), len(current))
+	// Every registered view competes for sync slots alongside table
+	// replicas: promotion materializes a view the workload would answer
+	// from, demotion drops one that stopped earning its slot.
+	var views []advisor.ViewCandidate
+	for _, def := range s.catalog.Views() {
+		views = append(views, advisor.ViewCandidate{ID: def.ID, QueryID: def.QueryID, Table: def.Table})
+	}
+	// Same sync budget: the review re-places, it does not grow the set.
+	rec, err := adv.RecommendSources(queries, s.catalog.Placement(), views, len(current))
 	if err != nil {
 		return nil, err
 	}
-	if len(rec.Replicas) == 0 {
+	units := rec.Units()
+	if len(units) == 0 {
 		return current, nil
 	}
-	return rec.Replicas, nil
+	return units, nil
 }
 
 // newSyncAgent wires the replication engine for this server's configured
 // replica set. Periods, budget, and the adjust interval convert from
 // wall-clock config to experiment minutes.
 func (s *DSSServer) newSyncAgent() (*replsync.Agent, error) {
-	tables := make([]replsync.TableConfig, 0, len(s.cfg.Replicate))
+	tables := make([]replsync.TableConfig, 0, len(s.cfg.Replicate)+len(s.views))
 	for id, period := range s.cfg.Replicate {
 		tables = append(tables, replsync.TableConfig{
 			ID:     id,
 			Period: period.Seconds() * s.cfg.TimeScale,
+		})
+	}
+	// Views are synchronized units too: same agent, same budget, same
+	// cadence controller — their cycles just ship projected deltas.
+	for _, def := range s.catalog.Views() {
+		vs, err := s.viewByID(def.ID)
+		if err != nil {
+			return nil, err
+		}
+		tables = append(tables, replsync.TableConfig{
+			ID:     core.ViewUnit(def.ID),
+			Period: vs.period.Seconds() * s.cfg.TimeScale,
 		})
 	}
 	cfg := replsync.Config{
@@ -255,17 +309,20 @@ func (s *DSSServer) observeSyncLoss(plan core.Plan, value float64, lat core.Late
 	if s.sync == nil {
 		return
 	}
-	var replicaTables []core.TableID
+	var units []core.TableID
 	for _, a := range plan.Access {
-		if a.Kind == core.AccessReplica {
-			replicaTables = append(replicaTables, a.Table)
+		switch a.Kind {
+		case core.AccessReplica:
+			units = append(units, a.Table)
+		case core.AccessView:
+			units = append(units, core.ViewUnit(a.View))
 		}
 	}
-	if len(replicaTables) == 0 {
+	if len(units) == 0 {
 		return
 	}
 	fresh := core.InformationValue(plan.Query.BusinessValue, core.Latencies{CL: lat.CL}, s.cfg.Rates)
 	if loss := fresh - value; loss > 0 {
-		s.sync.ObserveLoss(replicaTables, loss)
+		s.sync.ObserveLoss(units, loss)
 	}
 }

@@ -88,6 +88,9 @@ type (
 	TableState = core.TableState
 	// ReplicaState describes the local replica of one table.
 	ReplicaState = core.ReplicaState
+	// DataSource is one way a plan can read a table: remote base,
+	// synchronized replica, or materialized view.
+	DataSource = core.DataSource
 	// CostEstimate decomposes a plan's computational latency.
 	CostEstimate = core.CostEstimate
 	// CostModel estimates computational-latency components.
@@ -110,7 +113,32 @@ const (
 	AccessBase = core.AccessBase
 	// AccessReplica reads a synchronized replica at the local DSS server.
 	AccessReplica = core.AccessReplica
+	// AccessView reads an incrementally maintained materialized view at
+	// the local DSS server.
+	AccessView = core.AccessView
 )
+
+// Materialized views.
+type (
+	// ViewID names a materialized view.
+	ViewID = core.ViewID
+	// ViewDef is a view's registered definition: the covered query and the
+	// base table it folds.
+	ViewDef = core.ViewDef
+	// ViewState describes one synchronized view to the planner.
+	ViewState = core.ViewState
+	// ViewSpec configures one materialized view on a live DSS server.
+	ViewSpec = server.ViewSpec
+	// ViewCandidate offers a view to the placement advisor.
+	ViewCandidate = advisor.ViewCandidate
+)
+
+// ViewUnit namespaces a view ID into the synchronized-unit ("view:<id>")
+// space shared with replicated tables.
+func ViewUnit(id ViewID) TableID { return core.ViewUnit(id) }
+
+// ViewOfUnit reports whether a synchronized unit is a view, and which.
+func ViewOfUnit(id TableID) (ViewID, bool) { return core.ViewOfUnit(id) }
 
 // LocalSite is the DSS (federation) server itself.
 const LocalSite = core.LocalSite

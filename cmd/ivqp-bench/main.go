@@ -58,7 +58,7 @@ type options struct {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, exec, ivm, or all")
+	fig := flag.String("fig", "all", "experiment to run: 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, exec, ivm, cluster, or all")
 	quick := flag.Bool("quick", false, "use scaled-down configurations")
 	seed := flag.Int64("seed", 1, "experiment seed")
 	csvDir := flag.String("csv", "", "also write each result table as CSV into this directory")
@@ -429,6 +429,34 @@ func run(o options) error {
 		}
 	}
 
+	if want("cluster") {
+		res, err := bench.RunClusterFig(figSeed("cluster"), o.Quick)
+		if err != nil {
+			return err
+		}
+		res.Date = time.Now().Format("2006-01-02")
+		emit(res.Tables())
+		fmt.Printf("cluster gates: IV scaling 1→4 shards %.2fx (need ≥ 1.70), 1-shard twin delta %.3f%% (need ≤ 1%%)\n",
+			res.ScalingIV14, res.TwinDeltaPct)
+		path := o.Out
+		if path == "" {
+			path = fmt.Sprintf("BENCH_CLUSTER_%s.json", res.Date)
+		}
+		if err := writeFile(path, res.WriteJSON); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", path)
+		// The run doubles as CI's cluster gate: total IV must scale ≥1.7x
+		// from 1 to 4 shards at fixed per-shard resources, and the 1-shard
+		// cluster must match the standalone engine within 1%.
+		if res.ScalingIV14 < 1.7 {
+			return fmt.Errorf("cluster gate: total IV scaled only %.2fx from 1 to 4 shards (need ≥ 1.7x)", res.ScalingIV14)
+		}
+		if res.TwinDeltaPct > 1 {
+			return fmt.Errorf("cluster gate: 1-shard cluster diverges %.2f%% from the standalone engine (need ≤ 1%%)", res.TwinDeltaPct)
+		}
+	}
+
 	if o.Timeout > 0 && time.Since(start) > o.Timeout {
 		if !ran {
 			return fmt.Errorf("wall-clock budget %v spent before any experiment could run", o.Timeout)
@@ -437,7 +465,7 @@ func run(o options) error {
 			time.Since(start).Round(time.Millisecond), o.Timeout)
 	}
 	if !ran {
-		return fmt.Errorf("unknown experiment %q (want 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, exec, ivm, or all)", o.Fig)
+		return fmt.Errorf("unknown experiment %q (want 5, 6, 7, 8, 9a, 9b, tables, search, mqo, aging, advisor, sync, load, scenario, exec, ivm, cluster, or all)", o.Fig)
 	}
 	fmt.Printf("total: %v\n", time.Since(start).Round(time.Millisecond))
 	return nil

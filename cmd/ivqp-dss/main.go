@@ -13,13 +13,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"ivdss/internal/cluster"
 	"ivdss/internal/core"
 	"ivdss/internal/scheduler"
 	"ivdss/internal/server"
@@ -56,6 +59,46 @@ func (r remoteFlags) Set(v string) error {
 	}
 	r[core.SiteID(site)] = parts[1]
 	return nil
+}
+
+// parsePeers parses the -peers spec: id=addr,...
+func parsePeers(spec string) (map[int]string, error) {
+	out := map[int]string{}
+	if spec == "" {
+		return out, nil
+	}
+	for _, item := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(item), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("want id=addr, got %q", item)
+		}
+		id, err := strconv.Atoi(parts[0])
+		if err != nil || id < 0 {
+			return nil, fmt.Errorf("invalid shard id %q", parts[0])
+		}
+		out[id] = parts[1]
+	}
+	return out, nil
+}
+
+// parseTenants parses the -tenants spec: name=weight,...
+func parseTenants(spec string) (map[string]float64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, item := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(item), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("want tenant=weight, got %q", item)
+		}
+		w, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("invalid weight for tenant %q", parts[0])
+		}
+		out[parts[0]] = w
+	}
+	return out, nil
 }
 
 func parseReplicate(spec string) (map[core.TableID]time.Duration, error) {
@@ -106,9 +149,21 @@ func main() {
 	scenario := flag.String("scenario", "", "derive the replication plan from this named scenario preset (see ivqp-bench -fig scenario); needs -scenario-tables")
 	scenarioTables := flag.String("scenario-tables", "", "comma-separated live table names the -scenario replica budget draws from, hottest first")
 	engine := flag.String("engine", "vm", "sqlmini execution engine: vm (compiled bytecode over columnar batches) or tree (reference tree-walk)")
+	shards := flag.Int("shards", 0, "run N in-process front-end shards on consecutive ports starting at -addr; each replicates the slice of -replicate it owns under the cluster shard map")
+	shardID := flag.Int("shard-id", 0, "this front-end's shard ID when clustering across processes (use with -peers)")
+	peersSpec := flag.String("peers", "", "peer shards as id=addr,... for multi-process clustering (e.g. 1=127.0.0.1:7201,2=127.0.0.1:7202)")
+	stealHighWater := flag.Int("steal-highwater", 0, "hand whole requests to the least-loaded covering peer once the local queue reaches this depth (0 = no work-stealing)")
+	gossipInterval := flag.Duration("gossip-interval", 0, "mean gap between anti-entropy gossip rounds (0 = default 2s)")
+	gossipSeed := flag.Int64("gossip-seed", 0, "seed for gossip round jitter and peer choice (0 = default 1)")
+	tenants := flag.String("tenants", "", "tenant weights as name=weight,...: turns queue-full refusal into weighted fair shedding by IV per budget unit")
 	flag.Parse()
 
 	sqlEngine, err := sqlmini.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ivqp-dss:", err)
+		os.Exit(1)
+	}
+	tenantWeights, err := parseTenants(*tenants)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-dss:", err)
 		os.Exit(1)
@@ -129,14 +184,122 @@ func main() {
 		AdaptiveSync:    *adaptiveSync,
 		SyncAdjustEvery: *syncAdjust,
 		SQLEngine:       sqlEngine,
+		StealHighWater:  *stealHighWater,
+		GossipInterval:  *gossipInterval,
+		GossipSeed:      *gossipSeed,
+		Tenants:         tenantWeights,
 	}
 	for _, sql := range views {
 		cfg.Views = append(cfg.Views, server.ViewSpec{SQL: sql, Period: *viewPeriod})
+	}
+	if *shards > 1 {
+		if *peersSpec != "" {
+			fmt.Fprintln(os.Stderr, "ivqp-dss: -shards runs an in-process cluster; -peers is for multi-process mode, pick one")
+			os.Exit(1)
+		}
+		if err := runCluster(*addr, *shards, remotes, *replicate, *scenario, *scenarioTables, cfg); err != nil {
+			fmt.Fprintln(os.Stderr, "ivqp-dss:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *peersSpec != "" {
+		peers, err := parsePeers(*peersSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ivqp-dss:", err)
+			os.Exit(1)
+		}
+		cfg.ShardID = *shardID
+		cfg.Peers = peers
 	}
 	if err := run(*addr, remotes, *replicate, *scenario, *scenarioTables, cfg, *calibration); err != nil {
 		fmt.Fprintln(os.Stderr, "ivqp-dss:", err)
 		os.Exit(1)
 	}
+}
+
+// runCluster starts N front-end shards inside one process on consecutive
+// ports, each a full DSSServer wired to every remote site: shard i listens
+// on -addr's port + i, replicates the tables it owns under the canonical
+// cluster shard map, and gossips with the other N−1 shards. Clients route
+// with the same shard map (ivqp-loadgen -shards does this).
+func runCluster(addr string, n int, remotes remoteFlags, replicate, scenario, scenarioTables string, cfg server.DSSConfig) error {
+	plan, err := parseReplicate(replicate)
+	if err != nil {
+		return err
+	}
+	if scenario != "" {
+		if len(plan) > 0 {
+			return fmt.Errorf("-scenario and -replicate both set: pick one replication plan source")
+		}
+		plan, err = scenarioReplicate(scenario, scenarioTables, cfg.TimeScale)
+		if err != nil {
+			return err
+		}
+	}
+	host, portStr, err := net.SplitHostPort(addr)
+	if err != nil {
+		return fmt.Errorf("-shards needs -addr as host:port, got %q: %w", addr, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port <= 0 {
+		return fmt.Errorf("-shards needs a numeric -addr port, got %q", portStr)
+	}
+	smap, err := cluster.NewShardMap(n)
+	if err != nil {
+		return err
+	}
+	tables := make([]core.TableID, 0, len(plan))
+	for t := range plan {
+		tables = append(tables, t)
+	}
+	sort.Slice(tables, func(i, j int) bool { return tables[i] < tables[j] })
+
+	addrs := make([]string, n)
+	for i := range addrs {
+		addrs[i] = net.JoinHostPort(host, strconv.Itoa(port+i))
+	}
+	var servers []*server.DSSServer
+	defer func() {
+		for _, dss := range servers {
+			dss.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		scfg := cfg
+		scfg.ShardID = i
+		scfg.Peers = make(map[int]string, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				scfg.Peers[j] = addrs[j]
+			}
+		}
+		scfg.Remotes = remotes
+		scfg.Replicate = make(map[core.TableID]time.Duration)
+		for _, t := range tables {
+			if smap.Owner(t) == cluster.ShardID(i) {
+				scfg.Replicate[t] = plan[t]
+			}
+		}
+		dss, err := server.NewDSSServer(scfg)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		servers = append(servers, dss)
+		bound, err := dss.Listen(addrs[i])
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		fmt.Printf("ivqp-dss: shard %d/%d on %s (%d replicas)\n", i, n, bound, len(scfg.Replicate))
+	}
+	fmt.Printf("ivqp-dss: %d-shard cluster up (%d remote sites, %d replicated tables, steal high water %d)\n",
+		n, len(remotes), len(plan), cfg.StealHighWater)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("ivqp-dss: shutting down cluster")
+	return nil
 }
 
 // scenarioReplicate derives a live replication plan from a scenario

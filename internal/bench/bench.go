@@ -108,6 +108,10 @@ type DeployConfig struct {
 	// 0 = none (the Federation deployment), -1 = all (the Data Warehouse
 	// deployment), otherwise a random subset of that size (the hybrid).
 	ReplicaCount int
+	// Replicas, when non-nil, is an explicit replica set overriding the
+	// ReplicaCount selection — the cluster bench places each shard's set
+	// with the advisor and passes it here.
+	Replicas []core.TableID
 	// SyncMean is the mean of each table's exponential synchronization
 	// cycle; required whenever replicas exist.
 	SyncMean core.Duration
@@ -140,6 +144,8 @@ func BuildDeployment(cfg DeployConfig) (*Deployment, error) {
 
 	var replicas []core.TableID
 	switch {
+	case cfg.Replicas != nil:
+		replicas = append(replicas, cfg.Replicas...)
 	case cfg.ReplicaCount == 0:
 	case cfg.ReplicaCount == -1:
 		replicas = append(replicas, cfg.Tables...)

@@ -1,0 +1,134 @@
+package bench
+
+import (
+	"testing"
+
+	"ivdss/internal/synth"
+)
+
+// clusterTestScenario is the cluster figure's scenario shrunk to unit-test
+// size: still saturating (arrivals far past one shard's capacity) so
+// shedding, stealing, and scaling all engage.
+func clusterTestScenario(nQueries int) ClusterScenarioConfig {
+	sc := ClusterScenario(true)
+	sc.NQueries = nQueries
+	sc.Seed = synth.SubSeedFor(17, sc.Name)
+	return clusterKnobs(sc)
+}
+
+// TestOneShardClusterIsTheStandaloneEngine pins the twin-equivalence gate
+// at full precision: a 1-shard cluster must replay the scenario through
+// the identical world — same deployment, same replica set, same sync
+// schedule, same engine decisions — as the standalone RunScenario path,
+// bit for bit, not within a tolerance.
+func TestOneShardClusterIsTheStandaloneEngine(t *testing.T) {
+	knobs := clusterTestScenario(900)
+
+	standalone, err := RunScenario(knobs.ScenarioConfig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := knobs
+	cfg.Shards = 1
+	twin, err := RunClusterScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if standalone.Completed == 0 || standalone.Shed == 0 {
+		t.Fatalf("scenario too tame (completed %d, shed %d): the twin proof must cover shedding",
+			standalone.Completed, standalone.Shed)
+	}
+	if twin.Queries != standalone.Queries {
+		t.Errorf("queries: cluster %d, standalone %d", twin.Queries, standalone.Queries)
+	}
+	if twin.Completed != standalone.Completed {
+		t.Errorf("completed: cluster %d, standalone %d", twin.Completed, standalone.Completed)
+	}
+	if twin.Shed != standalone.Shed {
+		t.Errorf("shed: cluster %d, standalone %d", twin.Shed, standalone.Shed)
+	}
+	if twin.Unplannable != standalone.Unplannable {
+		t.Errorf("unplannable: cluster %d, standalone %d", twin.Unplannable, standalone.Unplannable)
+	}
+	if twin.TotalIV != standalone.TotalIV {
+		t.Errorf("total IV: cluster %v, standalone %v — the worlds diverged", twin.TotalIV, standalone.TotalIV)
+	}
+	if twin.MeanCL != standalone.MeanCL || twin.P95CL != standalone.P95CL {
+		t.Errorf("CL: cluster mean %v p95 %v, standalone mean %v p95 %v",
+			twin.MeanCL, twin.P95CL, standalone.MeanCL, standalone.P95CL)
+	}
+	if twin.Stolen != 0 || twin.GossipRounds != 0 {
+		t.Errorf("1-shard cluster did cluster work: %d steals, %d gossip rounds", twin.Stolen, twin.GossipRounds)
+	}
+}
+
+// TestClusterScalingRecoversValue is the DES leg's smoke version of the
+// scaling gate: under a saturating stream with fixed per-shard resources,
+// four shards must deliver materially more total IV than one, and the
+// cluster layer (gossip, stealing) must actually engage.
+func TestClusterScalingRecoversValue(t *testing.T) {
+	knobs := clusterTestScenario(1600)
+
+	one := knobs
+	one.Shards = 1
+	r1, err := RunClusterScenario(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := knobs
+	four.Shards = 4
+	r4, err := RunClusterScenario(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if r1.Shed == 0 {
+		t.Fatal("one shard sheds nothing: the stream is not saturating and the scaling claim is vacuous")
+	}
+	if r4.TotalIV < r1.TotalIV*1.3 {
+		t.Errorf("4 shards delivered %.3f IV vs %.3f on 1 — no meaningful scaling", r4.TotalIV, r1.TotalIV)
+	}
+	if r4.GossipRounds == 0 {
+		t.Error("no gossip rounds ran in the 4-shard cluster")
+	}
+	if r4.Stolen == 0 {
+		t.Error("no work was stolen under saturation")
+	}
+	routed := 0
+	for _, sr := range r4.PerShard {
+		if sr.Routed > 0 {
+			routed++
+		}
+	}
+	if routed < 2 {
+		t.Errorf("only %d of 4 shards received routed queries — the shard map collapsed", routed)
+	}
+}
+
+// TestClusterTenantBudgetsFavorWeight: under saturation with 3:1 tenant
+// weights, weighted fair shedding must deliver the heavier tenant more IV
+// and shed it proportionally less.
+func TestClusterTenantBudgetsFavorWeight(t *testing.T) {
+	cfg := clusterTestScenario(1600)
+	cfg.Shards = 2
+	cfg.TenantWeights = map[string]float64{"gold": 3, "bronze": 1}
+	res, err := RunClusterScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TenantIV == nil || res.TenantShed == nil {
+		t.Fatal("tenant accounting missing")
+	}
+	gIV, bIV := res.TenantIV["gold"], res.TenantIV["bronze"]
+	gShed, bShed := res.TenantShed["gold"], res.TenantShed["bronze"]
+	if gShed+bShed == 0 {
+		t.Fatal("nothing shed: weighted fairness never engaged")
+	}
+	if gIV <= bIV {
+		t.Errorf("gold (weight 3) delivered %.3f IV, bronze (weight 1) %.3f — weights had no effect", gIV, bIV)
+	}
+	if gShed >= bShed {
+		t.Errorf("gold shed %d ≥ bronze shed %d under a 3:1 weight split", gShed, bShed)
+	}
+}

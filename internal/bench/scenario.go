@@ -25,6 +25,10 @@ type ScenarioConfig struct {
 	Slots          int
 	Aging          core.Aging
 	PlannerHorizon core.Duration
+	// MaxQueue bounds the engine's admission queue (0 = unbounded, the
+	// historical matrix behavior); arrivals refused at a full queue count
+	// as shed. The cluster bench sets it so per-shard resources are fixed.
+	MaxQueue int
 	// Cost overrides the scenario cost model. Nil uses the standard
 	// matrix model calibrated to the VM execution engine; pass a
 	// tree-walk-scaled model to reproduce pre-VM totals (the -fig exec
@@ -186,6 +190,7 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		Rates:           cfg.Rates,
 		Slots:           cfg.Slots,
 		Aging:           cfg.Aging,
+		MaxQueue:        cfg.MaxQueue,
 		HaltOnPlanError: false,
 		RecordOutcomes:  true,
 	})
@@ -193,9 +198,14 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 		return res, err
 	}
 	eng.SetEpsilon(cfg.Epsilon)
+	refused := 0
 	for _, q := range world.Workload.Queries {
 		q := q
-		s.ScheduleAt(q.SubmitAt, func() { eng.Submit(q, nil) })
+		s.ScheduleAt(q.SubmitAt, func() {
+			if !eng.Submit(q, nil) {
+				refused++
+			}
+		})
 	}
 	s.Run()
 	if err := eng.Err(); err != nil {
@@ -209,7 +219,7 @@ func RunScenario(cfg ScenarioConfig) (ScenarioResult, error) {
 	res.Name = sc.Name
 	res.Seed = sc.Seed
 	res.Queries = len(world.Workload.Queries)
-	res.Shed = eng.Shed()
+	res.Shed = eng.Shed() + refused
 	res.OutageCount = len(world.Workload.Outages)
 	res.OutageMinutes = world.Workload.OutageMinutes()
 	var cls, sls, ivs []float64

@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"sort"
+	"sync"
+
+	"ivdss/internal/core"
+)
+
+// Digest is one shard's gossiped state summary: what its peers need to
+// decide routing fallbacks and work-stealing without a central registry.
+// Digests are versioned per node — a higher Version supersedes, so merges
+// are idempotent and order-free (the anti-entropy property).
+type Digest struct {
+	Node ShardID
+	// Version is the sender's per-node monotone counter; stale versions
+	// lose every merge.
+	Version uint64
+	// Clock is the sender's experiment time when the digest was cut. Peers
+	// exchange it so freshness stamps can be interpreted under skew.
+	Clock core.Time
+	// QueueDepth is the shard's admission queue length (waiting, not
+	// executing); the work-stealing load signal.
+	QueueDepth int
+	// Slots is the shard's execution parallelism, for depth normalization.
+	Slots int
+	// TotalIV is the shard's cumulative delivered information value.
+	TotalIV float64
+	// OpenBreakers flags the remote sites this shard currently sees down.
+	OpenBreakers map[core.SiteID]bool
+	// Freshness maps every table (and "view:" unit) the shard holds a
+	// local replica of to its last synchronization stamp — the coverage
+	// set work-stealing checks before handing a footprint over.
+	Freshness map[core.TableID]core.Time
+}
+
+// clone deep-copies the digest's maps so merged views never alias the
+// sender's state.
+func (d Digest) clone() Digest {
+	out := d
+	if d.OpenBreakers != nil {
+		out.OpenBreakers = make(map[core.SiteID]bool, len(d.OpenBreakers))
+		for k, v := range d.OpenBreakers {
+			out.OpenBreakers[k] = v
+		}
+	}
+	if d.Freshness != nil {
+		out.Freshness = make(map[core.TableID]core.Time, len(d.Freshness))
+		for k, v := range d.Freshness {
+			out.Freshness[k] = v
+		}
+	}
+	return out
+}
+
+// PeerView is a merged digest plus when this node received it.
+type PeerView struct {
+	Digest
+	ReceivedAt core.Time
+}
+
+// Table is the per-node gossip state: the freshest digest seen from every
+// peer. It is safe for concurrent use.
+type Table struct {
+	mu    sync.RWMutex
+	self  ShardID
+	peers map[ShardID]PeerView
+}
+
+// NewTable returns an empty peer table for one node.
+func NewTable(self ShardID) *Table {
+	return &Table{self: self, peers: make(map[ShardID]PeerView)}
+}
+
+// Merge folds a received digest into the table. Digests about this node
+// itself and versions at or below the one already held are ignored. It
+// reports whether the table changed.
+func (t *Table) Merge(d Digest, now core.Time) bool {
+	if d.Node == t.self {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if held, ok := t.peers[d.Node]; ok && d.Version <= held.Version {
+		return false
+	}
+	t.peers[d.Node] = PeerView{Digest: d.clone(), ReceivedAt: now}
+	return true
+}
+
+// Peer returns the held view of one peer.
+func (t *Table) Peer(id ShardID) (PeerView, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	v, ok := t.peers[id]
+	return v, ok
+}
+
+// Peers lists every held peer view, sorted by shard ID for determinism.
+func (t *Table) Peers() []PeerView {
+	t.mu.RLock()
+	out := make([]PeerView, 0, len(t.peers))
+	for _, v := range t.peers {
+		out = append(out, v)
+	}
+	t.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// Len returns how many peers the table has heard from.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.peers)
+}

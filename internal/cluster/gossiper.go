@@ -1,0 +1,174 @@
+package cluster
+
+import (
+	"fmt"
+
+	"sync"
+
+	"ivdss/internal/core"
+	"ivdss/internal/metrics"
+	"ivdss/internal/scheduler"
+	"ivdss/internal/stats"
+)
+
+// Transport carries one gossip exchange: deliver our digest to a peer and
+// return the digest the peer answered with. Implementations must not be
+// called under any lock the receiving side's Handle path takes — the live
+// transport speaks netproto, the DES transport calls the peer directly.
+type Transport interface {
+	Exchange(peer ShardID, d Digest) (Digest, error)
+}
+
+// GossipConfig wires a gossiper to its clock, transport and state source.
+type GossipConfig struct {
+	// Self is this node's shard identity.
+	Self ShardID
+	// Peers are the other shards to gossip with.
+	Peers []ShardID
+	// Clock schedules rounds; inject SimClock for DES, WallClock live.
+	Clock scheduler.Clock
+	// Transport performs the exchanges.
+	Transport Transport
+	// State cuts this node's current digest (called once per round and
+	// once per handled incoming exchange). It must bump Digest.Version.
+	State func() Digest
+	// Interval is the mean gap between rounds, in experiment minutes.
+	Interval core.Duration
+	// Jitter spreads each gap uniformly over Interval×(1±Jitter) so shards
+	// seeded alike do not synchronize their rounds (default 0.25).
+	Jitter float64
+	// Seed drives the peer choice and jitter stream; same seed, same
+	// clock, same schedule.
+	Seed int64
+	// Until, when positive, stops scheduling rounds whose fire time would
+	// pass it. The DES sets it to the workload's end so the simulation's
+	// event queue drains; live nodes leave it zero and run until Stop.
+	Until core.Time
+	// Stats, when set, counts gossip_rounds_total, gossip_failures_total
+	// and gossip_merges_total.
+	Stats *metrics.Registry
+}
+
+func (c GossipConfig) validate() error {
+	if c.Clock == nil || c.Transport == nil || c.State == nil {
+		return fmt.Errorf("cluster: gossiper needs a clock, a transport, and a state source")
+	}
+	if c.Interval <= 0 {
+		return fmt.Errorf("cluster: gossip interval %v must be positive", c.Interval)
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		return fmt.Errorf("cluster: gossip jitter %v outside [0, 1)", c.Jitter)
+	}
+	return nil
+}
+
+// Gossiper runs the anti-entropy loop for one node: every
+// Interval×(1±Jitter) it picks a random peer, exchanges digests, and
+// merges the reply into its peer table. Incoming exchanges are answered
+// through Handle. Construct with NewGossiper, then Start.
+type Gossiper struct {
+	cfg   GossipConfig
+	table *Table
+
+	mu      sync.Mutex
+	src     *stats.Source
+	stopped bool
+}
+
+// NewGossiper validates the config and returns an idle gossiper.
+func NewGossiper(cfg GossipConfig) (*Gossiper, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Jitter == 0 {
+		cfg.Jitter = 0.25
+	}
+	return &Gossiper{
+		cfg:   cfg,
+		table: NewTable(cfg.Self),
+		src:   stats.NewSource(stats.SubSeed(cfg.Seed, fmt.Sprintf("gossip:%d", cfg.Self))),
+	}, nil
+}
+
+// Table exposes the peer table gossip maintains.
+func (g *Gossiper) Table() *Table { return g.table }
+
+// Start schedules the first round. No-op without peers.
+func (g *Gossiper) Start() {
+	if len(g.cfg.Peers) == 0 {
+		return
+	}
+	g.schedule()
+}
+
+// schedule arms the next round unless it would fire past Until.
+func (g *Gossiper) schedule() {
+	delay := g.nextDelay()
+	if g.cfg.Until > 0 && g.cfg.Clock.Now()+core.Time(delay) > g.cfg.Until {
+		return
+	}
+	g.cfg.Clock.AfterFunc(delay, g.round)
+}
+
+// Stop prevents further rounds; an in-flight exchange completes.
+func (g *Gossiper) Stop() {
+	g.mu.Lock()
+	g.stopped = true
+	g.mu.Unlock()
+}
+
+// nextDelay draws the jittered gap before the next round.
+func (g *Gossiper) nextDelay() core.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cfg.Interval * (1 + g.cfg.Jitter*(2*g.src.Float64()-1))
+}
+
+// pickPeer draws the round's exchange partner.
+func (g *Gossiper) pickPeer() (ShardID, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.stopped {
+		return 0, false
+	}
+	return g.cfg.Peers[g.src.Intn(len(g.cfg.Peers))], true
+}
+
+// round performs one exchange and schedules the next. The network call
+// runs outside every lock.
+func (g *Gossiper) round() {
+	peer, ok := g.pickPeer()
+	if !ok {
+		return
+	}
+	reply, err := g.cfg.Transport.Exchange(peer, g.cfg.State())
+	if g.cfg.Stats != nil {
+		g.cfg.Stats.Counter("gossip_rounds_total").Inc()
+		if err != nil {
+			g.cfg.Stats.Counter("gossip_failures_total").Inc()
+		}
+	}
+	if err == nil {
+		g.merge(reply)
+	}
+	g.mu.Lock()
+	stopped := g.stopped
+	g.mu.Unlock()
+	if !stopped {
+		g.schedule()
+	}
+}
+
+// merge folds a digest into the table, counting effective merges.
+func (g *Gossiper) merge(d Digest) {
+	if g.table.Merge(d, g.cfg.Clock.Now()) && g.cfg.Stats != nil {
+		g.cfg.Stats.Counter("gossip_merges_total").Inc()
+	}
+}
+
+// Handle answers an incoming exchange: merge the remote digest and reply
+// with this node's current state. Safe for concurrent use.
+func (g *Gossiper) Handle(d Digest) Digest {
+	g.merge(d)
+	return g.cfg.State()
+}

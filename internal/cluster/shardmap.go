@@ -1,0 +1,104 @@
+// Package cluster shards the DSS front-end horizontally: a consistent
+// shard map routes queries by accessed-table footprint onto N front-end
+// shards (each an embedded scheduler.Engine with its own replica set), an
+// anti-entropy gossip layer exchanges breaker state, replica freshness and
+// queue depth between shards, work-stealing hands micro-batches from a
+// backed-up shard to the least-loaded peer whose replica set covers the
+// footprint, and per-tenant IV budgets turn admission control into
+// weighted fair shedding.
+//
+// The routing goal is MQO locality, not key-value balance: overlapping
+// queries must land on the same shard so micro-batch multi-query
+// optimization keeps finding shared work. Every footprint is therefore
+// reduced to a deterministic *anchor* table (the member with the highest
+// table hash — under zipf skew the hot tables anchor most of the queries
+// that touch them) and the anchor is rendezvous-hashed onto the shard set,
+// so queries sharing their hottest table co-locate and resizing the
+// cluster moves only the anchors whose rendezvous winner changed.
+package cluster
+
+import (
+	"fmt"
+
+	"ivdss/internal/core"
+	"ivdss/internal/stats"
+)
+
+// ShardID numbers a front-end shard (and its gossip identity), 0-based.
+type ShardID int
+
+// ShardMap deterministically assigns table footprints to shards. It is
+// stateless and safe for concurrent use; every front-end and load
+// generator builds the same map from the shard count alone.
+type ShardMap struct {
+	n int
+}
+
+// NewShardMap returns the canonical map over n shards.
+func NewShardMap(n int) (*ShardMap, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("cluster: shard map needs at least one shard, got %d", n)
+	}
+	return &ShardMap{n: n}, nil
+}
+
+// Shards returns the shard count.
+func (m *ShardMap) Shards() int { return m.n }
+
+// mix64 finalizes a hash with murmur3's avalanche rounds. FNV-1a alone
+// diffuses too slowly for rendezvous comparisons: over strings differing
+// only in a short suffix the high bits are dominated by the shared prefix,
+// so one shard's scores would beat every other shard's for all tables.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// tableScore is the fixed per-table hash that picks footprint anchors.
+func tableScore(t core.TableID) uint64 {
+	return mix64(stats.FNV1a("anchor:" + string(t)))
+}
+
+// Anchor reduces a footprint to its anchor table: the member with the
+// highest table hash. The choice is independent of table order and of the
+// shard count, so two queries sharing their hottest table always share an
+// anchor.
+func (m *ShardMap) Anchor(tables []core.TableID) core.TableID {
+	var anchor core.TableID
+	best := uint64(0)
+	for i, t := range tables {
+		if s := tableScore(t); i == 0 || s > best {
+			anchor, best = t, s
+		}
+	}
+	return anchor
+}
+
+// Owner returns the shard that owns a table under rendezvous (highest
+// random weight) hashing: the shard whose hash with the table wins.
+// Adding or removing a shard reassigns only the tables whose winner
+// changed.
+func (m *ShardMap) Owner(t core.TableID) ShardID {
+	best := ShardID(0)
+	bestScore := uint64(0)
+	for s := 0; s < m.n; s++ {
+		score := mix64(stats.FNV1a(fmt.Sprintf("shard:%d:%s", s, t)))
+		if s == 0 || score > bestScore {
+			best, bestScore = ShardID(s), score
+		}
+	}
+	return best
+}
+
+// ShardOf routes a query's table footprint: the rendezvous owner of its
+// anchor table. An empty footprint routes to shard 0.
+func (m *ShardMap) ShardOf(tables []core.TableID) ShardID {
+	if len(tables) == 0 {
+		return 0
+	}
+	return m.Owner(m.Anchor(tables))
+}

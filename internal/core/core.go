@@ -59,6 +59,10 @@ type Query struct {
 	Tables        []TableID
 	BusinessValue float64
 	SubmitAt      Time
+	// Tenant names the budget account the query draws from under
+	// weighted-fair admission shedding (internal/cluster). Empty means the
+	// default tenant; schedulers that do not shed by tenant ignore it.
+	Tenant string
 }
 
 // Validate reports whether the query is well formed.

@@ -52,7 +52,33 @@ const (
 	// caller's replication cursor (Request.Cursor), so steady-state sync
 	// cycles ship only the change set instead of the whole table.
 	KindDelta
+	// KindGossip exchanges anti-entropy digests between DSS front-end
+	// shards: the caller's digest rides Request.Gossip, the callee merges
+	// it and answers with its own on Response.Gossip.
+	KindGossip
 )
+
+// GossipDigest is the wire form of one shard's anti-entropy state summary
+// (internal/cluster.Digest): queue depth, breaker state, and replica
+// freshness, versioned per node so merges are order-free.
+type GossipDigest struct {
+	Node    int
+	Version uint64
+	// Clock is the sender's experiment time (minutes) when the digest was
+	// cut.
+	Clock float64
+	// QueueDepth is the shard's admission queue length; Slots its
+	// execution parallelism.
+	QueueDepth int
+	Slots      int
+	// TotalIV is the shard's cumulative delivered information value.
+	TotalIV float64
+	// OpenBreakers flags remote sites the shard currently sees down.
+	OpenBreakers map[int]bool
+	// Freshness maps replicated table names to last-sync stamps
+	// (experiment minutes) — the coverage set work-stealing checks.
+	Freshness map[string]float64
+}
 
 // SiteStatus describes one remote site's health as the DSS sees it, for
 // KindStatus responses.
@@ -100,6 +126,15 @@ type Request struct {
 	// deadline. Relative milliseconds rather than an absolute instant, so
 	// clock skew between peers cannot corrupt the budget.
 	TimeoutMillis int64
+	// Tenant names the budget account for KindExec/KindBatch under
+	// per-tenant weighted fair shedding; empty is the default tenant.
+	Tenant string
+	// Forwarded marks a KindExec/KindBatch a peer shard handed over via
+	// work-stealing: the receiver must serve it locally, never re-steal
+	// it, so a hand-off cannot loop.
+	Forwarded bool
+	// Gossip carries the caller's digest for KindGossip.
+	Gossip *GossipDigest
 }
 
 // BudgetContext derives a context bounded by the request's wire deadline,
@@ -214,6 +249,8 @@ type Response struct {
 	// serve (it is ahead of the table, e.g. after a site restart); the
 	// caller must fall back to a full snapshot.
 	Resync bool
+	// Gossip carries the callee's digest answering KindGossip.
+	Gossip *GossipDigest
 }
 
 // RemoteError is the typed client-side form of a server-reported error.

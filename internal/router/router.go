@@ -17,8 +17,10 @@ package router
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"ivdss/internal/core"
+	"ivdss/internal/metrics"
 )
 
 // choice is the memorized per-table decision.
@@ -40,6 +42,10 @@ type Config struct {
 	// FutureSyncs bounds how many upcoming syncs the precomputation
 	// assumes visible (default 3).
 	FutureSyncs int
+	// Stats, when set, counts fast-path coverage: router_hits_total for
+	// every Route that materialized a plan, router_fallback_total for every
+	// Route handed back to the full planner.
+	Stats *metrics.Registry
 }
 
 func (c Config) validate() error {
@@ -69,11 +75,14 @@ type entry struct {
 }
 
 // Router precomputes and serves plan shapes. Construct with New; register
-// queries with Register; route with Route. The router is not safe for
-// concurrent Register/Route; wrap it if needed.
+// queries with Register; route with Route. The router is safe for
+// concurrent use: Route takes a read lock (it is the per-shard fast path),
+// Register a write lock.
 type Router struct {
 	cfg     Config
 	planner *core.Planner
+
+	mu      sync.RWMutex
 	entries map[string]*entry
 }
 
@@ -92,11 +101,18 @@ func New(cfg Config) (*Router, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.Stats != nil {
+		// Pre-create the coverage counters so a dump shows them at zero.
+		cfg.Stats.Counter("router_hits_total")
+		cfg.Stats.Counter("router_fallback_total")
+	}
 	return &Router{cfg: cfg, planner: planner, entries: make(map[string]*entry)}, nil
 }
 
 // Registered reports whether a query ID has a routing table.
 func (r *Router) Registered(id string) bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	_, ok := r.entries[id]
 	return ok
 }
@@ -116,7 +132,9 @@ func (r *Router) Register(q core.Query, sites []core.SiteID, replicated []bool, 
 	if window <= 0 {
 		return fmt.Errorf("router: %s: QoS window %v must be positive", q.ID, window)
 	}
-	if r.Registered(q.ID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[q.ID]; ok {
 		return fmt.Errorf("router: query %s already registered", q.ID)
 	}
 
@@ -169,16 +187,30 @@ func (r *Router) Register(q core.Query, sites []core.SiteID, replicated []bool, 
 	return nil
 }
 
+// fallback counts a Route handed back to the full planner.
+func (r *Router) fallback() (core.Plan, bool) {
+	if r.cfg.Stats != nil {
+		r.cfg.Stats.Counter("router_fallback_total").Inc()
+	}
+	return core.Plan{}, false
+}
+
 // Route materializes the memorized plan shape for a registered query
 // against a live catalog snapshot. It returns ok=false — meaning the
 // caller should fall back to the full planner — when the query is not
 // registered, the snapshot's shape differs from registration, a needed
 // replica has no usable version or scheduled sync, or observed staleness
-// exceeds the QoS window the table was registered under.
+// exceeds the QoS window the table was registered under. A replica whose
+// LastSync sits *ahead* of now (clock skew between a gossip-reported sync
+// stamp and the local clock) is treated as perfectly fresh — staleness
+// clamps to zero rather than going negative and indexing outside the
+// decision grid.
 func (r *Router) Route(id string, snapshot []core.TableState, now core.Time) (core.Plan, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	e, registered := r.entries[id]
 	if !registered {
-		return core.Plan{}, false
+		return r.fallback()
 	}
 	byID := make(map[core.TableID]core.TableState, len(snapshot))
 	for _, ts := range snapshot {
@@ -188,7 +220,7 @@ func (r *Router) Route(id string, snapshot []core.TableState, now core.Time) (co
 		// query back to the full search so the view gets considered.
 		for _, v := range ts.Views {
 			if v.QueryID == id {
-				return core.Plan{}, false
+				return r.fallback()
 			}
 		}
 	}
@@ -200,19 +232,22 @@ func (r *Router) Route(id string, snapshot []core.TableState, now core.Time) (co
 			continue
 		}
 		ts, ok := byID[tid]
-		if !ok || ts.Replica == nil || ts.Replica.LastSync > now {
-			return core.Plan{}, false
+		if !ok || ts.Replica == nil {
+			return r.fallback()
 		}
 		if s := now - ts.Replica.LastSync; s > worst {
-			worst = s
+			worst = s // a negative s (skewed-ahead stamp) never raises worst
 		}
 	}
 	if worst > e.window {
-		return core.Plan{}, false // QoS violated: precomputation invalid
+		return r.fallback() // QoS violated: precomputation invalid
 	}
 	bucket := int(worst / e.window * core.Duration(r.cfg.Buckets))
 	if bucket >= r.cfg.Buckets {
 		bucket = r.cfg.Buckets - 1
+	}
+	if bucket < 0 {
+		bucket = 0
 	}
 
 	decision := e.decisions[bucket]
@@ -221,19 +256,25 @@ func (r *Router) Route(id string, snapshot []core.TableState, now core.Time) (co
 	for i, tid := range e.query.Tables {
 		ts, ok := byID[tid]
 		if !ok {
-			return core.Plan{}, false
+			return r.fallback()
 		}
 		switch decision[i] {
 		case useBase:
 			access[i] = core.TableAccess{Table: tid, Site: ts.Site, Kind: core.AccessBase}
 		case useReplicaNow:
-			if ts.Replica == nil || ts.Replica.LastSync > now {
-				return core.Plan{}, false
+			if ts.Replica == nil {
+				return r.fallback()
 			}
-			access[i] = core.TableAccess{Table: tid, Site: ts.Site, Kind: core.AccessReplica, Freshness: ts.Replica.LastSync}
+			// Clamp a skewed-ahead sync stamp: the replica is at least as
+			// fresh as now, never fresher.
+			fresh := ts.Replica.LastSync
+			if fresh > now {
+				fresh = now
+			}
+			access[i] = core.TableAccess{Table: tid, Site: ts.Site, Kind: core.AccessReplica, Freshness: fresh}
 		case useReplicaNext:
 			if ts.Replica == nil || len(ts.Replica.NextSyncs) == 0 {
-				return core.Plan{}, false
+				return r.fallback()
 			}
 			next := ts.Replica.NextSyncs[0]
 			access[i] = core.TableAccess{Table: tid, Site: ts.Site, Kind: core.AccessReplica, Freshness: next}
@@ -241,15 +282,22 @@ func (r *Router) Route(id string, snapshot []core.TableState, now core.Time) (co
 				start = next
 			}
 		default:
-			return core.Plan{}, false
+			return r.fallback()
 		}
 	}
 	q := e.query
 	q.SubmitAt = now
 	plan := core.Plan{Query: q, Access: access, Start: start}
 	plan.Cost = r.cfg.Cost.Estimate(q, access, start)
+	if r.cfg.Stats != nil {
+		r.cfg.Stats.Counter("router_hits_total").Inc()
+	}
 	return plan, true
 }
 
 // Len returns the number of registered queries.
-func (r *Router) Len() int { return len(r.entries) }
+func (r *Router) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}

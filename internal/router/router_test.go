@@ -225,6 +225,47 @@ func TestRouteStatisticalQuality(t *testing.T) {
 	}
 }
 
+// TestRouteClockSkewAhead is the regression test for sync stamps ahead of
+// the local clock (a gossip-reported LastSync under skew): the negative
+// staleness must clamp to the freshest bucket instead of indexing
+// decisions[-1], and a materialized replica freshness must never exceed
+// now.
+func TestRouteClockSkewAhead(t *testing.T) {
+	cfg := testConfig()
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, sites, repl := testQuery()
+	const window = 20.0
+	if err := r.Register(q, sites, repl, window); err != nil {
+		t.Fatal(err)
+	}
+	now := core.Time(100)
+	// Both replicas report LastSync 5 minutes in the future.
+	snap := snapshotWith(now, map[core.TableID]core.Duration{"a": -5, "b": -5}, 5, window)
+	plan, ok := r.Route("report", snap, now)
+	if !ok {
+		t.Fatal("skewed-ahead snapshot refused; want routed as perfectly fresh")
+	}
+	for _, a := range plan.Access {
+		if a.Kind == core.AccessReplica && a.Freshness > now && a.Freshness <= now+5 {
+			t.Errorf("table %s materialized freshness %v ahead of now %v", a.Table, a.Freshness, now)
+		}
+	}
+	// Mixed skew: one table ahead, one legitimately stale — the stale one
+	// still sets the bucket.
+	snap = snapshotWith(now, map[core.TableID]core.Duration{"a": -3, "b": 19}, 1, window)
+	if _, ok := r.Route("report", snap, now); !ok {
+		t.Error("mixed-skew snapshot refused; want routed by the stale table's bucket")
+	}
+	// Skew beyond the window must not route as a QoS violation either.
+	snap = snapshotWith(now, map[core.TableID]core.Duration{"a": -(window + 10), "b": 1}, 1, window)
+	if _, ok := r.Route("report", snap, now); !ok {
+		t.Error("large ahead-skew refused; negative staleness is not a QoS violation")
+	}
+}
+
 func TestRouteIsDeterministic(t *testing.T) {
 	cfg := testConfig()
 	r, _ := New(cfg)

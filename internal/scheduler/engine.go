@@ -92,6 +92,15 @@ type EngineConfig struct {
 	// MaxQueue bounds how many queries may wait (excluding the ones
 	// executing); Submit refuses arrivals beyond it. Zero is unbounded.
 	MaxQueue int
+	// Victim, when set alongside MaxQueue, turns queue-full refusal into
+	// policy-driven eviction: an arrival that finds the queue full offers
+	// the waiting queries (in submission order) to Victim, which returns
+	// the index of the one to evict in the arrival's favor — or -1 to
+	// refuse the arrival as usual. The evicted query leaves as an expired
+	// outcome through OnDrop. Group submissions never evict; they stay
+	// all-or-nothing. Victim runs under the engine lock and must not call
+	// back into the engine.
+	Victim func(arriving core.Query, queued []core.Query) int
 	// HaltOnPlanError stops the engine at the first planning failure,
 	// surfacing it via Err — the DES contract, where a plan error is a
 	// configuration bug. When false the failing query is dropped with
@@ -211,9 +220,27 @@ func (e *Engine) SetEpsilon(epsilon float64) {
 // before it can dispatch; otherwise it competes for a slot immediately.
 func (e *Engine) Submit(q core.Query, payload any) bool {
 	e.mu.Lock()
-	if e.stopped || (e.cfg.MaxQueue > 0 && e.queuedLocked() >= e.cfg.MaxQueue) {
+	if e.stopped {
 		e.mu.Unlock()
 		return false
+	}
+	var evictions []action
+	if e.cfg.MaxQueue > 0 && e.queuedLocked() >= e.cfg.MaxQueue {
+		if e.cfg.Victim == nil {
+			e.mu.Unlock()
+			return false
+		}
+		queued := e.queuedEntriesLocked()
+		qs := make([]core.Query, len(queued))
+		for i, en := range queued {
+			qs[i] = en.q
+		}
+		idx := e.cfg.Victim(q, qs)
+		if idx < 0 || idx >= len(queued) {
+			e.mu.Unlock()
+			return false
+		}
+		e.evictLocked(queued[idx], &evictions)
 	}
 	en := &entry{q: q, payload: payload}
 	if e.cfg.Window > 0 {
@@ -223,13 +250,62 @@ func (e *Engine) Submit(q core.Query, payload any) bool {
 			e.cfg.Clock.AfterFunc(e.cfg.Window, e.closeWindow)
 		}
 		e.mu.Unlock()
+		e.perform(evictions)
 		return true
 	}
 	e.flat = append(e.flat, en)
 	acts := e.decideLocked()
 	e.mu.Unlock()
-	e.perform(acts)
+	e.perform(append(evictions, acts...))
 	return true
+}
+
+// queuedEntriesLocked lists every waiting query in deterministic order:
+// window buffer first, then the flat queue, then run members in workload
+// order — the same order Victim sees.
+func (e *Engine) queuedEntriesLocked() []*entry {
+	out := make([]*entry, 0, e.queuedLocked())
+	out = append(out, e.pending...)
+	out = append(out, e.flat...)
+	for _, r := range e.runs {
+		out = append(out, r.members...)
+	}
+	return out
+}
+
+// evictLocked removes one waiting entry in favor of a new arrival,
+// recording it as an expired (shed) outcome.
+func (e *Engine) evictLocked(victim *entry, acts *[]action) {
+	remove := func(list []*entry) ([]*entry, bool) {
+		for i, en := range list {
+			if en == victim {
+				return append(list[:i], list[i+1:]...), true
+			}
+		}
+		return list, false
+	}
+	var found bool
+	if e.pending, found = remove(e.pending); !found {
+		if e.flat, found = remove(e.flat); !found {
+			for i, r := range e.runs {
+				if r.members, found = remove(r.members); found {
+					if len(r.members) == 0 {
+						e.runs = append(e.runs[:i], e.runs[i+1:]...)
+					}
+					break
+				}
+			}
+		}
+	}
+	if !found {
+		return
+	}
+	o := core.Outcome{Query: victim.q, Wait: e.cfg.Clock.Now() - victim.q.SubmitAt, Expired: true}
+	if e.cfg.RecordOutcomes {
+		e.outcomes = append(e.outcomes, o)
+	}
+	e.expired++
+	*acts = append(*acts, action{drop: &o, dropPl: victim.payload})
 }
 
 // SubmitGroup offers an explicit workload (a client batch). Admission is

@@ -1,0 +1,87 @@
+package scheduler
+
+import (
+	"testing"
+
+	"ivdss/internal/core"
+)
+
+// TestVictimEviction: with a bounded queue and a Victim policy, a full
+// queue evicts the policy's pick as an expired outcome in the arrival's
+// favor, a -1 verdict refuses the arrival as before, and group
+// submissions stay all-or-nothing.
+func TestVictimEviction(t *testing.T) {
+	rates := core.DiscountRates{CL: .05, SL: .05}
+	catalog, planner := testWorld(t, rates)
+	clock := &ManualClock{}
+	// Evict the lowest business value, but only if the arrival beats it.
+	victim := func(arriving core.Query, queued []core.Query) int {
+		worst, score := -1, 0.0
+		for i, q := range queued {
+			if worst < 0 || q.BusinessValue < score {
+				worst, score = i, q.BusinessValue
+			}
+		}
+		if worst < 0 || arriving.BusinessValue <= score {
+			return -1
+		}
+		return worst
+	}
+	var dropped []core.Query
+	eng, err := NewEngine(EngineConfig{
+		Clock:          clock,
+		Executor:       PlanExecutor{Clock: clock, Rates: rates},
+		Strategy:       &IVQPStrategy{Planner: planner, Catalog: catalog, Horizon: 100},
+		Rates:          rates,
+		Slots:          1,
+		MaxQueue:       1,
+		Victim:         victim,
+		RecordOutcomes: true,
+		OnDrop:         func(o core.Outcome, _ any) { dropped = append(dropped, o.Query) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(id string, bv float64) core.Query {
+		return core.Query{ID: id, Tables: []core.TableID{"t1", "t2"}, BusinessValue: bv}
+	}
+	// q1 takes the only slot; q2 fills the one queue place.
+	if !eng.Submit(mk("q1", 1), nil) || !eng.Submit(mk("q2", .2), nil) {
+		t.Fatal("setup submissions refused")
+	}
+	// A richer arrival evicts q2.
+	if !eng.Submit(mk("q3", .9), nil) {
+		t.Fatal("arrival refused despite an eligible victim")
+	}
+	if len(dropped) != 1 || dropped[0].ID != "q2" {
+		t.Fatalf("dropped %v, want exactly q2", dropped)
+	}
+	// A poorer arrival is refused: the Victim said -1.
+	if eng.Submit(mk("q4", .1), nil) {
+		t.Error("arrival below the queue floor admitted")
+	}
+	// Groups never evict.
+	if eng.SubmitGroup([]core.Query{mk("q5", 5), mk("q6", 5)}, []any{nil, nil}) {
+		t.Error("group submission evicted its way past a full queue")
+	}
+	clock.Run()
+	if err := eng.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	completed := map[string]bool{}
+	for _, o := range eng.Outcomes() {
+		switch {
+		case o.Query.ID == "q2":
+			if !o.Expired {
+				t.Errorf("evicted q2 recorded as %+v, want expired", o)
+			}
+		case o.Err == nil && !o.Expired:
+			completed[o.Query.ID] = true
+		}
+	}
+	if !completed["q1"] || !completed["q3"] {
+		t.Errorf("completed %v, want q1 and the arrival q3 that displaced q2", completed)
+	}
+}

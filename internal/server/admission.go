@@ -21,6 +21,15 @@ import (
 // (value-horizon shedding at every dispatch decision) because queue time
 // can kill a query that was worth admitting.
 func (s *DSSServer) submit(req *netproto.Request) *netproto.Response {
+	// Work-stealing: a backed-up shard hands the whole request to the
+	// least-loaded covering peer before admission; a stolen request is
+	// served locally no matter what (Forwarded stops steal chains).
+	if resp, stolen := s.maybeSteal(req); stolen {
+		return resp
+	}
+	if req.Forwarded {
+		s.stats.Counter("steals_in_total").Inc()
+	}
 	ctx, cancel := req.BudgetContext(s.baseCtx)
 	defer cancel()
 

@@ -10,8 +10,10 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"ivdss/internal/cluster"
 	"ivdss/internal/core"
 	"ivdss/internal/costmodel"
 	"ivdss/internal/faults"
@@ -122,6 +124,30 @@ type DSSConfig struct {
 	// disables it — pure value-maximizing dispatch, which can starve cheap
 	// queries under sustained high-value load.
 	Aging core.Aging
+	// ShardID identifies this front-end in a shard cluster; meaningful only
+	// when Peers is set. Shard IDs are the cluster.ShardMap indices clients
+	// route against, 0-based.
+	ShardID int
+	// Peers maps the other shards' IDs to their TCP addresses. A non-empty
+	// map turns on the anti-entropy gossip layer (breaker state, replica
+	// freshness, queue depth over KindGossip) and, with StealHighWater,
+	// work-stealing between front-ends. Entries for ShardID itself are
+	// ignored.
+	Peers map[int]string
+	// GossipInterval is the mean gap between gossip rounds (wall-clock).
+	// Default 2s.
+	GossipInterval time.Duration
+	// GossipSeed seeds the gossip peer choice and round jitter. Default 1.
+	GossipSeed int64
+	// StealHighWater hands whole Exec/Batch requests to the least-loaded
+	// covering peer once the local admission queue reaches this depth; 0
+	// disables work-stealing.
+	StealHighWater int
+	// Tenants maps tenant names to positive weights. A non-empty map turns
+	// queue-full refusal into weighted fair shedding: the engine evicts the
+	// queued query with the lowest business value × weight / (1 + spent)
+	// priority when a higher-priority query arrives at a full queue.
+	Tenants map[string]float64
 	// MQOWindow is the continuous micro-batch window (wall-clock). Ad hoc
 	// queries arriving while a window is open are held until it closes,
 	// then formed into range-overlapping workloads and GA-ordered together
@@ -178,6 +204,12 @@ func (c DSSConfig) withDefaults() DSSConfig {
 	if c.BaseContext == nil {
 		c.BaseContext = context.Background()
 	}
+	if c.GossipInterval == 0 {
+		c.GossipInterval = 2 * time.Second
+	}
+	if c.GossipSeed == 0 {
+		c.GossipSeed = 1
+	}
 	if c.Workers == 0 {
 		c.Workers = 8
 	}
@@ -214,8 +246,16 @@ type DSSServer struct {
 	retrier  netproto.Retrier
 	breakers map[core.SiteID]*faults.Breaker
 
-	routerMu sync.Mutex
-	router   *router.Router
+	// router is internally locked (RWMutex): Route is the concurrent fast
+	// path, Register the rare write.
+	router *router.Router
+
+	// Cluster front-end state: the gossip ring (nil when not clustered),
+	// the digest version counter, and the tenant budget accounts (nil when
+	// no tenants are configured). See gossip.go.
+	gossiper     *cluster.Gossiper
+	shardVersion atomic.Uint64
+	budgets      *cluster.Budgets
 
 	mu       sync.RWMutex
 	replicas map[core.TableID]replicaSnapshot
@@ -330,7 +370,8 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		return nil, err
 	}
 
-	fastRouter, err := router.New(router.Config{Cost: costs, Rates: cfg.Rates})
+	reg := metrics.NewRegistry()
+	fastRouter, err := router.New(router.Config{Cost: costs, Rates: cfg.Rates, Stats: reg})
 	if err != nil {
 		return nil, err
 	}
@@ -340,7 +381,7 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		catalog:  catalog,
 		planner:  planner,
 		costs:    costs,
-		stats:    metrics.NewRegistry(),
+		stats:    reg,
 		pool:     netproto.NewPool(cfg.DialTimeout, cfg.DialTimeout),
 		router:   fastRouter,
 		replicas: make(map[core.TableID]replicaSnapshot),
@@ -355,11 +396,30 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 	s.stats.Counter("queries_cancelled_total")
 	s.stats.Counter("queries_deadline_exceeded_total")
 	s.stats.Gauge("admission_queue_depth").Set(0)
+	if len(cfg.Tenants) > 0 {
+		budgets, err := cluster.NewBudgets(cluster.BudgetConfig{Weights: cfg.Tenants, Now: s.clock.Now})
+		if err != nil {
+			return nil, err
+		}
+		s.budgets = budgets
+	}
 	eng, err := s.newEngine()
 	if err != nil {
 		return nil, err
 	}
 	s.engine = eng
+	gossiper, err := s.newGossiper()
+	if err != nil {
+		return nil, err
+	}
+	s.gossiper = gossiper
+	if s.gossiper != nil {
+		// Pre-create the steal counters so a dump shows the cluster layer
+		// at zero before the first hand-off.
+		s.stats.Counter("steals_out_total")
+		s.stats.Counter("steals_in_total")
+		s.stats.Counter("steal_forward_failures_total")
+	}
 	s.retrier = netproto.Retrier{
 		MaxAttempts: cfg.RetryAttempts,
 		BaseDelay:   cfg.RetryBaseDelay,
@@ -493,6 +553,9 @@ func (s *DSSServer) Listen(addr string) (string, error) {
 	}
 	s.listener = l
 	s.sync.Start()
+	if s.gossiper != nil {
+		s.gossiper.Start()
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return l.Addr().String(), nil
@@ -543,6 +606,8 @@ func (s *DSSServer) handleConn(conn *netproto.Conn) {
 			resp = &netproto.Response{Metrics: s.stats.Flatten()}
 		case netproto.KindRegister:
 			resp = s.handleRegister(req)
+		case netproto.KindGossip:
+			resp = s.handleGossip(req)
 		case netproto.KindBatch, netproto.KindExec:
 			// Execution goes through admission control and the scheduling
 			// engine: bounded queue, micro-batch MQO, value-ranked dispatch,
@@ -643,12 +708,13 @@ func (s *DSSServer) handleRegister(req *netproto.Request) *netproto.Response {
 		// the router still needs a positive window to tabulate against.
 		window = 1
 	}
-	s.routerMu.Lock()
-	defer s.routerMu.Unlock()
 	if s.router.Registered(q.ID) {
 		return &netproto.Response{} // idempotent
 	}
 	if err := s.router.Register(q, sites, replicated, window); err != nil {
+		if s.router.Registered(q.ID) {
+			return &netproto.Response{} // lost a registration race: idempotent
+		}
 		return &netproto.Response{Err: err.Error()}
 	}
 	s.stats.Counter("registered_queries_total").Inc()
@@ -661,6 +727,9 @@ func (s *DSSServer) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.closed)
 		s.sync.Stop()
+		if s.gossiper != nil {
+			s.gossiper.Stop()
+		}
 		s.engine.Stop()
 		s.baseCancel() // cancel every in-flight request context
 		if s.listener != nil {

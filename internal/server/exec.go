@@ -116,9 +116,7 @@ func (s *DSSServer) runOne(ctx context.Context, stmt *sqlmini.SelectStmt, q core
 	var plan core.Plan
 	usedRouter := false
 	if tryRouter && !degradedPlanning {
-		s.routerMu.Lock()
 		plan, usedRouter = s.router.Route(q.ID, snapshot, now)
-		s.routerMu.Unlock()
 	}
 	if usedRouter {
 		plan.Query = q // carry the true submission time for CL accounting

@@ -90,7 +90,7 @@ type batchCollector struct {
 // wall clock, real execution, IVQP dispatch planning, and the configured
 // MQO window, GA, aging, and admission bound.
 func (s *DSSServer) newEngine() (*scheduler.Engine, error) {
-	eng, err := scheduler.NewEngine(scheduler.EngineConfig{
+	ecfg := scheduler.EngineConfig{
 		Clock:    s.clock,
 		Executor: liveExecutor{s},
 		Strategy: liveStrategy{s},
@@ -107,7 +107,13 @@ func (s *DSSServer) newEngine() (*scheduler.Engine, error) {
 		MaxQueue: s.cfg.QueueDepth,
 		Stats:    s.stats,
 		OnDrop:   s.onDrop,
-	})
+	}
+	if s.budgets != nil {
+		// Weighted fair shedding: a full queue evicts the lowest
+		// IV-per-budget-unit queued query instead of refusing the arrival.
+		ecfg.Victim = s.budgets.Victim
+	}
+	eng, err := scheduler.NewEngine(ecfg)
 	if err != nil {
 		return nil, err
 	}
@@ -148,6 +154,9 @@ func (x liveExecutor) Execute(d scheduler.Dispatch, done func(core.Outcome)) {
 		o := core.Outcome{Query: d.Query, Err: err}
 		if meta != nil {
 			o.Value = meta.Value
+		}
+		if s.budgets != nil {
+			s.budgets.Charge(d.Query.Tenant, o.Value)
 		}
 		p.deliver(resp)
 		s.noteQueueDepth()
@@ -195,6 +204,7 @@ func (s *DSSServer) submitExec(ctx context.Context, req *netproto.Request, id st
 	if err != nil {
 		return s.execError(err)
 	}
+	q.Tenant = req.Tenant
 	p := &pendingQuery{ctx: ctx, stmt: stmt, tryRouter: true, done: make(chan *netproto.Response, 1)}
 	if !s.engine.Submit(q, p) {
 		return s.shed(id, horizon, "queue-full")
@@ -241,6 +251,7 @@ func (s *DSSServer) submitBatch(ctx context.Context, req *netproto.Request, id s
 			col.items[i].Err = err.Error()
 			continue
 		}
+		q.Tenant = req.Tenant
 		col.wg.Add(1)
 		queries = append(queries, q)
 		payloads = append(payloads, &pendingQuery{ctx: ctx, stmt: stmt, batch: col, reqIdx: i})
@@ -275,7 +286,10 @@ func (s *DSSServer) schedulerStatusMetrics() map[string]float64 {
 		if strings.HasPrefix(name, "workloads_formed") ||
 			strings.HasPrefix(name, "workload_size") ||
 			strings.HasPrefix(name, "mqo_") ||
-			strings.HasPrefix(name, "aging_") {
+			strings.HasPrefix(name, "aging_") ||
+			strings.HasPrefix(name, "router_") ||
+			strings.HasPrefix(name, "gossip_") ||
+			strings.HasPrefix(name, "steal") {
 			out[name] = v
 		}
 	}

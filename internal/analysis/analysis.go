@@ -1,10 +1,12 @@
 // Package analysis is a dependency-free miniature of the
 // golang.org/x/tools/go/analysis framework: just enough Analyzer/Pass
 // plumbing to host the ivdss-lint invariant checkers without pulling a
-// module the build must not depend on. Analyzers here are syntactic —
-// they work on parsed files, not type information — which keeps them
-// fast, usable from `go vet -vettool` (internal/analysis/lint implements
-// that protocol), and honest about what they can prove.
+// module the build must not depend on. Analyzers are type-aware: every
+// Pass carries a go/types-checked Package (load.go builds them from
+// module trees, golden testdata trees, or `go vet` export data), so
+// checkers resolve callees by object — an aliased import, a dot
+// import, or a same-package wrapper no longer evades them — and can
+// walk the package's static call graph (callgraph.go).
 //
 // Escape hatch: a finding may be suppressed with a trailing comment on
 // the offending line (or the line above):
@@ -45,18 +47,22 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s", d.Pos, d.Message)
 }
 
-// A Pass hands one analyzer one parsed package (or a self-contained
-// group of files claiming the same package name).
+// A Pass hands one analyzer one type-checked package. The embedded
+// Package exposes the parsed files, go/types info, object resolution
+// (CalleeOf), and the lazily-built call graph (Graph).
 type Pass struct {
-	Analyzer   *Analyzer
-	Fset       *token.FileSet
-	Files      []*ast.File
-	PkgName    string
-	ImportPath string
+	Analyzer *Analyzer
+	*Package
 
 	diags  []Diagnostic
 	allows map[*ast.File]map[int][]*allowDirective
 }
+
+// PkgName returns the package's declared name.
+func (p *Pass) PkgName() string { return p.Package.Name }
+
+// ImportPath returns the package's import path.
+func (p *Pass) ImportPath() string { return p.Package.Path }
 
 type allowDirective struct {
 	analyzer   string
@@ -139,10 +145,10 @@ func (p *Pass) allowsFor(f *ast.File) map[int][]*allowDirective {
 	return m
 }
 
-// Run executes one analyzer over one file group and returns its
-// findings.
-func Run(a *Analyzer, fset *token.FileSet, files []*ast.File, pkgName, importPath string) []Diagnostic {
-	p := &Pass{Analyzer: a, Fset: fset, Files: files, PkgName: pkgName, ImportPath: importPath}
+// Run executes one analyzer over one type-checked package and returns
+// its findings.
+func Run(a *Analyzer, pkg *Package) []Diagnostic {
+	p := &Pass{Analyzer: a, Package: pkg}
 	a.Run(p)
 	return p.diags
 }

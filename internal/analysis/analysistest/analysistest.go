@@ -1,7 +1,10 @@
 // Package analysistest runs an analyzer over golden packages under
 // testdata/src and checks its findings against `// want "regexp"`
 // comments, mirroring golang.org/x/tools/go/analysis/analysistest
-// closely enough that the golden files read the same way.
+// closely enough that the golden files read the same way. Packages are
+// fully type-checked: imports among fixtures resolve GOPATH-style
+// under testdata/src (so a fixture can model example.com/internal/
+// netproto), and standard-library imports resolve from GOROOT source.
 //
 // A want comment trails the offending line and holds one or more
 // double- or back-quoted regexps, each of which must be matched by a
@@ -15,12 +18,9 @@ package analysistest
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"os"
 	"path/filepath"
 	"regexp"
-	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -37,48 +37,32 @@ type want struct {
 }
 
 // Run analyzes each package directory testdata/src/<pkg> with a and
-// reports mismatches between diagnostics and want comments on t.
+// reports mismatches between diagnostics and want comments on t. All
+// listed packages share one loader, so fixture packages that import
+// each other type-check once.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
+	loader := analysis.NewTreeLoader(filepath.Join(testdata, "src"))
 	for _, pkg := range pkgs {
-		runPkg(t, filepath.Join(testdata, "src", pkg), pkg, a)
+		runPkg(t, loader, pkg, a)
 	}
 }
 
-func runPkg(t *testing.T, dir, importPath string, a *analysis.Analyzer) {
+func runPkg(t *testing.T, loader *analysis.Loader, importPath string, a *analysis.Analyzer) {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
+	pkg, err := loader.Load(importPath)
 	if err != nil {
-		t.Fatalf("%s: %v", dir, err)
+		t.Fatalf("%s: %v", importPath, err)
 	}
-	fset := token.NewFileSet()
-	var files []*ast.File
 	var wants []*want
-	var names []string
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		names = append(names, e.Name())
-	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		t.Fatalf("%s: no Go files", dir)
-	}
-	for _, name := range names {
-		path := filepath.Join(dir, name)
-		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("parse %s: %v", path, err)
-		}
-		files = append(files, f)
-		ws, err := parseWants(fset, f)
+	for _, f := range pkg.Files {
+		ws, err := parseWants(pkg.Fset, f)
 		if err != nil {
 			t.Fatal(err)
 		}
 		wants = append(wants, ws...)
 	}
-	diags := analysis.Run(a, fset, files, files[0].Name.Name, importPath)
+	diags := analysis.Run(a, pkg)
 
 	for _, d := range diags {
 		if !claim(wants, d) {

@@ -1,0 +1,108 @@
+// A lightweight intra-package static call graph. Each FuncDecl becomes
+// a node; every statically-resolvable call in its body (including
+// inside nested function literals, which execute with the enclosing
+// frame's locks and lifecycles as far as these analyzers care) becomes
+// an edge carrying the call site. Dynamic calls through function
+// values stay out — analyzers over the graph are expected to be
+// conservative about what they cannot see.
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// A CallSite is one static call: the syntax plus the resolved callee.
+type CallSite struct {
+	Call   *ast.CallExpr
+	Callee *types.Func
+}
+
+// A FuncNode is one declared function or method and its outgoing calls.
+type FuncNode struct {
+	Fn    *types.Func
+	Decl  *ast.FuncDecl
+	Calls []CallSite
+}
+
+// A CallGraph indexes a package's functions by object.
+type CallGraph struct {
+	nodes map[*types.Func]*FuncNode
+}
+
+// Node returns fn's node, or nil when fn is not declared in this
+// package (or has no body here).
+func (g *CallGraph) Node(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// Funcs lists the graph's nodes in source order.
+func (g *CallGraph) Funcs() []*FuncNode {
+	out := make([]*FuncNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}
+
+// ReachableCall walks the graph from fn (inclusive of fn's own body)
+// and returns the first call site for which found returns true, plus
+// the chain of package-local functions traversed to reach it (empty
+// when the hit is in fn itself). The walk is depth-first in source
+// order, memoized against revisiting, so it terminates on recursion.
+func (g *CallGraph) ReachableCall(fn *types.Func, found func(CallSite) bool) (CallSite, []*types.Func, bool) {
+	seen := make(map[*types.Func]bool)
+	var walk func(cur *types.Func, chain []*types.Func) (CallSite, []*types.Func, bool)
+	walk = func(cur *types.Func, chain []*types.Func) (CallSite, []*types.Func, bool) {
+		if seen[cur] {
+			return CallSite{}, nil, false
+		}
+		seen[cur] = true
+		node := g.nodes[cur]
+		if node == nil {
+			return CallSite{}, nil, false
+		}
+		for _, cs := range node.Calls {
+			if found(cs) {
+				return cs, chain, true
+			}
+		}
+		for _, cs := range node.Calls {
+			if cs.Callee == nil || g.nodes[cs.Callee] == nil {
+				continue
+			}
+			if hit, via, ok := walk(cs.Callee, append(chain[:len(chain):len(chain)], cs.Callee)); ok {
+				return hit, via, ok
+			}
+		}
+		return CallSite{}, nil, false
+	}
+	return walk(fn, nil)
+}
+
+func buildCallGraph(p *Package) *CallGraph {
+	g := &CallGraph{nodes: make(map[*types.Func]*FuncNode)}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn := p.FuncFor(fd)
+			if fn == nil {
+				continue
+			}
+			node := &FuncNode{Fn: fn, Decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				node.Calls = append(node.Calls, CallSite{Call: call, Callee: p.CalleeOf(call)})
+				return true
+			})
+			g.nodes[fn] = node
+		}
+	}
+	return g
+}

@@ -4,10 +4,16 @@
 // scheduler.Clock; a stray time.Now is a determinism bug waiting for a
 // slow machine. Wall-bound I/O (socket deadlines, retry backoffs) must
 // route through internal/wall so each wall dependence is explicit.
+//
+// The check is type-aware: it flags every *use* of a forbidden
+// standard-library time function — calls under any import alias or a
+// dot import, and references captured as function values (`f :=
+// time.Now; f()`), which the old syntactic pass could not see.
 package clockcheck
 
 import (
 	"go/ast"
+	"go/types"
 
 	"ivdss/internal/analysis"
 )
@@ -47,31 +53,31 @@ func allowedPkg(pkgName, importPath string) bool {
 }
 
 func run(pass *analysis.Pass) {
-	if allowedPkg(pass.PkgName, pass.ImportPath) {
+	if allowedPkg(pass.PkgName(), pass.ImportPath()) {
 		return
 	}
 	for _, f := range pass.Files {
-		if analysis.IsTestFile(pass.Fset, f) {
-			continue
-		}
 		// The live driver's Clock implementation is the one scheduler
 		// file allowed to read wall time.
-		if pass.PkgName == "scheduler" && analysis.Filename(pass.Fset, f) == "wallclock.go" {
-			continue
-		}
-		local, ok := analysis.ImportName(f, "time")
-		if !ok {
+		if pass.PkgName() == "scheduler" && analysis.Filename(pass.Fset, f) == "wallclock.go" {
 			continue
 		}
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
+			id, ok := n.(*ast.Ident)
 			if !ok {
 				return true
 			}
-			if name := analysis.PkgCall(call, local); forbidden[name] {
-				pass.Reportf(call.Pos(),
-					"clockcheck: time.%s outside a clock implementation: thread scheduler.Clock, or use internal/wall for wall-bound I/O", name)
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || !forbidden[fn.Name()] || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
 			}
+			// Methods like time.Time.After are pure comparisons; only
+			// the package-level clock readers are forbidden.
+			if fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"clockcheck: time.%s outside a clock implementation: thread scheduler.Clock, or use internal/wall for wall-bound I/O", fn.Name())
 			return true
 		})
 	}

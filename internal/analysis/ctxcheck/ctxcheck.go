@@ -12,6 +12,10 @@
 //     `func Call(...) { return CallContext(context.Background(), ...) }`;
 //   - the nil-default guard `if cfg.Context == nil { cfg.Context =
 //     context.Background() }`.
+//
+// Resolution is by go/types object, so an aliased or dot import of
+// context, or a ctx-less remote call reached under a renamed import,
+// is flagged the same as the direct spelling.
 package ctxcheck
 
 import (
@@ -29,39 +33,55 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// ctxless maps an import-path suffix to the package-level functions
+// ctxless lists, per import-path suffix, the package-level functions
 // that drop the caller's context and therefore must not be called from
 // library code (each has a Context-taking sibling).
-var ctxless = map[string]map[string]bool{
-	"internal/netproto":   {"Call": true, "Dial": true},
-	"internal/federation": {"ExecutePlan": true},
+var ctxless = []struct {
+	suffix string
+	names  map[string]bool
+}{
+	{"internal/netproto", map[string]bool{"Call": true, "Dial": true}},
+	{"internal/federation", map[string]bool{"ExecutePlan": true}},
+}
+
+// rootCtxFn classifies fn as context.Background or context.TODO.
+func rootCtxFn(fn *types.Func) (string, bool) {
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return "", false
+	}
+	if fn.Name() == "Background" || fn.Name() == "TODO" {
+		return fn.Name(), true
+	}
+	return "", false
+}
+
+// ctxlessRemote classifies fn as one of the banned ctx-less remote
+// round-trip entry points.
+func ctxlessRemote(fn *types.Func) (pkg, name string, ok bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return "", "", false
+	}
+	for _, entry := range ctxless {
+		if analysis.PathEndsWith(fn.Pkg().Path(), entry.suffix) && entry.names[fn.Name()] {
+			return fn.Pkg().Name(), fn.Name(), true
+		}
+	}
+	return "", "", false
 }
 
 func run(pass *analysis.Pass) {
-	if pass.PkgName == "main" {
+	if pass.PkgName() == "main" {
 		return
 	}
 	for _, f := range pass.Files {
-		if analysis.IsTestFile(pass.Fset, f) {
-			continue
-		}
 		checkFile(pass, f)
 	}
 }
 
 func checkFile(pass *analysis.Pass, f *ast.File) {
-	ctxLocal, hasCtx := analysis.ImportName(f, "context")
-	type remote struct{ local, suffix string }
-	var remotes []remote
-	for suffix := range ctxless {
-		if local, ok := analysis.ImportNameSuffix(f, suffix); ok {
-			remotes = append(remotes, remote{local, suffix})
-		}
-	}
-	if !hasCtx && len(remotes) == 0 {
-		return
-	}
-
 	for _, decl := range f.Decls {
 		fn, isFunc := decl.(*ast.FuncDecl)
 		if isFunc && fn.Body == nil {
@@ -71,29 +91,29 @@ func checkFile(pass *analysis.Pass, f *ast.File) {
 		// that hands a fresh root to the Context-taking sibling. The
 		// root is born and consumed on the same line, so nothing
 		// mid-stack can capture it.
-		if isFunc && isDelegatingWrapper(fn, ctxLocal) {
+		if isFunc && isDelegatingWrapper(pass, fn) {
 			continue
 		}
 		exempt := map[*ast.CallExpr]bool{}
-		if isFunc && hasCtx {
-			markNilDefaults(fn.Body, ctxLocal, exempt)
+		if isFunc {
+			markNilDefaults(pass, fn.Body, exempt)
 		}
 		ast.Inspect(decl, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			if hasCtx && !exempt[call] {
-				if name := analysis.PkgCall(call, ctxLocal); name == "Background" || name == "TODO" {
+			callee := pass.CalleeOf(call)
+			if !exempt[call] {
+				if name, ok := rootCtxFn(callee); ok {
 					pass.Reportf(call.Pos(),
 						"ctxcheck: context.%s below cmd/ detaches from the caller's deadline: accept and thread a ctx", name)
+					return true
 				}
 			}
-			for _, r := range remotes {
-				if name := analysis.PkgCall(call, r.local); ctxless[r.suffix][name] {
-					pass.Reportf(call.Pos(),
-						"ctxcheck: %s.%s drops the caller's context: call %s.%sContext and thread ctx", r.local, name, r.local, name)
-				}
+			if pkg, name, ok := ctxlessRemote(callee); ok {
+				pass.Reportf(call.Pos(),
+					"ctxcheck: %s.%s drops the caller's context: call %s.%sContext and thread ctx", pkg, name, pkg, name)
 			}
 			return true
 		})
@@ -103,8 +123,8 @@ func checkFile(pass *analysis.Pass, f *ast.File) {
 // isDelegatingWrapper reports whether fn's body is exactly one return
 // statement that passes context.Background()/TODO() as an argument of a
 // call (the sanctioned ctx-less public wrapper shape).
-func isDelegatingWrapper(fn *ast.FuncDecl, ctxLocal string) bool {
-	if ctxLocal == "" || len(fn.Body.List) != 1 {
+func isDelegatingWrapper(pass *analysis.Pass, fn *ast.FuncDecl) bool {
+	if len(fn.Body.List) != 1 {
 		return false
 	}
 	ret, ok := fn.Body.List[0].(*ast.ReturnStmt)
@@ -117,7 +137,7 @@ func isDelegatingWrapper(fn *ast.FuncDecl, ctxLocal string) bool {
 	}
 	for _, arg := range call.Args {
 		if inner, ok := arg.(*ast.CallExpr); ok {
-			if name := analysis.PkgCall(inner, ctxLocal); name == "Background" || name == "TODO" {
+			if _, ok := rootCtxFn(pass.CalleeOf(inner)); ok {
 				return true
 			}
 		}
@@ -130,7 +150,7 @@ func isDelegatingWrapper(fn *ast.FuncDecl, ctxLocal string) bool {
 //	if x == nil { x = context.Background() }
 //
 // (either comparison order) as exempt.
-func markNilDefaults(body *ast.BlockStmt, ctxLocal string, exempt map[*ast.CallExpr]bool) {
+func markNilDefaults(pass *analysis.Pass, body *ast.BlockStmt, exempt map[*ast.CallExpr]bool) {
 	ast.Inspect(body, func(n ast.Node) bool {
 		ifs, ok := n.(*ast.IfStmt)
 		if !ok {
@@ -152,7 +172,7 @@ func markNilDefaults(body *ast.BlockStmt, ctxLocal string, exempt map[*ast.CallE
 			if !ok {
 				continue
 			}
-			if name := analysis.PkgCall(call, ctxLocal); name == "Background" || name == "TODO" {
+			if _, ok := rootCtxFn(pass.CalleeOf(call)); ok {
 				exempt[call] = true
 			}
 		}

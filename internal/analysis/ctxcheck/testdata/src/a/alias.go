@@ -1,0 +1,15 @@
+package a
+
+import (
+	"context"
+
+	np "example.com/internal/netproto"
+)
+
+// The retired syntactic pass matched the literal selector
+// "netproto.Call", so an aliased import evaded it. Object resolution
+// flags the same function under any spelling.
+func aliased(ctx context.Context, addr string) {
+	np.Call(addr, nil, 0) // want `ctxcheck: netproto\.Call drops the caller's context`
+	_ = np.CallContext(ctx, addr, nil, 0)
+}

@@ -1,0 +1,16 @@
+// Package federation is a fixture stub of the federation engine.
+package federation
+
+import "context"
+
+// Plan is a chosen execution plan.
+type Plan struct{}
+
+// Result is an executed plan's answer.
+type Result struct{}
+
+// ExecutePlan evaluates a plan without a context (the banned entry point).
+func ExecutePlan(p *Plan, r *Result) error { return nil }
+
+// ExecutePlanContext is the sanctioned context-threading sibling.
+func ExecutePlanContext(ctx context.Context, p *Plan, r *Result) error { return nil }

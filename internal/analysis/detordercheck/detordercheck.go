@@ -1,0 +1,428 @@
+// Package detordercheck flags map iteration whose order can escape
+// into observable state. Go randomizes map range order per run, so any
+// map-range whose body's effect depends on visit order — appending to
+// a slice that is never sorted, sending on a channel, writing output,
+// arg-max selection with nondeterministic tie-breaks, accumulating
+// floats (addition is not associative) — is a determinism bug: the
+// classic DES-vs-live twin killer, a gossip digest that differs
+// byte-for-byte between runs, a BENCH JSON that won't diff.
+//
+// Order-insensitive bodies stay legal without escape hatches:
+//
+//   - integer accumulation (`n++`, `sum += v` on integer types) and
+//     builtin min/max folds;
+//   - idempotent flag/constant assignment (RHS independent of the
+//     loop variables);
+//   - writes keyed by the loop variable (`out[k] = f(v)`, `delete`);
+//   - collecting keys into a slice that the same function passes to
+//     sort.* or slices.Sort* after the loop — the sanctioned
+//     sorted-keys idiom;
+//   - membership probes that return or break on loop-var-independent
+//     results.
+//
+// Everything else is a finding. The analysis is type-aware: float
+// accumulation is distinguished from integer, and the sorted-keys
+// idiom is matched on the actual slice object, not its spelling.
+package detordercheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"ivdss/internal/analysis"
+)
+
+// Analyzer is the detordercheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detordercheck",
+	Doc: "map iteration order must not reach scheduling, digests, or output: " +
+		"iterate sorted keys, or keep the loop body order-insensitive",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	if pass.PkgName() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		c := &checker{pass: pass, fn: fn, rng: rng, loopVars: map[types.Object]bool{}}
+		for _, e := range []ast.Expr{rng.Key, rng.Value} {
+			if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+				if obj := c.pass.Info.Defs[id]; obj != nil {
+					c.loopVars[obj] = true
+				}
+				if obj := c.pass.Info.Uses[id]; obj != nil {
+					c.loopVars[obj] = true // `k = range m` over a pre-declared var
+				}
+			}
+		}
+		c.checkBody(rng.Body.List)
+		return true
+	})
+}
+
+type checker struct {
+	pass     *analysis.Pass
+	fn       *ast.FuncDecl
+	rng      *ast.RangeStmt
+	loopVars map[types.Object]bool
+}
+
+func (c *checker) report(pos token.Pos, what string) {
+	c.pass.Reportf(pos,
+		"detordercheck: map iteration order escapes via %s: iterate sorted keys, or make the body order-insensitive", what)
+}
+
+// checkBody validates every statement of a map-range body as
+// order-insensitive, reporting the first offending construct per
+// statement.
+func (c *checker) checkBody(stmts []ast.Stmt) {
+	for _, stmt := range stmts {
+		c.checkStmt(stmt)
+	}
+}
+
+func (c *checker) checkStmt(stmt ast.Stmt) {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		// n++ / n-- commute.
+	case *ast.AssignStmt:
+		c.checkAssign(s)
+	case *ast.ExprStmt:
+		c.checkCall(s.X)
+	case *ast.IfStmt:
+		// Condition evaluation must be effect-free of calls; the bodies
+		// are checked recursively (an if guarding an idempotent effect
+		// stays order-free, an if guarding an arg-max does not).
+		if s.Init != nil {
+			c.checkStmt(s.Init)
+		}
+		c.checkEffectFree(s.Cond)
+		c.checkBody(s.Body.List)
+		if s.Else != nil {
+			c.checkStmt(s.Else)
+		}
+	case *ast.BlockStmt:
+		c.checkBody(s.List)
+	case *ast.BranchStmt:
+		// break/continue/goto carry no value.
+	case *ast.ReturnStmt:
+		// Returning something derived from the loop variables selects
+		// an arbitrary element; returning a constant (membership probe)
+		// does not.
+		for _, r := range s.Results {
+			if c.usesLoopVar(r) {
+				c.report(s.Pos(), "a return of the loop variable (arbitrary element selection)")
+				return
+			}
+			c.checkEffectFree(r)
+		}
+	case *ast.DeclStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if v, ok := n.(*ast.ValueSpec); ok {
+				for _, val := range v.Values {
+					c.checkEffectFree(val)
+				}
+			}
+			return true
+		})
+	case *ast.RangeStmt:
+		// A nested range is order-sensitive in its own right only if it
+		// ranges a map; recurse with the outer loop vars still tracked.
+		inner := &checker{pass: c.pass, fn: c.fn, rng: c.rng, loopVars: c.loopVars}
+		if t := c.pass.Info.TypeOf(s.X); t != nil {
+			if _, isMap := t.Underlying().(*types.Map); isMap {
+				// The inner map range is checked by the outer Inspect.
+				return
+			}
+		}
+		inner.checkBody(s.Body.List)
+	case *ast.ForStmt:
+		c.checkBody(s.Body.List)
+	case *ast.SendStmt:
+		c.report(s.Pos(), "a channel send")
+	case *ast.GoStmt, *ast.DeferStmt:
+		c.report(stmt.Pos(), "spawned work")
+	case *ast.SwitchStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				c.checkBody(cc.Body)
+			}
+		}
+	case *ast.EmptyStmt, *ast.LabeledStmt:
+	default:
+		c.report(stmt.Pos(), "a statement this pass cannot prove order-insensitive")
+	}
+}
+
+// checkAssign classifies one assignment inside the loop body.
+func (c *checker) checkAssign(s *ast.AssignStmt) {
+	switch s.Tok {
+	case token.DEFINE:
+		// Iteration-local definition: no cross-iteration state, but the
+		// RHS may not smuggle effects out through calls.
+		for _, r := range s.Rhs {
+			c.checkEffectFree(r)
+		}
+		return
+	case token.ASSIGN:
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+			// `_ = expr` discards the value: only the expression's own
+			// effects matter, same as a bare statement.
+			if id, ok := s.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+				c.checkCall(s.Rhs[0])
+				return
+			}
+			if c.plainAssignOK(s.Lhs[0], s.Rhs[0], s) {
+				return
+			}
+			return
+		}
+		c.report(s.Pos(), "a multi-value assignment to outer state")
+		return
+	default:
+		// Compound assignment (+=, -=, *=, /=, ...).
+		if len(s.Lhs) == 1 {
+			// m[k] op= v keyed by the loop variable touches a distinct
+			// entry per iteration: order-free for any operator and
+			// element type.
+			if idx, ok := s.Lhs[0].(*ast.IndexExpr); ok && c.usesLoopVar(idx.Index) {
+				for _, r := range s.Rhs {
+					c.checkEffectFree(r)
+				}
+				return
+			}
+			// v op= x where v is an iteration variable mutates per-
+			// iteration state that dies with the iteration: order-free.
+			if id, ok := s.Lhs[0].(*ast.Ident); ok {
+				if obj := c.pass.Info.Uses[id]; obj != nil && c.loopVars[obj] {
+					for _, r := range s.Rhs {
+						c.checkEffectFree(r)
+					}
+					return
+				}
+			}
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+			token.AND_ASSIGN, token.OR_ASSIGN, token.XOR_ASSIGN:
+			// Commutative-fold compound assignment — but only over
+			// integer types: float addition is not associative, so a
+			// float sum over map order differs in the low bits run to
+			// run, and string += concatenates in visit order.
+			if len(s.Lhs) == 1 {
+				if t := c.pass.Info.TypeOf(s.Lhs[0]); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsInteger != 0 {
+						for _, r := range s.Rhs {
+							c.checkEffectFree(r)
+						}
+						return
+					}
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+						c.report(s.Pos(), "a floating-point accumulation (addition is not associative)")
+						return
+					}
+				}
+			}
+		}
+		c.report(s.Pos(), "a compound assignment this pass cannot prove commutative")
+	}
+}
+
+// plainAssignOK validates `lhs = rhs` and reports when it is
+// order-sensitive. It returns true in every case (reporting happened
+// inside); the result only signals the caller not to double-report.
+func (c *checker) plainAssignOK(lhs, rhs ast.Expr, s *ast.AssignStmt) bool {
+	// out[k] = ... keyed by the loop variable: each iteration writes a
+	// distinct key, so visit order cannot matter.
+	if idx, ok := lhs.(*ast.IndexExpr); ok && c.usesLoopVar(idx.Index) {
+		c.checkEffectFree(rhs)
+		return true
+	}
+	// x = min(x, v) / x = max(x, v): a commutative, associative fold.
+	if call, ok := rhs.(*ast.CallExpr); ok {
+		switch c.builtinName(call.Fun) {
+		case "min", "max":
+			for _, a := range call.Args {
+				c.checkEffectFree(a)
+			}
+			return true
+		case "append":
+			// slice = append(slice, ...): legal only when the function
+			// sorts the slice after the loop (the sorted-keys idiom).
+			if c.sortedAfterLoop(lhs) {
+				for _, a := range call.Args {
+					c.checkEffectFree(a)
+				}
+				return true
+			}
+			c.report(s.Pos(), "an append in map order that is never sorted afterwards")
+			return true
+		}
+	}
+	// Idempotent: the assigned value does not depend on which iteration
+	// performed it.
+	if !c.usesLoopVar(rhs) && !c.usesLoopVar(lhs) {
+		c.checkEffectFree(rhs)
+		return true
+	}
+	c.report(s.Pos(), "an assignment of the loop variable to outer state (last-visited wins)")
+	return true
+}
+
+// checkCall validates a bare call statement: only effect-free builtins
+// and deletes keyed anywhere are order-insensitive.
+func (c *checker) checkCall(e ast.Expr) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		c.checkEffectFree(e)
+		return
+	}
+	switch c.builtinName(call.Fun) {
+	case "delete", "clear", "panic":
+		// delete/clear commute; a panic aborts the run regardless of
+		// which iteration fires it.
+		return
+	}
+	c.report(call.Pos(), "a call whose effect this pass cannot prove order-insensitive")
+}
+
+// checkEffectFree reports calls and receives buried inside an
+// expression position (they observe or produce order).
+func (c *checker) checkEffectFree(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if c.builtinName(x.Fun) != "" {
+				return true // len, cap, min, max, append, ... have no hidden effects
+			}
+			if c.isConversion(x) || c.isPure(x) {
+				return true
+			}
+			c.report(x.Pos(), "a call whose effect this pass cannot prove order-insensitive")
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				c.report(x.Pos(), "a channel receive")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// isConversion reports whether call is a type conversion.
+func (c *checker) isConversion(call *ast.CallExpr) bool {
+	tv, ok := c.pass.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// builtinName returns the builtin's name when fun resolves to one
+// ("" otherwise).
+func (c *checker) builtinName(fun ast.Expr) string {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := c.pass.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// pureFuncs are well-known pure functions safe in any order.
+var pureFuncs = map[string]map[string]bool{
+	"math":    {"Abs": true, "Max": true, "Min": true, "Inf": true, "NaN": true, "IsNaN": true, "IsInf": true, "Floor": true, "Ceil": true, "Sqrt": true},
+	"strings": {"HasPrefix": true, "HasSuffix": true, "Contains": true, "EqualFold": true, "Compare": true},
+}
+
+func (c *checker) isPure(call *ast.CallExpr) bool {
+	fn := c.pass.CalleeOf(call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	return pureFuncs[fn.Pkg().Path()][fn.Name()]
+}
+
+// usesLoopVar reports whether e references one of the range statement's
+// iteration variables.
+func (c *checker) usesLoopVar(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := c.pass.Info.Uses[id]; obj != nil && c.loopVars[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// sortedAfterLoop reports whether the enclosing function sorts the
+// slice object appended to in the loop, at a position after the loop —
+// the sorted-keys idiom. The slice is matched by object when lhs is a
+// plain identifier, by printed expression otherwise.
+func (c *checker) sortedAfterLoop(lhs ast.Expr) bool {
+	target := types.ExprString(lhs)
+	var targetObj types.Object
+	if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+		targetObj = c.pass.Info.Uses[id]
+		if targetObj == nil {
+			targetObj = c.pass.Info.Defs[id]
+		}
+	}
+	sorted := false
+	ast.Inspect(c.fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < c.rng.End() || len(call.Args) < 1 {
+			return true
+		}
+		fn := c.pass.CalleeOf(call)
+		if fn == nil {
+			return true
+		}
+		if fn.Pkg() == nil || (fn.Pkg().Path() != "sort" && fn.Pkg().Path() != "slices") {
+			return true
+		}
+		arg := call.Args[0]
+		if id, ok := ast.Unparen(arg).(*ast.Ident); ok && targetObj != nil {
+			if c.pass.Info.Uses[id] == targetObj {
+				sorted = true
+			}
+		} else if types.ExprString(arg) == target {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}

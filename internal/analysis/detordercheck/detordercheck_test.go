@@ -1,0 +1,12 @@
+package detordercheck_test
+
+import (
+	"testing"
+
+	"ivdss/internal/analysis/analysistest"
+	"ivdss/internal/analysis/detordercheck"
+)
+
+func TestDetordercheck(t *testing.T) {
+	analysistest.Run(t, "testdata", detordercheck.Analyzer, "a", "mainprog")
+}

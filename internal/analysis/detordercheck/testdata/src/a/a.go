@@ -1,0 +1,119 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Order-insensitive bodies stay legal without escape hatches.
+func legalFolds(m map[string]int) (int, int, int) {
+	n := 0
+	sum := 0
+	best := 0
+	for _, v := range m {
+		n++
+		sum += v
+		best = max(best, v)
+	}
+	return n, sum, best
+}
+
+// Keyed writes touch a distinct entry per iteration.
+func legalKeyed(m map[string]int) map[string]int {
+	out := make(map[string]int)
+	for k, v := range m {
+		out[k] = v * 2
+		out[k] += 1
+	}
+	return out
+}
+
+// The sanctioned sorted-keys idiom: collect, then sort after the loop.
+func legalSortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// delete/clear commute; membership probes return constants.
+func legalProbe(m map[string]int, want string) bool {
+	for k := range m {
+		delete(m, k)
+		if k == want {
+			return true
+		}
+	}
+	return false
+}
+
+// An append never sorted afterwards leaks visit order into the slice.
+func keysUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `detordercheck: map iteration order escapes via an append in map order that is never sorted afterwards`
+	}
+	return keys
+}
+
+// Float addition is not associative: the low bits differ run to run.
+func floatSum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v // want `detordercheck: map iteration order escapes via a floating-point accumulation \(addition is not associative\)`
+	}
+	return total
+}
+
+// Returning the loop variable selects an arbitrary element.
+func anyKey(m map[string]int) string {
+	for k := range m {
+		return k // want `detordercheck: map iteration order escapes via a return of the loop variable \(arbitrary element selection\)`
+	}
+	return ""
+}
+
+// Last visit wins: which one that is changes per run.
+func lastKey(m map[string]int) string {
+	chosen := ""
+	for k := range m {
+		chosen = k // want `detordercheck: map iteration order escapes via an assignment of the loop variable to outer state \(last-visited wins\)`
+	}
+	return chosen
+}
+
+// Output in visit order differs byte-for-byte between runs.
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `detordercheck: map iteration order escapes via a call whose effect this pass cannot prove order-insensitive`
+	}
+}
+
+// Sends deliver elements to the consumer in visit order.
+func feed(m map[string]int, out chan string) {
+	for k := range m {
+		out <- k // want `detordercheck: map iteration order escapes via a channel send`
+	}
+}
+
+// Registry's underlying type is a map: the retired syntactic pass
+// matched the literal `map[...]` spelling of the range operand, so a
+// named map type evaded it. go/types sees through the name.
+type Registry map[string]int
+
+func drain(r Registry, out chan string) {
+	for k := range r {
+		out <- k // want `detordercheck: map iteration order escapes via a channel send`
+	}
+}
+
+func escapes(m map[string]int, out chan string) {
+	for k := range m {
+		out <- k //lint:allow detordercheck(fixture models an order-free notification fan-out)
+	}
+	for k := range m {
+		out <- k //lint:allow detordercheck // want `detordercheck: //lint:allow detordercheck needs a reason`
+	}
+}

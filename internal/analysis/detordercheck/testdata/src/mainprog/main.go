@@ -1,0 +1,12 @@
+// Command mainprog shows the pass is silent in package main: a CLI's
+// printing loop is the operator's business, not the DES twin's.
+package main
+
+import "fmt"
+
+func main() {
+	m := map[string]int{"a": 1}
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

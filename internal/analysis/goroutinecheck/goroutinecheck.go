@@ -1,0 +1,180 @@
+// Package goroutinecheck requires every `go` statement in library code
+// to be tied to a visible lifecycle. A goroutine nobody can stop or
+// wait for outlives its server: the gossiper keeps gossiping after
+// Stop, the sync agent keeps pulling deltas from a dead remote, a test
+// leaks workers into the next test's race window. Accepted lifecycle
+// evidence, anywhere in the spawned body or in same-package functions
+// it (transitively) calls:
+//
+//   - a reference to a context.Context (cancellation is threaded);
+//   - a channel receive, a range over a channel, or a channel send
+//     (the goroutine is tied to a consumer or a done/stop channel);
+//   - a sync.WaitGroup Done/Wait (the spawner can join it);
+//   - for spawns of functions this package cannot see into, a
+//     sync.WaitGroup Add lexically before the `go` in the same
+//     function.
+//
+// The walk is type-aware and cross-file: `go s.loop()` is checked by
+// loading loop's body through the package call graph, so moving the
+// loop into a helper in another file does not hide it — exactly the
+// wrapper evasion the syntactic engine could not follow.
+package goroutinecheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"ivdss/internal/analysis"
+)
+
+// Analyzer is the goroutinecheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinecheck",
+	Doc: "every go statement in library code must have a visible lifecycle: " +
+		"a ctx/done channel, a sync.WaitGroup, or a channel tying it to its consumer",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	if pass.PkgName() == "main" {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				g, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGo(pass, fn, g)
+				return true
+			})
+		}
+	}
+}
+
+func checkGo(pass *analysis.Pass, enclosing *ast.FuncDecl, g *ast.GoStmt) {
+	seen := make(map[*types.Func]bool)
+	// The spawned body: a literal, or a named same-package function
+	// resolved through the call graph.
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if bodyHasLifecycle(pass, fun.Body, seen) {
+			return
+		}
+	default:
+		callee := pass.CalleeOf(g.Call)
+		if callee != nil {
+			if node := pass.Graph().Node(callee); node != nil {
+				if bodyHasLifecycle(pass, node.Decl.Body, seen) {
+					return
+				}
+			} else if analysis.FuncIn(callee, "sync") || addBefore(pass, enclosing, g) {
+				// wg.Wait in a goroutine, or an externally-defined body
+				// joined through a WaitGroup at the spawn site.
+				return
+			}
+			pass.Reportf(g.Pos(),
+				"goroutinecheck: go %s has no visible lifecycle: tie it to a ctx/done channel or a sync.WaitGroup", callee.Name())
+			return
+		}
+		// A dynamic call (function value): only the spawn site can
+		// prove a lifecycle.
+		if addBefore(pass, enclosing, g) {
+			return
+		}
+	}
+	pass.Reportf(g.Pos(),
+		"goroutinecheck: goroutine has no visible lifecycle: tie it to a ctx/done channel, a sync.WaitGroup, or its consumer's channel")
+}
+
+// bodyHasLifecycle reports lifecycle evidence in body or in any
+// same-package function it transitively calls.
+func bodyHasLifecycle(pass *analysis.Pass, body ast.Node, seen map[*types.Func]bool) bool {
+	if hasDirectEvidence(pass, body) {
+		return true
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := pass.CalleeOf(call)
+		if callee == nil || seen[callee] {
+			return true
+		}
+		seen[callee] = true
+		if node := pass.Graph().Node(callee); node != nil {
+			if bodyHasLifecycle(pass, node.Decl.Body, seen) {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// hasDirectEvidence scans one body for the lifecycle signals.
+func hasDirectEvidence(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.SendStmt:
+			found = true
+		case *ast.RangeStmt:
+			if t := pass.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.Ident:
+			if obj := pass.Info.Uses[x]; obj != nil {
+				if analysis.IsType(obj.Type(), "context", "Context") {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if callee := pass.CalleeOf(x); callee != nil && analysis.FuncIn(callee, "sync") {
+				switch callee.Name() {
+				case "Done", "Wait":
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// addBefore reports a sync.WaitGroup Add call lexically before g in the
+// enclosing function — the spawn-site join pattern for bodies this
+// package cannot see into.
+func addBefore(pass *analysis.Pass, enclosing *ast.FuncDecl, g *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= g.Pos() {
+			return true
+		}
+		if callee := pass.CalleeOf(call); callee != nil && analysis.FuncIn(callee, "sync") && callee.Name() == "Add" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

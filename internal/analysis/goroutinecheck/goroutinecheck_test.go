@@ -1,0 +1,12 @@
+package goroutinecheck_test
+
+import (
+	"testing"
+
+	"ivdss/internal/analysis/analysistest"
+	"ivdss/internal/analysis/goroutinecheck"
+)
+
+func TestGoroutinecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", goroutinecheck.Analyzer, "a")
+}

@@ -1,0 +1,99 @@
+package a
+
+import (
+	"context"
+	"sync"
+)
+
+type server struct {
+	done chan struct{}
+	wg   sync.WaitGroup
+	out  chan int
+}
+
+// A bare spin loop: nothing can stop it, nothing can wait for it.
+func (s *server) startLeak() {
+	go func() { // want `goroutinecheck: goroutine has no visible lifecycle: tie it to a ctx/done channel, a sync\.WaitGroup, or its consumer's channel`
+		for i := 0; ; i++ {
+			_ = i
+		}
+	}()
+}
+
+// Cancellation is threaded: a context reference is lifecycle evidence.
+func (s *server) startCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// A done/stop channel receive ties the goroutine to its spawner.
+func (s *server) startDone() {
+	go func() {
+		for {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+		}
+	}()
+}
+
+// The spawner can join through the WaitGroup.
+func (s *server) startJoined() {
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		work()
+	}()
+}
+
+// A send ties the goroutine to its consumer: it parks (and dies with a
+// panic on close) rather than spinning unobserved.
+func (s *server) startProducer() {
+	go func() {
+		s.out <- 42
+	}()
+}
+
+// The body moved into a named helper in another file. The retired
+// syntactic pass only scanned the literal spawned block, so this
+// wrapper hid the leak; the call-graph walk loads spin's body.
+func (s *server) startHelpers() {
+	go s.spin() // want `goroutinecheck: go spin has no visible lifecycle: tie it to a ctx/done channel or a sync\.WaitGroup`
+	go s.pump()
+}
+
+// Lifecycle evidence two hops away still counts: relay calls pump,
+// which drains the done channel.
+func (s *server) startRelay() {
+	go s.relay()
+}
+
+func (s *server) relay() {
+	s.pump()
+}
+
+// A dynamic call: only the spawn site can prove a lifecycle.
+func spawnDyn(f func()) {
+	go f() // want `goroutinecheck: goroutine has no visible lifecycle: tie it to a ctx/done channel, a sync\.WaitGroup, or its consumer's channel`
+}
+
+func spawnDynJoined(wg *sync.WaitGroup, f func()) {
+	wg.Add(1)
+	go f()
+}
+
+func work() {}
+
+func spinFree() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func escapes() {
+	go spinFree() //lint:allow goroutinecheck(fixture models a process-lifetime daemon)
+	go spinFree() //lint:allow goroutinecheck // want `goroutinecheck: //lint:allow goroutinecheck needs a reason`
+}

@@ -1,0 +1,20 @@
+package a
+
+// spin loops forever with no lifecycle signal — the cross-file body
+// `go s.spin()` must be checked through the package call graph.
+func (s *server) spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+// pump drains until the done channel closes.
+func (s *server) pump() {
+	for {
+		select {
+		case <-s.done:
+			return
+		default:
+		}
+	}
+}

@@ -1,7 +1,10 @@
-// Package lint assembles the five ivdss invariant analyzers into one
+// Package lint assembles the nine ivdss invariant analyzers into one
 // suite and provides the two drivers cmd/ivdss-lint fronts: a
-// standalone walk of the module tree, and the `go vet -vettool`
-// unit-checker protocol (-flags, -V=full, single foo.cfg argument).
+// standalone type-checked walk of the module tree (stdlib source
+// importer, module-internal imports resolved recursively), and the
+// `go vet -vettool` unit-checker protocol (-flags, -V=full, single
+// foo.cfg argument), where type information comes from the gc export
+// data `go vet` lists in the .cfg.
 package lint
 
 import (
@@ -9,8 +12,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"go/ast"
+	"go/importer"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"path/filepath"
@@ -20,8 +25,12 @@ import (
 	"ivdss/internal/analysis"
 	"ivdss/internal/analysis/clockcheck"
 	"ivdss/internal/analysis/ctxcheck"
+	"ivdss/internal/analysis/detordercheck"
+	"ivdss/internal/analysis/goroutinecheck"
 	"ivdss/internal/analysis/lockcheck"
+	"ivdss/internal/analysis/lockflowcheck"
 	"ivdss/internal/analysis/metriccheck"
+	"ivdss/internal/analysis/outcomecheck"
 	"ivdss/internal/analysis/randcheck"
 )
 
@@ -32,16 +41,20 @@ func Analyzers() []*analysis.Analyzer {
 		randcheck.Analyzer,
 		ctxcheck.Analyzer,
 		lockcheck.Analyzer,
+		lockflowcheck.Analyzer,
 		metriccheck.Analyzer,
+		detordercheck.Analyzer,
+		goroutinecheck.Analyzer,
+		outcomecheck.Analyzer,
 	}
 }
 
-// runAll parses nothing itself: it runs every analyzer over one parsed
-// file group and merges findings in position order.
-func runAll(fset *token.FileSet, files []*ast.File, pkgName, importPath string) []analysis.Diagnostic {
+// runAll runs every analyzer over one type-checked package and merges
+// findings in position order.
+func runAll(pkg *analysis.Package) []analysis.Diagnostic {
 	var diags []analysis.Diagnostic
 	for _, a := range Analyzers() {
-		diags = append(diags, analysis.Run(a, fset, files, pkgName, importPath)...)
+		diags = append(diags, analysis.Run(a, pkg)...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos.Filename != diags[j].Pos.Filename {
@@ -58,22 +71,12 @@ func runAll(fset *token.FileSet, files []*ast.File, pkgName, importPath string) 
 // RunModule lints every package under the module rooted at root
 // (which must contain go.mod) and returns the findings.
 func RunModule(root string) ([]analysis.Diagnostic, error) {
-	modData, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	loader, modPath, err := analysis.NewModuleLoader(root)
 	if err != nil {
-		return nil, fmt.Errorf("lint: %w (RunModule wants a module root)", err)
-	}
-	modPath := ""
-	for _, line := range strings.Split(string(modData), "\n") {
-		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
-			modPath = strings.TrimSpace(rest)
-			break
-		}
-	}
-	if modPath == "" {
-		return nil, fmt.Errorf("lint: no module line in %s/go.mod", root)
+		return nil, err
 	}
 
-	byDir := make(map[string][]string)
+	hasGo := make(map[string]bool)
 	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -85,9 +88,8 @@ func RunModule(root string) ([]analysis.Diagnostic, error) {
 			}
 			return nil
 		}
-		if strings.HasSuffix(path, ".go") {
-			dir := filepath.Dir(path)
-			byDir[dir] = append(byDir[dir], path)
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			hasGo[filepath.Dir(path)] = true
 		}
 		return nil
 	})
@@ -95,8 +97,8 @@ func RunModule(root string) ([]analysis.Diagnostic, error) {
 		return nil, err
 	}
 
-	dirs := make([]string, 0, len(byDir))
-	for dir := range byDir {
+	dirs := make([]string, 0, len(hasGo))
+	for dir := range hasGo {
 		dirs = append(dirs, dir)
 	}
 	sort.Strings(dirs)
@@ -111,26 +113,11 @@ func RunModule(root string) ([]analysis.Diagnostic, error) {
 		if rel != "." {
 			importPath = modPath + "/" + filepath.ToSlash(rel)
 		}
-		fset := token.NewFileSet()
-		// A directory can hold several package clauses (pkg, pkg_test,
-		// ignored mains); lint each group against its own name.
-		groups := make(map[string][]*ast.File)
-		sort.Strings(byDir[dir])
-		for _, path := range byDir[dir] {
-			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
-			if err != nil {
-				return nil, err
-			}
-			groups[f.Name.Name] = append(groups[f.Name.Name], f)
+		pkg, err := loader.Load(importPath)
+		if err != nil {
+			return nil, err
 		}
-		names := make([]string, 0, len(groups))
-		for name := range groups {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			all = append(all, runAll(fset, groups[name], name, importPath)...)
-		}
+		all = append(all, runAll(pkg)...)
 	}
 	return all, nil
 }
@@ -139,11 +126,44 @@ func RunModule(root string) ([]analysis.Diagnostic, error) {
 // reads from the JSON .cfg file it is handed per package.
 type vetConfig struct {
 	ID                        string
+	Compiler                  string
 	ImportPath                string
 	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// vetImporter resolves imports through the export data `go vet` lists:
+// ImportMap canonicalizes the as-written path, PackageFile locates its
+// compiled export file, and the stdlib gc importer reads it.
+type vetImporter struct {
+	cfg *vetConfig
+	gc  types.Importer
+}
+
+func newVetImporter(fset *token.FileSet, cfg *vetConfig) *vetImporter {
+	compiler := cfg.Compiler
+	if compiler == "" || compiler == "gc" {
+		compiler = "gc"
+	}
+	gc := importer.ForCompiler(fset, compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return &vetImporter{cfg: cfg, gc: gc}
+}
+
+func (i *vetImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := i.cfg.ImportMap[path]; ok {
+		path = mapped
+	}
+	return i.gc.Import(path)
 }
 
 // RunVet analyzes the single compilation unit described by cfgPath and
@@ -152,19 +172,19 @@ type vetConfig struct {
 func RunVet(cfgPath string, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgPath)
 	if err != nil {
-		fmt.Fprintf(stderr, "ivdss-lint: %v\n", err)
+		_, _ = fmt.Fprintf(stderr, "ivdss-lint: %v\n", err)
 		return 1
 	}
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		fmt.Fprintf(stderr, "ivdss-lint: parsing %s: %v\n", cfgPath, err)
+		_, _ = fmt.Fprintf(stderr, "ivdss-lint: parsing %s: %v\n", cfgPath, err)
 		return 1
 	}
 	// The driver expects a facts file for every unit, even an empty one;
-	// these analyzers are syntactic and export none.
+	// these analyzers export none.
 	if cfg.VetxOutput != "" {
 		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintf(stderr, "ivdss-lint: %v\n", err)
+			_, _ = fmt.Fprintf(stderr, "ivdss-lint: %v\n", err)
 			return 1
 		}
 	}
@@ -174,12 +194,17 @@ func RunVet(cfgPath string, stderr io.Writer) int {
 	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, path := range cfg.GoFiles {
+		// Test files are exempt from every analyzer in the suite; the
+		// remaining files still form a valid (sub)package to check.
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
 		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
 				return 0
 			}
-			fmt.Fprintf(stderr, "ivdss-lint: %v\n", err)
+			_, _ = fmt.Fprintf(stderr, "ivdss-lint: %v\n", err)
 			return 1
 		}
 		files = append(files, f)
@@ -187,9 +212,17 @@ func RunVet(cfgPath string, stderr io.Writer) int {
 	if len(files) == 0 {
 		return 0
 	}
-	diags := runAll(fset, files, files[0].Name.Name, cfg.ImportPath)
+	pkg, err := analysis.NewPackage(fset, files, cfg.ImportPath, newVetImporter(fset, &cfg))
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		_, _ = fmt.Fprintf(stderr, "ivdss-lint: %v\n", err)
+		return 1
+	}
+	diags := runAll(pkg)
 	for _, d := range diags {
-		fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
+		_, _ = fmt.Fprintf(stderr, "%s: %s\n", d.Pos, d.Message)
 	}
 	if len(diags) > 0 {
 		return 1
@@ -200,7 +233,7 @@ func RunVet(cfgPath string, stderr io.Writer) int {
 // PrintFlags emits the tool's flags as the JSON array `go vet` requests
 // via -flags. The suite has no tuning flags; an empty array is valid.
 func PrintFlags(w io.Writer) {
-	fmt.Fprintln(w, "[]")
+	_, _ = fmt.Fprintln(w, "[]")
 }
 
 // PrintVersion emits the -V=full line `go vet` hashes into its build
@@ -217,7 +250,7 @@ func PrintVersion(w io.Writer) error {
 		return err
 	}
 	sum := sha256.Sum256(data)
-	fmt.Fprintf(w, "%s version devel buildID=%x\n", filepath.Base(os.Args[0]), sum[:16])
+	_, _ = fmt.Fprintf(w, "%s version devel buildID=%x\n", filepath.Base(os.Args[0]), sum[:16])
 	return nil
 }
 
@@ -231,7 +264,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		switch {
 		case arg == "-V=full" || arg == "-V":
 			if err := PrintVersion(stdout); err != nil {
-				fmt.Fprintf(stderr, "ivdss-lint: %v\n", err)
+				_, _ = fmt.Fprintf(stderr, "ivdss-lint: %v\n", err)
 				return 1
 			}
 			return 0
@@ -241,7 +274,7 @@ func Main(args []string, stdout, stderr io.Writer) int {
 		case strings.HasSuffix(arg, ".cfg"):
 			return RunVet(arg, stderr)
 		case strings.HasPrefix(arg, "-"):
-			fmt.Fprintf(stderr, "ivdss-lint: unknown flag %s\n", arg)
+			_, _ = fmt.Fprintf(stderr, "ivdss-lint: unknown flag %s\n", arg)
 			return 2
 		case arg == "./...":
 			roots = append(roots, ".")
@@ -256,11 +289,11 @@ func Main(args []string, stdout, stderr io.Writer) int {
 	for _, root := range roots {
 		diags, err := RunModule(root)
 		if err != nil {
-			fmt.Fprintf(stderr, "ivdss-lint: %v\n", err)
+			_, _ = fmt.Fprintf(stderr, "ivdss-lint: %v\n", err)
 			return 2
 		}
 		for _, d := range diags {
-			fmt.Fprintf(stdout, "%s\n", d)
+			_, _ = fmt.Fprintf(stdout, "%s\n", d)
 			exit = 1
 		}
 	}

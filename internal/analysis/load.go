@@ -1,0 +1,283 @@
+// Loaders: every analyzer now runs over a type-checked Package, and
+// this file builds them three ways with nothing but the standard
+// library. The module loader walks a go.mod tree and type-checks each
+// package from source, resolving module-internal imports recursively
+// and the standard library through the stdlib source importer. The
+// tree loader does the same over a GOPATH-style testdata/src root for
+// golden tests. The vet loader (lint package) reuses newPackage with
+// the gc export-data importer `go vet` hands it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one type-checked compilation unit: the parsed non-test
+// files plus the go/types objects analyzers resolve calls against.
+// Test files are excluded by construction — every analyzer in the
+// suite exempts them, and excluding them keeps the loader from having
+// to type-check external test dependencies.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Name  string // package name from the package clauses
+	Path  string // import path ("" only in ad-hoc tools)
+	Types *types.Package
+	Info  *types.Info
+
+	graph *CallGraph
+}
+
+// Graph returns the package's static call graph, built on first use.
+func (p *Package) Graph() *CallGraph {
+	if p.graph == nil {
+		p.graph = buildCallGraph(p)
+	}
+	return p.graph
+}
+
+// CalleeOf resolves the statically-known callee of call: a package
+// function, a method (value or pointer receiver, through interfaces it
+// returns the interface method), or a function reached through a
+// qualified identifier under any import alias. It returns nil for
+// dynamic calls (function values, conversions, builtins).
+func (p *Package) CalleeOf(call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := p.Info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn
+			}
+			return nil
+		}
+		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// FuncFor returns the object a FuncDecl declares.
+func (p *Package) FuncFor(decl *ast.FuncDecl) *types.Func {
+	fn, _ := p.Info.Defs[decl.Name].(*types.Func)
+	return fn
+}
+
+// FuncIn reports whether fn is declared at package level (or as a
+// method) in a package whose import path ends with suffix. It is the
+// alias-proof replacement for matching a call's printed receiver
+// against an import name.
+func FuncIn(fn *types.Func, suffix string) bool {
+	return fn != nil && fn.Pkg() != nil && PathEndsWith(fn.Pkg().Path(), suffix)
+}
+
+// IsType reports whether t (after unwrapping pointers and aliases) is
+// the named type pkgSuffix.name.
+func IsType(t types.Type, pkgSuffix, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != name {
+		return false
+	}
+	if obj.Pkg() == nil {
+		return pkgSuffix == ""
+	}
+	return PathEndsWith(obj.Pkg().Path(), pkgSuffix)
+}
+
+// A Loader type-checks packages from source, memoizing by import path.
+// SrcDir decides which import paths it owns (everything else falls
+// through to the stdlib source importer, so "time" or "net" resolve
+// from GOROOT).
+type Loader struct {
+	Fset   *token.FileSet
+	SrcDir func(importPath string) (string, bool)
+
+	std  types.Importer
+	pkgs map[string]*Package
+	busy map[string]bool
+}
+
+// NewLoader returns a loader resolving non-stdlib imports via srcDir.
+func NewLoader(srcDir func(string) (string, bool)) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:   fset,
+		SrcDir: srcDir,
+		std:    importer.ForCompiler(fset, "source", nil),
+		pkgs:   make(map[string]*Package),
+		busy:   make(map[string]bool),
+	}
+}
+
+// NewModuleLoader reads root/go.mod and returns a loader mapping the
+// module's import paths onto its directory tree, plus the module path.
+func NewModuleLoader(root string) (*Loader, string, error) {
+	modData, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, "", fmt.Errorf("analysis: %w (module loading wants a go.mod root)", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(modData), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, "", fmt.Errorf("analysis: no module line in %s/go.mod", root)
+	}
+	l := NewLoader(func(importPath string) (string, bool) {
+		if importPath == modPath {
+			return root, true
+		}
+		if rest, ok := strings.CutPrefix(importPath, modPath+"/"); ok {
+			return filepath.Join(root, filepath.FromSlash(rest)), true
+		}
+		return "", false
+	})
+	return l, modPath, nil
+}
+
+// NewTreeLoader maps every import path that exists as a directory
+// under srcRoot (GOPATH-style), for golden-test fixtures.
+func NewTreeLoader(srcRoot string) *Loader {
+	return NewLoader(func(importPath string) (string, bool) {
+		dir := filepath.Join(srcRoot, filepath.FromSlash(importPath))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	})
+}
+
+// Import implements types.Importer over the loader's source tree.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.SrcDir(path); ok {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks the package at importPath (memoized).
+func (l *Loader) Load(importPath string) (*Package, error) {
+	if pkg, ok := l.pkgs[importPath]; ok {
+		return pkg, nil
+	}
+	if l.busy[importPath] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", importPath)
+	}
+	l.busy[importPath] = true
+	defer delete(l.busy, importPath)
+
+	dir, ok := l.SrcDir(importPath)
+	if !ok {
+		return nil, fmt.Errorf("analysis: no source directory for %s", importPath)
+	}
+	files, err := parseDir(l.Fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no non-test Go files in %s", dir)
+	}
+	pkg, err := newPackage(l.Fset, files, importPath, l)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the directory's non-test Go files in name order.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newPackage type-checks one file group with the given importer and
+// wraps it as a Package. Type errors are joined and returned — an
+// analyzer must never run over a half-checked tree, because missing
+// objects would silently disable the invariants.
+func newPackage(fset *token.FileSet, files []*ast.File, importPath string, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []error
+	cfg := types.Config{
+		Importer: imp,
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tpkg, _ := cfg.Check(importPath, fset, files, info)
+	if len(errs) > 0 {
+		msgs := make([]string, 0, len(errs))
+		for _, e := range errs {
+			msgs = append(msgs, e.Error())
+		}
+		if len(msgs) > 5 {
+			msgs = append(msgs[:5], fmt.Sprintf("... and %d more", len(errs)-5))
+		}
+		return nil, fmt.Errorf("analysis: type-checking %s:\n\t%s", importPath, strings.Join(msgs, "\n\t"))
+	}
+	return &Package{
+		Fset:  fset,
+		Files: files,
+		Name:  files[0].Name.Name,
+		Path:  importPath,
+		Types: tpkg,
+		Info:  info,
+	}, nil
+}
+
+// NewPackage is the exported constructor the vet driver uses with the
+// export-data importer `go vet` provides.
+func NewPackage(fset *token.FileSet, files []*ast.File, importPath string, imp types.Importer) (*Package, error) {
+	return newPackage(fset, files, importPath, imp)
+}

@@ -2,17 +2,21 @@
 // sync.Mutex/RWMutex locked in the same function is still held. A
 // round-trip under the server lock turns one slow branch site into a
 // full coordinator stall — the hazard the copy-on-write replica swap
-// exists to avoid. The check is a linear, syntactic walk: it tracks
-// Lock/RLock and Unlock/RUnlock pairs by receiver expression within a
-// function body (a deferred unlock holds to function end) and reports
-// any statement in the held window that calls into a remote-I/O package
-// (import path ending internal/netproto, internal/replsync, or
-// internal/federation) or a known round-trip method.
+// exists to avoid. The walk is linear and type-aware: Lock/RLock and
+// Unlock/RUnlock pairs are tracked by receiver expression within a
+// function body (a deferred unlock holds to function end), and only
+// methods resolved to the sync package count as lock operations — so a
+// type that merely embeds a mutex is tracked, and an unrelated Lock
+// method is not. Blocking callees are classified by their package's
+// import path (netproto/replsync/federation under any alias) or by a
+// known round-trip method name. lockflowcheck extends the same walk
+// across function boundaries via the package call graph.
 package lockcheck
 
 import (
 	"go/ast"
 	"go/types"
+	"sort"
 
 	"ivdss/internal/analysis"
 )
@@ -38,39 +42,76 @@ var blockingMethods = map[string]bool{
 	"ExecutePlanContext": true,
 }
 
-func run(pass *analysis.Pass) {
-	for _, f := range pass.Files {
-		if analysis.IsTestFile(pass.Fset, f) {
-			continue
-		}
-		var pkgLocals []string
+// Blocking classifies call as a potential network round-trip and
+// returns a printable name for it. Package-level functions of the
+// blocking packages count when called from *outside* that package
+// (inside it, reachability is lockflowcheck's job — a same-package
+// helper is not a round-trip just because of where it lives). The
+// callee may be nil (dynamic call): then only the method-name
+// heuristic applies.
+func Blocking(pass *analysis.Pass, call *ast.CallExpr, callee *types.Func) (string, bool) {
+	if callee != nil && callee.Pkg() != pass.Types &&
+		callee.Type().(*types.Signature).Recv() == nil {
 		for _, suffix := range blockingPkgs {
-			if local, ok := analysis.ImportNameSuffix(f, suffix); ok {
-				pkgLocals = append(pkgLocals, local)
+			if analysis.FuncIn(callee, suffix) {
+				return callee.Pkg().Name() + "." + callee.Name(), true
 			}
 		}
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && blockingMethods[sel.Sel.Name] {
+		return types.ExprString(call.Fun), true
+	}
+	return "", false
+}
+
+func run(pass *analysis.Pass) {
+	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fn, ok := decl.(*ast.FuncDecl)
 			if !ok || fn.Body == nil {
 				continue
 			}
-			scanBlock(pass, fn.Body.List, map[string]bool{}, pkgLocals)
+			ForEachHeldCall(pass, fn, func(call *ast.CallExpr, lockName string) {
+				if name, ok := Blocking(pass, call, pass.CalleeOf(call)); ok {
+					pass.Reportf(call.Pos(),
+						"lockcheck: %s may block on the network while %s is held: snapshot under the lock, call after unlocking", name, lockName)
+				}
+			})
 		}
 	}
 }
 
+// ForEachHeldCall walks fn's body linearly, tracking the set of held
+// sync.Mutex/RWMutex receivers, and invokes visit for every call made
+// while at least one is held (function literals excluded: their bodies
+// run later, without these locks). lockflowcheck shares this walk.
+func ForEachHeldCall(pass *analysis.Pass, fn *ast.FuncDecl, visit func(call *ast.CallExpr, lockName string)) {
+	w := &walker{pass: pass, visit: visit}
+	w.scanBlock(fn.Body.List, map[string]bool{})
+}
+
+type walker struct {
+	pass  *analysis.Pass
+	visit func(call *ast.CallExpr, lockName string)
+}
+
 // lockOp classifies a statement's expression as a Lock/RLock or
-// Unlock/RUnlock call and returns the receiver's printed form.
-func lockOp(expr ast.Expr) (recv string, acquire, release bool) {
+// Unlock/RUnlock call on a sync mutex (direct field or embedded) and
+// returns the receiver's printed form.
+func (w *walker) lockOp(expr ast.Expr) (recv string, acquire, release bool) {
 	call, ok := expr.(*ast.CallExpr)
 	if !ok {
 		return "", false, false
 	}
-	sel, ok := call.Fun.(*ast.SelectorExpr)
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return "", false, false
 	}
-	switch sel.Sel.Name {
+	callee := w.pass.CalleeOf(call)
+	if callee == nil || !analysis.FuncIn(callee, "sync") {
+		return "", false, false
+	}
+	switch callee.Name() {
 	case "Lock", "RLock":
 		return types.ExprString(sel.X), true, false
 	case "Unlock", "RUnlock":
@@ -82,19 +123,19 @@ func lockOp(expr ast.Expr) (recv string, acquire, release bool) {
 // scanBlock walks stmts linearly with the set of held lock receivers,
 // recursing into nested blocks with a copy; after a nested block, any
 // lock it unlocks anywhere inside is treated as released (conservative
-// toward silence — branch analysis is out of scope for a syntax pass).
-func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool, pkgLocals []string) {
+// toward silence — path-sensitive analysis is out of scope).
+func (w *walker) scanBlock(stmts []ast.Stmt, held map[string]bool) {
 	for _, stmt := range stmts {
 		switch s := stmt.(type) {
 		case *ast.ExprStmt:
-			if recv, acquire, release := lockOp(s.X); acquire {
+			if recv, acquire, release := w.lockOp(s.X); acquire {
 				held[recv] = true
 				continue
 			} else if release {
 				delete(held, recv)
 				continue
 			}
-			checkBlocking(pass, s, held, pkgLocals)
+			w.checkCalls(s, held)
 		case *ast.DeferStmt:
 			// `defer mu.Unlock()` keeps the lock held to function end:
 			// leave it in the set. Deferred blocking calls run after the
@@ -104,33 +145,33 @@ func scanBlock(pass *analysis.Pass, stmts []ast.Stmt, held map[string]bool, pkgL
 			// A spawned goroutine does not hold this function's locks.
 			continue
 		case *ast.BlockStmt:
-			scanBlock(pass, s.List, copyHeld(held), pkgLocals)
-			releaseUnlocked(held, s)
+			w.scanBlock(s.List, copyHeld(held))
+			w.releaseUnlocked(held, s)
 		case *ast.IfStmt:
 			if s.Init != nil {
-				checkBlocking(pass, s.Init, held, pkgLocals)
+				w.checkCalls(s.Init, held)
 			}
-			checkBlocking(pass, s.Cond, held, pkgLocals)
-			scanBlock(pass, s.Body.List, copyHeld(held), pkgLocals)
+			w.checkCalls(s.Cond, held)
+			w.scanBlock(s.Body.List, copyHeld(held))
 			if s.Else != nil {
-				scanBlock(pass, []ast.Stmt{s.Else}, copyHeld(held), pkgLocals)
+				w.scanBlock([]ast.Stmt{s.Else}, copyHeld(held))
 			}
-			releaseUnlocked(held, s)
+			w.releaseUnlocked(held, s)
 		case *ast.ForStmt:
-			scanBlock(pass, s.Body.List, copyHeld(held), pkgLocals)
-			releaseUnlocked(held, s)
+			w.scanBlock(s.Body.List, copyHeld(held))
+			w.releaseUnlocked(held, s)
 		case *ast.RangeStmt:
-			checkBlocking(pass, s.X, held, pkgLocals)
-			scanBlock(pass, s.Body.List, copyHeld(held), pkgLocals)
-			releaseUnlocked(held, s)
+			w.checkCalls(s.X, held)
+			w.scanBlock(s.Body.List, copyHeld(held))
+			w.releaseUnlocked(held, s)
 		case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
 			for _, clause := range clauseBodies(s) {
-				scanBlock(pass, clause, copyHeld(held), pkgLocals)
+				w.scanBlock(clause, copyHeld(held))
 			}
-			releaseUnlocked(held, s)
+			w.releaseUnlocked(held, s)
 		default:
-			checkBlocking(pass, stmt, held, pkgLocals)
-			releaseUnlocked(held, stmt)
+			w.checkCalls(stmt, held)
+			w.releaseUnlocked(held, stmt)
 		}
 	}
 }
@@ -144,12 +185,19 @@ func copyHeld(held map[string]bool) map[string]bool {
 }
 
 // releaseUnlocked drops from held any lock that stmt unlocks somewhere
-// inside (conservative toward silence — branch analysis is out of
-// scope for a syntax pass).
-func releaseUnlocked(held map[string]bool, stmt ast.Stmt) {
-	for _, recv := range unlockedWithin(stmt) {
-		delete(held, recv)
-	}
+// inside (conservative toward silence).
+func (w *walker) releaseUnlocked(held map[string]bool, stmt ast.Stmt) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if expr, ok := n.(*ast.CallExpr); ok {
+			if recv, _, release := w.lockOp(expr); release {
+				delete(held, recv)
+			}
+		}
+		return true
+	})
 }
 
 // clauseBodies returns the statement lists of a switch/select's clauses.
@@ -175,18 +223,19 @@ func clauseBodies(stmt ast.Stmt) [][]ast.Stmt {
 	return out
 }
 
-// checkBlocking reports network-capable calls inside n while any lock
-// is held, skipping function literals (their bodies run later, without
-// these locks).
-func checkBlocking(pass *analysis.Pass, n ast.Node, held map[string]bool, pkgLocals []string) {
+// checkCalls visits every call inside n while any lock is held,
+// skipping function literals (their bodies run later, without these
+// locks) and the lock operations themselves.
+func (w *walker) checkCalls(n ast.Node, held map[string]bool) {
 	if len(held) == 0 {
 		return
 	}
-	var lockName string
+	names := make([]string, 0, len(held))
 	for recv := range held {
-		lockName = recv
-		break
+		names = append(names, recv)
 	}
+	sort.Strings(names)
+	lockName := names[0]
 	ast.Inspect(n, func(n ast.Node) bool {
 		if _, ok := n.(*ast.FuncLit); ok {
 			return false
@@ -195,40 +244,10 @@ func checkBlocking(pass *analysis.Pass, n ast.Node, held map[string]bool, pkgLoc
 		if !ok {
 			return true
 		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok {
+		if _, _, release := w.lockOp(call); release {
 			return true
 		}
-		for _, local := range pkgLocals {
-			if name := analysis.PkgCall(call, local); name != "" {
-				pass.Reportf(call.Pos(),
-					"lockcheck: %s.%s may block on the network while %s is held: snapshot under the lock, call after unlocking", local, name, lockName)
-				return true
-			}
-		}
-		if blockingMethods[sel.Sel.Name] {
-			pass.Reportf(call.Pos(),
-				"lockcheck: %s may block on the network while %s is held: snapshot under the lock, call after unlocking",
-				types.ExprString(call.Fun), lockName)
-		}
+		w.visit(call, lockName)
 		return true
 	})
-}
-
-// unlockedWithin collects receivers unlocked anywhere inside stmt
-// (outside function literals).
-func unlockedWithin(stmt ast.Stmt) []string {
-	var recvs []string
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		if _, ok := n.(*ast.FuncLit); ok {
-			return false
-		}
-		if expr, ok := n.(*ast.CallExpr); ok {
-			if recv, _, release := lockOp(expr); release {
-				recvs = append(recvs, recv)
-			}
-		}
-		return true
-	})
-	return recvs
 }

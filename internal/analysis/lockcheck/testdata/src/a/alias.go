@@ -1,0 +1,45 @@
+package a
+
+import (
+	"context"
+	"sync"
+
+	wire "example.com/internal/netproto"
+)
+
+type aliased struct {
+	mu sync.Mutex
+}
+
+// The retired syntactic pass keyed on the literal package name
+// "netproto", so a renamed import held a round-trip under the lock
+// unnoticed. The import path, not the spelling, is what matters.
+func (a *aliased) heldUnderAlias(ctx context.Context, addr string) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	_ = wire.CallContext(ctx, addr, nil, 0) // want `lockcheck: netproto\.CallContext may block on the network while a\.mu is held`
+}
+
+type embedsMutex struct {
+	sync.Mutex
+}
+
+// A type that merely *names* its methods Lock/Unlock is not a sync
+// mutex; only operations resolving to the sync package track.
+type fakeLock struct{}
+
+func (fakeLock) Lock()   {}
+func (fakeLock) Unlock() {}
+
+func notALock(ctx context.Context, addr string) {
+	var l fakeLock
+	l.Lock()
+	_ = wire.CallContext(ctx, addr, nil, 0) // not held: fakeLock is not sync
+	l.Unlock()
+}
+
+func embedded(ctx context.Context, e *embedsMutex, addr string) {
+	e.Lock()
+	defer e.Unlock()
+	_ = wire.CallContext(ctx, addr, nil, 0) // want `lockcheck: netproto\.CallContext may block on the network while e is held`
+}

@@ -1,0 +1,22 @@
+// Package netproto is a fixture stub of the wire client: just enough
+// surface for the golden packages to type-check.
+package netproto
+
+import "context"
+
+// Request is the wire request envelope.
+type Request struct{}
+
+// Conn is a client connection.
+type Conn struct{}
+
+// Call round-trips without a context (the banned entry point).
+func Call(addr string, req *Request, timeoutMillis int64) error { return nil }
+
+// Dial connects without a context (the banned entry point).
+func Dial(addr string, timeoutMillis int64) (*Conn, error) { return nil, nil }
+
+// CallContext is the sanctioned context-threading sibling.
+func CallContext(ctx context.Context, addr string, req *Request, timeoutMillis int64) error {
+	return nil
+}

@@ -1,0 +1,65 @@
+// Package lockflowcheck is the cross-function extension of lockcheck:
+// while a sync.Mutex/RWMutex is held, no call may *reach* a network
+// round-trip through any chain of same-package functions. lockcheck
+// sees `s.mu.Lock(); netproto.CallContext(...)`; only a call-graph walk
+// sees `s.mu.Lock(); s.refresh()` where refresh — possibly in another
+// file — performs the round-trip. Helper extraction must not launder a
+// blocking call back under the coordinator lock.
+//
+// Direct blocking calls are left to lockcheck (one finding per bug);
+// this analyzer reports only indirect ones, naming the chain so the
+// reader can follow the laundering path.
+package lockflowcheck
+
+import (
+	"go/ast"
+	"strings"
+
+	"ivdss/internal/analysis"
+	"ivdss/internal/analysis/lockcheck"
+)
+
+// Analyzer is the lockflowcheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "lockflowcheck",
+	Doc: "no network round-trip reachable through same-package calls while a mutex is held " +
+		"(cross-function lockcheck via the package call graph)",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	graph := pass.Graph()
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			lockcheck.ForEachHeldCall(pass, fn, func(call *ast.CallExpr, lockName string) {
+				callee := pass.CalleeOf(call)
+				if callee == nil || graph.Node(callee) == nil {
+					return
+				}
+				if _, direct := lockcheck.Blocking(pass, call, callee); direct {
+					return // lockcheck's finding
+				}
+				hit, via, found := graph.ReachableCall(callee, func(cs analysis.CallSite) bool {
+					_, ok := lockcheck.Blocking(pass, cs.Call, cs.Callee)
+					return ok
+				})
+				if !found {
+					return
+				}
+				name, _ := lockcheck.Blocking(pass, hit.Call, hit.Callee)
+				chain := make([]string, 0, len(via)+1)
+				chain = append(chain, callee.Name())
+				for _, step := range via {
+					chain = append(chain, step.Name())
+				}
+				pass.Reportf(call.Pos(),
+					"lockflowcheck: %s reaches %s (via %s) while %s is held: snapshot under the lock, call after unlocking",
+					callee.Name(), name, strings.Join(chain, " → "), lockName)
+			})
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package lockflowcheck_test
+
+import (
+	"testing"
+
+	"ivdss/internal/analysis/analysistest"
+	"ivdss/internal/analysis/lockflowcheck"
+)
+
+func TestLockflowcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", lockflowcheck.Analyzer, "a")
+}

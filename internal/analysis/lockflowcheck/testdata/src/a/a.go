@@ -1,0 +1,76 @@
+package a
+
+import (
+	"context"
+	"sync"
+
+	"example.com/internal/netproto"
+)
+
+type coordinator struct {
+	mu    sync.Mutex
+	addrs []string
+}
+
+// refresh performs the round-trip. Extracting it into a helper hid the
+// blocking call from the retired syntactic pass, which only matched
+// netproto selectors lexically inside the critical section.
+func (c *coordinator) refresh(ctx context.Context) {
+	for _, a := range c.addrs {
+		_ = netproto.CallContext(ctx, a, nil, 0)
+	}
+}
+
+func (c *coordinator) oneHop(ctx context.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refresh(ctx) // want `lockflowcheck: refresh reaches netproto\.CallContext \(via refresh\) while c\.mu is held: snapshot under the lock, call after unlocking`
+}
+
+func (c *coordinator) outer(ctx context.Context) {
+	c.refresh(ctx)
+}
+
+// Two hops of laundering: the chain names every step.
+func (c *coordinator) twoHop(ctx context.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.outer(ctx) // want `lockflowcheck: outer reaches netproto\.CallContext \(via outer → refresh\) while c\.mu is held`
+}
+
+// A direct blocking call under the lock is lockcheck's finding, not
+// this analyzer's: one finding per bug.
+func (c *coordinator) direct(ctx context.Context, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_ = netproto.CallContext(ctx, addr, nil, 0)
+}
+
+// The sanctioned shape: snapshot under the lock, round-trip after
+// unlocking.
+func (c *coordinator) snapshotThenCall(ctx context.Context) {
+	c.mu.Lock()
+	addrs := append([]string(nil), c.addrs...)
+	c.mu.Unlock()
+	for _, a := range addrs {
+		_ = netproto.CallContext(ctx, a, nil, 0)
+	}
+}
+
+// Helpers that never reach the network are fine under the lock.
+func (c *coordinator) count() int {
+	return len(c.addrs)
+}
+
+func (c *coordinator) sized() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.count()
+}
+
+func (c *coordinator) escapes(ctx context.Context) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.refresh(ctx) //lint:allow lockflowcheck(fixture models a bounded local round-trip)
+	c.refresh(ctx) //lint:allow lockflowcheck // want `lockflowcheck: //lint:allow lockflowcheck needs a reason`
+}

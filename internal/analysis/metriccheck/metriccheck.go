@@ -6,6 +6,11 @@
 // — the same name registered under two instrument kinds is always a
 // bug, because the registry would silently hand back whichever kind won
 // the race to create it.
+//
+// The registry methods are resolved by go/types: only methods declared
+// in internal/metrics count, so an unrelated type that happens to have
+// a Counter method no longer trips the check, and the registry reached
+// through a helper or a renamed import no longer evades it.
 package metriccheck
 
 import (
@@ -34,27 +39,24 @@ type registration struct {
 }
 
 func run(pass *analysis.Pass) {
-	if pass.PkgName == "main" {
+	if pass.PkgName() == "main" {
 		return
 	}
 	seen := make(map[string]registration)
 	for _, f := range pass.Files {
-		if analysis.IsTestFile(pass.Fset, f) {
-			continue
-		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok || len(call.Args) < 1 {
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok || !kinds[sel.Sel.Name] {
+			fn := pass.CalleeOf(call)
+			if fn == nil || !kinds[fn.Name()] || !analysis.FuncIn(fn, "internal/metrics") {
 				return true
 			}
 			lit, ok := call.Args[0].(*ast.BasicLit)
 			if !ok || lit.Kind != token.STRING {
 				pass.Reportf(call.Pos(),
-					"metriccheck: %s name must be a compile-time string literal so the metric surface is grep-able", sel.Sel.Name)
+					"metriccheck: %s name must be a compile-time string literal so the metric surface is grep-able", fn.Name())
 				return true
 			}
 			name, err := strconv.Unquote(lit.Value)
@@ -65,12 +67,12 @@ func run(pass *analysis.Pass) {
 				pass.Reportf(lit.Pos(), "metriccheck: metric name %q must be snake_case", name)
 				return true
 			}
-			if prev, dup := seen[name]; dup && prev.kind != sel.Sel.Name {
+			if prev, dup := seen[name]; dup && prev.kind != fn.Name() {
 				pass.Reportf(lit.Pos(),
-					"metriccheck: metric %q registered as %s here but as %s at %s", name, sel.Sel.Name, prev.kind, prev.pos)
+					"metriccheck: metric %q registered as %s here but as %s at %s", name, fn.Name(), prev.kind, prev.pos)
 				return true
 			}
-			seen[name] = registration{kind: sel.Sel.Name, pos: pass.Fset.Position(lit.Pos())}
+			seen[name] = registration{kind: fn.Name(), pos: pass.Fset.Position(lit.Pos())}
 			return true
 		})
 	}

@@ -1,16 +1,14 @@
 // Package a exercises metriccheck: metric-name discipline.
 package a
 
-type registry struct{}
+import (
+	reg "example.com/internal/metrics"
+)
 
-func (registry) Counter(name string) int   { return 0 }
-func (registry) Gauge(name string) int     { return 0 }
-func (registry) Histogram(name string) int { return 0 }
-
-func metrics(r registry, dyn string) {
+func metrics(r *reg.Registry, dyn string) {
 	_ = r.Counter("queries_total")
 	_ = r.Counter("queries_total") // same name, same kind: get-or-create is fine
-	_ = r.Histogram("service_seconds")
+	_ = r.Histogram("service_seconds", nil)
 	_ = r.Gauge("queries_total") // want `metriccheck: metric "queries_total" registered as Gauge here but as Counter at`
 	_ = r.Counter("BadName")     // want `metriccheck: metric name "BadName" must be snake_case`
 	_ = r.Counter("kebab-case")  // want `metriccheck: metric name "kebab-case" must be snake_case`
@@ -18,4 +16,16 @@ func metrics(r registry, dyn string) {
 	_ = r.Counter("dyn_" + dyn)  // want `metriccheck: Counter name must be a compile-time string literal`
 	_ = r.Gauge(dyn)             //lint:allow metriccheck(fixture models a bounded per-site family)
 	_ = r.Gauge(dyn)             //lint:allow metriccheck // want `metriccheck: //lint:allow metriccheck needs a reason`
+}
+
+// lookalike has the registry's method names but is not the registry:
+// the retired syntactic pass flagged any .Counter("Bad Name") call by
+// selector name alone; the type-aware pass resolves the receiver.
+type lookalike struct{}
+
+func (lookalike) Counter(name string) int { return 0 }
+
+func notTheRegistry(l lookalike, dyn string) {
+	_ = l.Counter(dyn)         // dynamic name on an unrelated type: fine
+	_ = l.Counter("Not Snake") // unrelated type: not a metric
 }

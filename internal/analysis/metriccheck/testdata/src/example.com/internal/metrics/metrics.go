@@ -1,0 +1,18 @@
+// Package metrics is a fixture stub of the instrument registry.
+package metrics
+
+// Registry hands out named instruments, get-or-create.
+type Registry struct{}
+
+// Counter is a monotone counter.
+type Counter struct{}
+
+// Gauge is a set-to-value instrument.
+type Gauge struct{}
+
+// Histogram is a bucketed distribution.
+type Histogram struct{}
+
+func (*Registry) Counter(name string) *Counter                       { return nil }
+func (*Registry) Gauge(name string) *Gauge                           { return nil }
+func (*Registry) Histogram(name string, bounds []float64) *Histogram { return nil }

@@ -1,0 +1,337 @@
+// Package outcomecheck guards the IV accounting identity: every query
+// that enters an engine or queue must leave as exactly one accounted
+// core.Outcome (completion, expiry, eviction, or plan failure via
+// OnDrop). A removal path that forgets its outcome silently deflates
+// total information value — the quantity every shedding and eviction
+// policy in the paper optimizes — and no example-based test catches
+// the path nobody exercised.
+//
+// Two rules, both type-aware:
+//
+//  1. Removal accounting: a statement that removes an element from a
+//     query-carrying container (slice-delete `x = append(x[:i],
+//     x[i+1:]...)`, head-drop `x = x[1:]`, or a keyed `delete` on a
+//     query-carrying map) must have outcome accounting in reach: the
+//     enclosing function, one of its (transitive) callees, or a direct
+//     caller must construct a core.Outcome, build a scheduler
+//     Dispatch (the launch path — the executor's done callback
+//     accounts it), or invoke an OnDrop hook. "Query-carrying" means
+//     the element type is, or is a struct holding, a core.Query —
+//     resolved through go/types, so wrapper entry structs count.
+//
+//  2. Discarded errors: library code may not drop an error-returning
+//     call as a bare statement or `go` statement. `_ =` remains legal
+//     as an explicit, grep-able waiver; deferred Close stays legal on
+//     the grounds PR 5 established (write paths check Close
+//     explicitly). Writes that cannot fail by contract — methods of
+//     strings.Builder/bytes.Buffer, and fmt.Fprint* targeting one —
+//     are exempt: their error results exist only to satisfy
+//     io.Writer.
+package outcomecheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"ivdss/internal/analysis"
+)
+
+// Analyzer is the outcomecheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "outcomecheck",
+	Doc: "queue removals of query-carrying elements must account a core.Outcome (or reach OnDrop/Dispatch), " +
+		"and error returns in library code may not be discarded",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) {
+	if pass.PkgName() == "main" {
+		return
+	}
+	checkDiscardedErrors(pass)
+	checkRemovals(pass)
+}
+
+// --- rule 2: discarded errors -----------------------------------------
+
+func returnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if types.Identical(tup.At(i).Type(), errType) {
+				return true
+			}
+		}
+		return false
+	}
+	return types.Identical(t, errType)
+}
+
+// neverFailingWriter reports whether t (after unwrapping a pointer) is
+// an in-memory writer whose Write-family methods return a nil error by
+// documented contract.
+func neverFailingWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return analysis.IsType(t, "strings", "Builder") || analysis.IsType(t, "bytes", "Buffer")
+}
+
+// infallible reports whether call's error result is dead by contract: a
+// method on strings.Builder/bytes.Buffer, or an fmt.Fprint* call whose
+// destination writer is one.
+func infallible(pass *analysis.Pass, call *ast.CallExpr, callee *types.Func) bool {
+	if callee == nil {
+		return false
+	}
+	if recv := callee.Type().(*types.Signature).Recv(); recv != nil {
+		return neverFailingWriter(recv.Type())
+	}
+	if analysis.FuncIn(callee, "fmt") && strings.HasPrefix(callee.Name(), "Fprint") && len(call.Args) > 0 {
+		return neverFailingWriter(pass.Info.TypeOf(call.Args[0]))
+	}
+	return false
+}
+
+func checkDiscardedErrors(pass *analysis.Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				c, ok := ast.Unparen(s.X).(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call = c
+			case *ast.GoStmt:
+				call = s.Call
+			default:
+				return true
+			}
+			if !returnsError(pass, call) {
+				return true
+			}
+			if infallible(pass, call, pass.CalleeOf(call)) {
+				return true
+			}
+			name := types.ExprString(call.Fun)
+			if callee := pass.CalleeOf(call); callee != nil {
+				name = callee.Name()
+			}
+			pass.Reportf(call.Pos(),
+				"outcomecheck: %s returns an error that is discarded: handle it, or waive explicitly with _ =", name)
+			return true
+		})
+	}
+}
+
+// --- rule 1: removal accounting ---------------------------------------
+
+// carriesQuery reports whether elem (after unwrapping pointers) is
+// core.Query or a struct with a core.Query-typed field.
+func carriesQuery(elem types.Type) bool {
+	if ptr, ok := elem.Underlying().(*types.Pointer); ok {
+		elem = ptr.Elem()
+	}
+	if analysis.IsType(elem, "internal/core", "Query") {
+		return true
+	}
+	st, ok := elem.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		if analysis.IsType(st.Field(i).Type(), "internal/core", "Query") {
+			return true
+		}
+	}
+	return false
+}
+
+// queryElem returns the query-carrying element type of a slice or map
+// type, if any.
+func queryElem(t types.Type) (types.Type, bool) {
+	if t == nil {
+		return nil, false
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		if carriesQuery(u.Elem()) {
+			return u.Elem(), true
+		}
+	case *types.Map:
+		if carriesQuery(u.Elem()) {
+			return u.Elem(), true
+		}
+	}
+	return nil, false
+}
+
+// accounts reports direct outcome-accounting evidence in fn's body: a
+// core.Outcome composite literal, a scheduler Dispatch literal, or a
+// call through an OnDrop hook.
+func accounts(pass *analysis.Pass, body ast.Node) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CompositeLit:
+			t := pass.Info.TypeOf(x)
+			if analysis.IsType(t, "internal/core", "Outcome") || analysis.IsType(t, "internal/scheduler", "Dispatch") {
+				found = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(x.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "OnDrop" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// accountsInReach reports accounting evidence in fn or any function it
+// transitively calls within the package.
+func accountsInReach(pass *analysis.Pass, fn *types.Func, memo map[*types.Func]int) bool {
+	const (
+		inProgress = 1
+		yes        = 2
+		no         = 3
+	)
+	switch memo[fn] {
+	case yes:
+		return true
+	case no, inProgress:
+		return false
+	}
+	memo[fn] = inProgress
+	node := pass.Graph().Node(fn)
+	if node == nil {
+		memo[fn] = no
+		return false
+	}
+	if accounts(pass, node.Decl.Body) {
+		memo[fn] = yes
+		return true
+	}
+	for _, cs := range node.Calls {
+		if cs.Callee != nil && accountsInReach(pass, cs.Callee, memo) {
+			memo[fn] = yes
+			return true
+		}
+	}
+	memo[fn] = no
+	return false
+}
+
+func checkRemovals(pass *analysis.Pass) {
+	graph := pass.Graph()
+	memo := make(map[*types.Func]int)
+
+	// callers: reverse edges of the package graph.
+	callers := make(map[*types.Func][]*types.Func)
+	for _, node := range graph.Funcs() {
+		for _, cs := range node.Calls {
+			if cs.Callee != nil && graph.Node(cs.Callee) != nil {
+				callers[cs.Callee] = append(callers[cs.Callee], node.Fn)
+			}
+		}
+	}
+
+	accounted := func(fn *types.Func) bool {
+		if accountsInReach(pass, fn, memo) {
+			return true
+		}
+		for _, caller := range callers[fn] {
+			if accountsInReach(pass, caller, memo) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for _, node := range graph.Funcs() {
+		fn := node.Fn
+		ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if !removesQueryElement(pass, s) {
+					return true
+				}
+				if !accounted(fn) {
+					pass.Reportf(s.Pos(),
+						"outcomecheck: removes a query-carrying element with no core.Outcome accounting in reach: emit exactly one Outcome (or OnDrop) per removed query")
+				}
+			case *ast.CallExpr:
+				if !deletesQueryElement(pass, s) {
+					return true
+				}
+				if !accounted(fn) {
+					pass.Reportf(s.Pos(),
+						"outcomecheck: deletes a query-carrying map entry with no core.Outcome accounting in reach: emit exactly one Outcome (or OnDrop) per removed query")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// removesQueryElement matches the slice removal idioms
+// `x = append(x[:i], x[i+1:]...)` and `x = x[1:]` on query-carrying
+// slices.
+func removesQueryElement(pass *analysis.Pass, s *ast.AssignStmt) bool {
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return false
+	}
+	if _, ok := queryElem(pass.Info.TypeOf(s.Lhs[0])); !ok {
+		return false
+	}
+	lhs := types.ExprString(s.Lhs[0])
+	switch rhs := ast.Unparen(s.Rhs[0]).(type) {
+	case *ast.CallExpr:
+		// append(x[:i], x[i+1:]...) assigned back to x.
+		id, ok := ast.Unparen(rhs.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" || len(rhs.Args) != 2 || rhs.Ellipsis == 0 {
+			return false
+		}
+		first, ok := ast.Unparen(rhs.Args[0]).(*ast.SliceExpr)
+		if !ok || first.Low != nil || first.High == nil {
+			return false
+		}
+		second, ok := ast.Unparen(rhs.Args[1]).(*ast.SliceExpr)
+		if !ok || second.Low == nil {
+			return false
+		}
+		return types.ExprString(first.X) == lhs && types.ExprString(second.X) == lhs
+	case *ast.SliceExpr:
+		// x = x[1:] head-drop. x = x[:0] (reset) and x = x[:n]
+		// (truncate-from-filter) are handled as filters — the filter
+		// loop re-appends survivors, so the kept/shed split is visible.
+		return types.ExprString(rhs.X) == lhs && rhs.Low != nil && rhs.High == nil
+	}
+	return false
+}
+
+// deletesQueryElement matches `delete(m, k)` on query-carrying maps.
+func deletesQueryElement(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "delete" || len(call.Args) != 2 {
+		return false
+	}
+	if _, ok := pass.Info.Uses[id].(*types.Builtin); !ok {
+		return false
+	}
+	_, ok = queryElem(pass.Info.TypeOf(call.Args[0]))
+	return ok
+}

@@ -1,0 +1,12 @@
+package outcomecheck_test
+
+import (
+	"testing"
+
+	"ivdss/internal/analysis/analysistest"
+	"ivdss/internal/analysis/outcomecheck"
+)
+
+func TestOutcomecheck(t *testing.T) {
+	analysistest.Run(t, "testdata", outcomecheck.Analyzer, "a")
+}

@@ -1,0 +1,110 @@
+package a
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	core "example.com/internal/core"
+)
+
+// entry wraps a query: the retired syntactic pass keyed on the literal
+// element type core.Query, so a wrapper struct hid the queue. The
+// type-aware pass resolves the field through go/types.
+type entry struct {
+	Q    core.Query
+	cost float64
+}
+
+type queue struct {
+	items []entry
+	byID  map[int]entry
+}
+
+// A head-drop that loses the query with no accounting anywhere.
+func (q *queue) dropHead() {
+	q.items = q.items[1:] // want `outcomecheck: removes a query-carrying element with no core\.Outcome accounting in reach`
+}
+
+// Removal with the outcome constructed in the same function.
+func (q *queue) expire(i int) core.Outcome {
+	e := q.items[i]
+	q.items = append(q.items[:i], q.items[i+1:]...)
+	return core.Outcome{Q: e.Q, Status: "expired"}
+}
+
+// A keyed delete that loses the query.
+func (q *queue) forget(id int) {
+	delete(q.byID, id) // want `outcomecheck: deletes a query-carrying map entry with no core\.Outcome accounting in reach`
+}
+
+// Accounting through a transitive callee still counts.
+func (q *queue) shed() {
+	e := q.items[0]
+	q.items = q.items[1:]
+	q.record(e)
+}
+
+func (q *queue) record(e entry) {
+	_ = core.Outcome{Q: e.Q, Status: "shed"}
+}
+
+// pop removes without accounting, but its caller accounts the launch —
+// the executor's done callback owns the outcome.
+func (q *queue) pop() entry {
+	e := q.items[0]
+	q.items = q.items[1:]
+	return e
+}
+
+func (q *queue) launch() core.Outcome {
+	e := q.pop()
+	return core.Outcome{Q: e.Q, Status: "done"}
+}
+
+// An eviction hook is accounting: the owner observes the drop.
+type dropper struct {
+	byID   map[int]entry
+	OnDrop func(core.Query)
+}
+
+func (d *dropper) evict(id int) {
+	e := d.byID[id]
+	delete(d.byID, id)
+	d.OnDrop(e.Q)
+}
+
+// Slices that carry no queries are out of scope.
+func trimInts(xs []int) []int {
+	xs = xs[1:]
+	return xs
+}
+
+// --- discarded errors -------------------------------------------------
+
+func mayFail() error { return nil }
+
+func sloppy() {
+	mayFail()    // want `outcomecheck: mayFail returns an error that is discarded: handle it, or waive explicitly with _ =`
+	go mayFail() // want `outcomecheck: mayFail returns an error that is discarded`
+	_ = mayFail()
+}
+
+// In-memory writers cannot fail by contract: their error results exist
+// only to satisfy io.Writer.
+func render() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 7)
+	return b.String()
+}
+
+// Deferred Close stays legal: write paths check Close explicitly.
+func deferred(c io.Closer) {
+	defer c.Close()
+}
+
+func escapes() {
+	mayFail() //lint:allow outcomecheck(fixture models an advisory side effect)
+	mayFail() //lint:allow outcomecheck // want `outcomecheck: //lint:allow outcomecheck needs a reason`
+}

@@ -1,0 +1,15 @@
+// Package core is a fixture stub of the query/outcome model: just
+// enough surface for the golden packages to type-check.
+package core
+
+// Query is one in-flight query.
+type Query struct {
+	ID  int
+	Arg string
+}
+
+// Outcome is the accounted end of one query.
+type Outcome struct {
+	Q      Query
+	Status string
+}

@@ -5,10 +5,16 @@
 // seed. The global source is shared, lockstep with every other caller
 // in the process, and unseedable per-component: using it silently
 // breaks replayability.
+//
+// The check resolves objects through go/types, so the global source
+// reached under an import alias, a dot import, or as a captured
+// function value (`pick := rand.Intn`) is flagged the same as a direct
+// call.
 package randcheck
 
 import (
 	"go/ast"
+	"go/types"
 
 	"ivdss/internal/analysis"
 )
@@ -31,47 +37,46 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
+func isRandPkg(pkg *types.Package) bool {
+	return pkg != nil && (pkg.Path() == "math/rand" || pkg.Path() == "math/rand/v2")
+}
+
 func run(pass *analysis.Pass) {
-	if pass.PkgName == "main" {
+	if pass.PkgName() == "main" {
 		return
 	}
 	for _, f := range pass.Files {
-		if analysis.IsTestFile(pass.Fset, f) {
-			continue
-		}
-		locals := make([]string, 0, 2)
-		for _, path := range [2]string{"math/rand", "math/rand/v2"} {
-			if local, ok := analysis.ImportName(f, path); ok {
-				locals = append(locals, local)
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
 			}
-		}
-		if len(locals) == 0 {
-			continue
-		}
+			fn, ok := pass.Info.Uses[id].(*types.Func)
+			if !ok || !isRandPkg(fn.Pkg()) || fn.Type().(*types.Signature).Recv() != nil {
+				return true
+			}
+			if !constructors[fn.Name()] {
+				pass.Reportf(id.Pos(),
+					"randcheck: global math/rand source via rand.%s: inject a seeded *rand.Rand instead", fn.Name())
+				return true
+			}
+			return true
+		})
+		// rand.NewSource(<call>) computes a fresh seed (the classic
+		// time.Now().UnixNano() idiom): the seed must be a value plumbed
+		// in from configuration.
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			for _, local := range locals {
-				name := analysis.PkgCall(call, local)
-				if name == "" {
-					continue
-				}
-				if !constructors[name] {
-					pass.Reportf(call.Pos(),
-						"randcheck: global math/rand source via rand.%s: inject a seeded *rand.Rand instead", name)
-					return true
-				}
-				// rand.NewSource(<call>) computes a fresh seed (the
-				// classic time.Now().UnixNano() idiom): the seed must be
-				// a value plumbed in from configuration.
-				if name == "NewSource" && len(call.Args) == 1 {
-					if _, isCall := call.Args[0].(*ast.CallExpr); isCall {
-						pass.Reportf(call.Pos(),
-							"randcheck: rand.NewSource seed is computed at the call site: plumb an injected seed value instead")
-					}
-				}
+			fn := pass.CalleeOf(call)
+			if fn == nil || !isRandPkg(fn.Pkg()) || fn.Name() != "NewSource" || len(call.Args) != 1 {
+				return true
+			}
+			if _, isCall := call.Args[0].(*ast.CallExpr); isCall {
+				pass.Reportf(call.Pos(),
+					"randcheck: rand.NewSource seed is computed at the call site: plumb an injected seed value instead")
 			}
 			return true
 		})

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
 	"ivdss/internal/core"
@@ -53,8 +54,14 @@ func NewBudgets(cfg BudgetConfig) (*Budgets, error) {
 	if cfg.Default < 0 {
 		return nil, fmt.Errorf("cluster: default tenant weight %v must be positive", cfg.Default)
 	}
-	for t, w := range cfg.Weights {
-		if w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+	// Validate in sorted order so the reported offender is deterministic.
+	tenants := make([]string, 0, len(cfg.Weights))
+	for t := range cfg.Weights {
+		tenants = append(tenants, t)
+	}
+	sort.Strings(tenants)
+	for _, t := range tenants {
+		if w := cfg.Weights[t]; w <= 0 || math.IsNaN(w) || math.IsInf(w, 0) {
 			return nil, fmt.Errorf("cluster: tenant %q weight %v must be positive and finite", t, w)
 		}
 	}

@@ -1,0 +1,24 @@
+package cluster
+
+import (
+	"testing"
+
+	"ivdss/internal/core"
+)
+
+// NewBudgets validates tenants in sorted order, so with several invalid
+// weights the reported offender is always the lexically smallest — not
+// whichever the map happened to yield first.
+func TestNewBudgetsDeterministicOffender(t *testing.T) {
+	const want = `cluster: tenant "alpha" weight -1 must be positive and finite`
+	for i := 0; i < 32; i++ {
+		weights := map[string]float64{"gamma": -3, "beta": -2, "alpha": -1, "ok": 1}
+		_, err := NewBudgets(BudgetConfig{
+			Weights: weights,
+			Now:     func() core.Time { return 0 },
+		})
+		if err == nil || err.Error() != want {
+			t.Fatalf("run %d: NewBudgets error = %v; want %q", i, err, want)
+		}
+	}
+}

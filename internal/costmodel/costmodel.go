@@ -311,7 +311,14 @@ func (m *CalibratedModel) ReadJSON(r io.Reader) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	for k, v := range file.Entries {
+	// Validate in sorted order so the reported offender is deterministic.
+	keys := make([]string, 0, len(file.Entries))
+	for k := range file.Entries {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := file.Entries[k]
 		if v.Queue < 0 || v.Process < 0 || v.Transmit < 0 {
 			return fmt.Errorf("costmodel: calibration entry %q has negative components", k)
 		}

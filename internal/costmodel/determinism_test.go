@@ -1,0 +1,28 @@
+package costmodel
+
+import (
+	"strings"
+	"testing"
+)
+
+// ReadJSON validates calibration entries in sorted key order, so a
+// snapshot with several bad entries always reports the lexically
+// smallest — not whichever the decoded map happened to yield first.
+func TestReadJSONDeterministicOffender(t *testing.T) {
+	const snapshot = `{"entries":{
+		"q9|zeta":  {"Queue":-1},
+		"q1|alpha": {"Process":-2},
+		"q5|mid":   {"Transmit":-3}
+	}}`
+	const want = `costmodel: calibration entry "q1|alpha" has negative components`
+	for i := 0; i < 32; i++ {
+		m, err := NewCalibratedModel(&CountModel{LocalProcess: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = m.ReadJSON(strings.NewReader(snapshot))
+		if err == nil || err.Error() != want {
+			t.Fatalf("run %d: ReadJSON error = %v; want %q", i, err, want)
+		}
+	}
+}

@@ -153,7 +153,7 @@ func (p *Proxy) acceptLoop() {
 }
 
 func (p *Proxy) forget(c net.Conn) {
-	c.Close()
+	_ = c.Close() // teardown of a tracked conn; reset-on-close is the point
 	p.mu.Lock()
 	delete(p.conns, c)
 	p.mu.Unlock()
@@ -236,11 +236,12 @@ func (p *Proxy) Sever() {
 	p.mu.Lock()
 	conns := make([]net.Conn, 0, len(p.conns))
 	for c := range p.conns {
+		//lint:allow detordercheck(closing every tracked conn commutes; net.Conn has no sort key)
 		conns = append(conns, c)
 	}
 	p.mu.Unlock()
 	for _, c := range conns {
-		c.Close()
+		_ = c.Close() // severing the link: reset-on-close is the point
 	}
 }
 

@@ -121,9 +121,14 @@ func (d *StormDriver) Stop() {
 	d.mu.Lock()
 	timers := d.timers
 	d.timers = nil
+	targets := make([]string, 0, len(d.down))
+	for t := range d.down {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
 	var restore []*Proxy
-	for t, n := range d.down {
-		if n > 0 {
+	for _, t := range targets {
+		if d.down[t] > 0 {
 			restore = append(restore, d.proxies[t])
 		}
 		d.down[t] = 0

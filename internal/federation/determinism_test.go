@@ -1,0 +1,26 @@
+package federation
+
+import (
+	"testing"
+
+	"ivdss/internal/core"
+)
+
+// NewPlacement validates tables in sorted order, so with several tables
+// on invalid sites the reported offender is always the lexically
+// smallest — not whichever the map happened to yield first.
+func TestNewPlacementDeterministicOffender(t *testing.T) {
+	const want = "federation: table alpha placed on non-remote site 0"
+	for i := 0; i < 32; i++ {
+		siteOf := map[core.TableID]core.SiteID{
+			"gamma": 0,
+			"beta":  0,
+			"alpha": 0,
+			"ok":    1,
+		}
+		_, err := NewPlacement(siteOf)
+		if err == nil || err.Error() != want {
+			t.Fatalf("run %d: NewPlacement error = %v; want %q", i, err, want)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package federation
 import (
 	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -127,7 +128,15 @@ func (e *Engine) AddSite(s *Site) error {
 // Distribute creates sites per the catalog's placement and installs each
 // base table on its owning site.
 func (e *Engine) Distribute(tables map[string]*relation.Table) error {
-	for name, t := range tables {
+	// Install in sorted name order: site construction and the first
+	// error surfaced must not depend on map iteration order.
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := tables[name]
 		id := core.TableID(strings.ToLower(name))
 		site, err := e.catalog.Placement().SiteOf(id)
 		if err != nil {

@@ -11,6 +11,7 @@ package federation
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"ivdss/internal/core"
@@ -26,15 +27,20 @@ type Placement struct {
 // NewPlacement builds a placement from an explicit assignment. Sites must
 // be remote (>= 1).
 func NewPlacement(siteOf map[core.TableID]core.SiteID) (*Placement, error) {
+	// Validate in sorted order so the reported offender is deterministic.
+	ids := make([]core.TableID, 0, len(siteOf))
+	for id := range siteOf {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
 	maxSite := core.SiteID(0)
 	cp := make(map[core.TableID]core.SiteID, len(siteOf))
-	for id, s := range siteOf {
+	for _, id := range ids {
+		s := siteOf[id]
 		if s < 1 {
 			return nil, fmt.Errorf("federation: table %s placed on non-remote site %d", id, s)
 		}
-		if s > maxSite {
-			maxSite = s
-		}
+		maxSite = max(maxSite, s)
 		cp[id] = s
 	}
 	return &Placement{siteOf: cp, nSites: int(maxSite)}, nil

@@ -1,0 +1,45 @@
+package metrics
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Flatten walks instruments in sorted name order; the export must be
+// identical however the registry was populated and however many times
+// it is taken.
+func TestFlattenInsertionOrderInvariant(t *testing.T) {
+	build := func(names []string) *Registry {
+		r := NewRegistry()
+		for i, n := range names {
+			r.Counter("c_" + n).Add(int64(i + 1))
+			r.Gauge("g_" + n).Set(float64(i) / 2)
+			r.Histogram("h_"+n, []float64{1, 10}).Observe(float64(i))
+		}
+		return r
+	}
+	names := []string{"alpha", "beta", "gamma", "delta"}
+	reversed := []string{"delta", "gamma", "beta", "alpha"}
+	// The counter/gauge values depend on insertion index, so rebuild the
+	// reversed registry's instruments with the forward indices.
+	a := build(names)
+	b := NewRegistry()
+	for _, n := range reversed {
+		var i int
+		for j, fn := range names {
+			if fn == n {
+				i = j
+			}
+		}
+		b.Counter("c_" + n).Add(int64(i + 1))
+		b.Gauge("g_" + n).Set(float64(i) / 2)
+		b.Histogram("h_"+n, []float64{1, 10}).Observe(float64(i))
+	}
+	fa, fb := a.Flatten(), b.Flatten()
+	if !reflect.DeepEqual(fa, fb) {
+		t.Fatalf("Flatten differs under insertion order:\n%v\n%v", fa, fb)
+	}
+	if again := a.Flatten(); !reflect.DeepEqual(fa, again) {
+		t.Fatalf("Flatten not stable across calls:\n%v\n%v", fa, again)
+	}
+}

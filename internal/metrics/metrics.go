@@ -192,14 +192,14 @@ func (r *Registry) Flatten() map[string]float64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make(map[string]float64, len(r.counters)+len(r.gauges)+5*len(r.histograms))
-	for name, c := range r.counters {
-		out[name] = float64(c.Value())
+	for _, name := range sortedKeys(r.counters) {
+		out[name] = float64(r.counters[name].Value())
 	}
-	for name, g := range r.gauges {
-		out[name] = g.Value()
+	for _, name := range sortedKeys(r.gauges) {
+		out[name] = r.gauges[name].Value()
 	}
-	for name, h := range r.histograms {
-		s := h.Snapshot()
+	for _, name := range sortedKeys(r.histograms) {
+		s := r.histograms[name].Snapshot()
 		out[name+"_count"] = float64(s.Count)
 		out[name+"_sum"] = s.Sum
 		out[name+"_mean"] = s.Mean()
@@ -207,4 +207,15 @@ func (r *Registry) Flatten() map[string]float64 {
 		out[name+"_p95"] = s.Quantile(.95)
 	}
 	return out
+}
+
+// sortedKeys returns m's keys in sorted order, so export walks the
+// instruments deterministically.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

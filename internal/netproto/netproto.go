@@ -401,7 +401,9 @@ func (c *Conn) RoundTripContext(ctx context.Context, req *Request) (*Response, e
 	// Explicit cancellation (not just deadline expiry) unblocks the
 	// exchange by forcing the connection deadline into the past.
 	stop := context.AfterFunc(ctx, func() {
-		c.raw.SetDeadline(time.Unix(1, 0))
+		// Best-effort unblock; a conn too broken to set a deadline on is
+		// already failing the exchange.
+		_ = c.raw.SetDeadline(time.Unix(1, 0))
 	})
 	defer stop()
 	resp, err := c.exchange(req)

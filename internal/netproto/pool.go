@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -78,7 +79,7 @@ func (p *Pool) get(addr string) (c *Conn, reused bool) {
 		p.idle[addr] = conns[:len(conns)-1]
 		p.mu.Unlock()
 		if wall.Since(pc.since) > p.idleExpiry() || !healthy(pc.conn) {
-			pc.conn.Close()
+			_ = pc.conn.Close() // discarding a stale conn; nothing to salvage
 			continue
 		}
 		return pc.conn, true
@@ -111,7 +112,7 @@ func (p *Pool) put(addr string, c *Conn) {
 	p.mu.Lock()
 	if p.closed || len(p.idle[addr]) >= p.maxIdle() {
 		p.mu.Unlock()
-		c.Close()
+		_ = c.Close() // surplus conn; the call it served already succeeded
 		return
 	}
 	p.idle[addr] = append(p.idle[addr], pooledConn{conn: c, since: wall.Now()})
@@ -160,7 +161,7 @@ func (p *Pool) CallContext(ctx context.Context, addr string, req *Request) (*Res
 	}
 	resp, err := conn.RoundTripContext(ctx, req)
 	if err != nil {
-		conn.Close()
+		_ = conn.Close() // the round-trip error is the one to surface
 		if !reused || ctx.Err() != nil {
 			return nil, err
 		}
@@ -170,7 +171,7 @@ func (p *Pool) CallContext(ctx context.Context, addr string, req *Request) (*Res
 		}
 		resp, err = conn.RoundTripContext(ctx, req)
 		if err != nil {
-			conn.Close()
+			_ = conn.Close() // ditto: report the round-trip failure
 			return nil, err
 		}
 	}
@@ -195,9 +196,16 @@ func (p *Pool) Close() error {
 		return nil
 	}
 	p.closed = true
+	// Close in sorted address order so firstErr picks the same failure
+	// on every run.
+	addrs := make([]string, 0, len(p.idle))
+	for addr := range p.idle {
+		addrs = append(addrs, addr)
+	}
+	sort.Strings(addrs)
 	var firstErr error
-	for _, conns := range p.idle {
-		for _, pc := range conns {
+	for _, addr := range addrs {
+		for _, pc := range p.idle[addr] {
 			if err := pc.conn.Close(); err != nil && firstErr == nil {
 				firstErr = fmt.Errorf("netproto: pool close: %w", err)
 			}

@@ -1,0 +1,43 @@
+package netproto
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// failCloseConn is a net.Conn whose Close always fails with a
+// per-connection error; every other operation is inert.
+type failCloseConn struct {
+	err error
+}
+
+func (c *failCloseConn) Read(b []byte) (int, error)         { return 0, c.err }
+func (c *failCloseConn) Write(b []byte) (int, error)        { return len(b), nil }
+func (c *failCloseConn) Close() error                       { return c.err }
+func (c *failCloseConn) LocalAddr() net.Addr                { return nil }
+func (c *failCloseConn) RemoteAddr() net.Addr               { return nil }
+func (c *failCloseConn) SetDeadline(t time.Time) error      { return nil }
+func (c *failCloseConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *failCloseConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// Close walks idle connections in sorted address order, so when several
+// fail to close, the surfaced first error is always the one from the
+// lexically smallest address — not whichever the map yielded first.
+func TestPoolCloseFirstErrDeterministic(t *testing.T) {
+	const want = "netproto: pool close: close a.example:1"
+	for i := 0; i < 32; i++ {
+		p := NewPool(time.Second, time.Second)
+		for _, addr := range []string{"z.example:3", "m.example:2", "a.example:1"} {
+			p.idle[addr] = []pooledConn{{
+				conn:  NewConn(&failCloseConn{err: fmt.Errorf("close %s", addr)}),
+				since: time.Now(),
+			}}
+		}
+		err := p.Close()
+		if err == nil || err.Error() != want {
+			t.Fatalf("run %d: Close error = %v; want %q", i, err, want)
+		}
+	}
+}

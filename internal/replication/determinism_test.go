@@ -1,0 +1,30 @@
+package replication
+
+import (
+	"fmt"
+	"testing"
+
+	"ivdss/internal/core"
+)
+
+// NextSyncAt is a min-fold over map-ordered tables: whatever order the
+// tables were registered in (and thus however the map lays them out),
+// the earliest pending instant must come back.
+func TestNextSyncAtRegistrationOrderInvariant(t *testing.T) {
+	const n = 16
+	for rot := 0; rot < n; rot++ {
+		m := NewManager()
+		for i := 0; i < n; i++ {
+			j := (i + rot) % n
+			id := core.TableID(fmt.Sprintf("t%02d", j))
+			s := Schedule{Times: []core.Time{core.Time(10 + j), core.Time(100 + j)}}
+			if err := m.Register(id, s); err != nil {
+				t.Fatalf("Register(%s): %v", id, err)
+			}
+		}
+		at, ok := m.NextSyncAt()
+		if !ok || at != core.Time(10) {
+			t.Fatalf("rotation %d: NextSyncAt = %v, %v; want 10, true", rot, at, ok)
+		}
+	}
+}

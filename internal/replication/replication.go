@@ -13,6 +13,7 @@ package replication
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 
@@ -194,17 +195,20 @@ func (m *Manager) Advance(now core.Time) []SyncEvent {
 func (m *Manager) NextSyncAt() (core.Time, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	best := core.Time(0)
+	// A pure min-fold: the earliest pending instant is the same whatever
+	// order the tables are visited in.
+	best := core.Time(math.Inf(1))
 	found := false
 	for _, ts := range m.tables {
 		if ts.applied < len(ts.schedule) {
-			t := ts.schedule[ts.applied]
-			if !found || t < best {
-				best, found = t, true
-			}
+			best = min(best, ts.schedule[ts.applied])
+			found = true
 		}
 	}
-	return best, found
+	if !found {
+		return 0, false
+	}
+	return best, true
 }
 
 // RecordSync records an out-of-schedule completed synchronization at `at`

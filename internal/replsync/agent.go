@@ -277,8 +277,8 @@ func (a *Agent) RefreshStaleness() {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	now := a.cfg.Clock.Now()
-	for id, ts := range a.tables {
-		if ts.lastSync >= 0 {
+	for _, id := range a.tablesLocked() {
+		if ts := a.tables[id]; ts.lastSync >= 0 {
 			//lint:allow metriccheck(per-table gauge family, bounded by the replication plan)
 			a.stats.Gauge(stalenessGauge(id)).Set(float64(now-ts.lastSync) * 60)
 		}

@@ -34,7 +34,8 @@ func (cs *connSet) remove(c *netproto.Conn) {
 func (cs *connSet) closeAll() {
 	cs.mu.Lock()
 	for c := range cs.conns {
-		c.Close()
+		//lint:allow detordercheck(force-closing every tracked conn commutes; conns have no sort key)
+		_ = c.Close() // teardown: reset-on-close is the point
 	}
 	cs.mu.Unlock()
 }

@@ -1,12 +1,14 @@
 package server
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"io"
 	"log"
 	"net"
+	"slices"
 	"sort"
 	"strings"
 	"sync"
@@ -308,9 +310,11 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		return nil, fmt.Errorf("server: TimeScale must be positive")
 	}
 
-	// Discover which tables each remote serves.
+	// Discover which tables each remote serves, in site order so the
+	// first configuration error surfaced is the same on every run.
 	siteOf := make(map[core.TableID]core.SiteID)
-	for site, addr := range cfg.Remotes {
+	for _, site := range sortedKeys(cfg.Remotes) {
+		addr := cfg.Remotes[site]
 		if site < 1 {
 			return nil, fmt.Errorf("server: remote site IDs start at 1, got %d", site)
 		}
@@ -334,7 +338,8 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 	}
 
 	mgr := replication.NewManager()
-	for id, period := range cfg.Replicate {
+	for _, id := range sortedKeys(cfg.Replicate) {
+		period := cfg.Replicate[id]
 		if _, ok := siteOf[id]; !ok {
 			return nil, fmt.Errorf("server: replicated table %s not served by any remote", id)
 		}
@@ -427,7 +432,7 @@ func NewDSSServer(cfg DSSConfig) (*DSSServer, error) {
 		Rand:        netproto.NewJitter(cfg.RetrySeed),
 	}
 	s.breakers = make(map[core.SiteID]*faults.Breaker, len(cfg.Remotes))
-	for site := range cfg.Remotes {
+	for _, site := range sortedKeys(cfg.Remotes) {
 		site := site
 		s.breakers[site] = faults.NewBreaker(faults.BreakerConfig{
 			FailureThreshold: cfg.BreakerFailures,
@@ -514,8 +519,8 @@ func (s *DSSServer) callSite(ctx context.Context, site core.SiteID, req *netprot
 // openSites returns the sites whose breaker currently rejects calls.
 func (s *DSSServer) openSites() map[core.SiteID]bool {
 	var down map[core.SiteID]bool
-	for site, br := range s.breakers {
-		if br.State() == faults.Open {
+	for _, site := range sortedKeys(s.breakers) {
+		if s.breakers[site].State() == faults.Open {
 			if down == nil {
 				down = make(map[core.SiteID]bool)
 			}
@@ -651,7 +656,8 @@ func (s *DSSServer) handleStatus() *netproto.Response {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Table < out[j].Table })
 	var sites []netproto.SiteStatus
-	for site, addr := range s.cfg.Remotes {
+	for _, site := range sortedKeys(s.cfg.Remotes) {
+		addr := s.cfg.Remotes[site]
 		br := s.breakers[site]
 		sites = append(sites, netproto.SiteStatus{
 			Site:                int(site),
@@ -737,7 +743,21 @@ func (s *DSSServer) Close() error {
 		}
 		s.live.closeAll()
 		s.wg.Wait()
-		s.pool.Close()
+		if cerr := s.pool.Close(); err == nil {
+			err = cerr
+		}
 	})
 	return err
+}
+
+// sortedKeys returns m's keys in ascending order, so configuration
+// walks, status tables, and teardown visit sites and tables
+// deterministically.
+func sortedKeys[K cmp.Ordered, V any](m map[K]V) []K {
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
 }

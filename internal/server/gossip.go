@@ -35,8 +35,8 @@ func (s *DSSServer) shardDigest() cluster.Digest {
 	}
 	s.mu.RUnlock()
 	var open map[core.SiteID]bool
-	for site, br := range s.breakers {
-		if br.State() == faults.Open {
+	for _, site := range sortedKeys(s.breakers) {
+		if s.breakers[site].State() == faults.Open {
 			if open == nil {
 				open = make(map[core.SiteID]bool)
 			}

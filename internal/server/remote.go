@@ -251,10 +251,7 @@ func (s *RemoteServer) handle(req *netproto.Request) *netproto.Response {
 			return &netproto.Response{Err: err.Error(), Expired: true}
 		}
 		s.mu.RLock()
-		cat := make(sqlmini.MapCatalog, len(s.tables))
-		for n, t := range s.tables {
-			cat.Add(n, t)
-		}
+		cat := sqlmini.NewMapCatalog(s.tables)
 		out, err := sqlmini.RunContext(ctx, req.SQL, cat)
 		s.mu.RUnlock()
 		if err != nil {

@@ -239,10 +239,10 @@ func (p advisorPlacer) Recommend(current []core.TableID) ([]core.TableID, error)
 // wall-clock config to experiment minutes.
 func (s *DSSServer) newSyncAgent() (*replsync.Agent, error) {
 	tables := make([]replsync.TableConfig, 0, len(s.cfg.Replicate)+len(s.views))
-	for id, period := range s.cfg.Replicate {
+	for _, id := range sortedKeys(s.cfg.Replicate) {
 		tables = append(tables, replsync.TableConfig{
 			ID:     id,
-			Period: period.Seconds() * s.cfg.TimeScale,
+			Period: s.cfg.Replicate[id].Seconds() * s.cfg.TimeScale,
 		})
 	}
 	// Views are synchronized units too: same agent, same budget, same
